@@ -1,0 +1,158 @@
+// Ablation bench: isolates the design choices DESIGN.md calls out by
+// toggling one FTL knob at a time on a fixed substrate and measuring the
+// four baselines. Shows which mechanism produces which Table 3 column:
+//   * log-pool size       -> locality area & RW cost
+//   * strict vs lenient   -> in-place / reverse pathology
+//   * write-back cache    -> start-up phase & small-write absorption
+//   * background flush    -> pause absorption
+//   * FAST append points  -> partitioning limit
+//   ./ablation_ftl
+#include <functional>
+
+#include "bench/bench_util.h"
+#include "src/core/methodology.h"
+
+using namespace uflip;
+
+namespace {
+
+struct Row {
+  std::string name;
+  double sw_ms, rw_ms, rw_local_ms, inplace_ms, rw_paused_ms;
+};
+
+StatusOr<Row> Measure(const DeviceProfile& profile, const std::string& name) {
+  auto dev_or = CreateSimDevice(profile);
+  if (!dev_or.ok()) return dev_or.status();
+  SimDevice* dev = dev_or->get();
+  auto enforce = EnforceRandomState(dev);
+  if (!enforce.ok()) return enforce.status();
+  // Drain hybrid log junk (see bench_util for rationale).
+  PatternSpec drain = PatternSpec::SequentialWrite(
+      32 * 1024, dev->capacity_bytes() / 2, dev->capacity_bytes() / 2);
+  drain.io_count = 1024;
+  UFLIP_RETURN_IF_ERROR(ExecuteRun(dev, drain).status());
+  dev->virtual_clock()->SleepUs(5000000);
+
+  Row row;
+  row.name = name;
+  auto mean = [&](PatternSpec s) -> StatusOr<double> {
+    s.io_count = 256;
+    s.io_ignore = 64;
+    dev->virtual_clock()->SleepUs(2000000);
+    auto run = ExecuteRun(dev, s);
+    if (!run.ok()) return run.status();
+    return run->Stats().mean_us / 1000.0;
+  };
+  uint64_t cap = dev->capacity_bytes();
+  auto v = mean(PatternSpec::SequentialWrite(32 * 1024, 0, cap / 2));
+  if (!v.ok()) return v.status();
+  row.sw_ms = *v;
+  v = mean(PatternSpec::RandomWrite(32 * 1024, 0, cap));
+  if (!v.ok()) return v.status();
+  row.rw_ms = *v;
+  v = mean(PatternSpec::RandomWrite(32 * 1024, 0, 4 * kMiB));
+  if (!v.ok()) return v.status();
+  row.rw_local_ms = *v;
+  {
+    PatternSpec ip = PatternSpec::SequentialWrite(32 * 1024, 0, 128 * 1024);
+    ip.lba = LbaFunction::kOrdered;
+    ip.incr = 0;
+    v = mean(ip);
+    if (!v.ok()) return v.status();
+    row.inplace_ms = *v;
+  }
+  {
+    PatternSpec rp = PatternSpec::RandomWrite(32 * 1024, 0, cap);
+    rp.time = TimeFunction::kPause;
+    rp.pause_us = static_cast<uint64_t>(row.rw_ms * 1000.0);
+    v = mean(rp);
+    if (!v.ok()) return v.status();
+    row.rw_paused_ms = *v;
+  }
+  return row;
+}
+
+void Print(const Row& r) {
+  std::printf("%-28s %8.2f %9.2f %10.2f %10.2f %10.2f\n", r.name.c_str(),
+              r.sw_ms, r.rw_ms, r.rw_local_ms, r.inplace_ms, r.rw_paused_ms);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("FTL ablations (32KB IOs; ms)\n\n");
+  std::printf("%-28s %8s %9s %10s %10s %10s\n", "variant", "SW", "RW",
+              "RW@4MB", "in-place", "RW+pause");
+  std::printf("%s\n", std::string(80, '-').c_str());
+
+  // Base: the Memoright profile.
+  DeviceProfile base = *ProfileById("memoright");
+  base.id = "ablation";
+
+  struct Variant {
+    std::string name;
+    std::function<void(DeviceProfile*)> mutate;
+  };
+  std::vector<Variant> variants = {
+      {"memoright (baseline)", [](DeviceProfile*) {}},
+      {"log pool 16 -> 4",
+       [](DeviceProfile* p) { p->bast.log_blocks = 4; }},
+      {"log pool 16 -> 64",
+       [](DeviceProfile* p) { p->bast.log_blocks = 64; }},
+      {"strict sequential logs",
+       [](DeviceProfile* p) { p->bast.strict_sequential_log = true; }},
+      {"no partial merges",
+       [](DeviceProfile* p) { p->bast.partial_merge_supported = false; }},
+      {"no write cache",
+       [](DeviceProfile* p) { p->write_cache = false; }},
+      {"no background flush",
+       [](DeviceProfile* p) { p->cache.background_flush = false; }},
+      {"cache 4MB -> 16MB",
+       [](DeviceProfile* p) { p->cache.capacity_pages = 4096; }},
+  };
+  for (const auto& variant : variants) {
+    DeviceProfile p = base;
+    variant.mutate(&p);
+    auto row = Measure(p, variant.name);
+    if (!row.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", variant.name.c_str(),
+                   row.status().ToString().c_str());
+      continue;
+    }
+    Print(*row);
+  }
+
+  std::printf("\nFAST append points (Kingston DTHX base): partition limit\n");
+  std::printf("%-28s %8s %9s\n", "variant", "SW@4part", "SW@16part");
+  std::printf("%s\n", std::string(50, '-').c_str());
+  for (uint32_t heads : {1u, 4u, 8u}) {
+    DeviceProfile p = *ProfileById("kingston-dthx");
+    p.id = "ablation";
+    p.fast.append_points = heads;
+    auto dev_or = CreateSimDevice(p);
+    if (!dev_or.ok()) continue;
+    SimDevice* dev = dev_or->get();
+    if (!EnforceRandomState(dev).ok()) continue;
+    PatternSpec drain = PatternSpec::SequentialWrite(
+        32 * 1024, dev->capacity_bytes() / 2, dev->capacity_bytes() / 2);
+    drain.io_count = 2048;
+    if (!ExecuteRun(dev, drain).ok()) continue;
+    double at4 = 0, at16 = 0;
+    for (uint32_t parts : {4u, 16u}) {
+      PatternSpec s = PatternSpec::SequentialWrite(32 * 1024, 0,
+                                                   dev->capacity_bytes() / 2);
+      s.lba = LbaFunction::kPartitioned;
+      s.partitions = parts;
+      s.io_count = 256;
+      s.io_ignore = 64;
+      auto run = ExecuteRun(dev, s);
+      if (!run.ok()) continue;
+      (parts == 4 ? at4 : at16) = run->Stats().mean_us / 1000.0;
+    }
+    std::printf("%-28s %8.2f %9.2f\n",
+                ("append_points=" + std::to_string(heads)).c_str(), at4,
+                at16);
+  }
+  return 0;
+}

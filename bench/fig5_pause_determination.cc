@@ -1,0 +1,56 @@
+// Reproduces Figure 5: "Pause determination for Mtron" -- sequential
+// reads, a batch of random writes, then sequential reads again. On
+// devices with deferred reclamation (Mtron/Memoright class) the random
+// writes keep affecting the reads for thousands of IOs (~2.5s on the
+// paper's Mtron); the recommended inter-run pause overestimates that
+// lingering effect. On every other device the reads recover immediately
+// and the conservative 1s floor is used.
+//
+//   ./fig5_pause_determination [--device=mtron]
+#include "bench/bench_util.h"
+#include "src/core/methodology.h"
+#include "src/report/ascii_chart.h"
+
+using namespace uflip;
+
+int main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  std::string id = flags.GetString("device", "mtron");
+
+  auto dev = bench::MakeDeviceWithState(id);
+  bench::InterRunPause(dev.get());
+
+  PauseCalibrationOptions opts;
+  opts.sr_ios = static_cast<uint32_t>(flags.GetInt("sr_ios", 5000));
+  opts.rw_ios = static_cast<uint32_t>(flags.GetInt("rw_ios", 2000));
+  opts.target_size = dev->capacity_bytes() / 4;
+  auto calib = CalibratePause(dev.get(), opts);
+  if (!calib.ok()) {
+    std::fprintf(stderr, "calibration failed: %s\n",
+                 calib.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Figure 5: pause determination, %s (SR ; RW ; SR)\n\n",
+              id.c_str());
+  std::vector<double> rt_ms(calib->trace_rt_us.size());
+  for (size_t i = 0; i < rt_ms.size(); ++i) {
+    rt_ms[i] = calib->trace_rt_us[i] / 1000.0;
+  }
+  ChartOptions copt;
+  copt.title = "response time per IO (log y, ms); batches: SR | RW | SR";
+  copt.log_y = true;
+  copt.x_label = "IO number";
+  copt.y_label = "rt (ms)";
+  std::printf("%s\n", RenderTrace(rt_ms, copt).c_str());
+
+  std::printf("batches: SR %u IOs | RW %u IOs | SR %u IOs\n",
+              calib->sr1_count, calib->rw_count,
+              static_cast<uint32_t>(calib->trace_rt_us.size()) -
+                  calib->sr1_count - calib->rw_count);
+  std::printf("lingering effect: %u sequential reads affected (%.2f s)\n",
+              calib->affected_reads, calib->lingering_us / 1e6);
+  std::printf("recommended inter-run pause: %.1f s\n",
+              static_cast<double>(calib->recommended_pause_us) / 1e6);
+  return 0;
+}

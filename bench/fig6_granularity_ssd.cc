@@ -1,0 +1,73 @@
+// Reproduces Figure 6: "Granularity" for a high-end SSD (the paper's
+// figure shows the Memoright/Mtron class): response time of SR/RR/SW/RW
+// as IOSize grows from 0.5KB to 512KB. Expected shape: reads and
+// sequential writes linear with a small latency; random writes much more
+// expensive and dominated by merges; small random writes serviced faster
+// (RAM buffering).
+//
+//   ./fig6_granularity_ssd [--device=memoright]
+#include "bench/bench_util.h"
+#include "src/core/microbench.h"
+#include "src/report/ascii_chart.h"
+
+using namespace uflip;
+
+int main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  std::string id = flags.GetString("device", "memoright");
+
+  auto dev = bench::MakeDeviceWithState(id);
+  bench::InterRunPause(dev.get());
+
+  MicroBenchConfig cfg;
+  cfg.io_count = static_cast<uint32_t>(flags.GetInt("io_count", 256));
+  cfg.io_ignore = 64;
+  cfg.target_size = dev->capacity_bytes();
+  auto exps = RunMicroBench(dev.get(), MicroBench::kGranularity, cfg);
+  if (!exps.ok()) {
+    std::fprintf(stderr, "failed: %s\n", exps.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Figure 6: Granularity for %s (rt in ms vs IO size in KB)\n\n",
+              id.c_str());
+  std::printf("%10s", "IOSize");
+  for (const auto& e : *exps) {
+    std::printf(" %10s", e.name.substr(e.name.find('/') + 1).c_str());
+  }
+  std::printf("\n");
+  size_t n = exps->front().points.size();
+  for (size_t i = 0; i < n; ++i) {
+    std::printf("%10s",
+                FormatSize(static_cast<uint64_t>(
+                               exps->front().points[i].param)).c_str());
+    for (const auto& e : *exps) {
+      if (i < e.points.size()) {
+        std::printf(" %10.2f", e.points[i].run.Stats().mean_us / 1000.0);
+      } else {
+        std::printf(" %10s", "-");
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::vector<ChartSeries> series;
+  const char glyphs[] = {'s', 'r', 'W', 'X'};
+  int gi = 0;
+  for (const auto& e : *exps) {
+    ChartSeries cs;
+    cs.name = e.name.substr(e.name.find('/') + 1);
+    cs.glyph = glyphs[gi++ % 4];
+    for (const auto& p : e.points) {
+      cs.x.push_back(p.param / 1024.0);
+      cs.y.push_back(p.run.Stats().mean_us / 1000.0);
+    }
+    series.push_back(std::move(cs));
+  }
+  ChartOptions copt;
+  copt.title = "\nresponse time (ms) vs IO size (KB)";
+  copt.log_x = true;
+  copt.log_y = true;
+  std::printf("%s\n", RenderChart(series, copt).c_str());
+  return 0;
+}

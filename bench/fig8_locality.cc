@@ -1,0 +1,93 @@
+// Reproduces Figure 8: "Locality for Samsung, Memoright and Mtron" --
+// the response time of random writes relative to sequential writes as
+// TargetSize grows from 1MB to 128MB (log x-axis). Expected shape:
+// random writes within a small area cost nearly the same as sequential
+// writes; beyond a device-specific locality area the relative cost
+// climbs steeply.
+//
+//   ./fig8_locality [--devices=samsung,memoright,mtron]
+#include <sstream>
+
+#include "bench/bench_util.h"
+#include "src/core/microbench.h"
+#include "src/report/ascii_chart.h"
+
+using namespace uflip;
+
+int main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  std::string list = flags.GetString("devices", "samsung,memoright,mtron");
+  uint32_t io_count = static_cast<uint32_t>(flags.GetInt("io_count", 256));
+
+  std::vector<std::string> ids;
+  std::stringstream ss(list);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) ids.push_back(tok);
+
+  std::printf(
+      "Figure 8: Locality -- RW response time relative to SW vs "
+      "TargetSize (MB)\n\n");
+  std::printf("%12s", "TargetSize");
+  std::vector<uint64_t> targets;
+  for (uint64_t ts = 1 * kMiB; ts <= 128 * kMiB; ts *= 2) {
+    targets.push_back(ts);
+  }
+  for (const auto& id : ids) std::printf(" %16s", id.c_str());
+  std::printf("\n");
+
+  std::vector<std::vector<double>> rel(ids.size());
+  for (size_t d = 0; d < ids.size(); ++d) {
+    auto dev = bench::MakeDeviceWithState(ids[d]);
+    bench::InterRunPause(dev.get());
+    // SW reference at 32KB.
+    PatternSpec sw = PatternSpec::SequentialWrite(32 * 1024, 0,
+                                                  dev->capacity_bytes() / 2);
+    sw.io_count = io_count;
+    sw.io_ignore = 32;
+    auto sw_run = ExecuteRun(dev.get(), sw);
+    if (!sw_run.ok()) {
+      std::fprintf(stderr, "SW failed on %s\n", ids[d].c_str());
+      return 1;
+    }
+    double sw_ms = sw_run->Stats().mean_us / 1000.0;
+    for (uint64_t ts : targets) {
+      bench::InterRunPause(dev.get(), 1000000);
+      PatternSpec rw = PatternSpec::RandomWrite(32 * 1024, 0, ts);
+      rw.io_count = io_count;
+      rw.io_ignore = 32;
+      auto run = ExecuteRun(dev.get(), rw);
+      if (!run.ok()) {
+        std::fprintf(stderr, "RW failed on %s\n", ids[d].c_str());
+        return 1;
+      }
+      rel[d].push_back(run->Stats().mean_us / 1000.0 / sw_ms);
+    }
+  }
+
+  for (size_t t = 0; t < targets.size(); ++t) {
+    std::printf("%12s", FormatSize(targets[t]).c_str());
+    for (size_t d = 0; d < ids.size(); ++d) {
+      std::printf(" %16.1f", rel[d][t]);
+    }
+    std::printf("\n");
+  }
+
+  std::vector<ChartSeries> series;
+  const char glyphs[] = {'S', 'M', 'T', 'o'};
+  for (size_t d = 0; d < ids.size(); ++d) {
+    ChartSeries cs;
+    cs.name = ids[d];
+    cs.glyph = glyphs[d % 4];
+    for (size_t t = 0; t < targets.size(); ++t) {
+      cs.x.push_back(static_cast<double>(targets[t]) /
+                     static_cast<double>(kMiB));
+      cs.y.push_back(rel[d][t]);
+    }
+    series.push_back(std::move(cs));
+  }
+  ChartOptions copt;
+  copt.title = "\nRW cost relative to SW vs TargetSize (MB, log x)";
+  copt.log_x = true;
+  std::printf("%s\n", RenderChart(series, copt).c_str());
+  return 0;
+}

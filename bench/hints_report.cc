@@ -1,0 +1,37 @@
+// Evaluates the paper's seven design hints (Section 5.3) against a
+// simulated device and prints the measured evidence for each.
+//   ./hints_report [--device=memoright]
+#include "bench/bench_util.h"
+#include "src/core/hints.h"
+#include "src/core/table3.h"
+
+using namespace uflip;
+
+int main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  std::string id = flags.GetString("device", "memoright");
+
+  auto dev = bench::MakeDeviceWithState(id);
+  bench::InterRunPause(dev.get());
+
+  Table3Config tcfg;
+  tcfg.io_count = static_cast<uint32_t>(flags.GetInt("io_count", 256));
+  auto row = ExtractTable3Row(dev.get(), tcfg);
+  if (!row.ok()) {
+    std::fprintf(stderr, "characterization failed: %s\n",
+                 row.status().ToString().c_str());
+    return 1;
+  }
+
+  MicroBenchConfig cfg;
+  cfg.io_count = 192;
+  cfg.target_size = dev->capacity_bytes() / 4;
+  auto report = EvaluateHints(dev.get(), *row, cfg);
+  if (!report.ok()) {
+    std::fprintf(stderr, "hint evaluation failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", report->Render().c_str());
+  return 0;
+}

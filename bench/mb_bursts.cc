@@ -1,0 +1,12 @@
+// Bursts micro-benchmark (Section 3.2 #9): a fixed 100ms pause between
+// groups of Burst IOs; studies how deferred (asynchronous) work
+// accumulates across bursts.
+//   ./mb_bursts [--device=mtron]
+#include "bench/mb_common.h"
+
+int main(int argc, char** argv) {
+  return uflip::bench::RunMicroBenchMain(
+      argc, argv, uflip::MicroBench::kBursts, "mtron",
+      "Burst varies 10..640 IOs per burst with a fixed 100ms pause "
+      "between bursts.");
+}

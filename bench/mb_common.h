@@ -1,0 +1,53 @@
+// Shared driver for the "other results" micro-benchmark binaries
+// (Section 5.2): runs one of the nine micro-benchmarks on a device and
+// prints the response-time series per baseline.
+#ifndef UFLIP_BENCH_MB_COMMON_H_
+#define UFLIP_BENCH_MB_COMMON_H_
+
+#include "bench/bench_util.h"
+#include "src/core/microbench.h"
+
+namespace uflip {
+namespace bench {
+
+inline int RunMicroBenchMain(int argc, char** argv, MicroBench mb,
+                             const char* default_device,
+                             const char* header_note) {
+  Flags flags(argc, argv);
+  std::string id = flags.GetString("device", default_device);
+
+  auto dev = MakeDeviceWithState(id);
+  InterRunPause(dev.get());
+
+  MicroBenchConfig cfg;
+  cfg.io_count = static_cast<uint32_t>(flags.GetInt("io_count", 256));
+  cfg.io_ignore = static_cast<uint32_t>(flags.GetInt("io_ignore", 64));
+  cfg.target_size = dev->capacity_bytes() / 2;
+  auto exps = RunMicroBench(dev.get(), mb, cfg);
+  if (!exps.ok()) {
+    std::fprintf(stderr, "failed: %s\n", exps.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%s micro-benchmark on %s\n%s\n\n", MicroBenchName(mb),
+              id.c_str(), header_note);
+  for (const auto& e : *exps) {
+    std::printf("%s  (varying %s; mean rt in ms, running phase)\n",
+                e.name.c_str(), e.param_name.c_str());
+    std::printf("  %14s %12s %12s %12s %12s\n", e.param_name.c_str(), "mean",
+                "p50", "p95", "max");
+    for (const auto& p : e.points) {
+      RunStats s = p.run.Stats();
+      std::printf("  %14.0f %12.2f %12.2f %12.2f %12.2f\n", p.param,
+                  s.mean_us / 1000.0, s.p50_us / 1000.0, s.p95_us / 1000.0,
+                  s.max_us / 1000.0);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace uflip
+
+#endif  // UFLIP_BENCH_MB_COMMON_H_

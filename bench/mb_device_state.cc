@@ -1,0 +1,78 @@
+// Device-state enforcement comparison (Section 4.1 / 5.1): random-state
+// enforcement (random writes of random size over the whole device) is
+// slower to establish than sequential-state enforcement but far more
+// stable -- a batch of random writes barely changes random-state RW
+// behaviour while it visibly disturbs a sequential state. Reproduces
+// the Samsung out-of-the-box anecdote: RW on a fresh (never-written)
+// device is much cheaper than after the device has been filled.
+//   ./mb_device_state [--device=samsung]
+#include "bench/bench_util.h"
+#include "src/core/methodology.h"
+
+using namespace uflip;
+
+namespace {
+
+double MeasureRw(SimDevice* dev, uint32_t ios, uint64_t seed) {
+  PatternSpec rw =
+      PatternSpec::RandomWrite(32 * 1024, 0, dev->capacity_bytes());
+  rw.io_count = ios;
+  rw.seed = seed;
+  auto run = ExecuteRun(dev, rw);
+  if (!run.ok()) return -1;
+  return run->Stats().mean_us / 1000.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  std::string id = flags.GetString("device", "samsung");
+  auto profile = ProfileById(id);
+  if (!profile.ok()) return 2;
+
+  std::printf("Device state enforcement study, %s (Section 4.1)\n\n",
+              id.c_str());
+
+  // Out of the box: no state enforcement at all.
+  {
+    auto dev = CreateSimDevice(*profile);
+    double rw = MeasureRw(dev->get(), 256, 3);
+    std::printf("out-of-the-box RW (32KB): %8.1f ms\n", rw);
+  }
+  // Random state.
+  double random_enforce_s = 0;
+  double random_rw1 = 0, random_rw2 = 0;
+  {
+    auto dev = CreateSimDevice(*profile);
+    auto rep = EnforceRandomState(dev->get());
+    random_enforce_s = rep->duration_us / 1e6;
+    random_rw1 = MeasureRw(dev->get(), 256, 5);
+    // Disturb with more random writes, re-measure: stability check.
+    (void)MeasureRw(dev->get(), 1024, 7);
+    random_rw2 = MeasureRw(dev->get(), 256, 9);
+  }
+  // Sequential state.
+  double seq_enforce_s = 0;
+  double seq_rw1 = 0, seq_rw2 = 0;
+  {
+    auto dev = CreateSimDevice(*profile);
+    auto rep = EnforceSequentialState(dev->get());
+    seq_enforce_s = rep->duration_us / 1e6;
+    seq_rw1 = MeasureRw(dev->get(), 256, 5);
+    (void)MeasureRw(dev->get(), 1024, 7);
+    seq_rw2 = MeasureRw(dev->get(), 256, 9);
+  }
+
+  std::printf("\n%-22s %14s %14s %14s\n", "state", "enforce time",
+              "RW after", "RW after churn");
+  std::printf("%-22s %13.1fs %13.1fms %13.1fms\n", "random (Section 4.1)",
+              random_enforce_s, random_rw1, random_rw2);
+  std::printf("%-22s %13.1fs %13.1fms %13.1fms\n", "sequential",
+              seq_enforce_s, seq_rw1, seq_rw2);
+  std::printf(
+      "\nExpected: random-state RW stable across churn; out-of-the-box RW "
+      "deceptively cheap\n(the paper's Samsung anecdote: ~1ms fresh vs "
+      "~8ms-class after filling the device).\n");
+  return 0;
+}

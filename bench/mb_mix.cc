@@ -1,0 +1,13 @@
+// Mix micro-benchmark (Section 5.2): the six pairings of baseline
+// patterns, interleaved at Ratio:1. The paper observes that mixes do not
+// significantly affect the overall cost of the workloads (unlike on
+// hard disks).
+//   ./mb_mix [--device=memoright]
+#include "bench/mb_common.h"
+
+int main(int argc, char** argv) {
+  return uflip::bench::RunMicroBenchMain(
+      argc, argv, uflip::MicroBench::kMix, "memoright",
+      "Ratio varies 1..64 for the six baseline pairings; compare the "
+      "mean to the ratio-weighted baseline costs.");
+}

@@ -1,0 +1,13 @@
+// Order micro-benchmark (Table 3 cols 8-10): ordered patterns with
+// linear LBA coefficient Incr -- reverse (-1), in-place (0), increasing
+// gaps (2..256). In-place is pathological on strict-log USB sticks
+// (x40 on the paper's Kingston DTI) and benign on SSDs.
+//   ./mb_order [--device=kingston-dti]
+#include "bench/mb_common.h"
+
+int main(int argc, char** argv) {
+  return uflip::bench::RunMicroBenchMain(
+      argc, argv, uflip::MicroBench::kOrder, "kingston-dti",
+      "Incr varies in {-1, 0, 1, 2, ..., 256} (sequential patterns "
+      "only).");
+}

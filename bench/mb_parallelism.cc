@@ -1,0 +1,14 @@
+// Parallelism micro-benchmark (Section 5.2): ParallelDegree concurrent
+// processes each run the baseline pattern over their slice of the
+// target space. The paper observes no improvement from parallel
+// submission; high degrees degenerate sequential writes into
+// partitioned-write behaviour.
+//   ./mb_parallelism [--device=memoright]
+#include "bench/mb_common.h"
+
+int main(int argc, char** argv) {
+  return uflip::bench::RunMicroBenchMain(
+      argc, argv, uflip::MicroBench::kParallelism, "memoright",
+      "ParallelDegree varies 1..16; response time includes queue wait "
+      "(the device serializes).");
+}

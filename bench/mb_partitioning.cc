@@ -1,0 +1,12 @@
+// Partitioning micro-benchmark (Table 3 col 7): concurrent sequential
+// write streams over P round-robin partitions. Expect clean behaviour up
+// to the device's limit (4-8 partitions) and degradation towards
+// random-write cost beyond.
+//   ./mb_partitioning [--device=kingston-dti]
+#include "bench/mb_common.h"
+
+int main(int argc, char** argv) {
+  return uflip::bench::RunMicroBenchMain(
+      argc, argv, uflip::MicroBench::kPartitioning, "kingston-dti",
+      "Partitions varies 1..256 (sequential patterns only).");
+}

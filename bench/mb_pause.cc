@@ -1,0 +1,12 @@
+// Pause micro-benchmark (Table 3 col 5): pauses between IOs let
+// asynchronous reclamation absorb random-write cost on high-end SSDs;
+// the pause needed is about the average random-write response time, so
+// total workload time does not improve (design hint 7).
+//   ./mb_pause [--device=mtron]
+#include "bench/mb_common.h"
+
+int main(int argc, char** argv) {
+  return uflip::bench::RunMicroBenchMain(
+      argc, argv, uflip::MicroBench::kPause, "mtron",
+      "Pause varies 0.1ms..25.6ms between consecutive IOs.");
+}

@@ -1,0 +1,82 @@
+// google-benchmark microbenchmarks of the simulator itself: cost of
+// simulated IOs per FTL kind, GC hot path, pattern generation, and
+// statistics. These measure the *simulator's* wall-clock performance
+// (how many simulated IOs per second the harness can execute), not the
+// simulated device latency.
+#include <benchmark/benchmark.h>
+
+#include "src/core/methodology.h"
+#include "src/device/profiles.h"
+#include "src/pattern/pattern.h"
+#include "src/run/run_stats.h"
+#include "src/util/random.h"
+
+namespace uflip {
+namespace {
+
+void BM_SimulatedIo(benchmark::State& state, const char* profile_id,
+                    bool random_writes) {
+  auto profile = ProfileById(profile_id);
+  auto dev = CreateSimDevice(*profile, nullptr, 64ULL << 20);
+  Rng rng(1);
+  uint64_t cap = (*dev)->capacity_bytes();
+  uint64_t seq = 0;
+  for (auto _ : state) {
+    uint64_t offset;
+    if (random_writes) {
+      offset = rng.UniformU64(cap / 32768) * 32768;
+    } else {
+      offset = (seq * 32768) % (cap - 32768);
+      ++seq;
+    }
+    IoRequest req{offset, 32768, IoMode::kWrite};
+    auto rt = (*dev)->Submit(req);
+    benchmark::DoNotOptimize(rt);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_PatternGeneration(benchmark::State& state) {
+  PatternSpec spec = PatternSpec::RandomWrite(32768, 0, 1ULL << 30);
+  PatternGenerator gen(spec);
+  for (auto _ : state) {
+    IoRequest req = gen.Next();
+    benchmark::DoNotOptimize(req);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_RunStats(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<double> samples(static_cast<size_t>(state.range(0)));
+  for (auto& s : samples) s = rng.UniformDouble() * 1000.0;
+  for (auto _ : state) {
+    RunStats stats = RunStats::Compute(samples, 0);
+    benchmark::DoNotOptimize(stats);
+  }
+}
+
+void BM_PhaseAnalysis(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<double> rt(4096);
+  for (size_t i = 0; i < rt.size(); ++i) {
+    rt[i] = (i < 128 ? 400.0 : 5000.0) + rng.UniformDouble() * 100.0;
+  }
+  for (auto _ : state) {
+    PhaseAnalysis p = AnalyzePhases(rt);
+    benchmark::DoNotOptimize(p);
+  }
+}
+
+BENCHMARK_CAPTURE(BM_SimulatedIo, memoright_rw, "memoright", true);
+BENCHMARK_CAPTURE(BM_SimulatedIo, memoright_sw, "memoright", false);
+BENCHMARK_CAPTURE(BM_SimulatedIo, dti_rw, "kingston-dti", true);
+BENCHMARK_CAPTURE(BM_SimulatedIo, dthx_rw, "kingston-dthx", true);
+BENCHMARK(BM_PatternGeneration);
+BENCHMARK(BM_RunStats)->Arg(1024)->Arg(16384);
+BENCHMARK(BM_PhaseAnalysis);
+
+}  // namespace
+}  // namespace uflip
+
+BENCHMARK_MAIN();

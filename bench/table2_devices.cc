@@ -1,0 +1,28 @@
+// Reproduces Table 2: the eleven selected flash devices, with the
+// simulator architecture chosen for each (the substitution for physical
+// hardware) and the simulated capacity.
+//   ./table2_devices
+#include "bench/bench_util.h"
+
+using namespace uflip;
+
+int main() {
+  std::printf("Table 2: Selected flash devices (simulated profiles)\n\n");
+  std::printf("%-2s %-10s %-18s %-10s %6s %8s   %-18s %s\n", "",
+              "Brand", "Model", "Type", "Size", "Price", "FTL model",
+              "Sim capacity");
+  std::printf("%s\n", std::string(96, '-').c_str());
+  for (const auto& p : AllProfiles()) {
+    std::printf("%-2s %-10s %-18s %-10s %5lluGB %7.0f$   %-18s %s\n",
+                p.representative ? "->" : "", p.brand.c_str(),
+                p.model.c_str(), p.type.c_str(),
+                static_cast<unsigned long long>(p.advertised_capacity_bytes /
+                                                kGiB),
+                p.price_usd, FtlKindName(p.ftl),
+                FormatSize(p.sim_capacity_bytes).c_str());
+  }
+  std::printf(
+      "\nArrow (->): the seven representative devices whose results the "
+      "paper presents.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Reproduces Table 3 ("Result summary") of the paper: for each
+// representative device, the cost of the four baseline patterns at 32KB,
+// the effect of pauses on random writes, the random-write locality area,
+// the sequential-write partition limit, and the reverse / in-place /
+// large-increment ordered-pattern factors.
+//
+//   ./table3_summary [--device=<id>] [--io_count=N] [--fresh_state=true]
+//
+// Paper reference (Table 3):
+//   Device      SR   RR   SW   RW    Pause  Locality  Partit.  Rev IP  Incr
+//   Memoright  0.3  0.4  0.3    5     5     8 (=)     8 (=)    =   =   x4
+//   Mtron      0.4  0.5  0.4    9     9     8 (x2)    4 (x1.5) =   =   x2
+//   Samsung    0.5  0.5  0.6   18           16 (x1.5) 4 (x2)  x1.5 x0.6 x2
+//   T.Module   1.2  1.3  1.7   18           4 (x2)    4 (x2)   x3  x2   x2
+//   T.MLC      1.4  3.0  2.6  233           4 (=)     4 (x2)   x2  x2   x1
+//   K.DTHX     1.3  1.5  1.8  270           16 (x20)  8 (x20)  x7  x6   x1
+//   K.DTI      1.9  2.2  2.9  256           No        4 (x5)   x8  x40  x1
+#include "bench/bench_util.h"
+#include "src/core/table3.h"
+
+using namespace uflip;
+
+int main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  std::string only = flags.GetString("device", "");
+  bool verbose = flags.GetBool("verbose", false);
+
+  Table3Config cfg;
+  cfg.io_count = static_cast<uint32_t>(flags.GetInt("io_count", 384));
+
+  std::vector<Table3Row> rows;
+  for (const std::string& id : bench::RepresentativeIds()) {
+    if (!only.empty() && id != only) continue;
+    auto dev = bench::MakeDeviceWithState(id);
+    bench::InterRunPause(dev.get());
+    ProgressFn progress = nullptr;
+    if (verbose) {
+      progress = [&id](const std::string& what, double p) {
+        std::fprintf(stderr, "  [%s] %s %.0f\n", id.c_str(), what.c_str(),
+                     p);
+      };
+    }
+    auto row = ExtractTable3Row(dev.get(), cfg, progress);
+    if (!row.ok()) {
+      std::fprintf(stderr, "[%s] failed: %s\n", id.c_str(),
+                   row.status().ToString().c_str());
+      return 1;
+    }
+    rows.push_back(*row);
+  }
+
+  std::printf("\nTable 3: Result summary (simulated devices, 32KB IOs)\n\n");
+  std::printf("%s\n", RenderTable3(rows).c_str());
+  std::printf(
+      "Factors: Locality/Partitioning/Reverse/In-Place relative to SW; "
+      "Large-Incr relative to RW.\n");
+  return 0;
+}

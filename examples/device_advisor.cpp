@@ -1,0 +1,91 @@
+// Device advisor: characterizes a flash device with the uFLIP key
+// indicators (Table 3) and prints concrete configuration advice for a
+// storage engine -- page size, alignment, write-zone sizing, partition
+// budget -- derived from the measured behaviour, plus the seven design
+// hints with evidence.
+//
+//   ./device_advisor [device-id]
+#include <cstdio>
+#include <string>
+
+#include "src/core/hints.h"
+#include "src/core/methodology.h"
+#include "src/core/table3.h"
+#include "src/device/profiles.h"
+#include "src/util/units.h"
+
+using namespace uflip;
+
+int main(int argc, char** argv) {
+  std::string id = argc > 1 ? argv[1] : "samsung";
+
+  auto profile = ProfileById(id);
+  if (!profile.ok()) {
+    std::fprintf(stderr, "unknown device '%s'\n", id.c_str());
+    return 1;
+  }
+  auto device = CreateSimDevice(*profile);
+  if (!device.ok()) return 1;
+  std::printf("characterizing %s (%s)...\n", profile->model.c_str(),
+              FtlKindName(profile->ftl));
+  if (!EnforceRandomState(device->get()).ok()) return 1;
+  (*device)->virtual_clock()->SleepUs(5000000);
+
+  Table3Config cfg;
+  cfg.io_count = 256;
+  auto row = ExtractTable3Row(device->get(), cfg);
+  if (!row.ok()) {
+    std::fprintf(stderr, "%s\n", row.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\nKey characteristics (32KB IOs):\n");
+  std::printf("  SR %.1fms  RR %.1fms  SW %.1fms  RW %.1fms\n", row->sr_ms,
+              row->rr_ms, row->sw_ms, row->rw_ms);
+  if (row->rw_pause_ms >= 0) {
+    std::printf("  pauses of ~%.1fms absorb random-write cost\n",
+                row->rw_pause_ms);
+  }
+  if (row->locality_mb > 0) {
+    std::printf("  random-write locality area: %.0fMB (%s vs SW)\n",
+                row->locality_mb,
+                Table3Row::FormatFactor(row->locality_factor).c_str());
+  } else {
+    std::printf("  no random-write locality benefit\n");
+  }
+  std::printf("  concurrent sequential partitions: %u (%s vs SW)\n",
+              row->partitions,
+              Table3Row::FormatFactor(row->partition_factor).c_str());
+
+  std::printf("\nStorage-engine advice for this device:\n");
+  std::printf("  * block/page size: 32KB writes, batched reads\n");
+  if (row->locality_mb > 0) {
+    std::printf(
+        "  * confine update-in-place structures (hot pages, maps) to a "
+        "%.0fMB zone\n",
+        row->locality_mb);
+  } else {
+    std::printf(
+        "  * avoid random writes entirely: log-structure every update\n");
+  }
+  std::printf("  * use at most %u append streams (sort buckets, WAL "
+              "segments, column files)\n",
+              row->partitions > 0 ? row->partitions : 1);
+  if (row->inplace_factor > 2.0) {
+    std::printf("  * never rewrite a block in place (x%.0f penalty)\n",
+                row->inplace_factor);
+  }
+  double rw_ratio = row->rw_ms / row->sw_ms;
+  std::printf("  * random writes cost x%.0f sequential writes: batch and "
+              "defragment\n",
+              rw_ratio);
+
+  MicroBenchConfig mcfg;
+  mcfg.io_count = 192;
+  mcfg.target_size = (*device)->capacity_bytes() / 4;
+  auto report = EvaluateHints(device->get(), *row, mcfg);
+  if (report.ok()) {
+    std::printf("\n%s", report->Render().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,180 @@
+#include "src/core/hints.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace uflip {
+
+namespace {
+
+StatusOr<double> MeanMsOf(BlockDevice* device, PatternSpec spec) {
+  StatusOr<RunResult> run = ExecuteRun(device, spec);
+  if (!run.ok()) return run.status();
+  return run->Stats().mean_us / 1000.0;
+}
+
+std::string Fmt(const char* fmt, double a, double b) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), fmt, a, b);
+  return buf;
+}
+
+}  // namespace
+
+StatusOr<HintReport> EvaluateHints(BlockDevice* device, const Table3Row& row,
+                                   const MicroBenchConfig& cfg,
+                                   ProgressFn progress) {
+  HintReport report;
+  report.device = device->name();
+  auto note = [&](const std::string& w) {
+    if (progress) progress(w, 0);
+  };
+
+  // Hint 1: latency exists -> per-byte cost falls with IO size.
+  {
+    note("hint1/granularity");
+    PatternSpec small = PatternSpec::SequentialRead(4096, cfg.target_offset,
+                                                    cfg.target_size);
+    small.io_count = cfg.io_count;
+    PatternSpec large = PatternSpec::SequentialRead(
+        128 * 1024, cfg.target_offset, cfg.target_size);
+    large.io_count = cfg.io_count;
+    StatusOr<double> ms_small = MeanMsOf(device, small);
+    if (!ms_small.ok()) return ms_small.status();
+    StatusOr<double> ms_large = MeanMsOf(device, large);
+    if (!ms_large.ok()) return ms_large.status();
+    double per_kb_small = *ms_small / 4.0;
+    double per_kb_large = *ms_large / 128.0;
+    report.findings.push_back(HintFinding{
+        1, "Flash devices do incur latency; larger IOs are beneficial",
+        per_kb_large < 0.75 * per_kb_small,
+        Fmt("SR cost/KB: %.4fms @4KB vs %.4fms @128KB", per_kb_small,
+            per_kb_large)});
+  }
+
+  // Hint 2: 32KB block size is a good read/write trade-off: writes gain
+  // clearly up to 32KB and little beyond; reads stay acceptable.
+  {
+    note("hint2/blocksize");
+    auto sw_at = [&](uint32_t io) {
+      PatternSpec s = PatternSpec::SequentialWrite(io, cfg.target_offset,
+                                                   cfg.target_size);
+      s.io_count = cfg.io_count;
+      return MeanMsOf(device, s);
+    };
+    StatusOr<double> w8 = sw_at(8 * 1024);
+    if (!w8.ok()) return w8.status();
+    StatusOr<double> w32 = sw_at(32 * 1024);
+    if (!w32.ok()) return w32.status();
+    double per_kb_8 = *w8 / 8.0, per_kb_32 = *w32 / 32.0;
+    report.findings.push_back(HintFinding{
+        2, "Block size should (currently) be 32KB",
+        per_kb_32 < per_kb_8,
+        Fmt("SW cost/KB: %.4fms @8KB vs %.4fms @32KB", per_kb_8, per_kb_32)});
+  }
+
+  // Hint 3: alignment matters for writes.
+  {
+    note("hint3/alignment");
+    PatternSpec aligned = PatternSpec::RandomWrite(
+        cfg.io_size, cfg.target_offset, cfg.target_size);
+    aligned.io_count = cfg.io_count;
+    PatternSpec shifted = aligned;
+    shifted.io_shift = 512;
+    StatusOr<double> a = MeanMsOf(device, aligned);
+    if (!a.ok()) return a.status();
+    StatusOr<double> s = MeanMsOf(device, shifted);
+    if (!s.ok()) return s.status();
+    report.findings.push_back(HintFinding{
+        3, "Blocks should be aligned to flash pages", *s > 1.1 * *a,
+        Fmt("RW: %.2fms aligned vs %.2fms shifted by 512B", *a, *s)});
+  }
+
+  // Hint 4: random writes should be focused (from the Table 3 row).
+  report.findings.push_back(HintFinding{
+      4, "Random writes should be limited to a focused area",
+      row.locality_mb > 0,
+      row.locality_mb > 0
+          ? Fmt("RW within %.0fMB costs x%.1f of SW (vs whole-device RW)",
+                row.locality_mb, row.locality_factor)
+          : "no locality area found (random writes always expensive)"});
+
+  // Hint 5: sequential writes limited to a few partitions.
+  report.findings.push_back(HintFinding{
+      5, "Sequential writes should be limited to a few partitions",
+      row.partitions >= 2,
+      Fmt("up to %.0f partitions at x%.1f of single-stream SW",
+          static_cast<double>(row.partitions), row.partition_factor)});
+
+  // Hint 6: mixing a limited number of patterns is acceptable: the mix
+  // of SR and RR costs about the weighted sum of its parts.
+  {
+    note("hint6/mix");
+    PatternSpec sr = PatternSpec::SequentialRead(cfg.io_size,
+                                                 cfg.target_offset,
+                                                 cfg.target_size / 2);
+    sr.io_count = cfg.io_count;
+    PatternSpec rr = PatternSpec::RandomRead(
+        cfg.io_size, cfg.target_offset + cfg.target_size / 2,
+        cfg.target_size / 2);
+    rr.io_count = std::max<uint32_t>(32, cfg.io_count / 2);
+    StatusOr<double> sr_ms = MeanMsOf(device, sr);
+    if (!sr_ms.ok()) return sr_ms.status();
+    StatusOr<double> rr_ms = MeanMsOf(device, rr);
+    if (!rr_ms.ok()) return rr_ms.status();
+    StatusOr<RunResult> mix = ExecuteMixRun(device, sr, rr, 1);
+    if (!mix.ok()) return mix.status();
+    double mix_ms = mix->Stats().mean_us / 1000.0;
+    double expected = (*sr_ms + *rr_ms) / 2.0;
+    report.findings.push_back(HintFinding{
+        6, "Combining a limited number of patterns is acceptable",
+        mix_ms < 1.3 * expected,
+        Fmt("SR+RR 1:1 mix: %.2fms vs %.2fms weighted baseline", mix_ms,
+            expected)});
+  }
+
+  // Hint 7: neither concurrent nor delayed IOs improve performance
+  // (total workload time; pauses shift cost, they do not remove it).
+  {
+    note("hint7/parallel");
+    PatternSpec sr = PatternSpec::SequentialRead(cfg.io_size,
+                                                 cfg.target_offset,
+                                                 cfg.target_size);
+    sr.io_count = cfg.io_count;
+    StatusOr<RunResult> serial = ExecuteRun(device, sr);
+    if (!serial.ok()) return serial.status();
+    StatusOr<RunResult> par = ExecuteParallelRun(device, sr, 4);
+    if (!par.ok()) return par.status();
+    double serial_total = serial->Stats().sum_us;
+    // Parallel wall time: last completion - first submission.
+    const auto& ps = par->samples;
+    double par_wall = 0;
+    if (!ps.empty()) {
+      double end = 0;
+      for (const auto& s : ps) {
+        end = std::max(end, static_cast<double>(s.submit_us) + s.rt_us);
+      }
+      par_wall = end - static_cast<double>(ps.front().submit_us);
+    }
+    report.findings.push_back(HintFinding{
+        7, "Neither concurrent nor delayed IOs improve the performance",
+        par_wall >= 0.9 * serial_total,
+        Fmt("SR total: serial %.0fms vs 4-way parallel %.0fms wall",
+            serial_total / 1000.0, par_wall / 1000.0)});
+  }
+  return report;
+}
+
+std::string HintReport::Render() const {
+  std::string out = "Design hints for " + device + ":\n";
+  for (const auto& f : findings) {
+    char buf[320];
+    std::snprintf(buf, sizeof(buf), "  Hint %d: %-58s [%s]\n    %s\n",
+                  f.number, f.hint.c_str(), f.holds ? "HOLDS" : "differs",
+                  f.evidence.c_str());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace uflip

@@ -1,0 +1,47 @@
+// Design-hint evaluation (Section 5.3): given a device's measured
+// characteristics, check which of the paper's seven design hints the
+// device supports, with the measured evidence.
+//   1. Flash devices do incur latency (larger IOs are beneficial).
+//   2. Block size should (currently) be 32KB.
+//   3. Blocks should be aligned to flash pages.
+//   4. Random writes should be limited to a focused area.
+//   5. Sequential writes should be limited to a few partitions.
+//   6. Combining a limited number of patterns is acceptable.
+//   7. Neither concurrent nor delayed IOs improve the performance.
+#ifndef UFLIP_CORE_HINTS_H_
+#define UFLIP_CORE_HINTS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/microbench.h"
+#include "src/core/table3.h"
+#include "src/device/block_device.h"
+#include "src/util/status.h"
+
+namespace uflip {
+
+struct HintFinding {
+  int number = 0;
+  std::string hint;
+  bool holds = false;
+  std::string evidence;
+};
+
+struct HintReport {
+  std::string device;
+  std::vector<HintFinding> findings;
+
+  std::string Render() const;
+};
+
+/// Evaluates all seven hints on a device (runs the granularity,
+/// alignment, mix, pause and parallelism probes it needs; the Table 3
+/// row supplies the rest). The device must be in a well-defined state.
+StatusOr<HintReport> EvaluateHints(BlockDevice* device, const Table3Row& row,
+                                   const MicroBenchConfig& cfg,
+                                   ProgressFn progress = nullptr);
+
+}  // namespace uflip
+
+#endif  // UFLIP_CORE_HINTS_H_

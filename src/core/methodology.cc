@@ -1,0 +1,312 @@
+#include "src/core/methodology.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace uflip {
+
+// ---------------------------------------------------------------------
+// State enforcement
+// ---------------------------------------------------------------------
+
+StatusOr<StateEnforcementReport> EnforceRandomState(
+    BlockDevice* device, const StateEnforcementOptions& options) {
+  if (options.min_io_bytes < 512 || options.max_io_bytes < options.min_io_bytes) {
+    return Status::InvalidArgument("bad IO size range");
+  }
+  StateEnforcementReport report;
+  Rng rng(options.seed);
+  const uint64_t capacity = device->capacity_bytes();
+  const uint64_t goal =
+      static_cast<uint64_t>(options.coverage * static_cast<double>(capacity));
+  uint64_t start = device->clock()->NowUs();
+  while (report.bytes_written < goal) {
+    // Random size in [min, max], 512B granularity; random 512B-aligned
+    // location.
+    uint64_t sectors =
+        rng.UniformRange(options.min_io_bytes / 512, options.max_io_bytes / 512);
+    uint32_t size = static_cast<uint32_t>(sectors * 512);
+    uint64_t max_off = capacity - size;
+    uint64_t offset = rng.UniformU64(max_off / 512 + 1) * 512;
+    IoRequest req{offset, size, IoMode::kWrite};
+    StatusOr<double> rt = device->Submit(req);
+    if (!rt.ok()) return rt.status();
+    ++report.ios;
+    report.bytes_written += size;
+  }
+  report.duration_us =
+      static_cast<double>(device->clock()->NowUs() - start);
+  return report;
+}
+
+StatusOr<StateEnforcementReport> EnforceSequentialState(BlockDevice* device,
+                                                        uint32_t io_bytes) {
+  if (io_bytes == 0 || io_bytes % 512 != 0) {
+    return Status::InvalidArgument("io_bytes must be a 512B multiple");
+  }
+  StateEnforcementReport report;
+  const uint64_t capacity = device->capacity_bytes();
+  uint64_t start = device->clock()->NowUs();
+  for (uint64_t off = 0; off + io_bytes <= capacity; off += io_bytes) {
+    IoRequest req{off, io_bytes, IoMode::kWrite};
+    StatusOr<double> rt = device->Submit(req);
+    if (!rt.ok()) return rt.status();
+    ++report.ios;
+    report.bytes_written += io_bytes;
+  }
+  report.duration_us =
+      static_cast<double>(device->clock()->NowUs() - start);
+  return report;
+}
+
+// ---------------------------------------------------------------------
+// Phase analysis
+// ---------------------------------------------------------------------
+
+PhaseAnalysis AnalyzePhases(const std::vector<double>& rt_us) {
+  PhaseAnalysis out;
+  const size_t n = rt_us.size();
+  if (n < 16) {
+    if (n > 0) {
+      double s = 0;
+      for (double x : rt_us) s += x;
+      out.running_mean_us = s / static_cast<double>(n);
+    }
+    return out;
+  }
+
+  // Reference level: mean of the last half of the trace (assumed to be
+  // fully inside the running phase).
+  double tail_sum = 0;
+  for (size_t i = n / 2; i < n; ++i) tail_sum += rt_us[i];
+  double tail_mean = tail_sum / static_cast<double>(n - n / 2);
+
+  // Start-up phase: the longest prefix whose sliding-window mean stays
+  // clearly below the running level.
+  const size_t w = std::max<size_t>(4, n / 64);
+  size_t startup = 0;
+  double acc = 0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += rt_us[i];
+    if (i + 1 >= w) {
+      double window_mean = acc / static_cast<double>(w);
+      if (window_mean >= 0.6 * tail_mean) {
+        startup = i + 1 >= w ? i + 1 - w : 0;
+        break;
+      }
+      acc -= rt_us[i + 1 - w];
+    }
+    if (i + 1 == n) startup = 0;  // never reached running level: no model
+  }
+  // A "start-up" shorter than the window is noise.
+  if (startup < w) startup = 0;
+  out.startup_ios = static_cast<uint32_t>(startup);
+  if (startup > 0) {
+    double s = 0;
+    for (size_t i = 0; i < startup; ++i) s += rt_us[i];
+    out.startup_mean_us = s / static_cast<double>(startup);
+  }
+
+  // Running phase statistics.
+  double run_sum = 0, run_min = rt_us[startup], run_max = rt_us[startup];
+  for (size_t i = startup; i < n; ++i) {
+    run_sum += rt_us[i];
+    run_min = std::min(run_min, rt_us[i]);
+    run_max = std::max(run_max, rt_us[i]);
+  }
+  size_t run_n = n - startup;
+  out.running_mean_us = run_sum / static_cast<double>(run_n);
+  out.variability = run_min > 0 ? run_max / run_min : 1.0;
+
+  // Oscillation period via autocorrelation of the running phase.
+  if (run_n >= 32 && out.variability > 1.05) {
+    std::vector<double> x(rt_us.begin() + startup, rt_us.end());
+    double mean = out.running_mean_us;
+    double denom = 0;
+    for (double v : x) denom += (v - mean) * (v - mean);
+    if (denom > 0) {
+      size_t max_lag = std::min<size_t>(run_n / 3, 4096);
+      double best = 0.2;  // minimum correlation to call it periodic
+      size_t best_lag = 0;
+      double prev = 1.0;
+      bool dipped = false;
+      for (size_t lag = 1; lag <= max_lag; ++lag) {
+        double num = 0;
+        for (size_t i = 0; i + lag < x.size(); ++i) {
+          num += (x[i] - mean) * (x[i + lag] - mean);
+        }
+        double r = num / denom;
+        // Look for the first strong peak after the autocorrelation has
+        // dipped (skips the trivial lag-0 shoulder).
+        if (!dipped && r < prev && r < 0.5) dipped = true;
+        if (dipped && r > best) {
+          best = r;
+          best_lag = lag;
+          break;
+        }
+        prev = r;
+      }
+      out.period_ios = static_cast<uint32_t>(best_lag);
+    }
+  }
+  return out;
+}
+
+RunLengths SuggestRunLengths(const PhaseAnalysis& phases, uint32_t periods,
+                             uint32_t min_count) {
+  RunLengths out;
+  out.io_ignore = phases.startup_ios;
+  uint32_t per = std::max<uint32_t>(phases.period_ios, 1);
+  out.io_count =
+      std::max(min_count, out.io_ignore + per * periods);
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Pause calibration
+// ---------------------------------------------------------------------
+
+StatusOr<PauseCalibration> CalibratePause(
+    BlockDevice* device, const PauseCalibrationOptions& options) {
+  PauseCalibration out;
+  auto run_batch = [&](const PatternSpec& spec) -> Status {
+    StatusOr<RunResult> r = ExecuteRun(device, spec);
+    if (!r.ok()) return r.status();
+    for (const IoSample& s : r->samples) out.trace_rt_us.push_back(s.rt_us);
+    return Status::Ok();
+  };
+
+  PatternSpec sr = PatternSpec::SequentialRead(
+      options.io_size, options.target_offset, options.target_size);
+  sr.io_count = options.sr_ios;
+  sr.seed = options.seed;
+  PatternSpec rw = PatternSpec::RandomWrite(
+      options.io_size, options.target_offset, options.target_size);
+  rw.io_count = options.rw_ios;
+  rw.seed = options.seed + 1;
+
+  UFLIP_RETURN_IF_ERROR(run_batch(sr));
+  out.sr1_count = options.sr_ios;
+  UFLIP_RETURN_IF_ERROR(run_batch(rw));
+  out.rw_count = options.rw_ios;
+  // Second SR batch, measured from a fresh generator (same pattern).
+  uint64_t sr2_clock_start = device->clock()->NowUs();
+  UFLIP_RETURN_IF_ERROR(run_batch(sr));
+  (void)sr2_clock_start;
+
+  // Baseline read latency: median of the first SR batch.
+  std::vector<double> base(out.trace_rt_us.begin(),
+                           out.trace_rt_us.begin() + out.sr1_count);
+  std::nth_element(base.begin(), base.begin() + base.size() / 2, base.end());
+  double med = base[base.size() / 2];
+  double threshold = 1.5 * med;
+
+  // Count affected reads in the second SR batch: last index above the
+  // threshold (the paper counts "the number of sequential reads ...
+  // which are affected").
+  size_t sr2_begin = out.sr1_count + out.rw_count;
+  size_t last_slow = 0;
+  bool any = false;
+  double lingering_us = 0;
+  for (size_t i = sr2_begin; i < out.trace_rt_us.size(); ++i) {
+    if (out.trace_rt_us[i] > threshold) {
+      last_slow = i - sr2_begin + 1;
+      any = true;
+    }
+  }
+  if (any) {
+    out.affected_reads = static_cast<uint32_t>(last_slow);
+    for (size_t i = sr2_begin; i < sr2_begin + last_slow; ++i) {
+      lingering_us += out.trace_rt_us[i];
+    }
+  }
+  out.lingering_us = lingering_us;
+  // "We propose to significantly overestimate the length of the pause":
+  // 2x the lingering effect, and at least 1 second (the conservative
+  // floor used in Section 5.1).
+  out.recommended_pause_us = std::max<uint64_t>(
+      static_cast<uint64_t>(2.0 * lingering_us), 1000000ULL);
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Target allocation & benchmark plan
+// ---------------------------------------------------------------------
+
+StatusOr<uint64_t> TargetSpaceAllocator::Allocate(uint64_t size,
+                                                  uint64_t align) {
+  uint64_t off = (next_ + align - 1) / align * align;
+  if (off + size > capacity_) {
+    return Status::NotFound("target space exhausted");
+  }
+  next_ = off + size;
+  return off;
+}
+
+BenchmarkPlan::BenchmarkPlan(uint64_t device_capacity,
+                             uint64_t inter_run_pause_us)
+    : capacity_(device_capacity), pause_us_(inter_run_pause_us) {}
+
+void BenchmarkPlan::AddRun(const PatternSpec& spec) { runs_.push_back(spec); }
+
+bool BenchmarkPlan::DisturbsState(const PatternSpec& spec) {
+  // Only (large) sequential writes disturb the random state
+  // significantly (Section 4.1); partitioned/ordered writes are
+  // sequential-write variants.
+  return spec.mode == IoMode::kWrite && spec.lba != LbaFunction::kRandom;
+}
+
+StatusOr<std::vector<PlanStep>> BenchmarkPlan::Build() {
+  std::vector<PlanStep> steps;
+  state_resets_ = 0;
+
+  PlanStep enforce;
+  enforce.kind = PlanStep::Kind::kEnforceState;
+  steps.push_back(enforce);
+
+  // Non-disturbing runs first, then the grouped sequential-write runs
+  // with disjoint target spaces.
+  std::vector<PatternSpec> benign, disturbing;
+  for (const auto& r : runs_) {
+    (DisturbsState(r) ? disturbing : benign).push_back(r);
+  }
+  auto push_run = [&steps, this](const PatternSpec& spec) {
+    if (!steps.empty() && steps.back().kind == PlanStep::Kind::kRun) {
+      PlanStep pause;
+      pause.kind = PlanStep::Kind::kPause;
+      pause.pause_us = pause_us_;
+      steps.push_back(pause);
+    }
+    PlanStep run;
+    run.kind = PlanStep::Kind::kRun;
+    run.spec = spec;
+    steps.push_back(run);
+  };
+  for (const auto& r : benign) push_run(r);
+
+  TargetSpaceAllocator alloc(capacity_);
+  for (auto r : disturbing) {
+    uint64_t need = r.target_size + r.io_shift;
+    StatusOr<uint64_t> off = alloc.Allocate(need);
+    if (!off.ok()) {
+      // Device exhausted: reset state, rewind the allocator.
+      PlanStep reset;
+      reset.kind = PlanStep::Kind::kEnforceState;
+      steps.push_back(reset);
+      ++state_resets_;
+      alloc.Rewind();
+      off = alloc.Allocate(need);
+      if (!off.ok()) {
+        return Status::InvalidArgument(
+            "target space larger than the device: " + r.ToString());
+      }
+    }
+    r.target_offset = *off;
+    push_run(r);
+  }
+  return steps;
+}
+
+}  // namespace uflip

@@ -1,0 +1,190 @@
+// Benchmarking methodology (Section 4):
+//  * Device state enforcement (4.1): a well-defined initial state is
+//    obtained by writing the whole device with random IOs of random size
+//    (0.5KB up to the flash block size). A sequential enforcement is
+//    also provided for the comparison experiment of Section 5.1.
+//  * Start-up and running phases (4.2): a two-phase model of response
+//    time; PhaseDetector derives start-up length, oscillation period and
+//    variability from a long baseline run, from which IOIgnore and
+//    IOCount are chosen.
+//  * No interference (4.3): PauseCalibrator measures the lingering
+//    effect of random writes on subsequent reads (SR ; RW ; SR) and
+//    recommends an inter-run pause; TargetSpaceAllocator hands
+//    sequential-write experiments disjoint target spaces so that state
+//    resets are only needed when the device is exhausted; BenchmarkPlan
+//    sequences experiments accordingly.
+#ifndef UFLIP_CORE_METHODOLOGY_H_
+#define UFLIP_CORE_METHODOLOGY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/device/block_device.h"
+#include "src/pattern/pattern.h"
+#include "src/run/runner.h"
+#include "src/util/random.h"
+#include "src/util/status.h"
+
+namespace uflip {
+
+// ---------------------------------------------------------------------
+// Device state enforcement (Section 4.1)
+// ---------------------------------------------------------------------
+
+struct StateEnforcementOptions {
+  /// Minimum / maximum random IO size (paper: 0.5KB to the flash block
+  /// size, 128KB).
+  uint32_t min_io_bytes = 512;
+  uint32_t max_io_bytes = 128 * 1024;
+  /// Stop after writing coverage * capacity bytes (1.0 = full device,
+  /// as the methodology prescribes).
+  double coverage = 1.0;
+  uint64_t seed = 0xF1A5;
+};
+
+struct StateEnforcementReport {
+  uint64_t ios = 0;
+  uint64_t bytes_written = 0;
+  /// Virtual (simulated) or wall time the enforcement took.
+  double duration_us = 0;
+};
+
+/// Random-state enforcement: random writes of random size over the whole
+/// device.
+StatusOr<StateEnforcementReport> EnforceRandomState(
+    BlockDevice* device, const StateEnforcementOptions& options = {});
+
+/// Sequential-state enforcement: one sequential rewrite of the device
+/// with fixed-size IOs (faster but less stable, Section 4.1).
+StatusOr<StateEnforcementReport> EnforceSequentialState(
+    BlockDevice* device, uint32_t io_bytes = 128 * 1024);
+
+// ---------------------------------------------------------------------
+// Start-up and running phases (Section 4.2)
+// ---------------------------------------------------------------------
+
+struct PhaseAnalysis {
+  /// IOs in the start-up phase (0 = none).
+  uint32_t startup_ios = 0;
+  /// Oscillation period of the running phase in IOs (0 = flat).
+  uint32_t period_ios = 0;
+  /// Mean response time of the running phase (us).
+  double running_mean_us = 0;
+  /// Mean response time of the start-up phase (us, 0 when absent).
+  double startup_mean_us = 0;
+  /// max/min ratio within the running phase (variability).
+  double variability = 1.0;
+};
+
+/// Derives the two-phase model from a trace of per-IO response times.
+PhaseAnalysis AnalyzePhases(const std::vector<double>& rt_us);
+
+/// Suggested IOIgnore / IOCount from a phase analysis: IOIgnore covers
+/// the start-up phase; IOCount covers `periods` oscillation periods past
+/// it (with sane minimums).
+struct RunLengths {
+  uint32_t io_ignore = 0;
+  uint32_t io_count = 0;
+};
+RunLengths SuggestRunLengths(const PhaseAnalysis& phases,
+                             uint32_t periods = 16,
+                             uint32_t min_count = 512);
+
+// ---------------------------------------------------------------------
+// Inter-run pause (Section 4.3, Figure 5)
+// ---------------------------------------------------------------------
+
+struct PauseCalibration {
+  /// Sequential reads affected by the preceding random writes.
+  uint32_t affected_reads = 0;
+  /// Duration of the lingering effect (us).
+  double lingering_us = 0;
+  /// Recommended (overestimated) pause between runs (us).
+  uint64_t recommended_pause_us = 0;
+  /// The three-batch trace (SR ; RW ; SR), for Figure 5.
+  std::vector<double> trace_rt_us;
+  uint32_t sr1_count = 0;
+  uint32_t rw_count = 0;
+};
+
+struct PauseCalibrationOptions {
+  uint32_t io_size = 32 * 1024;
+  uint32_t sr_ios = 3000;
+  uint32_t rw_ios = 2000;
+  uint64_t target_offset = 0;
+  uint64_t target_size = 64ULL << 20;
+  uint64_t seed = 99;
+};
+
+/// Runs SR ; RW ; SR and measures how long the random writes keep
+/// affecting the reads.
+StatusOr<PauseCalibration> CalibratePause(
+    BlockDevice* device, const PauseCalibrationOptions& options = {});
+
+// ---------------------------------------------------------------------
+// Benchmark plans (Sections 4.2-4.3)
+// ---------------------------------------------------------------------
+
+/// Hands out disjoint, IOSize-aligned target spaces; sequential-write
+/// experiments must not overlap previously written targets (random
+/// state is only disturbed by sequential writes).
+class TargetSpaceAllocator {
+ public:
+  TargetSpaceAllocator(uint64_t capacity_bytes, uint64_t start_offset = 0)
+      : capacity_(capacity_bytes), next_(start_offset) {}
+
+  /// Allocates `size` bytes aligned to `align`; NotFound when the device
+  /// is exhausted (caller must reset state and Rewind()).
+  StatusOr<uint64_t> Allocate(uint64_t size, uint64_t align = 1 << 20);
+
+  void Rewind(uint64_t start_offset = 0) { next_ = start_offset; }
+  uint64_t remaining() const { return capacity_ > next_ ? capacity_ - next_ : 0; }
+
+ private:
+  uint64_t capacity_;
+  uint64_t next_;
+};
+
+/// One step of a benchmark plan.
+struct PlanStep {
+  enum class Kind { kEnforceState, kPause, kRun };
+  Kind kind = Kind::kRun;
+  PatternSpec spec;     // kRun
+  uint64_t pause_us = 0;  // kPause
+};
+
+/// Builds an execution plan for a set of runs: sequential-write runs are
+/// delayed and grouped so their target spaces do not overlap; a state
+/// reset is inserted (only) when the accumulated sequential-write target
+/// space exceeds the device; the calibrated pause separates consecutive
+/// runs.
+class BenchmarkPlan {
+ public:
+  BenchmarkPlan(uint64_t device_capacity, uint64_t inter_run_pause_us);
+
+  /// Queues a run.
+  void AddRun(const PatternSpec& spec);
+
+  /// Produces the ordered steps (including the initial state
+  /// enforcement). Sequential-write runs receive adjusted
+  /// target_offsets.
+  StatusOr<std::vector<PlanStep>> Build();
+
+  /// Number of state resets the plan needs (0 for big-enough devices,
+  /// matching the paper's "for large flash devices the state is in fact
+  /// never reset").
+  uint32_t state_resets() const { return state_resets_; }
+
+ private:
+  static bool DisturbsState(const PatternSpec& spec);
+
+  uint64_t capacity_;
+  uint64_t pause_us_;
+  std::vector<PatternSpec> runs_;
+  uint32_t state_resets_ = 0;
+};
+
+}  // namespace uflip
+
+#endif  // UFLIP_CORE_METHODOLOGY_H_

@@ -1,0 +1,104 @@
+// The nine uFLIP micro-benchmarks (Section 3.2 / Table 1). Each
+// micro-benchmark is a collection of experiments over the four baseline
+// patterns (SR, RR, SW, RW) with a single varying parameter:
+//   1. Granularity  (IOSize)        2. Alignment   (IOShift)
+//   3. Locality     (TargetSize)    4. Partitioning(Partitions)
+//   5. Order        (Incr)          6. Parallelism (ParallelDegree)
+//   7. Mix          (Ratio)         8. Pause       (Pause)
+//   9. Bursts       (Burst)
+#ifndef UFLIP_CORE_MICROBENCH_H_
+#define UFLIP_CORE_MICROBENCH_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/device/block_device.h"
+#include "src/pattern/pattern.h"
+#include "src/run/runner.h"
+#include "src/util/status.h"
+
+namespace uflip {
+
+/// One measured point of an experiment: the varying parameter's value
+/// and the run executed at it.
+struct ExperimentPoint {
+  double param = 0;
+  std::string param_label;
+  RunResult run;
+};
+
+/// A collection of runs of the same reference pattern with one varying
+/// parameter (Section 3.2, design principle 1).
+struct Experiment {
+  std::string name;        // e.g. "Granularity/SW"
+  std::string param_name;  // e.g. "IOSize"
+  std::vector<ExperimentPoint> points;
+
+  /// mean response time (us) per point, running phase only.
+  std::vector<double> MeanSeries() const;
+  std::vector<double> ParamSeries() const;
+};
+
+/// Shared settings for building micro-benchmark experiments on a device.
+struct MicroBenchConfig {
+  /// Reference IO size (paper: 32KB after the Granularity results).
+  uint32_t io_size = 32 * 1024;
+  /// Per-run length and warm-up (Section 4.2; scaled internally where a
+  /// micro-benchmark requires it).
+  uint32_t io_count = 512;
+  uint32_t io_ignore = 0;
+  /// Target space used by read/random-write experiments.
+  uint64_t target_offset = 0;
+  uint64_t target_size = 64ULL << 20;
+  uint64_t seed = 1;
+  /// Which baselines to include (subset of {"SR","RR","SW","RW"}).
+  std::vector<std::string> baselines = {"SR", "RR", "SW", "RW"};
+};
+
+/// The micro-benchmark identifiers, in the paper's order.
+enum class MicroBench {
+  kGranularity,
+  kAlignment,
+  kLocality,
+  kPartitioning,
+  kOrder,
+  kParallelism,
+  kMix,
+  kPause,
+  kBursts,
+};
+
+const char* MicroBenchName(MicroBench mb);
+
+/// All nine, in order.
+std::vector<MicroBench> AllMicroBenches();
+
+/// Default parameter sweep for a micro-benchmark (Table 1 ranges).
+/// Values are in the parameter's natural unit (bytes for IOSize/IOShift/
+/// TargetSize, count for Partitions/ParallelDegree/Ratio/Burst, plain
+/// coefficient for Incr, microseconds for Pause).
+std::vector<int64_t> DefaultSweep(MicroBench mb, const MicroBenchConfig& cfg);
+
+/// Builds and executes one micro-benchmark on a device: for each
+/// baseline pattern it applies, one experiment sweeping the parameter.
+/// Progress callback (may be null) is invoked before each run.
+using ProgressFn =
+    std::function<void(const std::string& experiment, double param)>;
+
+StatusOr<std::vector<Experiment>> RunMicroBench(
+    BlockDevice* device, MicroBench mb, const MicroBenchConfig& cfg,
+    ProgressFn progress = nullptr);
+
+/// Lower-level helper: executes a prepared list of (param, spec) points
+/// as one experiment.
+StatusOr<Experiment> RunSweep(
+    BlockDevice* device, const std::string& name,
+    const std::string& param_name,
+    const std::vector<std::pair<double, PatternSpec>>& points,
+    ProgressFn progress = nullptr);
+
+}  // namespace uflip
+
+#endif  // UFLIP_CORE_MICROBENCH_H_

@@ -1,0 +1,83 @@
+// Key-characteristics extraction (Table 3 of the paper): for one device,
+// derive the succinct performance indicators the paper argues capture a
+// flash device -- baseline costs at 32KB, the effect of pauses on random
+// writes, the random-write locality area, the sequential-write partition
+// limit, and the cost of reverse / in-place / large-increment ordered
+// patterns.
+#ifndef UFLIP_CORE_TABLE3_H_
+#define UFLIP_CORE_TABLE3_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/microbench.h"
+#include "src/device/block_device.h"
+#include "src/util/status.h"
+
+namespace uflip {
+
+struct Table3Config {
+  uint32_t io_size = 32 * 1024;
+  uint32_t io_count = 384;
+  /// Start-up IOs excluded from statistics (Section 4.2); covers the
+  /// free-pool restoration of async-GC devices after the inter-run
+  /// pause.
+  uint32_t io_ignore = 96;
+  /// Pause between component runs (Section 4.3).
+  uint64_t inter_run_pause_us = 2000000;
+  /// Target space for the whole-device-style random patterns
+  /// (0 = the full device, as for the paper's baselines).
+  uint64_t target_offset = 0;
+  uint64_t target_size = 0;
+  /// Locality sweep upper bound.
+  uint64_t max_locality_target = 64ULL << 20;
+  /// Pause used when probing the Pause effect (per-IO, us); the paper
+  /// observes that a pause equal to the average RW cost suffices.
+  uint64_t probe_pause_us = 0;  // 0 = auto (measured RW mean)
+  /// "No significant degradation" factor for the partition limit.
+  double partition_tolerance = 2.5;
+  /// Locality area: largest TargetSize where RW <= locality_tolerance x
+  /// the in-area cost floor.
+  double locality_tolerance = 2.5;
+  uint64_t seed = 7;
+};
+
+/// One row of Table 3.
+struct Table3Row {
+  std::string device;
+  double sr_ms = 0, rr_ms = 0, sw_ms = 0, rw_ms = 0;
+  /// RW cost with a sufficient pause inserted; <0 when pauses have no
+  /// effect (printed as blank, as in the paper).
+  double rw_pause_ms = -1;
+  /// Largest area (MB) where random writes stay cheap; 0 = no benefit
+  /// ("No" in the paper). factor = cost within the area relative to SW.
+  double locality_mb = 0;
+  double locality_factor = 0;
+  /// Concurrent sequential-write partitions without significant
+  /// degradation, and their cost relative to single-partition SW.
+  uint32_t partitions = 0;
+  double partition_factor = 0;
+  /// Ordered-pattern costs relative to SW (reverse, in-place) and to RW
+  /// (large increments).
+  double reverse_factor = 0;
+  double inplace_factor = 0;
+  double large_incr_factor = 0;
+
+  /// Formats a factor the way the paper does: "=" when within 25% of
+  /// 1.0, else "xN".
+  static std::string FormatFactor(double f);
+};
+
+/// Runs the component experiments and extracts the row. The device must
+/// already be in a well-defined (random) state. Progress may be null.
+StatusOr<Table3Row> ExtractTable3Row(BlockDevice* device,
+                                     const Table3Config& config,
+                                     ProgressFn progress = nullptr);
+
+/// Renders rows as the paper's result-summary table (fixed-width text).
+std::string RenderTable3(const std::vector<Table3Row>& rows);
+
+}  // namespace uflip
+
+#endif  // UFLIP_CORE_TABLE3_H_

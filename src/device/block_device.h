@@ -1,0 +1,66 @@
+// The block-device abstraction the uFLIP benchmark measures. Devices are
+// black boxes (Section 2.3): the benchmark submits IOs -- each defined by
+// its submission time, size, logical block address and mode -- and
+// records per-IO response times.
+#ifndef UFLIP_DEVICE_BLOCK_DEVICE_H_
+#define UFLIP_DEVICE_BLOCK_DEVICE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/clock.h"
+#include "src/util/status.h"
+
+namespace uflip {
+
+/// IO mode (Section 3.1, attribute 4).
+enum class IoMode { kRead, kWrite };
+
+inline const char* IoModeName(IoMode m) {
+  return m == IoMode::kRead ? "read" : "write";
+}
+
+/// One IO of a pattern: byte offset (LBA * sector size), size and mode.
+struct IoRequest {
+  uint64_t offset = 0;
+  uint32_t size = 0;
+  IoMode mode = IoMode::kRead;
+};
+
+/// Synchronous block device. A device owns (or references) a Clock:
+/// simulated devices advance a VirtualClock, real devices measure a
+/// RealClock. Response times are returned in microseconds.
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  /// Host-visible capacity in bytes.
+  virtual uint64_t capacity_bytes() const = 0;
+
+  /// Submits one IO at time `t_us` (device clock domain) and returns its
+  /// response time in microseconds. The device serializes overlapping
+  /// submissions: an IO submitted while the device is busy waits.
+  virtual StatusOr<double> SubmitAt(uint64_t t_us, const IoRequest& req) = 0;
+
+  /// Submits at the clock's current time and advances the clock past the
+  /// IO's completion. This is the "consecutive" submission mode of the
+  /// baseline patterns.
+  StatusOr<double> Submit(const IoRequest& req) {
+    uint64_t t = clock()->NowUs();
+    StatusOr<double> rt = SubmitAt(t, req);
+    if (rt.ok()) {
+      clock()->SleepUs(static_cast<uint64_t>(*rt));
+    }
+    return rt;
+  }
+
+  /// The clock this device lives on.
+  virtual Clock* clock() = 0;
+
+  /// Human-readable device name for reports.
+  virtual std::string name() const = 0;
+};
+
+}  // namespace uflip
+
+#endif  // UFLIP_DEVICE_BLOCK_DEVICE_H_

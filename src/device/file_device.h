@@ -1,0 +1,59 @@
+// Real-hardware measurement path: direct, synchronous IO against a file
+// or raw block device, exactly as the paper's methodology prescribes
+// (Section 4.3: direct IO to bypass the file system, synchronous IO to
+// avoid OS parallelism). Usable unmodified against /dev/sdX to benchmark
+// a physical flash device.
+#ifndef UFLIP_DEVICE_FILE_DEVICE_H_
+#define UFLIP_DEVICE_FILE_DEVICE_H_
+
+#include <memory>
+#include <string>
+
+#include "src/device/block_device.h"
+#include "src/util/aligned_buffer.h"
+#include "src/util/clock.h"
+#include "src/util/status.h"
+
+namespace uflip {
+
+struct FileDeviceOptions {
+  /// Try O_DIRECT first; fall back to O_SYNC when the filesystem refuses
+  /// (e.g. tmpfs).
+  bool try_direct = true;
+  /// Create / extend a regular file to this size when it does not exist
+  /// (ignored for block devices).
+  uint64_t create_size_bytes = 0;
+};
+
+/// BlockDevice backed by a file descriptor; response times are wall
+/// clock (CLOCK_MONOTONIC).
+class FileDevice : public BlockDevice {
+ public:
+  ~FileDevice() override;
+
+  /// Opens `path` (regular file or block device).
+  static StatusOr<std::unique_ptr<FileDevice>> Open(
+      const std::string& path, const FileDeviceOptions& options);
+
+  uint64_t capacity_bytes() const override { return capacity_; }
+  StatusOr<double> SubmitAt(uint64_t t_us, const IoRequest& req) override;
+  Clock* clock() override { return &clock_; }
+  std::string name() const override { return "file:" + path_; }
+
+  bool using_direct_io() const { return direct_; }
+
+ private:
+  FileDevice(std::string path, int fd, uint64_t capacity, bool direct);
+
+  std::string path_;
+  int fd_;
+  uint64_t capacity_;
+  bool direct_;
+  RealClock clock_;
+  AlignedBuffer buffer_;
+  uint64_t fill_counter_ = 0;
+};
+
+}  // namespace uflip
+
+#endif  // UFLIP_DEVICE_FILE_DEVICE_H_

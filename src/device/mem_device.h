@@ -1,0 +1,66 @@
+// Trivial in-memory device with an analytic cost model; used by runner /
+// methodology unit tests where FTL dynamics would only add noise, and as
+// the "ideal device" baseline in ablation benches.
+#ifndef UFLIP_DEVICE_MEM_DEVICE_H_
+#define UFLIP_DEVICE_MEM_DEVICE_H_
+
+#include <memory>
+#include <string>
+
+#include "src/device/block_device.h"
+#include "src/util/clock.h"
+#include "src/util/random.h"
+#include "src/util/status.h"
+
+namespace uflip {
+
+struct MemDeviceConfig {
+  uint64_t capacity_bytes = 64ULL << 20;
+  double read_base_us = 100.0;
+  double write_base_us = 150.0;
+  /// Per-byte transfer cost (us/byte).
+  double read_per_byte_us = 0.005;
+  double write_per_byte_us = 0.008;
+  /// Uniform jitter amplitude added to every IO (0 = deterministic).
+  double jitter_us = 0.0;
+  uint64_t seed = 42;
+};
+
+class MemDevice : public BlockDevice {
+ public:
+  explicit MemDevice(const MemDeviceConfig& config,
+                     std::shared_ptr<VirtualClock> clock)
+      : config_(config), clock_(std::move(clock)), rng_(config.seed) {}
+
+  uint64_t capacity_bytes() const override { return config_.capacity_bytes; }
+
+  StatusOr<double> SubmitAt(uint64_t t_us, const IoRequest& req) override {
+    if (req.size == 0) return Status::InvalidArgument("zero-sized IO");
+    if (req.offset + req.size > config_.capacity_bytes) {
+      return Status::OutOfRange("IO beyond device capacity");
+    }
+    double service =
+        req.mode == IoMode::kRead
+            ? config_.read_base_us + config_.read_per_byte_us * req.size
+            : config_.write_base_us + config_.write_per_byte_us * req.size;
+    if (config_.jitter_us > 0) {
+      service += rng_.UniformDouble() * config_.jitter_us;
+    }
+    uint64_t start = std::max(t_us, busy_until_us_);
+    busy_until_us_ = start + static_cast<uint64_t>(service);
+    return static_cast<double>(busy_until_us_ - t_us);
+  }
+
+  Clock* clock() override { return clock_.get(); }
+  std::string name() const override { return "mem"; }
+
+ private:
+  MemDeviceConfig config_;
+  std::shared_ptr<VirtualClock> clock_;
+  Rng rng_;
+  uint64_t busy_until_us_ = 0;
+};
+
+}  // namespace uflip
+
+#endif  // UFLIP_DEVICE_MEM_DEVICE_H_

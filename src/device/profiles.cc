@@ -1,0 +1,407 @@
+#include "src/device/profiles.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+#include "src/util/units.h"
+
+namespace uflip {
+
+const char* FtlKindName(FtlKind k) {
+  switch (k) {
+    case FtlKind::kPageMapping:
+      return "page-mapping";
+    case FtlKind::kBast:
+      return "block+log (BAST)";
+    case FtlKind::kFast:
+      return "shared-log (FAST)";
+  }
+  return "?";
+}
+
+Status DeviceProfile::Validate() const {
+  if (id.empty()) return Status::InvalidArgument("profile id empty");
+  if (sim_capacity_bytes == 0) {
+    return Status::InvalidArgument("sim_capacity_bytes == 0");
+  }
+  if (channels == 0) return Status::InvalidArgument("channels == 0");
+  UFLIP_RETURN_IF_ERROR(controller.Validate());
+  return Status::Ok();
+}
+
+namespace {
+
+// ---------------------------------------------------------------------
+// High-end SLC SSDs (Memoright, GSKILL, Mtron). uFLIP-era high-end SSDs
+// used hybrid block-mapped FTLs with large superblock erase units and a
+// RAM write-back buffer:
+//  * SW switch-merges regardless of device state -> SW ~ SR;
+//  * RW thrashes the log pool -> one full merge per IO;
+//  * the locality area equals log_pool x superblock size;
+//  * the RAM buffer destaged in the background produces the start-up
+//    phase (Figure 3), Pause absorption, and the lingering reads of
+//    Figure 5.
+// Internal channel parallelism is folded into the effective per-page
+// timings (channels = 1 with fast pages), so superblock-wide merges and
+// programs are costed as the striped controller would execute them.
+// ---------------------------------------------------------------------
+DeviceProfile HighEndSsd(std::string id, std::string brand, std::string model,
+                         uint64_t adv_gb, double price) {
+  DeviceProfile p;
+  p.id = std::move(id);
+  p.brand = std::move(brand);
+  p.model = std::move(model);
+  p.type = "SSD";
+  p.advertised_capacity_bytes = adv_gb * kGiB;
+  p.price_usd = price;
+  p.sim_capacity_bytes = 512 * kMiB;
+  p.cell = CellType::kSlc;
+  p.page_bytes = 4096;
+  p.pages_per_block = 128;  // 512KB superblock erase unit
+  p.channels = 1;           // parallelism folded into page timings
+  p.read_page_us_override = 8.0;
+  p.program_page_us_override = 6.0;
+  p.erase_block_us_override = 700.0;
+  p.page_transfer_us_override = 3.0;
+  p.controller.read_overhead_us = 70.0;
+  p.controller.write_overhead_us = 70.0;
+  p.controller.bus_read_mb_s = 250.0;
+  p.controller.bus_write_mb_s = 230.0;
+  p.controller.random_read_penalty_us = 100.0;
+  p.controller.gc_slice_us = 700.0;
+  p.ftl = FtlKind::kBast;
+  p.bast.log_blocks = 16;  // 16 x 512KB = 8MB locality area
+  p.bast.strict_sequential_log = false;
+  p.bast.merge_overhead_us = 3200.0;
+  p.bast.switch_overhead_us = 60.0;
+  p.write_cache = true;
+  p.cache.capacity_pages = 1024;  // 4MB RAM buffer -> ~128-IO start-up
+  p.cache.max_coalesce = 8;
+  p.cache.background_flush = true;  // async destaging (pause absorption)
+  return p;
+}
+
+// ---------------------------------------------------------------------
+// Samsung MCBQE32G5MPP: hybrid block mapping at 16KB page granularity
+// (the 16KB alignment sensitivity of Section 5.2), coalescing write
+// cache WITHOUT background destaging (no pause effect, no start-up), a
+// 16MB log pool.
+// ---------------------------------------------------------------------
+DeviceProfile SamsungSsd() {
+  DeviceProfile p;
+  p.id = "samsung";
+  p.brand = "Samsung";
+  p.model = "MCBQE32G5MPP";
+  p.type = "SSD";
+  p.advertised_capacity_bytes = 32 * kGiB;
+  p.price_usd = 517;
+  p.representative = true;
+  p.sim_capacity_bytes = 512 * kMiB;
+  p.cell = CellType::kMlc;
+  p.page_bytes = 16384;     // 16KB flash pages / mapping granularity
+  p.pages_per_block = 64;   // 1MB superblock
+  p.channels = 1;
+  p.read_page_us_override = 80.0;
+  p.program_page_us_override = 60.0;
+  p.erase_block_us_override = 1400.0;
+  p.page_transfer_us_override = 20.0;
+  p.controller.read_overhead_us = 120.0;
+  p.controller.write_overhead_us = 140.0;
+  p.controller.bus_read_mb_s = 180.0;
+  p.controller.bus_write_mb_s = 150.0;
+  p.controller.random_read_penalty_us = 60.0;
+  p.controller.gc_slice_us = 0.0;  // no background machinery
+  p.ftl = FtlKind::kBast;
+  p.bast.log_blocks = 16;  // 16 x 1MB = 16MB locality area
+  p.bast.merge_overhead_us = 6000.0;
+  p.bast.switch_overhead_us = 120.0;
+  p.write_cache = true;
+  p.cache.capacity_pages = 192;  // 3MB RAM buffer
+  p.cache.max_coalesce = 2;      // in-place x0.6
+  p.cache.background_flush = false;
+  return p;
+}
+
+// ---------------------------------------------------------------------
+// FAST-FTL devices (Transcend SSDs / IDE module, Corsair, Kingston
+// DTHX): shared sequential log region; locality area = region size;
+// partition degradation emerges from interleaved streams defeating
+// switch merges.
+// ---------------------------------------------------------------------
+DeviceProfile FastDevice(std::string id, std::string brand,
+                         std::string model, std::string type,
+                         uint64_t adv_gb, double price, uint32_t region,
+                         double bus_r, double bus_w,
+                         double merge_overhead_ms, CellType cell) {
+  DeviceProfile p;
+  p.id = std::move(id);
+  p.brand = std::move(brand);
+  p.model = std::move(model);
+  p.type = std::move(type);
+  p.advertised_capacity_bytes = adv_gb * kGiB;
+  p.price_usd = price;
+  p.sim_capacity_bytes = 256 * kMiB;
+  p.cell = cell;
+  p.page_bytes = 4096;
+  p.pages_per_block = 32;  // 128KB erase unit
+  p.channels = 1;
+  p.read_page_us_override = 30.0;
+  p.program_page_us_override = 55.0;
+  p.erase_block_us_override = 1500.0;
+  p.page_transfer_us_override = 8.0;
+  p.controller.read_overhead_us = 250.0;
+  p.controller.write_overhead_us = 300.0;
+  p.controller.bus_read_mb_s = bus_r;
+  p.controller.bus_write_mb_s = bus_w;
+  p.controller.random_read_penalty_us = 150.0;
+  p.controller.gc_slice_us = 0.0;
+  p.ftl = FtlKind::kFast;
+  p.fast.log_region_blocks = region;
+  p.fast.merge_overhead_us = merge_overhead_ms * 1000.0;
+  p.fast.switch_overhead_us = 100.0;
+  p.fast.reorder_overhead_us = merge_overhead_ms * 20.0;  // ~2% of full
+  p.fast.append_points = 4;
+  return p;
+}
+
+// ---------------------------------------------------------------------
+// Strict-log BAST devices (Kingston DTI, SD card): tiny pool of
+// strict-sequential log blocks -> no locality benefit, pathological
+// in-place / reverse patterns.
+// ---------------------------------------------------------------------
+DeviceProfile StrictBastDevice(std::string id, std::string brand,
+                               std::string model, std::string type,
+                               uint64_t adv_gb, double price, uint32_t pool,
+                               double bus_r, double bus_w,
+                               double merge_overhead_ms) {
+  DeviceProfile p;
+  p.id = std::move(id);
+  p.brand = std::move(brand);
+  p.model = std::move(model);
+  p.type = std::move(type);
+  p.advertised_capacity_bytes = adv_gb * kGiB;
+  p.price_usd = price;
+  p.sim_capacity_bytes = 256 * kMiB;
+  p.cell = CellType::kMlc;
+  p.page_bytes = 4096;
+  p.pages_per_block = 32;
+  p.channels = 1;
+  p.read_page_us_override = 19.0;
+  p.program_page_us_override = 38.0;
+  p.erase_block_us_override = 1000.0;
+  p.page_transfer_us_override = 6.0;
+  p.controller.read_overhead_us = 150.0;
+  p.controller.write_overhead_us = 200.0;
+  p.controller.bus_read_mb_s = bus_r;
+  p.controller.bus_write_mb_s = bus_w;
+  p.controller.random_read_penalty_us = 250.0;
+  p.controller.gc_slice_us = 0.0;
+  p.ftl = FtlKind::kBast;
+  p.bast.log_blocks = pool;
+  p.bast.strict_sequential_log = true;
+  p.bast.merge_overhead_us = merge_overhead_ms * 1000.0;
+  p.bast.switch_overhead_us = 150.0;
+  return p;
+}
+
+}  // namespace
+
+const std::vector<DeviceProfile>& AllProfiles() {
+  static const std::vector<DeviceProfile>* profiles = [] {
+    auto* v = new std::vector<DeviceProfile>();
+
+    // 1. Memoright MR25.2-032S, 32GB, $943 (representative).
+    DeviceProfile memoright =
+        HighEndSsd("memoright", "Memoright", "MR25.2-032S", 32, 943);
+    memoright.representative = true;
+    v->push_back(memoright);
+
+    // 2. GSKILL FS-25S2-32GB, 32GB, $694: Memoright-class, slightly
+    //    slower interconnect.
+    DeviceProfile gskill =
+        HighEndSsd("gskill", "GSKILL", "FS-25S2-32GB", 32, 694);
+    gskill.controller.bus_read_mb_s = 200.0;
+    gskill.controller.bus_write_mb_s = 180.0;
+    gskill.bast.merge_overhead_us = 1500.0;
+    v->push_back(gskill);
+
+    // 3. Samsung MCBQE32G5MPP, 32GB, $517 (representative).
+    v->push_back(SamsungSsd());
+
+    // 4. Mtron SATA7035-016, 16GB, $407 (representative): high-end
+    //    class, 1MB superblocks (merges ~2x Memoright -> RW ~9ms,
+    //    locality 8MB at x2).
+    DeviceProfile mtron =
+        HighEndSsd("mtron", "Mtron", "SATA7035-016", 16, 407);
+    mtron.representative = true;
+    mtron.pages_per_block = 256;  // 1MB superblock
+    mtron.read_page_us_override = 10.0;
+    mtron.program_page_us_override = 7.0;
+    mtron.controller.read_overhead_us = 90.0;
+    mtron.controller.write_overhead_us = 90.0;
+    mtron.controller.bus_read_mb_s = 200.0;
+    mtron.controller.bus_write_mb_s = 180.0;
+    mtron.bast.log_blocks = 8;  // 8 x 1MB = 8MB locality
+    mtron.bast.merge_overhead_us = 3600.0;
+    v->push_back(mtron);
+
+    // 5. Transcend TS16GSSD25S-S (SLC), 16GB, $250.
+    DeviceProfile tslc = FastDevice(
+        "transcend-slc", "Transcend", "TS16GSSD25S-S", "SSD", 16, 250,
+        /*region=*/32, /*bus_r=*/70, /*bus_w=*/55,
+        /*merge_overhead_ms=*/8, CellType::kSlc);
+    tslc.read_page_us_override = 20.0;
+    tslc.program_page_us_override = 40.0;
+    v->push_back(tslc);
+
+    // 6. Transcend TS32GSSD25S-M (MLC), 32GB, $199 (representative;
+    //    "Transcend MLC" in Table 3): 4MB log region, very slow merges.
+    DeviceProfile tmlc = FastDevice(
+        "transcend-mlc", "Transcend", "TS32GSSD25S-M", "SSD", 32, 199,
+        /*region=*/32, /*bus_r=*/40, /*bus_w=*/25,
+        /*merge_overhead_ms=*/240, CellType::kMlc);
+    tmlc.representative = true;
+    tmlc.controller.random_read_penalty_us = 1500.0;  // RR ~2x SR
+    v->push_back(tmlc);
+
+    // 7. Kingston DT HyperX, 8GB, $153 (representative): 16MB shared
+    //    log region.
+    DeviceProfile dthx = FastDevice(
+        "kingston-dthx", "Kingston", "DT hyper X", "USB drive", 8, 153,
+        /*region=*/128, /*bus_r=*/35, /*bus_w=*/32,
+        /*merge_overhead_ms=*/310, CellType::kMlc);
+    dthx.representative = true;
+    dthx.erase_block_us_override = 1200.0;
+    dthx.fast.reorder_overhead_us = 45000.0;  // reverse/in-place x6-7
+    dthx.fast.append_points = 8;
+    v->push_back(dthx);
+
+    // 8. Corsair Flash Voyager GT, 16GB, $110.
+    v->push_back(FastDevice("corsair", "Corsair", "Flash Voyager GT",
+                            "USB drive", 16, 110, /*region=*/8,
+                            /*bus_r=*/28, /*bus_w=*/20,
+                            /*merge_overhead_ms=*/110, CellType::kMlc));
+
+    // 9. Transcend TS4GDOM40V-S IDE module, 4GB, $62 (representative;
+    //    "Transcend Module" in Table 3): 4MB log region, modest merges.
+    DeviceProfile module = FastDevice(
+        "transcend-module", "Transcend", "TS4GDOM40V-S", "IDE module", 4,
+        62, /*region=*/32, /*bus_r=*/45, /*bus_w=*/45,
+        /*merge_overhead_ms=*/13, CellType::kSlc);
+    module.representative = true;
+    module.read_page_us_override = 22.0;
+    module.program_page_us_override = 27.0;
+    v->push_back(module);
+
+    // 10. Kingston DTI, 4GB, $17 (representative): 4 strict logs.
+    DeviceProfile dti = StrictBastDevice(
+        "kingston-dti", "Kingston", "DTI 4GB", "USB drive", 4, 17,
+        /*pool=*/4, /*bus_r=*/20, /*bus_w=*/16,
+        /*merge_overhead_ms=*/300);
+    dti.bast.partial_merge_supported = false;
+    dti.representative = true;
+    v->push_back(dti);
+
+    // 11. Kingston SD 4GB (2GB usable), $12: 2 strict logs, slowest bus.
+    DeviceProfile sd = StrictBastDevice(
+        "kingston-sd", "Kingston", "SD 4GB", "SD card", 2, 12,
+        /*pool=*/2, /*bus_r=*/12, /*bus_w=*/9,
+        /*merge_overhead_ms=*/320);
+    sd.bast.partial_merge_supported = false;
+    sd.sim_capacity_bytes = 128 * kMiB;
+    v->push_back(sd);
+
+    for (const auto& p : *v) UFLIP_CHECK(p.Validate().ok());
+    return v;
+  }();
+  return *profiles;
+}
+
+std::vector<DeviceProfile> RepresentativeProfiles() {
+  std::vector<DeviceProfile> out;
+  for (const auto& p : AllProfiles()) {
+    if (p.representative) out.push_back(p);
+  }
+  return out;
+}
+
+StatusOr<DeviceProfile> ProfileById(const std::string& id) {
+  for (const auto& p : AllProfiles()) {
+    if (p.id == id) return p;
+  }
+  return Status::NotFound("no device profile named '" + id + "'");
+}
+
+StatusOr<std::unique_ptr<SimDevice>> CreateSimDevice(
+    const DeviceProfile& profile, std::shared_ptr<VirtualClock> clock,
+    uint64_t capacity_override) {
+  UFLIP_RETURN_IF_ERROR(profile.Validate());
+  uint64_t capacity = capacity_override != 0 ? capacity_override
+                                             : profile.sim_capacity_bytes;
+
+  FlashGeometry geom;
+  geom.page_data_bytes = profile.page_bytes;
+  geom.pages_per_block = profile.pages_per_block;
+  uint64_t block_bytes = geom.block_bytes();
+  uint64_t blocks_total = (capacity + block_bytes - 1) / block_bytes;
+  // Physical blocks: logical capacity plus room for reserves; the FTL
+  // carves its own reserve out of this, so the slack must cover it.
+  uint64_t ftl_reserve = 16;
+  if (profile.ftl == FtlKind::kBast) {
+    ftl_reserve = profile.bast.log_blocks + 8;
+  } else if (profile.ftl == FtlKind::kFast) {
+    ftl_reserve = profile.fast.log_region_blocks + 8;
+  }
+  blocks_total += std::max<uint64_t>(blocks_total / 8, ftl_reserve);
+  uint64_t per_channel =
+      (blocks_total + profile.channels - 1) / profile.channels;
+  geom.blocks = static_cast<uint32_t>(per_channel);
+
+  FlashTiming timing = FlashTiming::ForCell(profile.cell);
+  if (profile.program_page_us_override > 0) {
+    timing.program_page_us = profile.program_page_us_override;
+  }
+  if (profile.read_page_us_override > 0) {
+    timing.read_page_us = profile.read_page_us_override;
+  }
+  if (profile.erase_block_us_override > 0) {
+    timing.erase_block_us = profile.erase_block_us_override;
+  }
+  if (profile.page_transfer_us_override > 0) {
+    timing.page_transfer_us = profile.page_transfer_us_override;
+  }
+
+  ArrayConfig array_config;
+  array_config.chip_geometry = geom;
+  array_config.timing = timing;
+  array_config.channels = profile.channels;
+  auto array = std::make_unique<FlashArray>(array_config);
+
+  std::unique_ptr<Ftl> ftl;
+  switch (profile.ftl) {
+    case FtlKind::kPageMapping: {
+      UFLIP_RETURN_IF_ERROR(profile.page_mapping.Validate(array_config));
+      ftl = std::make_unique<PageMappingFtl>(std::move(array),
+                                             profile.page_mapping);
+      break;
+    }
+    case FtlKind::kBast: {
+      UFLIP_RETURN_IF_ERROR(profile.bast.Validate());
+      ftl = std::make_unique<BastFtl>(std::move(array), profile.bast);
+      break;
+    }
+    case FtlKind::kFast: {
+      UFLIP_RETURN_IF_ERROR(profile.fast.Validate());
+      ftl = std::make_unique<FastFtl>(std::move(array), profile.fast);
+      break;
+    }
+  }
+  if (profile.write_cache) {
+    ftl = std::make_unique<WriteCache>(std::move(ftl), profile.cache);
+  }
+  if (clock == nullptr) clock = std::make_shared<VirtualClock>();
+  return std::make_unique<SimDevice>(profile.id, std::move(ftl),
+                                     profile.controller, std::move(clock));
+}
+
+}  // namespace uflip

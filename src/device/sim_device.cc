@@ -1,0 +1,130 @@
+#include "src/device/sim_device.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace uflip {
+
+Status ControllerConfig::Validate() const {
+  if (read_overhead_us < 0 || write_overhead_us < 0) {
+    return Status::InvalidArgument("overheads must be >= 0");
+  }
+  if (bus_read_mb_s <= 0 || bus_write_mb_s <= 0) {
+    return Status::InvalidArgument("bus bandwidth must be > 0");
+  }
+  if (gc_slice_us < 0) {
+    return Status::InvalidArgument("gc_slice_us must be >= 0");
+  }
+  return Status::Ok();
+}
+
+SimDevice::SimDevice(std::string name, std::unique_ptr<Ftl> ftl,
+                     const ControllerConfig& config,
+                     std::shared_ptr<VirtualClock> clock)
+    : name_(std::move(name)),
+      ftl_(std::move(ftl)),
+      config_(config),
+      clock_(std::move(clock)) {
+  UFLIP_CHECK(config_.Validate().ok());
+  UFLIP_CHECK(clock_ != nullptr);
+}
+
+StatusOr<double> SimDevice::DoIo(uint64_t t_us, const IoRequest& req,
+                                 const uint64_t* write_tokens,
+                                 std::vector<uint64_t>* read_tokens) {
+  if (req.size == 0) return Status::InvalidArgument("zero-sized IO");
+  if (req.offset + req.size > capacity_bytes()) {
+    return Status::OutOfRange("IO beyond device capacity");
+  }
+  ++ios_;
+
+  // Idle time between the previous completion and this submission is
+  // donated to asynchronous reclamation.
+  if (t_us > busy_until_us_) {
+    ftl_->BackgroundWork(static_cast<double>(t_us - busy_until_us_));
+  }
+  uint64_t start = std::max(t_us, busy_until_us_);
+  double service = 0;
+
+  // While reclamation debt is outstanding the controller interleaves
+  // bounded background slices with foreground IOs (lingering effect).
+  if (config_.gc_slice_us > 0 && ftl_->PendingBackgroundUs() > 0) {
+    service += ftl_->BackgroundWork(config_.gc_slice_us);
+  }
+
+  service += req.mode == IoMode::kRead ? config_.read_overhead_us
+                                       : config_.write_overhead_us;
+  service += config_.BusUs(req.size, req.mode);
+  if (req.mode == IoMode::kRead) {
+    if (req.offset != last_read_end_) {
+      service += config_.random_read_penalty_us;
+    }
+    last_read_end_ = req.offset + req.size;
+  }
+
+  const uint32_t page = ftl_->page_bytes();
+  uint64_t first_page = req.offset / page;
+  uint64_t last_page = (req.offset + req.size - 1) / page;
+  uint32_t npages = static_cast<uint32_t>(last_page - first_page + 1);
+
+  FtlCost cost;
+  if (req.mode == IoMode::kRead) {
+    Status s = ftl_->Read(first_page, npages, read_tokens, &cost);
+    if (!s.ok()) return s;
+  } else {
+    // Sub-page-aligned writes read the partially covered edge pages
+    // first (device-level read-modify-write).
+    bool head_partial = req.offset % page != 0;
+    bool tail_partial = (req.offset + req.size) % page != 0;
+    if (head_partial) {
+      Status s = ftl_->Read(first_page, 1, nullptr, &cost);
+      if (!s.ok()) return s;
+    }
+    if (tail_partial && last_page != first_page) {
+      Status s = ftl_->Read(last_page, 1, nullptr, &cost);
+      if (!s.ok()) return s;
+    }
+    if (write_tokens == nullptr) {
+      scratch_tokens_.resize(npages);
+      for (uint32_t i = 0; i < npages; ++i) {
+        scratch_tokens_[i] = ++token_counter_;
+      }
+      write_tokens = scratch_tokens_.data();
+    }
+    Status s = ftl_->Write(first_page, npages, write_tokens, &cost);
+    if (!s.ok()) return s;
+  }
+  service += cost.service_us;
+
+  busy_until_us_ = start + static_cast<uint64_t>(service);
+  return static_cast<double>(busy_until_us_ - t_us);
+}
+
+StatusOr<double> SimDevice::SubmitAt(uint64_t t_us, const IoRequest& req) {
+  return DoIo(t_us, req, nullptr, nullptr);
+}
+
+StatusOr<double> SimDevice::WriteTokens(uint64_t t_us, uint64_t offset,
+                                        uint32_t size,
+                                        const std::vector<uint64_t>& tokens) {
+  const uint32_t page = ftl_->page_bytes();
+  uint64_t first_page = offset / page;
+  uint64_t last_page = (offset + size - 1) / page;
+  if (tokens.size() != last_page - first_page + 1) {
+    return Status::InvalidArgument("token count != covered pages");
+  }
+  IoRequest req{offset, size, IoMode::kWrite};
+  return DoIo(t_us, req, tokens.data(), nullptr);
+}
+
+StatusOr<std::vector<uint64_t>> SimDevice::ReadTokens(uint64_t offset,
+                                                      uint32_t size) {
+  IoRequest req{offset, size, IoMode::kRead};
+  std::vector<uint64_t> tokens;
+  StatusOr<double> rt = DoIo(clock_->NowUs(), req, nullptr, &tokens);
+  if (!rt.ok()) return rt.status();
+  return tokens;
+}
+
+}  // namespace uflip

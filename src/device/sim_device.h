@@ -1,0 +1,110 @@
+// Simulated flash device: controller + host interconnect + FTL + flash
+// array, on a virtual clock. This is the black box the uFLIP benchmark
+// measures in lieu of physical hardware.
+//
+// Controller model:
+//  * fixed per-IO firmware overhead (the "latency despite no mechanical
+//    parts" of design hint 1);
+//  * host bus transfer time (USB vs IDE vs SATA bandwidths);
+//  * FTL service time (flash operations, merges, GC);
+//  * background-GC scheduling: idle host time is donated to the FTL's
+//    asynchronous reclamation, and while reclamation debt is
+//    outstanding the controller steals bounded slices from foreground
+//    IOs -- which produces both the Pause-absorption effect and the
+//    lingering effect on reads after a random-write burst (Figure 5).
+#ifndef UFLIP_DEVICE_SIM_DEVICE_H_
+#define UFLIP_DEVICE_SIM_DEVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/device/block_device.h"
+#include "src/ftl/ftl.h"
+#include "src/util/clock.h"
+#include "src/util/status.h"
+
+namespace uflip {
+
+struct ControllerConfig {
+  /// Firmware cost per IO (command decode, map lookup).
+  double read_overhead_us = 100.0;
+  double write_overhead_us = 100.0;
+  /// Host interconnect bandwidth in MB/s (USB2 ~ 25, IDE ~ 60, SATA ~
+  /// 120).
+  double bus_read_mb_s = 100.0;
+  double bus_write_mb_s = 100.0;
+  /// Foreground GC preemption slice: while reclamation debt is
+  /// outstanding, each IO donates up to this much time to background
+  /// work.
+  double gc_slice_us = 1000.0;
+  /// Extra cost for reads that do not continue the previous read
+  /// (missing read-ahead / map-segment locality; SR < RR in Table 3).
+  double random_read_penalty_us = 0.0;
+
+  Status Validate() const;
+
+  double BusUs(uint32_t bytes, IoMode mode) const {
+    double mbs = mode == IoMode::kRead ? bus_read_mb_s : bus_write_mb_s;
+    return static_cast<double>(bytes) / mbs;  // bytes / (MB/s) == us
+  }
+};
+
+class SimDevice : public BlockDevice {
+ public:
+  /// Takes ownership of the FTL stack; the clock is shared with the
+  /// workload runner.
+  SimDevice(std::string name, std::unique_ptr<Ftl> ftl,
+            const ControllerConfig& config,
+            std::shared_ptr<VirtualClock> clock);
+
+  uint64_t capacity_bytes() const override {
+    return ftl_->logical_pages() * ftl_->page_bytes();
+  }
+
+  StatusOr<double> SubmitAt(uint64_t t_us, const IoRequest& req) override;
+
+  Clock* clock() override { return clock_.get(); }
+  std::string name() const override { return name_; }
+
+  /// Test/data-path API: write with caller-provided per-page tokens
+  /// (tokens.size() must equal the number of flash pages the byte range
+  /// covers, partially covered edge pages included).
+  StatusOr<double> WriteTokens(uint64_t t_us, uint64_t offset, uint32_t size,
+                               const std::vector<uint64_t>& tokens);
+  /// Reads the per-page tokens covering [offset, offset+size).
+  StatusOr<std::vector<uint64_t>> ReadTokens(uint64_t offset, uint32_t size);
+
+  Ftl* ftl() { return ftl_.get(); }
+  const Ftl* ftl() const { return ftl_.get(); }
+  uint32_t page_bytes() const { return ftl_->page_bytes(); }
+  VirtualClock* virtual_clock() { return clock_.get(); }
+  const ControllerConfig& controller() const { return config_; }
+
+  /// Cumulative counters for reports.
+  uint64_t ios_submitted() const { return ios_; }
+
+ private:
+  /// Core IO path; `write_tokens` may be nullptr (benchmark writes use a
+  /// device-generated version counter so content still changes).
+  StatusOr<double> DoIo(uint64_t t_us, const IoRequest& req,
+                        const uint64_t* write_tokens,
+                        std::vector<uint64_t>* read_tokens);
+
+  std::string name_;
+  std::unique_ptr<Ftl> ftl_;
+  ControllerConfig config_;
+  std::shared_ptr<VirtualClock> clock_;
+
+  uint64_t busy_until_us_ = 0;
+  uint64_t last_read_end_ = UINT64_MAX;
+  uint64_t token_counter_ = 0;
+  uint64_t ios_ = 0;
+
+  std::vector<uint64_t> scratch_tokens_;
+};
+
+}  // namespace uflip
+
+#endif  // UFLIP_DEVICE_SIM_DEVICE_H_

@@ -1,0 +1,131 @@
+#include "src/flash/array.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace uflip {
+
+FlashArray::FlashArray(const ArrayConfig& config)
+    : config_(config), channel_time_(config.channels, 0.0) {
+  UFLIP_CHECK(config.channels >= 1);
+  UFLIP_CHECK(config.chip_geometry.Validate().ok());
+  chips_.reserve(config.channels);
+  for (uint32_t c = 0; c < config.channels; ++c) {
+    chips_.push_back(
+        std::make_unique<FlashChip>(config.chip_geometry, config.timing));
+  }
+  total_blocks_ =
+      static_cast<uint64_t>(config.chip_geometry.blocks) * config.channels;
+}
+
+PageAddr FlashArray::LocalAddr(GlobalPage p, uint32_t* channel) const {
+  *channel = ChannelOf(p.block);
+  PageAddr a;
+  a.block = static_cast<uint32_t>(p.block / config_.channels);
+  a.page = p.page;
+  return a;
+}
+
+Status FlashArray::ReadPages(const std::vector<GlobalPage>& pages,
+                             std::vector<uint64_t>* tokens, double* time_us) {
+  std::fill(channel_time_.begin(), channel_time_.end(), 0.0);
+  if (tokens != nullptr) tokens->resize(pages.size());
+  for (size_t i = 0; i < pages.size(); ++i) {
+    uint32_t channel = 0;
+    PageAddr a = LocalAddr(pages[i], &channel);
+    uint64_t token = 0;
+    double t = 0;
+    UFLIP_RETURN_IF_ERROR(chips_[channel]->ReadPage(a, &token, &t));
+    channel_time_[channel] += t;
+    if (tokens != nullptr) (*tokens)[i] = token;
+  }
+  if (time_us != nullptr) {
+    *time_us = *std::max_element(channel_time_.begin(), channel_time_.end());
+  }
+  return Status::Ok();
+}
+
+Status FlashArray::ProgramPages(const std::vector<PageWrite>& writes,
+                                double* time_us) {
+  std::fill(channel_time_.begin(), channel_time_.end(), 0.0);
+  for (const PageWrite& w : writes) {
+    uint32_t channel = 0;
+    PageAddr a = LocalAddr(w.addr, &channel);
+    double t = 0;
+    UFLIP_RETURN_IF_ERROR(chips_[channel]->ProgramPage(a, w.token, &t));
+    channel_time_[channel] += t;
+  }
+  if (time_us != nullptr) {
+    *time_us = *std::max_element(channel_time_.begin(), channel_time_.end());
+  }
+  return Status::Ok();
+}
+
+Status FlashArray::EraseBlocks(const std::vector<uint64_t>& blocks,
+                               double* time_us) {
+  std::fill(channel_time_.begin(), channel_time_.end(), 0.0);
+  for (uint64_t b : blocks) {
+    uint32_t channel = ChannelOf(b);
+    double t = 0;
+    UFLIP_RETURN_IF_ERROR(chips_[channel]->EraseBlock(
+        static_cast<uint32_t>(b / config_.channels), &t));
+    channel_time_[channel] += t;
+  }
+  if (time_us != nullptr) {
+    *time_us = *std::max_element(channel_time_.begin(), channel_time_.end());
+  }
+  return Status::Ok();
+}
+
+Status FlashArray::ReadPage(GlobalPage p, uint64_t* token, double* time_us) {
+  uint32_t channel = 0;
+  PageAddr a = LocalAddr(p, &channel);
+  return chips_[channel]->ReadPage(a, token, time_us);
+}
+
+Status FlashArray::ProgramPage(GlobalPage p, uint64_t token,
+                               double* time_us) {
+  uint32_t channel = 0;
+  PageAddr a = LocalAddr(p, &channel);
+  return chips_[channel]->ProgramPage(a, token, time_us);
+}
+
+Status FlashArray::EraseBlock(uint64_t block, double* time_us) {
+  uint32_t channel = ChannelOf(block);
+  return chips_[channel]->EraseBlock(
+      static_cast<uint32_t>(block / config_.channels), time_us);
+}
+
+uint32_t FlashArray::ProgrammedPages(uint64_t block) const {
+  uint32_t channel = ChannelOf(block);
+  return chips_[channel]->ProgrammedPages(
+      static_cast<uint32_t>(block / config_.channels));
+}
+
+uint64_t FlashArray::EraseCount(uint64_t block) const {
+  uint32_t channel = ChannelOf(block);
+  return chips_[channel]->EraseCount(
+      static_cast<uint32_t>(block / config_.channels));
+}
+
+bool FlashArray::IsBadBlock(uint64_t block) const {
+  uint32_t channel = ChannelOf(block);
+  return chips_[channel]->IsBadBlock(
+      static_cast<uint32_t>(block / config_.channels));
+}
+
+ChipStats FlashArray::AggregateStats() const {
+  ChipStats total;
+  for (const auto& chip : chips_) {
+    const ChipStats& s = chip->stats();
+    total.page_reads += s.page_reads;
+    total.page_programs += s.page_programs;
+    total.block_erases += s.block_erases;
+    total.program_order_violations += s.program_order_violations;
+    total.bad_blocks += s.bad_blocks;
+  }
+  return total;
+}
+
+}  // namespace uflip

@@ -1,0 +1,106 @@
+// Multi-channel flash array: the set of flash chips inside a device,
+// striped across independent channels. The block manager can overlap
+// operations on different channels (Section 2.1: "the block manager
+// should leverage these forms of parallelism"), so batched operations
+// cost their per-channel makespan, not the serial sum.
+//
+// Global erase-block b lives on channel (b % channels); this block-index
+// striping is what makes large-stride write patterns collapse onto a
+// single channel (the paper's "large Incr" penalty, Table 3 last column).
+#ifndef UFLIP_FLASH_ARRAY_H_
+#define UFLIP_FLASH_ARRAY_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/flash/chip.h"
+#include "src/flash/geometry.h"
+#include "src/util/status.h"
+
+namespace uflip {
+
+/// Page address in the array's flat block space.
+struct GlobalPage {
+  uint64_t block = 0;
+  uint32_t page = 0;
+
+  bool operator==(const GlobalPage&) const = default;
+};
+
+/// One page-program request.
+struct PageWrite {
+  GlobalPage addr;
+  uint64_t token = 0;
+};
+
+struct ArrayConfig {
+  FlashGeometry chip_geometry;
+  FlashTiming timing;
+  /// Independent channels; chips on different channels operate in
+  /// parallel.
+  uint32_t channels = 1;
+};
+
+/// The physical back-end every FTL drives.
+class FlashArray {
+ public:
+  explicit FlashArray(const ArrayConfig& config);
+
+  uint32_t channels() const { return config_.channels; }
+  uint32_t pages_per_block() const {
+    return config_.chip_geometry.pages_per_block;
+  }
+  uint32_t page_data_bytes() const {
+    return config_.chip_geometry.page_data_bytes;
+  }
+  uint64_t total_blocks() const { return total_blocks_; }
+  uint64_t total_pages() const {
+    return total_blocks_ * pages_per_block();
+  }
+  uint64_t capacity_bytes() const {
+    return total_blocks_ * config_.chip_geometry.block_bytes();
+  }
+  const FlashTiming& timing() const { return config_.timing; }
+
+  uint32_t ChannelOf(uint64_t block) const {
+    return static_cast<uint32_t>(block % config_.channels);
+  }
+
+  /// Batched page reads; *time_us is the makespan across channels.
+  /// tokens (optional) receives one token per requested page.
+  Status ReadPages(const std::vector<GlobalPage>& pages,
+                   std::vector<uint64_t>* tokens, double* time_us);
+
+  /// Batched page programs; *time_us is the makespan across channels.
+  Status ProgramPages(const std::vector<PageWrite>& writes, double* time_us);
+
+  /// Batched block erases; *time_us is the makespan across channels.
+  Status EraseBlocks(const std::vector<uint64_t>& blocks, double* time_us);
+
+  /// Single-op conveniences (serial cost).
+  Status ReadPage(GlobalPage p, uint64_t* token, double* time_us);
+  Status ProgramPage(GlobalPage p, uint64_t token, double* time_us);
+  Status EraseBlock(uint64_t block, double* time_us);
+
+  /// Number of pages programmed so far in a block.
+  uint32_t ProgrammedPages(uint64_t block) const;
+  uint64_t EraseCount(uint64_t block) const;
+  bool IsBadBlock(uint64_t block) const;
+
+  /// Aggregated chip statistics across the array.
+  ChipStats AggregateStats() const;
+
+ private:
+  PageAddr LocalAddr(GlobalPage p, uint32_t* channel) const;
+
+  ArrayConfig config_;
+  uint64_t total_blocks_;
+  std::vector<std::unique_ptr<FlashChip>> chips_;  // one per channel
+  // Scratch per-channel accumulation buffer reused across calls.
+  std::vector<double> channel_time_;
+};
+
+}  // namespace uflip
+
+#endif  // UFLIP_FLASH_ARRAY_H_

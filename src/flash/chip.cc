@@ -1,0 +1,102 @@
+#include "src/flash/chip.h"
+
+#include "src/util/logging.h"
+
+namespace uflip {
+
+FlashChip::FlashChip(const FlashGeometry& geometry, const FlashTiming& timing)
+    : geometry_(geometry),
+      timing_(timing),
+      write_point_(geometry.blocks, 0),
+      erase_count_(geometry.blocks, 0),
+      bad_(geometry.blocks, 0),
+      tokens_(geometry.total_pages(), 0) {
+  UFLIP_CHECK(geometry.Validate().ok());
+}
+
+Status FlashChip::CheckAddr(PageAddr addr) const {
+  if (addr.block >= geometry_.blocks) {
+    return Status::OutOfRange("block index out of range");
+  }
+  if (addr.page >= geometry_.pages_per_block) {
+    return Status::OutOfRange("page index out of range");
+  }
+  return Status::Ok();
+}
+
+Status FlashChip::ReadPage(PageAddr addr, uint64_t* token, double* time_us) {
+  UFLIP_RETURN_IF_ERROR(CheckAddr(addr));
+  ++stats_.page_reads;
+  if (token != nullptr) {
+    *token = tokens_[static_cast<uint64_t>(addr.block) *
+                         geometry_.pages_per_block +
+                     addr.page];
+  }
+  if (time_us != nullptr) {
+    *time_us = timing_.read_page_us + timing_.page_transfer_us;
+  }
+  return Status::Ok();
+}
+
+Status FlashChip::ProgramPage(PageAddr addr, uint64_t token, double* time_us) {
+  UFLIP_RETURN_IF_ERROR(CheckAddr(addr));
+  if (bad_[addr.block]) {
+    return Status::FailedPrecondition("programming a bad block");
+  }
+  uint32_t& wp = write_point_[addr.block];
+  if (addr.page < wp) {
+    // NAND programming must proceed in ascending page order within a
+    // block (skipping forward is allowed; going back is not), and a page
+    // cannot be re-programmed without an erase.
+    ++stats_.program_order_violations;
+    return Status::FailedPrecondition(
+        "page already programmed or behind the block write point "
+        "(no in-place update on NAND)");
+  }
+  wp = addr.page + 1;
+  tokens_[static_cast<uint64_t>(addr.block) * geometry_.pages_per_block +
+          addr.page] = token;
+  ++stats_.page_programs;
+  if (time_us != nullptr) {
+    *time_us = timing_.program_page_us + timing_.page_transfer_us;
+  }
+  return Status::Ok();
+}
+
+Status FlashChip::EraseBlock(uint32_t block, double* time_us) {
+  if (block >= geometry_.blocks) {
+    return Status::OutOfRange("block index out of range");
+  }
+  if (bad_[block]) {
+    return Status::FailedPrecondition("erasing a bad block");
+  }
+  write_point_[block] = 0;
+  uint64_t base = static_cast<uint64_t>(block) * geometry_.pages_per_block;
+  for (uint32_t p = 0; p < geometry_.pages_per_block; ++p) {
+    tokens_[base + p] = 0;
+  }
+  ++stats_.block_erases;
+  if (++erase_count_[block] >= timing_.erase_limit) {
+    bad_[block] = 1;
+    ++stats_.bad_blocks;
+  }
+  if (time_us != nullptr) *time_us = timing_.erase_block_us;
+  return Status::Ok();
+}
+
+bool FlashChip::IsBadBlock(uint32_t block) const {
+  UFLIP_DCHECK(block < geometry_.blocks);
+  return bad_[block] != 0;
+}
+
+uint64_t FlashChip::EraseCount(uint32_t block) const {
+  UFLIP_DCHECK(block < geometry_.blocks);
+  return erase_count_[block];
+}
+
+uint32_t FlashChip::ProgrammedPages(uint32_t block) const {
+  UFLIP_DCHECK(block < geometry_.blocks);
+  return write_point_[block];
+}
+
+}  // namespace uflip

@@ -1,0 +1,94 @@
+// Behavioural model of a single NAND flash chip. Enforces the physical
+// constraints from Section 2.1 of the paper:
+//   * read/program at page granularity, erase at block granularity;
+//   * within a block, pages must be programmed in increasing order
+//     (serially coupled rows);
+//   * a page cannot be re-programmed without an intervening block erase;
+//   * each block supports a bounded number of erase cycles (wear), after
+//     which it becomes a bad block.
+// Instead of full data, each page stores a 64-bit content token so that
+// FTL correctness (logical data round-trips) is testable without
+// gigabytes of RAM.
+#ifndef UFLIP_FLASH_CHIP_H_
+#define UFLIP_FLASH_CHIP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/flash/geometry.h"
+#include "src/util/status.h"
+
+namespace uflip {
+
+/// Physical page address within one chip.
+struct PageAddr {
+  uint32_t block = 0;
+  uint32_t page = 0;
+
+  bool operator==(const PageAddr&) const = default;
+};
+
+/// Lifetime counters exposed for tests, wear-leveling and reports.
+struct ChipStats {
+  uint64_t page_reads = 0;
+  uint64_t page_programs = 0;
+  uint64_t block_erases = 0;
+  uint64_t program_order_violations = 0;
+  uint64_t bad_blocks = 0;
+};
+
+/// One NAND chip. All operations return the time they take in
+/// microseconds via *time_us and a Status describing constraint
+/// violations (which a correct FTL never triggers).
+class FlashChip {
+ public:
+  FlashChip(const FlashGeometry& geometry, const FlashTiming& timing);
+
+  const FlashGeometry& geometry() const { return geometry_; }
+  const FlashTiming& timing() const { return timing_; }
+  const ChipStats& stats() const { return stats_; }
+
+  /// Reads one page. Reading an erased (never programmed) page is legal
+  /// and yields token 0.
+  Status ReadPage(PageAddr addr, uint64_t* token, double* time_us);
+
+  /// Programs one page with `token`. Fails if the page is already
+  /// programmed or behind the block's write point (programming must
+  /// proceed in ascending page order; skipping forward is allowed).
+  Status ProgramPage(PageAddr addr, uint64_t token, double* time_us);
+
+  /// Erases a block, resetting all its pages. Increments wear; marks the
+  /// block bad once the erase limit is reached.
+  Status EraseBlock(uint32_t block, double* time_us);
+
+  /// True if the block exceeded its erase limit.
+  bool IsBadBlock(uint32_t block) const;
+
+  /// Erase count of a block (wear-leveling input).
+  uint64_t EraseCount(uint32_t block) const;
+
+  /// Number of pages programmed in `block` so far (== next programmable
+  /// page index).
+  uint32_t ProgrammedPages(uint32_t block) const;
+
+  /// Plane of a block (even blocks plane 0, odd blocks plane 1, ...).
+  uint32_t PlaneOf(uint32_t block) const { return block % geometry_.planes; }
+
+ private:
+  Status CheckAddr(PageAddr addr) const;
+
+  FlashGeometry geometry_;
+  FlashTiming timing_;
+  ChipStats stats_;
+
+  // Per-block: next page index that may be programmed (0..pages_per_block).
+  std::vector<uint32_t> write_point_;
+  std::vector<uint64_t> erase_count_;
+  std::vector<uint8_t> bad_;
+  // Content token per page; 0 == erased.
+  std::vector<uint64_t> tokens_;
+};
+
+}  // namespace uflip
+
+#endif  // UFLIP_FLASH_CHIP_H_

@@ -1,0 +1,54 @@
+#include "src/flash/geometry.h"
+
+#include <cstdio>
+
+namespace uflip {
+
+const char* CellTypeName(CellType t) {
+  return t == CellType::kSlc ? "SLC" : "MLC";
+}
+
+Status FlashGeometry::Validate() const {
+  if (page_data_bytes == 0 || (page_data_bytes & (page_data_bytes - 1)) != 0) {
+    return Status::InvalidArgument("page_data_bytes must be a power of two");
+  }
+  if (pages_per_block == 0) {
+    return Status::InvalidArgument("pages_per_block must be > 0");
+  }
+  if (blocks == 0) return Status::InvalidArgument("blocks must be > 0");
+  if (planes == 0) return Status::InvalidArgument("planes must be > 0");
+  return Status::Ok();
+}
+
+std::string FlashGeometry::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "FlashGeometry{page=%uB+%uB spare, %u pages/block, %u blocks,"
+                " %u planes, %.1f MiB}",
+                page_data_bytes, page_spare_bytes, pages_per_block, blocks,
+                planes,
+                static_cast<double>(capacity_bytes()) / (1024.0 * 1024.0));
+  return buf;
+}
+
+FlashTiming FlashTiming::Slc() {
+  FlashTiming t;
+  t.read_page_us = 25.0;
+  t.program_page_us = 200.0;
+  t.erase_block_us = 1500.0;
+  t.page_transfer_us = 40.0;
+  t.erase_limit = 1000000;
+  return t;
+}
+
+FlashTiming FlashTiming::Mlc() {
+  FlashTiming t;
+  t.read_page_us = 60.0;
+  t.program_page_us = 800.0;
+  t.erase_block_us = 3000.0;
+  t.page_transfer_us = 40.0;
+  t.erase_limit = 100000;
+  return t;
+}
+
+}  // namespace uflip

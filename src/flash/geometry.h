@@ -1,0 +1,71 @@
+// NAND flash geometry and timing parameters (Section 2.1 of the paper).
+// Flash pages hold 2KB of data plus a 64B spare area; erase happens at
+// flash-block granularity (typically 64 pages); programming within a block
+// must proceed in page order; MLC chips are slower and wear out sooner.
+#ifndef UFLIP_FLASH_GEOMETRY_H_
+#define UFLIP_FLASH_GEOMETRY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/status.h"
+
+namespace uflip {
+
+/// Single-level vs multi-level cells (Section 2.1).
+enum class CellType { kSlc, kMlc };
+
+const char* CellTypeName(CellType t);
+
+/// Physical layout of one flash chip.
+struct FlashGeometry {
+  /// Data bytes per flash page (paper: typically 2KB).
+  uint32_t page_data_bytes = 2048;
+  /// Spare bytes per page for ECC + bookkeeping (paper: 64B).
+  uint32_t page_spare_bytes = 64;
+  /// Pages per erase block (paper: typically 64).
+  uint32_t pages_per_block = 64;
+  /// Erase blocks on this chip.
+  uint32_t blocks = 4096;
+  /// Planes per chip (even/odd block split, Section 2.1).
+  uint32_t planes = 2;
+
+  uint64_t block_bytes() const {
+    return static_cast<uint64_t>(page_data_bytes) * pages_per_block;
+  }
+  uint64_t capacity_bytes() const { return block_bytes() * blocks; }
+  uint64_t total_pages() const {
+    return static_cast<uint64_t>(pages_per_block) * blocks;
+  }
+
+  /// Validates internal consistency (non-zero sizes, power-of-two pages).
+  Status Validate() const;
+
+  std::string ToString() const;
+};
+
+/// Operation latencies of one flash chip. Defaults are typical SLC values;
+/// Mlc() returns typical MLC values (paper: MLC slower, 10^5 erases vs
+/// 10^6 for SLC).
+struct FlashTiming {
+  /// Cell-array read of one page into the chip register.
+  double read_page_us = 25.0;
+  /// Program one page from the register.
+  double program_page_us = 200.0;
+  /// Erase one block.
+  double erase_block_us = 1500.0;
+  /// Transfer of one page between chip register and controller.
+  double page_transfer_us = 40.0;
+  /// Maximum erase cycles per block before the block goes bad.
+  uint64_t erase_limit = 1000000;  // SLC: 10^6
+
+  static FlashTiming Slc();
+  static FlashTiming Mlc();
+  static FlashTiming ForCell(CellType t) {
+    return t == CellType::kSlc ? Slc() : Mlc();
+  }
+};
+
+}  // namespace uflip
+
+#endif  // UFLIP_FLASH_GEOMETRY_H_

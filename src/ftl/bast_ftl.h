@@ -1,0 +1,145 @@
+// BAST-style hybrid FTL: block-granularity direct map plus a small pool
+// of per-logical-block log blocks. This is the classic FTL of low-end
+// removable flash devices (USB sticks, SD cards, IDE modules) and is the
+// source of their signature behaviours in the paper:
+//
+//  * Sequential writes fill a log block in order and retire it with a
+//    cheap "switch merge" (periodic erase -> the response-time
+//    oscillation of Figure 4, period = pages_per_block / pages_per_IO).
+//  * Random writes over more logical blocks than the pool holds thrash
+//    the pool; every write evicts a log block and pays a full merge
+//    (read + program a whole block + two erases) -> RW one to two orders
+//    of magnitude slower than SW (Table 3), with no locality benefit
+//    once the working set exceeds log_blocks * block_size.
+//  * With strict_sequential_log (cheapest controllers, e.g. Kingston
+//    DTI), any non-ascending append forces an immediate merge: in-place
+//    (Incr = 0) and reverse (Incr = -1) patterns become pathological
+//    (x8..x40 the cost of SW in the paper).
+//  * Concurrent sequential streams are fine up to `log_blocks`
+//    partitions and degrade to random-write behaviour beyond
+//    (Partitioning micro-benchmark).
+#ifndef UFLIP_FTL_BAST_FTL_H_
+#define UFLIP_FTL_BAST_FTL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/flash/array.h"
+#include "src/ftl/ftl.h"
+#include "src/util/status.h"
+
+namespace uflip {
+
+struct BastConfig {
+  /// Log-block pool size (number of logical blocks that can be written
+  /// concurrently without merges).
+  uint32_t log_blocks = 8;
+  /// If true, a log block only accepts appends with strictly ascending
+  /// logical page offsets; any other write merges immediately.
+  bool strict_sequential_log = false;
+  /// Fixed controller bookkeeping cost added to every *full* merge
+  /// (copy bookkeeping, inverse-map journaling on flash).
+  double merge_overhead_us = 0.0;
+  /// Cost of a switch / partial merge (map update only).
+  double switch_overhead_us = 100.0;
+  /// Whether the controller implements partial merges (copy the tail of
+  /// the data block into a sequential log, then switch). The cheapest
+  /// controllers (Kingston DTI, SD cards) only do switch or full
+  /// merges, which is what makes their in-place pattern pathological
+  /// (Table 3: x40).
+  bool partial_merge_supported = true;
+
+  Status Validate() const;
+};
+
+class BastFtl : public Ftl {
+ public:
+  BastFtl(std::unique_ptr<FlashArray> array, const BastConfig& config);
+
+  uint64_t logical_pages() const override { return logical_pages_; }
+  uint32_t page_bytes() const override { return array_->page_data_bytes(); }
+
+  Status Read(uint64_t lpn, uint32_t npages, std::vector<uint64_t>* tokens,
+              FtlCost* cost) override;
+  Status Write(uint64_t lpn, uint32_t npages, const uint64_t* tokens,
+               FtlCost* cost) override;
+
+  const FtlStats& stats() const override { return stats_; }
+  std::string DebugString() const override;
+
+  const FlashArray& array() const { return *array_; }
+  const BastConfig& config() const { return config_; }
+  /// Number of pool entries currently bound to a logical block.
+  uint32_t ActiveLogBlocks() const;
+
+ private:
+  static constexpr uint64_t kUnmapped = UINT64_MAX;
+  static constexpr int32_t kNoLog = -1;
+  static constexpr int32_t kNoPage = -1;
+
+  struct LogBlock {
+    uint64_t phys = UINT64_MAX;   // physical block backing this log
+    uint64_t owner = UINT64_MAX;  // logical block, kUnmapped if unused
+    uint32_t write_point = 0;     // next physical page to program
+    /// page_map[logical_off] = physical page in `phys` holding its
+    /// latest copy, or kNoPage.
+    std::vector<int32_t> page_map;
+    /// True while every append i went to physical page i with
+    /// logical_off == i (makes switch merges possible).
+    bool sequential = true;
+    int32_t last_off = kNoPage;  // last appended logical offset
+    uint64_t lru_tick = 0;
+  };
+
+  /// Pages-per-block shorthand.
+  uint32_t ppb() const { return array_->pages_per_block(); }
+
+  bool IsWritten(uint64_t lpn) const {
+    return (written_[lpn >> 6] >> (lpn & 63)) & 1;
+  }
+  void MarkWritten(uint64_t lpn) { written_[lpn >> 6] |= 1ULL << (lpn & 63); }
+
+  /// Pops an erased free block (invariant: never empty in steady state).
+  Status AllocFree(uint64_t* block);
+
+  /// Erases `block` and returns it to the free list.
+  Status ReleaseBlock(uint64_t block, FtlCost* cost);
+
+  /// Returns the pool index of the log bound to `lbk`, allocating (and
+  /// evicting via merge) as needed.
+  Status GetLog(uint64_t lbk, FtlCost* cost, int32_t* log_idx);
+
+  /// Merges log `log_idx` into its owner's data block; the entry becomes
+  /// unbound with a fresh erased physical block.
+  Status MergeLog(int32_t log_idx, FtlCost* cost);
+
+  /// Writes `count` pages at offsets [first_off, first_off+count) of
+  /// logical block `lbk`.
+  Status WriteBlockPages(uint64_t lbk, uint32_t first_off, uint32_t count,
+                         const uint64_t* tokens, FtlCost* cost);
+
+  std::unique_ptr<FlashArray> array_;
+  BastConfig config_;
+
+  uint64_t n_logical_blocks_;
+  uint64_t logical_pages_;
+
+  std::vector<uint64_t> map_;        // lbk -> physical data block
+  std::vector<int32_t> log_of_;      // lbk -> pool index or kNoLog
+  std::vector<uint64_t> written_;    // bitmap over logical pages
+  std::vector<uint64_t> free_;       // erased physical blocks
+  std::vector<LogBlock> pool_;
+  uint64_t lru_clock_ = 0;
+
+  FtlStats stats_;
+
+  std::vector<GlobalPage> scratch_pages_;
+  std::vector<PageWrite> scratch_writes_;
+  std::vector<uint64_t> scratch_tokens_;
+};
+
+}  // namespace uflip
+
+#endif  // UFLIP_FTL_BAST_FTL_H_

@@ -1,0 +1,70 @@
+#include "src/ftl/bucket_queue.h"
+
+#include "src/util/logging.h"
+
+namespace uflip {
+
+BucketQueue::BucketQueue(uint32_t capacity, uint32_t max_key)
+    : head_(max_key + 1, kNone),
+      next_(capacity, kNone),
+      prev_(capacity, kNone),
+      key_(capacity, kNone) {}
+
+void BucketQueue::Insert(uint32_t id, uint32_t key) {
+  UFLIP_DCHECK(id < key_.size());
+  UFLIP_DCHECK(key < head_.size());
+  UFLIP_DCHECK(key_[id] == kNone);
+  key_[id] = key;
+  next_[id] = head_[key];
+  prev_[id] = kNone;
+  if (head_[key] != kNone) prev_[head_[key]] = id;
+  head_[key] = id;
+  if (key < min_hint_) min_hint_ = key;
+  ++size_;
+}
+
+void BucketQueue::Unlink(uint32_t id) {
+  uint32_t key = key_[id];
+  if (prev_[id] != kNone) {
+    next_[prev_[id]] = next_[id];
+  } else {
+    head_[key] = next_[id];
+  }
+  if (next_[id] != kNone) prev_[next_[id]] = prev_[id];
+  next_[id] = prev_[id] = kNone;
+}
+
+void BucketQueue::Remove(uint32_t id) {
+  UFLIP_DCHECK(id < key_.size());
+  UFLIP_DCHECK(key_[id] != kNone);
+  Unlink(id);
+  key_[id] = kNone;
+  --size_;
+}
+
+void BucketQueue::UpdateKey(uint32_t id, uint32_t new_key) {
+  UFLIP_DCHECK(key_[id] != kNone);
+  if (key_[id] == new_key) return;
+  Unlink(id);
+  key_[id] = new_key;
+  next_[id] = head_[new_key];
+  prev_[id] = kNone;
+  if (head_[new_key] != kNone) prev_[head_[new_key]] = id;
+  head_[new_key] = id;
+  if (new_key < min_hint_) min_hint_ = new_key;
+}
+
+uint32_t BucketQueue::PeekMin() const {
+  if (size_ == 0) return kNone;
+  while (min_hint_ < head_.size() && head_[min_hint_] == kNone) ++min_hint_;
+  UFLIP_DCHECK(min_hint_ < head_.size());
+  return head_[min_hint_];
+}
+
+uint32_t BucketQueue::PopMin() {
+  uint32_t id = PeekMin();
+  if (id != kNone) Remove(id);
+  return id;
+}
+
+}  // namespace uflip

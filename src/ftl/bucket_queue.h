@@ -1,0 +1,58 @@
+// O(1) greedy GC victim selection: blocks bucketed by valid-page count.
+// Supports insert, remove, key decrement and pop-min. Implemented with
+// intrusive doubly-linked lists over flat arrays (no allocation on the
+// hot path).
+#ifndef UFLIP_FTL_BUCKET_QUEUE_H_
+#define UFLIP_FTL_BUCKET_QUEUE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace uflip {
+
+/// Priority structure keyed by small integer (valid count in
+/// [0, max_key]); pop returns an element with the minimum key.
+class BucketQueue {
+ public:
+  static constexpr uint32_t kNone = UINT32_MAX;
+
+  /// `capacity` elements (block ids in [0, capacity)), keys in
+  /// [0, max_key].
+  BucketQueue(uint32_t capacity, uint32_t max_key);
+
+  /// Inserts `id` with `key`. Must not already be present.
+  void Insert(uint32_t id, uint32_t key);
+
+  /// Removes `id`. Must be present.
+  void Remove(uint32_t id);
+
+  /// Changes the key of a present `id`.
+  void UpdateKey(uint32_t id, uint32_t new_key);
+
+  bool Contains(uint32_t id) const { return key_[id] != kNone; }
+  uint32_t KeyOf(uint32_t id) const { return key_[id]; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Returns an id with the minimum key without removing it, or kNone if
+  /// empty.
+  uint32_t PeekMin() const;
+
+  /// Removes and returns an id with the minimum key, or kNone if empty.
+  uint32_t PopMin();
+
+ private:
+  void Unlink(uint32_t id);
+
+  std::vector<uint32_t> head_;  // per key: first id, or kNone
+  std::vector<uint32_t> next_;  // per id
+  std::vector<uint32_t> prev_;  // per id
+  std::vector<uint32_t> key_;   // per id: current key, or kNone if absent
+  mutable uint32_t min_hint_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace uflip
+
+#endif  // UFLIP_FTL_BUCKET_QUEUE_H_

@@ -1,0 +1,352 @@
+#include "src/ftl/fast_ftl.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/util/logging.h"
+
+namespace uflip {
+
+Status FastConfig::Validate() const {
+  if (log_region_blocks < 2) {
+    return Status::InvalidArgument("log_region_blocks must be >= 2");
+  }
+  if (merge_overhead_us < 0) {
+    return Status::InvalidArgument("merge_overhead_us must be >= 0");
+  }
+  return Status::Ok();
+}
+
+FastFtl::FastFtl(std::unique_ptr<FlashArray> array, const FastConfig& config)
+    : array_(std::move(array)), config_(config) {
+  UFLIP_CHECK(config_.Validate().ok());
+  uint64_t n_phys = array_->total_blocks();
+  uint64_t reserve = config_.log_region_blocks + 4;
+  UFLIP_CHECK_MSG(reserve + 1 < n_phys, "device too small for log region");
+  n_logical_blocks_ = n_phys - reserve;
+  logical_pages_ = n_logical_blocks_ * ppb();
+
+  map_.assign(n_logical_blocks_, kUnmapped);
+  written_.assign((logical_pages_ + 63) / 64, 0);
+  for (uint64_t b = 0; b < n_phys; ++b) free_.push_back(b);
+  heads_.resize(std::max<uint32_t>(1, config_.append_points));
+}
+
+Status FastFtl::AllocFree(uint64_t* block) {
+  if (free_.empty()) return Status::Internal("FAST free pool exhausted");
+  *block = free_.back();
+  free_.pop_back();
+  return Status::Ok();
+}
+
+Status FastFtl::ReleaseBlock(uint64_t block, FtlCost* cost) {
+  double t = 0;
+  UFLIP_RETURN_IF_ERROR(array_->EraseBlock(block, &t));
+  cost->service_us += t;
+  ++cost->block_erases;
+  ++stats_.flash_block_erases;
+  free_.push_back(block);
+  return Status::Ok();
+}
+
+FastFtl::LogSegment* FastFtl::SegmentBySerial(uint32_t serial) {
+  if (ring_.empty()) return nullptr;
+  if (serial < front_serial_ ||
+      serial >= front_serial_ + ring_.size()) {
+    return nullptr;
+  }
+  return &ring_[serial - front_serial_];
+}
+
+Status FastFtl::MergeLogicalBlock(uint64_t lbk, FtlCost* cost) {
+  ++cost->merges;
+  ++stats_.merges;
+  // Local buffers: merges run while a host write batch may be pending
+  // in the shared scratch vectors.
+  std::vector<GlobalPage> m_pages;
+  std::vector<PageWrite> m_writes;
+  std::vector<uint64_t> m_tokens;
+
+  // Switch-merge detection: the newest segment that holds *all* live
+  // pages of lbk at aligned positions, completely filling it.
+  // (Cheap check: page 0..ppb-1 of lbk all map to the same segment at
+  // position == offset.)
+  {
+    uint64_t base = lbk * ppb();
+    auto it0 = latest_.find(base);
+    if (it0 != latest_.end() && it0->second.page == 0) {
+      uint32_t serial = it0->second.segment_serial;
+      bool switchable = true;
+      for (uint32_t off = 1; off < ppb(); ++off) {
+        auto it = latest_.find(base + off);
+        if (it == latest_.end() || it->second.segment_serial != serial ||
+            it->second.page != off) {
+          switchable = false;
+          break;
+        }
+      }
+      LogSegment* seg = switchable ? SegmentBySerial(serial) : nullptr;
+      if (seg != nullptr && seg->write_point == ppb()) {
+        cost->service_us += config_.switch_overhead_us;
+        uint64_t old_data = map_[lbk];
+        map_[lbk] = seg->phys;
+        if (old_data != kUnmapped) {
+          UFLIP_RETURN_IF_ERROR(ReleaseBlock(old_data, cost));
+        }
+        // The segment's block now belongs to the data map; give the
+        // segment a stand-in free block so ring recycling stays uniform.
+        UFLIP_RETURN_IF_ERROR(AllocFree(&seg->phys));
+        std::fill(seg->entries.begin(), seg->entries.end(), kUnmapped);
+        // NOTE: write_point stays at ppb so the stand-in is treated as
+        // exhausted and recycled on wrap without further programming.
+        for (uint32_t off = 0; off < ppb(); ++off) latest_.erase(base + off);
+        return Status::Ok();
+      }
+    }
+  }
+
+  // Full merge -- or, when every live log page of this block sits in a
+  // single segment, the cheaper "reorder" merge (the controller copies
+  // one log block and one data block 1:1 instead of gathering from the
+  // whole region).
+  uint64_t dst = 0;
+  UFLIP_RETURN_IF_ERROR(AllocFree(&dst));
+  std::vector<uint32_t> offs;
+  uint64_t base = lbk * ppb();
+  uint32_t log_segments_touched = 0;
+  uint32_t last_serial_seen = UINT32_MAX;
+  LogSegment* only_segment = nullptr;
+  for (uint32_t off = 0; off < ppb(); ++off) {
+    uint64_t lpn = base + off;
+    auto it = latest_.find(lpn);
+    if (it != latest_.end()) {
+      LogSegment* seg = SegmentBySerial(it->second.segment_serial);
+      UFLIP_CHECK(seg != nullptr);
+      if (it->second.segment_serial != last_serial_seen) {
+        last_serial_seen = it->second.segment_serial;
+        ++log_segments_touched;
+        only_segment = seg;
+      }
+      m_pages.push_back(GlobalPage{seg->phys, it->second.page});
+      offs.push_back(off);
+    } else if (map_[lbk] != kUnmapped && IsWritten(lpn)) {
+      m_pages.push_back(GlobalPage{map_[lbk], off});
+      offs.push_back(off);
+    }
+  }
+  // Reorder tier: the single touched log segment is dedicated to this
+  // block (>= half of its entries, live or stale, belong to it) -- the
+  // signature of reverse / in-place streams. Random writes leave stray
+  // chunks in shared segments and pay the full gather overhead.
+  bool dedicated = false;
+  if (log_segments_touched == 1 && only_segment != nullptr) {
+    uint32_t mine = 0;
+    for (uint32_t pg = 0; pg < only_segment->write_point; ++pg) {
+      uint64_t entry = only_segment->entries[pg];
+      if (entry != kUnmapped && entry / ppb() == lbk) ++mine;
+    }
+    dedicated = mine >= ppb() / 2;
+  }
+  cost->service_us += (log_segments_touched <= 1 && dedicated)
+                          ? config_.reorder_overhead_us
+                          : config_.merge_overhead_us;
+  double t = 0;
+  if (!m_pages.empty()) {
+    UFLIP_RETURN_IF_ERROR(
+        array_->ReadPages(m_pages, &m_tokens, &t));
+    cost->service_us += t;
+    cost->page_reads += m_pages.size();
+    stats_.flash_page_reads += m_pages.size();
+    for (size_t k = 0; k < offs.size(); ++k) {
+      m_writes.push_back(
+          PageWrite{GlobalPage{dst, offs[k]}, m_tokens[k]});
+    }
+    UFLIP_RETURN_IF_ERROR(array_->ProgramPages(m_writes, &t));
+    cost->service_us += t;
+    cost->page_programs += m_writes.size();
+    stats_.flash_page_programs += m_writes.size();
+  }
+  uint64_t old_data = map_[lbk];
+  map_[lbk] = dst;
+  if (old_data != kUnmapped) {
+    UFLIP_RETURN_IF_ERROR(ReleaseBlock(old_data, cost));
+  }
+  for (uint32_t off = 0; off < ppb(); ++off) latest_.erase(base + off);
+  return Status::Ok();
+}
+
+Status FastFtl::ReclaimOldest(FtlCost* cost) {
+  UFLIP_CHECK(!ring_.empty());
+  LogSegment& seg = ring_.front();
+  // Collect logical blocks with live pages in this segment.
+  std::vector<uint64_t> victims;
+  for (uint32_t p = 0; p < seg.write_point; ++p) {
+    uint64_t lpn = seg.entries[p];
+    if (lpn == kUnmapped) continue;
+    auto it = latest_.find(lpn);
+    if (it == latest_.end() || it->second.segment_serial != front_serial_ ||
+        it->second.page != p) {
+      continue;  // superseded by a newer copy
+    }
+    uint64_t lbk = lpn / ppb();
+    if (std::find(victims.begin(), victims.end(), lbk) == victims.end()) {
+      victims.push_back(lbk);
+    }
+  }
+  for (uint64_t lbk : victims) {
+    UFLIP_RETURN_IF_ERROR(MergeLogicalBlock(lbk, cost));
+  }
+  // All live content is gone; recycle the block.
+  LogSegment old = std::move(ring_.front());
+  ring_.pop_front();
+  ++front_serial_;
+  UFLIP_RETURN_IF_ERROR(ReleaseBlock(old.phys, cost));
+  return Status::Ok();
+}
+
+FastFtl::Head* FastFtl::PickHead(uint64_t lpn) {
+  ++head_lru_clock_;
+  Head* lru = &heads_[0];
+  for (auto& h : heads_) {
+    if (h.lru < lru->lru) lru = &h;
+    if (h.expected_next == lpn || h.last_lbk == lpn / ppb()) {
+      h.lru = head_lru_clock_;
+      return &h;
+    }
+  }
+  lru->serial = UINT32_MAX;
+  lru->expected_next = UINT64_MAX;
+  lru->last_lbk = UINT64_MAX;
+  lru->lru = head_lru_clock_;
+  return lru;
+}
+
+Status FastFtl::EnsureAppendRoom(Head* head, FtlCost* cost) {
+  LogSegment* seg = SegmentBySerial(head->serial);
+  if (seg != nullptr && seg->write_point < ppb()) return Status::Ok();
+  while (ring_.size() >= config_.log_region_blocks) {
+    UFLIP_RETURN_IF_ERROR(ReclaimOldest(cost));
+  }
+  LogSegment fresh;
+  UFLIP_RETURN_IF_ERROR(AllocFree(&fresh.phys));
+  fresh.entries.assign(ppb(), kUnmapped);
+  ring_.push_back(std::move(fresh));
+  if (ring_.size() == 1) front_serial_ = next_serial_;
+  head->serial = next_serial_;
+  ++next_serial_;
+  return Status::Ok();
+}
+
+Status FastFtl::Write(uint64_t lpn, uint32_t npages, const uint64_t* tokens,
+                      FtlCost* cost) {
+  if (npages == 0) return Status::Ok();
+  if (lpn + npages > logical_pages_) {
+    return Status::OutOfRange("write beyond logical capacity");
+  }
+  stats_.host_page_writes += npages;
+  Head* head = PickHead(lpn);
+  // Sequential-stream alignment: a write starting at a logical-block
+  // boundary closes this head's partially filled segment so that full
+  // sequential blocks land alone in one segment (switch-merge
+  // eligible). Without this, one mid-segment write would misalign every
+  // later sequential stream forever.
+  if (lpn % ppb() == 0 && head->last_lbk != lpn / ppb()) {
+    LogSegment* seg = SegmentBySerial(head->serial);
+    if (seg != nullptr && seg->write_point != 0 &&
+        seg->write_point != ppb()) {
+      seg->write_point = ppb();
+    }
+  }
+  scratch_writes_.clear();
+  for (uint32_t i = 0; i < npages; ++i) {
+    // Appends may wrap the ring (merges flush pending programs first).
+    LogSegment* seg = SegmentBySerial(head->serial);
+    if (seg == nullptr || seg->write_point == ppb()) {
+      if (!scratch_writes_.empty()) {
+        double t = 0;
+        UFLIP_RETURN_IF_ERROR(array_->ProgramPages(scratch_writes_, &t));
+        cost->service_us += t;
+        cost->page_programs += scratch_writes_.size();
+        stats_.flash_page_programs += scratch_writes_.size();
+        scratch_writes_.clear();
+      }
+      UFLIP_RETURN_IF_ERROR(EnsureAppendRoom(head, cost));
+      seg = SegmentBySerial(head->serial);
+      UFLIP_CHECK(seg != nullptr);
+    }
+    uint32_t p = seg->write_point++;
+    uint64_t page = lpn + i;
+    seg->entries[p] = page;
+    latest_[page] = LogLoc{head->serial, p};
+    MarkWritten(page);
+    scratch_writes_.push_back(PageWrite{GlobalPage{seg->phys, p},
+                                        tokens != nullptr ? tokens[i] : 0});
+  }
+  head->expected_next = lpn + npages;
+  head->last_lbk = (lpn + npages - 1) / ppb();
+  if (!scratch_writes_.empty()) {
+    double t = 0;
+    UFLIP_RETURN_IF_ERROR(array_->ProgramPages(scratch_writes_, &t));
+    cost->service_us += t;
+    cost->page_programs += scratch_writes_.size();
+    stats_.flash_page_programs += scratch_writes_.size();
+  }
+  return Status::Ok();
+}
+
+Status FastFtl::Read(uint64_t lpn, uint32_t npages,
+                     std::vector<uint64_t>* tokens, FtlCost* cost) {
+  if (npages == 0) return Status::Ok();
+  if (lpn + npages > logical_pages_) {
+    return Status::OutOfRange("read beyond logical capacity");
+  }
+  stats_.host_page_reads += npages;
+  if (tokens != nullptr) tokens->assign(npages, 0);
+  scratch_pages_.clear();
+  std::vector<size_t> out_index;
+  for (uint32_t i = 0; i < npages; ++i) {
+    uint64_t page = lpn + i;
+    if (!IsWritten(page)) continue;
+    auto it = latest_.find(page);
+    if (it != latest_.end()) {
+      LogSegment* seg = SegmentBySerial(it->second.segment_serial);
+      UFLIP_CHECK(seg != nullptr);
+      scratch_pages_.push_back(GlobalPage{seg->phys, it->second.page});
+    } else {
+      uint64_t lbk = page / ppb();
+      if (map_[lbk] == kUnmapped) continue;
+      scratch_pages_.push_back(
+          GlobalPage{map_[lbk], static_cast<uint32_t>(page % ppb())});
+    }
+    out_index.push_back(i);
+  }
+  if (!scratch_pages_.empty()) {
+    double t = 0;
+    scratch_tokens_.clear();
+    UFLIP_RETURN_IF_ERROR(
+        array_->ReadPages(scratch_pages_, &scratch_tokens_, &t));
+    cost->service_us += t;
+    cost->page_reads += scratch_pages_.size();
+    stats_.flash_page_reads += scratch_pages_.size();
+    if (tokens != nullptr) {
+      for (size_t k = 0; k < out_index.size(); ++k) {
+        (*tokens)[out_index[k]] = scratch_tokens_[k];
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+std::string FastFtl::DebugString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "FastFtl{log_region=%u blocks (%zu in ring), logical=%llu "
+                "pages, WA=%.2f, merges=%llu}",
+                config_.log_region_blocks, ring_.size(),
+                static_cast<unsigned long long>(logical_pages_),
+                stats_.WriteAmplification(),
+                static_cast<unsigned long long>(stats_.merges));
+  return buf;
+}
+
+}  // namespace uflip

@@ -1,0 +1,153 @@
+// FAST-style hybrid FTL: block-granularity direct map plus one shared,
+// fully-associative log region written sequentially. Models mid-range
+// devices (e.g. Kingston DT HyperX in the paper):
+//
+//  * Any write appends to the current log block; a log block retires
+//    only when the region wraps, so random writes confined to an area
+//    smaller than the log region mostly supersede themselves before
+//    reclaim -> a large "locality area" (16 MB for the DTHX) even
+//    without page mapping.
+//  * When the region wraps, the oldest log block is reclaimed: every
+//    logical block that still has live pages in it pays a full merge.
+//    Random writes over a large area make each reclaimed block carry
+//    live pages of many logical blocks -> very expensive random writes.
+//  * A reclaimed log block whose content is exactly one aligned,
+//    complete logical block switch-merges for free, so sequential
+//    writes stay cheap.
+#ifndef UFLIP_FTL_FAST_FTL_H_
+#define UFLIP_FTL_FAST_FTL_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/flash/array.h"
+#include "src/ftl/ftl.h"
+#include "src/util/status.h"
+
+namespace uflip {
+
+struct FastConfig {
+  /// Blocks in the shared log region; the locality area of the device is
+  /// roughly log_region_blocks * block_bytes.
+  uint32_t log_region_blocks = 32;
+  /// Fixed controller bookkeeping cost per *full* merge.
+  double merge_overhead_us = 0.0;
+  /// Cost of a switch merge (map update only).
+  double switch_overhead_us = 100.0;
+  /// Bookkeeping cost of a "reorder" merge: all live log pages of the
+  /// victim block sit in a single log segment (reverse / in-place
+  /// patterns produce these). Much cheaper than the scattered full
+  /// merge on most controllers.
+  double reorder_overhead_us = 2000.0;
+  /// Concurrent append points (write heads). Sequential streams get
+  /// their own segments, so up to this many partitions switch-merge
+  /// cleanly; beyond, streams interleave and degrade to full merges
+  /// (the Partitioning micro-benchmark limit).
+  uint32_t append_points = 1;
+
+  Status Validate() const;
+};
+
+class FastFtl : public Ftl {
+ public:
+  FastFtl(std::unique_ptr<FlashArray> array, const FastConfig& config);
+
+  uint64_t logical_pages() const override { return logical_pages_; }
+  uint32_t page_bytes() const override { return array_->page_data_bytes(); }
+
+  Status Read(uint64_t lpn, uint32_t npages, std::vector<uint64_t>* tokens,
+              FtlCost* cost) override;
+  Status Write(uint64_t lpn, uint32_t npages, const uint64_t* tokens,
+               FtlCost* cost) override;
+
+  const FtlStats& stats() const override { return stats_; }
+  std::string DebugString() const override;
+
+  const FlashArray& array() const { return *array_; }
+  const FastConfig& config() const { return config_; }
+  size_t LogSegments() const { return ring_.size(); }
+
+ private:
+  static constexpr uint64_t kUnmapped = UINT64_MAX;
+
+  struct LogSegment {
+    uint64_t phys = UINT64_MAX;
+    /// entries[p] = logical page stored at physical page p (kUnmapped if
+    /// not yet programmed).
+    std::vector<uint64_t> entries;
+    uint32_t write_point = 0;
+  };
+
+  /// Location of the latest log copy of a logical page.
+  struct LogLoc {
+    uint32_t segment_serial;  // serial id of the segment in ring order
+    uint32_t page;
+  };
+
+  uint32_t ppb() const { return array_->pages_per_block(); }
+
+  bool IsWritten(uint64_t lpn) const {
+    return (written_[lpn >> 6] >> (lpn & 63)) & 1;
+  }
+  void MarkWritten(uint64_t lpn) { written_[lpn >> 6] |= 1ULL << (lpn & 63); }
+
+  Status AllocFree(uint64_t* block);
+  Status ReleaseBlock(uint64_t block, FtlCost* cost);
+
+  struct Head {
+    uint32_t serial = UINT32_MAX;     // current segment, or none
+    uint64_t expected_next = UINT64_MAX;  // stream continuation lpn
+    uint64_t last_lbk = UINT64_MAX;
+    uint64_t lru = 0;
+  };
+
+  /// Picks the append head for a host IO starting at `lpn` (stream
+  /// continuation or same-block match; LRU steal otherwise).
+  Head* PickHead(uint64_t lpn);
+
+  /// Makes sure `head` has a segment with room for one page, wrapping
+  /// the ring (and reclaiming its oldest segment) when needed.
+  Status EnsureAppendRoom(Head* head, FtlCost* cost);
+
+  /// Reclaims the oldest ring segment: merges every logical block with
+  /// live pages in it, then recycles the segment's physical block.
+  Status ReclaimOldest(FtlCost* cost);
+
+  /// Full (or switch) merge of logical block `lbk` using the latest
+  /// copies in the log and its data block.
+  Status MergeLogicalBlock(uint64_t lbk, FtlCost* cost);
+
+  /// Finds the ring segment with serial `serial`, or nullptr.
+  LogSegment* SegmentBySerial(uint32_t serial);
+
+  std::unique_ptr<FlashArray> array_;
+  FastConfig config_;
+
+  uint64_t n_logical_blocks_;
+  uint64_t logical_pages_;
+
+  std::vector<uint64_t> map_;      // lbk -> physical data block
+  std::vector<uint64_t> written_;  // bitmap over logical pages
+  std::vector<uint64_t> free_;
+
+  std::deque<LogSegment> ring_;   // oldest at front
+  uint32_t next_serial_ = 0;      // serial of the segment pushed next
+  uint32_t front_serial_ = 0;     // serial of ring_.front()
+  std::vector<Head> heads_;
+  uint64_t head_lru_clock_ = 0;
+  std::unordered_map<uint64_t, LogLoc> latest_;  // lpn -> latest log copy
+
+  FtlStats stats_;
+
+  std::vector<GlobalPage> scratch_pages_;
+  std::vector<PageWrite> scratch_writes_;
+  std::vector<uint64_t> scratch_tokens_;
+};
+
+}  // namespace uflip
+
+#endif  // UFLIP_FTL_FAST_FTL_H_

@@ -1,0 +1,108 @@
+// Flash Translation Layer interface (Section 2.2 of the paper). An FTL
+// maintains the direct map between logical block addresses and flash
+// pages, trading expensive writes-in-place (with the erase they incur)
+// for cheaper writes onto free flash pages, and reclaiming obsolete pages
+// either synchronously or asynchronously. Three concrete FTLs are
+// provided:
+//   * PageMappingFtl  - log-structured page/mapping-unit granularity map
+//                       with greedy GC (high-end SSDs);
+//   * BastFtl         - block mapping with a per-logical-block log-block
+//                       pool (low-end USB sticks, SD cards);
+//   * FastFtl         - block mapping with a shared sequential log region
+//                       (mid-range devices).
+#ifndef UFLIP_FTL_FTL_H_
+#define UFLIP_FTL_FTL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace uflip {
+
+/// Cost and operation accounting for one FTL request (or one GC run).
+struct FtlCost {
+  /// Foreground service time in microseconds.
+  double service_us = 0;
+  uint64_t page_reads = 0;
+  uint64_t page_programs = 0;
+  uint64_t block_erases = 0;
+  /// Merge operations (BAST/FAST) or GC victim collections (page map).
+  uint64_t merges = 0;
+  /// Extra page reads/programs caused by read-modify-write of partially
+  /// covered mapping units (the alignment penalty).
+  uint64_t rmw_pages = 0;
+
+  void Add(const FtlCost& other) {
+    service_us += other.service_us;
+    page_reads += other.page_reads;
+    page_programs += other.page_programs;
+    block_erases += other.block_erases;
+    merges += other.merges;
+    rmw_pages += other.rmw_pages;
+  }
+};
+
+/// Lifetime counters for reports and tests.
+struct FtlStats {
+  uint64_t host_page_reads = 0;
+  uint64_t host_page_writes = 0;
+  uint64_t flash_page_reads = 0;
+  uint64_t flash_page_programs = 0;
+  uint64_t flash_block_erases = 0;
+  uint64_t merges = 0;
+  uint64_t gc_runs = 0;
+
+  /// Write amplification: flash programs per host page written.
+  double WriteAmplification() const {
+    return host_page_writes == 0
+               ? 0.0
+               : static_cast<double>(flash_page_programs) /
+                     static_cast<double>(host_page_writes);
+  }
+};
+
+/// Abstract FTL. All addressing is in logical flash pages; the device
+/// model (SimDevice) converts host byte offsets into page ranges.
+/// `tokens` carry 64-bit content stand-ins so that data integrity is
+/// testable end-to-end without buffering real data.
+class Ftl {
+ public:
+  virtual ~Ftl() = default;
+
+  /// Logical capacity in flash pages (< physical due to over-provisioning
+  /// and log/reserve pools).
+  virtual uint64_t logical_pages() const = 0;
+  virtual uint32_t page_bytes() const = 0;
+
+  /// Reads `npages` logical pages starting at `lpn`. Never-written pages
+  /// yield token 0. tokens may be nullptr when the caller only needs
+  /// timing.
+  virtual Status Read(uint64_t lpn, uint32_t npages,
+                      std::vector<uint64_t>* tokens, FtlCost* cost) = 0;
+
+  /// Writes `npages` logical pages starting at `lpn`; tokens[i] is the
+  /// content of page lpn+i (tokens may be nullptr -> zero tokens).
+  virtual Status Write(uint64_t lpn, uint32_t npages, const uint64_t* tokens,
+                       FtlCost* cost) = 0;
+
+  /// Runs up to `budget_us` of deferred background work (asynchronous
+  /// page reclamation, Section 2.2). Returns the time actually consumed.
+  /// Default: the FTL has no asynchronous machinery.
+  virtual double BackgroundWork(double budget_us) {
+    (void)budget_us;
+    return 0.0;
+  }
+
+  /// Estimated outstanding background work in microseconds (0 when the
+  /// device is fully reclaimed). Drives the lingering effect of Figure 5.
+  virtual double PendingBackgroundUs() const { return 0.0; }
+
+  virtual const FtlStats& stats() const = 0;
+  virtual std::string DebugString() const = 0;
+};
+
+}  // namespace uflip
+
+#endif  // UFLIP_FTL_FTL_H_

@@ -1,0 +1,519 @@
+#include "src/ftl/page_mapping_ftl.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/util/logging.h"
+
+namespace uflip {
+
+Status PageMappingConfig::Validate(const ArrayConfig& array) const {
+  if (mapping_unit_pages == 0 ||
+      array.chip_geometry.pages_per_block % mapping_unit_pages != 0) {
+    return Status::InvalidArgument(
+        "mapping_unit_pages must divide pages_per_block");
+  }
+  if (overprovision <= 0.0 || overprovision >= 0.9) {
+    return Status::InvalidArgument("overprovision must be in (0, 0.9)");
+  }
+  if (write_streams == 0) {
+    return Status::InvalidArgument("write_streams must be > 0");
+  }
+  return Status::Ok();
+}
+
+PageMappingFtl::PageMappingFtl(std::unique_ptr<FlashArray> array,
+                               const PageMappingConfig& config)
+    : array_(std::move(array)), config_(config) {
+  mu_pages_ = config_.mapping_unit_pages;
+  slots_per_block_ = array_->pages_per_block() / mu_pages_;
+  UFLIP_CHECK(slots_per_block_ > 0);
+  n_blocks_ = array_->total_blocks();
+
+  // Reserve: over-provisioning, but always enough for the GC high
+  // watermark, the open-block demand of the streams, and a per-channel
+  // GC relocation cushion.
+  uint64_t reserve = static_cast<uint64_t>(
+      static_cast<double>(n_blocks_) * config_.overprovision);
+  uint64_t floor_reserve =
+      config_.gc_high_watermark_blocks +
+      static_cast<uint64_t>(config_.write_streams + 2) * array_->channels() +
+      4;
+  reserve = std::max(reserve, floor_reserve);
+  UFLIP_CHECK_MSG(reserve < n_blocks_,
+                  "device too small for the configured reserve");
+
+  n_mus_ = (n_blocks_ - reserve) * slots_per_block_;
+  logical_pages_ = n_mus_ * mu_pages_;
+
+  map_.assign(n_mus_, kUnmapped);
+  rmap_.assign(n_blocks_ * slots_per_block_, kUnmapped);
+  valid_.assign(n_blocks_, 0);
+  fill_.assign(n_blocks_, 0);
+  state_.assign(n_blocks_, BlockState::kFree);
+  free_.resize(array_->channels());
+  for (uint64_t b = 0; b < n_blocks_; ++b) {
+    free_[array_->ChannelOf(b)].push_back(b);
+    ++free_total_;
+  }
+  candidates_.resize(array_->channels());
+  for (uint32_t c = 0; c < array_->channels(); ++c) {
+    candidates_[c] = std::make_unique<BucketQueue>(
+        static_cast<uint32_t>(n_blocks_), slots_per_block_);
+  }
+  streams_.resize(config_.write_streams);
+  for (auto& s : streams_) s.open.assign(array_->channels(), kNoBlock);
+  gc_stream_.open.assign(array_->channels(), kNoBlock);
+}
+
+PageMappingFtl::Stream* PageMappingFtl::PickStream(uint64_t first_mu,
+                                                   uint64_t end_mu) {
+  (void)end_mu;
+  ++lru_clock_;
+  Stream* learnable = nullptr;
+  int64_t learn_stride = kStrideUnknown;
+  Stream* lru = &streams_[0];
+  for (auto& s : streams_) {
+    if (s.lru_tick < lru->lru_tick) lru = &s;
+    if (s.last_start == UINT64_MAX) continue;
+    if (s.stride != kStrideUnknown) {
+      // Exact continuation of a known stream.
+      uint64_t expected =
+          s.stride == 1
+              ? s.last_end
+              : static_cast<uint64_t>(static_cast<int64_t>(s.last_start) +
+                                      s.stride);
+      if (first_mu == expected) {
+        s.lru_tick = lru_clock_;
+        return &s;
+      }
+    } else if (learnable == nullptr) {
+      if (first_mu == s.last_end) {
+        learnable = &s;
+        learn_stride = 1;  // sequential: IO begins where the last ended
+      } else if (first_mu == s.last_start) {
+        learnable = &s;
+        learn_stride = 0;  // in-place
+      } else {
+        int64_t delta = static_cast<int64_t>(first_mu) -
+                        static_cast<int64_t>(s.last_start);
+        if (delta != 0 &&
+            std::llabs(delta) <=
+                static_cast<int64_t>(config_.max_learn_stride_mus)) {
+          learnable = &s;
+          learn_stride = delta;  // strided (Incr) or reverse
+        }
+      }
+    }
+  }
+  if (learnable != nullptr) {
+    learnable->stride = learn_stride;
+    learnable->lru_tick = lru_clock_;
+    return learnable;
+  }
+  // Steal the least-recently-used stream; keep its open blocks (they
+  // continue to be filled by the new stream).
+  lru->last_start = UINT64_MAX;
+  lru->last_end = UINT64_MAX;
+  lru->stride = kStrideUnknown;
+  lru->lru_tick = lru_clock_;
+  return lru;
+}
+
+uint32_t PageMappingFtl::PlacementChannel(Stream* stream, uint64_t mu) {
+  const uint32_t channels = array_->channels();
+  if (stream->stride != kStrideUnknown && stream->stride > 1) {
+    // Strided sequential stream: LBA-static placement so that later
+    // sequential reads stripe across channels. Strides that are
+    // multiples of the channel count collapse onto one channel.
+    uint64_t lba_block = (mu * mu_pages_) / array_->pages_per_block();
+    return static_cast<uint32_t>(lba_block % channels);
+  }
+  // Sequential / in-place / reverse / random: dynamic round-robin.
+  if (stream->stride == kStrideUnknown) {
+    return global_rr_channel_++ % channels;
+  }
+  return stream->rr_channel++ % channels;
+}
+
+Status PageMappingFtl::FlushPending(FtlCost* cost) {
+  if (pending_writes_.empty()) return Status::Ok();
+  double t = 0;
+  Status s = array_->ProgramPages(pending_writes_, &t);
+  cost->service_us += t;
+  cost->page_programs += pending_writes_.size();
+  stats_.flash_page_programs += pending_writes_.size();
+  pending_writes_.clear();
+  return s;
+}
+
+Status PageMappingFtl::AllocBlock(uint32_t channel, FtlCost* cost,
+                                  uint64_t* block) {
+  // Keep a per-channel cushion free for GC relocation.
+  uint64_t guard = 0;
+  while (free_[channel].empty() || free_total_ <= array_->channels()) {
+    UFLIP_RETURN_IF_ERROR(GcOnce(channel, cost));
+    if (++guard > n_blocks_) {
+      return Status::Internal("GC cannot reclaim space (device full?)");
+    }
+  }
+  *block = free_[channel].back();
+  free_[channel].pop_back();
+  --free_total_;
+  state_[*block] = BlockState::kOpen;
+  UFLIP_DCHECK(fill_[*block] == 0);
+  return Status::Ok();
+}
+
+Status PageMappingFtl::EnsureOpenBlock(Stream* stream, uint32_t channel,
+                                       FtlCost* cost, uint64_t* block) {
+  uint64_t b = stream->open[channel];
+  if (b != kNoBlock && state_[b] == BlockState::kOpen &&
+      fill_[b] < slots_per_block_) {
+    *block = b;
+    return Status::Ok();
+  }
+  UFLIP_RETURN_IF_ERROR(AllocBlock(channel, cost, &b));
+  stream->open[channel] = b;
+  *block = b;
+  return Status::Ok();
+}
+
+void PageMappingFtl::InvalidateOld(uint64_t mu) {
+  uint64_t slot = map_[mu];
+  if (slot == kUnmapped) return;
+  rmap_[slot] = kUnmapped;
+  uint64_t b = BlockOfSlot(slot);
+  UFLIP_DCHECK(valid_[b] > 0);
+  --valid_[b];
+  if (state_[b] == BlockState::kFull) {
+    candidates_[array_->ChannelOf(b)]->UpdateKey(static_cast<uint32_t>(b),
+                                                 valid_[b]);
+  }
+}
+
+void PageMappingFtl::SealIfFull(uint64_t block) {
+  if (fill_[block] == slots_per_block_ &&
+      state_[block] == BlockState::kOpen) {
+    state_[block] = BlockState::kFull;
+    candidates_[array_->ChannelOf(block)]->Insert(
+        static_cast<uint32_t>(block), valid_[block]);
+  }
+}
+
+Status PageMappingFtl::GcOnce(uint32_t channel, FtlCost* cost) {
+  // A victim must never carry unflushed host programs.
+  UFLIP_RETURN_IF_ERROR(FlushPending(cost));
+  ++stats_.gc_runs;
+  BucketQueue* q = candidates_[channel].get();
+  if (q->empty()) {
+    return Status::Internal("GC: no full blocks to collect on channel");
+  }
+  uint32_t victim = q->PopMin();
+  state_[victim] = BlockState::kFree;  // will be erased below
+
+  // Relocate valid mapping units.
+  // Local buffers: GC may run in the middle of a host write that is
+  // accumulating its own program batch in the shared scratch vectors.
+  std::vector<GlobalPage> gc_pages;
+  std::vector<PageWrite> gc_writes;
+  std::vector<uint64_t> gc_tokens;
+  std::vector<uint64_t> moved_mus;
+  for (uint32_t idx = 0; idx < slots_per_block_; ++idx) {
+    uint64_t slot = SlotOf(victim, idx);
+    uint64_t mu = rmap_[slot];
+    if (mu == kUnmapped) continue;
+    moved_mus.push_back(mu);
+    for (uint32_t p = 0; p < mu_pages_; ++p) {
+      gc_pages.push_back(
+          GlobalPage{victim, idx * mu_pages_ + p});
+    }
+  }
+  double t = 0;
+  if (!gc_pages.empty()) {
+    UFLIP_RETURN_IF_ERROR(
+        array_->ReadPages(gc_pages, &gc_tokens, &t));
+    cost->service_us += t;
+    cost->page_reads += gc_pages.size();
+    stats_.flash_page_reads += gc_pages.size();
+
+    // Program relocated MUs into the GC frontier (victim's channel if it
+    // has capacity, otherwise any channel with free space).
+    size_t tok_idx = 0;
+    for (uint64_t mu : moved_mus) {
+      // Find a destination block.
+      uint64_t dst = gc_stream_.open[channel];
+      uint32_t dst_ch = channel;
+      if (dst == kNoBlock || fill_[dst] >= slots_per_block_) {
+        dst = kNoBlock;
+        // Prefer the victim's channel, then any channel with an open
+        // frontier with slack or a free block.
+        for (uint32_t off = 0; off < array_->channels(); ++off) {
+          uint32_t c = (channel + off) % array_->channels();
+          uint64_t ob = gc_stream_.open[c];
+          if (ob != kNoBlock && fill_[ob] < slots_per_block_) {
+            dst = ob;
+            dst_ch = c;
+            break;
+          }
+          if (!free_[c].empty()) {
+            dst = free_[c].back();
+            free_[c].pop_back();
+            --free_total_;
+            state_[dst] = BlockState::kOpen;
+            gc_stream_.open[c] = dst;
+            dst_ch = c;
+            break;
+          }
+        }
+        if (dst == kNoBlock) {
+          return Status::Internal("GC relocation found no free space");
+        }
+      } else {
+        dst_ch = channel;
+      }
+      UFLIP_CHECK_MSG(fill_[dst] < slots_per_block_,
+                      "gc fill overflow b=%llu fill=%u state=%d victim=%u "
+                      "dst_ch=%u ch=%u gc_open_ch=%llu",
+                      (unsigned long long)dst, fill_[dst], (int)state_[dst],
+                      victim, dst_ch, channel,
+                      (unsigned long long)gc_stream_.open[channel]);
+      uint32_t idx = fill_[dst]++;
+      uint64_t new_slot = SlotOf(dst, idx);
+      for (uint32_t p = 0; p < mu_pages_; ++p) {
+        gc_writes.push_back(PageWrite{
+            GlobalPage{dst, idx * mu_pages_ + p},
+            gc_tokens[tok_idx++]});
+      }
+      // Re-point the map. The old slot belongs to the victim, which is
+      // erased below, so no bucket update is needed.
+      rmap_[map_[mu]] = kUnmapped;
+      map_[mu] = new_slot;
+      rmap_[new_slot] = mu;
+      ++valid_[dst];
+      SealIfFull(dst);
+      if (gc_stream_.open[dst_ch] == dst &&
+          fill_[dst] == slots_per_block_) {
+        gc_stream_.open[dst_ch] = kNoBlock;
+      }
+    }
+    UFLIP_RETURN_IF_ERROR(array_->ProgramPages(gc_writes, &t));
+    cost->service_us += t;
+    cost->page_programs += gc_writes.size();
+    stats_.flash_page_programs += gc_writes.size();
+  }
+
+  valid_[victim] = 0;
+  UFLIP_RETURN_IF_ERROR(array_->EraseBlock(victim, &t));
+  cost->service_us += t;
+  ++cost->block_erases;
+  ++stats_.flash_block_erases;
+  fill_[victim] = 0;
+  // Drop stale open-block pointers: a stream that last wrote into this
+  // block while it was still open must not keep appending to it now
+  // that it is erased and back on the free list.
+  for (auto& stream : streams_) {
+    for (auto& open : stream.open) {
+      if (open == victim) open = kNoBlock;
+    }
+  }
+  for (auto& open : gc_stream_.open) {
+    if (open == victim) open = kNoBlock;
+  }
+  free_[channel].push_back(victim);
+  ++free_total_;
+  ++cost->merges;
+  return Status::Ok();
+}
+
+Status PageMappingFtl::WriteMu(Stream* stream, uint64_t mu,
+                               const uint64_t* mu_tokens, FtlCost* cost) {
+  uint32_t channel = PlacementChannel(stream, mu);
+  uint64_t block = 0;
+  UFLIP_RETURN_IF_ERROR(EnsureOpenBlock(stream, channel, cost, &block));
+  UFLIP_CHECK_MSG(fill_[block] < slots_per_block_, "write fill overflow b=%llu",
+                  (unsigned long long)block);
+  uint32_t idx = fill_[block]++;
+  uint64_t slot = SlotOf(block, idx);
+  for (uint32_t p = 0; p < mu_pages_; ++p) {
+    pending_writes_.push_back(
+        PageWrite{GlobalPage{block, idx * mu_pages_ + p}, mu_tokens[p]});
+  }
+  InvalidateOld(mu);
+  map_[mu] = slot;
+  rmap_[slot] = mu;
+  ++valid_[block];
+  SealIfFull(block);
+  return Status::Ok();
+}
+
+Status PageMappingFtl::Write(uint64_t lpn, uint32_t npages,
+                             const uint64_t* tokens, FtlCost* cost) {
+  if (npages == 0) return Status::Ok();
+  if (lpn + npages > logical_pages_) {
+    return Status::OutOfRange("write beyond logical capacity");
+  }
+  stats_.host_page_writes += npages;
+
+  uint64_t first_mu = lpn / mu_pages_;
+  uint64_t last_mu = (lpn + npages - 1) / mu_pages_;
+  Stream* stream = PickStream(first_mu, last_mu + 1);
+
+  // Pass 1: gather read-modify-write pages for partially covered MUs.
+  scratch_pages_.clear();
+  struct RmwRef {
+    uint64_t page;   // logical page
+    size_t index;    // index into the RMW token array
+  };
+  std::vector<RmwRef> rmw_refs;
+  for (uint64_t mu = first_mu; mu <= last_mu; ++mu) {
+    uint64_t mu_base = mu * mu_pages_;
+    for (uint32_t p = 0; p < mu_pages_; ++p) {
+      uint64_t page = mu_base + p;
+      bool covered = page >= lpn && page < lpn + npages;
+      if (covered) continue;
+      uint64_t slot = map_[mu];
+      if (slot == kUnmapped) continue;  // missing data is zero
+      uint64_t phys_block = BlockOfSlot(slot);
+      uint32_t phys_page = IdxOfSlot(slot) * mu_pages_ + p;
+      rmw_refs.push_back(RmwRef{page, scratch_pages_.size()});
+      scratch_pages_.push_back(GlobalPage{phys_block, phys_page});
+    }
+  }
+  std::vector<uint64_t> rmw_tokens;
+  if (!scratch_pages_.empty()) {
+    double t = 0;
+    UFLIP_RETURN_IF_ERROR(array_->ReadPages(scratch_pages_, &rmw_tokens, &t));
+    cost->service_us += t;
+    cost->page_reads += scratch_pages_.size();
+    cost->rmw_pages += scratch_pages_.size();
+    stats_.flash_page_reads += scratch_pages_.size();
+  }
+
+  // Pass 2: write each MU (allocation may trigger synchronous GC whose
+  // flash operations are charged immediately after the pending batch is
+  // flushed; the new data programs are batched for cross-channel
+  // makespan accounting).
+  UFLIP_DCHECK(pending_writes_.empty());
+  std::vector<uint64_t> mu_tokens(mu_pages_, 0);
+  size_t rmw_cursor = 0;
+  for (uint64_t mu = first_mu; mu <= last_mu; ++mu) {
+    uint64_t mu_base = mu * mu_pages_;
+    for (uint32_t p = 0; p < mu_pages_; ++p) {
+      uint64_t page = mu_base + p;
+      if (page >= lpn && page < lpn + npages) {
+        mu_tokens[p] = tokens != nullptr ? tokens[page - lpn] : 0;
+      } else if (rmw_cursor < rmw_refs.size() &&
+                 rmw_refs[rmw_cursor].page == page) {
+        mu_tokens[p] = rmw_tokens[rmw_refs[rmw_cursor].index];
+        ++rmw_cursor;
+      } else {
+        mu_tokens[p] = 0;
+      }
+    }
+    UFLIP_RETURN_IF_ERROR(WriteMu(stream, mu, mu_tokens.data(), cost));
+  }
+  UFLIP_RETURN_IF_ERROR(FlushPending(cost));
+  stream->last_start = first_mu;
+  stream->last_end = last_mu + 1;
+  return Status::Ok();
+}
+
+Status PageMappingFtl::Read(uint64_t lpn, uint32_t npages,
+                            std::vector<uint64_t>* tokens, FtlCost* cost) {
+  if (npages == 0) return Status::Ok();
+  if (lpn + npages > logical_pages_) {
+    return Status::OutOfRange("read beyond logical capacity");
+  }
+  stats_.host_page_reads += npages;
+  if (tokens != nullptr) {
+    tokens->assign(npages, 0);
+  }
+  scratch_pages_.clear();
+  std::vector<size_t> out_index;
+  for (uint32_t i = 0; i < npages; ++i) {
+    uint64_t page = lpn + i;
+    uint64_t mu = page / mu_pages_;
+    uint64_t slot = map_[mu];
+    if (slot == kUnmapped) continue;  // never written -> zero
+    uint64_t phys_block = BlockOfSlot(slot);
+    uint32_t phys_page =
+        IdxOfSlot(slot) * mu_pages_ + static_cast<uint32_t>(page % mu_pages_);
+    scratch_pages_.push_back(GlobalPage{phys_block, phys_page});
+    out_index.push_back(i);
+  }
+  if (!scratch_pages_.empty()) {
+    double t = 0;
+    scratch_tokens_.clear();
+    UFLIP_RETURN_IF_ERROR(
+        array_->ReadPages(scratch_pages_, &scratch_tokens_, &t));
+    cost->service_us += t;
+    cost->page_reads += scratch_pages_.size();
+    stats_.flash_page_reads += scratch_pages_.size();
+    if (tokens != nullptr) {
+      for (size_t k = 0; k < out_index.size(); ++k) {
+        (*tokens)[out_index[k]] = scratch_tokens_[k];
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+double PageMappingFtl::BackgroundWork(double budget_us) {
+  if (!config_.async_gc) return 0.0;
+  bg_credit_us_ += budget_us;
+  // Cap accumulated credit so that a week-long idle does not turn into
+  // unbounded instantaneous work later.
+  double cap = 50.0 * gc_cost_ema_us_ * config_.gc_high_watermark_blocks;
+  bg_credit_us_ = std::min(bg_credit_us_, cap);
+  double used = 0;
+  while (free_total_ < config_.gc_high_watermark_blocks &&
+         bg_credit_us_ >= gc_cost_ema_us_) {
+    // Collect on the channel with the least free blocks.
+    uint32_t ch = 0;
+    for (uint32_t c = 1; c < array_->channels(); ++c) {
+      if (free_[c].size() < free_[ch].size()) ch = c;
+    }
+    if (candidates_[ch]->empty()) {
+      // Fall back to any channel with candidates.
+      bool found = false;
+      for (uint32_t c = 0; c < array_->channels(); ++c) {
+        if (!candidates_[c]->empty()) {
+          ch = c;
+          found = true;
+          break;
+        }
+      }
+      if (!found) break;
+    }
+    FtlCost gc;
+    if (!GcOnce(ch, &gc).ok()) break;
+    gc_cost_ema_us_ = 0.8 * gc_cost_ema_us_ + 0.2 * gc.service_us;
+    bg_credit_us_ -= gc.service_us;
+    used += gc.service_us;
+  }
+  return used;
+}
+
+double PageMappingFtl::PendingBackgroundUs() const {
+  if (!config_.async_gc) return 0.0;
+  if (free_total_ >= config_.gc_high_watermark_blocks) return 0.0;
+  return static_cast<double>(config_.gc_high_watermark_blocks - free_total_) *
+         gc_cost_ema_us_;
+}
+
+std::string PageMappingFtl::DebugString() const {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "PageMappingFtl{mu=%u pages, logical=%llu pages, free=%llu blocks, "
+      "WA=%.2f, gc_runs=%llu}",
+      mu_pages_, static_cast<unsigned long long>(logical_pages_),
+      static_cast<unsigned long long>(free_total_),
+      stats_.WriteAmplification(),
+      static_cast<unsigned long long>(stats_.gc_runs));
+  return buf;
+}
+
+}  // namespace uflip

@@ -1,0 +1,187 @@
+// Log-structured page-mapping FTL modelling high-end SSDs (Memoright,
+// Mtron, Samsung in the paper). Main behaviours and where they come from:
+//
+//  * The direct map works at "mapping unit" (MU) granularity -- one or
+//    more flash pages (Samsung: 16KB). Host writes that partially cover
+//    an MU pay a read-modify-write; this is the alignment penalty of the
+//    Alignment micro-benchmark.
+//  * Writes are appended to per-stream open blocks striped across
+//    channels; a K-entry stream table detects (strided) sequential
+//    streams. More concurrent sequential streams than K degrade to
+//    random-write behaviour (Partitioning micro-benchmark).
+//  * Strided streams (Incr > 1) are placed with LBA-static channel
+//    assignment to preserve sequential read striping; strides that are
+//    multiples of the channel count collapse onto a single channel
+//    (the paper's "large Incr" x2-x4 penalty).
+//  * Garbage collection is greedy (minimum-valid victim per channel).
+//    Random writes over a large area leave victims mostly valid ->
+//    large write amplification; writes within a small area (or
+//    sequential overwrites) leave victims mostly invalid -> cheap.
+//    This produces the Locality micro-benchmark behaviour.
+//  * With async_gc enabled, reclamation is deferred to idle periods
+//    (Pause/Bursts absorption); the free-block high watermark restored
+//    during inter-run pauses produces the start-up phase of Figure 3,
+//    and the outstanding "GC debt" after a random-write burst produces
+//    the lingering effect on reads of Figure 5.
+#ifndef UFLIP_FTL_PAGE_MAPPING_FTL_H_
+#define UFLIP_FTL_PAGE_MAPPING_FTL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/flash/array.h"
+#include "src/ftl/bucket_queue.h"
+#include "src/ftl/ftl.h"
+#include "src/util/status.h"
+
+namespace uflip {
+
+struct PageMappingConfig {
+  /// Flash pages per mapping unit (1 -> 2KB map granularity; 8 -> 16KB).
+  uint32_t mapping_unit_pages = 2;
+  /// Fraction of physical capacity reserved (not host visible).
+  double overprovision = 0.08;
+  /// Number of write streams the FTL tracks (open-block contexts).
+  uint32_t write_streams = 4;
+  /// Maximum MU distance at which two host IOs are recognized as one
+  /// strided stream.
+  uint32_t max_learn_stride_mus = 8192;
+  /// Asynchronous (idle-time) garbage collection.
+  bool async_gc = false;
+  /// Async GC refills the free pool up to this many blocks; sync GC runs
+  /// only when a channel's free list is empty. Also the length of the
+  /// start-up phase in blocks.
+  uint32_t gc_high_watermark_blocks = 32;
+
+  Status Validate(const ArrayConfig& array) const;
+};
+
+class PageMappingFtl : public Ftl {
+ public:
+  /// Takes ownership of the flash array.
+  PageMappingFtl(std::unique_ptr<FlashArray> array,
+                 const PageMappingConfig& config);
+
+  uint64_t logical_pages() const override { return logical_pages_; }
+  uint32_t page_bytes() const override { return array_->page_data_bytes(); }
+
+  Status Read(uint64_t lpn, uint32_t npages, std::vector<uint64_t>* tokens,
+              FtlCost* cost) override;
+  Status Write(uint64_t lpn, uint32_t npages, const uint64_t* tokens,
+               FtlCost* cost) override;
+
+  double BackgroundWork(double budget_us) override;
+  double PendingBackgroundUs() const override;
+
+  const FtlStats& stats() const override { return stats_; }
+  std::string DebugString() const override;
+
+  /// Total free (fully erased, unassigned) blocks; exposed for tests.
+  uint64_t FreeBlocks() const { return free_total_; }
+  const FlashArray& array() const { return *array_; }
+  const PageMappingConfig& config() const { return config_; }
+
+ private:
+  static constexpr uint64_t kUnmapped = UINT64_MAX;
+  static constexpr uint64_t kNoBlock = UINT64_MAX;
+  static constexpr int64_t kStrideUnknown = INT64_MIN;
+
+  enum class BlockState : uint8_t { kFree, kOpen, kFull };
+
+  struct Stream {
+    /// First / one-past-last MU of the previous host IO of this stream.
+    uint64_t last_start = UINT64_MAX;
+    uint64_t last_end = UINT64_MAX;
+    /// 1 = sequential (next IO starts at last_end), 0 = in-place,
+    /// other = strided in MUs between IO starts; kStrideUnknown = not
+    /// yet learned.
+    int64_t stride = kStrideUnknown;
+    uint64_t lru_tick = 0;
+    uint32_t rr_channel = 0;
+    std::vector<uint64_t> open;  // per channel, kNoBlock if none
+  };
+
+  uint64_t SlotOf(uint64_t block, uint32_t idx) const {
+    return block * slots_per_block_ + idx;
+  }
+  uint64_t BlockOfSlot(uint64_t slot) const { return slot / slots_per_block_; }
+  uint32_t IdxOfSlot(uint64_t slot) const {
+    return static_cast<uint32_t>(slot % slots_per_block_);
+  }
+
+  /// Selects (or steals) a stream for a host IO covering MUs
+  /// [first_mu, end_mu).
+  Stream* PickStream(uint64_t first_mu, uint64_t end_mu);
+
+  /// Channel for the i-th MU of a host IO handled by `stream`.
+  uint32_t PlacementChannel(Stream* stream, uint64_t mu);
+
+  /// Returns a block on `channel` with at least one free slot for
+  /// `stream` (allocating / garbage-collecting as needed).
+  Status EnsureOpenBlock(Stream* stream, uint32_t channel, FtlCost* cost,
+                         uint64_t* block);
+
+  /// Pops a free block on `channel`, running synchronous GC if empty.
+  Status AllocBlock(uint32_t channel, FtlCost* cost, uint64_t* block);
+
+  /// Programs the pending host-write batch (pending_writes_). Must be
+  /// called before any GC so a victim block can never have unflushed
+  /// programs.
+  Status FlushPending(FtlCost* cost);
+
+  /// One greedy GC run on `channel`: relocate the valid MUs of the
+  /// minimum-valid full block, erase it. Fails if nothing reclaimable.
+  Status GcOnce(uint32_t channel, FtlCost* cost);
+
+  /// Marks `mu`'s previous slot invalid (if mapped).
+  void InvalidateOld(uint64_t mu);
+
+  /// Transitions a filled open block to Full and queues it for GC.
+  void SealIfFull(uint64_t block);
+
+  /// Writes one MU: allocates a slot, programs pages, updates maps.
+  Status WriteMu(Stream* stream, uint64_t mu, const uint64_t* mu_tokens,
+                 FtlCost* cost);
+
+  std::unique_ptr<FlashArray> array_;
+  PageMappingConfig config_;
+
+  uint32_t mu_pages_;
+  uint32_t slots_per_block_;
+  uint64_t n_blocks_;
+  uint64_t n_mus_;
+  uint64_t logical_pages_;
+
+  std::vector<uint64_t> map_;          // mu -> slot (kUnmapped)
+  std::vector<uint64_t> rmap_;         // slot -> mu (kUnmapped = free/invalid)
+  std::vector<uint32_t> valid_;        // per block: valid slots
+  std::vector<uint32_t> fill_;         // per block: next slot index
+  std::vector<BlockState> state_;      // per block
+  std::vector<std::vector<uint64_t>> free_;  // per channel free lists
+  uint64_t free_total_ = 0;
+  std::vector<std::unique_ptr<BucketQueue>> candidates_;  // per channel
+
+  std::vector<Stream> streams_;
+  Stream gc_stream_;  // relocation frontier (per-channel open blocks)
+  uint64_t lru_clock_ = 0;
+  uint32_t global_rr_channel_ = 0;
+
+  // Async GC bookkeeping.
+  double bg_credit_us_ = 0;
+  double gc_cost_ema_us_ = 2000.0;
+
+  FtlStats stats_;
+
+  // Scratch buffers reused across calls.
+  std::vector<GlobalPage> scratch_pages_;
+  std::vector<uint64_t> scratch_tokens_;
+  // Host-write program batch, deferred for cross-channel makespan
+  // accounting; flushed before GC and at the end of each Write().
+  std::vector<PageWrite> pending_writes_;
+};
+
+}  // namespace uflip
+
+#endif  // UFLIP_FTL_PAGE_MAPPING_FTL_H_

@@ -1,0 +1,164 @@
+#include "src/ftl/write_cache.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/util/logging.h"
+
+namespace uflip {
+
+Status WriteCacheConfig::Validate() const {
+  if (capacity_pages == 0) {
+    return Status::InvalidArgument("capacity_pages must be > 0");
+  }
+  return Status::Ok();
+}
+
+WriteCache::WriteCache(std::unique_ptr<Ftl> inner,
+                       const WriteCacheConfig& config)
+    : inner_(std::move(inner)), config_(config) {
+  UFLIP_CHECK(config_.Validate().ok());
+}
+
+Status WriteCache::FlushRun(uint64_t lpn, FtlCost* cost) {
+  // Gather the contiguous dirty run starting at (or containing) lpn.
+  uint64_t start = lpn;
+  while (start > 0 && dirty_.count(start - 1)) --start;
+  std::vector<uint64_t> tokens;
+  uint64_t p = start;
+  while (dirty_.count(p) && tokens.size() < 256) {
+    tokens.push_back(dirty_[p].token);
+    dirty_.erase(p);
+    ++p;
+  }
+  if (tokens.empty()) return Status::Ok();
+  return inner_->Write(start, static_cast<uint32_t>(tokens.size()),
+                       tokens.data(), cost);
+}
+
+Status WriteCache::EvictToCapacity(FtlCost* cost) {
+  while (dirty_.size() > config_.capacity_pages) {
+    // Oldest insertion whose page is still dirty.
+    while (!fifo_.empty() && !dirty_.count(fifo_.front())) fifo_.pop_front();
+    if (fifo_.empty()) break;  // defensive: stale queue
+    UFLIP_RETURN_IF_ERROR(FlushRun(fifo_.front(), cost));
+  }
+  return Status::Ok();
+}
+
+Status WriteCache::Write(uint64_t lpn, uint32_t npages,
+                         const uint64_t* tokens, FtlCost* cost) {
+  for (uint32_t i = 0; i < npages; ++i) {
+    uint64_t page = lpn + i;
+    auto it = dirty_.find(page);
+    if (it != dirty_.end()) {
+      if (++it->second.overwrites > config_.max_coalesce) {
+        // Dwell bound reached: destage this run, then re-insert.
+        UFLIP_RETURN_IF_ERROR(FlushRun(page, cost));
+        dirty_[page] = Entry{tokens != nullptr ? tokens[i] : 0, 0};
+        fifo_.push_back(page);
+      } else {
+        it->second.token = tokens != nullptr ? tokens[i] : 0;
+      }
+    } else {
+      dirty_[page] = Entry{tokens != nullptr ? tokens[i] : 0, 0};
+      fifo_.push_back(page);
+    }
+  }
+  return EvictToCapacity(cost);
+}
+
+Status WriteCache::Read(uint64_t lpn, uint32_t npages,
+                        std::vector<uint64_t>* tokens, FtlCost* cost) {
+  // Serve cached pages from RAM; read the uncached subranges from the
+  // inner FTL.
+  if (tokens != nullptr) tokens->assign(npages, 0);
+  uint32_t i = 0;
+  while (i < npages) {
+    uint64_t page = lpn + i;
+    auto it = dirty_.find(page);
+    if (it != dirty_.end()) {
+      if (tokens != nullptr) (*tokens)[i] = it->second.token;
+      ++i;
+      continue;
+    }
+    // Extend the uncached run.
+    uint32_t j = i;
+    while (j < npages && !dirty_.count(lpn + j)) ++j;
+    std::vector<uint64_t> sub;
+    UFLIP_RETURN_IF_ERROR(
+        inner_->Read(lpn + i, j - i, tokens != nullptr ? &sub : nullptr,
+                     cost));
+    if (tokens != nullptr) {
+      std::copy(sub.begin(), sub.end(), tokens->begin() + i);
+    }
+    i = j;
+  }
+  return Status::Ok();
+}
+
+Status WriteCache::FlushAll(FtlCost* cost) {
+  while (!dirty_.empty()) {
+    UFLIP_RETURN_IF_ERROR(FlushRun(dirty_.begin()->first, cost));
+  }
+  fifo_.clear();
+  return Status::Ok();
+}
+
+double WriteCache::BackgroundWork(double budget_us) {
+  double used = 0;
+  if (config_.background_flush && !dirty_.empty()) {
+    bg_credit_us_ += budget_us;
+    // Cap: a week of idle must not turn into unbounded credit.
+    bg_credit_us_ = std::min(
+        bg_credit_us_, 10.0 * flush_cost_per_page_ema_us_ *
+                           static_cast<double>(config_.capacity_pages));
+    while (!dirty_.empty()) {
+      // Estimate the next run's cost; stop when credit is insufficient.
+      while (!fifo_.empty() && !dirty_.count(fifo_.front())) {
+        fifo_.pop_front();
+      }
+      if (fifo_.empty()) break;
+      if (bg_credit_us_ < flush_cost_per_page_ema_us_) break;
+      size_t before = dirty_.size();
+      FtlCost cost;
+      if (!FlushRun(fifo_.front(), &cost).ok()) break;
+      size_t flushed = before - dirty_.size();
+      if (flushed > 0) {
+        flush_cost_per_page_ema_us_ =
+            0.8 * flush_cost_per_page_ema_us_ +
+            0.2 * cost.service_us / static_cast<double>(flushed);
+      }
+      bg_credit_us_ -= cost.service_us;
+      used += cost.service_us;
+    }
+  }
+  used += inner_->BackgroundWork(budget_us > used ? budget_us - used : 0);
+  return used;
+}
+
+double WriteCache::PendingBackgroundUs() const {
+  double pending = inner_->PendingBackgroundUs();
+  if (config_.background_flush) {
+    // Only dirty data beyond a comfortable fill level counts as debt;
+    // a half-empty buffer does not make the controller steal foreground
+    // slices. This is what gives async devices their start-up phase
+    // (the buffer absorbs the first ~capacity/2 pages silently).
+    size_t comfortable = config_.capacity_pages / 2;
+    if (dirty_.size() > comfortable) {
+      pending += static_cast<double>(dirty_.size() - comfortable) *
+                 flush_cost_per_page_ema_us_;
+    }
+  }
+  return pending;
+}
+
+std::string WriteCache::DebugString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "WriteCache{dirty=%zu/%u} over %s",
+                dirty_.size(), config_.capacity_pages,
+                inner_->DebugString().c_str());
+  return buf;
+}
+
+}  // namespace uflip

@@ -1,0 +1,191 @@
+#include "src/pattern/pattern.h"
+
+#include <cstdio>
+
+#include "src/util/logging.h"
+
+namespace uflip {
+
+const char* LbaFunctionName(LbaFunction f) {
+  switch (f) {
+    case LbaFunction::kSequential:
+      return "sequential";
+    case LbaFunction::kRandom:
+      return "random";
+    case LbaFunction::kOrdered:
+      return "ordered";
+    case LbaFunction::kPartitioned:
+      return "partitioned";
+  }
+  return "?";
+}
+
+const char* TimeFunctionName(TimeFunction f) {
+  switch (f) {
+    case TimeFunction::kConsecutive:
+      return "consecutive";
+    case TimeFunction::kPause:
+      return "pause";
+    case TimeFunction::kBurst:
+      return "burst";
+  }
+  return "?";
+}
+
+Status PatternSpec::Validate() const {
+  if (io_size == 0) return Status::InvalidArgument("io_size == 0");
+  if (target_size < io_size) {
+    return Status::InvalidArgument("target_size smaller than io_size");
+  }
+  if (io_count == 0) return Status::InvalidArgument("io_count == 0");
+  if (io_ignore >= io_count) {
+    return Status::InvalidArgument("io_ignore must be < io_count");
+  }
+  if (lba == LbaFunction::kPartitioned) {
+    if (partitions == 0) return Status::InvalidArgument("partitions == 0");
+    if (target_size / partitions < io_size) {
+      return Status::InvalidArgument("partition smaller than io_size");
+    }
+  }
+  if (time == TimeFunction::kBurst && burst == 0) {
+    return Status::InvalidArgument("burst == 0");
+  }
+  if (io_shift % 512 != 0) {
+    return Status::InvalidArgument("io_shift must be a multiple of 512");
+  }
+  return Status::Ok();
+}
+
+std::string PatternSpec::ToString() const {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%s{%s %s io=%uB target=[%llu,+%llu) shift=%llu incr=%lld parts=%u "
+      "pause=%lluus burst=%u n=%u ignore=%u}",
+      label.empty() ? "Pattern" : label.c_str(), IoModeName(mode),
+      LbaFunctionName(lba), io_size,
+      static_cast<unsigned long long>(target_offset),
+      static_cast<unsigned long long>(target_size),
+      static_cast<unsigned long long>(io_shift), static_cast<long long>(incr),
+      partitions, static_cast<unsigned long long>(pause_us), burst, io_count,
+      io_ignore);
+  return buf;
+}
+
+PatternSpec PatternSpec::SequentialRead(uint32_t io_size,
+                                        uint64_t target_offset,
+                                        uint64_t target_size) {
+  PatternSpec s;
+  s.mode = IoMode::kRead;
+  s.lba = LbaFunction::kSequential;
+  s.io_size = io_size;
+  s.target_offset = target_offset;
+  s.target_size = target_size;
+  s.label = "SR";
+  return s;
+}
+
+PatternSpec PatternSpec::RandomRead(uint32_t io_size, uint64_t target_offset,
+                                    uint64_t target_size) {
+  PatternSpec s = SequentialRead(io_size, target_offset, target_size);
+  s.lba = LbaFunction::kRandom;
+  s.label = "RR";
+  return s;
+}
+
+PatternSpec PatternSpec::SequentialWrite(uint32_t io_size,
+                                         uint64_t target_offset,
+                                         uint64_t target_size) {
+  PatternSpec s = SequentialRead(io_size, target_offset, target_size);
+  s.mode = IoMode::kWrite;
+  s.label = "SW";
+  return s;
+}
+
+PatternSpec PatternSpec::RandomWrite(uint32_t io_size, uint64_t target_offset,
+                                     uint64_t target_size) {
+  PatternSpec s = SequentialRead(io_size, target_offset, target_size);
+  s.mode = IoMode::kWrite;
+  s.lba = LbaFunction::kRandom;
+  s.label = "RW";
+  return s;
+}
+
+StatusOr<PatternSpec> PatternSpec::Baseline(const std::string& name,
+                                            uint32_t io_size,
+                                            uint64_t target_offset,
+                                            uint64_t target_size) {
+  if (name == "SR") return SequentialRead(io_size, target_offset, target_size);
+  if (name == "RR") return RandomRead(io_size, target_offset, target_size);
+  if (name == "SW") {
+    return SequentialWrite(io_size, target_offset, target_size);
+  }
+  if (name == "RW") return RandomWrite(io_size, target_offset, target_size);
+  return Status::InvalidArgument("unknown baseline pattern: " + name);
+}
+
+PatternGenerator::PatternGenerator(const PatternSpec& spec)
+    : spec_(spec), rng_(spec.seed) {
+  UFLIP_CHECK_MSG(spec.Validate().ok(), "invalid pattern: %s",
+                  spec.ToString().c_str());
+}
+
+uint64_t PatternGenerator::LbaAt(const PatternSpec& spec, uint64_t i,
+                                 Rng* rng) {
+  const uint64_t locations = spec.target_size / spec.io_size;
+  uint64_t aligned = 0;
+  switch (spec.lba) {
+    case LbaFunction::kRandom:
+      aligned = rng->UniformU64(locations) * spec.io_size;
+      break;
+    case LbaFunction::kSequential:
+      // Seq: TargetOffset + (i x IOSize) mod TargetSize (Table 1,
+      // Locality row); wraps inside the target space.
+      aligned = (i % locations) * spec.io_size;
+      break;
+    case LbaFunction::kOrdered: {
+      // Seq: TargetOffset + (Incr x i x IOSize); negative increments
+      // wrap from the end of the target space.
+      int64_t pos = spec.incr * static_cast<int64_t>(i);
+      int64_t wrapped = pos % static_cast<int64_t>(locations);
+      if (wrapped < 0) wrapped += static_cast<int64_t>(locations);
+      aligned = static_cast<uint64_t>(wrapped) * spec.io_size;
+      break;
+    }
+    case LbaFunction::kPartitioned: {
+      // Pi x PS + Oi with PS = TargetSize/Partitions, Pi = i mod P,
+      // Oi = floor(i/P) x IOSize mod PS (Table 1).
+      uint64_t ps = spec.target_size / spec.partitions;
+      ps -= ps % spec.io_size;  // IOSize-aligned partition stride
+      uint64_t pi = i % spec.partitions;
+      uint64_t oi = ((i / spec.partitions) * spec.io_size) % ps;
+      aligned = pi * ps + oi;
+      break;
+    }
+  }
+  return spec.target_offset + spec.io_shift + aligned;
+}
+
+IoRequest PatternGenerator::Next() {
+  IoRequest req;
+  req.offset = LbaAt(spec_, index_, &rng_);
+  req.size = spec_.io_size;
+  req.mode = spec_.mode;
+  ++index_;
+  return req;
+}
+
+uint64_t PatternGenerator::PauseBeforeNextUs() const {
+  switch (spec_.time) {
+    case TimeFunction::kConsecutive:
+      return 0;
+    case TimeFunction::kPause:
+      return index_ == 0 ? 0 : spec_.pause_us;
+    case TimeFunction::kBurst:
+      // A pause of length Pause between groups of Burst IOs.
+      return (index_ != 0 && index_ % spec_.burst == 0) ? spec_.pause_us : 0;
+  }
+  return 0;
+}
+
+}  // namespace uflip

@@ -1,0 +1,115 @@
+// IO patterns (Section 3.1): a pattern is a sequence of IOs, each defined
+// by four attributes -- submission time t(IOi), IOSize, LBA(IOi) and
+// Mode(IOi). uFLIP restricts the attribute functions to:
+//   t:    consecutive | pause(Pause) | burst(Pause, Burst)
+//   size: constant IOSize
+//   LBA:  sequential | random | ordered(Incr) | partitioned(Partitions),
+//         relative to TargetOffset within TargetSize, aligned to IOSize
+//         boundaries plus IOShift
+//   mode: read | write
+// plus run-control parameters IOCount (pattern length) and IOIgnore
+// (warm-up IOs excluded from statistics).
+#ifndef UFLIP_PATTERN_PATTERN_H_
+#define UFLIP_PATTERN_PATTERN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/device/block_device.h"
+#include "src/util/random.h"
+#include "src/util/status.h"
+
+namespace uflip {
+
+enum class LbaFunction { kSequential, kRandom, kOrdered, kPartitioned };
+enum class TimeFunction { kConsecutive, kPause, kBurst };
+
+const char* LbaFunctionName(LbaFunction f);
+const char* TimeFunctionName(TimeFunction f);
+
+/// Complete description of one reference pattern (Table 1).
+struct PatternSpec {
+  // -- the four IO attributes --
+  IoMode mode = IoMode::kRead;
+  uint32_t io_size = 32 * 1024;
+  LbaFunction lba = LbaFunction::kSequential;
+  TimeFunction time = TimeFunction::kConsecutive;
+
+  // -- LBA function parameters --
+  /// Start of the target space on the device (bytes).
+  uint64_t target_offset = 0;
+  /// Size of the target space (bytes); sequential/ordered patterns wrap
+  /// around inside it.
+  uint64_t target_size = 0;
+  /// Misalignment added to every LBA (bytes, multiple of 512).
+  uint64_t io_shift = 0;
+  /// ordered(Incr): linear coefficient; -1 = reverse, 0 = in-place,
+  /// >1 = increasing gaps.
+  int64_t incr = 1;
+  /// partitioned(Partitions): round-robin partitions of the target space.
+  uint32_t partitions = 1;
+
+  // -- time function parameters --
+  uint64_t pause_us = 0;
+  uint32_t burst = 1;
+
+  // -- run control --
+  uint32_t io_count = 1024;
+  /// Start-up IOs excluded from summary statistics (Section 4.2).
+  uint32_t io_ignore = 0;
+  uint64_t seed = 1;
+
+  std::string label;
+
+  Status Validate() const;
+  std::string ToString() const;
+
+  /// Number of distinct IOSize-aligned locations in the target space.
+  uint64_t Locations() const { return target_size / io_size; }
+
+  // Baseline patterns (SR / RR / SW / RW) over a target space.
+  static PatternSpec SequentialRead(uint32_t io_size, uint64_t target_offset,
+                                    uint64_t target_size);
+  static PatternSpec RandomRead(uint32_t io_size, uint64_t target_offset,
+                                uint64_t target_size);
+  static PatternSpec SequentialWrite(uint32_t io_size, uint64_t target_offset,
+                                     uint64_t target_size);
+  static PatternSpec RandomWrite(uint32_t io_size, uint64_t target_offset,
+                                 uint64_t target_size);
+  /// Baseline by short name "SR" | "RR" | "SW" | "RW".
+  static StatusOr<PatternSpec> Baseline(const std::string& name,
+                                        uint32_t io_size,
+                                        uint64_t target_offset,
+                                        uint64_t target_size);
+};
+
+/// Generates the IO sequence of a pattern. Deterministic given the
+/// spec's seed. IOs must be drawn in order (the random LBA stream is
+/// stateful).
+class PatternGenerator {
+ public:
+  explicit PatternGenerator(const PatternSpec& spec);
+
+  const PatternSpec& spec() const { return spec_; }
+
+  /// The i-th IO request (call with i = 0, 1, 2, ... in order).
+  IoRequest Next();
+
+  /// Pause to insert before submitting the next IO (time function).
+  uint64_t PauseBeforeNextUs() const;
+
+  uint64_t index() const { return index_; }
+
+  /// LBA formula (Table 1) for index i; exposed for tests. Random
+  /// patterns draw from `rng`.
+  static uint64_t LbaAt(const PatternSpec& spec, uint64_t i, Rng* rng);
+
+ private:
+  PatternSpec spec_;
+  Rng rng_;
+  uint64_t index_ = 0;
+};
+
+}  // namespace uflip
+
+#endif  // UFLIP_PATTERN_PATTERN_H_

@@ -1,0 +1,109 @@
+#include "src/report/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace uflip {
+
+namespace {
+
+double Tx(double v, bool log_scale) {
+  if (!log_scale) return v;
+  return std::log10(std::max(v, 1e-9));
+}
+
+}  // namespace
+
+std::string RenderChart(const std::vector<ChartSeries>& series,
+                        const ChartOptions& options) {
+  const int w = std::max(20, options.width);
+  const int h = std::max(6, options.height);
+
+  double xmin = std::numeric_limits<double>::infinity(), xmax = -xmin;
+  double ymin = xmin, ymax = -xmin;
+  bool any = false;
+  for (const auto& s : series) {
+    for (size_t i = 0; i < s.x.size() && i < s.y.size(); ++i) {
+      any = true;
+      xmin = std::min(xmin, Tx(s.x[i], options.log_x));
+      xmax = std::max(xmax, Tx(s.x[i], options.log_x));
+      ymin = std::min(ymin, Tx(s.y[i], options.log_y));
+      ymax = std::max(ymax, Tx(s.y[i], options.log_y));
+    }
+  }
+  if (!any) return options.title + "\n  (no data)\n";
+  if (xmax - xmin < 1e-12) xmax = xmin + 1;
+  if (ymax - ymin < 1e-12) ymax = ymin + 1;
+
+  std::vector<std::string> grid(h, std::string(w, ' '));
+  for (const auto& s : series) {
+    for (size_t i = 0; i < s.x.size() && i < s.y.size(); ++i) {
+      double fx = (Tx(s.x[i], options.log_x) - xmin) / (xmax - xmin);
+      double fy = (Tx(s.y[i], options.log_y) - ymin) / (ymax - ymin);
+      int col = static_cast<int>(fx * (w - 1));
+      int row = h - 1 - static_cast<int>(fy * (h - 1));
+      grid[row][col] = s.glyph;
+    }
+  }
+
+  auto fmt_val = [&](double t, bool log_scale) {
+    double v = log_scale ? std::pow(10.0, t) : t;
+    char buf[32];
+    if (std::fabs(v) >= 1e6 || (std::fabs(v) < 1e-2 && v != 0)) {
+      std::snprintf(buf, sizeof(buf), "%.2g", v);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.4g", v);
+    }
+    return std::string(buf);
+  };
+
+  std::string out;
+  if (!options.title.empty()) out += options.title + "\n";
+  std::string ytop = fmt_val(ymax, options.log_y);
+  std::string ybot = fmt_val(ymin, options.log_y);
+  size_t margin = std::max(ytop.size(), ybot.size()) + 1;
+  for (int r = 0; r < h; ++r) {
+    std::string label;
+    if (r == 0) {
+      label = ytop;
+    } else if (r == h - 1) {
+      label = ybot;
+    }
+    out += std::string(margin - label.size(), ' ') + label + "|" + grid[r] +
+           "\n";
+  }
+  out += std::string(margin, ' ') + "+" + std::string(w, '-') + "\n";
+  std::string xlo = fmt_val(xmin, options.log_x);
+  std::string xhi = fmt_val(xmax, options.log_x);
+  out += std::string(margin + 1, ' ') + xlo +
+         std::string(std::max<int>(1, w - static_cast<int>(xlo.size()) -
+                                          static_cast<int>(xhi.size())),
+                     ' ') +
+         xhi + "\n";
+  std::string legend;
+  for (const auto& s : series) {
+    if (!legend.empty()) legend += "   ";
+    legend += std::string(1, s.glyph) + " " + s.name;
+  }
+  if (!legend.empty()) {
+    out += std::string(margin + 1, ' ') + legend;
+  }
+  if (!options.x_label.empty()) out += "   [x: " + options.x_label + "]";
+  if (!options.y_label.empty()) out += " [y: " + options.y_label + "]";
+  out += "\n";
+  return out;
+}
+
+std::string RenderTrace(const std::vector<double>& y,
+                        const ChartOptions& options) {
+  ChartSeries s;
+  s.name = options.y_label.empty() ? "rt" : options.y_label;
+  s.y = y;
+  s.x.resize(y.size());
+  for (size_t i = 0; i < y.size(); ++i) s.x[i] = static_cast<double>(i);
+  return RenderChart({s}, options);
+}
+
+}  // namespace uflip

@@ -1,0 +1,41 @@
+// Terminal rendering of the paper's figures: scatter/line charts of
+// response time vs IO number or parameter value, with optional
+// logarithmic axes (the paper plots response time on a log scale).
+#ifndef UFLIP_REPORT_ASCII_CHART_H_
+#define UFLIP_REPORT_ASCII_CHART_H_
+
+#include <string>
+#include <vector>
+
+namespace uflip {
+
+struct ChartOptions {
+  int width = 96;
+  int height = 22;
+  bool log_y = false;
+  bool log_x = false;
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+};
+
+/// One named series of (x, y) points.
+struct ChartSeries {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+  char glyph = '*';
+};
+
+/// Renders series into a text chart (box-drawn axes, one glyph per
+/// series, legend line).
+std::string RenderChart(const std::vector<ChartSeries>& series,
+                        const ChartOptions& options);
+
+/// Convenience: y values against their indices (response-time traces).
+std::string RenderTrace(const std::vector<double>& y,
+                        const ChartOptions& options);
+
+}  // namespace uflip
+
+#endif  // UFLIP_REPORT_ASCII_CHART_H_

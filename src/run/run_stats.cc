@@ -1,0 +1,49 @@
+#include "src/run/run_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace uflip {
+
+RunStats RunStats::Compute(const std::vector<double>& samples_us,
+                           size_t first) {
+  RunStats s;
+  if (first >= samples_us.size()) return s;
+  std::vector<double> v(samples_us.begin() + first, samples_us.end());
+  s.count = v.size();
+  double sum = 0, sum2 = 0;
+  s.min_us = v[0];
+  s.max_us = v[0];
+  for (double x : v) {
+    sum += x;
+    sum2 += x * x;
+    s.min_us = std::min(s.min_us, x);
+    s.max_us = std::max(s.max_us, x);
+  }
+  s.sum_us = sum;
+  s.mean_us = sum / static_cast<double>(s.count);
+  double var = sum2 / static_cast<double>(s.count) - s.mean_us * s.mean_us;
+  s.stddev_us = var > 0 ? std::sqrt(var) : 0.0;
+  std::sort(v.begin(), v.end());
+  auto pct = [&v](double p) {
+    size_t idx = static_cast<size_t>(p * static_cast<double>(v.size() - 1));
+    return v[idx];
+  };
+  s.p50_us = pct(0.50);
+  s.p95_us = pct(0.95);
+  s.p99_us = pct(0.99);
+  return s;
+}
+
+std::string RunStats::ToString() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu min=%.0f mean=%.0f p50=%.0f p95=%.0f max=%.0f "
+                "sd=%.0f (us)",
+                static_cast<unsigned long long>(count), min_us, mean_us,
+                p50_us, p95_us, max_us, stddev_us);
+  return buf;
+}
+
+}  // namespace uflip

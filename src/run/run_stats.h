@@ -1,0 +1,34 @@
+// Per-run summary statistics (Section 3.2, design principle 1: "for each
+// run we measure and record the response time of individual IOs and
+// compute statistics (min, max, mean, standard deviation)").
+#ifndef UFLIP_RUN_RUN_STATS_H_
+#define UFLIP_RUN_RUN_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace uflip {
+
+struct RunStats {
+  uint64_t count = 0;
+  double min_us = 0;
+  double max_us = 0;
+  double mean_us = 0;
+  double stddev_us = 0;
+  double p50_us = 0;
+  double p95_us = 0;
+  double p99_us = 0;
+  double sum_us = 0;
+
+  std::string ToString() const;
+
+  /// Computes statistics over samples[first..], i.e. with the first
+  /// `first` (start-up) samples ignored.
+  static RunStats Compute(const std::vector<double>& samples_us,
+                          size_t first = 0);
+};
+
+}  // namespace uflip
+
+#endif  // UFLIP_RUN_RUN_STATS_H_

@@ -1,0 +1,157 @@
+#include "src/run/runner.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace uflip {
+
+std::vector<double> RunResult::ResponseTimes() const {
+  std::vector<double> v;
+  v.reserve(samples.size());
+  for (const IoSample& s : samples) v.push_back(s.rt_us);
+  return v;
+}
+
+RunStats RunResult::Stats() const {
+  return RunStats::Compute(ResponseTimes(), spec.io_ignore);
+}
+
+RunStats RunResult::StatsIncludingStartup() const {
+  return RunStats::Compute(ResponseTimes(), 0);
+}
+
+StatusOr<RunResult> ExecuteRun(BlockDevice* device, const PatternSpec& spec) {
+  UFLIP_RETURN_IF_ERROR(spec.Validate());
+  if (spec.target_offset + spec.target_size + spec.io_shift >
+      device->capacity_bytes()) {
+    return Status::OutOfRange("target space beyond device capacity: " +
+                              spec.ToString());
+  }
+  RunResult result;
+  result.spec = spec;
+  result.samples.reserve(spec.io_count);
+  PatternGenerator gen(spec);
+  Clock* clock = device->clock();
+  for (uint64_t i = 0; i < spec.io_count; ++i) {
+    uint64_t pause = gen.PauseBeforeNextUs();
+    if (pause > 0) clock->SleepUs(pause);
+    IoRequest req = gen.Next();
+    uint64_t t = clock->NowUs();
+    StatusOr<double> rt = device->SubmitAt(t, req);
+    if (!rt.ok()) return rt.status();
+    clock->SleepUs(static_cast<uint64_t>(*rt));
+    result.samples.push_back(IoSample{i, t, *rt, req});
+  }
+  return result;
+}
+
+StatusOr<RunResult> ExecuteParallelRun(BlockDevice* device,
+                                       const PatternSpec& base,
+                                       uint32_t degree) {
+  if (degree == 0) return Status::InvalidArgument("degree == 0");
+  UFLIP_RETURN_IF_ERROR(base.Validate());
+
+  // Per-process pattern over its own slice of the target space.
+  std::vector<PatternGenerator> gens;
+  std::vector<uint64_t> ready_us(degree);
+  std::vector<uint64_t> remaining(degree);
+  uint64_t slice = base.target_size / degree;
+  slice -= slice % base.io_size;
+  if (slice < base.io_size) {
+    return Status::InvalidArgument("target slice smaller than io_size");
+  }
+  uint64_t per_process = base.io_count / degree;
+  if (per_process == 0) {
+    return Status::InvalidArgument("io_count smaller than degree");
+  }
+  uint64_t start_us = device->clock()->NowUs();
+  for (uint32_t p = 0; p < degree; ++p) {
+    PatternSpec s = base;
+    s.target_offset = base.target_offset + p * slice;
+    s.target_size = slice;
+    s.io_count = static_cast<uint32_t>(per_process);
+    // Scale the warm-up with the per-process share of the run.
+    s.io_ignore = std::min<uint32_t>(base.io_ignore / degree,
+                                     s.io_count - 1);
+    s.seed = base.seed + p * 7919;
+    gens.emplace_back(s);
+    ready_us[p] = start_us;
+    remaining[p] = per_process;
+  }
+
+  RunResult result;
+  result.spec = base;
+  result.samples.reserve(per_process * degree);
+  uint64_t submitted = 0;
+  uint64_t max_completion = start_us;
+  while (true) {
+    // Next process ready to submit (synchronous IO per process).
+    uint32_t p = UINT32_MAX;
+    for (uint32_t q = 0; q < degree; ++q) {
+      if (remaining[q] == 0) continue;
+      if (p == UINT32_MAX || ready_us[q] < ready_us[p]) p = q;
+    }
+    if (p == UINT32_MAX) break;
+    IoRequest req = gens[p].Next();
+    uint64_t t = ready_us[p];
+    StatusOr<double> rt = device->SubmitAt(t, req);
+    if (!rt.ok()) return rt.status();
+    result.samples.push_back(IoSample{submitted++, t, *rt, req});
+    ready_us[p] = t + static_cast<uint64_t>(*rt);
+    max_completion = std::max(max_completion, ready_us[p]);
+    --remaining[p];
+  }
+  // Samples in submission-time order.
+  std::sort(result.samples.begin(), result.samples.end(),
+            [](const IoSample& a, const IoSample& b) {
+              return a.submit_us < b.submit_us;
+            });
+  for (uint64_t i = 0; i < result.samples.size(); ++i) {
+    result.samples[i].index = i;
+  }
+  // Advance the shared clock past the whole parallel phase.
+  if (auto* c = device->clock(); c->NowUs() < max_completion) {
+    c->SleepUs(max_completion - c->NowUs());
+  }
+  return result;
+}
+
+StatusOr<RunResult> ExecuteMixRun(BlockDevice* device,
+                                  const PatternSpec& first,
+                                  const PatternSpec& second, uint32_t ratio) {
+  if (ratio == 0) return Status::InvalidArgument("ratio == 0");
+  UFLIP_RETURN_IF_ERROR(first.Validate());
+  UFLIP_RETURN_IF_ERROR(second.Validate());
+
+  PatternGenerator gen1(first);
+  PatternGenerator gen2(second);
+  Clock* clock = device->clock();
+
+  // Scale the run so the minority pattern contributes io_count IOs of
+  // its own past its start-up phase (the FlashIO IOCount/IOIgnore
+  // scaling described in Section 5.1).
+  uint64_t groups = std::max<uint64_t>(1, second.io_count);
+  uint64_t total = groups * (ratio + 1);
+
+  RunResult result;
+  result.spec = first;
+  result.spec.label = first.label + "/" + second.label + " mix " +
+                      std::to_string(ratio) + ":1";
+  result.spec.io_count = static_cast<uint32_t>(total);
+  result.spec.io_ignore = static_cast<uint32_t>(
+      static_cast<uint64_t>(second.io_ignore) * (ratio + 1));
+  result.samples.reserve(total);
+  for (uint64_t i = 0; i < total; ++i) {
+    bool from_first = (i % (ratio + 1)) != ratio;
+    IoRequest req = from_first ? gen1.Next() : gen2.Next();
+    uint64_t t = clock->NowUs();
+    StatusOr<double> rt = device->SubmitAt(t, req);
+    if (!rt.ok()) return rt.status();
+    clock->SleepUs(static_cast<uint64_t>(*rt));
+    result.samples.push_back(IoSample{i, t, *rt, req});
+  }
+  return result;
+}
+
+}  // namespace uflip

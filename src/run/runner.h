@@ -1,0 +1,68 @@
+// Run execution (Section 3.2): a run is one execution of a reference
+// pattern against a device, recording the response time of every IO.
+// Includes the plain runner, the parallel runner (Parallelism
+// micro-benchmark) and the mix runner (Mix micro-benchmark).
+#ifndef UFLIP_RUN_RUNNER_H_
+#define UFLIP_RUN_RUNNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/device/block_device.h"
+#include "src/pattern/pattern.h"
+#include "src/run/run_stats.h"
+#include "src/util/status.h"
+
+namespace uflip {
+
+/// One measured IO.
+struct IoSample {
+  uint64_t index = 0;      // position in the pattern
+  uint64_t submit_us = 0;  // submission time (device clock)
+  double rt_us = 0;        // response time
+  IoRequest req;
+};
+
+/// Result of one run.
+struct RunResult {
+  PatternSpec spec;
+  std::vector<IoSample> samples;
+
+  /// Response times only, in submission order.
+  std::vector<double> ResponseTimes() const;
+
+  /// Statistics over the running phase (spec.io_ignore start-up IOs
+  /// excluded, Section 4.2).
+  RunStats Stats() const;
+
+  /// Statistics including the start-up phase.
+  RunStats StatsIncludingStartup() const;
+};
+
+/// Executes a single pattern run on a device.
+StatusOr<RunResult> ExecuteRun(BlockDevice* device, const PatternSpec& spec);
+
+/// Parallelism micro-benchmark executor: `degree` concurrent processes,
+/// each running the same baseline pattern over its own slice of the
+/// target space (Table 1):
+///   TargetOffset_p = TargetOffset + p * TargetSize / degree
+///   TargetSize_p   = TargetSize / degree
+/// The device serializes overlapping IOs; response time includes queue
+/// wait, exactly as on a real synchronous-IO device shared by
+/// processes.
+StatusOr<RunResult> ExecuteParallelRun(BlockDevice* device,
+                                       const PatternSpec& base,
+                                       uint32_t degree);
+
+/// Mix micro-benchmark executor: interleaves `ratio` IOs of `first` with
+/// one IO of `second`, consecutively (Table 1). The two patterns keep
+/// independent LBA streams and target spaces. io_count/io_ignore of
+/// `first` control the total length, scaled as in the FlashIO tool so
+/// that the minority pattern still gets past its own start-up phase.
+StatusOr<RunResult> ExecuteMixRun(BlockDevice* device,
+                                  const PatternSpec& first,
+                                  const PatternSpec& second, uint32_t ratio);
+
+}  // namespace uflip
+
+#endif  // UFLIP_RUN_RUNNER_H_

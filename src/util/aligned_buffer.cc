@@ -1,0 +1,47 @@
+#include "src/util/aligned_buffer.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace uflip {
+
+AlignedBuffer::AlignedBuffer(size_t size, size_t alignment)
+    : size_(size), alignment_(alignment) {
+  UFLIP_CHECK(alignment != 0 && (alignment & (alignment - 1)) == 0);
+  // aligned_alloc requires size to be a multiple of alignment.
+  size_t alloc = (size + alignment - 1) / alignment * alignment;
+  if (alloc == 0) alloc = alignment;
+  data_ = static_cast<uint8_t*>(std::aligned_alloc(alignment, alloc));
+  UFLIP_CHECK(data_ != nullptr);
+}
+
+AlignedBuffer::~AlignedBuffer() { std::free(data_); }
+
+AlignedBuffer::AlignedBuffer(AlignedBuffer&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      alignment_(std::exchange(other.alignment_, 0)) {}
+
+AlignedBuffer& AlignedBuffer::operator=(AlignedBuffer&& other) noexcept {
+  if (this != &other) {
+    std::free(data_);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    alignment_ = std::exchange(other.alignment_, 0);
+  }
+  return *this;
+}
+
+void AlignedBuffer::FillPattern(uint64_t seed) {
+  uint64_t x = seed * 0x9E3779B97F4A7C15ULL + 1;
+  for (size_t i = 0; i < size_; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    data_[i] = static_cast<uint8_t>(x);
+  }
+}
+
+}  // namespace uflip

@@ -1,0 +1,40 @@
+// Page-aligned IO buffer for O_DIRECT file IO and chip page staging.
+#ifndef UFLIP_UTIL_ALIGNED_BUFFER_H_
+#define UFLIP_UTIL_ALIGNED_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace uflip {
+
+/// Owns a heap buffer aligned to `alignment` bytes (default 4096, enough
+/// for O_DIRECT on every mainstream Linux filesystem).
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+  explicit AlignedBuffer(size_t size, size_t alignment = 4096);
+  ~AlignedBuffer();
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+  AlignedBuffer(AlignedBuffer&& other) noexcept;
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept;
+
+  uint8_t* data() { return data_; }
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  size_t alignment() const { return alignment_; }
+
+  /// Fills the buffer with a deterministic byte pattern derived from
+  /// `seed` (used to make written data verifiable).
+  void FillPattern(uint64_t seed);
+
+ private:
+  uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  size_t alignment_ = 0;
+};
+
+}  // namespace uflip
+
+#endif  // UFLIP_UTIL_ALIGNED_BUFFER_H_

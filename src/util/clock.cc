@@ -1,0 +1,21 @@
+#include "src/util/clock.h"
+
+#include <ctime>
+
+namespace uflip {
+
+uint64_t RealClock::NowUs() const {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000ULL +
+         static_cast<uint64_t>(ts.tv_nsec) / 1000ULL;
+}
+
+void RealClock::SleepUs(uint64_t us) {
+  timespec req;
+  req.tv_sec = static_cast<time_t>(us / 1000000ULL);
+  req.tv_nsec = static_cast<long>((us % 1000000ULL) * 1000ULL);
+  nanosleep(&req, nullptr);
+}
+
+}  // namespace uflip

@@ -1,0 +1,48 @@
+// Clock abstraction. Simulated devices advance a VirtualClock (fast,
+// deterministic); FileDevice measures against the RealClock
+// (CLOCK_MONOTONIC). All times in the library are microseconds.
+#ifndef UFLIP_UTIL_CLOCK_H_
+#define UFLIP_UTIL_CLOCK_H_
+
+#include <cstdint>
+
+namespace uflip {
+
+/// Microsecond clock interface.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in microseconds since an arbitrary epoch.
+  virtual uint64_t NowUs() const = 0;
+  /// Blocks (real clock) or advances time (virtual clock) by `us`.
+  virtual void SleepUs(uint64_t us) = 0;
+};
+
+/// Deterministic clock for simulation: Now() is a counter advanced by
+/// SleepUs()/AdvanceTo(). Never blocks.
+class VirtualClock : public Clock {
+ public:
+  explicit VirtualClock(uint64_t start_us = 0) : now_us_(start_us) {}
+
+  uint64_t NowUs() const override { return now_us_; }
+  void SleepUs(uint64_t us) override { now_us_ += us; }
+
+  /// Moves the clock forward to `t_us`; no-op if already past it.
+  void AdvanceTo(uint64_t t_us) {
+    if (t_us > now_us_) now_us_ = t_us;
+  }
+
+ private:
+  uint64_t now_us_;
+};
+
+/// Wall clock backed by CLOCK_MONOTONIC; SleepUs() uses nanosleep.
+class RealClock : public Clock {
+ public:
+  uint64_t NowUs() const override;
+  void SleepUs(uint64_t us) override;
+};
+
+}  // namespace uflip
+
+#endif  // UFLIP_UTIL_CLOCK_H_

@@ -1,0 +1,52 @@
+#include "src/util/csv.h"
+
+#include <cstdio>
+
+namespace uflip {
+
+StatusOr<CsvWriter> CsvWriter::Open(const std::string& path) {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open CSV file: " + path);
+  }
+  return CsvWriter(std::move(out));
+}
+
+std::string CsvWriter::Escape(const std::string& cell) {
+  bool needs_quote = cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << Escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::WriteRow(const std::vector<double>& cells) {
+  char buf[64];
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    std::snprintf(buf, sizeof(buf), "%.6g", cells[i]);
+    out_ << buf;
+  }
+  out_ << '\n';
+}
+
+Status CsvWriter::Close() {
+  out_.flush();
+  if (!out_.good()) return Status::IoError("CSV stream in failed state");
+  out_.close();
+  return Status::Ok();
+}
+
+}  // namespace uflip

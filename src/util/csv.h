@@ -1,0 +1,40 @@
+// CSV emission for benchmark result sets (the paper publishes per-IO
+// response times; we emit the same raw data plus summaries).
+#ifndef UFLIP_UTIL_CSV_H_
+#define UFLIP_UTIL_CSV_H_
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace uflip {
+
+/// Streams rows to a CSV file (RFC-4180 quoting for strings that need it).
+class CsvWriter {
+ public:
+  /// Opens `path` for writing, truncating any previous content.
+  static StatusOr<CsvWriter> Open(const std::string& path);
+
+  /// Writes a header / data row. Values are joined with commas.
+  void WriteRow(const std::vector<std::string>& cells);
+
+  /// Convenience: numeric row.
+  void WriteRow(const std::vector<double>& cells);
+
+  /// Flushes and closes the underlying stream.
+  Status Close();
+
+ private:
+  explicit CsvWriter(std::ofstream out) : out_(std::move(out)) {}
+
+  static std::string Escape(const std::string& cell);
+
+  std::ofstream out_;
+};
+
+}  // namespace uflip
+
+#endif  // UFLIP_UTIL_CSV_H_

@@ -1,0 +1,37 @@
+// Minimal assertion / logging macros. UFLIP_CHECK aborts on violated
+// invariants in all build types; UFLIP_DCHECK only in debug builds.
+#ifndef UFLIP_UTIL_LOGGING_H_
+#define UFLIP_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define UFLIP_CHECK(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "UFLIP_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define UFLIP_CHECK_MSG(cond, ...)                                         \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "UFLIP_CHECK failed at %s:%d: %s: ", __FILE__,  \
+                   __LINE__, #cond);                                       \
+      std::fprintf(stderr, __VA_ARGS__);                                   \
+      std::fprintf(stderr, "\n");                                          \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#ifdef NDEBUG
+#define UFLIP_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#else
+#define UFLIP_DCHECK(cond) UFLIP_CHECK(cond)
+#endif
+
+#endif  // UFLIP_UTIL_LOGGING_H_

@@ -1,0 +1,60 @@
+// Deterministic pseudo-random number generation (xoshiro256**). The whole
+// benchmark is reproducible given a seed: every simulated device and every
+// pattern generator owns its own Rng so experiments do not perturb each
+// other's random streams.
+#ifndef UFLIP_UTIL_RANDOM_H_
+#define UFLIP_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace uflip {
+
+/// xoshiro256** 1.0 generator. Small, fast, and with far better statistical
+/// properties than std::minstd / rand(). Not cryptographic.
+class Rng {
+ public:
+  /// Seeds the four 64-bit lanes from `seed` via SplitMix64.
+  explicit Rng(uint64_t seed = 0x5DEECE66DULL);
+
+  /// Next raw 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform in [0, bound). bound == 0 returns 0. Uses Lemire's unbiased
+  /// multiply-shift rejection method.
+  uint64_t UniformU64(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(UniformU64(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Returns a random permutation of [0, n).
+  std::vector<uint64_t> Permutation(uint64_t n);
+
+  /// Forks a child generator whose stream is independent of (and does not
+  /// advance) this one beyond a single draw.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace uflip
+
+#endif  // UFLIP_UTIL_RANDOM_H_

@@ -1,0 +1,143 @@
+// Lightweight Status / StatusOr error-handling primitives in the style of
+// Abseil / RocksDB. Library code never throws; fallible operations return
+// Status (or StatusOr<T> when they produce a value).
+#ifndef UFLIP_UTIL_STATUS_H_
+#define UFLIP_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace uflip {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kFailedPrecondition,
+  kNotFound,
+  kAlreadyExists,
+  kResourceExhausted,
+  kInternal,
+  kIoError,
+  kUnimplemented,
+  kCorruption,
+};
+
+/// Returns a human-readable name for a StatusCode ("Ok", "IoError", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Value-type result of a fallible operation. Cheap to copy when OK.
+class Status {
+ public:
+  /// Default-constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Holds either a value of type T or an error Status. Accessing the value
+/// of an errored StatusOr is a programming error (asserts in debug).
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value (OK).
+  StatusOr(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  /// Implicit from error status; must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status w/o value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace uflip
+
+/// Propagates a non-OK Status from the evaluated expression.
+#define UFLIP_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::uflip::Status _uflip_status = (expr);          \
+    if (!_uflip_status.ok()) return _uflip_status;   \
+  } while (0)
+
+#endif  // UFLIP_UTIL_STATUS_H_

@@ -1,0 +1,31 @@
+#include "src/util/units.h"
+
+#include <cstdio>
+
+namespace uflip {
+
+std::string FormatSize(uint64_t bytes) {
+  char buf[32];
+  if (bytes >= kGiB && bytes % kGiB == 0) {
+    std::snprintf(buf, sizeof(buf), "%lluGB",
+                  static_cast<unsigned long long>(bytes / kGiB));
+  } else if (bytes >= kMiB) {
+    std::snprintf(buf, sizeof(buf), "%.1fMB",
+                  static_cast<double>(bytes) / static_cast<double>(kMiB));
+  } else if (bytes >= kKiB) {
+    std::snprintf(buf, sizeof(buf), "%.1fKB",
+                  static_cast<double>(bytes) / static_cast<double>(kKiB));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lluB",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+std::string FormatMs(double us) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fms", us / 1000.0);
+  return buf;
+}
+
+}  // namespace uflip

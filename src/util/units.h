@@ -1,0 +1,30 @@
+// Byte-size and time literals/helpers used throughout the library.
+#ifndef UFLIP_UTIL_UNITS_H_
+#define UFLIP_UTIL_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace uflip {
+
+inline constexpr uint64_t kKiB = 1024ULL;
+inline constexpr uint64_t kMiB = 1024ULL * kKiB;
+inline constexpr uint64_t kGiB = 1024ULL * kMiB;
+
+/// 512-byte logical sector, the unit of the paper's IOSize/IOShift ranges.
+inline constexpr uint64_t kSector = 512ULL;
+
+inline constexpr uint64_t MsToUs(double ms) {
+  return static_cast<uint64_t>(ms * 1000.0);
+}
+inline constexpr double UsToMs(double us) { return us / 1000.0; }
+
+/// "32.0KB" / "4.0MB" / "512B" formatting for reports.
+std::string FormatSize(uint64_t bytes);
+
+/// "0.30ms" / "256.00ms" formatting for reports.
+std::string FormatMs(double us);
+
+}  // namespace uflip
+
+#endif  // UFLIP_UTIL_UNITS_H_

@@ -1,0 +1,126 @@
+// Unit tests for the GC victim-selection bucket queue.
+#include <gtest/gtest.h>
+
+#include "src/ftl/bucket_queue.h"
+
+namespace uflip {
+namespace {
+
+TEST(BucketQueueTest, EmptyBehaviour) {
+  BucketQueue q(16, 8);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.PeekMin(), BucketQueue::kNone);
+  EXPECT_EQ(q.PopMin(), BucketQueue::kNone);
+}
+
+TEST(BucketQueueTest, InsertPopMin) {
+  BucketQueue q(16, 8);
+  q.Insert(3, 5);
+  q.Insert(4, 2);
+  q.Insert(5, 7);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.PopMin(), 4u);
+  EXPECT_EQ(q.PopMin(), 3u);
+  EXPECT_EQ(q.PopMin(), 5u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(BucketQueueTest, TiesShareBucket) {
+  BucketQueue q(16, 8);
+  q.Insert(1, 3);
+  q.Insert(2, 3);
+  uint32_t a = q.PopMin();
+  uint32_t b = q.PopMin();
+  EXPECT_TRUE((a == 1 && b == 2) || (a == 2 && b == 1));
+}
+
+TEST(BucketQueueTest, RemoveMiddle) {
+  BucketQueue q(16, 8);
+  q.Insert(1, 4);
+  q.Insert(2, 4);
+  q.Insert(3, 4);
+  q.Remove(2);
+  EXPECT_FALSE(q.Contains(2));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_TRUE(q.Contains(1));
+  EXPECT_TRUE(q.Contains(3));
+}
+
+TEST(BucketQueueTest, UpdateKeyMovesBuckets) {
+  BucketQueue q(16, 8);
+  q.Insert(1, 6);
+  q.Insert(2, 4);
+  q.UpdateKey(1, 1);
+  EXPECT_EQ(q.KeyOf(1), 1u);
+  EXPECT_EQ(q.PopMin(), 1u);
+  EXPECT_EQ(q.PopMin(), 2u);
+}
+
+TEST(BucketQueueTest, UpdateKeySameIsNoop) {
+  BucketQueue q(8, 4);
+  q.Insert(0, 2);
+  q.UpdateKey(0, 2);
+  EXPECT_EQ(q.KeyOf(0), 2u);
+  EXPECT_EQ(q.PopMin(), 0u);
+}
+
+TEST(BucketQueueTest, MinHintRecoversAfterPop) {
+  BucketQueue q(16, 8);
+  q.Insert(1, 0);
+  q.Insert(2, 8);
+  EXPECT_EQ(q.PopMin(), 1u);
+  // Insert below the stale hint.
+  q.Insert(3, 1);
+  EXPECT_EQ(q.PopMin(), 3u);
+  EXPECT_EQ(q.PopMin(), 2u);
+}
+
+TEST(BucketQueueTest, StressAgainstNaive) {
+  BucketQueue q(64, 32);
+  std::vector<int> key(64, -1);
+  uint64_t x = 12345;
+  auto rnd = [&x](uint32_t m) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return static_cast<uint32_t>(x % m);
+  };
+  for (int iter = 0; iter < 5000; ++iter) {
+    uint32_t id = rnd(64);
+    switch (rnd(3)) {
+      case 0:
+        if (key[id] < 0) {
+          key[id] = static_cast<int>(rnd(33));
+          q.Insert(id, key[id]);
+        }
+        break;
+      case 1:
+        if (key[id] >= 0) {
+          q.Remove(id);
+          key[id] = -1;
+        }
+        break;
+      case 2:
+        if (key[id] >= 0) {
+          key[id] = static_cast<int>(rnd(33));
+          q.UpdateKey(id, key[id]);
+        }
+        break;
+    }
+    // Check PeekMin against the naive minimum.
+    int naive_min = 1000;
+    for (int k : key) {
+      if (k >= 0) naive_min = std::min(naive_min, k);
+    }
+    uint32_t top = q.PeekMin();
+    if (naive_min == 1000) {
+      EXPECT_EQ(top, BucketQueue::kNone);
+    } else {
+      ASSERT_NE(top, BucketQueue::kNone);
+      EXPECT_EQ(static_cast<int>(q.KeyOf(top)), naive_min);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace uflip

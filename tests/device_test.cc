@@ -1,0 +1,177 @@
+// Device-layer tests: SimDevice response-time accounting and
+// serialization, token integrity through the whole stack, sub-page
+// read-modify-write, device profiles, and the FileDevice real-IO path.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/device/file_device.h"
+#include "src/device/mem_device.h"
+#include "src/device/profiles.h"
+#include "tests/sim_test_util.h"
+
+namespace uflip {
+namespace {
+
+TEST(SimDeviceTest, RejectsBadRequests) {
+  auto dev = MakeTestDevice("kingston-dti", 16 << 20);
+  IoRequest zero{0, 0, IoMode::kRead};
+  EXPECT_FALSE(dev->SubmitAt(0, zero).ok());
+  IoRequest beyond{dev->capacity_bytes(), 4096, IoMode::kRead};
+  EXPECT_FALSE(dev->SubmitAt(0, beyond).ok());
+}
+
+TEST(SimDeviceTest, ResponseTimesPositiveAndFinite) {
+  auto dev = MakeTestDevice("mtron", 32 << 20);
+  for (IoMode mode : {IoMode::kRead, IoMode::kWrite}) {
+    IoRequest req{0, 32768, mode};
+    auto rt = dev->Submit(req);
+    ASSERT_TRUE(rt.ok());
+    EXPECT_GT(*rt, 0);
+    EXPECT_LT(*rt, 10e6);
+  }
+}
+
+TEST(SimDeviceTest, BusySerializationQueuesOverlappingIos) {
+  auto dev = MakeTestDevice("kingston-dti", 16 << 20);
+  IoRequest req{0, 32768, IoMode::kRead};
+  auto rt1 = dev->SubmitAt(1000, req);
+  ASSERT_TRUE(rt1.ok());
+  // Submitted while the device is still busy: waits in queue.
+  auto rt2 = dev->SubmitAt(1000, req);
+  ASSERT_TRUE(rt2.ok());
+  EXPECT_GT(*rt2, *rt1);
+}
+
+TEST(SimDeviceTest, LargerIosTakeLonger) {
+  auto dev = MakeTestDevice("transcend-module", 32 << 20);
+  double prev = 0;
+  for (uint32_t size : {4096u, 32768u, 131072u}) {
+    IoRequest req{0, size, IoMode::kRead};
+    auto rt = dev->Submit(req);
+    ASSERT_TRUE(rt.ok());
+    EXPECT_GT(*rt, prev);
+    prev = *rt;
+  }
+}
+
+TEST(SimDeviceTest, TokenIntegrityThroughFullStack) {
+  auto dev = MakeTestDevice("samsung", 32 << 20);
+  ShadowTester shadow(dev.get());
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    uint32_t size = static_cast<uint32_t>(
+        (1 + rng.UniformU64(32)) * 4096);
+    uint64_t offset =
+        rng.UniformU64((dev->capacity_bytes() - size) / 4096) * 4096;
+    shadow.Write(offset, size);
+  }
+  shadow.VerifyAll();
+}
+
+TEST(SimDeviceTest, SubPageWritePreservesNeighbouringData) {
+  auto dev = MakeTestDevice("kingston-dti", 16 << 20);
+  uint32_t page = dev->page_bytes();
+  ShadowTester shadow(dev.get());
+  shadow.Write(0, page * 4);
+  // A 512B-shifted write covering parts of pages 0-1 must not corrupt
+  // pages 2-3 (device-level read-modify-write).
+  shadow.Write(512, page);
+  shadow.VerifyRead(0, page * 4);
+}
+
+TEST(SimDeviceTest, RandomReadPenaltyAppliesToNonContiguousReads) {
+  auto profile = *ProfileById("transcend-mlc");
+  auto dev_or = CreateSimDevice(profile, nullptr, 16 << 20);
+  ASSERT_TRUE(dev_or.ok());
+  auto dev = std::move(*dev_or);
+  IoRequest a{0, 32768, IoMode::kRead};
+  (void)dev->Submit(a);  // first read: penalty (cold)
+  IoRequest contiguous{32768, 32768, IoMode::kRead};
+  auto rt_seq = dev->Submit(contiguous);
+  IoRequest jump{8 << 20, 32768, IoMode::kRead};
+  auto rt_rand = dev->Submit(jump);
+  ASSERT_TRUE(rt_seq.ok());
+  ASSERT_TRUE(rt_rand.ok());
+  EXPECT_GT(*rt_rand, *rt_seq + 1000);  // 1.5ms penalty on this profile
+}
+
+TEST(ProfilesTest, AllElevenDevicesPresent) {
+  const auto& all = AllProfiles();
+  EXPECT_EQ(all.size(), 11u);
+  int representative = 0;
+  for (const auto& p : all) {
+    EXPECT_TRUE(p.Validate().ok()) << p.id;
+    representative += p.representative;
+  }
+  EXPECT_EQ(representative, 7);  // the seven arrows of Table 2
+}
+
+TEST(ProfilesTest, LookupByIdAndUnknown) {
+  EXPECT_TRUE(ProfileById("memoright").ok());
+  EXPECT_TRUE(ProfileById("kingston-sd").ok());
+  EXPECT_FALSE(ProfileById("nope").ok());
+}
+
+TEST(ProfilesTest, EveryProfileInstantiatesAndDoesIo) {
+  for (const auto& p : AllProfiles()) {
+    auto dev = CreateSimDevice(p, nullptr, 16 << 20);
+    ASSERT_TRUE(dev.ok()) << p.id << ": " << dev.status();
+    IoRequest w{0, 32768, IoMode::kWrite};
+    auto rt = (*dev)->Submit(w);
+    ASSERT_TRUE(rt.ok()) << p.id << ": " << rt.status();
+    EXPECT_GT(*rt, 0) << p.id;
+    IoRequest r{0, 32768, IoMode::kRead};
+    rt = (*dev)->Submit(r);
+    ASSERT_TRUE(rt.ok()) << p.id;
+  }
+}
+
+TEST(ProfilesTest, CapacityOverrideRespected) {
+  auto p = *ProfileById("mtron");
+  auto dev = CreateSimDevice(p, nullptr, 64 << 20);
+  ASSERT_TRUE(dev.ok());
+  // Logical capacity is close to (and below) the requested size plus
+  // the reserve slack.
+  EXPECT_GE((*dev)->capacity_bytes(), 60ull << 20);
+  EXPECT_LE((*dev)->capacity_bytes(), 80ull << 20);
+}
+
+TEST(MemDeviceTest, AnalyticCostModel) {
+  MemDeviceConfig cfg;
+  auto clock = std::make_shared<VirtualClock>();
+  MemDevice dev(cfg, clock);
+  IoRequest r{0, 10000, IoMode::kRead};
+  auto rt = dev.Submit(r);
+  ASSERT_TRUE(rt.ok());
+  EXPECT_NEAR(*rt, 100.0 + 0.005 * 10000, 1.0);
+  EXPECT_FALSE(dev.SubmitAt(0, IoRequest{0, 0, IoMode::kRead}).ok());
+}
+
+TEST(FileDeviceTest, RoundTripOnScratchFile) {
+  std::string path = testing::TempDir() + "/uflip_filedev_test.bin";
+  FileDeviceOptions opts;
+  opts.create_size_bytes = 4 << 20;
+  auto dev = FileDevice::Open(path, opts);
+  ASSERT_TRUE(dev.ok()) << dev.status();
+  EXPECT_EQ((*dev)->capacity_bytes(), 4ull << 20);
+  for (IoMode mode : {IoMode::kWrite, IoMode::kRead}) {
+    IoRequest req{65536, 32768, mode};
+    auto rt = (*dev)->Submit(req);
+    ASSERT_TRUE(rt.ok()) << rt.status();
+    EXPECT_GT(*rt, 0);
+  }
+  // Out-of-range rejected.
+  IoRequest beyond{4 << 20, 4096, IoMode::kRead};
+  EXPECT_FALSE((*dev)->SubmitAt(0, beyond).ok());
+  std::remove(path.c_str());
+}
+
+TEST(FileDeviceTest, OpenFailsOnBadPath) {
+  FileDeviceOptions opts;
+  opts.create_size_bytes = 1 << 20;
+  EXPECT_FALSE(FileDevice::Open("/nonexistent-dir-xyz/dev.bin", opts).ok());
+}
+
+}  // namespace
+}  // namespace uflip

@@ -1,0 +1,218 @@
+// Unit tests for the NAND chip and flash array models: geometry
+// validation, read/program/erase semantics, the in-block program-order
+// constraint, wear and bad blocks, channel striping and makespan
+// accounting.
+#include <gtest/gtest.h>
+
+#include "src/flash/array.h"
+#include "src/flash/chip.h"
+#include "src/flash/geometry.h"
+
+namespace uflip {
+namespace {
+
+FlashGeometry SmallGeom() {
+  FlashGeometry g;
+  g.page_data_bytes = 2048;
+  g.pages_per_block = 4;
+  g.blocks = 8;
+  g.planes = 2;
+  return g;
+}
+
+TEST(GeometryTest, ValidatesPowerOfTwoPages) {
+  FlashGeometry g = SmallGeom();
+  EXPECT_TRUE(g.Validate().ok());
+  g.page_data_bytes = 1000;
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(GeometryTest, RejectsZeroFields) {
+  FlashGeometry g = SmallGeom();
+  g.blocks = 0;
+  EXPECT_FALSE(g.Validate().ok());
+  g = SmallGeom();
+  g.pages_per_block = 0;
+  EXPECT_FALSE(g.Validate().ok());
+  g = SmallGeom();
+  g.planes = 0;
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(GeometryTest, DerivedSizes) {
+  FlashGeometry g = SmallGeom();
+  EXPECT_EQ(g.block_bytes(), 8192u);
+  EXPECT_EQ(g.capacity_bytes(), 8192u * 8);
+  EXPECT_EQ(g.total_pages(), 32u);
+}
+
+TEST(TimingTest, MlcSlowerThanSlc) {
+  FlashTiming slc = FlashTiming::Slc();
+  FlashTiming mlc = FlashTiming::Mlc();
+  EXPECT_GT(mlc.program_page_us, slc.program_page_us);
+  EXPECT_GT(mlc.read_page_us, slc.read_page_us);
+  EXPECT_LT(mlc.erase_limit, slc.erase_limit);
+}
+
+TEST(ChipTest, ReadErasedPageReturnsZeroToken) {
+  FlashChip chip(SmallGeom(), FlashTiming::Slc());
+  uint64_t token = 1;
+  double t = 0;
+  ASSERT_TRUE(chip.ReadPage({0, 0}, &token, &t).ok());
+  EXPECT_EQ(token, 0u);
+  EXPECT_GT(t, 0);
+}
+
+TEST(ChipTest, ProgramThenReadRoundTrips) {
+  FlashChip chip(SmallGeom(), FlashTiming::Slc());
+  double t = 0;
+  ASSERT_TRUE(chip.ProgramPage({2, 0}, 0xBEEF, &t).ok());
+  EXPECT_GT(t, 0);
+  uint64_t token = 0;
+  ASSERT_TRUE(chip.ReadPage({2, 0}, &token, &t).ok());
+  EXPECT_EQ(token, 0xBEEFu);
+}
+
+TEST(ChipTest, NoReprogramWithoutErase) {
+  FlashChip chip(SmallGeom(), FlashTiming::Slc());
+  double t = 0;
+  ASSERT_TRUE(chip.ProgramPage({0, 0}, 1, &t).ok());
+  Status s = chip.ProgramPage({0, 0}, 2, &t);
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(chip.stats().program_order_violations, 1u);
+}
+
+TEST(ChipTest, ProgramOrderAscendingWithSkips) {
+  FlashChip chip(SmallGeom(), FlashTiming::Slc());
+  double t = 0;
+  ASSERT_TRUE(chip.ProgramPage({0, 0}, 1, &t).ok());
+  ASSERT_TRUE(chip.ProgramPage({0, 2}, 2, &t).ok());  // skip forward: legal
+  EXPECT_FALSE(chip.ProgramPage({0, 1}, 3, &t).ok());  // backwards: illegal
+  EXPECT_EQ(chip.ProgrammedPages(0), 3u);
+}
+
+TEST(ChipTest, EraseResetsBlock) {
+  FlashChip chip(SmallGeom(), FlashTiming::Slc());
+  double t = 0;
+  ASSERT_TRUE(chip.ProgramPage({1, 0}, 7, &t).ok());
+  ASSERT_TRUE(chip.EraseBlock(1, &t).ok());
+  EXPECT_GT(t, 0);
+  uint64_t token = 9;
+  ASSERT_TRUE(chip.ReadPage({1, 0}, &token, &t).ok());
+  EXPECT_EQ(token, 0u);
+  ASSERT_TRUE(chip.ProgramPage({1, 0}, 8, &t).ok());  // reprogram after erase
+  EXPECT_EQ(chip.EraseCount(1), 1u);
+}
+
+TEST(ChipTest, WearOutMarksBadBlock) {
+  FlashGeometry g = SmallGeom();
+  FlashTiming timing = FlashTiming::Slc();
+  timing.erase_limit = 3;
+  FlashChip chip(g, timing);
+  double t = 0;
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(chip.EraseBlock(0, &t).ok());
+  EXPECT_TRUE(chip.IsBadBlock(0));
+  EXPECT_FALSE(chip.EraseBlock(0, &t).ok());
+  EXPECT_FALSE(chip.ProgramPage({0, 0}, 1, &t).ok());
+  EXPECT_EQ(chip.stats().bad_blocks, 1u);
+}
+
+TEST(ChipTest, OutOfRangeAddresses) {
+  FlashChip chip(SmallGeom(), FlashTiming::Slc());
+  double t = 0;
+  uint64_t token;
+  EXPECT_EQ(chip.ReadPage({8, 0}, &token, &t).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(chip.ReadPage({0, 4}, &token, &t).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(chip.EraseBlock(9, &t).code(), StatusCode::kOutOfRange);
+}
+
+TEST(ChipTest, PlaneAssignment) {
+  FlashChip chip(SmallGeom(), FlashTiming::Slc());
+  EXPECT_EQ(chip.PlaneOf(0), 0u);
+  EXPECT_EQ(chip.PlaneOf(1), 1u);
+  EXPECT_EQ(chip.PlaneOf(2), 0u);
+}
+
+ArrayConfig SmallArray(uint32_t channels) {
+  ArrayConfig c;
+  c.chip_geometry = SmallGeom();
+  c.timing = FlashTiming::Slc();
+  c.channels = channels;
+  return c;
+}
+
+TEST(ArrayTest, CapacityAggregatesChannels) {
+  FlashArray a(SmallArray(4));
+  EXPECT_EQ(a.total_blocks(), 32u);
+  EXPECT_EQ(a.capacity_bytes(), 4u * 8 * 8192);
+}
+
+TEST(ArrayTest, ChannelStripingByBlock) {
+  FlashArray a(SmallArray(4));
+  EXPECT_EQ(a.ChannelOf(0), 0u);
+  EXPECT_EQ(a.ChannelOf(1), 1u);
+  EXPECT_EQ(a.ChannelOf(5), 1u);
+  EXPECT_EQ(a.ChannelOf(7), 3u);
+}
+
+TEST(ArrayTest, MakespanParallelAcrossChannels) {
+  FlashArray a(SmallArray(4));
+  // Four programs on four different channels: makespan == one program.
+  std::vector<PageWrite> writes;
+  for (uint64_t b = 0; b < 4; ++b) writes.push_back({{b, 0}, b + 1});
+  double t_parallel = 0;
+  ASSERT_TRUE(a.ProgramPages(writes, &t_parallel).ok());
+
+  // Four programs on one channel: makespan == four programs.
+  FlashArray b(SmallArray(4));
+  std::vector<PageWrite> serial;
+  for (uint32_t p = 0; p < 4; ++p) serial.push_back({{0, p}, p + 1});
+  double t_serial = 0;
+  ASSERT_TRUE(b.ProgramPages(serial, &t_serial).ok());
+
+  EXPECT_NEAR(t_serial, 4 * t_parallel, 1e-9);
+}
+
+TEST(ArrayTest, ReadPagesReturnsTokensInOrder) {
+  FlashArray a(SmallArray(2));
+  std::vector<PageWrite> writes{{{0, 0}, 11}, {{1, 0}, 22}, {{2, 0}, 33}};
+  double t = 0;
+  ASSERT_TRUE(a.ProgramPages(writes, &t).ok());
+  std::vector<GlobalPage> pages{{2, 0}, {0, 0}, {1, 0}};
+  std::vector<uint64_t> tokens;
+  ASSERT_TRUE(a.ReadPages(pages, &tokens, &t).ok());
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], 33u);
+  EXPECT_EQ(tokens[1], 11u);
+  EXPECT_EQ(tokens[2], 22u);
+}
+
+TEST(ArrayTest, EraseBlocksAndStats) {
+  FlashArray a(SmallArray(2));
+  double t = 0;
+  std::vector<PageWrite> writes{{{0, 0}, 1}, {{1, 0}, 2}};
+  ASSERT_TRUE(a.ProgramPages(writes, &t).ok());
+  ASSERT_TRUE(a.EraseBlocks({0, 1}, &t).ok());
+  ChipStats s = a.AggregateStats();
+  EXPECT_EQ(s.page_programs, 2u);
+  EXPECT_EQ(s.block_erases, 2u);
+  EXPECT_EQ(a.EraseCount(0), 1u);
+  EXPECT_EQ(a.ProgrammedPages(0), 0u);
+}
+
+TEST(ArrayTest, SingleOpHelpers) {
+  FlashArray a(SmallArray(2));
+  double t = 0;
+  ASSERT_TRUE(a.ProgramPage({3, 0}, 77, &t).ok());
+  uint64_t token = 0;
+  ASSERT_TRUE(a.ReadPage({3, 0}, &token, &t).ok());
+  EXPECT_EQ(token, 77u);
+  ASSERT_TRUE(a.EraseBlock(3, &t).ok());
+  ASSERT_TRUE(a.ReadPage({3, 0}, &token, &t).ok());
+  EXPECT_EQ(token, 0u);
+}
+
+}  // namespace
+}  // namespace uflip

@@ -1,0 +1,285 @@
+// Integration tests: the paper's qualitative results must emerge from
+// the simulated devices end-to-end -- the Table 3 shape, the two-phase
+// model, pause absorption, locality, partitioning limits and pattern
+// pathologies. These run the actual uFLIP machinery (state enforcement,
+// micro-benchmarks, extraction) on small device instances.
+#include <gtest/gtest.h>
+
+#include "src/core/methodology.h"
+#include "src/core/microbench.h"
+#include "src/core/table3.h"
+#include "src/pattern/pattern.h"
+#include "src/run/runner.h"
+#include "tests/sim_test_util.h"
+
+namespace uflip {
+namespace {
+
+// Shared setup: device in random state, settled, with an idle pause.
+std::unique_ptr<SimDevice> ReadyDevice(const std::string& id,
+                                       uint64_t capacity = 96ULL << 20) {
+  auto dev = MakeTestDevice(id, capacity);
+  auto enforce = EnforceRandomState(dev.get());
+  EXPECT_TRUE(enforce.ok()) << enforce.status();
+  // Settle: drain hybrid log regions (cf. bench_util.h).
+  uint64_t cap = dev->capacity_bytes();
+  PatternSpec rw = PatternSpec::RandomWrite(32768, cap / 2, cap / 4);
+  rw.io_count = 128;
+  EXPECT_TRUE(ExecuteRun(dev.get(), rw).ok());
+  PatternSpec sw = PatternSpec::SequentialWrite(32768, cap / 2, cap / 2);
+  sw.io_count = 1280;
+  EXPECT_TRUE(ExecuteRun(dev.get(), sw).ok());
+  dev->virtual_clock()->SleepUs(5000000);
+  return dev;
+}
+
+double MeanMs(SimDevice* dev, PatternSpec spec, uint32_t ios = 192,
+              uint32_t ignore = 48) {
+  spec.io_count = ios;
+  spec.io_ignore = ignore;
+  dev->virtual_clock()->SleepUs(2000000);
+  auto run = ExecuteRun(dev, spec);
+  EXPECT_TRUE(run.ok()) << run.status();
+  return run.ok() ? run->Stats().mean_us / 1000.0 : -1;
+}
+
+TEST(PaperShape, ReadsCheapWritesOrderedByRandomness) {
+  // On every representative device: SR <= RR << RW and SW << RW.
+  for (const std::string& id :
+       {"memoright", "samsung", "kingston-dti", "transcend-module"}) {
+    auto dev = ReadyDevice(id);
+    uint64_t cap = dev->capacity_bytes();
+    double sr = MeanMs(dev.get(), PatternSpec::SequentialRead(32768, 0, cap));
+    double rr = MeanMs(dev.get(), PatternSpec::RandomRead(32768, 0, cap));
+    double sw = MeanMs(dev.get(),
+                       PatternSpec::SequentialWrite(32768, 0, cap / 2));
+    double rw = MeanMs(dev.get(), PatternSpec::RandomWrite(32768, 0, cap));
+    EXPECT_LE(sr, rr * 1.2) << id;
+    EXPECT_GT(rw, 3.0 * sw) << id << " rw=" << rw << " sw=" << sw;
+    EXPECT_GT(rw, 3.0 * rr) << id;
+  }
+}
+
+TEST(PaperShape, UsbStickRandomWritesOrdersOfMagnitudeWorse) {
+  auto dev = ReadyDevice("kingston-dti");
+  uint64_t cap = dev->capacity_bytes();
+  double sw =
+      MeanMs(dev.get(), PatternSpec::SequentialWrite(32768, 0, cap / 2));
+  double rw = MeanMs(dev.get(), PatternSpec::RandomWrite(32768, 0, cap));
+  EXPECT_GT(rw / sw, 30.0);  // paper: ~90x
+}
+
+TEST(PaperShape, HighEndSsdKeepsRandomWritesModerate) {
+  auto dev = ReadyDevice("memoright");
+  uint64_t cap = dev->capacity_bytes();
+  double sw =
+      MeanMs(dev.get(), PatternSpec::SequentialWrite(32768, 0, cap / 2));
+  double rw = MeanMs(dev.get(), PatternSpec::RandomWrite(32768, 0, cap));
+  EXPECT_GT(rw / sw, 3.0);
+  EXPECT_LT(rw / sw, 40.0);  // paper: ~16x
+}
+
+TEST(PaperShape, LocalityMakesRandomWritesCheap) {
+  // Figure 8: RW within a small area ~ SW; RW over the device >> SW.
+  auto dev = ReadyDevice("mtron");
+  uint64_t cap = dev->capacity_bytes();
+  double rw_local =
+      MeanMs(dev.get(), PatternSpec::RandomWrite(32768, 0, 2 << 20));
+  double rw_global =
+      MeanMs(dev.get(), PatternSpec::RandomWrite(32768, 0, cap));
+  EXPECT_GT(rw_global, 2.5 * rw_local);
+}
+
+TEST(PaperShape, DtiHasNoLocalityBenefit) {
+  // Table 3: Kingston DTI shows "No" locality.
+  auto dev = ReadyDevice("kingston-dti", 64ULL << 20);
+  double rw_local =
+      MeanMs(dev.get(), PatternSpec::RandomWrite(32768, 0, 2 << 20), 96, 24);
+  double rw_global = MeanMs(
+      dev.get(), PatternSpec::RandomWrite(32768, 0, dev->capacity_bytes()),
+      96, 24);
+  EXPECT_GT(rw_local, 0.3 * rw_global);
+}
+
+TEST(PaperShape, StartupPhaseAfterIdleOnHighEnd) {
+  // Figure 3: cheap start-up then expensive running phase.
+  auto dev = ReadyDevice("mtron");
+  dev->virtual_clock()->SleepUs(10000000);
+  PatternSpec rw =
+      PatternSpec::RandomWrite(32768, 0, dev->capacity_bytes());
+  rw.io_count = 400;
+  auto run = ExecuteRun(dev.get(), rw);
+  ASSERT_TRUE(run.ok());
+  PhaseAnalysis phases = AnalyzePhases(run->ResponseTimes());
+  EXPECT_GT(phases.startup_ios, 16u);
+  EXPECT_LT(phases.startup_ios, 256u);
+  EXPECT_GT(phases.running_mean_us, 3.0 * phases.startup_mean_us);
+}
+
+TEST(PaperShape, NoStartupOnSynchronousUsbStick) {
+  auto dev = ReadyDevice("kingston-dti", 64ULL << 20);
+  dev->virtual_clock()->SleepUs(10000000);
+  PatternSpec sw =
+      PatternSpec::SequentialWrite(32768, 0, dev->capacity_bytes() / 2);
+  sw.io_count = 400;
+  auto run = ExecuteRun(dev.get(), sw);
+  ASSERT_TRUE(run.ok());
+  PhaseAnalysis phases = AnalyzePhases(run->ResponseTimes());
+  EXPECT_LT(phases.startup_ios, 16u);
+}
+
+TEST(PaperShape, PausesAbsorbRandomWriteCostOnAsyncSsd) {
+  // Table 3 col 5 / design hint 7: with per-IO pauses ~ RW cost, random
+  // writes behave like sequential writes on Memoright/Mtron; total
+  // workload time does not improve.
+  auto dev = ReadyDevice("memoright");
+  uint64_t cap = dev->capacity_bytes();
+  double rw = MeanMs(dev.get(), PatternSpec::RandomWrite(32768, 0, cap));
+  PatternSpec paused = PatternSpec::RandomWrite(32768, 0, cap);
+  paused.time = TimeFunction::kPause;
+  paused.pause_us = static_cast<uint64_t>(rw * 1000.0);
+  double rw_paused = MeanMs(dev.get(), paused);
+  EXPECT_LT(rw_paused, 0.4 * rw);
+}
+
+TEST(PaperShape, PausesDoNotHelpSynchronousDevices) {
+  auto dev = ReadyDevice("samsung");
+  uint64_t cap = dev->capacity_bytes();
+  double rw = MeanMs(dev.get(), PatternSpec::RandomWrite(32768, 0, cap));
+  PatternSpec paused = PatternSpec::RandomWrite(32768, 0, cap);
+  paused.time = TimeFunction::kPause;
+  paused.pause_us = static_cast<uint64_t>(rw * 1000.0);
+  double rw_paused = MeanMs(dev.get(), paused);
+  EXPECT_GT(rw_paused, 0.6 * rw);
+}
+
+TEST(PaperShape, InPlacePathologicalOnStrictLogStick) {
+  // Table 3: DTI in-place x40-class penalty.
+  auto dev = ReadyDevice("kingston-dti", 64ULL << 20);
+  double sw = MeanMs(
+      dev.get(),
+      PatternSpec::SequentialWrite(32768, 0, dev->capacity_bytes() / 2));
+  PatternSpec inplace = PatternSpec::SequentialWrite(32768, 0, 4 * 32768);
+  inplace.lba = LbaFunction::kOrdered;
+  inplace.incr = 0;
+  double ip = MeanMs(dev.get(), inplace, 96, 24);
+  EXPECT_GT(ip / sw, 10.0);
+}
+
+TEST(PaperShape, InPlaceBenignOnSsds) {
+  for (const std::string& id : {"memoright", "samsung"}) {
+    auto dev = ReadyDevice(id);
+    double sw = MeanMs(
+        dev.get(),
+        PatternSpec::SequentialWrite(32768, 0, dev->capacity_bytes() / 2));
+    PatternSpec inplace = PatternSpec::SequentialWrite(32768, 0, 4 * 32768);
+    inplace.lba = LbaFunction::kOrdered;
+    inplace.incr = 0;
+    double ip = MeanMs(dev.get(), inplace, 96, 24);
+    EXPECT_LT(ip / sw, 3.0) << id;
+  }
+}
+
+TEST(PaperShape, PartitioningDegradesBeyondLimit) {
+  // Table 3 col 7: a few concurrent sequential streams are fine; many
+  // degrade towards random-write cost.
+  auto dev = ReadyDevice("kingston-dti", 64ULL << 20);
+  uint64_t half = dev->capacity_bytes() / 2;
+  auto part = [&](uint32_t parts) {
+    PatternSpec s = PatternSpec::SequentialWrite(32768, 0, half);
+    s.lba = LbaFunction::kPartitioned;
+    s.partitions = parts;
+    return MeanMs(dev.get(), s, 128, 32);
+  };
+  double at4 = part(4);    // pool size: fine
+  double at64 = part(64);  // way beyond: thrash
+  EXPECT_GT(at64, 5.0 * at4);
+}
+
+TEST(PaperShape, MixDoesNotBlowUpCosts) {
+  // Section 5.2: "The Mix patterns did not affect significantly the
+  // overall cost of the workloads."
+  auto dev = ReadyDevice("memoright");
+  uint64_t cap = dev->capacity_bytes();
+  PatternSpec sr = PatternSpec::SequentialRead(32768, 0, cap / 2);
+  sr.io_count = 128;
+  PatternSpec rr = PatternSpec::RandomRead(32768, cap / 2, cap / 2);
+  rr.io_count = 64;
+  double sr_ms = MeanMs(dev.get(), sr, 128, 16);
+  double rr_ms = MeanMs(dev.get(), rr, 128, 16);
+  auto mix = ExecuteMixRun(dev.get(), sr, rr, 1);
+  ASSERT_TRUE(mix.ok());
+  double mix_ms = mix->Stats().mean_us / 1000.0;
+  double expected = (sr_ms + rr_ms) / 2;
+  EXPECT_LT(mix_ms, 1.5 * expected);
+}
+
+TEST(PaperShape, ParallelismDoesNotImproveThroughput) {
+  // Design hint 7: total time with 4 concurrent readers is not better
+  // than serial submission.
+  auto dev = ReadyDevice("samsung");
+  PatternSpec sr =
+      PatternSpec::SequentialRead(32768, 0, dev->capacity_bytes() / 2);
+  sr.io_count = 128;
+  auto serial = ExecuteRun(dev.get(), sr);
+  ASSERT_TRUE(serial.ok());
+  double serial_total = serial->StatsIncludingStartup().sum_us;
+  auto par = ExecuteParallelRun(dev.get(), sr, 4);
+  ASSERT_TRUE(par.ok());
+  const auto& ps = par->samples;
+  double end = 0;
+  for (const auto& s : ps) {
+    end = std::max(end, static_cast<double>(s.submit_us) + s.rt_us);
+  }
+  double par_wall = end - static_cast<double>(ps.front().submit_us);
+  EXPECT_GT(par_wall, 0.85 * serial_total);
+}
+
+TEST(PaperShape, AlignmentPenaltyOnSamsung) {
+  // Section 5.2: on the Samsung SSD, misaligned random IOs cost
+  // substantially more (18ms -> 32ms in the paper).
+  auto dev = ReadyDevice("samsung");
+  uint64_t cap = dev->capacity_bytes();
+  double aligned =
+      MeanMs(dev.get(), PatternSpec::RandomWrite(32768, 0, cap - (1 << 20)));
+  PatternSpec shifted = PatternSpec::RandomWrite(32768, 0, cap - (1 << 20));
+  shifted.io_shift = 512;
+  double misaligned = MeanMs(dev.get(), shifted);
+  EXPECT_GT(misaligned, 1.2 * aligned);
+  EXPECT_LT(misaligned, 3.0 * aligned);
+}
+
+TEST(PaperShape, Table3ExtractionEndToEnd) {
+  // The full Table 3 pipeline runs and produces a sane row for a USB
+  // stick (the cheapest full check).
+  auto dev = ReadyDevice("kingston-dti", 64ULL << 20);
+  Table3Config cfg;
+  cfg.io_count = 128;
+  cfg.io_ignore = 32;
+  auto row = ExtractTable3Row(dev.get(), cfg);
+  ASSERT_TRUE(row.ok()) << row.status();
+  EXPECT_GT(row->sr_ms, 0);
+  EXPECT_GT(row->rw_ms, 10 * row->sw_ms);
+  EXPECT_EQ(row->locality_mb, 0);  // "No"
+  EXPECT_GE(row->partitions, 2u);
+  EXPECT_GT(row->inplace_factor, 10.0);
+  std::string rendered = RenderTable3({*row});
+  EXPECT_NE(rendered.find("No"), std::string::npos);
+}
+
+TEST(PaperShape, GranularityLinearForReads) {
+  // Figure 6/7: read response time linear in IO size with small latency.
+  auto dev = ReadyDevice("transcend-module", 64ULL << 20);
+  uint64_t cap = dev->capacity_bytes();
+  double r8 =
+      MeanMs(dev.get(), PatternSpec::SequentialRead(8192, 0, cap), 96, 24);
+  double r64 =
+      MeanMs(dev.get(), PatternSpec::SequentialRead(65536, 0, cap), 96, 24);
+  // 8x the size, less than 8x the cost (latency amortized), but clearly
+  // more expensive.
+  EXPECT_GT(r64, 2.0 * r8);
+  EXPECT_LT(r64, 8.0 * r8);
+}
+
+}  // namespace
+}  // namespace uflip

@@ -1,0 +1,211 @@
+// Methodology tests (Section 4): state enforcement, the two-phase
+// model / phase detection on synthetic traces, pause calibration,
+// target-space allocation and benchmark plans.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/methodology.h"
+#include "src/device/mem_device.h"
+#include "tests/sim_test_util.h"
+
+namespace uflip {
+namespace {
+
+TEST(StateEnforcementTest, RandomCoversWholeDevice) {
+  auto dev = MakeTestDevice("kingston-dti", 16 << 20);
+  StateEnforcementOptions opts;
+  auto report = EnforceRandomState(dev.get(), opts);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_GE(report->bytes_written, dev->capacity_bytes());
+  EXPECT_GT(report->ios, 0u);
+  EXPECT_GT(report->duration_us, 0);
+}
+
+TEST(StateEnforcementTest, SequentialWritesEveryBlockOnce) {
+  auto dev = MakeTestDevice("kingston-dti", 16 << 20);
+  auto report = EnforceSequentialState(dev.get(), 128 * 1024);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->bytes_written,
+            dev->capacity_bytes() / (128 * 1024) * (128 * 1024));
+}
+
+TEST(StateEnforcementTest, RejectsBadOptions) {
+  auto dev = MakeTestDevice("kingston-dti", 16 << 20);
+  StateEnforcementOptions opts;
+  opts.min_io_bytes = 100;
+  EXPECT_FALSE(EnforceRandomState(dev.get(), opts).ok());
+  EXPECT_FALSE(EnforceSequentialState(dev.get(), 1000).ok());
+}
+
+TEST(PhaseAnalysisTest, DetectsStartupPhase) {
+  // 128 cheap IOs then expensive oscillation: the paper's Figure 3.
+  std::vector<double> rt;
+  for (int i = 0; i < 128; ++i) rt.push_back(400.0);
+  for (int i = 0; i < 512; ++i) {
+    rt.push_back(i % 8 == 0 ? 27000.0 : 2000.0);
+  }
+  PhaseAnalysis p = AnalyzePhases(rt);
+  EXPECT_GT(p.startup_ios, 100u);
+  EXPECT_LT(p.startup_ios, 160u);
+  EXPECT_NEAR(p.startup_mean_us, 400.0, 50.0);
+  EXPECT_GT(p.running_mean_us, 2000.0);
+  EXPECT_GT(p.variability, 10.0);
+}
+
+TEST(PhaseAnalysisTest, NoStartupOnFlatTrace) {
+  std::vector<double> rt(512, 1000.0);
+  PhaseAnalysis p = AnalyzePhases(rt);
+  EXPECT_EQ(p.startup_ios, 0u);
+  EXPECT_NEAR(p.running_mean_us, 1000.0, 1.0);
+  EXPECT_EQ(p.period_ios, 0u);  // flat: no oscillation
+}
+
+TEST(PhaseAnalysisTest, DetectsOscillationPeriod) {
+  // Period-16 oscillation (the paper's Figure 4 shape).
+  std::vector<double> rt;
+  for (int i = 0; i < 512; ++i) {
+    rt.push_back(i % 16 == 0 ? 30000.0 : 3000.0);
+  }
+  PhaseAnalysis p = AnalyzePhases(rt);
+  EXPECT_EQ(p.startup_ios, 0u);
+  EXPECT_NEAR(p.period_ios, 16u, 1);
+}
+
+TEST(PhaseAnalysisTest, ShortTracesHandled) {
+  PhaseAnalysis p = AnalyzePhases({});
+  EXPECT_EQ(p.running_mean_us, 0);
+  p = AnalyzePhases({5.0, 6.0});
+  EXPECT_NEAR(p.running_mean_us, 5.5, 1e-9);
+}
+
+TEST(PhaseAnalysisTest, SuggestRunLengths) {
+  PhaseAnalysis p;
+  p.startup_ios = 128;
+  p.period_ios = 16;
+  RunLengths l = SuggestRunLengths(p, 16, 512);
+  EXPECT_EQ(l.io_ignore, 128u);
+  EXPECT_GE(l.io_count, 128u + 16 * 16);
+  // Minimum enforced.
+  p.startup_ios = 0;
+  p.period_ios = 1;
+  l = SuggestRunLengths(p, 4, 512);
+  EXPECT_EQ(l.io_count, 512u);
+}
+
+TEST(PauseCalibrationTest, NoLingeringOnSyncDevice) {
+  // The DTI has no deferred work: reads recover instantly and the
+  // conservative 1s floor applies (the paper uses 1s for such devices).
+  auto dev = MakeTestDevice("kingston-dti", 32 << 20);
+  PauseCalibrationOptions opts;
+  opts.sr_ios = 300;
+  opts.rw_ios = 50;
+  opts.target_size = 8 << 20;
+  auto calib = CalibratePause(dev.get(), opts);
+  ASSERT_TRUE(calib.ok()) << calib.status();
+  EXPECT_EQ(calib->recommended_pause_us, 1000000u);
+  EXPECT_EQ(calib->trace_rt_us.size(), 300u + 50 + 300);
+}
+
+TEST(PauseCalibrationTest, LingeringOnAsyncDevice) {
+  // Memoright-class devices defer work; reads after a random-write
+  // burst stay slow for a while (Figure 5).
+  auto dev = MakeTestDevice("mtron", 128 << 20);
+  auto enforce = EnforceRandomState(dev.get());
+  ASSERT_TRUE(enforce.ok());
+  dev->virtual_clock()->SleepUs(5000000);
+  PauseCalibrationOptions opts;
+  opts.sr_ios = 3000;
+  // The random-write batch must both span far more than the locality
+  // area (or the log pool absorbs it) and outlast what the controller's
+  // foreground slices can destage on the fly.
+  opts.rw_ios = 2000;
+  opts.target_size = dev->capacity_bytes();
+  auto calib = CalibratePause(dev.get(), opts);
+  ASSERT_TRUE(calib.ok()) << calib.status();
+  EXPECT_GT(calib->affected_reads, 50u);
+  EXPECT_GT(calib->lingering_us, 0);
+}
+
+TEST(TargetAllocatorTest, DisjointAlignedAllocations) {
+  TargetSpaceAllocator alloc(64 << 20);
+  auto a = alloc.Allocate(10 << 20);
+  auto b = alloc.Allocate(10 << 20);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_GE(*b, *a + (10 << 20));
+  EXPECT_EQ(*b % (1 << 20), 0u);
+  // Exhaustion.
+  EXPECT_FALSE(alloc.Allocate(64 << 20).ok());
+  alloc.Rewind();
+  EXPECT_TRUE(alloc.Allocate(64 << 20).ok());
+}
+
+TEST(BenchmarkPlanTest, GroupsSequentialWritesDisjointly) {
+  BenchmarkPlan plan(256 << 20, 1000000);
+  PatternSpec rr = PatternSpec::RandomRead(32768, 0, 32 << 20);
+  PatternSpec sw1 = PatternSpec::SequentialWrite(32768, 0, 32 << 20);
+  PatternSpec sw2 = PatternSpec::SequentialWrite(32768, 0, 32 << 20);
+  plan.AddRun(sw1);
+  plan.AddRun(rr);
+  plan.AddRun(sw2);
+  auto steps = plan.Build();
+  ASSERT_TRUE(steps.ok());
+  // First step enforces state; RR comes before the grouped SWs; the two
+  // SWs get disjoint target offsets.
+  ASSERT_GE(steps->size(), 4u);
+  EXPECT_EQ((*steps)[0].kind, PlanStep::Kind::kEnforceState);
+  std::vector<PatternSpec> sw_runs;
+  bool rr_seen = false;
+  bool rr_before_sw = true;
+  for (const auto& step : *steps) {
+    if (step.kind != PlanStep::Kind::kRun) continue;
+    if (step.spec.mode == IoMode::kRead) {
+      rr_seen = true;
+      if (!sw_runs.empty()) rr_before_sw = false;
+    } else {
+      sw_runs.push_back(step.spec);
+    }
+  }
+  EXPECT_TRUE(rr_seen);
+  EXPECT_TRUE(rr_before_sw);
+  ASSERT_EQ(sw_runs.size(), 2u);
+  uint64_t end0 = sw_runs[0].target_offset + sw_runs[0].target_size;
+  EXPECT_GE(sw_runs[1].target_offset, end0);
+  EXPECT_EQ(plan.state_resets(), 0u);
+}
+
+TEST(BenchmarkPlanTest, InsertsResetWhenDeviceExhausted) {
+  BenchmarkPlan plan(64 << 20, 1000000);
+  for (int i = 0; i < 4; ++i) {
+    plan.AddRun(PatternSpec::SequentialWrite(32768, 0, 30 << 20));
+  }
+  auto steps = plan.Build();
+  ASSERT_TRUE(steps.ok());
+  EXPECT_GE(plan.state_resets(), 1u);
+}
+
+TEST(BenchmarkPlanTest, RejectsOversizedTarget) {
+  BenchmarkPlan plan(16 << 20, 0);
+  plan.AddRun(PatternSpec::SequentialWrite(32768, 0, 64 << 20));
+  EXPECT_FALSE(plan.Build().ok());
+}
+
+TEST(BenchmarkPlanTest, PausesBetweenRuns) {
+  BenchmarkPlan plan(256 << 20, 750000);
+  plan.AddRun(PatternSpec::RandomRead(32768, 0, 8 << 20));
+  plan.AddRun(PatternSpec::RandomRead(32768, 0, 8 << 20));
+  auto steps = plan.Build();
+  ASSERT_TRUE(steps.ok());
+  bool pause_found = false;
+  for (const auto& s : *steps) {
+    if (s.kind == PlanStep::Kind::kPause) {
+      EXPECT_EQ(s.pause_us, 750000u);
+      pause_found = true;
+    }
+  }
+  EXPECT_TRUE(pause_found);
+}
+
+}  // namespace
+}  // namespace uflip

@@ -1,0 +1,207 @@
+// Pattern tests: the Table 1 formulas for every LBA function, the time
+// functions, validation, and the baseline constructors.
+#include <gtest/gtest.h>
+
+#include "src/pattern/pattern.h"
+#include "src/util/random.h"
+
+namespace uflip {
+namespace {
+
+constexpr uint32_t kIo = 32 * 1024;
+constexpr uint64_t kTarget = 64ULL << 20;
+
+TEST(PatternSpecTest, BaselineConstructors) {
+  PatternSpec sr = PatternSpec::SequentialRead(kIo, 0, kTarget);
+  EXPECT_EQ(sr.mode, IoMode::kRead);
+  EXPECT_EQ(sr.lba, LbaFunction::kSequential);
+  PatternSpec rr = PatternSpec::RandomRead(kIo, 0, kTarget);
+  EXPECT_EQ(rr.lba, LbaFunction::kRandom);
+  PatternSpec sw = PatternSpec::SequentialWrite(kIo, 0, kTarget);
+  EXPECT_EQ(sw.mode, IoMode::kWrite);
+  PatternSpec rw = PatternSpec::RandomWrite(kIo, 0, kTarget);
+  EXPECT_EQ(rw.mode, IoMode::kWrite);
+  EXPECT_EQ(rw.lba, LbaFunction::kRandom);
+  auto by_name = PatternSpec::Baseline("RW", kIo, 0, kTarget);
+  ASSERT_TRUE(by_name.ok());
+  EXPECT_EQ(by_name->label, "RW");
+  EXPECT_FALSE(PatternSpec::Baseline("XX", kIo, 0, kTarget).ok());
+}
+
+TEST(PatternSpecTest, ValidationRejectsBadSpecs) {
+  PatternSpec s = PatternSpec::SequentialRead(kIo, 0, kTarget);
+  EXPECT_TRUE(s.Validate().ok());
+  s.io_size = 0;
+  EXPECT_FALSE(s.Validate().ok());
+  s = PatternSpec::SequentialRead(kIo, 0, kIo / 2);  // target < io
+  EXPECT_FALSE(s.Validate().ok());
+  s = PatternSpec::SequentialRead(kIo, 0, kTarget);
+  s.io_ignore = s.io_count;
+  EXPECT_FALSE(s.Validate().ok());
+  s = PatternSpec::SequentialRead(kIo, 0, kTarget);
+  s.io_shift = 100;  // not a 512B multiple
+  EXPECT_FALSE(s.Validate().ok());
+  s = PatternSpec::SequentialRead(kIo, 0, kTarget);
+  s.lba = LbaFunction::kPartitioned;
+  s.partitions = 0;
+  EXPECT_FALSE(s.Validate().ok());
+  s.partitions = 1 << 20;  // partition smaller than io_size
+  EXPECT_FALSE(s.Validate().ok());
+  s = PatternSpec::SequentialRead(kIo, 0, kTarget);
+  s.time = TimeFunction::kBurst;
+  s.burst = 0;
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(PatternTest, SequentialFormulaWrapsInTarget) {
+  // Seq: TargetOffset + (i x IOSize) mod TargetSize (Table 1).
+  PatternSpec s = PatternSpec::SequentialWrite(kIo, 1 << 20, 4 * kIo);
+  Rng rng(1);
+  EXPECT_EQ(PatternGenerator::LbaAt(s, 0, &rng), (1u << 20) + 0 * kIo);
+  EXPECT_EQ(PatternGenerator::LbaAt(s, 3, &rng), (1u << 20) + 3 * kIo);
+  EXPECT_EQ(PatternGenerator::LbaAt(s, 4, &rng), (1u << 20) + 0 * kIo);
+  EXPECT_EQ(PatternGenerator::LbaAt(s, 5, &rng), (1u << 20) + 1 * kIo);
+}
+
+TEST(PatternTest, IoShiftAddsToEveryLba) {
+  PatternSpec s = PatternSpec::SequentialWrite(kIo, 0, 4 * kIo);
+  s.io_shift = 512;
+  Rng rng(1);
+  EXPECT_EQ(PatternGenerator::LbaAt(s, 0, &rng), 512u);
+  EXPECT_EQ(PatternGenerator::LbaAt(s, 1, &rng), 512u + kIo);
+}
+
+TEST(PatternTest, RandomStaysAlignedWithinTarget) {
+  PatternSpec s = PatternSpec::RandomWrite(kIo, 2 * kIo, 16 * kIo);
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    uint64_t lba = PatternGenerator::LbaAt(s, i, &rng);
+    EXPECT_GE(lba, s.target_offset);
+    EXPECT_LT(lba, s.target_offset + s.target_size);
+    EXPECT_EQ((lba - s.target_offset) % kIo, 0u);
+  }
+}
+
+TEST(PatternTest, OrderedIncrFormula) {
+  PatternSpec s = PatternSpec::SequentialWrite(kIo, 0, 16 * kIo);
+  s.lba = LbaFunction::kOrdered;
+  Rng rng(1);
+  // Incr = 4: 0, 4, 8, 12, 0 (wraps at 16 locations? 16 locations, step
+  // 4 -> wraps at i=4).
+  s.incr = 4;
+  EXPECT_EQ(PatternGenerator::LbaAt(s, 0, &rng), 0u * kIo);
+  EXPECT_EQ(PatternGenerator::LbaAt(s, 1, &rng), 4u * kIo);
+  EXPECT_EQ(PatternGenerator::LbaAt(s, 4, &rng), 0u * kIo);
+  // Incr = 0: in-place.
+  s.incr = 0;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(PatternGenerator::LbaAt(s, i, &rng), 0u);
+  }
+  // Incr = -1: reverse, wraps from the end.
+  s.incr = -1;
+  EXPECT_EQ(PatternGenerator::LbaAt(s, 0, &rng), 0u);
+  EXPECT_EQ(PatternGenerator::LbaAt(s, 1, &rng), 15u * kIo);
+  EXPECT_EQ(PatternGenerator::LbaAt(s, 2, &rng), 14u * kIo);
+}
+
+TEST(PatternTest, PartitionedRoundRobinFormula) {
+  // Pi x PS + Oi with PS = TargetSize/Partitions (Table 1).
+  PatternSpec s = PatternSpec::SequentialWrite(kIo, 0, 8 * kIo);
+  s.lba = LbaFunction::kPartitioned;
+  s.partitions = 2;
+  Rng rng(1);
+  uint64_t ps = 4 * kIo;
+  // i=0 -> P0 off 0; i=1 -> P1 off 0; i=2 -> P0 off 1; ...
+  EXPECT_EQ(PatternGenerator::LbaAt(s, 0, &rng), 0u);
+  EXPECT_EQ(PatternGenerator::LbaAt(s, 1, &rng), ps);
+  EXPECT_EQ(PatternGenerator::LbaAt(s, 2, &rng), kIo);
+  EXPECT_EQ(PatternGenerator::LbaAt(s, 3, &rng), ps + kIo);
+  // Offsets wrap within the partition.
+  EXPECT_EQ(PatternGenerator::LbaAt(s, 8, &rng), 0u);
+}
+
+TEST(PatternTest, GeneratorDeterministicBySeed) {
+  PatternSpec s = PatternSpec::RandomRead(kIo, 0, kTarget);
+  s.seed = 42;
+  PatternGenerator a(s), b(s);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next().offset, b.Next().offset);
+  }
+  s.seed = 43;
+  PatternGenerator c(s);
+  PatternGenerator d(PatternSpec::RandomRead(kIo, 0, kTarget));
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += c.Next().offset == d.Next().offset;
+  EXPECT_LT(same, 10);
+}
+
+TEST(PatternTest, PauseTimeFunction) {
+  PatternSpec s = PatternSpec::SequentialRead(kIo, 0, kTarget);
+  s.time = TimeFunction::kPause;
+  s.pause_us = 500;
+  PatternGenerator gen(s);
+  EXPECT_EQ(gen.PauseBeforeNextUs(), 0u);  // no pause before the first IO
+  gen.Next();
+  EXPECT_EQ(gen.PauseBeforeNextUs(), 500u);
+}
+
+TEST(PatternTest, BurstTimeFunction) {
+  PatternSpec s = PatternSpec::SequentialRead(kIo, 0, kTarget);
+  s.time = TimeFunction::kBurst;
+  s.pause_us = 1000;
+  s.burst = 3;
+  PatternGenerator gen(s);
+  std::vector<uint64_t> pauses;
+  for (int i = 0; i < 7; ++i) {
+    pauses.push_back(gen.PauseBeforeNextUs());
+    gen.Next();
+  }
+  // Pause before IOs 3 and 6 only.
+  EXPECT_EQ(pauses, (std::vector<uint64_t>{0, 0, 0, 1000, 0, 0, 1000}));
+}
+
+TEST(PatternTest, ConsecutiveNeverPauses) {
+  PatternSpec s = PatternSpec::SequentialRead(kIo, 0, kTarget);
+  PatternGenerator gen(s);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(gen.PauseBeforeNextUs(), 0u);
+    gen.Next();
+  }
+}
+
+TEST(PatternTest, RequestCarriesSizeAndMode) {
+  PatternSpec s = PatternSpec::RandomWrite(kIo, 0, kTarget);
+  PatternGenerator gen(s);
+  IoRequest req = gen.Next();
+  EXPECT_EQ(req.size, kIo);
+  EXPECT_EQ(req.mode, IoMode::kWrite);
+}
+
+class BaselineSweep
+    : public testing::TestWithParam<std::tuple<const char*, uint32_t>> {};
+
+TEST_P(BaselineSweep, AllLbasInsideTargetSpace) {
+  auto [name, io_size] = GetParam();
+  auto spec = PatternSpec::Baseline(name, io_size, 1 << 20, 8 << 20);
+  ASSERT_TRUE(spec.ok());
+  PatternGenerator gen(*spec);
+  for (int i = 0; i < 300; ++i) {
+    IoRequest req = gen.Next();
+    EXPECT_GE(req.offset, spec->target_offset);
+    EXPECT_LE(req.offset + req.size,
+              spec->target_offset + spec->target_size);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBaselines, BaselineSweep,
+    testing::Combine(testing::Values("SR", "RR", "SW", "RW"),
+                     testing::Values(512u, 4096u, 32768u, 131072u)),
+    [](const testing::TestParamInfo<std::tuple<const char*, uint32_t>>&
+           info) {
+      return std::string(std::get<0>(info.param)) + "_" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace uflip

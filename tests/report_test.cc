@@ -1,0 +1,136 @@
+// Report/rendering tests: ASCII charts, Table 3 formatting, experiment
+// series extraction, micro-benchmark sweeps and names.
+#include <gtest/gtest.h>
+
+#include "src/core/microbench.h"
+#include "src/core/table3.h"
+#include "src/report/ascii_chart.h"
+
+namespace uflip {
+namespace {
+
+TEST(AsciiChartTest, RendersSeriesWithinBounds) {
+  ChartSeries s;
+  s.name = "rt";
+  s.glyph = '*';
+  for (int i = 0; i < 50; ++i) {
+    s.x.push_back(i);
+    s.y.push_back(100.0 + 10.0 * (i % 7));
+  }
+  ChartOptions opts;
+  opts.width = 60;
+  opts.height = 10;
+  opts.title = "test chart";
+  std::string out = RenderChart({s}, opts);
+  EXPECT_NE(out.find("test chart"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("rt"), std::string::npos);
+}
+
+TEST(AsciiChartTest, LogScaleHandlesWideRanges) {
+  ChartSeries s;
+  s.name = "wide";
+  s.x = {1, 2, 3};
+  s.y = {0.1, 10, 10000};
+  ChartOptions opts;
+  opts.log_y = true;
+  std::string out = RenderChart({s}, opts);
+  EXPECT_FALSE(out.empty());
+  // Axis labels reflect the original values (not logs).
+  EXPECT_NE(out.find("0.1"), std::string::npos);
+}
+
+TEST(AsciiChartTest, EmptySeriesSafe) {
+  ChartOptions opts;
+  opts.title = "empty";
+  std::string out = RenderChart({}, opts);
+  EXPECT_NE(out.find("no data"), std::string::npos);
+}
+
+TEST(AsciiChartTest, TraceHelper) {
+  std::vector<double> y = {1, 2, 3, 2, 1};
+  ChartOptions opts;
+  std::string out = RenderTrace(y, opts);
+  EXPECT_FALSE(out.empty());
+}
+
+TEST(AsciiChartTest, ConstantSeriesDoesNotDivideByZero) {
+  ChartSeries s;
+  s.x = {1, 2, 3};
+  s.y = {5, 5, 5};
+  std::string out = RenderChart({s}, ChartOptions{});
+  EXPECT_FALSE(out.empty());
+}
+
+TEST(Table3RenderTest, FactorFormatting) {
+  EXPECT_EQ(Table3Row::FormatFactor(1.0), "=");
+  EXPECT_EQ(Table3Row::FormatFactor(1.1), "=");
+  EXPECT_EQ(Table3Row::FormatFactor(2.0), "x2.0");
+  EXPECT_EQ(Table3Row::FormatFactor(0.6), "x0.6");
+  EXPECT_EQ(Table3Row::FormatFactor(40.0), "x40");
+  EXPECT_EQ(Table3Row::FormatFactor(0.0), "-");
+}
+
+TEST(Table3RenderTest, RendersAllColumns) {
+  Table3Row r;
+  r.device = "testdev";
+  r.sr_ms = 0.3;
+  r.rr_ms = 0.4;
+  r.sw_ms = 0.3;
+  r.rw_ms = 5.0;
+  r.rw_pause_ms = 5.0;
+  r.locality_mb = 8;
+  r.locality_factor = 1.0;
+  r.partitions = 8;
+  r.partition_factor = 1.0;
+  r.reverse_factor = 1.0;
+  r.inplace_factor = 1.0;
+  r.large_incr_factor = 4.0;
+  std::string out = RenderTable3({r});
+  EXPECT_NE(out.find("testdev"), std::string::npos);
+  EXPECT_NE(out.find("8MB"), std::string::npos);
+  EXPECT_NE(out.find("x4.0"), std::string::npos);
+}
+
+TEST(MicroBenchTest, NamesAndEnumeration) {
+  auto all = AllMicroBenches();
+  EXPECT_EQ(all.size(), 9u);  // the nine micro-benchmarks
+  EXPECT_STREQ(MicroBenchName(all.front()), "Granularity");
+  EXPECT_STREQ(MicroBenchName(all.back()), "Bursts");
+}
+
+TEST(MicroBenchTest, DefaultSweepsMatchTable1Ranges) {
+  MicroBenchConfig cfg;
+  auto gran = DefaultSweep(MicroBench::kGranularity, cfg);
+  EXPECT_EQ(gran.front(), 512);  // [2^0..2^9] x 512B
+  EXPECT_EQ(gran.back(), 512 * 512);
+  auto shift = DefaultSweep(MicroBench::kAlignment, cfg);
+  EXPECT_EQ(shift.front(), 512);
+  EXPECT_EQ(shift.back(), cfg.io_size);
+  auto order = DefaultSweep(MicroBench::kOrder, cfg);
+  EXPECT_EQ(order.front(), -1);  // reverse
+  EXPECT_EQ(order[1], 0);        // in-place
+  EXPECT_EQ(order.back(), 256);
+  auto pause = DefaultSweep(MicroBench::kPause, cfg);
+  EXPECT_EQ(pause.front(), 100);  // 0.1 msec
+  auto par = DefaultSweep(MicroBench::kParallelism, cfg);
+  EXPECT_EQ(par.back(), 16);  // 2^4
+  auto mix = DefaultSweep(MicroBench::kMix, cfg);
+  EXPECT_EQ(mix.back(), 64);  // 2^6
+}
+
+TEST(MicroBenchTest, ExperimentSeriesHelpers) {
+  Experiment e;
+  e.name = "x";
+  ExperimentPoint p;
+  p.param = 7;
+  p.run.spec = PatternSpec::SequentialRead(32768, 0, 1 << 20);
+  p.run.samples.push_back(IoSample{0, 0, 100.0, {}});
+  p.run.samples.push_back(IoSample{1, 100, 200.0, {}});
+  e.points.push_back(p);
+  EXPECT_EQ(e.ParamSeries(), std::vector<double>{7});
+  EXPECT_EQ(e.MeanSeries(), std::vector<double>{150.0});
+}
+
+}  // namespace
+}  // namespace uflip

@@ -1,0 +1,177 @@
+// Runner tests: run execution and statistics, IOIgnore handling,
+// parallel-runner event interleaving on a serializing device, and the
+// mix runner, using the analytic MemDevice.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "src/device/mem_device.h"
+#include "src/run/runner.h"
+
+namespace uflip {
+namespace {
+
+std::unique_ptr<MemDevice> Dev(double jitter = 0) {
+  MemDeviceConfig cfg;
+  cfg.capacity_bytes = 64ULL << 20;
+  cfg.jitter_us = jitter;
+  return std::make_unique<MemDevice>(cfg,
+                                     std::make_shared<VirtualClock>());
+}
+
+TEST(RunStatsTest, BasicMoments) {
+  RunStats s = RunStats::Compute({1, 2, 3, 4, 5});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.min_us, 1);
+  EXPECT_DOUBLE_EQ(s.max_us, 5);
+  EXPECT_DOUBLE_EQ(s.mean_us, 3);
+  EXPECT_DOUBLE_EQ(s.sum_us, 15);
+  EXPECT_NEAR(s.stddev_us, std::sqrt(2.0), 1e-9);
+  EXPECT_DOUBLE_EQ(s.p50_us, 3);
+}
+
+TEST(RunStatsTest, IgnoresPrefix) {
+  RunStats s = RunStats::Compute({100, 100, 1, 1}, 2);
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_DOUBLE_EQ(s.mean_us, 1);
+}
+
+TEST(RunStatsTest, EmptyAndOutOfRangePrefix) {
+  RunStats s = RunStats::Compute({}, 0);
+  EXPECT_EQ(s.count, 0u);
+  s = RunStats::Compute({1, 2}, 5);
+  EXPECT_EQ(s.count, 0u);
+}
+
+TEST(RunnerTest, ExecutesAllIosAndAdvancesClock) {
+  auto dev = Dev();
+  PatternSpec spec = PatternSpec::SequentialRead(32768, 0, 8 << 20);
+  spec.io_count = 64;
+  auto run = ExecuteRun(dev.get(), spec);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->samples.size(), 64u);
+  // MemDevice read: 100us + 0.005us/B * 32768 = 263.84us.
+  EXPECT_NEAR(run->Stats().mean_us, 263.8, 1.0);
+  // Clock advanced past the whole run.
+  EXPECT_GE(dev->clock()->NowUs(), 64ull * 263);
+  // Submission times strictly increase (consecutive pattern).
+  for (size_t i = 1; i < run->samples.size(); ++i) {
+    EXPECT_GT(run->samples[i].submit_us, run->samples[i - 1].submit_us);
+  }
+}
+
+TEST(RunnerTest, RejectsTargetBeyondCapacity) {
+  auto dev = Dev();
+  PatternSpec spec = PatternSpec::SequentialRead(32768, 0, 128 << 20);
+  EXPECT_FALSE(ExecuteRun(dev.get(), spec).ok());
+}
+
+TEST(RunnerTest, PausePatternStretchesWallTime) {
+  auto dev = Dev();
+  PatternSpec spec = PatternSpec::SequentialRead(32768, 0, 8 << 20);
+  spec.io_count = 32;
+  uint64_t start = dev->clock()->NowUs();
+  auto base = ExecuteRun(dev.get(), spec);
+  ASSERT_TRUE(base.ok());
+  uint64_t base_wall = dev->clock()->NowUs() - start;
+
+  spec.time = TimeFunction::kPause;
+  spec.pause_us = 10000;
+  start = dev->clock()->NowUs();
+  auto paused = ExecuteRun(dev.get(), spec);
+  ASSERT_TRUE(paused.ok());
+  uint64_t paused_wall = dev->clock()->NowUs() - start;
+  EXPECT_GE(paused_wall, base_wall + 31ull * 10000);
+  // Response times themselves unchanged on this analytic device.
+  EXPECT_NEAR(paused->Stats().mean_us, base->Stats().mean_us, 1.0);
+}
+
+TEST(RunnerTest, StatsExcludeIgnoredStartup) {
+  auto dev = Dev();
+  PatternSpec spec = PatternSpec::SequentialRead(32768, 0, 8 << 20);
+  spec.io_count = 50;
+  spec.io_ignore = 10;
+  auto run = ExecuteRun(dev.get(), spec);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->Stats().count, 40u);
+  EXPECT_EQ(run->StatsIncludingStartup().count, 50u);
+}
+
+TEST(ParallelRunnerTest, SerializingDeviceQueuesConcurrentIos) {
+  auto dev = Dev();
+  PatternSpec spec = PatternSpec::SequentialRead(32768, 0, 16 << 20);
+  spec.io_count = 64;
+  auto serial = ExecuteRun(dev.get(), spec);
+  ASSERT_TRUE(serial.ok());
+
+  auto par = ExecuteParallelRun(dev.get(), spec, 4);
+  ASSERT_TRUE(par.ok());
+  EXPECT_EQ(par->samples.size(), 64u);
+  // With 4 processes on a serializing device, response time includes
+  // queue wait: roughly 4x the serial response time.
+  EXPECT_GT(par->Stats().mean_us, 2.5 * serial->Stats().mean_us);
+  EXPECT_LT(par->Stats().mean_us, 6.0 * serial->Stats().mean_us);
+}
+
+TEST(ParallelRunnerTest, SlicesTargetSpacePerProcess) {
+  auto dev = Dev();
+  PatternSpec spec = PatternSpec::SequentialWrite(32768, 0, 16 << 20);
+  spec.io_count = 32;
+  auto par = ExecuteParallelRun(dev.get(), spec, 4);
+  ASSERT_TRUE(par.ok());
+  // Each process writes within its own quarter: offsets from all four
+  // slices appear.
+  uint64_t slice = (16ull << 20) / 4;
+  std::vector<bool> seen(4, false);
+  for (const auto& s : par->samples) {
+    seen[s.req.offset / slice] = true;
+  }
+  for (bool b : seen) EXPECT_TRUE(b);
+}
+
+TEST(ParallelRunnerTest, RejectsDegenerateInputs) {
+  auto dev = Dev();
+  PatternSpec spec = PatternSpec::SequentialRead(32768, 0, 1 << 20);
+  spec.io_count = 8;
+  EXPECT_FALSE(ExecuteParallelRun(dev.get(), spec, 0).ok());
+  EXPECT_FALSE(ExecuteParallelRun(dev.get(), spec, 64).ok());  // slice < io
+}
+
+TEST(MixRunnerTest, InterleavesAtRatio) {
+  auto dev = Dev();
+  PatternSpec reads = PatternSpec::SequentialRead(32768, 0, 8 << 20);
+  PatternSpec writes = PatternSpec::SequentialWrite(32768, 8 << 20, 8 << 20);
+  writes.io_count = 16;
+  auto mix = ExecuteMixRun(dev.get(), reads, writes, 3);
+  ASSERT_TRUE(mix.ok());
+  EXPECT_EQ(mix->samples.size(), 16u * 4);
+  // Every 4th IO is a write.
+  int write_count = 0;
+  for (size_t i = 0; i < mix->samples.size(); ++i) {
+    bool is_write = mix->samples[i].req.mode == IoMode::kWrite;
+    write_count += is_write;
+    EXPECT_EQ(is_write, i % 4 == 3);
+  }
+  EXPECT_EQ(write_count, 16);
+}
+
+TEST(MixRunnerTest, MeanMatchesWeightedBaselines) {
+  auto dev = Dev();
+  PatternSpec reads = PatternSpec::SequentialRead(32768, 0, 8 << 20);
+  PatternSpec writes = PatternSpec::SequentialWrite(32768, 8 << 20, 8 << 20);
+  writes.io_count = 32;
+  auto mix = ExecuteMixRun(dev.get(), reads, writes, 1);
+  ASSERT_TRUE(mix.ok());
+  // MemDevice: read 263.84us, write 412.14us -> 1:1 mix mean ~338us.
+  EXPECT_NEAR(mix->Stats().mean_us, (263.84 + 412.14) / 2, 2.0);
+}
+
+TEST(MixRunnerTest, RejectsZeroRatio) {
+  auto dev = Dev();
+  PatternSpec a = PatternSpec::SequentialRead(32768, 0, 8 << 20);
+  EXPECT_FALSE(ExecuteMixRun(dev.get(), a, a, 0).ok());
+}
+
+}  // namespace
+}  // namespace uflip

@@ -1,0 +1,85 @@
+// Shared helpers for simulator tests: a shadow model that mirrors every
+// write made through a SimDevice at flash-page granularity and verifies
+// reads, plus small factory helpers for test-sized devices.
+#ifndef UFLIP_TESTS_SIM_TEST_UTIL_H_
+#define UFLIP_TESTS_SIM_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/device/profiles.h"
+#include "src/device/sim_device.h"
+#include "src/util/random.h"
+
+namespace uflip {
+
+/// Drives a SimDevice with token-tracked IO and checks every read
+/// against a page-granular shadow copy.
+class ShadowTester {
+ public:
+  explicit ShadowTester(SimDevice* device)
+      : device_(device),
+        page_(device->page_bytes()),
+        shadow_(device->capacity_bytes() / device->page_bytes(), 0) {}
+
+  /// Writes [offset, offset+size) with fresh tokens; updates the shadow.
+  void Write(uint64_t offset, uint32_t size) {
+    uint64_t first = offset / page_;
+    uint64_t last = (offset + size - 1) / page_;
+    std::vector<uint64_t> tokens;
+    for (uint64_t p = first; p <= last; ++p) {
+      tokens.push_back(++counter_);
+      shadow_[p] = counter_;
+    }
+    auto rt = device_->WriteTokens(device_->virtual_clock()->NowUs(), offset,
+                                   size, tokens);
+    ASSERT_TRUE(rt.ok()) << rt.status();
+    device_->virtual_clock()->SleepUs(static_cast<uint64_t>(*rt));
+  }
+
+  /// Reads [offset, offset+size) and verifies tokens page by page.
+  void VerifyRead(uint64_t offset, uint32_t size) {
+    auto tokens = device_->ReadTokens(offset, size);
+    ASSERT_TRUE(tokens.ok()) << tokens.status();
+    uint64_t first = offset / page_;
+    for (size_t i = 0; i < tokens->size(); ++i) {
+      ASSERT_EQ((*tokens)[i], shadow_[first + i])
+          << "page " << first + i << " mismatch";
+    }
+  }
+
+  /// Verifies the entire written device in chunks.
+  void VerifyAll(uint32_t chunk_pages = 64) {
+    uint64_t total = shadow_.size();
+    for (uint64_t p = 0; p < total; p += chunk_pages) {
+      uint32_t n = static_cast<uint32_t>(
+          std::min<uint64_t>(chunk_pages, total - p));
+      VerifyRead(p * page_, n * page_);
+    }
+  }
+
+  uint32_t page_bytes() const { return page_; }
+  uint64_t pages() const { return shadow_.size(); }
+
+ private:
+  SimDevice* device_;
+  uint32_t page_;
+  std::vector<uint64_t> shadow_;
+  uint64_t counter_ = 0;
+};
+
+/// A small test device from a named profile (capacity shrunk for speed).
+inline std::unique_ptr<SimDevice> MakeTestDevice(
+    const std::string& profile_id, uint64_t capacity_bytes = 32ULL << 20) {
+  auto profile = ProfileById(profile_id);
+  EXPECT_TRUE(profile.ok()) << profile.status();
+  auto dev = CreateSimDevice(*profile, nullptr, capacity_bytes);
+  EXPECT_TRUE(dev.ok()) << dev.status();
+  return std::move(*dev);
+}
+
+}  // namespace uflip
+
+#endif  // UFLIP_TESTS_SIM_TEST_UTIL_H_

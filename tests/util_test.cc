@@ -1,0 +1,224 @@
+// Unit tests for src/util: Status/StatusOr, Rng, clocks, AlignedBuffer,
+// units formatting, CSV writing.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "src/util/aligned_buffer.h"
+#include "src/util/clock.h"
+#include "src/util/csv.h"
+#include "src/util/random.h"
+#include "src/util/status.h"
+#include "src/util/units.h"
+
+namespace uflip {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad io_size");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad io_size");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad io_size");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode c :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kOutOfRange,
+        StatusCode::kFailedPrecondition, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kResourceExhausted,
+        StatusCode::kInternal, StatusCode::kIoError,
+        StatusCode::kUnimplemented, StatusCode::kCorruption}) {
+    EXPECT_STRNE(StatusCodeName(c), "Unknown");
+  }
+}
+
+TEST(StatusTest, StreamOperator) {
+  std::ostringstream os;
+  os << Status::NotFound("x");
+  EXPECT_EQ(os.str(), "NotFound: x");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value_or(-1), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::IoError("disk gone");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(v.value_or(-1), -1);
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto f = []() -> Status {
+    UFLIP_RETURN_IF_ERROR(Status::Ok());
+    UFLIP_RETURN_IF_ERROR(Status::Corruption("bit rot"));
+    return Status::Internal("unreachable");
+  };
+  EXPECT_EQ(f().code(), StatusCode::kCorruption);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.NextU64() == b.NextU64();
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformBoundRespected) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.UniformU64(bound), bound);
+  }
+  EXPECT_EQ(rng.UniformU64(0), 0u);
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 400; ++i) seen.insert(rng.UniformU64(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(5);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.UniformRange(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    lo |= v == 3;
+    hi |= v == 5;
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(13);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(RngTest, PermutationIsPermutation) {
+  Rng rng(17);
+  auto p = rng.Permutation(100);
+  std::set<uint64_t> s(p.begin(), p.end());
+  EXPECT_EQ(s.size(), 100u);
+  EXPECT_EQ(*s.begin(), 0u);
+  EXPECT_EQ(*s.rbegin(), 99u);
+}
+
+TEST(RngTest, ForkIndependent) {
+  Rng a(21);
+  Rng child = a.Fork();
+  EXPECT_NE(a.NextU64(), child.NextU64());
+}
+
+TEST(VirtualClockTest, AdvancesOnSleep) {
+  VirtualClock c(100);
+  EXPECT_EQ(c.NowUs(), 100u);
+  c.SleepUs(50);
+  EXPECT_EQ(c.NowUs(), 150u);
+  c.AdvanceTo(140);  // no-op backwards
+  EXPECT_EQ(c.NowUs(), 150u);
+  c.AdvanceTo(200);
+  EXPECT_EQ(c.NowUs(), 200u);
+}
+
+TEST(RealClockTest, Monotonic) {
+  RealClock c;
+  uint64_t a = c.NowUs();
+  c.SleepUs(1000);
+  uint64_t b = c.NowUs();
+  EXPECT_GE(b, a + 900);
+}
+
+TEST(AlignedBufferTest, Alignment) {
+  AlignedBuffer buf(1000, 4096);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(buf.data()) % 4096, 0u);
+  EXPECT_EQ(buf.size(), 1000u);
+}
+
+TEST(AlignedBufferTest, MoveTransfersOwnership) {
+  AlignedBuffer a(512, 512);
+  uint8_t* p = a.data();
+  AlignedBuffer b = std::move(a);
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(a.data(), nullptr);
+}
+
+TEST(AlignedBufferTest, FillPatternDeterministic) {
+  AlignedBuffer a(256), b(256);
+  a.FillPattern(7);
+  b.FillPattern(7);
+  EXPECT_EQ(memcmp(a.data(), b.data(), 256), 0);
+  b.FillPattern(8);
+  EXPECT_NE(memcmp(a.data(), b.data(), 256), 0);
+}
+
+TEST(UnitsTest, FormatSize) {
+  EXPECT_EQ(FormatSize(512), "512B");
+  EXPECT_EQ(FormatSize(32 * kKiB), "32.0KB");
+  EXPECT_EQ(FormatSize(8 * kMiB), "8.0MB");
+  EXPECT_EQ(FormatSize(2 * kGiB), "2GB");
+}
+
+TEST(UnitsTest, FormatMs) { EXPECT_EQ(FormatMs(5250.0), "5.25ms"); }
+
+TEST(UnitsTest, Conversions) {
+  EXPECT_EQ(MsToUs(1.5), 1500u);
+  EXPECT_DOUBLE_EQ(UsToMs(2500), 2.5);
+}
+
+TEST(CsvTest, WritesRowsWithEscaping) {
+  std::string path = testing::TempDir() + "/uflip_csv_test.csv";
+  auto w = CsvWriter::Open(path);
+  ASSERT_TRUE(w.ok());
+  w->WriteRow(std::vector<std::string>{"a", "b,c", "d\"e"});
+  w->WriteRow(std::vector<double>{1.5, 2.25});
+  ASSERT_TRUE(w->Close().ok());
+
+  std::ifstream in(path);
+  std::string line1, line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "a,\"b,c\",\"d\"\"e\"");
+  EXPECT_EQ(line2, "1.5,2.25");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, OpenFailsOnBadPath) {
+  auto w = CsvWriter::Open("/nonexistent-dir-xyz/file.csv");
+  EXPECT_FALSE(w.ok());
+}
+
+}  // namespace
+}  // namespace uflip
