@@ -41,6 +41,11 @@ class Flags {
     return v.empty() ? def : std::strtoll(v.c_str(), nullptr, 10);
   }
 
+  double GetDouble(const std::string& key, double def) const {
+    std::string v = GetString(key, "");
+    return v.empty() ? def : std::strtod(v.c_str(), nullptr);
+  }
+
   bool GetBool(const std::string& key, bool def) const {
     std::string v = GetString(key, def ? "true" : "false");
     return v == "true" || v == "1";

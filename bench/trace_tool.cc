@@ -1,0 +1,262 @@
+// Trace tool: record, replay and generate IO workload traces.
+//
+//   trace_tool record   --device=mtron --out=sweep.csv
+//                       [--mb=granularity | --pattern=SR|RR|SW|RW]
+//                       [--io_size=32768] [--io_count=512] [--io_ignore=64]
+//                       [--format=csv|bin]
+//   trace_tool replay   --trace=sweep.csv --device=memoright
+//                       [--timing=closed|original|scaled] [--scale=1.0]
+//                       [--rescale_lba=true] [--io_ignore=0]
+//   trace_tool generate --kind=zipfian|oltp|multistream --out=synth.csv
+//                       [--capacity_mb=64] [--io_size=4096] [--io_count=4096]
+//                       [--theta=0.99] [--write_fraction=0.5]
+//                       [--read_only_fraction=0.5] [--streams=4]
+//                       [--gap_us=0] [--seed=1] [--format=csv|bin]
+//
+// A trace recorded on one device profile replays unchanged on any
+// other; --rescale_lba fits a trace recorded on a larger device onto a
+// smaller one.
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/core/microbench.h"
+#include "src/run/trace_run.h"
+#include "src/trace/recording_device.h"
+#include "src/trace/synthetic.h"
+#include "src/trace/trace_io.h"
+#include "src/util/units.h"
+
+namespace uflip {
+namespace bench {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: trace_tool record|replay|generate [--flags]\n"
+               "  (see the header of bench/trace_tool.cc)\n");
+  return 2;
+}
+
+TraceFormat FormatFromFlags(const Flags& flags, const std::string& out) {
+  std::string f = flags.GetString("format", "");
+  if (f == "csv") return TraceFormat::kCsv;
+  if (f == "bin" || f == "binary") return TraceFormat::kBinary;
+  return FormatForPath(out);
+}
+
+void PrintStats(const RunResult& run, const std::string& title) {
+  RunStats running = run.Stats();
+  RunStats all = run.StatsIncludingStartup();
+  std::printf("%s\n", title.c_str());
+  std::printf("  %-16s %8s %10s %10s %10s %10s %10s\n", "phase", "IOs",
+              "mean ms", "p50 ms", "p95 ms", "p99 ms", "max ms");
+  std::printf("  %-16s %8llu %10.3f %10.3f %10.3f %10.3f %10.3f\n",
+              "running", static_cast<unsigned long long>(running.count),
+              UsToMs(running.mean_us), UsToMs(running.p50_us),
+              UsToMs(running.p95_us), UsToMs(running.p99_us),
+              UsToMs(running.max_us));
+  std::printf("  %-16s %8llu %10.3f %10.3f %10.3f %10.3f %10.3f\n",
+              "incl. start-up", static_cast<unsigned long long>(all.count),
+              UsToMs(all.mean_us), UsToMs(all.p50_us), UsToMs(all.p95_us),
+              UsToMs(all.p99_us), UsToMs(all.max_us));
+}
+
+StatusOr<MicroBench> MicroBenchByName(const std::string& name) {
+  for (MicroBench mb : AllMicroBenches()) {
+    std::string n = MicroBenchName(mb);
+    for (char& c : n) c = static_cast<char>(std::tolower(c));
+    if (n == name) return mb;
+  }
+  return Status::NotFound("unknown micro-benchmark '" + name + "'");
+}
+
+int Record(const Flags& flags) {
+  std::string id = flags.GetString("device", "mtron");
+  std::string out = flags.GetString("out", "trace.csv");
+  auto dev = MakeDeviceWithState(id);
+  InterRunPause(dev.get());
+
+  // Wrap after preparation so the trace holds only the workload.
+  RecordingDevice rec(dev.get());
+
+  std::string mb_name = flags.GetString("mb", "");
+  if (!mb_name.empty()) {
+    auto mb = MicroBenchByName(mb_name);
+    if (!mb.ok()) {
+      std::fprintf(stderr, "%s\n", mb.status().ToString().c_str());
+      return 2;
+    }
+    MicroBenchConfig cfg;
+    cfg.io_size = static_cast<uint32_t>(flags.GetInt("io_size", 32 * 1024));
+    cfg.io_count = static_cast<uint32_t>(flags.GetInt("io_count", 256));
+    cfg.io_ignore = static_cast<uint32_t>(flags.GetInt("io_ignore", 64));
+    cfg.target_size = dev->capacity_bytes() / 2;
+    auto exps = RunMicroBench(&rec, *mb, cfg);
+    if (!exps.ok()) {
+      std::fprintf(stderr, "micro-benchmark failed: %s\n",
+                   exps.status().ToString().c_str());
+      return 1;
+    }
+  } else {
+    std::string pat = flags.GetString("pattern", "SR");
+    auto spec = PatternSpec::Baseline(
+        pat, static_cast<uint32_t>(flags.GetInt("io_size", 32 * 1024)), 0,
+        dev->capacity_bytes() / 2);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+      return 2;
+    }
+    spec->io_count = static_cast<uint32_t>(flags.GetInt("io_count", 512));
+    spec->io_ignore = static_cast<uint32_t>(flags.GetInt("io_ignore", 64));
+    auto run = ExecuteRun(&rec, *spec);
+    if (!run.ok()) {
+      std::fprintf(stderr, "run failed: %s\n",
+                   run.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  TraceFormat format = FormatFromFlags(flags, out);
+  Status s = rec.WriteTo(out, format);
+  if (!s.ok()) {
+    std::fprintf(stderr, "trace write failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const Trace& t = rec.trace();
+  std::printf("recorded %zu IOs (%.3fs of device time) from %s -> %s [%s]\n",
+              t.events.size(), t.SpanUs() / 1e6, dev->name().c_str(),
+              out.c_str(), TraceFormatName(format));
+  return 0;
+}
+
+int Replay(const Flags& flags) {
+  std::string path = flags.GetString("trace", "");
+  if (path.empty()) return Usage();
+  auto trace = ReadTrace(path);
+  if (!trace.ok()) {
+    std::fprintf(stderr, "trace read failed: %s\n",
+                 trace.status().ToString().c_str());
+    return 1;
+  }
+
+  // Validate flags before the (expensive) device preparation.
+  ReplayOptions opts;
+  std::string timing = flags.GetString("timing", "closed");
+  if (timing == "closed") {
+    opts.timing = ReplayTiming::kClosedLoop;
+  } else if (timing == "original") {
+    opts.timing = ReplayTiming::kOriginal;
+  } else if (timing == "scaled") {
+    opts.timing = ReplayTiming::kScaled;
+    opts.time_scale = flags.GetDouble("scale", 1.0);
+  } else {
+    std::fprintf(stderr, "unknown --timing=%s\n", timing.c_str());
+    return 2;
+  }
+  opts.rescale_lba = flags.GetBool("rescale_lba", false);
+  opts.io_ignore = static_cast<uint32_t>(flags.GetInt("io_ignore", 0));
+
+  std::string id = flags.GetString("device", "mtron");
+  auto dev = MakeDeviceWithState(id);
+  InterRunPause(dev.get());
+
+  auto run = ExecuteTraceRun(dev.get(), *trace, opts);
+  if (!run.ok()) {
+    std::fprintf(stderr, "replay failed: %s\n",
+                 run.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("replayed %zu IOs of '%s' (recorded on %s) on %s, %s timing",
+              run->samples.size(), path.c_str(),
+              trace->meta.source.c_str(), dev->name().c_str(),
+              ReplayTimingName(opts.timing));
+  if (opts.timing == ReplayTiming::kScaled) {
+    std::printf(" (x%.2f)", opts.time_scale);
+  }
+  if (opts.rescale_lba) {
+    std::printf(", LBAs rescaled %s -> %s",
+                FormatSize(trace->meta.capacity_bytes).c_str(),
+                FormatSize(dev->capacity_bytes()).c_str());
+  }
+  std::printf("\n\n");
+  PrintStats(*run, "response-time statistics");
+  return 0;
+}
+
+int Generate(const Flags& flags) {
+  std::string kind = flags.GetString("kind", "zipfian");
+  std::string out = flags.GetString("out", "synth.csv");
+  uint64_t capacity =
+      static_cast<uint64_t>(flags.GetInt("capacity_mb", 64)) << 20;
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+
+  StatusOr<Trace> trace = Status::InvalidArgument("unreachable");
+  if (kind == "zipfian") {
+    ZipfianTraceConfig cfg;
+    cfg.capacity_bytes = capacity;
+    cfg.io_size = static_cast<uint32_t>(flags.GetInt("io_size", 4096));
+    cfg.io_count = static_cast<uint32_t>(flags.GetInt("io_count", 4096));
+    cfg.theta = flags.GetDouble("theta", 0.99);
+    cfg.write_fraction = flags.GetDouble("write_fraction", 0.5);
+    cfg.mean_gap_us = static_cast<uint64_t>(flags.GetInt("gap_us", 0));
+    cfg.seed = seed;
+    trace = GenerateZipfianTrace(cfg);
+  } else if (kind == "oltp") {
+    OltpTraceConfig cfg;
+    cfg.capacity_bytes = capacity;
+    cfg.io_size = static_cast<uint32_t>(flags.GetInt("io_size", 8192));
+    cfg.transactions = static_cast<uint32_t>(flags.GetInt("io_count", 2048));
+    cfg.read_only_fraction = flags.GetDouble("read_only_fraction", 0.5);
+    cfg.mean_gap_us = static_cast<uint64_t>(flags.GetInt("gap_us", 0));
+    cfg.seed = seed;
+    trace = GenerateOltpTrace(cfg);
+  } else if (kind == "multistream") {
+    MultiStreamTraceConfig cfg;
+    cfg.capacity_bytes = capacity;
+    cfg.io_size = static_cast<uint32_t>(flags.GetInt("io_size", 32 * 1024));
+    cfg.streams = static_cast<uint32_t>(flags.GetInt("streams", 4));
+    cfg.ios_per_stream =
+        static_cast<uint32_t>(flags.GetInt("io_count", 512));
+    cfg.gap_us = static_cast<uint64_t>(flags.GetInt("gap_us", 0));
+    cfg.seed = seed;
+    trace = GenerateMultiStreamTrace(cfg);
+  } else {
+    std::fprintf(stderr, "unknown --kind=%s\n", kind.c_str());
+    return 2;
+  }
+  if (!trace.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 trace.status().ToString().c_str());
+    return 1;
+  }
+
+  TraceFormat format = FormatFromFlags(flags, out);
+  Status s = WriteTrace(out, format, *trace);
+  if (!s.ok()) {
+    std::fprintf(stderr, "trace write failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("generated %zu-IO %s trace over %s -> %s [%s]\n",
+              trace->events.size(), trace->meta.source.c_str(),
+              FormatSize(capacity).c_str(), out.c_str(),
+              TraceFormatName(format));
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace uflip
+
+int main(int argc, char** argv) {
+  using namespace uflip::bench;
+  if (argc < 2) return Usage();
+  Flags flags(argc, argv);
+  std::string verb = argv[1];
+  if (verb == "record") return Record(flags);
+  if (verb == "replay") return Replay(flags);
+  if (verb == "generate") return Generate(flags);
+  return Usage();
+}

@@ -44,12 +44,14 @@ class BlockDevice {
 
   /// Submits at the clock's current time and advances the clock past the
   /// IO's completion. This is the "consecutive" submission mode of the
-  /// baseline patterns.
+  /// baseline patterns. Fractional response time is carried over to the
+  /// next Submit (for the device's lifetime: the carry is real unslept
+  /// time, so it must not be dropped at phase boundaries either).
   StatusOr<double> Submit(const IoRequest& req) {
     uint64_t t = clock()->NowUs();
     StatusOr<double> rt = SubmitAt(t, req);
     if (rt.ok()) {
-      clock()->SleepUs(static_cast<uint64_t>(*rt));
+      clock()->SleepUs(WholeUsWithCarry(*rt, &submit_carry_us_));
     }
     return rt;
   }
@@ -59,6 +61,10 @@ class BlockDevice {
 
   /// Human-readable device name for reports.
   virtual std::string name() const = 0;
+
+ private:
+  /// Sub-microsecond remainder of response time not yet slept (Submit).
+  double submit_carry_us_ = 0;
 };
 
 }  // namespace uflip

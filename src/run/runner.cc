@@ -33,6 +33,9 @@ StatusOr<RunResult> ExecuteRun(BlockDevice* device, const PatternSpec& spec) {
   result.samples.reserve(spec.io_count);
   PatternGenerator gen(spec);
   Clock* clock = device->clock();
+  // The clock ticks in whole microseconds; carry the fractional part of
+  // each response time into the next sleep instead of truncating it.
+  double carry_us = 0;
   for (uint64_t i = 0; i < spec.io_count; ++i) {
     uint64_t pause = gen.PauseBeforeNextUs();
     if (pause > 0) clock->SleepUs(pause);
@@ -40,7 +43,7 @@ StatusOr<RunResult> ExecuteRun(BlockDevice* device, const PatternSpec& spec) {
     uint64_t t = clock->NowUs();
     StatusOr<double> rt = device->SubmitAt(t, req);
     if (!rt.ok()) return rt.status();
-    clock->SleepUs(static_cast<uint64_t>(*rt));
+    clock->SleepUs(WholeUsWithCarry(*rt, &carry_us));
     result.samples.push_back(IoSample{i, t, *rt, req});
   }
   return result;
@@ -56,6 +59,8 @@ StatusOr<RunResult> ExecuteParallelRun(BlockDevice* device,
   std::vector<PatternGenerator> gens;
   std::vector<uint64_t> ready_us(degree);
   std::vector<uint64_t> remaining(degree);
+  // Per-process fractional response-time carry (whole-us clock domain).
+  std::vector<double> carry_us(degree, 0);
   uint64_t slice = base.target_size / degree;
   slice -= slice % base.io_size;
   if (slice < base.io_size) {
@@ -98,7 +103,7 @@ StatusOr<RunResult> ExecuteParallelRun(BlockDevice* device,
     StatusOr<double> rt = device->SubmitAt(t, req);
     if (!rt.ok()) return rt.status();
     result.samples.push_back(IoSample{submitted++, t, *rt, req});
-    ready_us[p] = t + static_cast<uint64_t>(*rt);
+    ready_us[p] = t + WholeUsWithCarry(*rt, &carry_us[p]);
     max_completion = std::max(max_completion, ready_us[p]);
     --remaining[p];
   }
@@ -142,13 +147,14 @@ StatusOr<RunResult> ExecuteMixRun(BlockDevice* device,
   result.spec.io_ignore = static_cast<uint32_t>(
       static_cast<uint64_t>(second.io_ignore) * (ratio + 1));
   result.samples.reserve(total);
+  double carry_us = 0;
   for (uint64_t i = 0; i < total; ++i) {
     bool from_first = (i % (ratio + 1)) != ratio;
     IoRequest req = from_first ? gen1.Next() : gen2.Next();
     uint64_t t = clock->NowUs();
     StatusOr<double> rt = device->SubmitAt(t, req);
     if (!rt.ok()) return rt.status();
-    clock->SleepUs(static_cast<uint64_t>(*rt));
+    clock->SleepUs(WholeUsWithCarry(*rt, &carry_us));
     result.samples.push_back(IoSample{i, t, *rt, req});
   }
   return result;

@@ -1,0 +1,63 @@
+// Trace replay execution: drives a recorded or synthetic trace against
+// any BlockDevice, producing the same RunResult / RunStats the pattern
+// runners produce so traces, baselines and micro-benchmarks report
+// through one pipeline.
+//
+// Timing modes:
+//  * closed-loop  -- each IO is submitted when the previous one
+//    completes, exactly like the baseline patterns' "consecutive" mode;
+//    the trace only contributes the IO sequence.
+//  * original     -- IOs are submitted at the trace's inter-arrival
+//    times via SubmitAt; a device slower than the recorded one shows
+//    queueing in its response times, a faster one shows idle gaps
+//    (which its FTL may spend on background reclamation).
+//  * time-scaled  -- original with every inter-arrival delta multiplied
+//    by `time_scale` (< 1 replays faster, > 1 slower).
+#ifndef UFLIP_RUN_TRACE_RUN_H_
+#define UFLIP_RUN_TRACE_RUN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/device/block_device.h"
+#include "src/run/runner.h"
+#include "src/trace/trace_event.h"
+#include "src/util/status.h"
+
+namespace uflip {
+
+enum class ReplayTiming { kClosedLoop, kOriginal, kScaled };
+
+const char* ReplayTimingName(ReplayTiming t);
+
+struct ReplayOptions {
+  ReplayTiming timing = ReplayTiming::kClosedLoop;
+  /// kScaled: multiplier applied to every inter-arrival delta.
+  double time_scale = 1.0;
+  /// Maps event offsets from the trace's recorded capacity onto the
+  /// target device's capacity (sector-aligned), so a trace recorded on
+  /// one device fits another. When off, events beyond the target
+  /// device's capacity fail the replay.
+  bool rescale_lba = false;
+  /// Start-up IOs excluded from RunResult::Stats() (Section 4.2).
+  uint32_t io_ignore = 0;
+  /// Report label; defaults to the trace's source.
+  std::string label;
+};
+
+/// Maps `offset` (an IO of `size` bytes on a device of `from_bytes`)
+/// proportionally onto a device of `to_bytes`, keeping 512-byte sector
+/// alignment and clamping so [result, result+size) fits. Errors when
+/// the IO cannot fit the target device at all.
+StatusOr<uint64_t> RescaleLba(uint64_t offset, uint32_t size,
+                              uint64_t from_bytes, uint64_t to_bytes);
+
+/// Replays `trace` on `device`. The trace must validate; its epoch is
+/// arbitrary (only inter-arrival deltas are used). The device clock is
+/// left past the completion of the last IO, as with the pattern runners.
+StatusOr<RunResult> ExecuteTraceRun(BlockDevice* device, const Trace& trace,
+                                    const ReplayOptions& options = {});
+
+}  // namespace uflip
+
+#endif  // UFLIP_RUN_TRACE_RUN_H_

@@ -1,0 +1,29 @@
+#include "src/trace/recording_device.h"
+
+#include <utility>
+
+namespace uflip {
+
+RecordingDevice::RecordingDevice(BlockDevice* inner) : inner_(inner) {
+  trace_.meta.source = inner_->name();
+  trace_.meta.capacity_bytes = inner_->capacity_bytes();
+}
+
+StatusOr<double> RecordingDevice::SubmitAt(uint64_t t_us,
+                                           const IoRequest& req) {
+  StatusOr<double> rt = inner_->SubmitAt(t_us, req);
+  if (rt.ok()) {
+    trace_.events.push_back(
+        TraceEvent{t_us, req.offset, req.size, req.mode, *rt});
+  }
+  return rt;
+}
+
+Trace RecordingDevice::TakeTrace() {
+  Trace out = std::move(trace_);
+  trace_ = Trace{};
+  trace_.meta = out.meta;
+  return out;
+}
+
+}  // namespace uflip

@@ -1,0 +1,56 @@
+// BlockDevice decorator that captures every IO flowing through it as a
+// TraceEvent (submission time, offset, size, mode, response time). The
+// device stays a black box (Section 2.3): recording observes the same
+// per-IO measurements the benchmark already takes, so any existing
+// runner or micro-benchmark can be pointed at a RecordingDevice
+// unchanged and its workload captured for later replay.
+#ifndef UFLIP_TRACE_RECORDING_DEVICE_H_
+#define UFLIP_TRACE_RECORDING_DEVICE_H_
+
+#include <string>
+
+#include "src/device/block_device.h"
+#include "src/trace/trace_event.h"
+#include "src/trace/trace_io.h"
+#include "src/util/status.h"
+
+namespace uflip {
+
+class RecordingDevice : public BlockDevice {
+ public:
+  /// Wraps `inner` (not owned; must outlive the recorder).
+  explicit RecordingDevice(BlockDevice* inner);
+
+  uint64_t capacity_bytes() const override {
+    return inner_->capacity_bytes();
+  }
+  StatusOr<double> SubmitAt(uint64_t t_us, const IoRequest& req) override;
+  Clock* clock() override { return inner_->clock(); }
+  std::string name() const override { return inner_->name() + "+rec"; }
+
+  /// The trace captured so far. Events are in submission-call order,
+  /// which every runner keeps nondecreasing in time.
+  const Trace& trace() const { return trace_; }
+
+  /// Moves the captured trace out and starts a fresh recording.
+  Trace TakeTrace();
+
+  /// Drops everything captured so far (e.g. after device preparation,
+  /// so state-enforcement traffic does not pollute the workload trace).
+  void Reset() { trace_.events.clear(); }
+
+  /// Writes the captured trace to `path`.
+  Status WriteTo(const std::string& path, TraceFormat format) const {
+    return WriteTrace(path, format, trace_);
+  }
+
+  BlockDevice* inner() { return inner_; }
+
+ private:
+  BlockDevice* inner_;
+  Trace trace_;
+};
+
+}  // namespace uflip
+
+#endif  // UFLIP_TRACE_RECORDING_DEVICE_H_

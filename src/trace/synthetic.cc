@@ -1,0 +1,194 @@
+#include "src/trace/synthetic.h"
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace uflip {
+
+namespace {
+
+/// Exponential inter-arrival gap with the given mean (0 mean = 0 gap).
+uint64_t ExpGapUs(Rng* rng, uint64_t mean_us) {
+  if (mean_us == 0) return 0;
+  // Inverse CDF; UniformDouble() < 1 keeps the log argument positive.
+  double u = rng->UniformDouble();
+  return static_cast<uint64_t>(-static_cast<double>(mean_us) *
+                               std::log(1.0 - u));
+}
+
+Status ValidateGeometry(uint64_t capacity_bytes, uint32_t io_size,
+                        const char* what) {
+  if (io_size == 0) {
+    return Status::InvalidArgument(std::string(what) + ": io_size == 0");
+  }
+  if (capacity_bytes / io_size == 0) {
+    return Status::InvalidArgument(std::string(what) +
+                                   ": capacity smaller than one IO");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Zipfian
+// ---------------------------------------------------------------------
+
+ZipfianLba::ZipfianLba(uint64_t locations, double theta, uint64_t seed)
+    : n_(locations), theta_(theta), rng_(seed) {
+  if (theta_ > 0) {
+    double zeta2 = 0;
+    for (uint64_t i = 1; i <= n_; ++i) {
+      zetan_ += 1.0 / std::pow(static_cast<double>(i), theta_);
+      if (i == 2) zeta2 = zetan_;
+    }
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2 / zetan_);
+    half_pow_theta_ = std::pow(0.5, theta_);
+  }
+  scatter_ = rng_.Permutation(n_);
+}
+
+uint64_t ZipfianLba::Next() {
+  uint64_t rank;
+  if (theta_ <= 0) {
+    rank = rng_.UniformU64(n_);
+  } else {
+    // Gray et al. / YCSB rejection-free Zipf sampler.
+    double u = rng_.UniformDouble();
+    double uz = u * zetan_;
+    if (uz < 1.0) {
+      rank = 0;
+    } else if (uz < 1.0 + half_pow_theta_) {
+      rank = 1;
+    } else {
+      rank = static_cast<uint64_t>(
+          static_cast<double>(n_) *
+          std::pow(eta_ * u - eta_ + 1.0, alpha_));
+      if (rank >= n_) rank = n_ - 1;
+    }
+  }
+  return scatter_[rank];
+}
+
+Status ZipfianTraceConfig::Validate() const {
+  UFLIP_RETURN_IF_ERROR(ValidateGeometry(capacity_bytes, io_size, "zipfian"));
+  if (theta < 0 || theta >= 1) {
+    return Status::InvalidArgument("zipfian: theta must be in [0, 1)");
+  }
+  if (write_fraction < 0 || write_fraction > 1) {
+    return Status::InvalidArgument("zipfian: write_fraction not in [0, 1]");
+  }
+  if (io_count == 0) return Status::InvalidArgument("zipfian: io_count == 0");
+  return Status::Ok();
+}
+
+StatusOr<Trace> GenerateZipfianTrace(const ZipfianTraceConfig& cfg) {
+  UFLIP_RETURN_IF_ERROR(cfg.Validate());
+  uint64_t locations = cfg.capacity_bytes / cfg.io_size;
+  ZipfianLba lba(locations, cfg.theta, cfg.seed);
+  Rng rng(cfg.seed ^ 0x5A1Full);
+
+  char label[48];
+  std::snprintf(label, sizeof(label), "zipfian(theta=%.2f)", cfg.theta);
+  Trace trace;
+  trace.meta.source = label;
+  trace.meta.capacity_bytes = cfg.capacity_bytes;
+  trace.events.reserve(cfg.io_count);
+  uint64_t now_us = 0;
+  for (uint32_t i = 0; i < cfg.io_count; ++i) {
+    now_us += ExpGapUs(&rng, cfg.mean_gap_us);
+    IoMode mode = rng.Bernoulli(cfg.write_fraction) ? IoMode::kWrite
+                                                    : IoMode::kRead;
+    trace.events.push_back(TraceEvent{
+        now_us, lba.Next() * cfg.io_size, cfg.io_size, mode, 0});
+  }
+  return trace;
+}
+
+// ---------------------------------------------------------------------
+// OLTP read-modify-write
+// ---------------------------------------------------------------------
+
+Status OltpTraceConfig::Validate() const {
+  UFLIP_RETURN_IF_ERROR(ValidateGeometry(capacity_bytes, io_size, "oltp"));
+  if (read_only_fraction < 0 || read_only_fraction > 1) {
+    return Status::InvalidArgument("oltp: read_only_fraction not in [0, 1]");
+  }
+  if (transactions == 0) {
+    return Status::InvalidArgument("oltp: transactions == 0");
+  }
+  return Status::Ok();
+}
+
+StatusOr<Trace> GenerateOltpTrace(const OltpTraceConfig& cfg) {
+  UFLIP_RETURN_IF_ERROR(cfg.Validate());
+  uint64_t pages = cfg.capacity_bytes / cfg.io_size;
+  Rng rng(cfg.seed);
+
+  Trace trace;
+  trace.meta.source = "oltp(rmw)";
+  trace.meta.capacity_bytes = cfg.capacity_bytes;
+  trace.events.reserve(cfg.transactions * 2);
+  uint64_t now_us = 0;
+  for (uint32_t t = 0; t < cfg.transactions; ++t) {
+    now_us += ExpGapUs(&rng, cfg.mean_gap_us);
+    uint64_t offset = rng.UniformU64(pages) * cfg.io_size;
+    trace.events.push_back(
+        TraceEvent{now_us, offset, cfg.io_size, IoMode::kRead, 0});
+    if (!rng.Bernoulli(cfg.read_only_fraction)) {
+      // The write-back of the page just read (same timestamp: the
+      // transaction issues it as soon as the read returns).
+      trace.events.push_back(
+          TraceEvent{now_us, offset, cfg.io_size, IoMode::kWrite, 0});
+    }
+  }
+  return trace;
+}
+
+// ---------------------------------------------------------------------
+// Multi-stream sequential interleave
+// ---------------------------------------------------------------------
+
+Status MultiStreamTraceConfig::Validate() const {
+  UFLIP_RETURN_IF_ERROR(
+      ValidateGeometry(capacity_bytes, io_size, "multistream"));
+  if (streams == 0) return Status::InvalidArgument("multistream: streams == 0");
+  if (ios_per_stream == 0) {
+    return Status::InvalidArgument("multistream: ios_per_stream == 0");
+  }
+  uint64_t slice = capacity_bytes / streams / io_size;
+  if (slice == 0) {
+    return Status::InvalidArgument(
+        "multistream: per-stream slice smaller than one IO");
+  }
+  return Status::Ok();
+}
+
+StatusOr<Trace> GenerateMultiStreamTrace(const MultiStreamTraceConfig& cfg) {
+  UFLIP_RETURN_IF_ERROR(cfg.Validate());
+  // Each stream appends sequentially within its own IOSize-aligned
+  // slice, wrapping when the slice fills; submissions interleave
+  // round-robin, the pattern a log-structured writer per stream makes.
+  uint64_t slice_ios = cfg.capacity_bytes / cfg.streams / cfg.io_size;
+  uint64_t slice_bytes = slice_ios * cfg.io_size;
+
+  Trace trace;
+  trace.meta.source = "multistream(" + std::to_string(cfg.streams) + ")";
+  trace.meta.capacity_bytes = cfg.capacity_bytes;
+  trace.events.reserve(static_cast<size_t>(cfg.streams) * cfg.ios_per_stream);
+  uint64_t now_us = 0;
+  for (uint32_t i = 0; i < cfg.ios_per_stream; ++i) {
+    for (uint32_t s = 0; s < cfg.streams; ++s) {
+      uint64_t offset = s * slice_bytes + (i % slice_ios) * cfg.io_size;
+      trace.events.push_back(
+          TraceEvent{now_us, offset, cfg.io_size, IoMode::kWrite, 0});
+      now_us += cfg.gap_us;
+    }
+  }
+  return trace;
+}
+
+}  // namespace uflip

@@ -1,0 +1,98 @@
+// Synthetic trace generators: workload families beyond the paper's nine
+// parameterized micro-benchmarks, emitted as ordinary Traces so
+// synthetic and captured workloads share one on-disk format and one
+// replay path. Three families cover the classic flash-unfriendly
+// scenarios: Zipfian hot/cold skew (caching / key-value stores), an
+// OLTP read-modify-write page mix (the database workload the paper
+// motivates), and multi-stream sequential interleave (log-structured
+// writers sharing one device).
+#ifndef UFLIP_TRACE_SYNTHETIC_H_
+#define UFLIP_TRACE_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "src/trace/trace_event.h"
+#include "src/util/random.h"
+#include "src/util/status.h"
+
+namespace uflip {
+
+/// Draws IOSize-aligned locations with a Zipf(theta) popularity skew
+/// (YCSB-style; theta = 0 is uniform, 0.99 the usual "hot" skew). Ranks
+/// are scattered over the target space with a seeded permutation so the
+/// hot set is not one contiguous region.
+class ZipfianLba {
+ public:
+  /// `locations` is the number of distinct IOSize slots; theta in [0,1).
+  ZipfianLba(uint64_t locations, double theta, uint64_t seed);
+
+  /// Next location index in [0, locations).
+  uint64_t Next();
+
+ private:
+  uint64_t n_;
+  double theta_;
+  // Sampler constants precomputed from (n, theta).
+  double zetan_ = 0;
+  double alpha_ = 0;
+  double eta_ = 0;
+  double half_pow_theta_ = 0;
+  Rng rng_;
+  std::vector<uint64_t> scatter_;
+};
+
+struct ZipfianTraceConfig {
+  uint64_t capacity_bytes = 64ULL << 20;
+  uint32_t io_size = 4096;
+  uint32_t io_count = 4096;
+  /// Zipf skew over the IOSize-aligned locations; 0 = uniform.
+  double theta = 0.99;
+  /// Fraction of IOs that are writes.
+  double write_fraction = 0.5;
+  /// Mean inter-arrival time; exponentially distributed gaps (0 = all
+  /// events share one timestamp, i.e. a pure closed-loop trace).
+  uint64_t mean_gap_us = 0;
+  uint64_t seed = 1;
+
+  Status Validate() const;
+};
+
+StatusOr<Trace> GenerateZipfianTrace(const ZipfianTraceConfig& cfg);
+
+struct OltpTraceConfig {
+  uint64_t capacity_bytes = 64ULL << 20;
+  /// Database page size (the unit of every IO).
+  uint32_t io_size = 8192;
+  /// Number of transactions; an update transaction emits a page read
+  /// followed by a write-back of the same page, a read-only one just
+  /// the read.
+  uint32_t transactions = 2048;
+  double read_only_fraction = 0.5;
+  /// Mean think time between transactions (exponential; 0 = none).
+  uint64_t mean_gap_us = 0;
+  uint64_t seed = 1;
+
+  Status Validate() const;
+};
+
+StatusOr<Trace> GenerateOltpTrace(const OltpTraceConfig& cfg);
+
+struct MultiStreamTraceConfig {
+  uint64_t capacity_bytes = 64ULL << 20;
+  uint32_t io_size = 32 * 1024;
+  /// Concurrent sequential writers, each appending round-robin within
+  /// its own slice of the device (wrapping when the slice fills).
+  uint32_t streams = 4;
+  uint32_t ios_per_stream = 512;
+  /// Fixed gap between consecutive submissions (0 = closed-loop trace).
+  uint64_t gap_us = 0;
+  uint64_t seed = 1;
+
+  Status Validate() const;
+};
+
+StatusOr<Trace> GenerateMultiStreamTrace(const MultiStreamTraceConfig& cfg);
+
+}  // namespace uflip
+
+#endif  // UFLIP_TRACE_SYNTHETIC_H_

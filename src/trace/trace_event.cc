@@ -1,0 +1,45 @@
+#include "src/trace/trace_event.h"
+
+#include <string>
+
+namespace uflip {
+
+Status Trace::Validate() const {
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (e.size == 0) {
+      return Status::InvalidArgument("trace event " + std::to_string(i) +
+                                     ": zero-sized IO");
+    }
+    if (e.mode != IoMode::kRead && e.mode != IoMode::kWrite) {
+      return Status::InvalidArgument("trace event " + std::to_string(i) +
+                                     ": invalid IO mode");
+    }
+    if (e.rt_us < 0) {
+      return Status::InvalidArgument("trace event " + std::to_string(i) +
+                                     ": negative response time");
+    }
+    if (i > 0 && e.submit_us < events[i - 1].submit_us) {
+      return Status::InvalidArgument(
+          "trace event " + std::to_string(i) +
+          ": submission times not sorted (" + std::to_string(e.submit_us) +
+          " after " + std::to_string(events[i - 1].submit_us) + ")");
+    }
+    if (meta.capacity_bytes > 0 &&
+        e.offset + e.size > meta.capacity_bytes) {
+      return Status::OutOfRange(
+          "trace event " + std::to_string(i) + ": [" +
+          std::to_string(e.offset) + ", " +
+          std::to_string(e.offset + e.size) + ") beyond recorded capacity " +
+          std::to_string(meta.capacity_bytes));
+    }
+  }
+  return Status::Ok();
+}
+
+uint64_t Trace::SpanUs() const {
+  if (events.size() < 2) return 0;
+  return events.back().submit_us - events.front().submit_us;
+}
+
+}  // namespace uflip

@@ -1,0 +1,61 @@
+// Trace subsystem core. A trace is a device-independent record of an IO
+// workload: one event per IO carrying the four uFLIP attributes
+// (submission time, LBA, size, mode; Section 3.1) plus the measured
+// response time when the trace was captured from a device. Captured
+// (RecordingDevice) and synthetic (src/trace/synthetic.h) traces share
+// this representation, the on-disk formats (src/trace/trace_io.h) and
+// the replay path (src/run/trace_run.h).
+#ifndef UFLIP_TRACE_TRACE_EVENT_H_
+#define UFLIP_TRACE_TRACE_EVENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/device/block_device.h"
+#include "src/util/status.h"
+
+namespace uflip {
+
+/// One traced IO. `submit_us` is in the clock domain of the recording
+/// (replay only uses inter-arrival deltas, so the epoch is arbitrary).
+/// `rt_us` is the measured response time; 0 for synthetic traces.
+struct TraceEvent {
+  uint64_t submit_us = 0;
+  uint64_t offset = 0;
+  uint32_t size = 0;
+  IoMode mode = IoMode::kRead;
+  double rt_us = 0;
+
+  bool operator==(const TraceEvent&) const = default;
+};
+
+/// Where a trace came from and the capacity of the device it was
+/// recorded against. The capacity defines the LBA domain of the events
+/// and drives rescaling when the trace is replayed on a device of a
+/// different size.
+struct TraceMeta {
+  std::string source;
+  uint64_t capacity_bytes = 0;
+
+  bool operator==(const TraceMeta&) const = default;
+};
+
+struct Trace {
+  TraceMeta meta;
+  std::vector<TraceEvent> events;
+
+  bool operator==(const Trace&) const = default;
+
+  /// Structural invariants every well-formed trace satisfies: nonzero IO
+  /// sizes, nondecreasing submission times, and events within the
+  /// recorded capacity (when meta.capacity_bytes is set).
+  Status Validate() const;
+
+  /// Trace duration: last submission minus first (0 for <2 events).
+  uint64_t SpanUs() const;
+};
+
+}  // namespace uflip
+
+#endif  // UFLIP_TRACE_TRACE_EVENT_H_

@@ -1,0 +1,313 @@
+#include "src/trace/trace_io.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace uflip {
+
+namespace {
+
+constexpr char kBinaryMagic[8] = {'U', 'F', 'T', 'R', 'A', 'C', 'E', '1'};
+constexpr char kCsvMagic[] = "# uflip-trace v1";
+constexpr char kCsvHeader[] = "submit_us,offset,size,mode,rt_us";
+// Guards the binary source-name length against garbage files.
+constexpr uint32_t kMaxSourceLen = 1 << 20;
+
+#pragma pack(push, 1)
+struct BinaryEvent {
+  uint64_t submit_us;
+  uint64_t offset;
+  uint32_t size;
+  uint32_t mode;
+  double rt_us;
+};
+#pragma pack(pop)
+static_assert(sizeof(BinaryEvent) == 32, "binary trace event is 32 bytes");
+
+template <typename T>
+void PutRaw(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+bool GetRaw(std::ifstream& in, T* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in.gcount() == static_cast<std::streamsize>(sizeof(*v));
+}
+
+Status ParseU64(const std::string& field, uint64_t line, uint64_t* out) {
+  if (field.empty()) {
+    return Status::Corruption("trace line " + std::to_string(line) +
+                              ": empty numeric field");
+  }
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long v = std::strtoull(field.c_str(), &end, 10);
+  if (errno != 0 || end != field.c_str() + field.size()) {
+    return Status::Corruption("trace line " + std::to_string(line) +
+                              ": bad number '" + field + "'");
+  }
+  *out = v;
+  return Status::Ok();
+}
+
+}  // namespace
+
+const char* TraceFormatName(TraceFormat f) {
+  return f == TraceFormat::kCsv ? "csv" : "binary";
+}
+
+TraceFormat FormatForPath(const std::string& path) {
+  size_t dot = path.find_last_of('.');
+  if (dot != std::string::npos && path.substr(dot) == ".csv") {
+    return TraceFormat::kCsv;
+  }
+  return TraceFormat::kBinary;
+}
+
+// ---------------------------------------------------------------------
+// TraceWriter
+// ---------------------------------------------------------------------
+
+StatusOr<TraceWriter> TraceWriter::Open(const std::string& path,
+                                        TraceFormat format,
+                                        const TraceMeta& meta) {
+  // Refuse to write what TraceReader would refuse to read.
+  if (meta.source.size() > kMaxSourceLen) {
+    return Status::InvalidArgument("trace source name too long");
+  }
+  if (meta.source.find_first_of("\r\n") != std::string::npos) {
+    return Status::InvalidArgument(
+        "trace source name must not contain newlines");
+  }
+  std::ios::openmode mode = std::ios::out | std::ios::trunc;
+  if (format == TraceFormat::kBinary) mode |= std::ios::binary;
+  std::ofstream out(path, mode);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open trace file for writing: " + path);
+  }
+  std::streampos count_pos = 0;
+  if (format == TraceFormat::kCsv) {
+    out << kCsvMagic << '\n';
+    out << "# source=" << meta.source << '\n';
+    out << "# capacity_bytes=" << meta.capacity_bytes << '\n';
+    out << kCsvHeader << '\n';
+  } else {
+    out.write(kBinaryMagic, sizeof(kBinaryMagic));
+    PutRaw(out, static_cast<uint32_t>(meta.source.size()));
+    out.write(meta.source.data(),
+              static_cast<std::streamsize>(meta.source.size()));
+    PutRaw(out, meta.capacity_bytes);
+    count_pos = out.tellp();
+    PutRaw(out, static_cast<uint64_t>(0));  // patched by Close()
+  }
+  if (!out.good()) {
+    return Status::IoError("failed writing trace header: " + path);
+  }
+  return TraceWriter(std::move(out), format, count_pos);
+}
+
+Status TraceWriter::Append(const TraceEvent& event) {
+  if (event.mode != IoMode::kRead && event.mode != IoMode::kWrite) {
+    return Status::InvalidArgument("trace event with invalid IO mode");
+  }
+  if (format_ == TraceFormat::kCsv) {
+    // Sized for worst-case u64 fields plus %.3f of any finite double
+    // (~310 digits for DBL_MAX); the check below still guards overflow.
+    char buf[400];
+    int n = std::snprintf(buf, sizeof(buf), "%llu,%llu,%u,%s,%.3f",
+                          static_cast<unsigned long long>(event.submit_us),
+                          static_cast<unsigned long long>(event.offset),
+                          event.size, IoModeName(event.mode), event.rt_us);
+    if (n < 0 || n >= static_cast<int>(sizeof(buf))) {
+      return Status::InvalidArgument("trace event does not format as CSV");
+    }
+    out_ << buf << '\n';
+  } else {
+    BinaryEvent be{event.submit_us, event.offset, event.size,
+                   event.mode == IoMode::kRead ? 0u : 1u, event.rt_us};
+    PutRaw(out_, be);
+  }
+  if (!out_.good()) return Status::IoError("trace write failed");
+  ++count_;
+  return Status::Ok();
+}
+
+Status TraceWriter::Close() {
+  if (format_ == TraceFormat::kBinary) {
+    out_.seekp(count_pos_);
+    PutRaw(out_, count_);
+  }
+  out_.flush();
+  if (!out_.good()) return Status::IoError("trace stream in failed state");
+  out_.close();
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------
+// TraceReader
+// ---------------------------------------------------------------------
+
+StatusOr<TraceReader> TraceReader::Open(const std::string& path) {
+  std::ifstream in(path, std::ios::in | std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open trace file: " + path);
+  }
+  char magic[8] = {};
+  in.read(magic, sizeof(magic));
+  if (in.gcount() == sizeof(magic) &&
+      std::memcmp(magic, kBinaryMagic, sizeof(magic)) == 0) {
+    TraceMeta meta;
+    uint32_t source_len = 0;
+    if (!GetRaw(in, &source_len) || source_len > kMaxSourceLen) {
+      return Status::Corruption("binary trace: bad source length");
+    }
+    meta.source.resize(source_len);
+    in.read(meta.source.data(), source_len);
+    uint64_t count = 0;
+    if (in.gcount() != static_cast<std::streamsize>(source_len) ||
+        !GetRaw(in, &meta.capacity_bytes) || !GetRaw(in, &count)) {
+      return Status::Corruption("binary trace: truncated header");
+    }
+    return TraceReader(std::move(in), TraceFormat::kBinary, std::move(meta),
+                       count, 0);
+  }
+
+  // CSV: re-read from the top, line by line.
+  in.clear();
+  in.seekg(0);
+  std::string line;
+  if (!std::getline(in, line) || line != kCsvMagic) {
+    return Status::Corruption("not a uflip trace (bad magic): " + path);
+  }
+  TraceMeta meta;
+  uint64_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.rfind("# source=", 0) == 0) {
+      meta.source = line.substr(sizeof("# source=") - 1);
+    } else if (line.rfind("# capacity_bytes=", 0) == 0) {
+      UFLIP_RETURN_IF_ERROR(ParseU64(
+          line.substr(sizeof("# capacity_bytes=") - 1), line_no,
+          &meta.capacity_bytes));
+    } else if (line.rfind("#", 0) == 0) {
+      continue;  // unknown metadata: ignore for forward compatibility
+    } else if (line == kCsvHeader) {
+      return TraceReader(std::move(in), TraceFormat::kCsv, std::move(meta),
+                         0, line_no);
+    } else {
+      return Status::Corruption("trace line " + std::to_string(line_no) +
+                                ": expected column header");
+    }
+  }
+  return Status::Corruption("csv trace: missing column header: " + path);
+}
+
+StatusOr<TraceEvent> TraceReader::Next() {
+  return format_ == TraceFormat::kCsv ? NextCsv() : NextBinary();
+}
+
+StatusOr<TraceEvent> TraceReader::NextCsv() {
+  std::string line;
+  // Skip blank trailing lines so hand-edited traces stay readable.
+  do {
+    if (!std::getline(in_, line)) {
+      return Status::NotFound("end of trace");
+    }
+    ++line_;
+  } while (line.empty());
+
+  std::string fields[5];
+  size_t field = 0, start = 0;
+  for (size_t i = 0; i <= line.size(); ++i) {
+    if (i == line.size() || line[i] == ',') {
+      if (field >= 5) {
+        return Status::Corruption("trace line " + std::to_string(line_) +
+                                  ": too many fields");
+      }
+      fields[field++] = line.substr(start, i - start);
+      start = i + 1;
+    }
+  }
+  if (field != 5) {
+    return Status::Corruption("trace line " + std::to_string(line_) +
+                              ": expected 5 fields, got " +
+                              std::to_string(field));
+  }
+  TraceEvent e;
+  uint64_t size64 = 0;
+  UFLIP_RETURN_IF_ERROR(ParseU64(fields[0], line_, &e.submit_us));
+  UFLIP_RETURN_IF_ERROR(ParseU64(fields[1], line_, &e.offset));
+  UFLIP_RETURN_IF_ERROR(ParseU64(fields[2], line_, &size64));
+  if (size64 > UINT32_MAX) {
+    return Status::Corruption("trace line " + std::to_string(line_) +
+                              ": IO size out of range");
+  }
+  e.size = static_cast<uint32_t>(size64);
+  if (fields[3] == "read") {
+    e.mode = IoMode::kRead;
+  } else if (fields[3] == "write") {
+    e.mode = IoMode::kWrite;
+  } else {
+    return Status::Corruption("trace line " + std::to_string(line_) +
+                              ": unknown IO mode '" + fields[3] + "'");
+  }
+  char* end = nullptr;
+  e.rt_us = std::strtod(fields[4].c_str(), &end);
+  if (fields[4].empty() || end != fields[4].c_str() + fields[4].size()) {
+    return Status::Corruption("trace line " + std::to_string(line_) +
+                              ": bad response time '" + fields[4] + "'");
+  }
+  return e;
+}
+
+StatusOr<TraceEvent> TraceReader::NextBinary() {
+  if (remaining_ == 0) return Status::NotFound("end of trace");
+  BinaryEvent be;
+  if (!GetRaw(in_, &be)) {
+    return Status::Corruption("binary trace: truncated event (" +
+                              std::to_string(remaining_) + " still counted)");
+  }
+  if (be.mode > 1) {
+    return Status::Corruption("binary trace: unknown IO mode " +
+                              std::to_string(be.mode));
+  }
+  --remaining_;
+  return TraceEvent{be.submit_us, be.offset, be.size,
+                    be.mode == 0 ? IoMode::kRead : IoMode::kWrite, be.rt_us};
+}
+
+// ---------------------------------------------------------------------
+// Whole-trace convenience
+// ---------------------------------------------------------------------
+
+Status WriteTrace(const std::string& path, TraceFormat format,
+                  const Trace& trace) {
+  auto writer = TraceWriter::Open(path, format, trace.meta);
+  if (!writer.ok()) return writer.status();
+  for (const TraceEvent& e : trace.events) {
+    UFLIP_RETURN_IF_ERROR(writer->Append(e));
+  }
+  return writer->Close();
+}
+
+StatusOr<Trace> ReadTrace(const std::string& path) {
+  auto reader = TraceReader::Open(path);
+  if (!reader.ok()) return reader.status();
+  Trace trace;
+  trace.meta = reader->meta();
+  while (true) {
+    StatusOr<TraceEvent> e = reader->Next();
+    if (!e.ok()) {
+      if (e.status().code() == StatusCode::kNotFound) break;
+      return e.status();
+    }
+    trace.events.push_back(*e);
+  }
+  UFLIP_RETURN_IF_ERROR(trace.Validate());
+  return trace;
+}
+
+}  // namespace uflip

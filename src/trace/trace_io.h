@@ -1,0 +1,115 @@
+// On-disk trace formats: a human-readable CSV (inspectable, diffable,
+// loadable into the same tooling as the per-IO response-time dumps the
+// paper publishes) and a compact binary format (32 bytes/event) for
+// long recordings. Both round-trip byte-exactly: writing a trace that
+// was read back produces an identical file.
+//
+// CSV layout:
+//   # uflip-trace v1
+//   # source=<device or generator name>
+//   # capacity_bytes=<LBA domain of the events>
+//   submit_us,offset,size,mode,rt_us
+//   0,0,32768,read,263.840
+//
+// Binary layout (little-endian, native x86 field order):
+//   magic "UFTRACE1" | u32 source_len | source bytes | u64 capacity
+//   | u64 event_count | event_count * (u64 submit, u64 offset,
+//   u32 size, u32 mode, f64 rt)
+#ifndef UFLIP_TRACE_TRACE_IO_H_
+#define UFLIP_TRACE_TRACE_IO_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "src/trace/trace_event.h"
+#include "src/util/status.h"
+
+namespace uflip {
+
+enum class TraceFormat { kCsv, kBinary };
+
+const char* TraceFormatName(TraceFormat f);
+
+/// Picks a format from a file extension: ".csv" is CSV, anything else
+/// (".utr", ".bin", ...) is binary.
+TraceFormat FormatForPath(const std::string& path);
+
+/// Streams events to a trace file one at a time (WriteTrace() below is
+/// the whole-trace convenience wrapper). Note that RecordingDevice
+/// currently buffers its capture in memory and writes at the end; see
+/// ROADMAP for the streaming-capture follow-on.
+class TraceWriter {
+ public:
+  /// Opens `path` for writing (truncating) and emits the header.
+  static StatusOr<TraceWriter> Open(const std::string& path,
+                                    TraceFormat format,
+                                    const TraceMeta& meta);
+
+  TraceWriter(TraceWriter&&) = default;
+  TraceWriter& operator=(TraceWriter&&) = default;
+
+  Status Append(const TraceEvent& event);
+
+  /// Finalizes the file (binary: patches the event count) and closes it.
+  Status Close();
+
+  uint64_t events_written() const { return count_; }
+  TraceFormat format() const { return format_; }
+
+ private:
+  TraceWriter(std::ofstream out, TraceFormat format,
+              std::streampos count_pos)
+      : out_(std::move(out)), format_(format), count_pos_(count_pos) {}
+
+  std::ofstream out_;
+  TraceFormat format_;
+  std::streampos count_pos_;  // binary: where the event count lives
+  uint64_t count_ = 0;
+};
+
+/// Streams events back from a trace file; the format is sniffed from the
+/// file's first bytes, so readers need not know how a trace was written.
+class TraceReader {
+ public:
+  static StatusOr<TraceReader> Open(const std::string& path);
+
+  TraceReader(TraceReader&&) = default;
+  TraceReader& operator=(TraceReader&&) = default;
+
+  const TraceMeta& meta() const { return meta_; }
+  TraceFormat format() const { return format_; }
+
+  /// The next event, or NotFound at end of trace. Malformed content
+  /// (bad mode, non-numeric fields, truncation) is Corruption.
+  StatusOr<TraceEvent> Next();
+
+ private:
+  TraceReader(std::ifstream in, TraceFormat format, TraceMeta meta,
+              uint64_t remaining, uint64_t line)
+      : in_(std::move(in)),
+        format_(format),
+        meta_(std::move(meta)),
+        remaining_(remaining),
+        line_(line) {}
+
+  StatusOr<TraceEvent> NextCsv();
+  StatusOr<TraceEvent> NextBinary();
+
+  std::ifstream in_;
+  TraceFormat format_;
+  TraceMeta meta_;
+  uint64_t remaining_ = 0;  // binary: events left
+  uint64_t line_ = 0;       // CSV: current line, for error messages
+};
+
+/// Writes a whole trace to `path`.
+Status WriteTrace(const std::string& path, TraceFormat format,
+                  const Trace& trace);
+
+/// Reads and validates a whole trace (any format) from `path`.
+StatusOr<Trace> ReadTrace(const std::string& path);
+
+}  // namespace uflip
+
+#endif  // UFLIP_TRACE_TRACE_IO_H_

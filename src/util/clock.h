@@ -36,6 +36,17 @@ class VirtualClock : public Clock {
   uint64_t now_us_;
 };
 
+/// Splits a fractional duration into the whole microseconds to sleep
+/// now and the sub-microsecond remainder to carry into the next call.
+/// The clock only ticks in whole microseconds; accumulating the carry
+/// keeps long runs of fractional response times from drifting.
+inline uint64_t WholeUsWithCarry(double us, double* carry_us) {
+  double total = us + *carry_us;
+  uint64_t whole = static_cast<uint64_t>(total);
+  *carry_us = total - static_cast<double>(whole);
+  return whole;
+}
+
 /// Wall clock backed by CLOCK_MONOTONIC; SleepUs() uses nanosleep.
 class RealClock : public Clock {
  public:

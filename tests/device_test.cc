@@ -148,6 +148,32 @@ TEST(MemDeviceTest, AnalyticCostModel) {
   EXPECT_FALSE(dev.SubmitAt(0, IoRequest{0, 0, IoMode::kRead}).ok());
 }
 
+// A device whose every IO takes a fraction of a microsecond; with
+// truncation instead of remainder carry, Submit() would never advance
+// the clock.
+class FractionalDevice : public BlockDevice {
+ public:
+  FractionalDevice() : clock_(std::make_shared<VirtualClock>()) {}
+  uint64_t capacity_bytes() const override { return 1 << 20; }
+  StatusOr<double> SubmitAt(uint64_t, const IoRequest&) override {
+    return 0.25;
+  }
+  Clock* clock() override { return clock_.get(); }
+  std::string name() const override { return "fractional"; }
+
+ private:
+  std::shared_ptr<VirtualClock> clock_;
+};
+
+TEST(BlockDeviceTest, SubmitCarriesSubMicrosecondResponseTimes) {
+  FractionalDevice dev;
+  IoRequest req{0, 512, IoMode::kRead};
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(dev.Submit(req).ok());
+  // 8 IOs of 0.25us each: the clock must have advanced the full 2us,
+  // not 0 (truncation) and not 8 (rounding every IO up).
+  EXPECT_EQ(dev.clock()->NowUs(), 2u);
+}
+
 TEST(FileDeviceTest, RoundTripOnScratchFile) {
   std::string path = testing::TempDir() + "/uflip_filedev_test.bin";
   FileDeviceOptions opts;

@@ -1,0 +1,488 @@
+// Trace subsystem tests: CSV/binary round-trips (byte-exact), format
+// sniffing, malformed-trace error paths, RecordingDevice capture,
+// replay timing modes, LBA rescaling, record->write->read->replay
+// determinism on a SimDevice under the virtual clock, and the synthetic
+// generator family.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "src/device/mem_device.h"
+#include "src/run/trace_run.h"
+#include "src/trace/recording_device.h"
+#include "src/trace/synthetic.h"
+#include "src/trace/trace_io.h"
+#include "src/util/units.h"
+#include "tests/sim_test_util.h"
+
+namespace uflip {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "uflip_trace_" + name;
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+Trace SmallTrace() {
+  Trace t;
+  t.meta.source = "unit-test";
+  t.meta.capacity_bytes = 1 << 20;
+  t.events = {
+      {0, 0, 4096, IoMode::kRead, 263.84},
+      {1000, 4096, 4096, IoMode::kWrite, 412.141},
+      {2500, 512, 512, IoMode::kRead, 92.0},
+  };
+  return t;
+}
+
+std::unique_ptr<MemDevice> Mem(uint64_t capacity = 64ULL << 20) {
+  MemDeviceConfig cfg;
+  cfg.capacity_bytes = capacity;
+  return std::make_unique<MemDevice>(cfg, std::make_shared<VirtualClock>());
+}
+
+// ---------------------------------------------------------------------
+// Formats
+// ---------------------------------------------------------------------
+
+TEST(TraceIoTest, CsvRoundTripIsByteExact) {
+  Trace t = SmallTrace();
+  std::string p1 = TempPath("rt1.csv"), p2 = TempPath("rt2.csv");
+  ASSERT_TRUE(WriteTrace(p1, TraceFormat::kCsv, t).ok());
+  auto back = ReadTrace(p1);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->meta, t.meta);
+  ASSERT_EQ(back->events.size(), t.events.size());
+  ASSERT_TRUE(WriteTrace(p2, TraceFormat::kCsv, *back).ok());
+  EXPECT_EQ(Slurp(p1), Slurp(p2));
+}
+
+TEST(TraceIoTest, BinaryRoundTripIsByteExact) {
+  Trace t = SmallTrace();
+  std::string p1 = TempPath("rt1.utr"), p2 = TempPath("rt2.utr");
+  ASSERT_TRUE(WriteTrace(p1, TraceFormat::kBinary, t).ok());
+  auto back = ReadTrace(p1);
+  ASSERT_TRUE(back.ok()) << back.status();
+  // Binary preserves doubles exactly: the traces compare equal.
+  EXPECT_EQ(*back, t);
+  ASSERT_TRUE(WriteTrace(p2, TraceFormat::kBinary, *back).ok());
+  EXPECT_EQ(Slurp(p1), Slurp(p2));
+}
+
+TEST(TraceIoTest, ReaderSniffsFormatRegardlessOfExtension) {
+  Trace t = SmallTrace();
+  std::string p = TempPath("sniff.dat");
+  ASSERT_TRUE(WriteTrace(p, TraceFormat::kCsv, t).ok());
+  auto r = TraceReader::Open(p);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->format(), TraceFormat::kCsv);
+  ASSERT_TRUE(WriteTrace(p, TraceFormat::kBinary, t).ok());
+  r = TraceReader::Open(p);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->format(), TraceFormat::kBinary);
+}
+
+TEST(TraceIoTest, FormatForPathUsesExtension) {
+  EXPECT_EQ(FormatForPath("a/b.csv"), TraceFormat::kCsv);
+  EXPECT_EQ(FormatForPath("a/b.utr"), TraceFormat::kBinary);
+  EXPECT_EQ(FormatForPath("noext"), TraceFormat::kBinary);
+}
+
+TEST(TraceIoTest, StreamingReaderEndsWithNotFound) {
+  std::string p = TempPath("stream.csv");
+  ASSERT_TRUE(WriteTrace(p, TraceFormat::kCsv, SmallTrace()).ok());
+  auto r = TraceReader::Open(p);
+  ASSERT_TRUE(r.ok());
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(r->Next().ok());
+  auto end = r->Next();
+  ASSERT_FALSE(end.ok());
+  EXPECT_EQ(end.status().code(), StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------
+// Malformed traces
+// ---------------------------------------------------------------------
+
+TEST(TraceIoTest, RejectsBadMode) {
+  std::string p = TempPath("badmode.csv");
+  std::ofstream(p) << "# uflip-trace v1\n# source=x\n# capacity_bytes=1024\n"
+                   << "submit_us,offset,size,mode,rt_us\n"
+                   << "0,0,512,fread,1.000\n";
+  auto t = ReadTrace(p);
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kCorruption);
+}
+
+TEST(TraceIoTest, RejectsNonNumericField) {
+  std::string p = TempPath("badnum.csv");
+  std::ofstream(p) << "# uflip-trace v1\n# source=x\n# capacity_bytes=1024\n"
+                   << "submit_us,offset,size,mode,rt_us\n"
+                   << "zero,0,512,read,1.000\n";
+  EXPECT_EQ(ReadTrace(p).status().code(), StatusCode::kCorruption);
+}
+
+TEST(TraceIoTest, RejectsUnsortedTimestamps) {
+  std::string p = TempPath("unsorted.csv");
+  Trace t = SmallTrace();
+  std::swap(t.events[0], t.events[2]);  // now decreasing
+  ASSERT_TRUE(WriteTrace(p, TraceFormat::kCsv, t).ok());
+  auto back = ReadTrace(p);
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TraceIoTest, RejectsEventBeyondRecordedCapacity) {
+  std::string p = TempPath("overcap.csv");
+  Trace t = SmallTrace();
+  t.events[1].offset = t.meta.capacity_bytes;  // outside its own domain
+  ASSERT_TRUE(WriteTrace(p, TraceFormat::kCsv, t).ok());
+  EXPECT_EQ(ReadTrace(p).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(TraceIoTest, RejectsTruncatedBinary) {
+  std::string p = TempPath("trunc.utr");
+  ASSERT_TRUE(WriteTrace(p, TraceFormat::kBinary, SmallTrace()).ok());
+  std::string bytes = Slurp(p);
+  std::ofstream(p, std::ios::binary | std::ios::trunc)
+      << bytes.substr(0, bytes.size() - 8);
+  EXPECT_EQ(ReadTrace(p).status().code(), StatusCode::kCorruption);
+}
+
+TEST(TraceIoTest, WriterRejectsUnreadableSourceNames) {
+  Trace t = SmallTrace();
+  t.meta.source = "multi\nline";  // would corrupt the CSV header
+  EXPECT_FALSE(
+      WriteTrace(TempPath("badsrc.csv"), TraceFormat::kCsv, t).ok());
+  t.meta.source = std::string((1 << 20) + 1, 'x');  // reader's limit
+  EXPECT_FALSE(
+      WriteTrace(TempPath("badsrc.utr"), TraceFormat::kBinary, t).ok());
+}
+
+TEST(TraceIoTest, RejectsGarbageFile) {
+  std::string p = TempPath("garbage.bin");
+  std::ofstream(p) << "this is not a trace";
+  EXPECT_EQ(ReadTrace(p).status().code(), StatusCode::kCorruption);
+}
+
+// ---------------------------------------------------------------------
+// RecordingDevice
+// ---------------------------------------------------------------------
+
+TEST(RecordingDeviceTest, CapturesEveryIoAndMeta) {
+  auto dev = Mem();
+  RecordingDevice rec(dev.get());
+  PatternSpec spec = PatternSpec::SequentialRead(32768, 0, 8 << 20);
+  spec.io_count = 16;
+  auto run = ExecuteRun(&rec, spec);
+  ASSERT_TRUE(run.ok());
+
+  const Trace& t = rec.trace();
+  EXPECT_EQ(t.meta.source, "mem");
+  EXPECT_EQ(t.meta.capacity_bytes, dev->capacity_bytes());
+  ASSERT_EQ(t.events.size(), run->samples.size());
+  for (size_t i = 0; i < t.events.size(); ++i) {
+    const IoSample& s = run->samples[i];
+    EXPECT_EQ(t.events[i].submit_us, s.submit_us);
+    EXPECT_EQ(t.events[i].offset, s.req.offset);
+    EXPECT_EQ(t.events[i].size, s.req.size);
+    EXPECT_EQ(t.events[i].mode, s.req.mode);
+    EXPECT_DOUBLE_EQ(t.events[i].rt_us, s.rt_us);
+  }
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST(RecordingDeviceTest, ResetAndTakeTrace) {
+  auto dev = Mem();
+  RecordingDevice rec(dev.get());
+  ASSERT_TRUE(rec.Submit(IoRequest{0, 4096, IoMode::kRead}).ok());
+  rec.Reset();
+  EXPECT_TRUE(rec.trace().events.empty());
+  ASSERT_TRUE(rec.Submit(IoRequest{0, 4096, IoMode::kWrite}).ok());
+  Trace taken = rec.TakeTrace();
+  EXPECT_EQ(taken.events.size(), 1u);
+  EXPECT_EQ(taken.meta.source, "mem");
+  EXPECT_TRUE(rec.trace().events.empty());
+}
+
+// ---------------------------------------------------------------------
+// Replay
+// ---------------------------------------------------------------------
+
+TEST(TraceRunTest, ClosedLoopReplayMatchesRecordingOnSimDevice) {
+  // Record a random-write run on one fresh device, round-trip the trace
+  // through a file, replay closed-loop on an identical fresh device:
+  // the simulator is deterministic, so response times must match
+  // exactly.
+  auto recorded_dev = MakeTestDevice("mtron", 16 << 20);
+  RecordingDevice rec(recorded_dev.get());
+  PatternSpec spec = PatternSpec::RandomWrite(32768, 0, 8 << 20);
+  spec.io_count = 128;
+  auto run = ExecuteRun(&rec, spec);
+  ASSERT_TRUE(run.ok());
+
+  std::string p = TempPath("sim.utr");
+  ASSERT_TRUE(rec.WriteTo(p, TraceFormat::kBinary).ok());
+  auto trace = ReadTrace(p);
+  ASSERT_TRUE(trace.ok()) << trace.status();
+
+  auto replay_dev = MakeTestDevice("mtron", 16 << 20);
+  auto replay = ExecuteTraceRun(replay_dev.get(), *trace, ReplayOptions{});
+  ASSERT_TRUE(replay.ok()) << replay.status();
+  ASSERT_EQ(replay->samples.size(), run->samples.size());
+  for (size_t i = 0; i < replay->samples.size(); ++i) {
+    EXPECT_DOUBLE_EQ(replay->samples[i].rt_us, run->samples[i].rt_us)
+        << "IO " << i;
+    EXPECT_EQ(replay->samples[i].submit_us, run->samples[i].submit_us);
+  }
+}
+
+TEST(TraceRunTest, OriginalTimingHonorsInterArrivalTimes) {
+  auto dev = Mem();
+  Trace t;
+  t.meta.capacity_bytes = dev->capacity_bytes();
+  for (uint64_t i = 0; i < 8; ++i) {
+    t.events.push_back(
+        TraceEvent{i * 1000, i * 32768, 32768, IoMode::kRead, 0});
+  }
+  ReplayOptions opts;
+  opts.timing = ReplayTiming::kOriginal;
+  auto run = ExecuteTraceRun(dev.get(), t, opts);
+  ASSERT_TRUE(run.ok());
+  // MemDevice reads take ~264us < 1000us gaps: submissions land exactly
+  // on the recorded schedule.
+  for (size_t i = 0; i < run->samples.size(); ++i) {
+    EXPECT_EQ(run->samples[i].submit_us - run->samples[0].submit_us,
+              i * 1000);
+  }
+  // Clock left past the last completion.
+  EXPECT_GE(dev->clock()->NowUs(), 7 * 1000 + 263);
+}
+
+TEST(TraceRunTest, ScaledTimingStretchesAndCompresses) {
+  for (double scale : {2.0, 0.5}) {
+    auto dev = Mem();
+    Trace t;
+    t.meta.capacity_bytes = dev->capacity_bytes();
+    for (uint64_t i = 0; i < 4; ++i) {
+      t.events.push_back(
+          TraceEvent{i * 10000, i * 32768, 32768, IoMode::kRead, 0});
+    }
+    ReplayOptions opts;
+    opts.timing = ReplayTiming::kScaled;
+    opts.time_scale = scale;
+    auto run = ExecuteTraceRun(dev.get(), t, opts);
+    ASSERT_TRUE(run.ok());
+    EXPECT_EQ(run->samples[3].submit_us - run->samples[0].submit_us,
+              static_cast<uint64_t>(30000 * scale));
+  }
+}
+
+TEST(TraceRunTest, ClosedLoopIgnoresRecordedTimestamps) {
+  auto dev = Mem();
+  Trace t;
+  t.meta.capacity_bytes = dev->capacity_bytes();
+  // Huge recorded gaps; closed-loop replay must not sleep them.
+  for (uint64_t i = 0; i < 4; ++i) {
+    t.events.push_back(
+        TraceEvent{i * 10000000, i * 32768, 32768, IoMode::kRead, 0});
+  }
+  auto run = ExecuteTraceRun(dev.get(), t, ReplayOptions{});
+  ASSERT_TRUE(run.ok());
+  EXPECT_LT(dev->clock()->NowUs(), 10000u);
+}
+
+TEST(TraceRunTest, RejectsEmptyTraceAndBadScale) {
+  auto dev = Mem();
+  Trace empty;
+  EXPECT_FALSE(ExecuteTraceRun(dev.get(), empty, ReplayOptions{}).ok());
+  Trace t;
+  t.events.push_back(TraceEvent{0, 0, 4096, IoMode::kRead, 0});
+  ReplayOptions opts;
+  opts.timing = ReplayTiming::kScaled;
+  opts.time_scale = 0;
+  EXPECT_FALSE(ExecuteTraceRun(dev.get(), t, opts).ok());
+}
+
+TEST(TraceRunTest, ReplayBeyondCapacityNeedsRescale) {
+  auto small = Mem(32ULL << 20);
+  Trace t;
+  t.meta.source = "bigdev";
+  t.meta.capacity_bytes = 64ULL << 20;
+  t.events.push_back(
+      TraceEvent{0, (64ULL << 20) - 32768, 32768, IoMode::kRead, 0});
+
+  auto fail = ExecuteTraceRun(small.get(), t, ReplayOptions{});
+  ASSERT_FALSE(fail.ok());
+  EXPECT_EQ(fail.status().code(), StatusCode::kOutOfRange);
+
+  ReplayOptions opts;
+  opts.rescale_lba = true;
+  auto ok = ExecuteTraceRun(small.get(), t, opts);
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  const IoSample& s = ok->samples[0];
+  EXPECT_LE(s.req.offset + s.req.size, small->capacity_bytes());
+  EXPECT_EQ(s.req.offset % kSector, 0u);
+}
+
+TEST(TraceRunTest, RescaleLbaBounds) {
+  const uint64_t from = 64ULL << 20, to = 32ULL << 20;
+  // Proportional mapping, sector aligned.
+  auto mid = RescaleLba(32ULL << 20, 4096, from, to);
+  ASSERT_TRUE(mid.ok());
+  EXPECT_EQ(*mid, 16ULL << 20);
+  // Last IO of the recorded device still fits the smaller one.
+  auto last = RescaleLba(from - 4096, 4096, from, to);
+  ASSERT_TRUE(last.ok());
+  EXPECT_LE(*last + 4096, to);
+  EXPECT_EQ(*last % kSector, 0u);
+  // Growing works too and preserves order.
+  auto grown = RescaleLba(16ULL << 20, 4096, to, from);
+  ASSERT_TRUE(grown.ok());
+  EXPECT_EQ(*grown, 32ULL << 20);
+  // IO bigger than the target device cannot be rescaled.
+  EXPECT_FALSE(RescaleLba(0, 1 << 20, from, 512 << 10).ok());
+  // Event outside its own recorded domain is corrupt input.
+  EXPECT_FALSE(RescaleLba(from, 4096, from, to).ok());
+}
+
+// ---------------------------------------------------------------------
+// Synthetic generators
+// ---------------------------------------------------------------------
+
+TEST(SyntheticTraceTest, ZipfianSkewsAccessesAndAlignsOffsets) {
+  ZipfianTraceConfig cfg;
+  cfg.capacity_bytes = 4ULL << 20;
+  cfg.io_size = 4096;
+  cfg.io_count = 8192;
+  cfg.theta = 0.9;
+  cfg.write_fraction = 1.0;
+  auto trace = GenerateZipfianTrace(cfg);
+  ASSERT_TRUE(trace.ok()) << trace.status();
+  ASSERT_TRUE(trace->Validate().ok());
+  EXPECT_EQ(trace->events.size(), 8192u);
+
+  std::map<uint64_t, uint32_t> freq;
+  for (const TraceEvent& e : trace->events) {
+    EXPECT_EQ(e.offset % cfg.io_size, 0u);
+    EXPECT_LE(e.offset + e.size, cfg.capacity_bytes);
+    EXPECT_EQ(e.mode, IoMode::kWrite);
+    ++freq[e.offset];
+  }
+  uint32_t hottest = 0;
+  for (const auto& [off, n] : freq) hottest = std::max(hottest, n);
+  // 1024 locations, 8192 IOs: uniform expectation is 8/location; Zipf
+  // theta=0.9 concentrates far more on the hottest location.
+  EXPECT_GT(hottest, 200u);
+}
+
+TEST(SyntheticTraceTest, ZipfianThetaZeroIsRoughlyUniform) {
+  ZipfianTraceConfig cfg;
+  cfg.capacity_bytes = 4ULL << 20;
+  cfg.io_size = 4096;
+  cfg.io_count = 8192;
+  cfg.theta = 0;
+  auto trace = GenerateZipfianTrace(cfg);
+  ASSERT_TRUE(trace.ok());
+  std::map<uint64_t, uint32_t> freq;
+  for (const TraceEvent& e : trace->events) ++freq[e.offset];
+  uint32_t hottest = 0;
+  for (const auto& [off, n] : freq) hottest = std::max(hottest, n);
+  EXPECT_LT(hottest, 40u);  // uniform: ~8 expected, far from Zipf's spike
+}
+
+TEST(SyntheticTraceTest, OltpPairsWritesWithPrecedingReads) {
+  OltpTraceConfig cfg;
+  cfg.transactions = 512;
+  cfg.read_only_fraction = 0.5;
+  auto trace = GenerateOltpTrace(cfg);
+  ASSERT_TRUE(trace.ok());
+  ASSERT_TRUE(trace->Validate().ok());
+  uint32_t writes = 0;
+  for (size_t i = 0; i < trace->events.size(); ++i) {
+    const TraceEvent& e = trace->events[i];
+    if (e.mode == IoMode::kWrite) {
+      ++writes;
+      // Read-modify-write: the write targets the page just read.
+      ASSERT_GT(i, 0u);
+      EXPECT_EQ(trace->events[i - 1].mode, IoMode::kRead);
+      EXPECT_EQ(trace->events[i - 1].offset, e.offset);
+    }
+  }
+  // ~half the transactions update; allow generous binomial slack.
+  EXPECT_GT(writes, 200u);
+  EXPECT_LT(writes, 312u);
+}
+
+TEST(SyntheticTraceTest, MultiStreamIsSequentialPerStream) {
+  MultiStreamTraceConfig cfg;
+  cfg.capacity_bytes = 16ULL << 20;
+  cfg.io_size = 32768;
+  cfg.streams = 4;
+  cfg.ios_per_stream = 32;
+  cfg.gap_us = 100;
+  auto trace = GenerateMultiStreamTrace(cfg);
+  ASSERT_TRUE(trace.ok());
+  ASSERT_TRUE(trace->Validate().ok());
+  ASSERT_EQ(trace->events.size(), 4u * 32u);
+
+  uint64_t slice = cfg.capacity_bytes / cfg.streams;
+  for (size_t i = 0; i < trace->events.size(); ++i) {
+    const TraceEvent& e = trace->events[i];
+    uint32_t stream = static_cast<uint32_t>(i % cfg.streams);
+    EXPECT_GE(e.offset, stream * slice);
+    EXPECT_LT(e.offset, (stream + 1) * slice);
+    if (i >= cfg.streams) {
+      // Within a stream, strictly sequential by io_size.
+      EXPECT_EQ(e.offset, trace->events[i - cfg.streams].offset + cfg.io_size);
+    }
+  }
+}
+
+TEST(SyntheticTraceTest, SyntheticTracesReplayThroughTheSamePath) {
+  ZipfianTraceConfig cfg;
+  cfg.capacity_bytes = 8ULL << 20;
+  cfg.io_count = 64;
+  cfg.mean_gap_us = 500;
+  auto trace = GenerateZipfianTrace(cfg);
+  ASSERT_TRUE(trace.ok());
+  auto dev = Mem(8ULL << 20);
+  ReplayOptions opts;
+  opts.timing = ReplayTiming::kOriginal;
+  auto run = ExecuteTraceRun(dev.get(), *trace, opts);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(run->Stats().count, 64u);
+  EXPECT_GT(run->Stats().mean_us, 0);
+}
+
+TEST(SyntheticTraceTest, ConfigValidation) {
+  ZipfianTraceConfig z;
+  z.theta = 1.5;
+  EXPECT_FALSE(GenerateZipfianTrace(z).ok());
+  z = ZipfianTraceConfig{};
+  z.io_size = 0;
+  EXPECT_FALSE(GenerateZipfianTrace(z).ok());
+  OltpTraceConfig o;
+  o.read_only_fraction = -0.1;
+  EXPECT_FALSE(GenerateOltpTrace(o).ok());
+  MultiStreamTraceConfig m;
+  m.streams = 0;
+  EXPECT_FALSE(GenerateMultiStreamTrace(m).ok());
+  m = MultiStreamTraceConfig{};
+  m.streams = 1024;
+  m.io_size = 1 << 20;
+  m.capacity_bytes = 16ULL << 20;  // slice < one IO
+  EXPECT_FALSE(GenerateMultiStreamTrace(m).ok());
+}
+
+}  // namespace
+}  // namespace uflip
