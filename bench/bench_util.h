@@ -56,15 +56,19 @@ class Flags {
 };
 
 /// Creates a simulated device for `profile_id` and enforces the random
-/// initial state (Section 4.1). capacity 0 = profile default.
+/// initial state (Section 4.1). capacity 0 = profile default;
+/// channels_override > 0 re-stripes the flash array over that many
+/// channels (for multi-queue experiments; the Table 2 profiles fold
+/// parallelism into page timings and use one channel).
 inline std::unique_ptr<SimDevice> MakeDeviceWithState(
     const std::string& profile_id, uint64_t capacity = 0,
-    bool verbose = true) {
+    bool verbose = true, uint32_t channels_override = 0) {
   auto profile = ProfileById(profile_id);
   if (!profile.ok()) {
     std::fprintf(stderr, "unknown device '%s'\n", profile_id.c_str());
     std::exit(2);
   }
+  if (channels_override > 0) profile->channels = channels_override;
   auto dev = CreateSimDevice(*profile, nullptr, capacity);
   if (!dev.ok()) {
     std::fprintf(stderr, "device creation failed: %s\n",

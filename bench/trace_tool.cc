@@ -3,10 +3,11 @@
 //   trace_tool record   --device=mtron --out=sweep.csv
 //                       [--mb=granularity | --pattern=SR|RR|SW|RW]
 //                       [--io_size=32768] [--io_count=512] [--io_ignore=64]
-//                       [--format=csv|bin]
+//                       [--format=csv|bin] [--stream=true]
 //   trace_tool replay   --trace=sweep.csv --device=memoright
 //                       [--timing=closed|original|scaled] [--scale=1.0]
-//                       [--rescale_lba=true] [--io_ignore=0]
+//                       [--rescale_lba=true] [--io_ignore=N]
+//                       [--queue_depth=8] [--channels=4]
 //   trace_tool generate --kind=zipfian|oltp|multistream --out=synth.csv
 //                       [--capacity_mb=64] [--io_size=4096] [--io_count=4096]
 //                       [--theta=0.99] [--write_fraction=0.5]
@@ -15,7 +16,11 @@
 //
 // A trace recorded on one device profile replays unchanged on any
 // other; --rescale_lba fits a trace recorded on a larger device onto a
-// smaller one.
+// smaller one. --queue_depth > 0 replays open-loop through the async
+// multi-queue device API (queued IOs overlap across flash channels;
+// --channels re-stripes the profile's array); --io_ignore defaults to
+// phase-derived (AnalyzePhases) when not passed. --stream captures
+// through a TraceWriter incrementally instead of buffering the trace.
 #include <cctype>
 #include <cstdio>
 #include <cstring>
@@ -23,6 +28,7 @@
 
 #include "bench/bench_util.h"
 #include "src/core/microbench.h"
+#include "src/device/async_sim_device.h"
 #include "src/run/trace_run.h"
 #include "src/trace/recording_device.h"
 #include "src/trace/synthetic.h"
@@ -76,11 +82,21 @@ StatusOr<MicroBench> MicroBenchByName(const std::string& name) {
 int Record(const Flags& flags) {
   std::string id = flags.GetString("device", "mtron");
   std::string out = flags.GetString("out", "trace.csv");
+  bool stream = flags.GetBool("stream", false);
+  TraceFormat format = FormatFromFlags(flags, out);
   auto dev = MakeDeviceWithState(id);
   InterRunPause(dev.get());
 
   // Wrap after preparation so the trace holds only the workload.
   RecordingDevice rec(dev.get());
+  if (stream) {
+    Status s = rec.StreamTo(out, format);
+    if (!s.ok()) {
+      std::fprintf(stderr, "streaming capture failed to open: %s\n",
+                   s.ToString().c_str());
+      return 1;
+    }
+  }
 
   std::string mb_name = flags.GetString("mb", "");
   if (!mb_name.empty()) {
@@ -119,7 +135,18 @@ int Record(const Flags& flags) {
     }
   }
 
-  TraceFormat format = FormatFromFlags(flags, out);
+  if (stream) {
+    Status s = rec.Finish();
+    if (!s.ok()) {
+      std::fprintf(stderr, "streaming capture failed: %s\n",
+                   s.ToString().c_str());
+      return 1;
+    }
+    std::printf("streamed %llu IOs from %s -> %s [%s]\n",
+                static_cast<unsigned long long>(rec.events_captured()),
+                dev->name().c_str(), out.c_str(), TraceFormatName(format));
+    return 0;
+  }
   Status s = rec.WriteTo(out, format);
   if (!s.ok()) {
     std::fprintf(stderr, "trace write failed: %s\n", s.ToString().c_str());
@@ -157,21 +184,43 @@ int Replay(const Flags& flags) {
     return 2;
   }
   opts.rescale_lba = flags.GetBool("rescale_lba", false);
-  opts.io_ignore = static_cast<uint32_t>(flags.GetInt("io_ignore", 0));
+  // io_ignore defaults to phase-derived (AnalyzePhases over the replayed
+  // response times) when the flag is not passed.
+  int64_t io_ignore = flags.GetInt("io_ignore", -1);
+  opts.io_ignore = io_ignore < 0 ? ReplayOptions::kAutoIoIgnore
+                                 : static_cast<uint32_t>(io_ignore);
+  uint32_t queue_depth =
+      static_cast<uint32_t>(flags.GetInt("queue_depth", 0));
+  uint32_t channels = static_cast<uint32_t>(flags.GetInt("channels", 0));
 
   std::string id = flags.GetString("device", "mtron");
-  auto dev = MakeDeviceWithState(id);
+  auto dev = MakeDeviceWithState(id, 0, true, channels);
   InterRunPause(dev.get());
 
-  auto run = ExecuteTraceRun(dev.get(), *trace, opts);
+  std::string dev_name = dev->name();
+  uint64_t replay_start_us = dev->clock()->NowUs();
+  uint64_t dev_capacity = dev->capacity_bytes();
+  StatusOr<RunResult> run = Status::InvalidArgument("unreachable");
+  std::unique_ptr<AsyncSimDevice> async;
+  if (queue_depth > 0) {
+    // Open-loop replay through the async multi-queue API: up to
+    // queue_depth IOs in flight, overlapping across flash channels.
+    async = std::make_unique<AsyncSimDevice>(std::move(dev), queue_depth);
+    dev_name = async->name();
+    run = ExecuteTraceRun(async.get(), *trace, opts);
+  } else {
+    run = ExecuteTraceRun(dev.get(), *trace, opts);
+  }
   if (!run.ok()) {
     std::fprintf(stderr, "replay failed: %s\n",
                  run.status().ToString().c_str());
     return 1;
   }
+  uint64_t makespan_us =
+      (async ? async->clock() : dev->clock())->NowUs() - replay_start_us;
   std::printf("replayed %zu IOs of '%s' (recorded on %s) on %s, %s timing",
               run->samples.size(), path.c_str(),
-              trace->meta.source.c_str(), dev->name().c_str(),
+              trace->meta.source.c_str(), dev_name.c_str(),
               ReplayTimingName(opts.timing));
   if (opts.timing == ReplayTiming::kScaled) {
     std::printf(" (x%.2f)", opts.time_scale);
@@ -179,7 +228,15 @@ int Replay(const Flags& flags) {
   if (opts.rescale_lba) {
     std::printf(", LBAs rescaled %s -> %s",
                 FormatSize(trace->meta.capacity_bytes).c_str(),
-                FormatSize(dev->capacity_bytes()).c_str());
+                FormatSize(dev_capacity).c_str());
+  }
+  if (queue_depth > 0) {
+    std::printf(", queue_depth=%u over %u channels", queue_depth,
+                async->channels());
+  }
+  std::printf("\n  makespan %.3fs", makespan_us / 1e6);
+  if (opts.io_ignore == ReplayOptions::kAutoIoIgnore) {
+    std::printf(", io_ignore=%u (phase-derived)", run->spec.io_ignore);
   }
   std::printf("\n\n");
   PrintStats(*run, "response-time statistics");

@@ -22,6 +22,7 @@
 
 #include "src/device/block_device.h"
 #include "src/pattern/pattern.h"
+#include "src/run/phases.h"
 #include "src/run/runner.h"
 #include "src/util/random.h"
 #include "src/util/status.h"
@@ -63,33 +64,9 @@ StatusOr<StateEnforcementReport> EnforceSequentialState(
 // ---------------------------------------------------------------------
 // Start-up and running phases (Section 4.2)
 // ---------------------------------------------------------------------
-
-struct PhaseAnalysis {
-  /// IOs in the start-up phase (0 = none).
-  uint32_t startup_ios = 0;
-  /// Oscillation period of the running phase in IOs (0 = flat).
-  uint32_t period_ios = 0;
-  /// Mean response time of the running phase (us).
-  double running_mean_us = 0;
-  /// Mean response time of the start-up phase (us, 0 when absent).
-  double startup_mean_us = 0;
-  /// max/min ratio within the running phase (variability).
-  double variability = 1.0;
-};
-
-/// Derives the two-phase model from a trace of per-IO response times.
-PhaseAnalysis AnalyzePhases(const std::vector<double>& rt_us);
-
-/// Suggested IOIgnore / IOCount from a phase analysis: IOIgnore covers
-/// the start-up phase; IOCount covers `periods` oscillation periods past
-/// it (with sane minimums).
-struct RunLengths {
-  uint32_t io_ignore = 0;
-  uint32_t io_count = 0;
-};
-RunLengths SuggestRunLengths(const PhaseAnalysis& phases,
-                             uint32_t periods = 16,
-                             uint32_t min_count = 512);
+// PhaseAnalysis / AnalyzePhases / RunLengths / SuggestRunLengths moved
+// to src/run/phases.h (included above) so trace replay can auto-derive
+// io_ignore without the run layer depending on this one.
 
 // ---------------------------------------------------------------------
 // Inter-run pause (Section 4.3, Figure 5)

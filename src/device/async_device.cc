@@ -1,0 +1,93 @@
+#include "src/device/async_device.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace uflip {
+
+uint64_t CompletionLedger::Admit(uint64_t t_us, uint32_t queue_depth) {
+  UFLIP_CHECK(queue_depth >= 1);
+  // IOs that completed by this submission are no longer in flight.
+  // (This is the only mutation: submission times are nondecreasing, so
+  // dropping them stays correct even if the enqueue fails afterwards.)
+  live_.erase(live_.begin(), live_.upper_bound(t_us));
+  if (live_.size() < queue_depth) return t_us;
+  // A full queue blocks the submitter until enough of the earliest
+  // in-flight IOs complete that a slot frees.
+  auto it = live_.begin();
+  std::advance(it, live_.size() - queue_depth);
+  return std::max(t_us, *it);
+}
+
+void CompletionLedger::Commit(const IoCompletion& record) {
+  live_.insert(record.complete_us);
+  done_.push_back(record);
+}
+
+std::vector<IoCompletion> CompletionLedger::Pop(uint64_t horizon_us) {
+  std::vector<IoCompletion> out;
+  size_t kept = 0;
+  for (IoCompletion& rec : done_) {
+    if (rec.complete_us <= horizon_us) {
+      out.push_back(rec);
+    } else {
+      done_[kept++] = rec;
+    }
+  }
+  done_.resize(kept);
+  std::sort(out.begin(), out.end(),
+            [](const IoCompletion& a, const IoCompletion& b) {
+              return a.complete_us != b.complete_us
+                         ? a.complete_us < b.complete_us
+                         : a.token < b.token;
+            });
+  return out;
+}
+
+StatusOr<double> SyncAdapter::SubmitAt(uint64_t t_us, const IoRequest& req) {
+  // The sync contract serializes overlapping submissions: an IO
+  // submitted while the previous one is still running waits for it.
+  uint64_t eff = std::max(t_us, last_complete_us_);
+  StatusOr<IoToken> token = async_->Enqueue(eff, req);
+  if (!token.ok()) return token.status();
+  for (const IoCompletion& c : async_->PollCompletions()) {
+    if (c.token != *token) continue;
+    last_complete_us_ = c.complete_us;
+    // Response time from the caller's submission time, so the
+    // serialization wait is charged exactly as a sync device charges it.
+    return c.rt_us + static_cast<double>(eff - t_us);
+  }
+  return Status::Internal("async device did not resolve the submitted IO");
+}
+
+AsyncShim::AsyncShim(BlockDevice* inner, uint32_t queue_depth)
+    : inner_(inner), queue_depth_(queue_depth) {
+  UFLIP_CHECK(inner_ != nullptr);
+  UFLIP_CHECK(queue_depth_ >= 1);
+}
+
+StatusOr<IoToken> AsyncShim::Enqueue(uint64_t t_us, const IoRequest& req) {
+  uint64_t eff = ledger_.Admit(t_us, queue_depth_);
+  StatusOr<double> rt = inner_->SubmitAt(eff, req);
+  if (!rt.ok()) return rt.status();
+  double complete_exact = static_cast<double>(eff) + *rt;
+  IoCompletion rec;
+  rec.token = ledger_.NextToken();
+  rec.submit_us = t_us;
+  rec.complete_us = static_cast<uint64_t>(std::ceil(complete_exact));
+  rec.rt_us = complete_exact - static_cast<double>(t_us);
+  ledger_.Commit(rec);
+  return rec.token;
+}
+
+std::vector<IoCompletion> AsyncShim::PollCompletions() {
+  return ledger_.Pop(UINT64_MAX);
+}
+
+std::vector<IoCompletion> AsyncShim::DrainUntil(uint64_t t_us) {
+  return ledger_.Pop(t_us);
+}
+
+}  // namespace uflip

@@ -1,0 +1,187 @@
+// Asynchronous multi-queue device API (io_uring-style). The synchronous
+// BlockDevice contract serializes every IO, which hides the internal
+// parallelism Section 2.1 describes (channels, planes, pipelined
+// commands): the Parallelism and Pause micro-benchmarks only make sense
+// when a device can service several in-flight IOs. This layer separates
+// submission from completion:
+//
+//   * Enqueue(t_us, req) hands an IO to the device at time t_us and
+//     returns a token. At most queue_depth() IOs may be in flight; an
+//     Enqueue against a full queue blocks the submitter until a slot
+//     frees (like io_uring submit with a full ring), and the wait shows
+//     up in the IO's response time.
+//   * PollCompletions() / DrainUntil(t_us) pop completion records
+//     {token, submit_us, complete_us, rt_us}. rt_us is measured from
+//     the Enqueue time, so it includes any queue wait.
+//
+// Two adapters bridge the sync and async worlds: SyncAdapter turns any
+// AsyncBlockDevice back into a BlockDevice (serializing, preserving the
+// base-class WholeUsWithCarry carry semantics of Submit), and AsyncShim
+// lifts a legacy synchronous device into the async interface with a
+// serial queue. AsyncSimDevice (async_sim_device.h) is the native
+// implementation that genuinely overlaps IOs on different flash
+// channels.
+//
+// Submission times passed to Enqueue must be nondecreasing (all runners
+// maintain this); completion resolution is eager for simulated and
+// shimmed devices, i.e. PollCompletions() returns every enqueued IO's
+// record immediately, in completion order.
+#ifndef UFLIP_DEVICE_ASYNC_DEVICE_H_
+#define UFLIP_DEVICE_ASYNC_DEVICE_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/device/block_device.h"
+#include "src/util/clock.h"
+#include "src/util/status.h"
+
+namespace uflip {
+
+/// Identifies one queued IO from Enqueue to its completion record.
+using IoToken = uint64_t;
+
+/// One completed IO.
+struct IoCompletion {
+  IoToken token = 0;
+  /// Host submission time (the t_us passed to Enqueue).
+  uint64_t submit_us = 0;
+  /// Completion time on the device's whole-microsecond timeline.
+  /// AsyncSimDevice truncates the service time exactly like the
+  /// synchronous SimDevice (start + floor(service); what makes
+  /// SyncAdapter round-trips bit-identical); AsyncShim rounds a
+  /// fractional inner response up so an IO is never reported complete
+  /// before it is. rt_us carries the exact value either way.
+  uint64_t complete_us = 0;
+  /// Exact response time from submission, queue wait included.
+  double rt_us = 0;
+};
+
+/// Queued block device: submissions and completions are decoupled, and
+/// up to queue_depth() IOs may be in flight concurrently.
+class AsyncBlockDevice {
+ public:
+  virtual ~AsyncBlockDevice() = default;
+
+  /// Host-visible capacity in bytes.
+  virtual uint64_t capacity_bytes() const = 0;
+
+  /// Maximum concurrently in-flight IOs.
+  virtual uint32_t queue_depth() const = 0;
+
+  /// Submits one IO at time `t_us` (device clock domain). Blocks the
+  /// submitter while the queue is full; the wait is charged to the IO's
+  /// response time. Submission times must be nondecreasing.
+  virtual StatusOr<IoToken> Enqueue(uint64_t t_us, const IoRequest& req) = 0;
+
+  /// Pops every completion record the device has resolved, ordered by
+  /// (complete_us, token). Simulated and shimmed devices resolve
+  /// eagerly: every enqueued IO's record is available immediately.
+  virtual std::vector<IoCompletion> PollCompletions() = 0;
+
+  /// Pops resolved records with complete_us <= t_us, same order.
+  virtual std::vector<IoCompletion> DrainUntil(uint64_t t_us) = 0;
+
+  /// Pops everything outstanding.
+  std::vector<IoCompletion> DrainAll() { return DrainUntil(UINT64_MAX); }
+
+  /// Resolved completion records not yet popped.
+  virtual size_t pending() const = 0;
+
+  /// The clock this device lives on.
+  virtual Clock* clock() = 0;
+
+  /// Human-readable device name for reports.
+  virtual std::string name() const = 0;
+};
+
+/// Submit-side bookkeeping shared by async implementations that resolve
+/// completion times at enqueue (simulated and shimmed devices): tracks
+/// in-flight completion times for queue-depth backpressure and buffers
+/// resolved records until the host pops them.
+class CompletionLedger {
+ public:
+  /// Effective host submission time of an IO arriving at `t_us`: IOs
+  /// still in flight at t_us count against `queue_depth`, and a full
+  /// queue blocks the submitter until the earliest in-flight IOs
+  /// complete. Only IOs already completed by t_us are retired from the
+  /// in-flight set, so an enqueue that fails after admission leaves the
+  /// backpressure accounting intact.
+  uint64_t Admit(uint64_t t_us, uint32_t queue_depth);
+
+  /// Registers a resolved completion record.
+  void Commit(const IoCompletion& record);
+
+  /// Pops records with complete_us <= horizon_us, ordered by
+  /// (complete_us, token).
+  std::vector<IoCompletion> Pop(uint64_t horizon_us);
+
+  size_t pending() const { return done_.size(); }
+  IoToken NextToken() { return ++last_token_; }
+
+ private:
+  /// Completion times of IOs not yet past the admission horizon.
+  std::multiset<uint64_t> live_;
+  std::vector<IoCompletion> done_;
+  IoToken last_token_ = 0;
+};
+
+/// Wraps an AsyncBlockDevice back into the synchronous BlockDevice
+/// contract: each SubmitAt serializes behind the previous completion
+/// (the sync contract's "overlapping submissions wait") and drains its
+/// own completion before returning. Inherits BlockDevice::Submit, so
+/// the WholeUsWithCarry carry semantics are preserved unchanged. The
+/// adapter assumes exclusive use of the underlying device.
+class SyncAdapter : public BlockDevice {
+ public:
+  /// Wraps `async` (not owned; must outlive the adapter).
+  explicit SyncAdapter(AsyncBlockDevice* async) : async_(async) {}
+
+  uint64_t capacity_bytes() const override {
+    return async_->capacity_bytes();
+  }
+  StatusOr<double> SubmitAt(uint64_t t_us, const IoRequest& req) override;
+  Clock* clock() override { return async_->clock(); }
+  std::string name() const override { return async_->name() + "+sync"; }
+
+  AsyncBlockDevice* async() { return async_; }
+
+ private:
+  AsyncBlockDevice* async_;
+  uint64_t last_complete_us_ = 0;
+};
+
+/// Lifts a legacy synchronous BlockDevice into the async interface with
+/// a serial queue: the inner device still serializes overlapping IOs,
+/// but submissions queue up to `queue_depth` and completion records
+/// carry the queue wait, so runners written against the async API work
+/// unchanged on sync-only backends (e.g. FileDevice).
+class AsyncShim : public AsyncBlockDevice {
+ public:
+  /// Wraps `inner` (not owned; must outlive the shim).
+  AsyncShim(BlockDevice* inner, uint32_t queue_depth);
+
+  uint64_t capacity_bytes() const override {
+    return inner_->capacity_bytes();
+  }
+  uint32_t queue_depth() const override { return queue_depth_; }
+  StatusOr<IoToken> Enqueue(uint64_t t_us, const IoRequest& req) override;
+  std::vector<IoCompletion> PollCompletions() override;
+  std::vector<IoCompletion> DrainUntil(uint64_t t_us) override;
+  size_t pending() const override { return ledger_.pending(); }
+  Clock* clock() override { return inner_->clock(); }
+  std::string name() const override { return inner_->name() + "+queue"; }
+
+  BlockDevice* inner() { return inner_; }
+
+ private:
+  BlockDevice* inner_;
+  uint32_t queue_depth_;
+  CompletionLedger ledger_;
+};
+
+}  // namespace uflip
+
+#endif  // UFLIP_DEVICE_ASYNC_DEVICE_H_

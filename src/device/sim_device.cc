@@ -30,9 +30,9 @@ SimDevice::SimDevice(std::string name, std::unique_ptr<Ftl> ftl,
   UFLIP_CHECK(clock_ != nullptr);
 }
 
-StatusOr<double> SimDevice::DoIo(uint64_t t_us, const IoRequest& req,
-                                 const uint64_t* write_tokens,
-                                 std::vector<uint64_t>* read_tokens) {
+StatusOr<double> SimDevice::ServiceUs(double idle_us, const IoRequest& req,
+                                      const uint64_t* write_tokens,
+                                      std::vector<uint64_t>* read_tokens) {
   if (req.size == 0) return Status::InvalidArgument("zero-sized IO");
   if (req.offset + req.size > capacity_bytes()) {
     return Status::OutOfRange("IO beyond device capacity");
@@ -41,10 +41,9 @@ StatusOr<double> SimDevice::DoIo(uint64_t t_us, const IoRequest& req,
 
   // Idle time between the previous completion and this submission is
   // donated to asynchronous reclamation.
-  if (t_us > busy_until_us_) {
-    ftl_->BackgroundWork(static_cast<double>(t_us - busy_until_us_));
+  if (idle_us > 0) {
+    ftl_->BackgroundWork(idle_us);
   }
-  uint64_t start = std::max(t_us, busy_until_us_);
   double service = 0;
 
   // While reclamation debt is outstanding the controller interleaves
@@ -96,8 +95,20 @@ StatusOr<double> SimDevice::DoIo(uint64_t t_us, const IoRequest& req,
     if (!s.ok()) return s;
   }
   service += cost.service_us;
+  return service;
+}
 
-  busy_until_us_ = start + static_cast<uint64_t>(service);
+StatusOr<double> SimDevice::DoIo(uint64_t t_us, const IoRequest& req,
+                                 const uint64_t* write_tokens,
+                                 std::vector<uint64_t>* read_tokens) {
+  double idle_us = t_us > busy_until_us_
+                       ? static_cast<double>(t_us - busy_until_us_)
+                       : 0.0;
+  StatusOr<double> service =
+      ServiceUs(idle_us, req, write_tokens, read_tokens);
+  if (!service.ok()) return service.status();
+  uint64_t start = std::max(t_us, busy_until_us_);
+  busy_until_us_ = start + static_cast<uint64_t>(*service);
   return static_cast<double>(busy_until_us_ - t_us);
 }
 

@@ -85,6 +85,20 @@ class SimDevice : public BlockDevice {
   /// Cumulative counters for reports.
   uint64_t ios_submitted() const { return ios_; }
 
+  /// End of the last IO on the synchronous timeline (the single-queue
+  /// busy-until). AsyncSimDevice seeds its per-channel timeline from it
+  /// when lifting an already-used device.
+  uint64_t busy_until_us() const { return busy_until_us_; }
+
+  /// Foreground service time of `req` when it reaches the controller
+  /// after `idle_us` of device idle time (idle time is donated to
+  /// asynchronous reclamation). Advances FTL and content state but not
+  /// the device timeline; the synchronous path and AsyncSimDevice's
+  /// multi-queue dispatch share it so both cost IOs identically.
+  StatusOr<double> ServiceUs(double idle_us, const IoRequest& req,
+                             const uint64_t* write_tokens,
+                             std::vector<uint64_t>* read_tokens);
+
  private:
   /// Core IO path; `write_tokens` may be nullptr (benchmark writes use a
   /// device-generated version counter so content still changes).

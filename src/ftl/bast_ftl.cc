@@ -354,6 +354,21 @@ Status BastFtl::Read(uint64_t lpn, uint32_t npages,
   return Status::Ok();
 }
 
+uint32_t BastFtl::DispatchChannel(uint64_t lpn) const {
+  if (lpn >= logical_pages_) {
+    return array_->ChannelOf(lpn / ppb());
+  }
+  uint64_t lbk = lpn / ppb();
+  // Latest copy may live in the logical block's log block.
+  int32_t li = log_of_[lbk];
+  if (li != kNoLog &&
+      pool_[li].page_map[lpn % ppb()] != kNoPage) {
+    return array_->ChannelOf(pool_[li].phys);
+  }
+  uint64_t phys = map_[lbk];
+  return array_->ChannelOf(phys != kUnmapped ? phys : lbk);
+}
+
 std::string BastFtl::DebugString() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),

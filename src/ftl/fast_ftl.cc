@@ -337,6 +337,23 @@ Status FastFtl::Read(uint64_t lpn, uint32_t npages,
   return Status::Ok();
 }
 
+uint32_t FastFtl::DispatchChannel(uint64_t lpn) const {
+  if (lpn >= logical_pages_) {
+    return array_->ChannelOf(lpn / ppb());
+  }
+  // Latest copy may live in the shared log ring.
+  auto it = latest_.find(lpn);
+  if (it != latest_.end()) {
+    uint32_t idx = it->second.segment_serial - front_serial_;
+    if (idx < ring_.size()) {
+      return array_->ChannelOf(ring_[idx].phys);
+    }
+  }
+  uint64_t lbk = lpn / ppb();
+  uint64_t phys = map_[lbk];
+  return array_->ChannelOf(phys != kUnmapped ? phys : lbk);
+}
+
 std::string FastFtl::DebugString() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),

@@ -64,6 +64,9 @@ class FastFtl : public Ftl {
   Status Write(uint64_t lpn, uint32_t npages, const uint64_t* tokens,
                FtlCost* cost) override;
 
+  uint32_t Channels() const override { return array_->channels(); }
+  uint32_t DispatchChannel(uint64_t lpn) const override;
+
   const FtlStats& stats() const override { return stats_; }
   std::string DebugString() const override;
 

@@ -99,6 +99,20 @@ class Ftl {
   /// device is fully reclaimed). Drives the lingering effect of Figure 5.
   virtual double PendingBackgroundUs() const { return 0.0; }
 
+  /// Independent flash channels beneath this FTL; the exclusive upper
+  /// bound of DispatchChannel(). Default: one queue, no parallelism.
+  virtual uint32_t Channels() const { return 1; }
+
+  /// Channel the flash work of the next host access to `lpn` would
+  /// predominantly land on -- the dispatch hint a multi-queue
+  /// controller uses to route in-flight IOs onto per-channel queues
+  /// (AsyncSimDevice). A hint, not a contract: multi-page IOs and
+  /// merges may touch other channels too.
+  virtual uint32_t DispatchChannel(uint64_t lpn) const {
+    (void)lpn;
+    return 0;
+  }
+
   virtual const FtlStats& stats() const = 0;
   virtual std::string DebugString() const = 0;
 };

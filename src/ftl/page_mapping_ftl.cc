@@ -503,6 +503,16 @@ double PageMappingFtl::PendingBackgroundUs() const {
          gc_cost_ema_us_;
 }
 
+uint32_t PageMappingFtl::DispatchChannel(uint64_t lpn) const {
+  uint64_t mu = (lpn / mu_pages_);
+  if (mu < n_mus_ && map_[mu] != kUnmapped) {
+    return array_->ChannelOf(BlockOfSlot(map_[mu]));
+  }
+  // Unmapped (never written): predict the LBA-static striping the write
+  // placement uses.
+  return array_->ChannelOf(mu);
+}
+
 std::string PageMappingFtl::DebugString() const {
   char buf[256];
   std::snprintf(

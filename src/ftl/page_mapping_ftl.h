@@ -75,6 +75,9 @@ class PageMappingFtl : public Ftl {
   double BackgroundWork(double budget_us) override;
   double PendingBackgroundUs() const override;
 
+  uint32_t Channels() const override { return array_->channels(); }
+  uint32_t DispatchChannel(uint64_t lpn) const override;
+
   const FtlStats& stats() const override { return stats_; }
   std::string DebugString() const override;
 

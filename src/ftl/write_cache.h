@@ -52,6 +52,11 @@ class WriteCache : public Ftl {
   double BackgroundWork(double budget_us) override;
   double PendingBackgroundUs() const override;
 
+  uint32_t Channels() const override { return inner_->Channels(); }
+  uint32_t DispatchChannel(uint64_t lpn) const override {
+    return inner_->DispatchChannel(lpn);
+  }
+
   const FtlStats& stats() const override { return inner_->stats(); }
   std::string DebugString() const override;
 

@@ -1,0 +1,106 @@
+#include "src/run/phases.h"
+
+#include <algorithm>
+
+namespace uflip {
+
+PhaseAnalysis AnalyzePhases(const std::vector<double>& rt_us) {
+  PhaseAnalysis out;
+  const size_t n = rt_us.size();
+  if (n < 16) {
+    if (n > 0) {
+      double s = 0;
+      for (double x : rt_us) s += x;
+      out.running_mean_us = s / static_cast<double>(n);
+    }
+    return out;
+  }
+
+  // Reference level: mean of the last half of the trace (assumed to be
+  // fully inside the running phase).
+  double tail_sum = 0;
+  for (size_t i = n / 2; i < n; ++i) tail_sum += rt_us[i];
+  double tail_mean = tail_sum / static_cast<double>(n - n / 2);
+
+  // Start-up phase: the longest prefix whose sliding-window mean stays
+  // clearly below the running level.
+  const size_t w = std::max<size_t>(4, n / 64);
+  size_t startup = 0;
+  double acc = 0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += rt_us[i];
+    if (i + 1 >= w) {
+      double window_mean = acc / static_cast<double>(w);
+      if (window_mean >= 0.6 * tail_mean) {
+        startup = i + 1 >= w ? i + 1 - w : 0;
+        break;
+      }
+      acc -= rt_us[i + 1 - w];
+    }
+    if (i + 1 == n) startup = 0;  // never reached running level: no model
+  }
+  // A "start-up" shorter than the window is noise.
+  if (startup < w) startup = 0;
+  out.startup_ios = static_cast<uint32_t>(startup);
+  if (startup > 0) {
+    double s = 0;
+    for (size_t i = 0; i < startup; ++i) s += rt_us[i];
+    out.startup_mean_us = s / static_cast<double>(startup);
+  }
+
+  // Running phase statistics.
+  double run_sum = 0, run_min = rt_us[startup], run_max = rt_us[startup];
+  for (size_t i = startup; i < n; ++i) {
+    run_sum += rt_us[i];
+    run_min = std::min(run_min, rt_us[i]);
+    run_max = std::max(run_max, rt_us[i]);
+  }
+  size_t run_n = n - startup;
+  out.running_mean_us = run_sum / static_cast<double>(run_n);
+  out.variability = run_min > 0 ? run_max / run_min : 1.0;
+
+  // Oscillation period via autocorrelation of the running phase.
+  if (run_n >= 32 && out.variability > 1.05) {
+    std::vector<double> x(rt_us.begin() + startup, rt_us.end());
+    double mean = out.running_mean_us;
+    double denom = 0;
+    for (double v : x) denom += (v - mean) * (v - mean);
+    if (denom > 0) {
+      size_t max_lag = std::min<size_t>(run_n / 3, 4096);
+      double best = 0.2;  // minimum correlation to call it periodic
+      size_t best_lag = 0;
+      double prev = 1.0;
+      bool dipped = false;
+      for (size_t lag = 1; lag <= max_lag; ++lag) {
+        double num = 0;
+        for (size_t i = 0; i + lag < x.size(); ++i) {
+          num += (x[i] - mean) * (x[i + lag] - mean);
+        }
+        double r = num / denom;
+        // Look for the first strong peak after the autocorrelation has
+        // dipped (skips the trivial lag-0 shoulder).
+        if (!dipped && r < prev && r < 0.5) dipped = true;
+        if (dipped && r > best) {
+          best = r;
+          best_lag = lag;
+          break;
+        }
+        prev = r;
+      }
+      out.period_ios = static_cast<uint32_t>(best_lag);
+    }
+  }
+  return out;
+}
+
+RunLengths SuggestRunLengths(const PhaseAnalysis& phases, uint32_t periods,
+                             uint32_t min_count) {
+  RunLengths out;
+  out.io_ignore = phases.startup_ios;
+  uint32_t per = std::max<uint32_t>(phases.period_ios, 1);
+  out.io_count =
+      std::max(min_count, out.io_ignore + per * periods);
+  return out;
+}
+
+}  // namespace uflip

@@ -1,0 +1,43 @@
+// Start-up and running phases (Section 4.2): a two-phase model of
+// response time derived from a per-IO response-time series. Lives in the
+// run layer (it is pure statistics over a run's samples) so both the
+// methodology layer (choosing IOIgnore/IOCount for a benchmark plan) and
+// trace replay (auto-deriving io_ignore for a replayed trace) can use it.
+#ifndef UFLIP_RUN_PHASES_H_
+#define UFLIP_RUN_PHASES_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace uflip {
+
+struct PhaseAnalysis {
+  /// IOs in the start-up phase (0 = none).
+  uint32_t startup_ios = 0;
+  /// Oscillation period of the running phase in IOs (0 = flat).
+  uint32_t period_ios = 0;
+  /// Mean response time of the running phase (us).
+  double running_mean_us = 0;
+  /// Mean response time of the start-up phase (us, 0 when absent).
+  double startup_mean_us = 0;
+  /// max/min ratio within the running phase (variability).
+  double variability = 1.0;
+};
+
+/// Derives the two-phase model from a trace of per-IO response times.
+PhaseAnalysis AnalyzePhases(const std::vector<double>& rt_us);
+
+/// Suggested IOIgnore / IOCount from a phase analysis: IOIgnore covers
+/// the start-up phase; IOCount covers `periods` oscillation periods past
+/// it (with sane minimums).
+struct RunLengths {
+  uint32_t io_ignore = 0;
+  uint32_t io_count = 0;
+};
+RunLengths SuggestRunLengths(const PhaseAnalysis& phases,
+                             uint32_t periods = 16,
+                             uint32_t min_count = 512);
+
+}  // namespace uflip
+
+#endif  // UFLIP_RUN_PHASES_H_

@@ -1,6 +1,8 @@
 #include "src/run/runner.h"
 
 #include <algorithm>
+#include <cmath>
+#include <unordered_map>
 
 #include "src/util/logging.h"
 
@@ -49,7 +51,7 @@ StatusOr<RunResult> ExecuteRun(BlockDevice* device, const PatternSpec& spec) {
   return result;
 }
 
-StatusOr<RunResult> ExecuteParallelRun(BlockDevice* device,
+StatusOr<RunResult> ExecuteParallelRun(AsyncBlockDevice* device,
                                        const PatternSpec& base,
                                        uint32_t degree) {
   if (degree == 0) return Status::InvalidArgument("degree == 0");
@@ -59,6 +61,8 @@ StatusOr<RunResult> ExecuteParallelRun(BlockDevice* device,
   std::vector<PatternGenerator> gens;
   std::vector<uint64_t> ready_us(degree);
   std::vector<uint64_t> remaining(degree);
+  // In-flight processes: ready time unknown until their IO completes.
+  std::vector<bool> in_flight(degree, false);
   // Per-process fractional response-time carry (whole-us clock domain).
   std::vector<double> carry_us(degree, 0);
   uint64_t slice = base.target_size / degree;
@@ -88,38 +92,80 @@ StatusOr<RunResult> ExecuteParallelRun(BlockDevice* device,
   RunResult result;
   result.spec = base;
   result.samples.reserve(per_process * degree);
-  uint64_t submitted = 0;
-  uint64_t max_completion = start_us;
+  // Owner process and request of each queued IO, by token.
+  std::unordered_map<IoToken, std::pair<uint32_t, IoRequest>> queued;
+  double max_completion_us = static_cast<double>(start_us);
+  auto harvest = [&](const std::vector<IoCompletion>& records) {
+    for (const IoCompletion& c : records) {
+      auto it = queued.find(c.token);
+      if (it == queued.end()) continue;  // not ours
+      auto [q, req] = it->second;
+      queued.erase(it);
+      result.samples.push_back(IoSample{0, c.submit_us, c.rt_us, req});
+      // The process submits its next IO when this one completes; the
+      // fractional part of the response time is carried, not dropped.
+      ready_us[q] = c.submit_us + WholeUsWithCarry(c.rt_us, &carry_us[q]);
+      in_flight[q] = false;
+      max_completion_us = std::max(
+          max_completion_us, static_cast<double>(c.submit_us) + c.rt_us);
+    }
+  };
   while (true) {
-    // Next process ready to submit (synchronous IO per process).
+    // Next idle process ready to submit (closed loop per process).
     uint32_t p = UINT32_MAX;
     for (uint32_t q = 0; q < degree; ++q) {
-      if (remaining[q] == 0) continue;
+      if (remaining[q] == 0 || in_flight[q]) continue;
       if (p == UINT32_MAX || ready_us[q] < ready_us[p]) p = q;
     }
-    if (p == UINT32_MAX) break;
+    if (p == UINT32_MAX) {
+      if (queued.empty()) break;
+      harvest(device->PollCompletions());
+      if (!queued.empty()) {
+        // Our devices resolve completions eagerly; a device that does
+        // not cannot drive this runner.
+        return Status::Internal(
+            "async device left queued IOs unresolved");
+      }
+      continue;
+    }
     IoRequest req = gens[p].Next();
     uint64_t t = ready_us[p];
-    StatusOr<double> rt = device->SubmitAt(t, req);
-    if (!rt.ok()) return rt.status();
-    result.samples.push_back(IoSample{submitted++, t, *rt, req});
-    ready_us[p] = t + WholeUsWithCarry(*rt, &carry_us[p]);
-    max_completion = std::max(max_completion, ready_us[p]);
+    StatusOr<IoToken> token = device->Enqueue(t, req);
+    if (!token.ok()) return token.status();
+    queued.emplace(*token, std::make_pair(p, req));
+    in_flight[p] = true;
     --remaining[p];
+    harvest(device->PollCompletions());
   }
   // Samples in submission-time order.
-  std::sort(result.samples.begin(), result.samples.end(),
-            [](const IoSample& a, const IoSample& b) {
-              return a.submit_us < b.submit_us;
-            });
+  std::stable_sort(result.samples.begin(), result.samples.end(),
+                   [](const IoSample& a, const IoSample& b) {
+                     return a.submit_us < b.submit_us;
+                   });
   for (uint64_t i = 0; i < result.samples.size(); ++i) {
     result.samples[i].index = i;
   }
-  // Advance the shared clock past the whole parallel phase.
-  if (auto* c = device->clock(); c->NowUs() < max_completion) {
-    c->SleepUs(max_completion - c->NowUs());
+  // Advance the shared clock past the whole parallel phase; round up so
+  // accumulated fractional carries are never cut short.
+  uint64_t end_us = static_cast<uint64_t>(std::ceil(max_completion_us));
+  if (auto* c = device->clock(); c->NowUs() < end_us) {
+    c->SleepUs(end_us - c->NowUs());
   }
   return result;
+}
+
+StatusOr<RunResult> ExecuteParallelRun(BlockDevice* device,
+                                       const PatternSpec& base,
+                                       uint32_t degree) {
+  if (degree == 0) return Status::InvalidArgument("degree == 0");
+  // Each closed-loop process has at most one IO in flight, but a
+  // fractional response time leaves its rounded-up completion record
+  // nominally in flight for the sub-microsecond remainder after the
+  // process's floor-carried ready time. Depth degree + 1 absorbs that,
+  // so the shim never delays a submission and the inner device's own
+  // serialization produces exactly the legacy interleaving.
+  AsyncShim shim(device, degree + 1);
+  return ExecuteParallelRun(&shim, base, degree);
 }
 
 StatusOr<RunResult> ExecuteMixRun(BlockDevice* device,

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/device/async_device.h"
 #include "src/device/block_device.h"
 #include "src/pattern/pattern.h"
 #include "src/run/run_stats.h"
@@ -47,9 +48,19 @@ StatusOr<RunResult> ExecuteRun(BlockDevice* device, const PatternSpec& spec);
 /// target space (Table 1):
 ///   TargetOffset_p = TargetOffset + p * TargetSize / degree
 ///   TargetSize_p   = TargetSize / degree
-/// The device serializes overlapping IOs; response time includes queue
-/// wait, exactly as on a real synchronous-IO device shared by
-/// processes.
+/// Each process is closed-loop (submits its next IO when its previous
+/// one completes), and all processes share the device's completion
+/// queue. On a multi-queue device (AsyncSimDevice) IOs dispatched to
+/// different channels overlap; response times include queue wait.
+StatusOr<RunResult> ExecuteParallelRun(AsyncBlockDevice* device,
+                                       const PatternSpec& base,
+                                       uint32_t degree);
+
+/// Legacy synchronous entry point: lifts `device` through an AsyncShim
+/// deep enough (degree + 1, see runner.cc) that the shim never delays a
+/// submission, so the device serializes overlapping IOs itself and
+/// response times include queue wait, exactly as on a real
+/// synchronous-IO device shared by processes.
 StatusOr<RunResult> ExecuteParallelRun(BlockDevice* device,
                                        const PatternSpec& base,
                                        uint32_t degree);

@@ -2,10 +2,70 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
 
+#include "src/run/phases.h"
 #include "src/util/units.h"
 
 namespace uflip {
+
+namespace {
+
+Status ValidateReplay(const Trace& trace, const ReplayOptions& options) {
+  UFLIP_RETURN_IF_ERROR(trace.Validate());
+  if (trace.events.empty()) {
+    return Status::InvalidArgument("cannot replay an empty trace");
+  }
+  if (options.timing == ReplayTiming::kScaled && options.time_scale <= 0) {
+    return Status::InvalidArgument("time_scale must be > 0");
+  }
+  return Status::Ok();
+}
+
+/// Synthesizes a spec so RunResult::Stats() (io_ignore) and reports work
+/// as for pattern runs; trace IOs need not share a size or mode, so the
+/// spec describes the trace as a whole rather than a Table 1 pattern.
+void FillSpec(const Trace& trace, const ReplayOptions& options, uint64_t cap,
+              PatternSpec* spec) {
+  spec->label = options.label.empty()
+                    ? (trace.meta.source.empty() ? "trace"
+                                                 : trace.meta.source)
+                    : options.label;
+  spec->io_count = static_cast<uint32_t>(trace.events.size());
+  spec->io_size = trace.events.front().size;
+  spec->mode = trace.events.front().mode;
+  spec->target_size = cap;
+}
+
+/// Resolves the replay offset of event `i` on a device of `cap` bytes.
+StatusOr<uint64_t> ReplayOffset(const Trace& trace, size_t i,
+                                const ReplayOptions& options, uint64_t cap,
+                                uint64_t recorded_cap) {
+  const TraceEvent& e = trace.events[i];
+  if (options.rescale_lba) {
+    return RescaleLba(e.offset, e.size, recorded_cap, cap);
+  }
+  if (e.offset + e.size > cap) {
+    return Status::OutOfRange(
+        "trace event " + std::to_string(i) + " beyond device capacity (" +
+        std::to_string(e.offset + e.size) + " > " + std::to_string(cap) +
+        "); replay with LBA rescaling to fit it");
+  }
+  return e.offset;
+}
+
+/// Applies the explicit or phase-derived (Section 4.2) io_ignore to the
+/// finished result.
+void ResolveIoIgnore(const ReplayOptions& options, RunResult* result) {
+  uint32_t ignore = options.io_ignore;
+  if (ignore == ReplayOptions::kAutoIoIgnore) {
+    ignore = AnalyzePhases(result->ResponseTimes()).startup_ios;
+  }
+  uint32_t count = result->spec.io_count;
+  result->spec.io_ignore = std::min(ignore, count ? count - 1 : 0);
+}
+
+}  // namespace
 
 const char* ReplayTimingName(ReplayTiming t) {
   switch (t) {
@@ -39,13 +99,7 @@ StatusOr<uint64_t> RescaleLba(uint64_t offset, uint32_t size,
 
 StatusOr<RunResult> ExecuteTraceRun(BlockDevice* device, const Trace& trace,
                                     const ReplayOptions& options) {
-  UFLIP_RETURN_IF_ERROR(trace.Validate());
-  if (trace.events.empty()) {
-    return Status::InvalidArgument("cannot replay an empty trace");
-  }
-  if (options.timing == ReplayTiming::kScaled && options.time_scale <= 0) {
-    return Status::InvalidArgument("time_scale must be > 0");
-  }
+  UFLIP_RETURN_IF_ERROR(ValidateReplay(trace, options));
   const uint64_t cap = device->capacity_bytes();
   const uint64_t recorded_cap =
       trace.meta.capacity_bytes ? trace.meta.capacity_bytes : cap;
@@ -53,19 +107,7 @@ StatusOr<RunResult> ExecuteTraceRun(BlockDevice* device, const Trace& trace,
       options.timing == ReplayTiming::kScaled ? options.time_scale : 1.0;
 
   RunResult result;
-  // Synthesize a spec so RunResult::Stats() (io_ignore) and reports work
-  // as for pattern runs; trace IOs need not share a size or mode, so the
-  // spec describes the trace as a whole rather than a Table 1 pattern.
-  result.spec.label = options.label.empty()
-                          ? (trace.meta.source.empty() ? "trace"
-                                                       : trace.meta.source)
-                          : options.label;
-  result.spec.io_count = static_cast<uint32_t>(trace.events.size());
-  result.spec.io_ignore = std::min<uint32_t>(
-      options.io_ignore, result.spec.io_count ? result.spec.io_count - 1 : 0);
-  result.spec.io_size = trace.events.front().size;
-  result.spec.mode = trace.events.front().mode;
-  result.spec.target_size = cap;
+  FillSpec(trace, options, cap, &result.spec);
   result.samples.reserve(trace.events.size());
 
   Clock* clock = device->clock();
@@ -76,17 +118,10 @@ StatusOr<RunResult> ExecuteTraceRun(BlockDevice* device, const Trace& trace,
 
   for (size_t i = 0; i < trace.events.size(); ++i) {
     const TraceEvent& e = trace.events[i];
-    IoRequest req{e.offset, e.size, e.mode};
-    if (options.rescale_lba) {
-      StatusOr<uint64_t> off = RescaleLba(e.offset, e.size, recorded_cap, cap);
-      if (!off.ok()) return off.status();
-      req.offset = *off;
-    } else if (e.offset + e.size > cap) {
-      return Status::OutOfRange(
-          "trace event " + std::to_string(i) + " beyond device capacity (" +
-          std::to_string(e.offset + e.size) + " > " + std::to_string(cap) +
-          "); replay with LBA rescaling to fit it");
-    }
+    StatusOr<uint64_t> off = ReplayOffset(trace, i, options, cap,
+                                          recorded_cap);
+    if (!off.ok()) return off.status();
+    IoRequest req{*off, e.size, e.mode};
 
     uint64_t t;
     if (options.timing == ReplayTiming::kClosedLoop) {
@@ -116,6 +151,85 @@ StatusOr<RunResult> ExecuteTraceRun(BlockDevice* device, const Trace& trace,
   if (clock->NowUs() < end_us) {
     clock->SleepUs(end_us - clock->NowUs());
   }
+  ResolveIoIgnore(options, &result);
+  return result;
+}
+
+StatusOr<RunResult> ExecuteTraceRun(AsyncBlockDevice* device,
+                                    const Trace& trace,
+                                    const ReplayOptions& options) {
+  UFLIP_RETURN_IF_ERROR(ValidateReplay(trace, options));
+  const uint64_t cap = device->capacity_bytes();
+  const uint64_t recorded_cap =
+      trace.meta.capacity_bytes ? trace.meta.capacity_bytes : cap;
+  const double scale =
+      options.timing == ReplayTiming::kScaled ? options.time_scale : 1.0;
+  const bool closed = options.timing == ReplayTiming::kClosedLoop;
+
+  RunResult result;
+  FillSpec(trace, options, cap, &result.spec);
+  result.samples.resize(trace.events.size());
+
+  Clock* clock = device->clock();
+  const uint64_t base_us = clock->NowUs();
+  const uint64_t epoch_us = trace.events.front().submit_us;
+  double max_completion_us = base_us;
+  double carry_us = 0;      // closed-loop fractional response-time carry
+  uint64_t next_us = base_us;  // closed loop: next submission time
+  std::unordered_map<IoToken, size_t> event_of;
+  auto harvest = [&](const std::vector<IoCompletion>& records) {
+    for (const IoCompletion& c : records) {
+      auto it = event_of.find(c.token);
+      if (it == event_of.end()) continue;  // not ours
+      IoSample& s = result.samples[it->second];
+      s.rt_us = c.rt_us;
+      event_of.erase(it);
+      max_completion_us = std::max(
+          max_completion_us, static_cast<double>(c.submit_us) + c.rt_us);
+      if (closed) {
+        next_us = c.submit_us + WholeUsWithCarry(c.rt_us, &carry_us);
+      }
+    }
+  };
+
+  for (size_t i = 0; i < trace.events.size(); ++i) {
+    const TraceEvent& e = trace.events[i];
+    StatusOr<uint64_t> off = ReplayOffset(trace, i, options, cap,
+                                          recorded_cap);
+    if (!off.ok()) return off.status();
+    IoRequest req{*off, e.size, e.mode};
+
+    uint64_t t;
+    if (closed) {
+      t = next_us;
+    } else {
+      uint64_t delta = e.submit_us - epoch_us;
+      t = base_us + static_cast<uint64_t>(static_cast<double>(delta) * scale);
+    }
+    // The clock tracks the submission schedule; completions may still be
+    // in flight behind it.
+    if (t > clock->NowUs()) clock->SleepUs(t - clock->NowUs());
+    t = std::max(t, clock->NowUs());
+
+    StatusOr<IoToken> token = device->Enqueue(t, req);
+    if (!token.ok()) return token.status();
+    event_of.emplace(*token, i);
+    result.samples[i] = IoSample{i, t, 0, req};
+    harvest(device->PollCompletions());
+    if (closed && event_of.count(*token)) {
+      return Status::Internal("async device left a closed-loop IO pending");
+    }
+  }
+  harvest(device->DrainAll());
+  if (!event_of.empty()) {
+    return Status::Internal("async device left queued IOs unresolved");
+  }
+
+  uint64_t end_us = static_cast<uint64_t>(std::ceil(max_completion_us));
+  if (clock->NowUs() < end_us) {
+    clock->SleepUs(end_us - clock->NowUs());
+  }
+  ResolveIoIgnore(options, &result);
   return result;
 }
 

@@ -13,12 +13,19 @@
 //    (which its FTL may spend on background reclamation).
 //  * time-scaled  -- original with every inter-arrival delta multiplied
 //    by `time_scale` (< 1 replays faster, > 1 slower).
+//
+// The AsyncBlockDevice overload is a true open-loop replay: original /
+// scaled timestamps are enqueue times, up to the device's queue_depth
+// IOs stay in flight, and the completion records measure queue wait --
+// on a multi-channel AsyncSimDevice the queued IOs genuinely overlap.
+// The BlockDevice overload serializes at the device as before.
 #ifndef UFLIP_RUN_TRACE_RUN_H_
 #define UFLIP_RUN_TRACE_RUN_H_
 
 #include <cstdint>
 #include <string>
 
+#include "src/device/async_device.h"
 #include "src/device/block_device.h"
 #include "src/run/runner.h"
 #include "src/trace/trace_event.h"
@@ -40,6 +47,9 @@ struct ReplayOptions {
   /// device's capacity fail the replay.
   bool rescale_lba = false;
   /// Start-up IOs excluded from RunResult::Stats() (Section 4.2).
+  /// kAutoIoIgnore derives it from the replayed response times via
+  /// AnalyzePhases when the caller does not pass one explicitly.
+  static constexpr uint32_t kAutoIoIgnore = UINT32_MAX;
   uint32_t io_ignore = 0;
   /// Report label; defaults to the trace's source.
   std::string label;
@@ -56,6 +66,15 @@ StatusOr<uint64_t> RescaleLba(uint64_t offset, uint32_t size,
 /// arbitrary (only inter-arrival deltas are used). The device clock is
 /// left past the completion of the last IO, as with the pattern runners.
 StatusOr<RunResult> ExecuteTraceRun(BlockDevice* device, const Trace& trace,
+                                    const ReplayOptions& options = {});
+
+/// Open-loop replay against a queued device: original / scaled events
+/// are enqueued at their (scaled) recorded timestamps with up to
+/// queue_depth IOs in flight, and each sample's response time comes
+/// from the completion record, so it measures queue wait. Closed-loop
+/// timing drives the queue one IO at a time.
+StatusOr<RunResult> ExecuteTraceRun(AsyncBlockDevice* device,
+                                    const Trace& trace,
                                     const ReplayOptions& options = {});
 
 }  // namespace uflip

@@ -4,26 +4,141 @@
 
 namespace uflip {
 
-RecordingDevice::RecordingDevice(BlockDevice* inner) : inner_(inner) {
-  trace_.meta.source = inner_->name();
-  trace_.meta.capacity_bytes = inner_->capacity_bytes();
+// ---------------------------------------------------------------------
+// TraceCaptureSink
+// ---------------------------------------------------------------------
+
+TraceCaptureSink::TraceCaptureSink(TraceMeta meta) {
+  trace_.meta = std::move(meta);
 }
+
+Status TraceCaptureSink::StreamTo(const std::string& path,
+                                  TraceFormat format) {
+  if (writer_.has_value()) {
+    return Status::FailedPrecondition("already streaming");
+  }
+  StatusOr<TraceWriter> writer = TraceWriter::Open(path, format, trace_.meta);
+  if (!writer.ok()) return writer.status();
+  writer_.emplace(std::move(*writer));
+  write_status_ = Status::Ok();
+  return Status::Ok();
+}
+
+void TraceCaptureSink::Emit(const TraceEvent& event) {
+  ++captured_;
+  if (writer_.has_value()) {
+    Status s = writer_->Append(event);
+    if (!s.ok() && write_status_.ok()) write_status_ = s;
+    return;
+  }
+  trace_.events.push_back(event);
+}
+
+Status TraceCaptureSink::Finish() {
+  if (!writer_.has_value()) return write_status_;
+  Status close = writer_->Close();
+  writer_.reset();
+  if (!write_status_.ok()) return write_status_;
+  return close;
+}
+
+Trace TraceCaptureSink::TakeTrace() {
+  Trace out = std::move(trace_);
+  trace_ = Trace{};
+  trace_.meta = out.meta;
+  return out;
+}
+
+void TraceCaptureSink::Reset() {
+  trace_.events.clear();
+  // Streamed events are already in the file and cannot be dropped;
+  // events_captured() keeps describing the file's content. Buffered
+  // captures restart from zero.
+  if (!writer_.has_value()) captured_ = 0;
+}
+
+Status TraceCaptureSink::WriteTo(const std::string& path,
+                                 TraceFormat format) const {
+  if (writer_.has_value()) {
+    return Status::FailedPrecondition(
+        "streaming capture has no buffered trace to write");
+  }
+  return WriteTrace(path, format, trace_);
+}
+
+// ---------------------------------------------------------------------
+// RecordingDevice
+// ---------------------------------------------------------------------
+
+namespace {
+TraceMeta MetaFor(const std::string& source, uint64_t capacity_bytes) {
+  TraceMeta meta;
+  meta.source = source;
+  meta.capacity_bytes = capacity_bytes;
+  return meta;
+}
+}  // namespace
+
+RecordingDevice::RecordingDevice(BlockDevice* inner)
+    : inner_(inner),
+      sink_(MetaFor(inner->name(), inner->capacity_bytes())) {}
 
 StatusOr<double> RecordingDevice::SubmitAt(uint64_t t_us,
                                            const IoRequest& req) {
   StatusOr<double> rt = inner_->SubmitAt(t_us, req);
   if (rt.ok()) {
-    trace_.events.push_back(
-        TraceEvent{t_us, req.offset, req.size, req.mode, *rt});
+    sink_.Emit(TraceEvent{t_us, req.offset, req.size, req.mode, *rt});
   }
   return rt;
 }
 
-Trace RecordingDevice::TakeTrace() {
-  Trace out = std::move(trace_);
-  trace_ = Trace{};
-  trace_.meta = out.meta;
-  return out;
+// ---------------------------------------------------------------------
+// AsyncRecordingDevice
+// ---------------------------------------------------------------------
+
+AsyncRecordingDevice::AsyncRecordingDevice(AsyncBlockDevice* inner)
+    : inner_(inner),
+      sink_(MetaFor(inner->name(), inner->capacity_bytes())) {}
+
+StatusOr<IoToken> AsyncRecordingDevice::Enqueue(uint64_t t_us,
+                                                const IoRequest& req) {
+  StatusOr<IoToken> token = inner_->Enqueue(t_us, req);
+  if (token.ok()) {
+    window_.push_back(PendingEvent{
+        *token, TraceEvent{t_us, req.offset, req.size, req.mode, 0}, false});
+  }
+  return token;
+}
+
+std::vector<IoCompletion> AsyncRecordingDevice::Capture(
+    std::vector<IoCompletion> records) {
+  for (const IoCompletion& c : records) {
+    for (PendingEvent& p : window_) {
+      if (p.token != c.token) continue;
+      p.event.rt_us = c.rt_us;
+      p.resolved = true;
+      break;
+    }
+  }
+  // Emit in enqueue order so submit times stay nondecreasing.
+  while (!window_.empty() && window_.front().resolved) {
+    sink_.Emit(window_.front().event);
+    window_.pop_front();
+  }
+  return records;
+}
+
+std::vector<IoCompletion> AsyncRecordingDevice::PollCompletions() {
+  return Capture(inner_->PollCompletions());
+}
+
+std::vector<IoCompletion> AsyncRecordingDevice::DrainUntil(uint64_t t_us) {
+  return Capture(inner_->DrainUntil(t_us));
+}
+
+void AsyncRecordingDevice::Reset() {
+  sink_.Reset();
+  window_.clear();
 }
 
 }  // namespace uflip

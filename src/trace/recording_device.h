@@ -1,20 +1,70 @@
-// BlockDevice decorator that captures every IO flowing through it as a
-// TraceEvent (submission time, offset, size, mode, response time). The
+// Device decorators that capture every IO flowing through them as
+// TraceEvents (submission time, offset, size, mode, response time). The
 // device stays a black box (Section 2.3): recording observes the same
 // per-IO measurements the benchmark already takes, so any existing
 // runner or micro-benchmark can be pointed at a RecordingDevice
 // unchanged and its workload captured for later replay.
+//
+// Two capture modes:
+//  * buffered (default): events accumulate in memory; trace() /
+//    WriteTo() expose them.
+//  * streaming: after StreamTo(), each event is appended to a
+//    TraceWriter the moment its response time is known, so multi-GB
+//    captures never hold the whole trace in memory. Finish() closes the
+//    file.
+//
+// AsyncRecordingDevice is the queued-API variant: it captures the
+// Enqueue (submit) timestamp and fills the response time from the
+// completion record, so traces of queued workloads carry submit vs.
+// complete times (queue wait included) and replay open-loop exactly.
 #ifndef UFLIP_TRACE_RECORDING_DEVICE_H_
 #define UFLIP_TRACE_RECORDING_DEVICE_H_
 
+#include <deque>
+#include <optional>
 #include <string>
+#include <vector>
 
+#include "src/device/async_device.h"
 #include "src/device/block_device.h"
 #include "src/trace/trace_event.h"
 #include "src/trace/trace_io.h"
 #include "src/util/status.h"
 
 namespace uflip {
+
+/// Shared capture back-end of the two recording decorators: buffers
+/// events in memory or, once StreamTo() is called, flushes each event
+/// through a TraceWriter incrementally.
+class TraceCaptureSink {
+ public:
+  explicit TraceCaptureSink(TraceMeta meta);
+
+  /// Switches to streaming capture at `path`; events emitted so far stay
+  /// buffered (call before the workload for a pure streaming capture).
+  Status StreamTo(const std::string& path, TraceFormat format);
+
+  /// Records one finished event (buffered or streamed).
+  void Emit(const TraceEvent& event);
+
+  /// Closes the streaming writer (no-op when buffering) and reports the
+  /// first write error, if any.
+  Status Finish();
+
+  bool streaming() const { return writer_.has_value(); }
+  uint64_t events_captured() const { return captured_; }
+
+  const Trace& trace() const { return trace_; }
+  Trace TakeTrace();
+  void Reset();
+  Status WriteTo(const std::string& path, TraceFormat format) const;
+
+ private:
+  Trace trace_;
+  std::optional<TraceWriter> writer_;
+  Status write_status_ = Status::Ok();
+  uint64_t captured_ = 0;
+};
 
 class RecordingDevice : public BlockDevice {
  public:
@@ -28,27 +78,94 @@ class RecordingDevice : public BlockDevice {
   Clock* clock() override { return inner_->clock(); }
   std::string name() const override { return inner_->name() + "+rec"; }
 
-  /// The trace captured so far. Events are in submission-call order,
-  /// which every runner keeps nondecreasing in time.
-  const Trace& trace() const { return trace_; }
+  /// Streams subsequent events to `path` instead of buffering them.
+  Status StreamTo(const std::string& path, TraceFormat format) {
+    return sink_.StreamTo(path, format);
+  }
+  /// Closes the streaming capture; returns the first write error.
+  Status Finish() { return sink_.Finish(); }
+  uint64_t events_captured() const { return sink_.events_captured(); }
+
+  /// The trace captured so far (buffered mode). Events are in
+  /// submission-call order, which every runner keeps nondecreasing in
+  /// time.
+  const Trace& trace() const { return sink_.trace(); }
 
   /// Moves the captured trace out and starts a fresh recording.
-  Trace TakeTrace();
+  Trace TakeTrace() { return sink_.TakeTrace(); }
 
-  /// Drops everything captured so far (e.g. after device preparation,
-  /// so state-enforcement traffic does not pollute the workload trace).
-  void Reset() { trace_.events.clear(); }
+  /// Drops the buffered capture (e.g. after device preparation, so
+  /// state-enforcement traffic does not pollute the workload trace).
+  /// Streamed events are already in the file and stay there: to exclude
+  /// preparation traffic from a streaming capture, call StreamTo()
+  /// after preparing the device instead.
+  void Reset() { sink_.Reset(); }
 
-  /// Writes the captured trace to `path`.
+  /// Writes the buffered trace to `path`.
   Status WriteTo(const std::string& path, TraceFormat format) const {
-    return WriteTrace(path, format, trace_);
+    return sink_.WriteTo(path, format);
   }
 
   BlockDevice* inner() { return inner_; }
 
  private:
   BlockDevice* inner_;
-  Trace trace_;
+  TraceCaptureSink sink_;
+};
+
+/// AsyncBlockDevice decorator: captures the submit timestamp at Enqueue
+/// and the response time from the completion record as it is popped, so
+/// the captured trace reproduces the queued workload (submit times are
+/// the enqueue schedule; rt_us includes queue wait). Events are emitted
+/// in enqueue order, which keeps submit times nondecreasing even when
+/// completions pop out of order.
+class AsyncRecordingDevice : public AsyncBlockDevice {
+ public:
+  /// Wraps `inner` (not owned; must outlive the recorder).
+  explicit AsyncRecordingDevice(AsyncBlockDevice* inner);
+
+  uint64_t capacity_bytes() const override {
+    return inner_->capacity_bytes();
+  }
+  uint32_t queue_depth() const override { return inner_->queue_depth(); }
+  StatusOr<IoToken> Enqueue(uint64_t t_us, const IoRequest& req) override;
+  std::vector<IoCompletion> PollCompletions() override;
+  std::vector<IoCompletion> DrainUntil(uint64_t t_us) override;
+  size_t pending() const override { return inner_->pending(); }
+  Clock* clock() override { return inner_->clock(); }
+  std::string name() const override { return inner_->name() + "+rec"; }
+
+  Status StreamTo(const std::string& path, TraceFormat format) {
+    return sink_.StreamTo(path, format);
+  }
+  Status Finish() { return sink_.Finish(); }
+  uint64_t events_captured() const { return sink_.events_captured(); }
+
+  const Trace& trace() const { return sink_.trace(); }
+  Trace TakeTrace() { return sink_.TakeTrace(); }
+  /// Drops buffered events and forgets IOs still in flight (their
+  /// completions will not be captured).
+  void Reset();
+  Status WriteTo(const std::string& path, TraceFormat format) const {
+    return sink_.WriteTo(path, format);
+  }
+
+  AsyncBlockDevice* inner() { return inner_; }
+
+ private:
+  struct PendingEvent {
+    IoToken token = 0;
+    TraceEvent event;
+    bool resolved = false;
+  };
+
+  /// Fills response times from `records` and emits the resolved prefix
+  /// of the enqueue-ordered window.
+  std::vector<IoCompletion> Capture(std::vector<IoCompletion> records);
+
+  AsyncBlockDevice* inner_;
+  TraceCaptureSink sink_;
+  std::deque<PendingEvent> window_;
 };
 
 }  // namespace uflip

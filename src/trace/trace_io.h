@@ -36,9 +36,8 @@ const char* TraceFormatName(TraceFormat f);
 TraceFormat FormatForPath(const std::string& path);
 
 /// Streams events to a trace file one at a time (WriteTrace() below is
-/// the whole-trace convenience wrapper). Note that RecordingDevice
-/// currently buffers its capture in memory and writes at the end; see
-/// ROADMAP for the streaming-capture follow-on.
+/// the whole-trace convenience wrapper; RecordingDevice::StreamTo
+/// flushes a live capture through one of these incrementally).
 class TraceWriter {
  public:
   /// Opens `path` for writing (truncating) and emits the header.

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "src/device/mem_device.h"
+#include "src/run/phases.h"
 #include "src/run/trace_run.h"
 #include "src/trace/recording_device.h"
 #include "src/trace/synthetic.h"
@@ -482,6 +483,88 @@ TEST(SyntheticTraceTest, ConfigValidation) {
   m.io_size = 1 << 20;
   m.capacity_bytes = 16ULL << 20;  // slice < one IO
   EXPECT_FALSE(GenerateMultiStreamTrace(m).ok());
+}
+
+// ---------------------------------------------------------------------
+// Streaming capture
+// ---------------------------------------------------------------------
+
+TEST(StreamingCaptureTest, StreamedFileMatchesBufferedWrite) {
+  // The same workload captured twice -- once buffered and written at
+  // the end, once flushed through a TraceWriter event by event -- must
+  // produce byte-identical files in both formats.
+  for (TraceFormat format : {TraceFormat::kCsv, TraceFormat::kBinary}) {
+    std::string ext = format == TraceFormat::kCsv ? ".csv" : ".utr";
+    std::string buffered_path = TempPath("cap_buf" + ext);
+    std::string streamed_path = TempPath("cap_stream" + ext);
+
+    PatternSpec spec = PatternSpec::RandomWrite(4096, 0, 8 << 20);
+    spec.io_count = 64;
+
+    auto dev1 = Mem();
+    RecordingDevice buffered(dev1.get());
+    ASSERT_TRUE(ExecuteRun(&buffered, spec).ok());
+    ASSERT_TRUE(buffered.WriteTo(buffered_path, format).ok());
+
+    auto dev2 = Mem();
+    RecordingDevice streamed(dev2.get());
+    ASSERT_TRUE(streamed.StreamTo(streamed_path, format).ok());
+    ASSERT_TRUE(ExecuteRun(&streamed, spec).ok());
+    ASSERT_TRUE(streamed.Finish().ok());
+
+    EXPECT_TRUE(streamed.trace().events.empty())
+        << "streaming capture must not buffer events";
+    EXPECT_EQ(streamed.events_captured(), 64u);
+    EXPECT_EQ(Slurp(buffered_path), Slurp(streamed_path)) << ext;
+  }
+}
+
+TEST(StreamingCaptureTest, WriteToIsRejectedWhileStreaming) {
+  auto dev = Mem();
+  RecordingDevice rec(dev.get());
+  ASSERT_TRUE(rec.StreamTo(TempPath("cap_reject.csv"),
+                           TraceFormat::kCsv).ok());
+  EXPECT_FALSE(rec.WriteTo(TempPath("cap_other.csv"),
+                           TraceFormat::kCsv).ok());
+  EXPECT_FALSE(rec.StreamTo(TempPath("cap_again.csv"),
+                            TraceFormat::kCsv).ok());
+  EXPECT_TRUE(rec.Finish().ok());
+}
+
+// ---------------------------------------------------------------------
+// Phase-aware replay statistics
+// ---------------------------------------------------------------------
+
+TEST(TraceRunTest, AutoIoIgnoreDerivesFromReplayedPhases) {
+  ZipfianTraceConfig cfg;
+  cfg.capacity_bytes = 8ULL << 20;
+  cfg.io_count = 128;
+  auto trace = GenerateZipfianTrace(cfg);
+  ASSERT_TRUE(trace.ok());
+  auto dev = Mem(8ULL << 20);
+  ReplayOptions opts;
+  opts.io_ignore = ReplayOptions::kAutoIoIgnore;
+  auto run = ExecuteTraceRun(dev.get(), *trace, opts);
+  ASSERT_TRUE(run.ok()) << run.status();
+  // The derived io_ignore is exactly what AnalyzePhases reports for the
+  // replayed response times (flat on the analytic device -> 0).
+  EXPECT_EQ(run->spec.io_ignore,
+            AnalyzePhases(run->ResponseTimes()).startup_ios);
+}
+
+TEST(TraceRunTest, ExplicitIoIgnoreIsNotOverridden) {
+  ZipfianTraceConfig cfg;
+  cfg.capacity_bytes = 8ULL << 20;
+  cfg.io_count = 64;
+  auto trace = GenerateZipfianTrace(cfg);
+  ASSERT_TRUE(trace.ok());
+  auto dev = Mem(8ULL << 20);
+  ReplayOptions opts;
+  opts.io_ignore = 5;
+  auto run = ExecuteTraceRun(dev.get(), *trace, opts);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(run->spec.io_ignore, 5u);
+  EXPECT_EQ(run->Stats().count, 59u);
 }
 
 }  // namespace
