@@ -47,6 +47,10 @@ class Flags {
   }
 
   bool GetBool(const std::string& key, bool def) const {
+    // A bare "--key" (no value) is an enabled switch.
+    for (const auto& a : args_) {
+      if (a == "--" + key) return true;
+    }
     std::string v = GetString(key, def ? "true" : "false");
     return v == "true" || v == "1";
   }
@@ -55,26 +59,25 @@ class Flags {
   std::vector<std::string> args_;
 };
 
-/// Creates a simulated device for `profile_id` and enforces the random
-/// initial state (Section 4.1). capacity 0 = profile default;
+/// Creates a simulated device from a full profile and enforces the
+/// random initial state (Section 4.1). capacity 0 = profile default;
 /// channels_override > 0 re-stripes the flash array over that many
 /// channels (for multi-queue experiments; the Table 2 profiles fold
-/// parallelism into page timings and use one channel).
+/// parallelism into page timings and use one channel). The profile
+/// overload lets sweeps (ftl_compare) prepare ad-hoc variants -- e.g.
+/// the same geometry under a different FTL -- through the exact
+/// preparation every stock device gets.
 inline std::unique_ptr<SimDevice> MakeDeviceWithState(
-    const std::string& profile_id, uint64_t capacity = 0,
-    bool verbose = true, uint32_t channels_override = 0) {
-  auto profile = ProfileById(profile_id);
-  if (!profile.ok()) {
-    std::fprintf(stderr, "unknown device '%s'\n", profile_id.c_str());
-    std::exit(2);
-  }
-  if (channels_override > 0) profile->channels = channels_override;
-  auto dev = CreateSimDevice(*profile, nullptr, capacity);
+    DeviceProfile profile, uint64_t capacity = 0, bool verbose = true,
+    uint32_t channels_override = 0) {
+  if (channels_override > 0) profile.channels = channels_override;
+  auto dev = CreateSimDevice(profile, nullptr, capacity);
   if (!dev.ok()) {
     std::fprintf(stderr, "device creation failed: %s\n",
                  dev.status().ToString().c_str());
     std::exit(2);
   }
+  const std::string& profile_id = profile.id;
   if (verbose) {
     std::fprintf(stderr, "[%s] enforcing random device state (%s)...\n",
                  profile_id.c_str(),
@@ -124,6 +127,19 @@ inline std::unique_ptr<SimDevice> MakeDeviceWithState(
     (*dev)->virtual_clock()->SleepUs(5000000);
   }
   return std::move(*dev);
+}
+
+/// Looks up `profile_id` and prepares it as above.
+inline std::unique_ptr<SimDevice> MakeDeviceWithState(
+    const std::string& profile_id, uint64_t capacity = 0,
+    bool verbose = true, uint32_t channels_override = 0) {
+  auto profile = ProfileById(profile_id);
+  if (!profile.ok()) {
+    std::fprintf(stderr, "unknown device '%s'\n", profile_id.c_str());
+    std::exit(2);
+  }
+  return MakeDeviceWithState(std::move(*profile), capacity, verbose,
+                             channels_override);
 }
 
 /// Simulated inter-run pause (lets asynchronous GC drain, Section 4.3).

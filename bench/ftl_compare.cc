@@ -1,0 +1,287 @@
+// Trace-driven device / FTL comparison sweep: replays ONE workload --
+// a recorded trace file or a synthetic generator stream -- across every
+// Table 2 device profile, and across the three FTL architectures
+// (page-mapping, BAST, FAST) mounted on one fixed geometry/controller,
+// then prints a Table 3-style comparison. This is the missing second
+// half of the benchmark methodology: Section 2's point is that the same
+// IO pattern behaves wildly differently across devices, and a recorded
+// workload is the most honest pattern there is.
+//
+//   ftl_compare --trace=sweep.csv[.gz]            # recorded workload
+//   ftl_compare --kind=oltp --io_count=2048       # synthetic workload
+//     [--profiles=representative|all|id,id,...]   # device sweep rows
+//     [--ftl_base=mtron]                          # FTL sweep geometry
+//     [--sweep=devices|ftls|both]
+//     [--timing=closed|original|scaled] [--scale=1.0]
+//     [--queue_depth=0] [--channels=0]
+//     [--io_ignore=N]      # default: phase-derived per cell
+//     [--stream]           # re-stream the trace file per cell (O(1)
+//                          # memory; stats-only, needs --io_ignore)
+//     [--capacity_mb/--io_size/--theta/... generator flags]
+//
+// Every cell prepares a fresh device (random state enforcement +
+// settling, Section 4.1), replays the identical event stream with LBA
+// rescaling onto that device's capacity, and reports running-phase
+// statistics plus throughput. "x" columns are factors relative to the
+// best mean in the sweep.
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/trace_flags.h"
+#include "src/device/async_sim_device.h"
+#include "src/run/trace_run.h"
+#include "src/trace/trace_io.h"
+#include "src/util/units.h"
+
+namespace uflip {
+namespace bench {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: ftl_compare [--trace=path | --kind=...] [--flags]\n"
+               "  (see the header of bench/ftl_compare.cc)\n");
+  return 2;
+}
+
+struct SweepRow {
+  std::string label;
+  std::string ftl;
+  RunStats running;
+  uint64_t ios = 0;
+  uint64_t makespan_us = 0;
+};
+
+struct SweepConfig {
+  std::string trace_path;  // empty = synthetic
+  bool stream = false;     // re-stream the file per cell, stats-only
+  /// Trace file parsed once up front (materialized mode); every cell
+  /// iterates it through its own TraceView.
+  Trace materialized;
+  ReplayOptions replay;
+  uint32_t queue_depth = 0;
+  uint32_t channels = 0;
+};
+
+/// Replays the workload once on a freshly prepared device built from
+/// `profile`; false on failure (already reported).
+bool RunCell(const Flags& flags, const SweepConfig& cfg,
+             const DeviceProfile& profile, SweepRow* row) {
+  auto dev = MakeDeviceWithState(profile, 0, false, cfg.channels);
+  InterRunPause(dev.get());
+
+  // One identical event stream per cell: rewind the materialized trace,
+  // reopen the file (--stream) or re-seed the generator, so every
+  // device sees the same workload from event 0.
+  std::unique_ptr<EventSource> source;
+  if (cfg.trace_path.empty()) {
+    auto synth = SyntheticSourceFromFlags(flags);
+    if (!synth.ok()) {
+      std::fprintf(stderr, "%s\n", synth.status().ToString().c_str());
+      return false;
+    }
+    source = std::move(*synth);
+  } else if (cfg.stream) {
+    auto reader = TraceReader::Open(cfg.trace_path);
+    if (!reader.ok()) {
+      std::fprintf(stderr, "trace open failed: %s\n",
+                   reader.status().ToString().c_str());
+      return false;
+    }
+    source = std::make_unique<TraceReader>(std::move(*reader));
+  } else {
+    source = std::make_unique<TraceView>(&cfg.materialized);
+  }
+
+  uint64_t start_us = dev->clock()->NowUs();
+  StatusOr<RunResult> run = Status::InvalidArgument("unreachable");
+  std::unique_ptr<AsyncSimDevice> async;
+  if (cfg.queue_depth > 0) {
+    async = std::make_unique<AsyncSimDevice>(std::move(dev),
+                                             cfg.queue_depth);
+    run = ExecuteTraceRun(async.get(), source.get(), cfg.replay);
+  } else {
+    run = ExecuteTraceRun(dev.get(), source.get(), cfg.replay);
+  }
+  if (!run.ok()) {
+    std::fprintf(stderr, "[%s] replay failed: %s\n", profile.id.c_str(),
+                 run.status().ToString().c_str());
+    return false;
+  }
+  Clock* clock = async ? async->clock() : dev->clock();
+  row->running = run->Stats();
+  row->ios = run->streamed_stats_all ? run->streamed_stats_all->count
+                                     : run->samples.size();
+  row->makespan_us = clock->NowUs() - start_us;
+  return true;
+}
+
+void PrintTable(const char* title, const std::vector<SweepRow>& rows) {
+  double best_mean = 0;
+  for (const SweepRow& r : rows) {
+    if (best_mean == 0 || r.running.mean_us < best_mean) {
+      best_mean = r.running.mean_us;
+    }
+  }
+  std::printf("%s\n", title);
+  std::printf("  %-18s %-18s %9s %6s %9s %9s %9s %9s %9s\n", "device",
+              "FTL", "mean ms", "x", "p50 ms", "p95 ms", "p99 ms",
+              "max ms", "IOs/s");
+  for (const SweepRow& r : rows) {
+    double factor = best_mean > 0 ? r.running.mean_us / best_mean : 1.0;
+    double iops = r.makespan_us > 0
+                      ? static_cast<double>(r.ios) * 1e6 /
+                            static_cast<double>(r.makespan_us)
+                      : 0;
+    std::printf(
+        "  %-18s %-18s %9.3f %6.1f %9.3f %9.3f %9.3f %9.3f %9.0f\n",
+        r.label.c_str(), r.ftl.c_str(), UsToMs(r.running.mean_us), factor,
+        UsToMs(r.running.p50_us), UsToMs(r.running.p95_us),
+        UsToMs(r.running.p99_us), UsToMs(r.running.max_us), iops);
+  }
+  std::printf("\n");
+}
+
+std::vector<DeviceProfile> SelectProfiles(const std::string& spec) {
+  if (spec == "all") return AllProfiles();
+  if (spec.empty() || spec == "representative") {
+    return RepresentativeProfiles();
+  }
+  std::vector<DeviceProfile> out;
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t comma = spec.find(',', start);
+    size_t end = comma == std::string::npos ? spec.size() : comma;
+    std::string id = spec.substr(start, end - start);
+    if (!id.empty()) {
+      auto p = ProfileById(id);
+      if (!p.ok()) {
+        std::fprintf(stderr, "unknown device '%s'\n", id.c_str());
+        std::exit(2);
+      }
+      out.push_back(std::move(*p));
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+
+  SweepConfig cfg;
+  cfg.trace_path = flags.GetString("trace", "");
+  cfg.stream = flags.GetBool("stream", false);
+
+  std::string timing = flags.GetString("timing", "closed");
+  if (timing == "closed") {
+    cfg.replay.timing = ReplayTiming::kClosedLoop;
+  } else if (timing == "original") {
+    cfg.replay.timing = ReplayTiming::kOriginal;
+  } else if (timing == "scaled") {
+    cfg.replay.timing = ReplayTiming::kScaled;
+    cfg.replay.time_scale = flags.GetDouble("scale", 1.0);
+  } else {
+    std::fprintf(stderr, "unknown --timing=%s\n", timing.c_str());
+    return Usage();
+  }
+  cfg.replay.rescale_lba = true;
+  int64_t io_ignore = flags.GetInt("io_ignore", -1);
+  cfg.replay.io_ignore = io_ignore < 0
+                             ? ReplayOptions::kAutoIoIgnore
+                             : static_cast<uint32_t>(io_ignore);
+  if (cfg.stream) {
+    if (cfg.trace_path.empty()) {
+      std::fprintf(stderr, "--stream needs --trace=<file>\n");
+      return Usage();
+    }
+    // O(1)-memory cells cannot phase-derive io_ignore.
+    cfg.replay.keep_samples = false;
+    if (io_ignore < 0) cfg.replay.io_ignore = 0;
+  }
+  cfg.queue_depth = static_cast<uint32_t>(flags.GetInt("queue_depth", 0));
+  cfg.channels = static_cast<uint32_t>(flags.GetInt("channels", 0));
+
+  std::string sweep = flags.GetString("sweep", "both");
+  if (sweep != "devices" && sweep != "ftls" && sweep != "both") {
+    std::fprintf(stderr, "unknown --sweep=%s\n", sweep.c_str());
+    return Usage();
+  }
+
+  // Describe the workload once, and in materialized mode parse the
+  // trace file once here rather than per cell.
+  std::string workload = cfg.trace_path;
+  if (workload.empty()) {
+    auto synth = SyntheticSourceFromFlags(flags);
+    if (!synth.ok()) {
+      std::fprintf(stderr, "%s\n", synth.status().ToString().c_str());
+      return 2;
+    }
+    workload = (*synth)->meta().source + " (synthetic)";
+  } else if (!cfg.stream) {
+    auto trace = ReadTrace(cfg.trace_path);
+    if (!trace.ok()) {
+      std::fprintf(stderr, "trace read failed: %s\n",
+                   trace.status().ToString().c_str());
+      return 1;
+    }
+    cfg.materialized = std::move(*trace);
+  }
+  std::printf("Trace-driven comparison: %s\n", workload.c_str());
+  std::printf("  timing=%s%s, queue_depth=%u, LBA-rescaled per device\n\n",
+              ReplayTimingName(cfg.replay.timing),
+              cfg.stream ? ", streamed (stats-only)" : "",
+              cfg.queue_depth);
+
+  if (sweep != "ftls") {
+    std::vector<SweepRow> rows;
+    for (const DeviceProfile& profile :
+         SelectProfiles(flags.GetString("profiles", "representative"))) {
+      SweepRow row;
+      row.label = profile.id;
+      row.ftl = FtlKindName(profile.ftl);
+      if (!RunCell(flags, cfg, profile, &row)) return 1;
+      rows.push_back(std::move(row));
+    }
+    PrintTable("Device sweep (Table 2 profiles, one workload):", rows);
+  }
+
+  if (sweep != "devices") {
+    // Same chip geometry, controller and cache settings; only the FTL
+    // architecture changes.
+    std::string base_id = flags.GetString("ftl_base", "mtron");
+    auto base = ProfileById(base_id);
+    if (!base.ok()) {
+      std::fprintf(stderr, "unknown --ftl_base=%s\n", base_id.c_str());
+      return 2;
+    }
+    std::vector<SweepRow> rows;
+    for (FtlKind kind :
+         {FtlKind::kPageMapping, FtlKind::kBast, FtlKind::kFast}) {
+      DeviceProfile profile = *base;
+      profile.ftl = kind;
+      SweepRow row;
+      row.label = base_id + " geometry";
+      row.ftl = FtlKindName(kind);
+      if (!RunCell(flags, cfg, profile, &row)) return 1;
+      rows.push_back(std::move(row));
+    }
+    PrintTable(
+        ("FTL sweep (fixed geometry/controller: " + base_id + "):").c_str(),
+        rows);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace uflip
+
+int main(int argc, char** argv) {
+  return uflip::bench::Main(argc, argv);
+}

@@ -1,0 +1,69 @@
+// Shared flag plumbing for the trace benches: builds synthetic
+// generator configs / EventSources from --kind=... flags, so
+// trace_tool generate and ftl_compare accept the same workload
+// vocabulary.
+#ifndef UFLIP_BENCH_TRACE_FLAGS_H_
+#define UFLIP_BENCH_TRACE_FLAGS_H_
+
+#include <memory>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/trace/synthetic.h"
+
+namespace uflip {
+namespace bench {
+
+/// Builds the pull-based generator selected by --kind=zipfian|oltp|
+/// multistream from the shared generator flags (--capacity_mb,
+/// --io_size, --io_count, --theta, --write_fraction,
+/// --read_only_fraction, --streams, --gap_us, --seed). An unknown
+/// --kind is InvalidArgument; config errors surface on the source's
+/// first Next().
+inline StatusOr<std::unique_ptr<EventSource>> SyntheticSourceFromFlags(
+    const Flags& flags) {
+  std::string kind = flags.GetString("kind", "zipfian");
+  uint64_t capacity =
+      static_cast<uint64_t>(flags.GetInt("capacity_mb", 64)) << 20;
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  uint64_t gap_us = static_cast<uint64_t>(flags.GetInt("gap_us", 0));
+
+  if (kind == "zipfian") {
+    ZipfianTraceConfig cfg;
+    cfg.capacity_bytes = capacity;
+    cfg.io_size = static_cast<uint32_t>(flags.GetInt("io_size", 4096));
+    cfg.io_count = static_cast<uint32_t>(flags.GetInt("io_count", 4096));
+    cfg.theta = flags.GetDouble("theta", 0.99);
+    cfg.write_fraction = flags.GetDouble("write_fraction", 0.5);
+    cfg.mean_gap_us = gap_us;
+    cfg.seed = seed;
+    return std::unique_ptr<EventSource>(new ZipfianEventSource(cfg));
+  }
+  if (kind == "oltp") {
+    OltpTraceConfig cfg;
+    cfg.capacity_bytes = capacity;
+    cfg.io_size = static_cast<uint32_t>(flags.GetInt("io_size", 8192));
+    cfg.transactions = static_cast<uint32_t>(flags.GetInt("io_count", 2048));
+    cfg.read_only_fraction = flags.GetDouble("read_only_fraction", 0.5);
+    cfg.mean_gap_us = gap_us;
+    cfg.seed = seed;
+    return std::unique_ptr<EventSource>(new OltpEventSource(cfg));
+  }
+  if (kind == "multistream") {
+    MultiStreamTraceConfig cfg;
+    cfg.capacity_bytes = capacity;
+    cfg.io_size = static_cast<uint32_t>(flags.GetInt("io_size", 32 * 1024));
+    cfg.streams = static_cast<uint32_t>(flags.GetInt("streams", 4));
+    cfg.ios_per_stream =
+        static_cast<uint32_t>(flags.GetInt("io_count", 512));
+    cfg.gap_us = gap_us;
+    cfg.seed = seed;
+    return std::unique_ptr<EventSource>(new MultiStreamEventSource(cfg));
+  }
+  return Status::InvalidArgument("unknown --kind=" + kind);
+}
+
+}  // namespace bench
+}  // namespace uflip
+
+#endif  // UFLIP_BENCH_TRACE_FLAGS_H_

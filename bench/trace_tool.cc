@@ -1,18 +1,19 @@
 // Trace tool: record, replay and generate IO workload traces.
 //
-//   trace_tool record   --device=mtron --out=sweep.csv
+//   trace_tool record   --device=mtron --out=sweep.csv[.gz]
 //                       [--mb=granularity | --pattern=SR|RR|SW|RW]
 //                       [--io_size=32768] [--io_count=512] [--io_ignore=64]
-//                       [--format=csv|bin] [--stream=true]
-//   trace_tool replay   --trace=sweep.csv --device=memoright
+//                       [--format=csv|bin|csv.gz|bin.gz] [--stream=true]
+//   trace_tool replay   --trace=sweep.csv[.gz] --device=memoright
 //                       [--timing=closed|original|scaled] [--scale=1.0]
 //                       [--rescale_lba=true] [--io_ignore=N]
 //                       [--queue_depth=8] [--channels=4]
+//                       [--stream-replay]
 //   trace_tool generate --kind=zipfian|oltp|multistream --out=synth.csv
 //                       [--capacity_mb=64] [--io_size=4096] [--io_count=4096]
 //                       [--theta=0.99] [--write_fraction=0.5]
 //                       [--read_only_fraction=0.5] [--streams=4]
-//                       [--gap_us=0] [--seed=1] [--format=csv|bin]
+//                       [--gap_us=0] [--seed=1] [--format=csv|bin|...]
 //
 // A trace recorded on one device profile replays unchanged on any
 // other; --rescale_lba fits a trace recorded on a larger device onto a
@@ -21,12 +22,20 @@
 // --channels re-stripes the profile's array); --io_ignore defaults to
 // phase-derived (AnalyzePhases) when not passed. --stream captures
 // through a TraceWriter incrementally instead of buffering the trace.
+//
+// Everything streams: a ".gz" path (or --format=csv.gz|bin.gz)
+// gzip-frames traces on the way out and is sniffed transparently on the
+// way in; generate pipes the generator straight into the writer; and
+// --stream-replay pulls events off disk as they are submitted and
+// accumulates statistics online, so replaying a multi-GB trace holds
+// O(1) memory (it therefore needs an explicit --io_ignore; default 0).
 #include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "bench/bench_util.h"
+#include "bench/trace_flags.h"
 #include "src/core/microbench.h"
 #include "src/device/async_sim_device.h"
 #include "src/run/trace_run.h"
@@ -48,9 +57,23 @@ int Usage() {
 
 TraceFormat FormatFromFlags(const Flags& flags, const std::string& out) {
   std::string f = flags.GetString("format", "");
-  if (f == "csv") return TraceFormat::kCsv;
-  if (f == "bin" || f == "binary") return TraceFormat::kBinary;
+  if (f == "csv" || f == "csv.gz") return TraceFormat::kCsv;
+  if (f == "bin" || f == "binary" || f == "bin.gz") return TraceFormat::kBinary;
   return FormatForPath(out);
+}
+
+TraceCompression CompressionFromFlags(const Flags& flags,
+                                      const std::string& out) {
+  std::string f = flags.GetString("format", "");
+  if (f == "csv.gz" || f == "bin.gz") return TraceCompression::kGzip;
+  return CompressionForPath(out);
+}
+
+const char* FramingName(TraceFormat format, TraceCompression compression) {
+  if (compression == TraceCompression::kGzip) {
+    return format == TraceFormat::kCsv ? "csv+gzip" : "binary+gzip";
+  }
+  return TraceFormatName(format);
 }
 
 void PrintStats(const RunResult& run, const std::string& title) {
@@ -84,13 +107,14 @@ int Record(const Flags& flags) {
   std::string out = flags.GetString("out", "trace.csv");
   bool stream = flags.GetBool("stream", false);
   TraceFormat format = FormatFromFlags(flags, out);
+  TraceCompression compression = CompressionFromFlags(flags, out);
   auto dev = MakeDeviceWithState(id);
   InterRunPause(dev.get());
 
   // Wrap after preparation so the trace holds only the workload.
   RecordingDevice rec(dev.get());
   if (stream) {
-    Status s = rec.StreamTo(out, format);
+    Status s = rec.StreamTo(out, format, compression);
     if (!s.ok()) {
       std::fprintf(stderr, "streaming capture failed to open: %s\n",
                    s.ToString().c_str());
@@ -144,10 +168,11 @@ int Record(const Flags& flags) {
     }
     std::printf("streamed %llu IOs from %s -> %s [%s]\n",
                 static_cast<unsigned long long>(rec.events_captured()),
-                dev->name().c_str(), out.c_str(), TraceFormatName(format));
+                dev->name().c_str(), out.c_str(),
+                FramingName(format, compression));
     return 0;
   }
-  Status s = rec.WriteTo(out, format);
+  Status s = rec.WriteTo(out, format, compression);
   if (!s.ok()) {
     std::fprintf(stderr, "trace write failed: %s\n", s.ToString().c_str());
     return 1;
@@ -155,19 +180,15 @@ int Record(const Flags& flags) {
   const Trace& t = rec.trace();
   std::printf("recorded %zu IOs (%.3fs of device time) from %s -> %s [%s]\n",
               t.events.size(), t.SpanUs() / 1e6, dev->name().c_str(),
-              out.c_str(), TraceFormatName(format));
+              out.c_str(), FramingName(format, compression));
   return 0;
 }
 
 int Replay(const Flags& flags) {
   std::string path = flags.GetString("trace", "");
   if (path.empty()) return Usage();
-  auto trace = ReadTrace(path);
-  if (!trace.ok()) {
-    std::fprintf(stderr, "trace read failed: %s\n",
-                 trace.status().ToString().c_str());
-    return 1;
-  }
+  bool stream_replay = flags.GetBool("stream-replay", false) ||
+                       flags.GetBool("stream_replay", false);
 
   // Validate flags before the (expensive) device preparation.
   ReplayOptions opts;
@@ -185,13 +206,46 @@ int Replay(const Flags& flags) {
   }
   opts.rescale_lba = flags.GetBool("rescale_lba", false);
   // io_ignore defaults to phase-derived (AnalyzePhases over the replayed
-  // response times) when the flag is not passed.
+  // response times) when the flag is not passed -- except under
+  // --stream-replay, where the series is not retained (default 0).
   int64_t io_ignore = flags.GetInt("io_ignore", -1);
   opts.io_ignore = io_ignore < 0 ? ReplayOptions::kAutoIoIgnore
                                  : static_cast<uint32_t>(io_ignore);
+  if (stream_replay) {
+    opts.keep_samples = false;
+    if (io_ignore < 0) opts.io_ignore = 0;
+  }
   uint32_t queue_depth =
       static_cast<uint32_t>(flags.GetInt("queue_depth", 0));
   uint32_t channels = static_cast<uint32_t>(flags.GetInt("channels", 0));
+
+  // Streaming replay pulls events straight off the TraceReader as the
+  // device consumes them; the materialized path reads the whole trace
+  // up front. Either way the trace's meta is known before replay.
+  Trace trace;
+  std::unique_ptr<TraceReader> reader;
+  EventSource* source = nullptr;
+  TraceView view(&trace);
+  if (stream_replay) {
+    auto r = TraceReader::Open(path);
+    if (!r.ok()) {
+      std::fprintf(stderr, "trace open failed: %s\n",
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    reader = std::make_unique<TraceReader>(std::move(*r));
+    source = reader.get();
+  } else {
+    auto t = ReadTrace(path);
+    if (!t.ok()) {
+      std::fprintf(stderr, "trace read failed: %s\n",
+                   t.status().ToString().c_str());
+      return 1;
+    }
+    trace = std::move(*t);
+    source = &view;
+  }
+  TraceMeta meta = source->meta();
 
   std::string id = flags.GetString("device", "mtron");
   auto dev = MakeDeviceWithState(id, 0, true, channels);
@@ -207,9 +261,9 @@ int Replay(const Flags& flags) {
     // queue_depth IOs in flight, overlapping across flash channels.
     async = std::make_unique<AsyncSimDevice>(std::move(dev), queue_depth);
     dev_name = async->name();
-    run = ExecuteTraceRun(async.get(), *trace, opts);
+    run = ExecuteTraceRun(async.get(), source, opts);
   } else {
-    run = ExecuteTraceRun(dev.get(), *trace, opts);
+    run = ExecuteTraceRun(dev.get(), source, opts);
   }
   if (!run.ok()) {
     std::fprintf(stderr, "replay failed: %s\n",
@@ -218,16 +272,21 @@ int Replay(const Flags& flags) {
   }
   uint64_t makespan_us =
       (async ? async->clock() : dev->clock())->NowUs() - replay_start_us;
-  std::printf("replayed %zu IOs of '%s' (recorded on %s) on %s, %s timing",
-              run->samples.size(), path.c_str(),
-              trace->meta.source.c_str(), dev_name.c_str(),
+  uint64_t replayed = run->streamed_stats_all ? run->streamed_stats_all->count
+                                              : run->samples.size();
+  std::printf("replayed %llu IOs of '%s' (recorded on %s) on %s, %s timing",
+              static_cast<unsigned long long>(replayed), path.c_str(),
+              meta.source.c_str(), dev_name.c_str(),
               ReplayTimingName(opts.timing));
   if (opts.timing == ReplayTiming::kScaled) {
     std::printf(" (x%.2f)", opts.time_scale);
   }
+  if (stream_replay) {
+    std::printf(", streamed (O(1) memory, stats-only)");
+  }
   if (opts.rescale_lba) {
     std::printf(", LBAs rescaled %s -> %s",
-                FormatSize(trace->meta.capacity_bytes).c_str(),
+                FormatSize(meta.capacity_bytes).c_str(),
                 FormatSize(dev_capacity).c_str());
   }
   if (queue_depth > 0) {
@@ -244,62 +303,61 @@ int Replay(const Flags& flags) {
 }
 
 int Generate(const Flags& flags) {
-  std::string kind = flags.GetString("kind", "zipfian");
   std::string out = flags.GetString("out", "synth.csv");
-  uint64_t capacity =
-      static_cast<uint64_t>(flags.GetInt("capacity_mb", 64)) << 20;
-  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
-
-  StatusOr<Trace> trace = Status::InvalidArgument("unreachable");
-  if (kind == "zipfian") {
-    ZipfianTraceConfig cfg;
-    cfg.capacity_bytes = capacity;
-    cfg.io_size = static_cast<uint32_t>(flags.GetInt("io_size", 4096));
-    cfg.io_count = static_cast<uint32_t>(flags.GetInt("io_count", 4096));
-    cfg.theta = flags.GetDouble("theta", 0.99);
-    cfg.write_fraction = flags.GetDouble("write_fraction", 0.5);
-    cfg.mean_gap_us = static_cast<uint64_t>(flags.GetInt("gap_us", 0));
-    cfg.seed = seed;
-    trace = GenerateZipfianTrace(cfg);
-  } else if (kind == "oltp") {
-    OltpTraceConfig cfg;
-    cfg.capacity_bytes = capacity;
-    cfg.io_size = static_cast<uint32_t>(flags.GetInt("io_size", 8192));
-    cfg.transactions = static_cast<uint32_t>(flags.GetInt("io_count", 2048));
-    cfg.read_only_fraction = flags.GetDouble("read_only_fraction", 0.5);
-    cfg.mean_gap_us = static_cast<uint64_t>(flags.GetInt("gap_us", 0));
-    cfg.seed = seed;
-    trace = GenerateOltpTrace(cfg);
-  } else if (kind == "multistream") {
-    MultiStreamTraceConfig cfg;
-    cfg.capacity_bytes = capacity;
-    cfg.io_size = static_cast<uint32_t>(flags.GetInt("io_size", 32 * 1024));
-    cfg.streams = static_cast<uint32_t>(flags.GetInt("streams", 4));
-    cfg.ios_per_stream =
-        static_cast<uint32_t>(flags.GetInt("io_count", 512));
-    cfg.gap_us = static_cast<uint64_t>(flags.GetInt("gap_us", 0));
-    cfg.seed = seed;
-    trace = GenerateMultiStreamTrace(cfg);
-  } else {
-    std::fprintf(stderr, "unknown --kind=%s\n", kind.c_str());
+  auto source = SyntheticSourceFromFlags(flags);
+  if (!source.ok()) {
+    std::fprintf(stderr, "%s\n", source.status().ToString().c_str());
     return 2;
   }
-  if (!trace.ok()) {
+  // Generator configs surface their validation errors on the first
+  // Next(): pull it before opening (truncating!) the output file, so a
+  // bad flag cannot destroy an existing trace.
+  TraceEvent first;
+  auto has_first = (*source)->Next(&first);
+  if (!has_first.ok()) {
     std::fprintf(stderr, "generation failed: %s\n",
-                 trace.status().ToString().c_str());
-    return 1;
+                 has_first.status().ToString().c_str());
+    return 2;
   }
 
+  // Generator -> writer, event by event: generating a billion-IO trace
+  // holds one event in memory.
   TraceFormat format = FormatFromFlags(flags, out);
-  Status s = WriteTrace(out, format, *trace);
+  TraceCompression compression = CompressionFromFlags(flags, out);
+  auto writer =
+      TraceWriter::Open(out, format, (*source)->meta(), compression);
+  if (!writer.ok()) {
+    std::fprintf(stderr, "trace write failed: %s\n",
+                 writer.status().ToString().c_str());
+    return 1;
+  }
+  TraceEvent e = first;
+  bool have_event = *has_first;
+  while (have_event) {
+    Status s = writer->Append(e);
+    if (!s.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    auto more = (*source)->Next(&e);
+    if (!more.ok()) {
+      std::fprintf(stderr, "generation failed: %s\n",
+                   more.status().ToString().c_str());
+      return 1;
+    }
+    have_event = *more;
+  }
+  uint64_t written = writer->events_written();
+  Status s = writer->Close();
   if (!s.ok()) {
     std::fprintf(stderr, "trace write failed: %s\n", s.ToString().c_str());
     return 1;
   }
-  std::printf("generated %zu-IO %s trace over %s -> %s [%s]\n",
-              trace->events.size(), trace->meta.source.c_str(),
-              FormatSize(capacity).c_str(), out.c_str(),
-              TraceFormatName(format));
+  std::printf("generated %llu-IO %s trace over %s -> %s [%s]\n",
+              static_cast<unsigned long long>(written),
+              (*source)->meta().source.c_str(),
+              FormatSize((*source)->meta().capacity_bytes).c_str(),
+              out.c_str(), FramingName(format, compression));
   return 0;
 }
 

@@ -36,6 +36,67 @@ RunStats RunStats::Compute(const std::vector<double>& samples_us,
   return s;
 }
 
+size_t StreamingStats::BucketOf(double rt_us) const {
+  if (!(rt_us > kMinRtUs)) return 0;  // also catches NaN / negatives
+  double b = 1.0 + std::log(rt_us / kMinRtUs) / std::log(kGrowth);
+  if (b >= static_cast<double>(kBuckets - 1)) return kBuckets - 1;
+  return static_cast<size_t>(b);
+}
+
+double StreamingStats::BucketValue(size_t bucket) const {
+  if (bucket == 0) return kMinRtUs;
+  // Geometric midpoint of the bucket's bounds: relative error is at
+  // most half a growth step (~0.5%).
+  return kMinRtUs * std::pow(kGrowth, static_cast<double>(bucket) - 0.5);
+}
+
+void StreamingStats::Add(double rt_us) {
+  if (count_ == 0) {
+    min_us_ = rt_us;
+    max_us_ = rt_us;
+  } else {
+    min_us_ = std::min(min_us_, rt_us);
+    max_us_ = std::max(max_us_, rt_us);
+  }
+  ++count_;
+  sum_us_ += rt_us;
+  sum2_us_ += rt_us * rt_us;
+  ++hist_[BucketOf(rt_us)];
+}
+
+RunStats StreamingStats::ToRunStats() const {
+  RunStats s;
+  if (count_ == 0) return s;
+  s.count = count_;
+  s.min_us = min_us_;
+  s.max_us = max_us_;
+  s.sum_us = sum_us_;
+  s.mean_us = sum_us_ / static_cast<double>(count_);
+  double var =
+      sum2_us_ / static_cast<double>(count_) - s.mean_us * s.mean_us;
+  s.stddev_us = var > 0 ? std::sqrt(var) : 0.0;
+  // The same order statistic RunStats::Compute takes (index
+  // floor(p * (n-1)) of the sorted series), located in the histogram
+  // and mapped back to the bucket's midpoint, clamped to the exact
+  // observed range.
+  auto pct = [this](double p) {
+    uint64_t target =
+        static_cast<uint64_t>(p * static_cast<double>(count_ - 1));
+    uint64_t seen = 0;
+    for (size_t b = 0; b < kBuckets; ++b) {
+      seen += hist_[b];
+      if (seen > target) {
+        return std::min(std::max(BucketValue(b), min_us_), max_us_);
+      }
+    }
+    return max_us_;
+  };
+  s.p50_us = pct(0.50);
+  s.p95_us = pct(0.95);
+  s.p99_us = pct(0.99);
+  return s;
+}
+
 std::string RunStats::ToString() const {
   char buf[192];
   std::snprintf(buf, sizeof(buf),

@@ -4,6 +4,7 @@
 #ifndef UFLIP_RUN_RUN_STATS_H_
 #define UFLIP_RUN_RUN_STATS_H_
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -27,6 +28,41 @@ struct RunStats {
   /// `first` (start-up) samples ignored.
   static RunStats Compute(const std::vector<double>& samples_us,
                           size_t first = 0);
+};
+
+/// One-pass statistics accumulator with O(1) memory, for replays of
+/// traces too long to retain per-IO samples. count / min / max / mean /
+/// stddev / sum match RunStats::Compute over the same values exactly
+/// (same arithmetic); the percentiles come from a fixed-size
+/// logarithmic histogram (~1% bucket growth), so they carry a bounded
+/// relative error of about half a bucket instead of being exact order
+/// statistics.
+class StreamingStats {
+ public:
+  void Add(double rt_us);
+
+  uint64_t count() const { return count_; }
+
+  /// The accumulated statistics in RunStats form.
+  RunStats ToRunStats() const;
+
+ private:
+  // Log-spaced response-time histogram: bucket 0 holds everything up to
+  // kMinRtUs, later buckets grow by kGrowth per step. 4096 buckets
+  // reach ~5e14 us, far past any plausible response time.
+  static constexpr double kMinRtUs = 1e-3;
+  static constexpr double kGrowth = 1.01;
+  static constexpr size_t kBuckets = 4096;
+
+  size_t BucketOf(double rt_us) const;
+  double BucketValue(size_t bucket) const;
+
+  uint64_t count_ = 0;
+  double min_us_ = 0;
+  double max_us_ = 0;
+  double sum_us_ = 0;
+  double sum2_us_ = 0;
+  std::array<uint64_t, kBuckets> hist_ = {};
 };
 
 }  // namespace uflip

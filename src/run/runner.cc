@@ -16,10 +16,12 @@ std::vector<double> RunResult::ResponseTimes() const {
 }
 
 RunStats RunResult::Stats() const {
+  if (streamed_stats) return *streamed_stats;
   return RunStats::Compute(ResponseTimes(), spec.io_ignore);
 }
 
 RunStats RunResult::StatsIncludingStartup() const {
+  if (streamed_stats_all) return *streamed_stats_all;
   return RunStats::Compute(ResponseTimes(), 0);
 }
 

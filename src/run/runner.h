@@ -6,6 +6,7 @@
 #define UFLIP_RUN_RUNNER_H_
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "src/device/async_device.h"
@@ -28,6 +29,14 @@ struct IoSample {
 struct RunResult {
   PatternSpec spec;
   std::vector<IoSample> samples;
+
+  /// Filled instead of `samples` by stats-only streaming trace replay
+  /// (ReplayOptions::keep_samples = false): statistics accumulated
+  /// online with O(1) memory. When set, Stats() /
+  /// StatsIncludingStartup() return these; count/min/max/mean/stddev
+  /// are exact, percentiles are log-histogram estimates.
+  std::optional<RunStats> streamed_stats;
+  std::optional<RunStats> streamed_stats_all;
 
   /// Response times only, in submission order.
   std::vector<double> ResponseTimes() const;

@@ -11,37 +11,84 @@ namespace uflip {
 
 namespace {
 
-Status ValidateReplay(const Trace& trace, const ReplayOptions& options) {
-  UFLIP_RETURN_IF_ERROR(trace.Validate());
-  if (trace.events.empty()) {
-    return Status::InvalidArgument("cannot replay an empty trace");
-  }
+Status ValidateOptions(const ReplayOptions& options) {
   if (options.timing == ReplayTiming::kScaled && options.time_scale <= 0) {
     return Status::InvalidArgument("time_scale must be > 0");
+  }
+  if (!options.keep_samples &&
+      options.io_ignore == ReplayOptions::kAutoIoIgnore) {
+    return Status::InvalidArgument(
+        "stats-only replay cannot phase-derive io_ignore (the full "
+        "response-time series is not retained); pass an explicit value");
   }
   return Status::Ok();
 }
 
+/// Online per-event validation: the same invariants Trace::Validate()
+/// enforces on a materialized trace, checked as events stream past.
+class EventChecker {
+ public:
+  explicit EventChecker(uint64_t recorded_capacity)
+      : capacity_(recorded_capacity) {}
+
+  Status Check(const TraceEvent& e, uint64_t i) {
+    if (e.size == 0) {
+      return Status::InvalidArgument("trace event " + std::to_string(i) +
+                                     ": zero-sized IO");
+    }
+    if (e.mode != IoMode::kRead && e.mode != IoMode::kWrite) {
+      return Status::InvalidArgument("trace event " + std::to_string(i) +
+                                     ": invalid IO mode");
+    }
+    if (e.rt_us < 0) {
+      return Status::InvalidArgument("trace event " + std::to_string(i) +
+                                     ": negative response time");
+    }
+    if (i > 0 && e.submit_us < prev_submit_us_) {
+      return Status::InvalidArgument(
+          "trace event " + std::to_string(i) +
+          ": submission times not sorted (" + std::to_string(e.submit_us) +
+          " after " + std::to_string(prev_submit_us_) + ")");
+    }
+    prev_submit_us_ = e.submit_us;
+    if (capacity_ > 0 && e.offset + e.size > capacity_) {
+      return Status::OutOfRange(
+          "trace event " + std::to_string(i) + ": [" +
+          std::to_string(e.offset) + ", " +
+          std::to_string(e.offset + e.size) + ") beyond recorded capacity " +
+          std::to_string(capacity_));
+    }
+    return Status::Ok();
+  }
+
+ private:
+  uint64_t capacity_;
+  uint64_t prev_submit_us_ = 0;
+};
+
 /// Synthesizes a spec so RunResult::Stats() (io_ignore) and reports work
 /// as for pattern runs; trace IOs need not share a size or mode, so the
 /// spec describes the trace as a whole rather than a Table 1 pattern.
-void FillSpec(const Trace& trace, const ReplayOptions& options, uint64_t cap,
-              PatternSpec* spec) {
+void FillSpecHeader(const TraceMeta& meta, const ReplayOptions& options,
+                    uint64_t cap, PatternSpec* spec) {
   spec->label = options.label.empty()
-                    ? (trace.meta.source.empty() ? "trace"
-                                                 : trace.meta.source)
+                    ? (meta.source.empty() ? "trace" : meta.source)
                     : options.label;
-  spec->io_count = static_cast<uint32_t>(trace.events.size());
-  spec->io_size = trace.events.front().size;
-  spec->mode = trace.events.front().mode;
   spec->target_size = cap;
 }
 
+/// Bounded sample reservation from a source's size hint (see
+/// kMaxReserveEvents: hints from file headers are unvalidated).
+void ReserveSamples(const EventSource& source, std::vector<IoSample>* out) {
+  if (std::optional<uint64_t> n = source.SizeHint()) {
+    out->reserve(static_cast<size_t>(std::min(*n, kMaxReserveEvents)));
+  }
+}
+
 /// Resolves the replay offset of event `i` on a device of `cap` bytes.
-StatusOr<uint64_t> ReplayOffset(const Trace& trace, size_t i,
+StatusOr<uint64_t> ReplayOffset(const TraceEvent& e, uint64_t i,
                                 const ReplayOptions& options, uint64_t cap,
                                 uint64_t recorded_cap) {
-  const TraceEvent& e = trace.events[i];
   if (options.rescale_lba) {
     return RescaleLba(e.offset, e.size, recorded_cap, cap);
   }
@@ -54,15 +101,47 @@ StatusOr<uint64_t> ReplayOffset(const Trace& trace, size_t i,
   return e.offset;
 }
 
-/// Applies the explicit or phase-derived (Section 4.2) io_ignore to the
-/// finished result.
-void ResolveIoIgnore(const ReplayOptions& options, RunResult* result) {
+/// Stats-only accumulation: online running/start-up statistics plus the
+/// bookkeeping that replicates the materialized path's io_ignore
+/// clamping (ignore >= count degrades to "last sample only").
+struct OnlineStats {
+  StreamingStats all;
+  StreamingStats running;
+  uint64_t last_index = 0;
+  double last_rt_us = 0;
+
+  void Add(uint64_t index, double rt_us, uint32_t io_ignore) {
+    all.Add(rt_us);
+    if (index >= io_ignore) running.Add(rt_us);
+    if (all.count() == 1 || index >= last_index) {
+      last_index = index;
+      last_rt_us = rt_us;
+    }
+  }
+};
+
+/// Applies the explicit or phase-derived (Section 4.2) io_ignore and
+/// the final statistics to the finished result. `count` is the events
+/// replayed; `online` is set in stats-only mode.
+void FinishResult(const ReplayOptions& options, uint64_t count,
+                  OnlineStats* online, RunResult* result) {
+  result->spec.io_count = static_cast<uint32_t>(
+      std::min<uint64_t>(count, UINT32_MAX));
   uint32_t ignore = options.io_ignore;
   if (ignore == ReplayOptions::kAutoIoIgnore) {
     ignore = AnalyzePhases(result->ResponseTimes()).startup_ios;
   }
-  uint32_t count = result->spec.io_count;
-  result->spec.io_ignore = std::min(ignore, count ? count - 1 : 0);
+  uint32_t clamp = result->spec.io_count ? result->spec.io_count - 1 : 0;
+  result->spec.io_ignore = std::min(ignore, clamp);
+  if (online != nullptr) {
+    // Mirror the materialized clamp: when every sample fell inside the
+    // ignored prefix, statistics cover exactly the last one.
+    if (online->running.count() == 0 && online->all.count() > 0) {
+      online->running.Add(online->last_rt_us);
+    }
+    result->streamed_stats = online->running.ToRunStats();
+    result->streamed_stats_all = online->all.ToRunStats();
+  }
 }
 
 }  // namespace
@@ -97,29 +176,42 @@ StatusOr<uint64_t> RescaleLba(uint64_t offset, uint32_t size,
   return scaled;
 }
 
-StatusOr<RunResult> ExecuteTraceRun(BlockDevice* device, const Trace& trace,
+StatusOr<RunResult> ExecuteTraceRun(BlockDevice* device, EventSource* source,
                                     const ReplayOptions& options) {
-  UFLIP_RETURN_IF_ERROR(ValidateReplay(trace, options));
+  UFLIP_RETURN_IF_ERROR(ValidateOptions(options));
   const uint64_t cap = device->capacity_bytes();
+  const TraceMeta& meta = source->meta();
   const uint64_t recorded_cap =
-      trace.meta.capacity_bytes ? trace.meta.capacity_bytes : cap;
+      meta.capacity_bytes ? meta.capacity_bytes : cap;
   const double scale =
       options.timing == ReplayTiming::kScaled ? options.time_scale : 1.0;
 
   RunResult result;
-  FillSpec(trace, options, cap, &result.spec);
-  result.samples.reserve(trace.events.size());
+  FillSpecHeader(meta, options, cap, &result.spec);
+  if (options.keep_samples) ReserveSamples(*source, &result.samples);
 
   Clock* clock = device->clock();
   const uint64_t base_us = clock->NowUs();
-  const uint64_t epoch_us = trace.events.front().submit_us;
+  uint64_t epoch_us = 0;
   double max_completion_us = base_us;
   double carry_us = 0;  // closed-loop fractional response-time carry
+  EventChecker checker(meta.capacity_bytes);
+  OnlineStats online;
+  uint64_t count = 0;
 
-  for (size_t i = 0; i < trace.events.size(); ++i) {
-    const TraceEvent& e = trace.events[i];
-    StatusOr<uint64_t> off = ReplayOffset(trace, i, options, cap,
-                                          recorded_cap);
+  TraceEvent e;
+  while (true) {
+    StatusOr<bool> more = source->Next(&e);
+    if (!more.ok()) return more.status();
+    if (!*more) break;
+    const uint64_t i = count;
+    UFLIP_RETURN_IF_ERROR(checker.Check(e, i));
+    if (i == 0) {
+      epoch_us = e.submit_us;
+      result.spec.io_size = e.size;
+      result.spec.mode = e.mode;
+    }
+    StatusOr<uint64_t> off = ReplayOffset(e, i, options, cap, recorded_cap);
     if (!off.ok()) return off.status();
     IoRequest req{*off, e.size, e.mode};
 
@@ -141,7 +233,15 @@ StatusOr<RunResult> ExecuteTraceRun(BlockDevice* device, const Trace& trace,
     }
     max_completion_us =
         std::max(max_completion_us, static_cast<double>(t) + *rt);
-    result.samples.push_back(IoSample{i, t, *rt, req});
+    if (options.keep_samples) {
+      result.samples.push_back(IoSample{i, t, *rt, req});
+    } else {
+      online.Add(i, *rt, options.io_ignore);
+    }
+    ++count;
+  }
+  if (count == 0) {
+    return Status::InvalidArgument("cannot replay an empty trace");
   }
 
   // Leave the clock past the last completion (open-loop replay may end
@@ -151,38 +251,49 @@ StatusOr<RunResult> ExecuteTraceRun(BlockDevice* device, const Trace& trace,
   if (clock->NowUs() < end_us) {
     clock->SleepUs(end_us - clock->NowUs());
   }
-  ResolveIoIgnore(options, &result);
+  FinishResult(options, count, options.keep_samples ? nullptr : &online,
+               &result);
   return result;
 }
 
 StatusOr<RunResult> ExecuteTraceRun(AsyncBlockDevice* device,
-                                    const Trace& trace,
+                                    EventSource* source,
                                     const ReplayOptions& options) {
-  UFLIP_RETURN_IF_ERROR(ValidateReplay(trace, options));
+  UFLIP_RETURN_IF_ERROR(ValidateOptions(options));
   const uint64_t cap = device->capacity_bytes();
+  const TraceMeta& meta = source->meta();
   const uint64_t recorded_cap =
-      trace.meta.capacity_bytes ? trace.meta.capacity_bytes : cap;
+      meta.capacity_bytes ? meta.capacity_bytes : cap;
   const double scale =
       options.timing == ReplayTiming::kScaled ? options.time_scale : 1.0;
   const bool closed = options.timing == ReplayTiming::kClosedLoop;
 
   RunResult result;
-  FillSpec(trace, options, cap, &result.spec);
-  result.samples.resize(trace.events.size());
+  FillSpecHeader(meta, options, cap, &result.spec);
+  if (options.keep_samples) ReserveSamples(*source, &result.samples);
 
   Clock* clock = device->clock();
   const uint64_t base_us = clock->NowUs();
-  const uint64_t epoch_us = trace.events.front().submit_us;
+  uint64_t epoch_us = 0;
   double max_completion_us = base_us;
   double carry_us = 0;      // closed-loop fractional response-time carry
   uint64_t next_us = base_us;  // closed loop: next submission time
-  std::unordered_map<IoToken, size_t> event_of;
+  EventChecker checker(meta.capacity_bytes);
+  OnlineStats online;
+  uint64_t count = 0;
+  // In-flight IOs only: completions are harvested continuously, so this
+  // map stays bounded by the device's queue depth.
+  std::unordered_map<IoToken, uint64_t> event_of;
   auto harvest = [&](const std::vector<IoCompletion>& records) {
     for (const IoCompletion& c : records) {
       auto it = event_of.find(c.token);
       if (it == event_of.end()) continue;  // not ours
-      IoSample& s = result.samples[it->second];
-      s.rt_us = c.rt_us;
+      uint64_t index = it->second;
+      if (options.keep_samples) {
+        result.samples[index].rt_us = c.rt_us;
+      } else {
+        online.Add(index, c.rt_us, options.io_ignore);
+      }
       event_of.erase(it);
       max_completion_us = std::max(
           max_completion_us, static_cast<double>(c.submit_us) + c.rt_us);
@@ -192,10 +303,19 @@ StatusOr<RunResult> ExecuteTraceRun(AsyncBlockDevice* device,
     }
   };
 
-  for (size_t i = 0; i < trace.events.size(); ++i) {
-    const TraceEvent& e = trace.events[i];
-    StatusOr<uint64_t> off = ReplayOffset(trace, i, options, cap,
-                                          recorded_cap);
+  TraceEvent e;
+  while (true) {
+    StatusOr<bool> more = source->Next(&e);
+    if (!more.ok()) return more.status();
+    if (!*more) break;
+    const uint64_t i = count;
+    UFLIP_RETURN_IF_ERROR(checker.Check(e, i));
+    if (i == 0) {
+      epoch_us = e.submit_us;
+      result.spec.io_size = e.size;
+      result.spec.mode = e.mode;
+    }
+    StatusOr<uint64_t> off = ReplayOffset(e, i, options, cap, recorded_cap);
     if (!off.ok()) return off.status();
     IoRequest req{*off, e.size, e.mode};
 
@@ -214,11 +334,17 @@ StatusOr<RunResult> ExecuteTraceRun(AsyncBlockDevice* device,
     StatusOr<IoToken> token = device->Enqueue(t, req);
     if (!token.ok()) return token.status();
     event_of.emplace(*token, i);
-    result.samples[i] = IoSample{i, t, 0, req};
+    if (options.keep_samples) {
+      result.samples.push_back(IoSample{i, t, 0, req});
+    }
+    ++count;
     harvest(device->PollCompletions());
     if (closed && event_of.count(*token)) {
       return Status::Internal("async device left a closed-loop IO pending");
     }
+  }
+  if (count == 0) {
+    return Status::InvalidArgument("cannot replay an empty trace");
   }
   harvest(device->DrainAll());
   if (!event_of.empty()) {
@@ -229,8 +355,33 @@ StatusOr<RunResult> ExecuteTraceRun(AsyncBlockDevice* device,
   if (clock->NowUs() < end_us) {
     clock->SleepUs(end_us - clock->NowUs());
   }
-  ResolveIoIgnore(options, &result);
+  FinishResult(options, count, options.keep_samples ? nullptr : &online,
+               &result);
   return result;
+}
+
+StatusOr<RunResult> ExecuteTraceRun(BlockDevice* device, const Trace& trace,
+                                    const ReplayOptions& options) {
+  // Deliberately validates up front even though the streaming loop
+  // re-checks each event: a materialized trace can fail fast, before
+  // any IO touches (and mutates) the device.
+  UFLIP_RETURN_IF_ERROR(trace.Validate());
+  if (trace.events.empty()) {
+    return Status::InvalidArgument("cannot replay an empty trace");
+  }
+  TraceView view(&trace);
+  return ExecuteTraceRun(device, &view, options);
+}
+
+StatusOr<RunResult> ExecuteTraceRun(AsyncBlockDevice* device,
+                                    const Trace& trace,
+                                    const ReplayOptions& options) {
+  UFLIP_RETURN_IF_ERROR(trace.Validate());
+  if (trace.events.empty()) {
+    return Status::InvalidArgument("cannot replay an empty trace");
+  }
+  TraceView view(&trace);
+  return ExecuteTraceRun(device, &view, options);
 }
 
 }  // namespace uflip

@@ -3,6 +3,13 @@
 // runners produce so traces, baselines and micro-benchmarks report
 // through one pipeline.
 //
+// Replay pulls events from an EventSource, so the workload never has to
+// be materialized: an in-memory Trace, a TraceReader streaming a
+// (possibly gzip-framed) multi-GB file off disk, and the synthetic
+// generators all replay through the same loop. With
+// ReplayOptions::keep_samples = false, statistics are accumulated
+// online as well and peak memory is O(1) in the trace length.
+//
 // Timing modes:
 //  * closed-loop  -- each IO is submitted when the previous one
 //    completes, exactly like the baseline patterns' "consecutive" mode;
@@ -14,11 +21,11 @@
 //  * time-scaled  -- original with every inter-arrival delta multiplied
 //    by `time_scale` (< 1 replays faster, > 1 slower).
 //
-// The AsyncBlockDevice overload is a true open-loop replay: original /
+// The AsyncBlockDevice overloads are a true open-loop replay: original /
 // scaled timestamps are enqueue times, up to the device's queue_depth
 // IOs stay in flight, and the completion records measure queue wait --
 // on a multi-channel AsyncSimDevice the queued IOs genuinely overlap.
-// The BlockDevice overload serializes at the device as before.
+// The BlockDevice overloads serialize at the device as before.
 #ifndef UFLIP_RUN_TRACE_RUN_H_
 #define UFLIP_RUN_TRACE_RUN_H_
 
@@ -28,6 +35,7 @@
 #include "src/device/async_device.h"
 #include "src/device/block_device.h"
 #include "src/run/runner.h"
+#include "src/trace/event_source.h"
 #include "src/trace/trace_event.h"
 #include "src/util/status.h"
 
@@ -51,6 +59,12 @@ struct ReplayOptions {
   /// AnalyzePhases when the caller does not pass one explicitly.
   static constexpr uint32_t kAutoIoIgnore = UINT32_MAX;
   uint32_t io_ignore = 0;
+  /// Retain per-IO samples in RunResult::samples (default). When false,
+  /// statistics accumulate online (StreamingStats) and samples stays
+  /// empty, so replaying an N-event trace needs O(1) memory instead of
+  /// O(N). Requires an explicit io_ignore: kAutoIoIgnore needs the full
+  /// response-time series and is rejected.
+  bool keep_samples = true;
   /// Report label; defaults to the trace's source.
   std::string label;
 };
@@ -62,10 +76,12 @@ struct ReplayOptions {
 StatusOr<uint64_t> RescaleLba(uint64_t offset, uint32_t size,
                               uint64_t from_bytes, uint64_t to_bytes);
 
-/// Replays `trace` on `device`. The trace must validate; its epoch is
-/// arbitrary (only inter-arrival deltas are used). The device clock is
-/// left past the completion of the last IO, as with the pattern runners.
-StatusOr<RunResult> ExecuteTraceRun(BlockDevice* device, const Trace& trace,
+/// Replays the events pulled from `source` on `device`, validating each
+/// event as it streams (sizes, sorted submission times, recorded-
+/// capacity bounds). The event epoch is arbitrary (only inter-arrival
+/// deltas are used). The device clock is left past the completion of
+/// the last IO, as with the pattern runners.
+StatusOr<RunResult> ExecuteTraceRun(BlockDevice* device, EventSource* source,
                                     const ReplayOptions& options = {});
 
 /// Open-loop replay against a queued device: original / scaled events
@@ -73,6 +89,14 @@ StatusOr<RunResult> ExecuteTraceRun(BlockDevice* device, const Trace& trace,
 /// queue_depth IOs in flight, and each sample's response time comes
 /// from the completion record, so it measures queue wait. Closed-loop
 /// timing drives the queue one IO at a time.
+StatusOr<RunResult> ExecuteTraceRun(AsyncBlockDevice* device,
+                                    EventSource* source,
+                                    const ReplayOptions& options = {});
+
+/// Materialized-trace conveniences: validate `trace` up front, then
+/// replay it through a TraceView.
+StatusOr<RunResult> ExecuteTraceRun(BlockDevice* device, const Trace& trace,
+                                    const ReplayOptions& options = {});
 StatusOr<RunResult> ExecuteTraceRun(AsyncBlockDevice* device,
                                     const Trace& trace,
                                     const ReplayOptions& options = {});

@@ -1,0 +1,37 @@
+#include "src/trace/event_source.h"
+
+#include <algorithm>
+
+namespace uflip {
+
+StatusOr<bool> TraceView::Next(TraceEvent* event) {
+  if (next_ >= trace_->events.size()) return false;
+  *event = trace_->events[next_++];
+  return true;
+}
+
+StatusOr<Trace> MaterializeTrace(EventSource* source, uint64_t max_events) {
+  Trace trace;
+  trace.meta = source->meta();
+  if (std::optional<uint64_t> n = source->SizeHint();
+      n && *n <= max_events) {
+    trace.events.reserve(
+        static_cast<size_t>(std::min(*n, kMaxReserveEvents)));
+  }
+  TraceEvent e;
+  while (true) {
+    StatusOr<bool> more = source->Next(&e);
+    if (!more.ok()) return more.status();
+    if (!*more) break;
+    if (trace.events.size() >= max_events) {
+      return Status::ResourceExhausted(
+          "event source exceeds materialization limit of " +
+          std::to_string(max_events) + " events");
+    }
+    trace.events.push_back(e);
+  }
+  UFLIP_RETURN_IF_ERROR(trace.Validate());
+  return trace;
+}
+
+}  // namespace uflip

@@ -1,0 +1,75 @@
+// Pull-based trace event streams. An EventSource produces TraceEvents
+// one at a time, so replay and tooling can process traces far larger
+// than memory: an in-memory Trace, a TraceReader streaming (possibly
+// gzip-compressed) events off disk, and the synthetic generators all
+// implement the same interface, and ExecuteTraceRun pulls from any of
+// them with O(1) peak memory in the trace length.
+//
+// The contract mirrors the repo's Status idiom: Next() fills *event and
+// returns Ok(true) while events remain, Ok(false) exactly at the clean
+// end of the stream (and on every call after it), and a non-OK Status
+// for corrupt or invalid sources. End-of-stream is therefore explicit
+// and never conflated with an error.
+#ifndef UFLIP_TRACE_EVENT_SOURCE_H_
+#define UFLIP_TRACE_EVENT_SOURCE_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/trace/trace_event.h"
+#include "src/util/status.h"
+
+namespace uflip {
+
+/// Reserve ceiling for EventSource::SizeHint consumers: a hint can come
+/// from an unvalidated file header (TraceReader), so never pre-commit
+/// more than this many events of memory up front -- containers grow
+/// past it on demand.
+inline constexpr uint64_t kMaxReserveEvents = 1 << 20;
+
+class EventSource {
+ public:
+  virtual ~EventSource() = default;
+
+  /// Provenance and LBA domain of the events this source produces.
+  virtual const TraceMeta& meta() const = 0;
+
+  /// Total number of events, when known up front (in-memory traces,
+  /// counted binary files, generators). nullopt for open-ended streams.
+  virtual std::optional<uint64_t> SizeHint() const { return std::nullopt; }
+
+  /// Pulls the next event. Ok(true): *event was filled. Ok(false):
+  /// clean end of stream. Error: the source is corrupt or failed.
+  virtual StatusOr<bool> Next(TraceEvent* event) = 0;
+};
+
+/// EventSource over an in-memory Trace (not owned; must outlive the
+/// view). Rewindable via Reset(), so one materialized trace can feed
+/// several replays.
+class TraceView : public EventSource {
+ public:
+  explicit TraceView(const Trace* trace) : trace_(trace) {}
+
+  const TraceMeta& meta() const override { return trace_->meta; }
+  std::optional<uint64_t> SizeHint() const override {
+    return trace_->events.size();
+  }
+  StatusOr<bool> Next(TraceEvent* event) override;
+
+  /// Restarts iteration from the first event.
+  void Reset() { next_ = 0; }
+
+ private:
+  const Trace* trace_;
+  size_t next_ = 0;
+};
+
+/// Drains `source` into an in-memory Trace (the materializing
+/// convenience the generators and ReadTrace are built on). `max_events`
+/// guards against accidentally materializing an unbounded stream.
+StatusOr<Trace> MaterializeTrace(EventSource* source,
+                                 uint64_t max_events = UINT64_MAX);
+
+}  // namespace uflip
+
+#endif  // UFLIP_TRACE_EVENT_SOURCE_H_

@@ -13,11 +13,13 @@ TraceCaptureSink::TraceCaptureSink(TraceMeta meta) {
 }
 
 Status TraceCaptureSink::StreamTo(const std::string& path,
-                                  TraceFormat format) {
+                                  TraceFormat format,
+                                  TraceCompression compression) {
   if (writer_.has_value()) {
     return Status::FailedPrecondition("already streaming");
   }
-  StatusOr<TraceWriter> writer = TraceWriter::Open(path, format, trace_.meta);
+  StatusOr<TraceWriter> writer =
+      TraceWriter::Open(path, format, trace_.meta, compression);
   if (!writer.ok()) return writer.status();
   writer_.emplace(std::move(*writer));
   write_status_ = Status::Ok();
@@ -57,13 +59,13 @@ void TraceCaptureSink::Reset() {
   if (!writer_.has_value()) captured_ = 0;
 }
 
-Status TraceCaptureSink::WriteTo(const std::string& path,
-                                 TraceFormat format) const {
+Status TraceCaptureSink::WriteTo(const std::string& path, TraceFormat format,
+                                 TraceCompression compression) const {
   if (writer_.has_value()) {
     return Status::FailedPrecondition(
         "streaming capture has no buffered trace to write");
   }
-  return WriteTrace(path, format, trace_);
+  return WriteTrace(path, format, trace_, compression);
 }
 
 // ---------------------------------------------------------------------

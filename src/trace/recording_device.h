@@ -42,7 +42,10 @@ class TraceCaptureSink {
 
   /// Switches to streaming capture at `path`; events emitted so far stay
   /// buffered (call before the workload for a pure streaming capture).
-  Status StreamTo(const std::string& path, TraceFormat format);
+  /// The default compression (kAuto) gzip-frames ".gz" paths as they
+  /// stream.
+  Status StreamTo(const std::string& path, TraceFormat format,
+                  TraceCompression compression = TraceCompression::kAuto);
 
   /// Records one finished event (buffered or streamed).
   void Emit(const TraceEvent& event);
@@ -57,7 +60,9 @@ class TraceCaptureSink {
   const Trace& trace() const { return trace_; }
   Trace TakeTrace();
   void Reset();
-  Status WriteTo(const std::string& path, TraceFormat format) const;
+  Status WriteTo(const std::string& path, TraceFormat format,
+                 TraceCompression compression = TraceCompression::kAuto)
+      const;
 
  private:
   Trace trace_;
@@ -79,8 +84,9 @@ class RecordingDevice : public BlockDevice {
   std::string name() const override { return inner_->name() + "+rec"; }
 
   /// Streams subsequent events to `path` instead of buffering them.
-  Status StreamTo(const std::string& path, TraceFormat format) {
-    return sink_.StreamTo(path, format);
+  Status StreamTo(const std::string& path, TraceFormat format,
+                  TraceCompression compression = TraceCompression::kAuto) {
+    return sink_.StreamTo(path, format, compression);
   }
   /// Closes the streaming capture; returns the first write error.
   Status Finish() { return sink_.Finish(); }
@@ -102,8 +108,10 @@ class RecordingDevice : public BlockDevice {
   void Reset() { sink_.Reset(); }
 
   /// Writes the buffered trace to `path`.
-  Status WriteTo(const std::string& path, TraceFormat format) const {
-    return sink_.WriteTo(path, format);
+  Status WriteTo(const std::string& path, TraceFormat format,
+                 TraceCompression compression =
+                     TraceCompression::kAuto) const {
+    return sink_.WriteTo(path, format, compression);
   }
 
   BlockDevice* inner() { return inner_; }
@@ -135,8 +143,9 @@ class AsyncRecordingDevice : public AsyncBlockDevice {
   Clock* clock() override { return inner_->clock(); }
   std::string name() const override { return inner_->name() + "+rec"; }
 
-  Status StreamTo(const std::string& path, TraceFormat format) {
-    return sink_.StreamTo(path, format);
+  Status StreamTo(const std::string& path, TraceFormat format,
+                  TraceCompression compression = TraceCompression::kAuto) {
+    return sink_.StreamTo(path, format, compression);
   }
   Status Finish() { return sink_.Finish(); }
   uint64_t events_captured() const { return sink_.events_captured(); }
@@ -146,8 +155,10 @@ class AsyncRecordingDevice : public AsyncBlockDevice {
   /// Drops buffered events and forgets IOs still in flight (their
   /// completions will not be captured).
   void Reset();
-  Status WriteTo(const std::string& path, TraceFormat format) const {
-    return sink_.WriteTo(path, format);
+  Status WriteTo(const std::string& path, TraceFormat format,
+                 TraceCompression compression =
+                     TraceCompression::kAuto) const {
+    return sink_.WriteTo(path, format, compression);
   }
 
   AsyncBlockDevice* inner() { return inner_; }

@@ -1,5 +1,7 @@
 #include "src/trace/synthetic.h"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdio>
 #include <string>
@@ -29,26 +31,86 @@ Status ValidateGeometry(uint64_t capacity_bytes, uint32_t io_size,
   return Status::Ok();
 }
 
+/// SplitMix64 finalizer: a well-mixed 64-bit bijection used as the
+/// Feistel round function (only its low bits are kept, so it need not
+/// be invertible there -- Feistel supplies the invertibility).
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Exact zeta prefix length: long enough that the Euler-Maclaurin tail
+/// error is ~1e-9 relative, short enough to be effectively free.
+constexpr uint64_t kZetaExactPrefix = 10000;
+
 }  // namespace
 
 // ---------------------------------------------------------------------
 // Zipfian
 // ---------------------------------------------------------------------
 
-ZipfianLba::ZipfianLba(uint64_t locations, double theta, uint64_t seed)
-    : n_(locations), theta_(theta), rng_(seed) {
-  if (theta_ > 0) {
-    double zeta2 = 0;
-    for (uint64_t i = 1; i <= n_; ++i) {
-      zetan_ += 1.0 / std::pow(static_cast<double>(i), theta_);
-      if (i == 2) zeta2 = zetan_;
+double ZetaN(uint64_t n, double theta) {
+  uint64_t exact = std::min(n, kZetaExactPrefix);
+  double z = 0;
+  for (uint64_t i = 1; i <= exact; ++i) {
+    z += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  if (n > exact) {
+    // Midpoint-rule tail: sum_{i=k+1..n} i^-theta ~
+    // integral_{k+1/2}^{n+1/2} x^-theta dx (logarithmic at theta = 1).
+    double lo = static_cast<double>(exact) + 0.5;
+    double hi = static_cast<double>(n) + 0.5;
+    if (theta == 1.0) {
+      z += std::log(hi / lo);
+    } else {
+      double p = 1.0 - theta;
+      z += (std::pow(hi, p) - std::pow(lo, p)) / p;
     }
+  }
+  return z;
+}
+
+ZipfianLba::ZipfianLba(uint64_t locations, double theta, uint64_t seed)
+    : n_(std::max<uint64_t>(locations, 1)), theta_(theta), rng_(seed) {
+  if (theta_ > 0) {
+    zetan_ = ZetaN(n_, theta_);
+    double zeta2 = 1.0 + std::pow(0.5, theta_);  // exact first two terms
     alpha_ = 1.0 / (1.0 - theta_);
     eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
            (1.0 - zeta2 / zetan_);
     half_pow_theta_ = std::pow(0.5, theta_);
   }
-  scatter_ = rng_.Permutation(n_);
+  // Feistel domain: the smallest even-split power of two covering n_,
+  // i.e. 2^(2*half_bits_) >= n_ (and < 4*n_, so the cycle walk below
+  // lands inside [0, n_) within a handful of iterations).
+  uint32_t bits = n_ > 1 ? std::bit_width(n_ - 1) : 1;
+  half_bits_ = std::max(1u, (bits + 1) / 2);
+  half_mask_ = (uint64_t{1} << half_bits_) - 1;
+  for (uint64_t& k : keys_) k = rng_.NextU64();
+}
+
+uint64_t ZipfianLba::Scatter(uint64_t rank) const {
+  if (n_ <= 1) return 0;
+  // Cycle-walked Feistel permutation: a 4-round Feistel network is a
+  // bijection on [0, 2^(2*half_bits_)); re-applying it until the value
+  // lands in [0, n_) yields a seeded bijection on [0, n_) with O(1)
+  // state -- the replacement for the old O(n) shuffled lookup table.
+  uint64_t x = rank;
+  do {
+    uint64_t left = x >> half_bits_;
+    uint64_t right = x & half_mask_;
+    for (uint64_t key : keys_) {
+      uint64_t next_right = left ^ (Mix64(right + key) & half_mask_);
+      left = right;
+      right = next_right;
+    }
+    x = (left << half_bits_) | right;
+  } while (x >= n_);
+  return x;
 }
 
 uint64_t ZipfianLba::Next() {
@@ -70,7 +132,7 @@ uint64_t ZipfianLba::Next() {
       if (rank >= n_) rank = n_ - 1;
     }
   }
-  return scatter_[rank];
+  return Scatter(rank);
 }
 
 Status ZipfianTraceConfig::Validate() const {
@@ -85,27 +147,37 @@ Status ZipfianTraceConfig::Validate() const {
   return Status::Ok();
 }
 
-StatusOr<Trace> GenerateZipfianTrace(const ZipfianTraceConfig& cfg) {
-  UFLIP_RETURN_IF_ERROR(cfg.Validate());
-  uint64_t locations = cfg.capacity_bytes / cfg.io_size;
-  ZipfianLba lba(locations, cfg.theta, cfg.seed);
-  Rng rng(cfg.seed ^ 0x5A1Full);
-
+ZipfianEventSource::ZipfianEventSource(const ZipfianTraceConfig& cfg)
+    : cfg_(cfg),
+      invalid_(cfg.Validate()),
+      lba_(cfg.io_size ? cfg.capacity_bytes / cfg.io_size : 1, cfg.theta,
+           cfg.seed),
+      rng_(cfg.seed ^ 0x5A1Full) {
   char label[48];
-  std::snprintf(label, sizeof(label), "zipfian(theta=%.2f)", cfg.theta);
-  Trace trace;
-  trace.meta.source = label;
-  trace.meta.capacity_bytes = cfg.capacity_bytes;
-  trace.events.reserve(cfg.io_count);
-  uint64_t now_us = 0;
-  for (uint32_t i = 0; i < cfg.io_count; ++i) {
-    now_us += ExpGapUs(&rng, cfg.mean_gap_us);
-    IoMode mode = rng.Bernoulli(cfg.write_fraction) ? IoMode::kWrite
+  std::snprintf(label, sizeof(label), "zipfian(theta=%.2f)", cfg_.theta);
+  meta_.source = label;
+  meta_.capacity_bytes = cfg_.capacity_bytes;
+}
+
+std::optional<uint64_t> ZipfianEventSource::SizeHint() const {
+  return cfg_.io_count;
+}
+
+StatusOr<bool> ZipfianEventSource::Next(TraceEvent* event) {
+  if (!invalid_.ok()) return invalid_;
+  if (emitted_ >= cfg_.io_count) return false;
+  now_us_ += ExpGapUs(&rng_, cfg_.mean_gap_us);
+  IoMode mode = rng_.Bernoulli(cfg_.write_fraction) ? IoMode::kWrite
                                                     : IoMode::kRead;
-    trace.events.push_back(TraceEvent{
-        now_us, lba.Next() * cfg.io_size, cfg.io_size, mode, 0});
-  }
-  return trace;
+  *event = TraceEvent{now_us_, lba_.Next() * cfg_.io_size, cfg_.io_size,
+                      mode, 0};
+  ++emitted_;
+  return true;
+}
+
+StatusOr<Trace> GenerateZipfianTrace(const ZipfianTraceConfig& cfg) {
+  ZipfianEventSource source(cfg);
+  return MaterializeTrace(&source);
 }
 
 // ---------------------------------------------------------------------
@@ -123,29 +195,36 @@ Status OltpTraceConfig::Validate() const {
   return Status::Ok();
 }
 
-StatusOr<Trace> GenerateOltpTrace(const OltpTraceConfig& cfg) {
-  UFLIP_RETURN_IF_ERROR(cfg.Validate());
-  uint64_t pages = cfg.capacity_bytes / cfg.io_size;
-  Rng rng(cfg.seed);
+OltpEventSource::OltpEventSource(const OltpTraceConfig& cfg)
+    : cfg_(cfg), invalid_(cfg.Validate()), rng_(cfg.seed) {
+  meta_.source = "oltp(rmw)";
+  meta_.capacity_bytes = cfg_.capacity_bytes;
+  pages_ = cfg_.io_size ? cfg_.capacity_bytes / cfg_.io_size : 0;
+}
 
-  Trace trace;
-  trace.meta.source = "oltp(rmw)";
-  trace.meta.capacity_bytes = cfg.capacity_bytes;
-  trace.events.reserve(cfg.transactions * 2);
-  uint64_t now_us = 0;
-  for (uint32_t t = 0; t < cfg.transactions; ++t) {
-    now_us += ExpGapUs(&rng, cfg.mean_gap_us);
-    uint64_t offset = rng.UniformU64(pages) * cfg.io_size;
-    trace.events.push_back(
-        TraceEvent{now_us, offset, cfg.io_size, IoMode::kRead, 0});
-    if (!rng.Bernoulli(cfg.read_only_fraction)) {
-      // The write-back of the page just read (same timestamp: the
-      // transaction issues it as soon as the read returns).
-      trace.events.push_back(
-          TraceEvent{now_us, offset, cfg.io_size, IoMode::kWrite, 0});
-    }
+StatusOr<bool> OltpEventSource::Next(TraceEvent* event) {
+  if (!invalid_.ok()) return invalid_;
+  if (write_back_pending_) {
+    // The write-back of the page just read (same timestamp: the
+    // transaction issues it as soon as the read returns).
+    write_back_pending_ = false;
+    *event = TraceEvent{now_us_, pending_offset_, cfg_.io_size,
+                        IoMode::kWrite, 0};
+    return true;
   }
-  return trace;
+  if (done_ >= cfg_.transactions) return false;
+  ++done_;
+  now_us_ += ExpGapUs(&rng_, cfg_.mean_gap_us);
+  pending_offset_ = rng_.UniformU64(pages_) * cfg_.io_size;
+  *event = TraceEvent{now_us_, pending_offset_, cfg_.io_size,
+                      IoMode::kRead, 0};
+  write_back_pending_ = !rng_.Bernoulli(cfg_.read_only_fraction);
+  return true;
+}
+
+StatusOr<Trace> GenerateOltpTrace(const OltpTraceConfig& cfg) {
+  OltpEventSource source(cfg);
+  return MaterializeTrace(&source);
 }
 
 // ---------------------------------------------------------------------
@@ -167,28 +246,41 @@ Status MultiStreamTraceConfig::Validate() const {
   return Status::Ok();
 }
 
-StatusOr<Trace> GenerateMultiStreamTrace(const MultiStreamTraceConfig& cfg) {
-  UFLIP_RETURN_IF_ERROR(cfg.Validate());
-  // Each stream appends sequentially within its own IOSize-aligned
-  // slice, wrapping when the slice fills; submissions interleave
-  // round-robin, the pattern a log-structured writer per stream makes.
-  uint64_t slice_ios = cfg.capacity_bytes / cfg.streams / cfg.io_size;
-  uint64_t slice_bytes = slice_ios * cfg.io_size;
-
-  Trace trace;
-  trace.meta.source = "multistream(" + std::to_string(cfg.streams) + ")";
-  trace.meta.capacity_bytes = cfg.capacity_bytes;
-  trace.events.reserve(static_cast<size_t>(cfg.streams) * cfg.ios_per_stream);
-  uint64_t now_us = 0;
-  for (uint32_t i = 0; i < cfg.ios_per_stream; ++i) {
-    for (uint32_t s = 0; s < cfg.streams; ++s) {
-      uint64_t offset = s * slice_bytes + (i % slice_ios) * cfg.io_size;
-      trace.events.push_back(
-          TraceEvent{now_us, offset, cfg.io_size, IoMode::kWrite, 0});
-      now_us += cfg.gap_us;
-    }
+MultiStreamEventSource::MultiStreamEventSource(
+    const MultiStreamTraceConfig& cfg)
+    : cfg_(cfg), invalid_(cfg.Validate()) {
+  meta_.source = "multistream(" + std::to_string(cfg_.streams) + ")";
+  meta_.capacity_bytes = cfg_.capacity_bytes;
+  if (invalid_.ok()) {
+    // Each stream appends sequentially within its own IOSize-aligned
+    // slice, wrapping when the slice fills; submissions interleave
+    // round-robin, the pattern a log-structured writer per stream makes.
+    slice_ios_ = cfg_.capacity_bytes / cfg_.streams / cfg_.io_size;
+    slice_bytes_ = slice_ios_ * cfg_.io_size;
   }
-  return trace;
+}
+
+std::optional<uint64_t> MultiStreamEventSource::SizeHint() const {
+  return static_cast<uint64_t>(cfg_.streams) * cfg_.ios_per_stream;
+}
+
+StatusOr<bool> MultiStreamEventSource::Next(TraceEvent* event) {
+  if (!invalid_.ok()) return invalid_;
+  if (round_ >= cfg_.ios_per_stream) return false;
+  uint64_t offset =
+      stream_ * slice_bytes_ + (round_ % slice_ios_) * cfg_.io_size;
+  *event = TraceEvent{now_us_, offset, cfg_.io_size, IoMode::kWrite, 0};
+  now_us_ += cfg_.gap_us;
+  if (++stream_ == cfg_.streams) {
+    stream_ = 0;
+    ++round_;
+  }
+  return true;
+}
+
+StatusOr<Trace> GenerateMultiStreamTrace(const MultiStreamTraceConfig& cfg) {
+  MultiStreamEventSource source(cfg);
+  return MaterializeTrace(&source);
 }
 
 }  // namespace uflip

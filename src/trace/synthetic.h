@@ -6,21 +6,36 @@
 // OLTP read-modify-write page mix (the database workload the paper
 // motivates), and multi-stream sequential interleave (log-structured
 // writers sharing one device).
+//
+// Each family is exposed two ways: a pull-based EventSource (O(1)
+// memory: generate -> write or generate -> replay without ever holding
+// the trace) and the materializing GenerateXxxTrace() convenience
+// wrappers built on it.
 #ifndef UFLIP_TRACE_SYNTHETIC_H_
 #define UFLIP_TRACE_SYNTHETIC_H_
 
 #include <cstdint>
 
+#include "src/trace/event_source.h"
 #include "src/trace/trace_event.h"
 #include "src/util/random.h"
 #include "src/util/status.h"
 
 namespace uflip {
 
+/// Riemann zeta partial sum Z(n, theta) = sum_{i=1..n} i^-theta,
+/// computed exactly up to a fixed prefix and closed with an
+/// Euler-Maclaurin integral tail, so the cost is O(1) in n while the
+/// relative error stays far below the sampler's own resolution.
+double ZetaN(uint64_t n, double theta);
+
 /// Draws IOSize-aligned locations with a Zipf(theta) popularity skew
 /// (YCSB-style; theta = 0 is uniform, 0.99 the usual "hot" skew). Ranks
-/// are scattered over the target space with a seeded permutation so the
-/// hot set is not one contiguous region.
+/// are scattered over the target space with a seeded hash bijection
+/// (a cycle-walked Feistel permutation) so the hot set is not one
+/// contiguous region. Construction and Next() are both O(1) in
+/// `locations`: a terabyte LBA domain at 4KB IOs costs the same as a
+/// megabyte one.
 class ZipfianLba {
  public:
   /// `locations` is the number of distinct IOSize slots; theta in [0,1).
@@ -28,6 +43,10 @@ class ZipfianLba {
 
   /// Next location index in [0, locations).
   uint64_t Next();
+
+  /// The seeded rank -> location bijection on [0, locations): rank 0 is
+  /// the hottest slot. Exposed so tests can verify it permutes.
+  uint64_t Scatter(uint64_t rank) const;
 
  private:
   uint64_t n_;
@@ -37,8 +56,11 @@ class ZipfianLba {
   double alpha_ = 0;
   double eta_ = 0;
   double half_pow_theta_ = 0;
+  // Feistel scatter: domain 2^(2*half_bits_) >= n, keyed per seed.
+  uint32_t half_bits_ = 1;
+  uint64_t half_mask_ = 1;
+  uint64_t keys_[4] = {};
   Rng rng_;
-  std::vector<uint64_t> scatter_;
 };
 
 struct ZipfianTraceConfig {
@@ -55,6 +77,25 @@ struct ZipfianTraceConfig {
   uint64_t seed = 1;
 
   Status Validate() const;
+};
+
+/// Pull-based Zipfian workload stream (io_count events).
+class ZipfianEventSource : public EventSource {
+ public:
+  explicit ZipfianEventSource(const ZipfianTraceConfig& cfg);
+
+  const TraceMeta& meta() const override { return meta_; }
+  std::optional<uint64_t> SizeHint() const override;
+  StatusOr<bool> Next(TraceEvent* event) override;
+
+ private:
+  ZipfianTraceConfig cfg_;
+  Status invalid_;  // non-OK when the config failed validation
+  TraceMeta meta_;
+  ZipfianLba lba_;
+  Rng rng_;
+  uint64_t now_us_ = 0;
+  uint32_t emitted_ = 0;
 };
 
 StatusOr<Trace> GenerateZipfianTrace(const ZipfianTraceConfig& cfg);
@@ -75,6 +116,27 @@ struct OltpTraceConfig {
   Status Validate() const;
 };
 
+/// Pull-based OLTP read-modify-write stream (one or two events per
+/// transaction).
+class OltpEventSource : public EventSource {
+ public:
+  explicit OltpEventSource(const OltpTraceConfig& cfg);
+
+  const TraceMeta& meta() const override { return meta_; }
+  StatusOr<bool> Next(TraceEvent* event) override;
+
+ private:
+  OltpTraceConfig cfg_;
+  Status invalid_;
+  TraceMeta meta_;
+  Rng rng_;
+  uint64_t now_us_ = 0;
+  uint64_t pages_ = 0;
+  uint32_t done_ = 0;
+  bool write_back_pending_ = false;
+  uint64_t pending_offset_ = 0;
+};
+
 StatusOr<Trace> GenerateOltpTrace(const OltpTraceConfig& cfg);
 
 struct MultiStreamTraceConfig {
@@ -89,6 +151,27 @@ struct MultiStreamTraceConfig {
   uint64_t seed = 1;
 
   Status Validate() const;
+};
+
+/// Pull-based multi-stream sequential-interleave stream
+/// (streams * ios_per_stream events).
+class MultiStreamEventSource : public EventSource {
+ public:
+  explicit MultiStreamEventSource(const MultiStreamTraceConfig& cfg);
+
+  const TraceMeta& meta() const override { return meta_; }
+  std::optional<uint64_t> SizeHint() const override;
+  StatusOr<bool> Next(TraceEvent* event) override;
+
+ private:
+  MultiStreamTraceConfig cfg_;
+  Status invalid_;
+  TraceMeta meta_;
+  uint64_t slice_ios_ = 0;
+  uint64_t slice_bytes_ = 0;
+  uint64_t now_us_ = 0;
+  uint32_t round_ = 0;   // which IO of each stream
+  uint32_t stream_ = 0;  // next stream within the round
 };
 
 StatusOr<Trace> GenerateMultiStreamTrace(const MultiStreamTraceConfig& cfg);

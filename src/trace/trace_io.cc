@@ -4,6 +4,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+
+#ifdef UFLIP_HAVE_ZLIB
+#include <zlib.h>
+#endif
 
 namespace uflip {
 
@@ -12,8 +17,12 @@ namespace {
 constexpr char kBinaryMagic[8] = {'U', 'F', 'T', 'R', 'A', 'C', 'E', '1'};
 constexpr char kCsvMagic[] = "# uflip-trace v1";
 constexpr char kCsvHeader[] = "submit_us,offset,size,mode,rt_us";
+constexpr unsigned char kGzipMagic[2] = {0x1f, 0x8b};
 // Guards the binary source-name length against garbage files.
 constexpr uint32_t kMaxSourceLen = 1 << 20;
+// Binary event count meaning "uncounted; read until EOF" (written by
+// non-seekable gzip framing, which cannot patch the count at Close()).
+constexpr uint64_t kUnknownCount = UINT64_MAX;
 
 #pragma pack(push, 1)
 struct BinaryEvent {
@@ -26,31 +35,26 @@ struct BinaryEvent {
 #pragma pack(pop)
 static_assert(sizeof(BinaryEvent) == 32, "binary trace event is 32 bytes");
 
-template <typename T>
-void PutRaw(std::ofstream& out, const T& v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-
-template <typename T>
-bool GetRaw(std::ifstream& in, T* v) {
-  in.read(reinterpret_cast<char*>(v), sizeof(*v));
-  return in.gcount() == static_cast<std::streamsize>(sizeof(*v));
-}
-
-Status ParseU64(const std::string& field, uint64_t line, uint64_t* out) {
+Status ParseU64(const std::string& field, const std::string& where,
+                uint64_t* out) {
   if (field.empty()) {
-    return Status::Corruption("trace line " + std::to_string(line) +
-                              ": empty numeric field");
+    return Status::Corruption(where + ": empty numeric field");
   }
   char* end = nullptr;
   errno = 0;
   unsigned long long v = std::strtoull(field.c_str(), &end, 10);
   if (errno != 0 || end != field.c_str() + field.size()) {
-    return Status::Corruption("trace line " + std::to_string(line) +
-                              ": bad number '" + field + "'");
+    return Status::Corruption(where + ": bad number '" + field + "'");
   }
   *out = v;
   return Status::Ok();
+}
+
+std::string StripGz(const std::string& path) {
+  if (path.size() > 3 && path.compare(path.size() - 3, 3, ".gz") == 0) {
+    return path.substr(0, path.size() - 3);
+  }
+  return path;
 }
 
 }  // namespace
@@ -59,21 +63,246 @@ const char* TraceFormatName(TraceFormat f) {
   return f == TraceFormat::kCsv ? "csv" : "binary";
 }
 
+const char* TraceCompressionName(TraceCompression c) {
+  switch (c) {
+    case TraceCompression::kAuto: return "auto";
+    case TraceCompression::kNone: return "none";
+    case TraceCompression::kGzip: return "gzip";
+  }
+  return "?";
+}
+
+bool GzipSupported() {
+#ifdef UFLIP_HAVE_ZLIB
+  return true;
+#else
+  return false;
+#endif
+}
+
 TraceFormat FormatForPath(const std::string& path) {
-  size_t dot = path.find_last_of('.');
-  if (dot != std::string::npos && path.substr(dot) == ".csv") {
+  std::string p = StripGz(path);
+  size_t dot = p.find_last_of('.');
+  if (dot != std::string::npos && p.substr(dot) == ".csv") {
     return TraceFormat::kCsv;
   }
   return TraceFormat::kBinary;
 }
 
+TraceCompression CompressionForPath(const std::string& path) {
+  return StripGz(path) == path ? TraceCompression::kNone
+                               : TraceCompression::kGzip;
+}
+
+// ---------------------------------------------------------------------
+// Byte sinks / sources (plain file vs. gzip framing)
+// ---------------------------------------------------------------------
+
+/// Append-only byte sink behind TraceWriter. The plain-file sink is
+/// seekable so the binary event count can be patched at Close(); the
+/// gzip sink is not (a deflate stream cannot rewrite emitted bytes).
+struct TraceWriter::Output {
+  virtual ~Output() = default;
+  virtual bool Write(const void* p, size_t n) = 0;
+  virtual bool seekable() const = 0;
+  /// Overwrites `n` bytes at absolute offset `pos` (seekable sinks only).
+  virtual bool PatchAt(uint64_t pos, const void* p, size_t n) = 0;
+  /// Flushes and closes; false reports any deferred write error.
+  virtual bool Close() = 0;
+};
+
+namespace {
+
+struct PlainOutput final : TraceWriter::Output {
+  explicit PlainOutput(std::ofstream stream) : out(std::move(stream)) {}
+  bool Write(const void* p, size_t n) override {
+    out.write(static_cast<const char*>(p),
+              static_cast<std::streamsize>(n));
+    return out.good();
+  }
+  bool seekable() const override { return true; }
+  bool PatchAt(uint64_t pos, const void* p, size_t n) override {
+    out.seekp(static_cast<std::streamoff>(pos));
+    return Write(p, n);
+  }
+  bool Close() override {
+    out.flush();
+    if (!out.good()) return false;
+    out.close();
+    return true;
+  }
+  std::ofstream out;
+};
+
+#ifdef UFLIP_HAVE_ZLIB
+struct GzOutput final : TraceWriter::Output {
+  explicit GzOutput(gzFile f) : gz(f) {}
+  ~GzOutput() override {
+    if (gz) gzclose(gz);
+  }
+  bool Write(const void* p, size_t n) override {
+    if (n == 0) return true;
+    return gzwrite(gz, p, static_cast<unsigned>(n)) ==
+           static_cast<int>(n);
+  }
+  bool seekable() const override { return false; }
+  bool PatchAt(uint64_t, const void*, size_t) override { return false; }
+  bool Close() override {
+    int rc = gzclose(gz);
+    gz = nullptr;
+    return rc == Z_OK;
+  }
+  gzFile gz;
+};
+#endif
+
+StatusOr<std::unique_ptr<TraceWriter::Output>> OpenOutput(
+    const std::string& path, TraceCompression compression) {
+  if (compression == TraceCompression::kGzip) {
+#ifdef UFLIP_HAVE_ZLIB
+    gzFile gz = gzopen(path.c_str(), "wb");
+    if (gz == nullptr) {
+      return Status::IoError("cannot open trace file for writing: " + path);
+    }
+    return std::unique_ptr<TraceWriter::Output>(new GzOutput(gz));
+#else
+    return Status::Unimplemented(
+        "gzip trace framing not compiled in (zlib missing): " + path);
+#endif
+  }
+  std::ofstream out(path, std::ios::out | std::ios::trunc | std::ios::binary);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open trace file for writing: " + path);
+  }
+  return std::unique_ptr<TraceWriter::Output>(new PlainOutput(std::move(out)));
+}
+
+}  // namespace
+
+/// Byte source behind TraceReader: reads raw bytes and text lines from
+/// a plain or gzip-framed file (the gzip source inflates as it goes).
+struct TraceReader::Input {
+  virtual ~Input() = default;
+  /// Reads up to n bytes; bytes read (0 = clean EOF), or -1 on error.
+  virtual long Read(void* p, size_t n) = 0;
+  /// Reads one '\n'-terminated line (terminator stripped). Ok(true):
+  /// *line filled; Ok(false): clean EOF before any character.
+  virtual StatusOr<bool> ReadLine(std::string* line) = 0;
+  /// Restarts from the first byte (used after format sniffing).
+  virtual bool Rewind() = 0;
+};
+
+namespace {
+
+struct PlainInput final : TraceReader::Input {
+  explicit PlainInput(std::ifstream stream) : in(std::move(stream)) {}
+  long Read(void* p, size_t n) override {
+    in.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
+    if (in.bad()) return -1;
+    return static_cast<long>(in.gcount());
+  }
+  StatusOr<bool> ReadLine(std::string* line) override {
+    if (std::getline(in, *line)) return true;
+    if (in.bad()) return Status::IoError("trace read failed");
+    return false;  // clean EOF
+  }
+  bool Rewind() override {
+    in.clear();
+    in.seekg(0);
+    return in.good();
+  }
+  std::ifstream in;
+};
+
+#ifdef UFLIP_HAVE_ZLIB
+struct GzInput final : TraceReader::Input {
+  explicit GzInput(gzFile f) : gz(f) {}
+  ~GzInput() override {
+    if (gz) gzclose(gz);
+  }
+  long Read(void* p, size_t n) override {
+    int got = gzread(gz, p, static_cast<unsigned>(n));
+    return got < 0 ? -1 : got;
+  }
+  StatusOr<bool> ReadLine(std::string* line) override {
+    line->clear();
+    char buf[4096];
+    while (true) {
+      if (gzgets(gz, buf, sizeof(buf)) == nullptr) {
+        int errnum = Z_OK;
+        gzerror(gz, &errnum);
+        if (errnum != Z_OK && errnum != Z_STREAM_END) {
+          return Status::Corruption("gzip trace: inflate failed");
+        }
+        // Clean EOF; a partial final line (no '\n') still counts.
+        return !line->empty();
+      }
+      size_t n = std::strlen(buf);
+      line->append(buf, n);
+      if (n > 0 && line->back() == '\n') {
+        line->pop_back();
+        return true;
+      }
+      // Chunk filled without a newline: keep reading the same line.
+    }
+  }
+  bool Rewind() override { return gzrewind(gz) == 0; }
+  gzFile gz;
+};
+#endif
+
+StatusOr<std::unique_ptr<TraceReader::Input>> OpenInput(
+    const std::string& path, TraceCompression* compression) {
+  std::ifstream in(path, std::ios::in | std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open trace file: " + path);
+  }
+  unsigned char magic[2] = {};
+  in.read(reinterpret_cast<char*>(magic), sizeof(magic));
+  bool gzipped = in.gcount() == sizeof(magic) &&
+                 std::memcmp(magic, kGzipMagic, sizeof(magic)) == 0;
+  if (!gzipped) {
+    *compression = TraceCompression::kNone;
+    in.clear();
+    in.seekg(0);
+    return std::unique_ptr<TraceReader::Input>(
+        new PlainInput(std::move(in)));
+  }
+  in.close();
+#ifdef UFLIP_HAVE_ZLIB
+  gzFile gz = gzopen(path.c_str(), "rb");
+  if (gz == nullptr) {
+    return Status::IoError("cannot open trace file: " + path);
+  }
+  *compression = TraceCompression::kGzip;
+  return std::unique_ptr<TraceReader::Input>(new GzInput(gz));
+#else
+  return Status::Unimplemented(
+      "gzip-framed trace but gzip support not compiled in (zlib missing): " +
+      path);
+#endif
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------------
 // TraceWriter
 // ---------------------------------------------------------------------
 
+TraceWriter::TraceWriter(std::unique_ptr<Output> out, TraceFormat format,
+                         TraceCompression compression, uint64_t count_pos)
+    : out_(std::move(out)),
+      format_(format),
+      compression_(compression),
+      count_pos_(count_pos) {}
+TraceWriter::TraceWriter(TraceWriter&&) noexcept = default;
+TraceWriter& TraceWriter::operator=(TraceWriter&&) noexcept = default;
+TraceWriter::~TraceWriter() = default;
+
 StatusOr<TraceWriter> TraceWriter::Open(const std::string& path,
                                         TraceFormat format,
-                                        const TraceMeta& meta) {
+                                        const TraceMeta& meta,
+                                        TraceCompression compression) {
   // Refuse to write what TraceReader would refuse to read.
   if (meta.source.size() > kMaxSourceLen) {
     return Status::InvalidArgument("trace source name too long");
@@ -82,67 +311,79 @@ StatusOr<TraceWriter> TraceWriter::Open(const std::string& path,
     return Status::InvalidArgument(
         "trace source name must not contain newlines");
   }
-  std::ios::openmode mode = std::ios::out | std::ios::trunc;
-  if (format == TraceFormat::kBinary) mode |= std::ios::binary;
-  std::ofstream out(path, mode);
-  if (!out.is_open()) {
-    return Status::IoError("cannot open trace file for writing: " + path);
+  if (compression == TraceCompression::kAuto) {
+    compression = CompressionForPath(path);
   }
-  std::streampos count_pos = 0;
+  auto out = OpenOutput(path, compression);
+  if (!out.ok()) return out.status();
+
+  uint64_t count_pos = 0;
+  bool ok = true;
   if (format == TraceFormat::kCsv) {
-    out << kCsvMagic << '\n';
-    out << "# source=" << meta.source << '\n';
-    out << "# capacity_bytes=" << meta.capacity_bytes << '\n';
-    out << kCsvHeader << '\n';
+    std::string header;
+    header.append(kCsvMagic).append("\n# source=").append(meta.source);
+    header.append("\n# capacity_bytes=")
+        .append(std::to_string(meta.capacity_bytes))
+        .append("\n")
+        .append(kCsvHeader)
+        .append("\n");
+    ok = (*out)->Write(header.data(), header.size());
   } else {
-    out.write(kBinaryMagic, sizeof(kBinaryMagic));
-    PutRaw(out, static_cast<uint32_t>(meta.source.size()));
-    out.write(meta.source.data(),
-              static_cast<std::streamsize>(meta.source.size()));
-    PutRaw(out, meta.capacity_bytes);
-    count_pos = out.tellp();
-    PutRaw(out, static_cast<uint64_t>(0));  // patched by Close()
+    uint32_t source_len = static_cast<uint32_t>(meta.source.size());
+    ok = ok && (*out)->Write(kBinaryMagic, sizeof(kBinaryMagic));
+    ok = ok && (*out)->Write(&source_len, sizeof(source_len));
+    ok = ok && (*out)->Write(meta.source.data(), meta.source.size());
+    ok = ok && (*out)->Write(&meta.capacity_bytes,
+                             sizeof(meta.capacity_bytes));
+    count_pos = sizeof(kBinaryMagic) + sizeof(source_len) +
+                meta.source.size() + sizeof(meta.capacity_bytes);
+    // A non-seekable sink cannot patch the count at Close(): store the
+    // "uncounted; read until EOF" sentinel up front instead.
+    uint64_t count = (*out)->seekable() ? 0 : kUnknownCount;
+    ok = ok && (*out)->Write(&count, sizeof(count));
   }
-  if (!out.good()) {
+  if (!ok) {
     return Status::IoError("failed writing trace header: " + path);
   }
-  return TraceWriter(std::move(out), format, count_pos);
+  return TraceWriter(std::move(*out), format, compression, count_pos);
 }
 
 Status TraceWriter::Append(const TraceEvent& event) {
   if (event.mode != IoMode::kRead && event.mode != IoMode::kWrite) {
     return Status::InvalidArgument("trace event with invalid IO mode");
   }
+  bool ok;
   if (format_ == TraceFormat::kCsv) {
     // Sized for worst-case u64 fields plus %.3f of any finite double
     // (~310 digits for DBL_MAX); the check below still guards overflow.
     char buf[400];
-    int n = std::snprintf(buf, sizeof(buf), "%llu,%llu,%u,%s,%.3f",
+    int n = std::snprintf(buf, sizeof(buf), "%llu,%llu,%u,%s,%.3f\n",
                           static_cast<unsigned long long>(event.submit_us),
                           static_cast<unsigned long long>(event.offset),
                           event.size, IoModeName(event.mode), event.rt_us);
     if (n < 0 || n >= static_cast<int>(sizeof(buf))) {
       return Status::InvalidArgument("trace event does not format as CSV");
     }
-    out_ << buf << '\n';
+    ok = out_->Write(buf, static_cast<size_t>(n));
   } else {
     BinaryEvent be{event.submit_us, event.offset, event.size,
                    event.mode == IoMode::kRead ? 0u : 1u, event.rt_us};
-    PutRaw(out_, be);
+    ok = out_->Write(&be, sizeof(be));
   }
-  if (!out_.good()) return Status::IoError("trace write failed");
+  if (!ok) return Status::IoError("trace write failed");
   ++count_;
   return Status::Ok();
 }
 
 Status TraceWriter::Close() {
-  if (format_ == TraceFormat::kBinary) {
-    out_.seekp(count_pos_);
-    PutRaw(out_, count_);
+  if (format_ == TraceFormat::kBinary && out_->seekable()) {
+    if (!out_->PatchAt(count_pos_, &count_, sizeof(count_))) {
+      return Status::IoError("trace stream in failed state");
+    }
   }
-  out_.flush();
-  if (!out_.good()) return Status::IoError("trace stream in failed state");
-  out_.close();
+  if (!out_->Close()) {
+    return Status::IoError("trace stream in failed state");
+  }
   return Status::Ok();
 }
 
@@ -150,100 +391,133 @@ Status TraceWriter::Close() {
 // TraceReader
 // ---------------------------------------------------------------------
 
+TraceReader::TraceReader(std::unique_ptr<Input> in, TraceFormat format,
+                         TraceCompression compression, std::string path,
+                         TraceMeta meta, uint64_t remaining, uint64_t line)
+    : in_(std::move(in)),
+      format_(format),
+      compression_(compression),
+      path_(std::move(path)),
+      meta_(std::move(meta)),
+      remaining_(remaining),
+      line_(line) {}
+TraceReader::TraceReader(TraceReader&&) noexcept = default;
+TraceReader& TraceReader::operator=(TraceReader&&) noexcept = default;
+TraceReader::~TraceReader() = default;
+
 StatusOr<TraceReader> TraceReader::Open(const std::string& path) {
-  std::ifstream in(path, std::ios::in | std::ios::binary);
-  if (!in.is_open()) {
-    return Status::IoError("cannot open trace file: " + path);
-  }
+  TraceCompression compression = TraceCompression::kNone;
+  auto in = OpenInput(path, &compression);
+  if (!in.ok()) return in.status();
+
   char magic[8] = {};
-  in.read(magic, sizeof(magic));
-  if (in.gcount() == sizeof(magic) &&
+  long got = (*in)->Read(magic, sizeof(magic));
+  if (got == static_cast<long>(sizeof(magic)) &&
       std::memcmp(magic, kBinaryMagic, sizeof(magic)) == 0) {
     TraceMeta meta;
     uint32_t source_len = 0;
-    if (!GetRaw(in, &source_len) || source_len > kMaxSourceLen) {
+    if ((*in)->Read(&source_len, sizeof(source_len)) !=
+            static_cast<long>(sizeof(source_len)) ||
+        source_len > kMaxSourceLen) {
       return Status::Corruption("binary trace: bad source length");
     }
     meta.source.resize(source_len);
-    in.read(meta.source.data(), source_len);
     uint64_t count = 0;
-    if (in.gcount() != static_cast<std::streamsize>(source_len) ||
-        !GetRaw(in, &meta.capacity_bytes) || !GetRaw(in, &count)) {
+    if ((*in)->Read(meta.source.data(), source_len) !=
+            static_cast<long>(source_len) ||
+        (*in)->Read(&meta.capacity_bytes, sizeof(meta.capacity_bytes)) !=
+            static_cast<long>(sizeof(meta.capacity_bytes)) ||
+        (*in)->Read(&count, sizeof(count)) !=
+            static_cast<long>(sizeof(count))) {
       return Status::Corruption("binary trace: truncated header");
     }
-    return TraceReader(std::move(in), TraceFormat::kBinary, std::move(meta),
-                       count, 0);
+    return TraceReader(std::move(*in), TraceFormat::kBinary, compression,
+                       path, std::move(meta), count, 0);
   }
 
   // CSV: re-read from the top, line by line.
-  in.clear();
-  in.seekg(0);
+  if (!(*in)->Rewind()) {
+    return Status::IoError("cannot rewind trace file: " + path);
+  }
   std::string line;
-  if (!std::getline(in, line) || line != kCsvMagic) {
+  StatusOr<bool> more = (*in)->ReadLine(&line);
+  if (!more.ok()) return more.status();
+  if (!*more || line != kCsvMagic) {
     return Status::Corruption("not a uflip trace (bad magic): " + path);
   }
   TraceMeta meta;
   uint64_t line_no = 1;
-  while (std::getline(in, line)) {
+  while (true) {
+    more = (*in)->ReadLine(&line);
+    if (!more.ok()) return more.status();
+    if (!*more) break;
     ++line_no;
     if (line.rfind("# source=", 0) == 0) {
       meta.source = line.substr(sizeof("# source=") - 1);
     } else if (line.rfind("# capacity_bytes=", 0) == 0) {
       UFLIP_RETURN_IF_ERROR(ParseU64(
-          line.substr(sizeof("# capacity_bytes=") - 1), line_no,
-          &meta.capacity_bytes));
+          line.substr(sizeof("# capacity_bytes=") - 1),
+          path + " line " + std::to_string(line_no), &meta.capacity_bytes));
     } else if (line.rfind("#", 0) == 0) {
       continue;  // unknown metadata: ignore for forward compatibility
     } else if (line == kCsvHeader) {
-      return TraceReader(std::move(in), TraceFormat::kCsv, std::move(meta),
-                         0, line_no);
+      return TraceReader(std::move(*in), TraceFormat::kCsv, compression,
+                         path, std::move(meta), 0, line_no);
     } else {
-      return Status::Corruption("trace line " + std::to_string(line_no) +
+      return Status::Corruption(path + " line " + std::to_string(line_no) +
                                 ": expected column header");
     }
   }
   return Status::Corruption("csv trace: missing column header: " + path);
 }
 
-StatusOr<TraceEvent> TraceReader::Next() {
-  return format_ == TraceFormat::kCsv ? NextCsv() : NextBinary();
+std::optional<uint64_t> TraceReader::SizeHint() const {
+  if (format_ == TraceFormat::kBinary && remaining_ != kUnknownCount) {
+    return remaining_;
+  }
+  return std::nullopt;
 }
 
-StatusOr<TraceEvent> TraceReader::NextCsv() {
+StatusOr<bool> TraceReader::Next(TraceEvent* event) {
+  StatusOr<bool> more =
+      format_ == TraceFormat::kCsv ? NextCsv(event) : NextBinary(event);
+  if (more.ok() && *more) ++read_;
+  return more;
+}
+
+StatusOr<bool> TraceReader::NextCsv(TraceEvent* event) {
   std::string line;
   // Skip blank trailing lines so hand-edited traces stay readable.
   do {
-    if (!std::getline(in_, line)) {
-      return Status::NotFound("end of trace");
-    }
+    StatusOr<bool> more = in_->ReadLine(&line);
+    if (!more.ok()) return more.status();
+    if (!*more) return false;  // clean end of trace
     ++line_;
   } while (line.empty());
+  const std::string where = path_ + " line " + std::to_string(line_);
 
   std::string fields[5];
   size_t field = 0, start = 0;
   for (size_t i = 0; i <= line.size(); ++i) {
     if (i == line.size() || line[i] == ',') {
       if (field >= 5) {
-        return Status::Corruption("trace line " + std::to_string(line_) +
-                                  ": too many fields");
+        return Status::Corruption(where + ": too many fields");
       }
       fields[field++] = line.substr(start, i - start);
       start = i + 1;
     }
   }
   if (field != 5) {
-    return Status::Corruption("trace line " + std::to_string(line_) +
-                              ": expected 5 fields, got " +
+    return Status::Corruption(where + ": expected 5 fields, got " +
                               std::to_string(field));
   }
   TraceEvent e;
   uint64_t size64 = 0;
-  UFLIP_RETURN_IF_ERROR(ParseU64(fields[0], line_, &e.submit_us));
-  UFLIP_RETURN_IF_ERROR(ParseU64(fields[1], line_, &e.offset));
-  UFLIP_RETURN_IF_ERROR(ParseU64(fields[2], line_, &size64));
+  UFLIP_RETURN_IF_ERROR(ParseU64(fields[0], where, &e.submit_us));
+  UFLIP_RETURN_IF_ERROR(ParseU64(fields[1], where, &e.offset));
+  UFLIP_RETURN_IF_ERROR(ParseU64(fields[2], where, &size64));
   if (size64 > UINT32_MAX) {
-    return Status::Corruption("trace line " + std::to_string(line_) +
-                              ": IO size out of range");
+    return Status::Corruption(where + ": IO size out of range");
   }
   e.size = static_cast<uint32_t>(size64);
   if (fields[3] == "read") {
@@ -251,32 +525,43 @@ StatusOr<TraceEvent> TraceReader::NextCsv() {
   } else if (fields[3] == "write") {
     e.mode = IoMode::kWrite;
   } else {
-    return Status::Corruption("trace line " + std::to_string(line_) +
-                              ": unknown IO mode '" + fields[3] + "'");
+    return Status::Corruption(where + ": unknown IO mode '" + fields[3] +
+                              "'");
   }
   char* end = nullptr;
   e.rt_us = std::strtod(fields[4].c_str(), &end);
   if (fields[4].empty() || end != fields[4].c_str() + fields[4].size()) {
-    return Status::Corruption("trace line " + std::to_string(line_) +
-                              ": bad response time '" + fields[4] + "'");
+    return Status::Corruption(where + ": bad response time '" + fields[4] +
+                              "'");
   }
-  return e;
+  *event = e;
+  return true;
 }
 
-StatusOr<TraceEvent> TraceReader::NextBinary() {
-  if (remaining_ == 0) return Status::NotFound("end of trace");
+StatusOr<bool> TraceReader::NextBinary(TraceEvent* event) {
+  if (remaining_ == 0) return false;  // counted trace fully consumed
   BinaryEvent be;
-  if (!GetRaw(in_, &be)) {
-    return Status::Corruption("binary trace: truncated event (" +
-                              std::to_string(remaining_) + " still counted)");
+  long got = in_->Read(&be, sizeof(be));
+  if (got == 0 && remaining_ == kUnknownCount) {
+    return false;  // uncounted trace: clean EOF at a record boundary
+  }
+  if (got != static_cast<long>(sizeof(be))) {
+    std::string counted =
+        remaining_ == kUnknownCount
+            ? "mid-record EOF"
+            : std::to_string(remaining_) + " still counted";
+    return Status::Corruption("binary trace: truncated event " +
+                              std::to_string(read_) + " (" + counted + ")");
   }
   if (be.mode > 1) {
-    return Status::Corruption("binary trace: unknown IO mode " +
-                              std::to_string(be.mode));
+    return Status::Corruption("binary trace: event " + std::to_string(read_) +
+                              ": unknown IO mode " + std::to_string(be.mode));
   }
-  --remaining_;
-  return TraceEvent{be.submit_us, be.offset, be.size,
-                    be.mode == 0 ? IoMode::kRead : IoMode::kWrite, be.rt_us};
+  if (remaining_ != kUnknownCount) --remaining_;
+  *event = TraceEvent{be.submit_us, be.offset, be.size,
+                      be.mode == 0 ? IoMode::kRead : IoMode::kWrite,
+                      be.rt_us};
+  return true;
 }
 
 // ---------------------------------------------------------------------
@@ -284,8 +569,8 @@ StatusOr<TraceEvent> TraceReader::NextBinary() {
 // ---------------------------------------------------------------------
 
 Status WriteTrace(const std::string& path, TraceFormat format,
-                  const Trace& trace) {
-  auto writer = TraceWriter::Open(path, format, trace.meta);
+                  const Trace& trace, TraceCompression compression) {
+  auto writer = TraceWriter::Open(path, format, trace.meta, compression);
   if (!writer.ok()) return writer.status();
   for (const TraceEvent& e : trace.events) {
     UFLIP_RETURN_IF_ERROR(writer->Append(e));
@@ -296,18 +581,7 @@ Status WriteTrace(const std::string& path, TraceFormat format,
 StatusOr<Trace> ReadTrace(const std::string& path) {
   auto reader = TraceReader::Open(path);
   if (!reader.ok()) return reader.status();
-  Trace trace;
-  trace.meta = reader->meta();
-  while (true) {
-    StatusOr<TraceEvent> e = reader->Next();
-    if (!e.ok()) {
-      if (e.status().code() == StatusCode::kNotFound) break;
-      return e.status();
-    }
-    trace.events.push_back(*e);
-  }
-  UFLIP_RETURN_IF_ERROR(trace.Validate());
-  return trace;
+  return MaterializeTrace(&*reader);
 }
 
 }  // namespace uflip

@@ -2,7 +2,11 @@
 // loadable into the same tooling as the per-IO response-time dumps the
 // paper publishes) and a compact binary format (32 bytes/event) for
 // long recordings. Both round-trip byte-exactly: writing a trace that
-// was read back produces an identical file.
+// was read back produces an identical file. Either format can
+// additionally be gzip-framed (suffix ".gz"): the writer deflates
+// through zlib as it streams, and the reader sniffs the gzip magic and
+// inflates transparently, so multi-GB recordings stay small on disk
+// without ever being materialized.
 //
 // CSV layout:
 //   # uflip-trace v1
@@ -15,13 +19,18 @@
 //   magic "UFTRACE1" | u32 source_len | source bytes | u64 capacity
 //   | u64 event_count | event_count * (u64 submit, u64 offset,
 //   u32 size, u32 mode, f64 rt)
+// A gzip-framed binary trace cannot seek back to patch the count at
+// Close(), so it stores the sentinel UINT64_MAX ("unknown; read until
+// EOF") instead; the reader then treats a clean EOF at a record
+// boundary as the end of the trace and a partial record as corruption.
 #ifndef UFLIP_TRACE_TRACE_IO_H_
 #define UFLIP_TRACE_TRACE_IO_H_
 
 #include <cstdint>
-#include <fstream>
+#include <memory>
 #include <string>
 
+#include "src/trace/event_source.h"
 #include "src/trace/trace_event.h"
 #include "src/util/status.h"
 
@@ -31,9 +40,23 @@ enum class TraceFormat { kCsv, kBinary };
 
 const char* TraceFormatName(TraceFormat f);
 
-/// Picks a format from a file extension: ".csv" is CSV, anything else
-/// (".utr", ".bin", ...) is binary.
+/// Gzip framing around either format. kAuto resolves from the file
+/// extension at TraceWriter::Open (readers always sniff the file's
+/// leading bytes instead).
+enum class TraceCompression { kAuto, kNone, kGzip };
+
+const char* TraceCompressionName(TraceCompression c);
+
+/// True when gzip support was compiled in (zlib found at build time).
+bool GzipSupported();
+
+/// Picks a format from a file extension, looking through a trailing
+/// ".gz": ".csv" / ".csv.gz" is CSV, anything else (".utr", ".bin",
+/// ".utr.gz", ...) is binary.
 TraceFormat FormatForPath(const std::string& path);
+
+/// Picks the framing from a file extension: ".gz" is gzip.
+TraceCompression CompressionForPath(const std::string& path);
 
 /// Streams events to a trace file one at a time (WriteTrace() below is
 /// the whole-trace convenience wrapper; RecordingDevice::StreamTo
@@ -41,70 +64,90 @@ TraceFormat FormatForPath(const std::string& path);
 class TraceWriter {
  public:
   /// Opens `path` for writing (truncating) and emits the header.
-  static StatusOr<TraceWriter> Open(const std::string& path,
-                                    TraceFormat format,
-                                    const TraceMeta& meta);
+  static StatusOr<TraceWriter> Open(
+      const std::string& path, TraceFormat format, const TraceMeta& meta,
+      TraceCompression compression = TraceCompression::kAuto);
 
-  TraceWriter(TraceWriter&&) = default;
-  TraceWriter& operator=(TraceWriter&&) = default;
+  // Defined out of line: members hold a pointer-to-incomplete Output.
+  TraceWriter(TraceWriter&&) noexcept;
+  TraceWriter& operator=(TraceWriter&&) noexcept;
+  ~TraceWriter();
 
   Status Append(const TraceEvent& event);
 
-  /// Finalizes the file (binary: patches the event count) and closes it.
+  /// Finalizes the file (seekable binary: patches the event count) and
+  /// closes it.
   Status Close();
 
   uint64_t events_written() const { return count_; }
   TraceFormat format() const { return format_; }
+  TraceCompression compression() const { return compression_; }
+
+  struct Output;  // byte sink: plain file or gzip-deflating file
 
  private:
-  TraceWriter(std::ofstream out, TraceFormat format,
-              std::streampos count_pos)
-      : out_(std::move(out)), format_(format), count_pos_(count_pos) {}
+  TraceWriter(std::unique_ptr<Output> out, TraceFormat format,
+              TraceCompression compression, uint64_t count_pos);
 
-  std::ofstream out_;
+  std::unique_ptr<Output> out_;
   TraceFormat format_;
-  std::streampos count_pos_;  // binary: where the event count lives
+  TraceCompression compression_;
+  uint64_t count_pos_;  // seekable binary: where the event count lives
   uint64_t count_ = 0;
 };
 
-/// Streams events back from a trace file; the format is sniffed from the
-/// file's first bytes, so readers need not know how a trace was written.
-class TraceReader {
+/// Streams events back from a trace file; gzip framing and the inner
+/// format are sniffed from the file's first bytes, so readers need not
+/// know how a trace was written. TraceReader is the streaming
+/// EventSource: replaying straight from one keeps peak memory
+/// independent of the trace length.
+class TraceReader : public EventSource {
  public:
   static StatusOr<TraceReader> Open(const std::string& path);
 
-  TraceReader(TraceReader&&) = default;
-  TraceReader& operator=(TraceReader&&) = default;
+  // Defined out of line: members hold a pointer-to-incomplete Input.
+  TraceReader(TraceReader&&) noexcept;
+  TraceReader& operator=(TraceReader&&) noexcept;
+  ~TraceReader() override;
 
-  const TraceMeta& meta() const { return meta_; }
+  const TraceMeta& meta() const override { return meta_; }
   TraceFormat format() const { return format_; }
+  TraceCompression compression() const { return compression_; }
 
-  /// The next event, or NotFound at end of trace. Malformed content
-  /// (bad mode, non-numeric fields, truncation) is Corruption.
-  StatusOr<TraceEvent> Next();
+  /// Events still to be read, when the header counted them.
+  std::optional<uint64_t> SizeHint() const override;
+
+  /// Pulls the next event: Ok(true) fills *event, Ok(false) is the
+  /// clean end of the trace (explicitly distinct from any error).
+  /// Malformed content (bad mode, non-numeric fields, truncation) is
+  /// Corruption, tagged with "<path> line N" for CSV and the event
+  /// index for binary.
+  StatusOr<bool> Next(TraceEvent* event) override;
+
+  struct Input;  // byte source: plain file or gzip-inflating file
 
  private:
-  TraceReader(std::ifstream in, TraceFormat format, TraceMeta meta,
-              uint64_t remaining, uint64_t line)
-      : in_(std::move(in)),
-        format_(format),
-        meta_(std::move(meta)),
-        remaining_(remaining),
-        line_(line) {}
+  TraceReader(std::unique_ptr<Input> in, TraceFormat format,
+              TraceCompression compression, std::string path, TraceMeta meta,
+              uint64_t remaining, uint64_t line);
 
-  StatusOr<TraceEvent> NextCsv();
-  StatusOr<TraceEvent> NextBinary();
+  StatusOr<bool> NextCsv(TraceEvent* event);
+  StatusOr<bool> NextBinary(TraceEvent* event);
 
-  std::ifstream in_;
+  std::unique_ptr<Input> in_;
   TraceFormat format_;
+  TraceCompression compression_;
+  std::string path_;    // for error messages
   TraceMeta meta_;
-  uint64_t remaining_ = 0;  // binary: events left
+  uint64_t remaining_ = 0;  // binary: events left (kUnknownCount = EOF-driven)
+  uint64_t read_ = 0;       // events returned so far
   uint64_t line_ = 0;       // CSV: current line, for error messages
 };
 
 /// Writes a whole trace to `path`.
 Status WriteTrace(const std::string& path, TraceFormat format,
-                  const Trace& trace);
+                  const Trace& trace,
+                  TraceCompression compression = TraceCompression::kAuto);
 
 /// Reads and validates a whole trace (any format) from `path`.
 StatusOr<Trace> ReadTrace(const std::string& path);

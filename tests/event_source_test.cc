@@ -1,0 +1,552 @@
+// EventSource / streaming-replay tests: TraceView and generator
+// sources against their materialized counterparts, streaming
+// (TraceReader-driven) replay vs. materialized replay on the sync and
+// async paths, stats-only O(1) replay, gzip framing round-trips, and
+// the ZipfianLba O(1) sampler (zeta approximation, scatter bijection,
+// distribution regression, huge-domain construction).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#ifdef UFLIP_HAVE_ZLIB
+#include <zlib.h>
+#endif
+
+#include "src/device/async_sim_device.h"
+#include "src/device/mem_device.h"
+#include "src/run/trace_run.h"
+#include "src/trace/event_source.h"
+#include "src/trace/synthetic.h"
+#include "src/trace/trace_io.h"
+#include "tests/sim_test_util.h"
+
+namespace uflip {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "uflip_evsrc_" + name;
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+Trace SampleTrace(uint32_t events = 64, uint64_t gap_us = 200) {
+  ZipfianTraceConfig cfg;
+  cfg.capacity_bytes = 8ULL << 20;
+  cfg.io_size = 4096;
+  cfg.io_count = events;
+  cfg.theta = 0.9;
+  cfg.mean_gap_us = gap_us;
+  auto t = GenerateZipfianTrace(cfg);
+  EXPECT_TRUE(t.ok()) << t.status();
+  return *t;
+}
+
+// ---------------------------------------------------------------------
+// EventSource basics
+// ---------------------------------------------------------------------
+
+TEST(EventSourceTest, TraceViewIteratesAndResets) {
+  Trace t = SampleTrace(8);
+  TraceView view(&t);
+  EXPECT_EQ(view.meta(), t.meta);
+  ASSERT_TRUE(view.SizeHint().has_value());
+  EXPECT_EQ(*view.SizeHint(), 8u);
+
+  TraceEvent e;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (size_t i = 0; i < t.events.size(); ++i) {
+      auto more = view.Next(&e);
+      ASSERT_TRUE(more.ok());
+      ASSERT_TRUE(*more);
+      EXPECT_EQ(e, t.events[i]);
+    }
+    auto end = view.Next(&e);
+    ASSERT_TRUE(end.ok());
+    EXPECT_FALSE(*end);
+    view.Reset();
+  }
+}
+
+TEST(EventSourceTest, MaterializeRoundTripsAndEnforcesLimit) {
+  Trace t = SampleTrace(16);
+  TraceView view(&t);
+  auto back = MaterializeTrace(&view);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(*back, t);
+
+  view.Reset();
+  auto capped = MaterializeTrace(&view, 4);
+  ASSERT_FALSE(capped.ok());
+  EXPECT_EQ(capped.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(EventSourceTest, GeneratorSourcesMatchMaterializedGenerators) {
+  ZipfianTraceConfig z;
+  z.io_count = 200;
+  z.mean_gap_us = 100;
+  z.theta = 0.9;
+  ZipfianEventSource zs(z);
+  auto zt = MaterializeTrace(&zs);
+  ASSERT_TRUE(zt.ok());
+  auto zg = GenerateZipfianTrace(z);
+  ASSERT_TRUE(zg.ok());
+  EXPECT_EQ(*zt, *zg);
+
+  OltpTraceConfig o;
+  o.transactions = 150;
+  o.mean_gap_us = 50;
+  OltpEventSource os(o);
+  auto ot = MaterializeTrace(&os);
+  ASSERT_TRUE(ot.ok());
+  auto og = GenerateOltpTrace(o);
+  ASSERT_TRUE(og.ok());
+  EXPECT_EQ(*ot, *og);
+
+  MultiStreamTraceConfig m;
+  m.ios_per_stream = 40;
+  m.gap_us = 10;
+  MultiStreamEventSource ms(m);
+  auto mt = MaterializeTrace(&ms);
+  ASSERT_TRUE(mt.ok());
+  auto mg = GenerateMultiStreamTrace(m);
+  ASSERT_TRUE(mg.ok());
+  EXPECT_EQ(*mt, *mg);
+}
+
+TEST(EventSourceTest, GeneratorSourcesSurfaceConfigErrors) {
+  ZipfianTraceConfig bad;
+  bad.theta = 2.0;
+  ZipfianEventSource src(bad);
+  TraceEvent e;
+  auto more = src.Next(&e);
+  ASSERT_FALSE(more.ok());
+  EXPECT_EQ(more.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------
+// Streaming replay == materialized replay
+// ---------------------------------------------------------------------
+
+TEST(StreamingReplayTest, SyncStreamingMatchesMaterializedExactly) {
+  Trace t = SampleTrace(128);
+  std::string p = TempPath("sync.utr");
+  ASSERT_TRUE(WriteTrace(p, TraceFormat::kBinary, t).ok());
+
+  ReplayOptions opts;
+  opts.timing = ReplayTiming::kOriginal;
+
+  auto dev_a = MakeTestDevice("mtron", 16 << 20);
+  auto materialized = ExecuteTraceRun(dev_a.get(), t, opts);
+  ASSERT_TRUE(materialized.ok()) << materialized.status();
+
+  auto dev_b = MakeTestDevice("mtron", 16 << 20);
+  auto reader = TraceReader::Open(p);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  auto streamed = ExecuteTraceRun(dev_b.get(), &*reader, opts);
+  ASSERT_TRUE(streamed.ok()) << streamed.status();
+
+  ASSERT_EQ(streamed->samples.size(), materialized->samples.size());
+  for (size_t i = 0; i < streamed->samples.size(); ++i) {
+    EXPECT_EQ(streamed->samples[i].submit_us,
+              materialized->samples[i].submit_us) << "IO " << i;
+    EXPECT_DOUBLE_EQ(streamed->samples[i].rt_us,
+                     materialized->samples[i].rt_us) << "IO " << i;
+  }
+  RunStats sm = materialized->Stats(), ss = streamed->Stats();
+  EXPECT_EQ(ss.count, sm.count);
+  EXPECT_DOUBLE_EQ(ss.mean_us, sm.mean_us);
+  EXPECT_DOUBLE_EQ(ss.p95_us, sm.p95_us);
+  EXPECT_DOUBLE_EQ(ss.max_us, sm.max_us);
+  EXPECT_EQ(dev_a->clock()->NowUs(), dev_b->clock()->NowUs());
+}
+
+TEST(StreamingReplayTest, AsyncStreamingMatchesMaterializedExactly) {
+  Trace t = SampleTrace(128, 100);  // tight gaps: IOs genuinely queue
+  std::string p = TempPath("async.utr");
+  ASSERT_TRUE(WriteTrace(p, TraceFormat::kBinary, t).ok());
+
+  ReplayOptions opts;
+  opts.timing = ReplayTiming::kOriginal;
+
+  AsyncSimDevice dev_a(MakeTestDevice("mtron", 16 << 20), 8);
+  auto materialized = ExecuteTraceRun(&dev_a, t, opts);
+  ASSERT_TRUE(materialized.ok()) << materialized.status();
+
+  AsyncSimDevice dev_b(MakeTestDevice("mtron", 16 << 20), 8);
+  auto reader = TraceReader::Open(p);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  auto streamed = ExecuteTraceRun(&dev_b, &*reader, opts);
+  ASSERT_TRUE(streamed.ok()) << streamed.status();
+
+  ASSERT_EQ(streamed->samples.size(), materialized->samples.size());
+  for (size_t i = 0; i < streamed->samples.size(); ++i) {
+    EXPECT_EQ(streamed->samples[i].submit_us,
+              materialized->samples[i].submit_us) << "IO " << i;
+    EXPECT_DOUBLE_EQ(streamed->samples[i].rt_us,
+                     materialized->samples[i].rt_us) << "IO " << i;
+  }
+  EXPECT_EQ(dev_a.clock()->NowUs(), dev_b.clock()->NowUs());
+}
+
+TEST(StreamingReplayTest, StatsOnlyReplayMatchesExactMoments) {
+  Trace t = SampleTrace(256);
+  ReplayOptions keep;
+  keep.timing = ReplayTiming::kOriginal;
+  keep.io_ignore = 50;
+  ReplayOptions stats_only = keep;
+  stats_only.keep_samples = false;
+
+  auto dev_a = MakeTestDevice("mtron", 16 << 20);
+  auto full = ExecuteTraceRun(dev_a.get(), t, keep);
+  ASSERT_TRUE(full.ok()) << full.status();
+
+  auto dev_b = MakeTestDevice("mtron", 16 << 20);
+  auto lean = ExecuteTraceRun(dev_b.get(), t, stats_only);
+  ASSERT_TRUE(lean.ok()) << lean.status();
+
+  EXPECT_TRUE(lean->samples.empty());
+  ASSERT_TRUE(lean->streamed_stats.has_value());
+  for (auto pick : {0, 1}) {
+    RunStats exact = pick ? full->Stats() : full->StatsIncludingStartup();
+    RunStats online = pick ? lean->Stats() : lean->StatsIncludingStartup();
+    EXPECT_EQ(online.count, exact.count);
+    EXPECT_DOUBLE_EQ(online.mean_us, exact.mean_us);
+    EXPECT_DOUBLE_EQ(online.sum_us, exact.sum_us);
+    EXPECT_DOUBLE_EQ(online.min_us, exact.min_us);
+    EXPECT_DOUBLE_EQ(online.max_us, exact.max_us);
+    EXPECT_NEAR(online.stddev_us, exact.stddev_us,
+                1e-9 * (1 + exact.stddev_us));
+    // Percentiles come from the log histogram: ~1% relative error.
+    EXPECT_NEAR(online.p50_us, exact.p50_us, 0.015 * exact.p50_us);
+    EXPECT_NEAR(online.p95_us, exact.p95_us, 0.015 * exact.p95_us);
+    EXPECT_NEAR(online.p99_us, exact.p99_us, 0.015 * exact.p99_us);
+  }
+  // Identical device-time behaviour either way.
+  EXPECT_EQ(dev_a->clock()->NowUs(), dev_b->clock()->NowUs());
+}
+
+TEST(StreamingReplayTest, StatsOnlyClampsIgnoreLikeMaterialized) {
+  Trace t = SampleTrace(16);
+  ReplayOptions opts;
+  opts.io_ignore = 1000;  // beyond the trace: degrades to last sample
+  auto dev_a = MakeTestDevice("mtron", 16 << 20);
+  auto full = ExecuteTraceRun(dev_a.get(), t, opts);
+  ASSERT_TRUE(full.ok());
+  opts.keep_samples = false;
+  auto dev_b = MakeTestDevice("mtron", 16 << 20);
+  auto lean = ExecuteTraceRun(dev_b.get(), t, opts);
+  ASSERT_TRUE(lean.ok());
+  EXPECT_EQ(lean->Stats().count, full->Stats().count);
+  EXPECT_DOUBLE_EQ(lean->Stats().mean_us, full->Stats().mean_us);
+}
+
+TEST(StreamingReplayTest, StatsOnlyRejectsAutoIoIgnore) {
+  Trace t = SampleTrace(8);
+  auto dev = MakeTestDevice("mtron", 16 << 20);
+  ReplayOptions opts;
+  opts.keep_samples = false;
+  opts.io_ignore = ReplayOptions::kAutoIoIgnore;
+  auto run = ExecuteTraceRun(dev.get(), t, opts);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StreamingReplayTest, OnlineValidationCatchesCorruptStreams) {
+  // Unsorted submissions reach replay only through a streaming source
+  // (materialized traces are validated up front); the replay loop must
+  // catch them itself.
+  Trace t;
+  t.meta.capacity_bytes = 8 << 20;
+  t.events = {
+      {1000, 0, 4096, IoMode::kRead, 0},
+      {0, 4096, 4096, IoMode::kRead, 0},
+  };
+  TraceView view(&t);
+  auto dev = MakeTestDevice("mtron", 16 << 20);
+  auto run = ExecuteTraceRun(dev.get(), &view, ReplayOptions{});
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+
+  TraceView empty_view(&t);
+  Trace empty;
+  TraceView really_empty(&empty);
+  auto none = ExecuteTraceRun(dev.get(), &really_empty, ReplayOptions{});
+  ASSERT_FALSE(none.ok());
+  EXPECT_EQ(none.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StreamingReplayTest, GeneratorReplaysDirectlyWithoutMaterializing) {
+  // generator -> replay, no Trace in between; equals the materialized
+  // result of the same generator config.
+  ZipfianTraceConfig cfg;
+  cfg.capacity_bytes = 8ULL << 20;
+  cfg.io_count = 96;
+  cfg.mean_gap_us = 300;
+  ReplayOptions opts;
+  opts.timing = ReplayTiming::kOriginal;
+
+  ZipfianEventSource source(cfg);
+  auto dev_a = MakeTestDevice("memoright", 16 << 20);
+  auto direct = ExecuteTraceRun(dev_a.get(), &source, opts);
+  ASSERT_TRUE(direct.ok()) << direct.status();
+
+  auto trace = GenerateZipfianTrace(cfg);
+  ASSERT_TRUE(trace.ok());
+  auto dev_b = MakeTestDevice("memoright", 16 << 20);
+  auto via_trace = ExecuteTraceRun(dev_b.get(), *trace, opts);
+  ASSERT_TRUE(via_trace.ok());
+  ASSERT_EQ(direct->samples.size(), via_trace->samples.size());
+  for (size_t i = 0; i < direct->samples.size(); ++i) {
+    EXPECT_DOUBLE_EQ(direct->samples[i].rt_us, via_trace->samples[i].rt_us);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Gzip framing
+// ---------------------------------------------------------------------
+
+TEST(GzipTraceTest, PathHelpersSeeThroughGzSuffix) {
+  EXPECT_EQ(FormatForPath("a/b.csv.gz"), TraceFormat::kCsv);
+  EXPECT_EQ(FormatForPath("a/b.utr.gz"), TraceFormat::kBinary);
+  EXPECT_EQ(CompressionForPath("a/b.csv.gz"), TraceCompression::kGzip);
+  EXPECT_EQ(CompressionForPath("a/b.csv"), TraceCompression::kNone);
+}
+
+#ifdef UFLIP_HAVE_ZLIB
+std::string Gunzip(const std::string& path) {
+  gzFile gz = gzopen(path.c_str(), "rb");
+  EXPECT_NE(gz, nullptr);
+  std::string out;
+  char buf[4096];
+  int n;
+  while ((n = gzread(gz, buf, sizeof(buf))) > 0) out.append(buf, n);
+  EXPECT_EQ(n, 0);
+  gzclose(gz);
+  return out;
+}
+#endif
+
+TEST(GzipTraceTest, CsvGzipDecompressesByteIdenticalToPlain) {
+  if (!GzipSupported()) GTEST_SKIP() << "built without zlib";
+#ifdef UFLIP_HAVE_ZLIB
+  Trace t = SampleTrace(64);
+  std::string plain = TempPath("rt.csv"), gz = TempPath("rt.csv.gz");
+  ASSERT_TRUE(WriteTrace(plain, TraceFormat::kCsv, t).ok());
+  ASSERT_TRUE(WriteTrace(gz, TraceFormat::kCsv, t).ok());  // kAuto -> gzip
+  // Framing engaged: the gz file starts with the gzip magic and is not
+  // the plain bytes.
+  std::string raw = Slurp(gz);
+  ASSERT_GE(raw.size(), 2u);
+  EXPECT_EQ(static_cast<unsigned char>(raw[0]), 0x1f);
+  EXPECT_EQ(static_cast<unsigned char>(raw[1]), 0x8b);
+  EXPECT_EQ(Gunzip(gz), Slurp(plain));
+#endif
+}
+
+TEST(GzipTraceTest, GzipTracesReadBackAndRewriteByteIdentical) {
+  if (!GzipSupported()) GTEST_SKIP() << "built without zlib";
+  Trace t = SampleTrace(64);
+  for (TraceFormat format : {TraceFormat::kCsv, TraceFormat::kBinary}) {
+    std::string ext = format == TraceFormat::kCsv ? ".csv.gz" : ".utr.gz";
+    std::string p1 = TempPath("rt1" + ext), p2 = TempPath("rt2" + ext);
+    ASSERT_TRUE(WriteTrace(p1, format, t).ok());
+    auto back = ReadTrace(p1);
+    ASSERT_TRUE(back.ok()) << back.status();
+    if (format == TraceFormat::kBinary) {
+      EXPECT_EQ(*back, t);  // binary preserves doubles exactly
+    } else {
+      ASSERT_EQ(back->events.size(), t.events.size());
+      EXPECT_EQ(back->meta, t.meta);
+    }
+    ASSERT_TRUE(WriteTrace(p2, format, *back).ok());
+    EXPECT_EQ(Slurp(p1), Slurp(p2)) << ext;
+  }
+}
+
+TEST(GzipTraceTest, GzipBinaryIsUncountedAndEndsCleanly) {
+  if (!GzipSupported()) GTEST_SKIP() << "built without zlib";
+  Trace t = SampleTrace(5);
+  std::string p = TempPath("uncounted.utr.gz");
+  ASSERT_TRUE(WriteTrace(p, TraceFormat::kBinary, t).ok());
+  auto r = TraceReader::Open(p);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->compression(), TraceCompression::kGzip);
+  // The gzip writer cannot patch the header count: the stream is
+  // EOF-delimited and advertises no size.
+  EXPECT_FALSE(r->SizeHint().has_value());
+  TraceEvent e;
+  for (int i = 0; i < 5; ++i) {
+    auto more = r->Next(&e);
+    ASSERT_TRUE(more.ok()) << more.status();
+    EXPECT_TRUE(*more);
+    EXPECT_EQ(e, t.events[i]);
+  }
+  auto end = r->Next(&e);
+  ASSERT_TRUE(end.ok()) << end.status();
+  EXPECT_FALSE(*end);
+}
+
+TEST(GzipTraceTest, TruncatedGzipTraceIsAnErrorNotEof) {
+  if (!GzipSupported()) GTEST_SKIP() << "built without zlib";
+  Trace t = SampleTrace(32);
+  std::string p = TempPath("trunc.utr.gz");
+  ASSERT_TRUE(WriteTrace(p, TraceFormat::kBinary, t).ok());
+  std::string bytes = Slurp(p);
+  std::ofstream(p, std::ios::binary | std::ios::trunc)
+      << bytes.substr(0, bytes.size() / 2);
+  auto back = ReadTrace(p);
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), StatusCode::kCorruption);
+}
+
+TEST(TraceReaderErrorTest, HugeBinaryHeaderCountIsCorruptionNotAbort) {
+  // A counted binary header whose count field is absurd (but not the
+  // "uncounted" sentinel) must surface as Corruption when the events
+  // run out -- it must NOT be trusted as a vector reservation size.
+  Trace t = SampleTrace(3);
+  std::string p = TempPath("hugecount.utr");
+  ASSERT_TRUE(WriteTrace(p, TraceFormat::kBinary, t).ok());
+  std::string bytes = Slurp(p);
+  // Count lives right before the first 32-byte event: 3 events here.
+  size_t count_pos = bytes.size() - 3 * 32 - sizeof(uint64_t);
+  uint64_t huge = UINT64_MAX - 1;
+  bytes.replace(count_pos, sizeof(huge),
+                std::string(reinterpret_cast<const char*>(&huge),
+                            sizeof(huge)));
+  std::ofstream(p, std::ios::binary | std::ios::trunc) << bytes;
+  auto back = ReadTrace(p);
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), StatusCode::kCorruption);
+
+  auto r = TraceReader::Open(p);
+  ASSERT_TRUE(r.ok());
+  auto dev = MakeTestDevice("mtron", 16 << 20);
+  auto run = ExecuteTraceRun(dev.get(), &*r, ReplayOptions{});
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kCorruption);
+}
+
+TEST(TraceReaderErrorTest, CsvParseErrorsCarryPathAndLineNumber) {
+  std::string p = TempPath("badline.csv");
+  std::ofstream(p) << "# uflip-trace v1\n# source=x\n# capacity_bytes=1048576\n"
+                   << "submit_us,offset,size,mode,rt_us\n"
+                   << "0,0,4096,read,1.000\n"
+                   << "10,oops,4096,read,1.000\n";
+  auto r = TraceReader::Open(p);
+  ASSERT_TRUE(r.ok()) << r.status();
+  TraceEvent e;
+  auto first = r->Next(&e);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(*first);
+  auto bad = r->Next(&e);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(bad.status().message().find("line 6"), std::string::npos)
+      << bad.status();
+  EXPECT_NE(bad.status().message().find(p), std::string::npos)
+      << bad.status();
+}
+
+// ---------------------------------------------------------------------
+// ZipfianLba at scale
+// ---------------------------------------------------------------------
+
+TEST(ZipfianLbaTest, ZetaApproximationTracksExactSum) {
+  // theta = 1 exercises the logarithmic tail (harmonic series); the
+  // sampler itself only uses theta < 1 but ZetaN is a public helper.
+  for (double theta : {0.5, 0.8, 0.99, 1.0, 1.2}) {
+    const uint64_t n = 1000000;
+    double exact = 0;
+    for (uint64_t i = 1; i <= n; ++i) {
+      exact += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    double approx = ZetaN(n, theta);
+    EXPECT_NEAR(approx / exact, 1.0, 1e-6) << "theta=" << theta;
+  }
+}
+
+TEST(ZipfianLbaTest, ScatterIsABijection) {
+  for (uint64_t n : {1ull, 2ull, 1000ull, 1024ull, 1025ull}) {
+    ZipfianLba z(n, 0.9, 42);
+    std::vector<bool> hit(n, false);
+    for (uint64_t rank = 0; rank < n; ++rank) {
+      uint64_t loc = z.Scatter(rank);
+      ASSERT_LT(loc, n);
+      ASSERT_FALSE(hit[loc]) << "collision at rank " << rank << " (n=" << n
+                             << ")";
+      hit[loc] = true;
+    }
+  }
+}
+
+TEST(ZipfianLbaTest, DistributionMatchesZipfTheory) {
+  const uint64_t n = 512;
+  const double theta = 0.8;
+  const int draws = 200000;
+  ZipfianLba z(n, theta, 7);
+  std::map<uint64_t, uint32_t> freq;
+  for (int i = 0; i < draws; ++i) ++freq[z.Next()];
+
+  std::vector<uint32_t> counts;
+  for (const auto& [loc, c] : freq) counts.push_back(c);
+  std::sort(counts.rbegin(), counts.rend());
+
+  // n < exact-prefix length, so ZetaN here is the exact normalizer.
+  double zeta = ZetaN(n, theta);
+  // Hottest location: p1 = 1/zeta.
+  double expect_top = draws / zeta;
+  EXPECT_NEAR(counts[0] / expect_top, 1.0, 0.08);
+  // Mass of the ten hottest locations.
+  double expect_top10 = 0;
+  for (int i = 1; i <= 10; ++i) {
+    expect_top10 += draws / (std::pow(i, theta) * zeta);
+  }
+  double got_top10 = 0;
+  for (int i = 0; i < 10 && i < static_cast<int>(counts.size()); ++i) {
+    got_top10 += counts[i];
+  }
+  EXPECT_NEAR(got_top10 / expect_top10, 1.0, 0.05);
+}
+
+TEST(ZipfianLbaTest, HugeDomainsConstructInstantly) {
+  // 1 TB at 4KB IOs = 268M locations; the old implementation allocated
+  // a 2GB+ permutation table and summed 268M zeta terms before the
+  // first event. Now both construction and sampling are O(1).
+  const uint64_t locations = (1ULL << 40) / 4096;
+  ZipfianLba z(locations, 0.99, 3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(z.Next(), locations);
+  }
+  // Uniform works at scale too.
+  ZipfianLba u(locations, 0.0, 3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(u.Next(), locations);
+  }
+}
+
+TEST(ZipfianLbaTest, DeterministicPerSeed) {
+  ZipfianLba a(4096, 0.99, 11), b(4096, 0.99, 11), c(4096, 0.99, 12);
+  bool any_diff = false;
+  for (int i = 0; i < 256; ++i) {
+    uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+    any_diff = any_diff || va != c.Next();
+  }
+  EXPECT_TRUE(any_diff) << "different seeds must scatter differently";
+}
+
+}  // namespace
+}  // namespace uflip

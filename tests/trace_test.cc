@@ -99,15 +99,23 @@ TEST(TraceIoTest, FormatForPathUsesExtension) {
   EXPECT_EQ(FormatForPath("noext"), TraceFormat::kBinary);
 }
 
-TEST(TraceIoTest, StreamingReaderEndsWithNotFound) {
+TEST(TraceIoTest, StreamingReaderSignalsEndOfTraceExplicitly) {
   std::string p = TempPath("stream.csv");
   ASSERT_TRUE(WriteTrace(p, TraceFormat::kCsv, SmallTrace()).ok());
   auto r = TraceReader::Open(p);
   ASSERT_TRUE(r.ok());
-  for (int i = 0; i < 3; ++i) ASSERT_TRUE(r->Next().ok());
-  auto end = r->Next();
-  ASSERT_FALSE(end.ok());
-  EXPECT_EQ(end.status().code(), StatusCode::kNotFound);
+  TraceEvent e;
+  for (int i = 0; i < 3; ++i) {
+    auto more = r->Next(&e);
+    ASSERT_TRUE(more.ok()) << more.status();
+    EXPECT_TRUE(*more);
+  }
+  // Clean EOF is Ok(false) -- never an error status -- and is sticky.
+  for (int i = 0; i < 2; ++i) {
+    auto end = r->Next(&e);
+    ASSERT_TRUE(end.ok()) << end.status();
+    EXPECT_FALSE(*end);
+  }
 }
 
 // ---------------------------------------------------------------------
