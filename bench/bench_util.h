@@ -4,6 +4,7 @@
 #ifndef UFLIP_BENCH_BENCH_UTIL_H_
 #define UFLIP_BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,6 +20,21 @@
 
 namespace uflip {
 namespace bench {
+
+/// Splits "a,b,c" into its non-empty elements (shared by the list
+/// flags, profile selections and id lists across the benches).
+inline std::vector<std::string> SplitCommas(const std::string& value) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= value.size()) {
+    size_t comma = value.find(',', start);
+    size_t end = comma == std::string::npos ? value.size() : comma;
+    if (end > start) out.push_back(value.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
 
 /// Minimal --key=value flag reader.
 class Flags {
@@ -46,6 +62,32 @@ class Flags {
     return v.empty() ? def : std::strtod(v.c_str(), nullptr);
   }
 
+  /// --key=N as an unsigned count (queue depths, channels, IO counts).
+  /// Rejects negative, non-numeric and out-of-range values with a clear
+  /// error instead of letting a "-1" wrap around to ~4.29e9 and hang
+  /// the run.
+  uint32_t GetUint32(const std::string& key, uint32_t def) const {
+    std::string v = GetString(key, "");
+    return v.empty() ? def : ParseUint32(key, v);
+  }
+
+  /// Comma-separated variant ("--key=1,2,4"); absent/empty -> {def}.
+  /// Every element is validated like GetUint32.
+  std::vector<uint32_t> GetUint32List(const std::string& key,
+                                      uint32_t def) const {
+    std::string v = GetString(key, "");
+    if (v.empty()) return {def};
+    std::vector<uint32_t> out;
+    for (const std::string& item : SplitCommas(v)) {
+      out.push_back(ParseUint32(key, item));
+    }
+    if (out.empty()) {
+      std::fprintf(stderr, "--%s: empty list\n", key.c_str());
+      std::exit(2);
+    }
+    return out;
+  }
+
   bool GetBool(const std::string& key, bool def) const {
     // A bare "--key" (no value) is an enabled switch.
     for (const auto& a : args_) {
@@ -56,6 +98,28 @@ class Flags {
   }
 
  private:
+  static uint32_t ParseUint32(const std::string& key,
+                              const std::string& value) {
+    char* end = nullptr;
+    long long v = std::strtoll(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0') {
+      std::fprintf(stderr, "--%s=%s: not a number\n", key.c_str(),
+                   value.c_str());
+      std::exit(2);
+    }
+    if (v < 0) {
+      std::fprintf(stderr, "--%s=%s: must be >= 0\n", key.c_str(),
+                   value.c_str());
+      std::exit(2);
+    }
+    if (v > static_cast<long long>(UINT32_MAX)) {
+      std::fprintf(stderr, "--%s=%s: larger than %u\n", key.c_str(),
+                   value.c_str(), UINT32_MAX);
+      std::exit(2);
+    }
+    return static_cast<uint32_t>(v);
+  }
+
   std::vector<std::string> args_;
 };
 

@@ -17,7 +17,7 @@ using namespace uflip;
 int main(int argc, char** argv) {
   bench::Flags flags(argc, argv);
   std::string id = flags.GetString("device", "mtron");
-  uint32_t ios = static_cast<uint32_t>(flags.GetInt("ios", 300));
+  uint32_t ios = flags.GetUint32("ios", 300);
   std::string csv = flags.GetString("csv", "");
 
   auto dev = bench::MakeDeviceWithState(id);

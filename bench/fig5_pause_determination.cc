@@ -21,8 +21,8 @@ int main(int argc, char** argv) {
   bench::InterRunPause(dev.get());
 
   PauseCalibrationOptions opts;
-  opts.sr_ios = static_cast<uint32_t>(flags.GetInt("sr_ios", 5000));
-  opts.rw_ios = static_cast<uint32_t>(flags.GetInt("rw_ios", 2000));
+  opts.sr_ios = flags.GetUint32("sr_ios", 5000);
+  opts.rw_ios = flags.GetUint32("rw_ios", 2000);
   opts.target_size = dev->capacity_bytes() / 4;
   auto calib = CalibratePause(dev.get(), opts);
   if (!calib.ok()) {

@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   bench::InterRunPause(dev.get());
 
   MicroBenchConfig cfg;
-  cfg.io_count = static_cast<uint32_t>(flags.GetInt("io_count", 256));
+  cfg.io_count = flags.GetUint32("io_count", 256);
   cfg.io_ignore = 64;
   cfg.target_size = dev->capacity_bytes();
   auto exps = RunMicroBench(dev.get(), MicroBench::kGranularity, cfg);

@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   bench::InterRunPause(dev.get());
 
   MicroBenchConfig cfg;
-  cfg.io_count = static_cast<uint32_t>(flags.GetInt("io_count", 192));
+  cfg.io_count = flags.GetUint32("io_count", 192);
   cfg.io_ignore = 32;
   cfg.target_size = dev->capacity_bytes();
   cfg.baselines = {"SR", "RR", "SW"};

@@ -6,8 +6,6 @@
 // climbs steeply.
 //
 //   ./fig8_locality [--devices=samsung,memoright,mtron]
-#include <sstream>
-
 #include "bench/bench_util.h"
 #include "src/core/microbench.h"
 #include "src/report/ascii_chart.h"
@@ -17,12 +15,9 @@ using namespace uflip;
 int main(int argc, char** argv) {
   bench::Flags flags(argc, argv);
   std::string list = flags.GetString("devices", "samsung,memoright,mtron");
-  uint32_t io_count = static_cast<uint32_t>(flags.GetInt("io_count", 256));
+  uint32_t io_count = flags.GetUint32("io_count", 256);
 
-  std::vector<std::string> ids;
-  std::stringstream ss(list);
-  std::string tok;
-  while (std::getline(ss, tok, ',')) ids.push_back(tok);
+  std::vector<std::string> ids = bench::SplitCommas(list);
 
   std::printf(
       "Figure 8: Locality -- RW response time relative to SW vs "

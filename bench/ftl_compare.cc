@@ -1,11 +1,13 @@
-// Trace-driven device / FTL comparison sweep: replays ONE workload --
-// a recorded trace file or a synthetic generator stream -- across every
-// Table 2 device profile, and across the three FTL architectures
+// Trace-driven design-space explorer: replays ONE workload -- a
+// recorded trace file or a synthetic generator stream -- across every
+// Table 2 device profile, across the three FTL architectures
 // (page-mapping, BAST, FAST) mounted on one fixed geometry/controller,
-// then prints a Table 3-style comparison. This is the missing second
-// half of the benchmark methodology: Section 2's point is that the same
-// IO pattern behaves wildly differently across devices, and a recorded
-// workload is the most honest pattern there is.
+// and per cell across the async design knobs: queue depth, channel
+// count, write-cache size and the bounded-controller model. This is
+// Section 2's point taken to its conclusion: the same IO pattern
+// behaves wildly differently not just across devices but across the
+// internal design choices of one device, and a recorded workload is
+// the most honest pattern there is.
 //
 //   ftl_compare --trace=sweep.csv[.gz]            # recorded workload
 //   ftl_compare --kind=oltp --io_count=2048       # synthetic workload
@@ -13,7 +15,12 @@
 //     [--ftl_base=mtron]                          # FTL sweep geometry
 //     [--sweep=devices|ftls|both]
 //     [--timing=closed|original|scaled] [--scale=1.0]
-//     [--queue_depth=0] [--channels=0]
+//     [--queue_depths=1,8 | --queue_depth=N]  # 0 = synchronous replay
+//     [--channels_list=1,4 | --channels=N]    # 0 = profile default
+//     [--cache_pages=0,1024]   # write-cache pages; 0 = profile default
+//     [--controller_us=50]     # serialized controller stage per IO
+//     [--pipelined=false]      # bounded controller without extra cost
+//     [--csv=grid.csv]         # full grid export for plotting
 //     [--io_ignore=N]      # default: phase-derived per cell
 //     [--stream]           # re-stream the trace file per cell (O(1)
 //                          # memory; stats-only, needs --io_ignore)
@@ -22,8 +29,12 @@
 // Every cell prepares a fresh device (random state enforcement +
 // settling, Section 4.1), replays the identical event stream with LBA
 // rescaling onto that device's capacity, and reports running-phase
-// statistics plus throughput. "x" columns are factors relative to the
-// best mean in the sweep.
+// statistics plus throughput. The grid marks the best cell and reports
+// factors relative to it; when the queue-depth axis has more than one
+// value, a speedup summary compares each cell's throughput to its
+// qd-minimum sibling -- with --controller_us > 0 the speedup saturates
+// below channels x, which is what keeps the high-qd cells honest.
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <memory>
@@ -33,6 +44,7 @@
 #include "bench/bench_util.h"
 #include "bench/trace_flags.h"
 #include "src/device/async_sim_device.h"
+#include "src/report/grid_report.h"
 #include "src/run/trace_run.h"
 #include "src/trace/trace_io.h"
 #include "src/util/units.h"
@@ -48,14 +60,6 @@ int Usage() {
   return 2;
 }
 
-struct SweepRow {
-  std::string label;
-  std::string ftl;
-  RunStats running;
-  uint64_t ios = 0;
-  uint64_t makespan_us = 0;
-};
-
 struct SweepConfig {
   std::string trace_path;  // empty = synthetic
   bool stream = false;     // re-stream the file per cell, stats-only
@@ -63,16 +67,47 @@ struct SweepConfig {
   /// iterates it through its own TraceView.
   Trace materialized;
   ReplayOptions replay;
-  uint32_t queue_depth = 0;
-  uint32_t channels = 0;
+  // Per-cell design axes.
+  std::vector<uint32_t> queue_depths;  // 0 = synchronous replay
+  std::vector<uint32_t> channels;      // 0 = profile default
+  std::vector<uint32_t> cache_pages;   // 0 = profile default cache
+  // Controller model knobs applied to every cell's profile.
+  double controller_us = -1;  // < 0 = leave the profile's value
+  bool pipelined = true;
+};
+
+/// One variant of the device under test: a Table 2 profile, or the
+/// ftl_base geometry re-mounted under a different FTL.
+struct Variant {
+  std::string device_label;
+  DeviceProfile profile;
 };
 
 /// Replays the workload once on a freshly prepared device built from
-/// `profile`; false on failure (already reported).
+/// `variant` with the cell's knobs applied; false on failure (already
+/// reported).
 bool RunCell(const Flags& flags, const SweepConfig& cfg,
-             const DeviceProfile& profile, SweepRow* row) {
-  auto dev = MakeDeviceWithState(profile, 0, false, cfg.channels);
+             const Variant& variant, uint32_t queue_depth,
+             uint32_t channels, uint32_t cache_pages, GridCell* cell) {
+  DeviceProfile profile = variant.profile;
+  if (cfg.controller_us >= 0) {
+    profile.controller.controller_us = cfg.controller_us;
+  }
+  profile.controller.pipelined = cfg.pipelined;
+  if (cache_pages > 0) {
+    profile.write_cache = true;
+    profile.cache.capacity_pages = cache_pages;
+  }
+  auto dev = MakeDeviceWithState(profile, 0, false, channels);
   InterRunPause(dev.get());
+  if (cache_pages == 0) {
+    // Resolve the profile-default cache to what the built stack
+    // actually runs with, so "default" cells are comparable to
+    // explicit --cache_pages values in the grid and its CSV.
+    auto* cache = dynamic_cast<WriteCache*>(dev->ftl());
+    cell->keys[4] =
+        cache ? std::to_string(cache->config().capacity_pages) : "none";
+  }
 
   // One identical event stream per cell: rewind the materialized trace,
   // reopen the file (--stream) or re-seed the generator, so every
@@ -100,50 +135,75 @@ bool RunCell(const Flags& flags, const SweepConfig& cfg,
   uint64_t start_us = dev->clock()->NowUs();
   StatusOr<RunResult> run = Status::InvalidArgument("unreachable");
   std::unique_ptr<AsyncSimDevice> async;
-  if (cfg.queue_depth > 0) {
-    async = std::make_unique<AsyncSimDevice>(std::move(dev),
-                                             cfg.queue_depth);
+  if (queue_depth > 0) {
+    async = std::make_unique<AsyncSimDevice>(std::move(dev), queue_depth);
     run = ExecuteTraceRun(async.get(), source.get(), cfg.replay);
   } else {
     run = ExecuteTraceRun(dev.get(), source.get(), cfg.replay);
   }
   if (!run.ok()) {
-    std::fprintf(stderr, "[%s] replay failed: %s\n", profile.id.c_str(),
+    std::fprintf(stderr, "[%s] replay failed: %s\n",
+                 variant.device_label.c_str(),
                  run.status().ToString().c_str());
     return false;
   }
   Clock* clock = async ? async->clock() : dev->clock();
-  row->running = run->Stats();
-  row->ios = run->streamed_stats_all ? run->streamed_stats_all->count
-                                     : run->samples.size();
-  row->makespan_us = clock->NowUs() - start_us;
+  cell->stats = run->Stats();
+  cell->ios = run->streamed_stats_all ? run->streamed_stats_all->count
+                                      : run->samples.size();
+  cell->makespan_us = clock->NowUs() - start_us;
   return true;
 }
 
-void PrintTable(const char* title, const std::vector<SweepRow>& rows) {
-  double best_mean = 0;
-  for (const SweepRow& r : rows) {
-    if (best_mean == 0 || r.running.mean_us < best_mean) {
-      best_mean = r.running.mean_us;
+/// Runs the full knob grid for `variants` into a GridReport.
+bool RunGrid(const Flags& flags, const SweepConfig& cfg,
+             const std::vector<Variant>& variants, GridReport* grid) {
+  for (const Variant& v : variants) {
+    for (uint32_t ch : cfg.channels) {
+      for (uint32_t cache : cfg.cache_pages) {
+        for (uint32_t qd : cfg.queue_depths) {
+          GridCell cell;
+          cell.keys = {v.device_label, FtlKindName(v.profile.ftl),
+                       std::to_string(qd), std::to_string(ch),
+                       cache == 0 ? "default" : std::to_string(cache)};
+          if (!RunCell(flags, cfg, v, qd, ch, cache, &cell)) return false;
+          grid->Add(std::move(cell));
+        }
+      }
     }
   }
-  std::printf("%s\n", title);
-  std::printf("  %-18s %-18s %9s %6s %9s %9s %9s %9s %9s\n", "device",
-              "FTL", "mean ms", "x", "p50 ms", "p95 ms", "p99 ms",
-              "max ms", "IOs/s");
-  for (const SweepRow& r : rows) {
-    double factor = best_mean > 0 ? r.running.mean_us / best_mean : 1.0;
-    double iops = r.makespan_us > 0
-                      ? static_cast<double>(r.ios) * 1e6 /
-                            static_cast<double>(r.makespan_us)
-                      : 0;
-    std::printf(
-        "  %-18s %-18s %9.3f %6.1f %9.3f %9.3f %9.3f %9.3f %9.0f\n",
-        r.label.c_str(), r.ftl.c_str(), UsToMs(r.running.mean_us), factor,
-        UsToMs(r.running.p50_us), UsToMs(r.running.p95_us),
-        UsToMs(r.running.p99_us), UsToMs(r.running.max_us), iops);
+  return true;
+}
+
+/// When the queue-depth axis was swept, prints each cell's throughput
+/// speedup over the lowest-qd cell of its (device, FTL, channels,
+/// cache) group -- the bounded-controller model keeps this strictly
+/// below channels x at high depth.
+void PrintQueueDepthSpeedups(const GridReport& grid, uint32_t base_qd) {
+  bool any = false;
+  for (const GridCell& c : grid.cells()) {
+    if (c.keys[2] == std::to_string(base_qd)) continue;
+    // Locate the base cell of this group.
+    const GridCell* base = nullptr;
+    for (const GridCell& b : grid.cells()) {
+      if (b.keys[2] == std::to_string(base_qd) && b.keys[0] == c.keys[0] &&
+          b.keys[1] == c.keys[1] && b.keys[3] == c.keys[3] &&
+          b.keys[4] == c.keys[4]) {
+        base = &b;
+        break;
+      }
+    }
+    if (base == nullptr || base->IosPerSec() <= 0) continue;
+    if (!any) {
+      std::printf("  Queue-depth speedup (IOs/s vs qd=%u):\n", base_qd);
+      any = true;
+    }
+    std::printf("    %-18s %-18s ch=%-4s cache=%-8s qd=%-4s %5.2fx\n",
+                c.keys[0].c_str(), c.keys[1].c_str(), c.keys[3].c_str(),
+                c.keys[4].c_str(), c.keys[2].c_str(),
+                c.IosPerSec() / base->IosPerSec());
   }
-  std::printf("\n");
+  if (any) std::printf("\n");
 }
 
 std::vector<DeviceProfile> SelectProfiles(const std::string& spec) {
@@ -152,21 +212,13 @@ std::vector<DeviceProfile> SelectProfiles(const std::string& spec) {
     return RepresentativeProfiles();
   }
   std::vector<DeviceProfile> out;
-  size_t start = 0;
-  while (start <= spec.size()) {
-    size_t comma = spec.find(',', start);
-    size_t end = comma == std::string::npos ? spec.size() : comma;
-    std::string id = spec.substr(start, end - start);
-    if (!id.empty()) {
-      auto p = ProfileById(id);
-      if (!p.ok()) {
-        std::fprintf(stderr, "unknown device '%s'\n", id.c_str());
-        std::exit(2);
-      }
-      out.push_back(std::move(*p));
+  for (const std::string& id : SplitCommas(spec)) {
+    auto p = ProfileById(id);
+    if (!p.ok()) {
+      std::fprintf(stderr, "unknown device '%s'\n", id.c_str());
+      std::exit(2);
     }
-    if (comma == std::string::npos) break;
-    start = comma + 1;
+    out.push_back(std::move(*p));
   }
   return out;
 }
@@ -204,8 +256,15 @@ int Main(int argc, char** argv) {
     cfg.replay.keep_samples = false;
     if (io_ignore < 0) cfg.replay.io_ignore = 0;
   }
-  cfg.queue_depth = static_cast<uint32_t>(flags.GetInt("queue_depth", 0));
-  cfg.channels = static_cast<uint32_t>(flags.GetInt("channels", 0));
+  // Sweep axes: the list flags override their single-value siblings so
+  // existing invocations keep working unchanged.
+  cfg.queue_depths =
+      flags.GetUint32List("queue_depths", flags.GetUint32("queue_depth", 0));
+  cfg.channels =
+      flags.GetUint32List("channels_list", flags.GetUint32("channels", 0));
+  cfg.cache_pages = flags.GetUint32List("cache_pages", 0);
+  cfg.controller_us = flags.GetDouble("controller_us", -1);
+  cfg.pipelined = flags.GetBool("pipelined", true);
 
   std::string sweep = flags.GetString("sweep", "both");
   if (sweep != "devices" && sweep != "ftls" && sweep != "both") {
@@ -232,23 +291,45 @@ int Main(int argc, char** argv) {
     }
     cfg.materialized = std::move(*trace);
   }
-  std::printf("Trace-driven comparison: %s\n", workload.c_str());
-  std::printf("  timing=%s%s, queue_depth=%u, LBA-rescaled per device\n\n",
-              ReplayTimingName(cfg.replay.timing),
-              cfg.stream ? ", streamed (stats-only)" : "",
-              cfg.queue_depth);
+  size_t cells_per_variant = cfg.queue_depths.size() * cfg.channels.size() *
+                             cfg.cache_pages.size();
+  std::printf("Trace-driven design-space exploration: %s\n",
+              workload.c_str());
+  std::printf(
+      "  timing=%s%s, %zu cell(s) per variant "
+      "(qd x channels x cache; qd 0 = synchronous), LBA-rescaled\n",
+      ReplayTimingName(cfg.replay.timing),
+      cfg.stream ? ", streamed (stats-only)" : "", cells_per_variant);
+  if (cfg.controller_us >= 0 || !cfg.pipelined) {
+    std::printf(
+        "  bounded controller: controller_us=%.0f pipelined=%s "
+        "(serialized controller stage caps high-qd speedup)\n",
+        cfg.controller_us >= 0 ? cfg.controller_us : 0.0,
+        cfg.pipelined ? "true" : "false");
+  }
+  std::printf("\n");
+
+  const std::vector<std::string> axes = {"device", "FTL", "qd", "ch",
+                                         "cache"};
+  uint32_t base_qd = *std::min_element(cfg.queue_depths.begin(),
+                                       cfg.queue_depths.end());
+  std::string csv;
 
   if (sweep != "ftls") {
-    std::vector<SweepRow> rows;
-    for (const DeviceProfile& profile :
+    std::vector<Variant> variants;
+    for (DeviceProfile& profile :
          SelectProfiles(flags.GetString("profiles", "representative"))) {
-      SweepRow row;
-      row.label = profile.id;
-      row.ftl = FtlKindName(profile.ftl);
-      if (!RunCell(flags, cfg, profile, &row)) return 1;
-      rows.push_back(std::move(row));
+      variants.push_back(Variant{profile.id, std::move(profile)});
     }
-    PrintTable("Device sweep (Table 2 profiles, one workload):", rows);
+    GridReport grid(axes);
+    if (!RunGrid(flags, cfg, variants, &grid)) return 1;
+    std::printf("%s\n",
+                grid.Render("Device sweep (Table 2 profiles, one workload):")
+                    .c_str());
+    if (cfg.queue_depths.size() > 1) {
+      PrintQueueDepthSpeedups(grid, base_qd);
+    }
+    csv += grid.ToCsv(/*header=*/true);
   }
 
   if (sweep != "devices") {
@@ -260,20 +341,36 @@ int Main(int argc, char** argv) {
       std::fprintf(stderr, "unknown --ftl_base=%s\n", base_id.c_str());
       return 2;
     }
-    std::vector<SweepRow> rows;
+    std::vector<Variant> variants;
     for (FtlKind kind :
          {FtlKind::kPageMapping, FtlKind::kBast, FtlKind::kFast}) {
       DeviceProfile profile = *base;
       profile.ftl = kind;
-      SweepRow row;
-      row.label = base_id + " geometry";
-      row.ftl = FtlKindName(kind);
-      if (!RunCell(flags, cfg, profile, &row)) return 1;
-      rows.push_back(std::move(row));
+      variants.push_back(Variant{base_id + " geometry", std::move(profile)});
     }
-    PrintTable(
-        ("FTL sweep (fixed geometry/controller: " + base_id + "):").c_str(),
-        rows);
+    GridReport grid(axes);
+    if (!RunGrid(flags, cfg, variants, &grid)) return 1;
+    std::printf(
+        "%s\n",
+        grid.Render("FTL sweep (fixed geometry/controller: " + base_id +
+                    "):")
+            .c_str());
+    if (cfg.queue_depths.size() > 1) {
+      PrintQueueDepthSpeedups(grid, base_qd);
+    }
+    csv += grid.ToCsv(/*header=*/csv.empty());
+  }
+
+  std::string csv_path = flags.GetString("csv", "");
+  if (!csv_path.empty()) {
+    std::FILE* f = std::fopen(csv_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write --csv=%s\n", csv_path.c_str());
+      return 1;
+    }
+    std::fwrite(csv.data(), 1, csv.size(), f);
+    std::fclose(f);
+    std::printf("grid exported: %s\n", csv_path.c_str());
   }
   return 0;
 }

@@ -15,7 +15,7 @@ int main(int argc, char** argv) {
   bench::InterRunPause(dev.get());
 
   Table3Config tcfg;
-  tcfg.io_count = static_cast<uint32_t>(flags.GetInt("io_count", 256));
+  tcfg.io_count = flags.GetUint32("io_count", 256);
   auto row = ExtractTable3Row(dev.get(), tcfg);
   if (!row.ok()) {
     std::fprintf(stderr, "characterization failed: %s\n",

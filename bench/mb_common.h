@@ -20,8 +20,8 @@ inline int RunMicroBenchMain(int argc, char** argv, MicroBench mb,
   InterRunPause(dev.get());
 
   MicroBenchConfig cfg;
-  cfg.io_count = static_cast<uint32_t>(flags.GetInt("io_count", 256));
-  cfg.io_ignore = static_cast<uint32_t>(flags.GetInt("io_ignore", 64));
+  cfg.io_count = flags.GetUint32("io_count", 256);
+  cfg.io_ignore = flags.GetUint32("io_ignore", 64);
   cfg.target_size = dev->capacity_bytes() / 2;
   auto exps = RunMicroBench(dev.get(), mb, cfg);
   if (!exps.ok()) {

@@ -21,8 +21,8 @@ namespace {
 int RunMultiQueue(const Flags& flags) {
   std::string id = flags.GetString("device", "memoright");
   uint32_t queue_depth =
-      static_cast<uint32_t>(flags.GetInt("queue_depth", 8));
-  uint32_t channels = static_cast<uint32_t>(flags.GetInt("channels", 4));
+      flags.GetUint32("queue_depth", 8);
+  uint32_t channels = flags.GetUint32("channels", 4);
   auto dev = MakeDeviceWithState(id, 0, true, channels);
   InterRunPause(dev.get());
   AsyncSimDevice async(std::move(dev), queue_depth);
@@ -37,8 +37,8 @@ int RunMultiQueue(const Flags& flags) {
   for (uint32_t degree : {1u, 2u, 4u, 8u, 16u}) {
     PatternSpec spec =
         PatternSpec::RandomRead(32768, 0, async.capacity_bytes() / 2);
-    spec.io_count = static_cast<uint32_t>(flags.GetInt("io_count", 256));
-    spec.io_ignore = static_cast<uint32_t>(flags.GetInt("io_ignore", 64));
+    spec.io_count = flags.GetUint32("io_count", 256);
+    spec.io_ignore = flags.GetUint32("io_ignore", 64);
     uint64_t t0 = async.clock()->NowUs();
     auto run = ExecuteParallelRun(&async, spec, degree);
     if (!run.ok()) {

@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
   bool verbose = flags.GetBool("verbose", false);
 
   Table3Config cfg;
-  cfg.io_count = static_cast<uint32_t>(flags.GetInt("io_count", 384));
+  cfg.io_count = flags.GetUint32("io_count", 384);
 
   std::vector<Table3Row> rows;
   for (const std::string& id : bench::RepresentativeIds()) {

@@ -24,15 +24,15 @@ inline StatusOr<std::unique_ptr<EventSource>> SyntheticSourceFromFlags(
     const Flags& flags) {
   std::string kind = flags.GetString("kind", "zipfian");
   uint64_t capacity =
-      static_cast<uint64_t>(flags.GetInt("capacity_mb", 64)) << 20;
-  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
-  uint64_t gap_us = static_cast<uint64_t>(flags.GetInt("gap_us", 0));
+      static_cast<uint64_t>(flags.GetUint32("capacity_mb", 64)) << 20;
+  uint64_t seed = static_cast<uint64_t>(flags.GetUint32("seed", 1));
+  uint64_t gap_us = static_cast<uint64_t>(flags.GetUint32("gap_us", 0));
 
   if (kind == "zipfian") {
     ZipfianTraceConfig cfg;
     cfg.capacity_bytes = capacity;
-    cfg.io_size = static_cast<uint32_t>(flags.GetInt("io_size", 4096));
-    cfg.io_count = static_cast<uint32_t>(flags.GetInt("io_count", 4096));
+    cfg.io_size = flags.GetUint32("io_size", 4096);
+    cfg.io_count = flags.GetUint32("io_count", 4096);
     cfg.theta = flags.GetDouble("theta", 0.99);
     cfg.write_fraction = flags.GetDouble("write_fraction", 0.5);
     cfg.mean_gap_us = gap_us;
@@ -42,8 +42,8 @@ inline StatusOr<std::unique_ptr<EventSource>> SyntheticSourceFromFlags(
   if (kind == "oltp") {
     OltpTraceConfig cfg;
     cfg.capacity_bytes = capacity;
-    cfg.io_size = static_cast<uint32_t>(flags.GetInt("io_size", 8192));
-    cfg.transactions = static_cast<uint32_t>(flags.GetInt("io_count", 2048));
+    cfg.io_size = flags.GetUint32("io_size", 8192);
+    cfg.transactions = flags.GetUint32("io_count", 2048);
     cfg.read_only_fraction = flags.GetDouble("read_only_fraction", 0.5);
     cfg.mean_gap_us = gap_us;
     cfg.seed = seed;
@@ -52,10 +52,10 @@ inline StatusOr<std::unique_ptr<EventSource>> SyntheticSourceFromFlags(
   if (kind == "multistream") {
     MultiStreamTraceConfig cfg;
     cfg.capacity_bytes = capacity;
-    cfg.io_size = static_cast<uint32_t>(flags.GetInt("io_size", 32 * 1024));
-    cfg.streams = static_cast<uint32_t>(flags.GetInt("streams", 4));
+    cfg.io_size = flags.GetUint32("io_size", 32 * 1024);
+    cfg.streams = flags.GetUint32("streams", 4);
     cfg.ios_per_stream =
-        static_cast<uint32_t>(flags.GetInt("io_count", 512));
+        flags.GetUint32("io_count", 512);
     cfg.gap_us = gap_us;
     cfg.seed = seed;
     return std::unique_ptr<EventSource>(new MultiStreamEventSource(cfg));

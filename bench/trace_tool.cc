@@ -8,6 +8,7 @@
 //                       [--timing=closed|original|scaled] [--scale=1.0]
 //                       [--rescale_lba=true] [--io_ignore=N]
 //                       [--queue_depth=8] [--channels=4]
+//                       [--controller_us=50] [--pipelined=false]
 //                       [--stream-replay]
 //   trace_tool generate --kind=zipfian|oltp|multistream --out=synth.csv
 //                       [--capacity_mb=64] [--io_size=4096] [--io_count=4096]
@@ -19,7 +20,10 @@
 // other; --rescale_lba fits a trace recorded on a larger device onto a
 // smaller one. --queue_depth > 0 replays open-loop through the async
 // multi-queue device API (queued IOs overlap across flash channels;
-// --channels re-stripes the profile's array); --io_ignore defaults to
+// --channels re-stripes the profile's array; --controller_us /
+// --pipelined=false switch on the bounded-controller model, which
+// serializes each IO's controller stage before its flash stage
+// overlaps); --io_ignore defaults to
 // phase-derived (AnalyzePhases) when not passed. --stream captures
 // through a TraceWriter incrementally instead of buffering the trace.
 //
@@ -130,9 +134,9 @@ int Record(const Flags& flags) {
       return 2;
     }
     MicroBenchConfig cfg;
-    cfg.io_size = static_cast<uint32_t>(flags.GetInt("io_size", 32 * 1024));
-    cfg.io_count = static_cast<uint32_t>(flags.GetInt("io_count", 256));
-    cfg.io_ignore = static_cast<uint32_t>(flags.GetInt("io_ignore", 64));
+    cfg.io_size = flags.GetUint32("io_size", 32 * 1024);
+    cfg.io_count = flags.GetUint32("io_count", 256);
+    cfg.io_ignore = flags.GetUint32("io_ignore", 64);
     cfg.target_size = dev->capacity_bytes() / 2;
     auto exps = RunMicroBench(&rec, *mb, cfg);
     if (!exps.ok()) {
@@ -143,14 +147,14 @@ int Record(const Flags& flags) {
   } else {
     std::string pat = flags.GetString("pattern", "SR");
     auto spec = PatternSpec::Baseline(
-        pat, static_cast<uint32_t>(flags.GetInt("io_size", 32 * 1024)), 0,
+        pat, flags.GetUint32("io_size", 32 * 1024), 0,
         dev->capacity_bytes() / 2);
     if (!spec.ok()) {
       std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
       return 2;
     }
-    spec->io_count = static_cast<uint32_t>(flags.GetInt("io_count", 512));
-    spec->io_ignore = static_cast<uint32_t>(flags.GetInt("io_ignore", 64));
+    spec->io_count = flags.GetUint32("io_count", 512);
+    spec->io_ignore = flags.GetUint32("io_ignore", 64);
     auto run = ExecuteRun(&rec, *spec);
     if (!run.ok()) {
       std::fprintf(stderr, "run failed: %s\n",
@@ -216,8 +220,8 @@ int Replay(const Flags& flags) {
     if (io_ignore < 0) opts.io_ignore = 0;
   }
   uint32_t queue_depth =
-      static_cast<uint32_t>(flags.GetInt("queue_depth", 0));
-  uint32_t channels = static_cast<uint32_t>(flags.GetInt("channels", 0));
+      flags.GetUint32("queue_depth", 0);
+  uint32_t channels = flags.GetUint32("channels", 0);
 
   // Streaming replay pulls events straight off the TraceReader as the
   // device consumes them; the materialized path reads the whole trace
@@ -248,7 +252,18 @@ int Replay(const Flags& flags) {
   TraceMeta meta = source->meta();
 
   std::string id = flags.GetString("device", "mtron");
-  auto dev = MakeDeviceWithState(id, 0, true, channels);
+  auto profile = ProfileById(id);
+  if (!profile.ok()) {
+    std::fprintf(stderr, "unknown device '%s'\n", id.c_str());
+    return 2;
+  }
+  // Bounded-controller knobs: --controller_us adds a serialized
+  // controller stage per IO; --pipelined=false serializes the derived
+  // controller stage without extra cost (see src/device/sim_device.h).
+  double controller_us = flags.GetDouble("controller_us", -1);
+  if (controller_us >= 0) profile->controller.controller_us = controller_us;
+  profile->controller.pipelined = flags.GetBool("pipelined", true);
+  auto dev = MakeDeviceWithState(std::move(*profile), 0, true, channels);
   InterRunPause(dev.get());
 
   std::string dev_name = dev->name();

@@ -5,9 +5,19 @@
 // scratch file for a demonstration.
 //
 //   ./real_device_bench <path> [size-mb] [io-count]
+//   ./real_device_bench record <path> <trace-out> [size-mb] [io-count]
+//
+// The `record` verb additionally captures every IO (submission time,
+// offset, size, mode, measured response time) through a
+// RecordingDevice streaming into a TraceWriter, so a real-hardware
+// session becomes a replayable trace: `trace-out` may be .csv, .utr or
+// either with a ".gz" suffix (gzip-framed as it streams). Replay it on
+// any simulated profile with `trace_tool replay` or sweep it across
+// the design space with `ftl_compare`.
 //
 // WARNING: write patterns overwrite the target. Never point this at a
 // device or file with data you care about.
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -15,23 +25,81 @@
 #include "src/device/file_device.h"
 #include "src/pattern/pattern.h"
 #include "src/run/runner.h"
+#include "src/trace/recording_device.h"
+#include "src/trace/trace_io.h"
 #include "src/util/units.h"
 
 using namespace uflip;
 
-int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: %s <path> [size-mb] [io-count]\n"
-                 "  e.g.  %s /tmp/uflip_scratch.bin 64 256\n",
-                 argv[0], argv[0]);
-    return 2;
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <path> [size-mb] [io-count]\n"
+               "       %s record <path> <trace-out> [size-mb] [io-count]\n"
+               "  e.g.  %s /tmp/uflip_scratch.bin 64 256\n"
+               "        %s record /tmp/uflip_scratch.bin run.csv.gz 64 256\n",
+               argv0, argv0, argv0, argv0);
+  return 2;
+}
+
+/// Runs the four baseline patterns on `device`, printing per-pattern
+/// running statistics; returns false on the first failure.
+bool RunBaselines(BlockDevice* device, uint32_t io_count) {
+  for (const char* name : {"SR", "RR", "SW", "RW"}) {
+    auto spec = PatternSpec::Baseline(name, 32 * 1024, 0,
+                                      device->capacity_bytes());
+    spec->io_count = io_count;
+    spec->io_ignore = io_count / 8;
+    auto run = ExecuteRun(device, *spec);
+    if (!run.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", name,
+                   run.status().ToString().c_str());
+      return false;
+    }
+    RunStats stats = run->Stats();
+    std::printf("%s (32KB): %s\n", name, stats.ToString().c_str());
   }
-  std::string path = argv[1];
-  uint64_t size_mb = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 64;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage(argv[0]);
+
+  bool record = std::string(argv[1]) == "record";
+  int base = record ? 2 : 1;
+  if (record && argc < 4) return Usage(argv[0]);
+  if (argc < base + 1) return Usage(argv[0]);
+
+  std::string path = argv[base];
+  std::string trace_out = record ? argv[3] : "";
+  int size_arg = record ? 4 : 2;
+  // Positional counts are validated like the bench flags: a negative
+  // value must not wrap around to ~4.29e9 IOs against real hardware.
+  auto parse_count = [&](const char* what, const char* value,
+                         long long max) -> long long {
+    char* end = nullptr;
+    long long v = std::strtoll(value, &end, 10);
+    if (end == value || *end != '\0' || v < 0 || v > max) {
+      std::fprintf(stderr, "%s '%s': must be a number in [0, %lld]\n", what,
+                   value, max);
+      std::exit(2);
+    }
+    return v;
+  };
+  uint64_t size_mb =
+      argc > size_arg
+          ? static_cast<uint64_t>(
+                parse_count("size-mb", argv[size_arg], 1 << 24))
+          : 64;
   uint32_t io_count =
-      argc > 3 ? static_cast<uint32_t>(std::strtoul(argv[3], nullptr, 10))
-               : 256;
+      argc > size_arg + 1
+          ? static_cast<uint32_t>(parse_count("io-count",
+                                              argv[size_arg + 1],
+                                              UINT32_MAX))
+          : 256;
 
   FileDeviceOptions opts;
   opts.create_size_bytes = size_mb << 20;
@@ -45,19 +113,30 @@ int main(int argc, char** argv) {
               FormatSize((*device)->capacity_bytes()).c_str(),
               (*device)->using_direct_io() ? "O_DIRECT" : "O_SYNC fallback");
 
-  for (const char* name : {"SR", "RR", "SW", "RW"}) {
-    auto spec = PatternSpec::Baseline(name, 32 * 1024, 0,
-                                      (*device)->capacity_bytes());
-    spec->io_count = io_count;
-    spec->io_ignore = io_count / 8;
-    auto run = ExecuteRun(device->get(), *spec);
-    if (!run.ok()) {
-      std::fprintf(stderr, "%s failed: %s\n", name,
-                   run.status().ToString().c_str());
+  if (record) {
+    RecordingDevice rec(device->get());
+    // Stream each event to disk the moment its response time is known;
+    // a ".gz" path gzip-frames the capture as it streams.
+    Status s = rec.StreamTo(trace_out, FormatForPath(trace_out));
+    if (!s.ok()) {
+      std::fprintf(stderr, "trace open failed: %s\n", s.ToString().c_str());
       return 1;
     }
-    RunStats stats = run->Stats();
-    std::printf("%s (32KB): %s\n", name, stats.ToString().c_str());
+    bool ok = RunBaselines(&rec, io_count);
+    Status fin = rec.Finish();
+    if (!fin.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n",
+                   fin.ToString().c_str());
+      return 1;
+    }
+    if (!ok) return 1;
+    std::printf(
+        "\nrecorded %llu IOs -> %s\nreplay with: trace_tool replay "
+        "--trace=%s --device=mtron --rescale_lba=true\n",
+        static_cast<unsigned long long>(rec.events_captured()),
+        trace_out.c_str(), trace_out.c_str());
+  } else {
+    if (!RunBaselines(device->get(), io_count)) return 1;
   }
   std::printf(
       "\nNote: on a file-backed target these numbers measure your disk / "

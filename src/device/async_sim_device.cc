@@ -12,6 +12,7 @@ AsyncSimDevice::AsyncSimDevice(std::unique_ptr<SimDevice> sim,
   UFLIP_CHECK(sim_ != nullptr);
   UFLIP_CHECK(queue_depth_ >= 1);
   chan_busy_us_.assign(sim_->ftl()->Channels(), sim_->busy_until_us());
+  ctrl_busy_us_ = sim_->busy_until_us();
   busy_max_us_ = sim_->busy_until_us();
 }
 
@@ -31,11 +32,35 @@ StatusOr<IoToken> AsyncSimDevice::Enqueue(uint64_t t_us,
   double idle_us = eff > busy_max_us_
                        ? static_cast<double>(eff - busy_max_us_)
                        : 0.0;
-  StatusOr<double> service = sim_->ServiceUs(idle_us, req, nullptr, nullptr);
+  StatusOr<ServiceCost> service =
+      sim_->ServiceUs(idle_us, req, nullptr, nullptr);
   if (!service.ok()) return service.status();
   uint32_t ch = DispatchChannelOf(req);
-  uint64_t start = std::max(eff, chan_busy_us_[ch]);
-  uint64_t complete = start + static_cast<uint64_t>(*service);
+  uint64_t complete;
+  if (sim_->controller().SerializedController()) {
+    // Bounded controller: the IO starts when its channel AND the
+    // controller are both free, holds the channel for its entire
+    // service (the die plus its bus slot own the command end to end,
+    // as in the pipelined model) and additionally occupies the
+    // controller for its controller stage -- so controller stages of
+    // in-flight IOs never overlap. The serialized stage both floors
+    // the makespan at n x controller_us and staggers the channel
+    // streams, keeping the speedup over qd=1 strictly below
+    // channels x. The fractional tail of the controller stage travels
+    // with the flash stage so qd=1 reproduces the synchronous
+    // start + floor(total) rounding exactly.
+    uint64_t start = std::max({eff, ctrl_busy_us_, chan_busy_us_[ch]});
+    uint64_t ctrl_whole = static_cast<uint64_t>(service->controller_us);
+    double ctrl_frac =
+        service->controller_us - static_cast<double>(ctrl_whole);
+    ctrl_busy_us_ = start + ctrl_whole;
+    complete = start + ctrl_whole +
+               static_cast<uint64_t>(ctrl_frac + service->channel_us);
+  } else {
+    // Fully pipelined: the whole service time overlaps across channels.
+    uint64_t start = std::max(eff, chan_busy_us_[ch]);
+    complete = start + static_cast<uint64_t>(service->TotalUs());
+  }
   chan_busy_us_[ch] = complete;
   busy_max_us_ = std::max(busy_max_us_, complete);
 

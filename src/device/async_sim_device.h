@@ -6,6 +6,18 @@
 // queue_depth = 1 the dispatch degenerates to the single-queue
 // serialization of the synchronous SimDevice, microsecond for
 // microsecond, which is what makes SyncAdapter round-trips exact.
+//
+// Two controller models govern how queued IOs share the device:
+//  * fully pipelined (the default; ControllerConfig::pipelined with
+//    controller_us == 0): the whole service time overlaps across
+//    channels, so speedup grows with queue depth up to channels x;
+//  * bounded controller (pipelined == false or controller_us > 0):
+//    each IO still holds its channel for the whole service, but its
+//    controller/bus stage (ServiceCost::controller_us) additionally
+//    occupies a single controller-busy timeline, so controller stages
+//    of in-flight IOs never overlap -- at high queue depth the
+//    serialized stage caps the speedup strictly below channels x, as
+//    on real devices.
 #ifndef UFLIP_DEVICE_ASYNC_SIM_DEVICE_H_
 #define UFLIP_DEVICE_ASYNC_SIM_DEVICE_H_
 
@@ -54,6 +66,11 @@ class AsyncSimDevice : public AsyncBlockDevice {
   /// Per-channel busy-until: IOs dispatched to different channels
   /// overlap; IOs on one channel serialize.
   std::vector<uint64_t> chan_busy_us_;
+  /// Controller-busy timeline for the bounded-controller model
+  /// (ControllerConfig::SerializedController()): every queued IO also
+  /// occupies the controller for its controller stage, so controller
+  /// stages of in-flight IOs never overlap.
+  uint64_t ctrl_busy_us_;
   /// Latest completion across all channels; time past it is device idle
   /// time, donated to background reclamation as in the sync path.
   uint64_t busy_max_us_;

@@ -16,6 +16,9 @@ Status ControllerConfig::Validate() const {
   if (gc_slice_us < 0) {
     return Status::InvalidArgument("gc_slice_us must be >= 0");
   }
+  if (controller_us < 0) {
+    return Status::InvalidArgument("controller_us must be >= 0");
+  }
   return Status::Ok();
 }
 
@@ -30,9 +33,10 @@ SimDevice::SimDevice(std::string name, std::unique_ptr<Ftl> ftl,
   UFLIP_CHECK(clock_ != nullptr);
 }
 
-StatusOr<double> SimDevice::ServiceUs(double idle_us, const IoRequest& req,
-                                      const uint64_t* write_tokens,
-                                      std::vector<uint64_t>* read_tokens) {
+StatusOr<ServiceCost> SimDevice::ServiceUs(double idle_us,
+                                           const IoRequest& req,
+                                           const uint64_t* write_tokens,
+                                           std::vector<uint64_t>* read_tokens) {
   if (req.size == 0) return Status::InvalidArgument("zero-sized IO");
   if (req.offset + req.size > capacity_bytes()) {
     return Status::OutOfRange("IO beyond device capacity");
@@ -44,20 +48,22 @@ StatusOr<double> SimDevice::ServiceUs(double idle_us, const IoRequest& req,
   if (idle_us > 0) {
     ftl_->BackgroundWork(idle_us);
   }
-  double service = 0;
+  ServiceCost cost_split;
 
   // While reclamation debt is outstanding the controller interleaves
   // bounded background slices with foreground IOs (lingering effect).
   if (config_.gc_slice_us > 0 && ftl_->PendingBackgroundUs() > 0) {
-    service += ftl_->BackgroundWork(config_.gc_slice_us);
+    cost_split.controller_us += ftl_->BackgroundWork(config_.gc_slice_us);
   }
 
-  service += req.mode == IoMode::kRead ? config_.read_overhead_us
-                                       : config_.write_overhead_us;
-  service += config_.BusUs(req.size, req.mode);
+  cost_split.controller_us += req.mode == IoMode::kRead
+                                  ? config_.read_overhead_us
+                                  : config_.write_overhead_us;
+  cost_split.controller_us += config_.BusUs(req.size, req.mode);
+  cost_split.controller_us += config_.controller_us;
   if (req.mode == IoMode::kRead) {
     if (req.offset != last_read_end_) {
-      service += config_.random_read_penalty_us;
+      cost_split.controller_us += config_.random_read_penalty_us;
     }
     last_read_end_ = req.offset + req.size;
   }
@@ -94,8 +100,8 @@ StatusOr<double> SimDevice::ServiceUs(double idle_us, const IoRequest& req,
     Status s = ftl_->Write(first_page, npages, write_tokens, &cost);
     if (!s.ok()) return s;
   }
-  service += cost.service_us;
-  return service;
+  cost_split.channel_us += cost.service_us;
+  return cost_split;
 }
 
 StatusOr<double> SimDevice::DoIo(uint64_t t_us, const IoRequest& req,
@@ -104,11 +110,11 @@ StatusOr<double> SimDevice::DoIo(uint64_t t_us, const IoRequest& req,
   double idle_us = t_us > busy_until_us_
                        ? static_cast<double>(t_us - busy_until_us_)
                        : 0.0;
-  StatusOr<double> service =
+  StatusOr<ServiceCost> service =
       ServiceUs(idle_us, req, write_tokens, read_tokens);
   if (!service.ok()) return service.status();
   uint64_t start = std::max(t_us, busy_until_us_);
-  busy_until_us_ = start + static_cast<uint64_t>(*service);
+  busy_until_us_ = start + static_cast<uint64_t>(service->TotalUs());
   return static_cast<double>(busy_until_us_ - t_us);
 }
 

@@ -27,6 +27,23 @@
 
 namespace uflip {
 
+/// Foreground cost of one IO, split into the stage that occupies the
+/// (possibly serialized) controller/bus and the stage that runs on the
+/// IO's flash channel. The synchronous path charges the sum; the
+/// multi-queue AsyncSimDevice overlaps channel stages across channels
+/// and, under the bounded-controller model, serializes controller
+/// stages on one controller timeline.
+struct ServiceCost {
+  /// Controller/bus stage: firmware overhead, host bus transfer, GC
+  /// slices, read-locality penalty and ControllerConfig::controller_us.
+  double controller_us = 0;
+  /// Flash stage: the FTL's page reads/programs, erases and merges --
+  /// the part a multi-channel device executes in parallel.
+  double channel_us = 0;
+
+  double TotalUs() const { return controller_us + channel_us; }
+};
+
 struct ControllerConfig {
   /// Firmware cost per IO (command decode, map lookup).
   double read_overhead_us = 100.0;
@@ -42,6 +59,24 @@ struct ControllerConfig {
   /// Extra cost for reads that do not continue the previous read
   /// (missing read-ahead / map-segment locality; SR < RR in Table 3).
   double random_read_penalty_us = 0.0;
+  /// Additional serialized controller/bus occupancy per IO (command
+  /// decode, host DMA setup -- the work a real controller cannot
+  /// pipeline across in-flight IOs). Any value > 0 switches the
+  /// multi-queue model to the bounded controller (see pipelined).
+  double controller_us = 0.0;
+  /// Fully pipelined controller (the default): queued IOs overlap their
+  /// entire service time across channels, so speedup grows with queue
+  /// depth up to channels x. When false -- or whenever controller_us >
+  /// 0 -- the controller stage of every queued IO (firmware overhead,
+  /// bus transfer, GC slices, read penalty, controller_us) additionally
+  /// serializes through a single controller timeline, bounding the
+  /// speedup strictly below channels x like real devices.
+  bool pipelined = true;
+
+  /// True when the bounded-controller model is active for queued IOs.
+  bool SerializedController() const {
+    return !pipelined || controller_us > 0;
+  }
 
   Status Validate() const;
 
@@ -90,14 +125,16 @@ class SimDevice : public BlockDevice {
   /// when lifting an already-used device.
   uint64_t busy_until_us() const { return busy_until_us_; }
 
-  /// Foreground service time of `req` when it reaches the controller
+  /// Foreground service cost of `req` when it reaches the controller
   /// after `idle_us` of device idle time (idle time is donated to
-  /// asynchronous reclamation). Advances FTL and content state but not
-  /// the device timeline; the synchronous path and AsyncSimDevice's
-  /// multi-queue dispatch share it so both cost IOs identically.
-  StatusOr<double> ServiceUs(double idle_us, const IoRequest& req,
-                             const uint64_t* write_tokens,
-                             std::vector<uint64_t>* read_tokens);
+  /// asynchronous reclamation), split into the serialized
+  /// controller/bus stage and the per-channel flash stage. Advances FTL
+  /// and content state but not the device timeline; the synchronous
+  /// path and AsyncSimDevice's multi-queue dispatch share it so both
+  /// cost IOs identically.
+  StatusOr<ServiceCost> ServiceUs(double idle_us, const IoRequest& req,
+                                  const uint64_t* write_tokens,
+                                  std::vector<uint64_t>* read_tokens);
 
  private:
   /// Core IO path; `write_tokens` may be nullptr (benchmark writes use a

@@ -65,6 +65,9 @@ class WriteCache : public Ftl {
 
   size_t DirtyPages() const { return dirty_.size(); }
   Ftl* inner() { return inner_.get(); }
+  /// The cache sizing/destage knobs this instance runs with (sweeps and
+  /// reports read them back off the built FTL stack).
+  const WriteCacheConfig& config() const { return config_; }
 
  private:
   struct Entry {

@@ -1,0 +1,112 @@
+#include "src/report/grid_report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/util/logging.h"
+#include "src/util/units.h"
+
+namespace uflip {
+
+GridReport::GridReport(std::vector<std::string> axes)
+    : axes_(std::move(axes)) {
+  UFLIP_CHECK(!axes_.empty());
+}
+
+void GridReport::Add(GridCell cell) {
+  UFLIP_CHECK(cell.keys.size() == axes_.size());
+  cells_.push_back(std::move(cell));
+}
+
+size_t GridReport::BestIndex() const {
+  size_t best = SIZE_MAX;
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    if (cells_[i].stats.count == 0) continue;
+    if (best == SIZE_MAX ||
+        cells_[i].stats.mean_us < cells_[best].stats.mean_us) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::string GridReport::Render(const std::string& title) const {
+  // Axis column widths sized to their content.
+  std::vector<size_t> widths(axes_.size());
+  for (size_t a = 0; a < axes_.size(); ++a) {
+    widths[a] = axes_[a].size();
+    for (const GridCell& c : cells_) {
+      widths[a] = std::max(widths[a], c.keys[a].size());
+    }
+  }
+  size_t best = BestIndex();
+  double best_mean = best == SIZE_MAX ? 0 : cells_[best].stats.mean_us;
+
+  std::string out = title + "\n";
+  out += "   ";
+  for (size_t a = 0; a < axes_.size(); ++a) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), " %-*s", static_cast<int>(widths[a]),
+                  axes_[a].c_str());
+    out += buf;
+  }
+  char head[128];
+  std::snprintf(head, sizeof(head), " %9s %6s %9s %9s %9s %9s %9s\n",
+                "mean ms", "x", "p50 ms", "p95 ms", "p99 ms", "max ms",
+                "IOs/s");
+  out += head;
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    const GridCell& c = cells_[i];
+    out += i == best ? " * " : "   ";
+    for (size_t a = 0; a < axes_.size(); ++a) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), " %-*s", static_cast<int>(widths[a]),
+                    c.keys[a].c_str());
+      out += buf;
+    }
+    double factor =
+        best_mean > 0 && c.stats.count > 0 ? c.stats.mean_us / best_mean : 0;
+    char row[192];
+    std::snprintf(row, sizeof(row),
+                  " %9.3f %6.2f %9.3f %9.3f %9.3f %9.3f %9.0f\n",
+                  UsToMs(c.stats.mean_us), factor, UsToMs(c.stats.p50_us),
+                  UsToMs(c.stats.p95_us), UsToMs(c.stats.p99_us),
+                  UsToMs(c.stats.max_us), c.IosPerSec());
+    out += row;
+  }
+  if (best != SIZE_MAX) {
+    out += "   (* = best cell; x = mean vs best)\n";
+  }
+  return out;
+}
+
+std::string GridReport::ToCsv(bool header) const {
+  std::string out;
+  if (header) {
+    for (const std::string& a : axes_) {
+      out += a;
+      out += ',';
+    }
+    out +=
+        "ios,mean_us,stddev_us,p50_us,p95_us,p99_us,min_us,max_us,"
+        "makespan_us,ios_per_sec\n";
+  }
+  for (const GridCell& c : cells_) {
+    for (const std::string& k : c.keys) {
+      out += k;
+      out += ',';
+    }
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%llu,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%llu,%.1f\n",
+                  static_cast<unsigned long long>(c.ios), c.stats.mean_us,
+                  c.stats.stddev_us, c.stats.p50_us, c.stats.p95_us,
+                  c.stats.p99_us, c.stats.min_us, c.stats.max_us,
+                  static_cast<unsigned long long>(c.makespan_us),
+                  c.IosPerSec());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace uflip

@@ -1,0 +1,70 @@
+// Tabular report over a multi-axis sweep (the design-space explorer's
+// output format): each cell is one run, keyed by its position on the
+// sweep axes (device, FTL, queue depth, channels, cache pages, ...) and
+// carrying its running-phase statistics. Rendering marks the best cell
+// (lowest mean response time), reports every cell's factor relative to
+// it, and exports the full grid as CSV for downstream plotting.
+#ifndef UFLIP_REPORT_GRID_REPORT_H_
+#define UFLIP_REPORT_GRID_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/run/run_stats.h"
+
+namespace uflip {
+
+/// One run of the sweep: its coordinates on the axes plus its results.
+struct GridCell {
+  /// One value per axis, in the axes' order ("mtron", "8", "4", ...).
+  std::vector<std::string> keys;
+  /// Running-phase statistics of the cell's replay.
+  RunStats stats;
+  /// IOs executed and device-time makespan, for throughput.
+  uint64_t ios = 0;
+  uint64_t makespan_us = 0;
+
+  double IosPerSec() const {
+    return makespan_us > 0 ? static_cast<double>(ios) * 1e6 /
+                                 static_cast<double>(makespan_us)
+                           : 0.0;
+  }
+};
+
+/// Collects cells keyed on fixed axes and renders them.
+class GridReport {
+ public:
+  /// `axes` are the key column names, one per GridCell::keys entry.
+  explicit GridReport(std::vector<std::string> axes);
+
+  /// Adds one cell; keys.size() must equal the axis count.
+  void Add(GridCell cell);
+
+  bool empty() const { return cells_.empty(); }
+  const std::vector<GridCell>& cells() const { return cells_; }
+  const std::vector<std::string>& axes() const { return axes_; }
+
+  /// Index of the best cell (lowest mean among cells with IOs);
+  /// SIZE_MAX when no cell qualifies.
+  size_t BestIndex() const;
+
+  /// Text table: axis columns, mean / factor-vs-best ("x") / p50 / p95
+  /// / p99 / max (ms) and IOs/s, one row per cell in insertion order,
+  /// the best cell marked with '*'.
+  std::string Render(const std::string& title) const;
+
+  /// CSV export: axis columns plus
+  /// ios,mean_us,stddev_us,p50_us,p95_us,p99_us,min_us,max_us,
+  /// makespan_us,ios_per_sec. `header` = false appends rows only (for
+  /// concatenating grids that share axes).
+  std::string ToCsv(bool header = true) const;
+
+ private:
+  std::vector<std::string> axes_;
+  std::vector<GridCell> cells_;
+};
+
+}  // namespace uflip
+
+#endif  // UFLIP_REPORT_GRID_REPORT_H_

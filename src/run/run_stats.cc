@@ -12,18 +12,25 @@ RunStats RunStats::Compute(const std::vector<double>& samples_us,
   if (first >= samples_us.size()) return s;
   std::vector<double> v(samples_us.begin() + first, samples_us.end());
   s.count = v.size();
-  double sum = 0, sum2 = 0;
+  // Welford's online moments: the naive E[x^2] - E[x]^2 form cancels
+  // catastrophically on high-mean low-variance series (long traces of
+  // near-identical large response times collapsed to stddev 0).
+  double sum = 0, mean = 0, m2 = 0;
+  uint64_t n = 0;
   s.min_us = v[0];
   s.max_us = v[0];
   for (double x : v) {
     sum += x;
-    sum2 += x * x;
+    ++n;
+    double delta = x - mean;
+    mean += delta / static_cast<double>(n);
+    m2 += delta * (x - mean);
     s.min_us = std::min(s.min_us, x);
     s.max_us = std::max(s.max_us, x);
   }
   s.sum_us = sum;
-  s.mean_us = sum / static_cast<double>(s.count);
-  double var = sum2 / static_cast<double>(s.count) - s.mean_us * s.mean_us;
+  s.mean_us = mean;
+  double var = m2 / static_cast<double>(s.count);
   s.stddev_us = var > 0 ? std::sqrt(var) : 0.0;
   std::sort(v.begin(), v.end());
   auto pct = [&v](double p) {
@@ -60,7 +67,12 @@ void StreamingStats::Add(double rt_us) {
   }
   ++count_;
   sum_us_ += rt_us;
-  sum2_us_ += rt_us * rt_us;
+  // Welford update, identical arithmetic (and order) to
+  // RunStats::Compute so streamed and materialized moments match
+  // bit-for-bit.
+  double delta = rt_us - mean_us_;
+  mean_us_ += delta / static_cast<double>(count_);
+  m2_us_ += delta * (rt_us - mean_us_);
   ++hist_[BucketOf(rt_us)];
 }
 
@@ -71,9 +83,8 @@ RunStats StreamingStats::ToRunStats() const {
   s.min_us = min_us_;
   s.max_us = max_us_;
   s.sum_us = sum_us_;
-  s.mean_us = sum_us_ / static_cast<double>(count_);
-  double var =
-      sum2_us_ / static_cast<double>(count_) - s.mean_us * s.mean_us;
+  s.mean_us = mean_us_;
+  double var = m2_us_ / static_cast<double>(count_);
   s.stddev_us = var > 0 ? std::sqrt(var) : 0.0;
   // The same order statistic RunStats::Compute takes (index
   // floor(p * (n-1)) of the sorted series), located in the histogram

@@ -61,7 +61,11 @@ class StreamingStats {
   double min_us_ = 0;
   double max_us_ = 0;
   double sum_us_ = 0;
-  double sum2_us_ = 0;
+  // Welford running moments (mean + sum of squared deviations); immune
+  // to the cancellation the raw second moment suffers on high-mean
+  // low-variance series.
+  double mean_us_ = 0;
+  double m2_us_ = 0;
   std::array<uint64_t, kBuckets> hist_ = {};
 };
 

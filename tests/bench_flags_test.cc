@@ -1,0 +1,71 @@
+// bench/ flag-parsing tests: the validated unsigned accessors
+// (GetUint32 / GetUint32List) must reject negative, malformed and
+// out-of-range values with a clear diagnostic instead of silently
+// wrapping (--queue_depth=-1 used to become ~4.29e9 and hang the run),
+// and the list parser feeds the ftl_compare sweep axes.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace uflip {
+namespace bench {
+namespace {
+
+/// Builds Flags from a literal argv; Flags copies the strings, so the
+/// temporaries only need to outlive the constructor call.
+Flags MakeFlags(std::vector<std::string> args) {
+  std::string prog = "test";
+  std::vector<char*> argv = {prog.data()};
+  for (std::string& a : args) argv.push_back(a.data());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(BenchFlagsTest, GetUint32ParsesAndDefaults) {
+  Flags flags = MakeFlags({"--queue_depth=8", "--channels=0"});
+  EXPECT_EQ(flags.GetUint32("queue_depth", 1), 8u);
+  EXPECT_EQ(flags.GetUint32("channels", 4), 0u);
+  EXPECT_EQ(flags.GetUint32("absent", 17), 17u);
+}
+
+TEST(BenchFlagsTest, GetUint32ListParsesCommaSeparated) {
+  Flags flags = MakeFlags({"--queue_depths=1,2,8,32"});
+  EXPECT_EQ(flags.GetUint32List("queue_depths", 0),
+            (std::vector<uint32_t>{1, 2, 8, 32}));
+  // Absent list flag degrades to its single-value default.
+  EXPECT_EQ(flags.GetUint32List("channels_list", 4),
+            (std::vector<uint32_t>{4}));
+}
+
+TEST(BenchFlagsDeathTest, NegativeCountIsRejected) {
+  Flags flags = MakeFlags({"--queue_depth=-1"});
+  EXPECT_EXIT(flags.GetUint32("queue_depth", 0),
+              testing::ExitedWithCode(2), "must be >= 0");
+}
+
+TEST(BenchFlagsDeathTest, NonNumericCountIsRejected) {
+  Flags flags = MakeFlags({"--io_count=lots"});
+  EXPECT_EXIT(flags.GetUint32("io_count", 0),
+              testing::ExitedWithCode(2), "not a number");
+  Flags trailing = MakeFlags({"--io_count=12x"});
+  EXPECT_EXIT(trailing.GetUint32("io_count", 0),
+              testing::ExitedWithCode(2), "not a number");
+}
+
+TEST(BenchFlagsDeathTest, OutOfRangeCountIsRejected) {
+  Flags flags = MakeFlags({"--io_count=5000000000"});
+  EXPECT_EXIT(flags.GetUint32("io_count", 0),
+              testing::ExitedWithCode(2), "larger than");
+}
+
+TEST(BenchFlagsDeathTest, NegativeListElementIsRejected) {
+  Flags flags = MakeFlags({"--queue_depths=1,-8"});
+  EXPECT_EXIT(flags.GetUint32List("queue_depths", 0),
+              testing::ExitedWithCode(2), "must be >= 0");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace uflip

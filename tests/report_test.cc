@@ -5,9 +5,85 @@
 #include "src/core/microbench.h"
 #include "src/core/table3.h"
 #include "src/report/ascii_chart.h"
+#include "src/report/grid_report.h"
 
 namespace uflip {
 namespace {
+
+/// A deterministic two-axis sweep grid for the golden tests.
+GridReport SampleGrid() {
+  GridReport grid({"device", "qd"});
+  GridCell a;
+  a.keys = {"mtron", "1"};
+  a.stats.count = 100;
+  a.stats.mean_us = 2000;
+  a.stats.p50_us = 1800;
+  a.stats.p95_us = 3000;
+  a.stats.p99_us = 3500;
+  a.stats.min_us = 900;
+  a.stats.max_us = 4000;
+  a.stats.stddev_us = 250;
+  a.ios = 100;
+  a.makespan_us = 200000;
+  grid.Add(a);
+  GridCell b;
+  b.keys = {"mtron", "8"};
+  b.stats.count = 100;
+  b.stats.mean_us = 500;
+  b.stats.p50_us = 450;
+  b.stats.p95_us = 800;
+  b.stats.p99_us = 900;
+  b.stats.min_us = 200;
+  b.stats.max_us = 1000;
+  b.stats.stddev_us = 60;
+  b.ios = 100;
+  b.makespan_us = 50000;
+  grid.Add(b);
+  return grid;
+}
+
+TEST(GridReportTest, RenderGolden) {
+  std::string out = SampleGrid().Render("Sweep:");
+  const char* expected =
+      "Sweep:\n"
+      "    device qd   mean ms      x    p50 ms    p95 ms    p99 ms"
+      "    max ms     IOs/s\n"
+      "    mtron  1      2.000   4.00     1.800     3.000     3.500"
+      "     4.000       500\n"
+      " *  mtron  8      0.500   1.00     0.450     0.800     0.900"
+      "     1.000      2000\n"
+      "   (* = best cell; x = mean vs best)\n";
+  EXPECT_EQ(out, expected);
+}
+
+TEST(GridReportTest, CsvGolden) {
+  std::string out = SampleGrid().ToCsv();
+  const char* expected =
+      "device,qd,ios,mean_us,stddev_us,p50_us,p95_us,p99_us,min_us,max_us,"
+      "makespan_us,ios_per_sec\n"
+      "mtron,1,100,2000.000,250.000,1800.000,3000.000,3500.000,900.000,"
+      "4000.000,200000,500.0\n"
+      "mtron,8,100,500.000,60.000,450.000,800.000,900.000,200.000,"
+      "1000.000,50000,2000.0\n";
+  EXPECT_EQ(out, expected);
+  // Header suppression lets grids that share axes concatenate.
+  std::string rows = SampleGrid().ToCsv(/*header=*/false);
+  EXPECT_EQ(out.find(rows), out.size() - rows.size());
+}
+
+TEST(GridReportTest, BestIndexSkipsEmptyCells) {
+  GridReport grid({"k"});
+  GridCell empty;
+  empty.keys = {"none"};
+  grid.Add(empty);
+  EXPECT_EQ(grid.BestIndex(), SIZE_MAX);
+  GridCell real;
+  real.keys = {"real"};
+  real.stats.count = 1;
+  real.stats.mean_us = 10;
+  grid.Add(real);
+  EXPECT_EQ(grid.BestIndex(), 1u);
+}
 
 TEST(AsciiChartTest, RendersSeriesWithinBounds) {
   ChartSeries s;

@@ -5,6 +5,7 @@
 
 #include <cmath>
 #include <memory>
+#include <vector>
 
 #include "src/device/mem_device.h"
 #include "src/run/runner.h"
@@ -42,6 +43,50 @@ TEST(RunStatsTest, EmptyAndOutOfRangePrefix) {
   EXPECT_EQ(s.count, 0u);
   s = RunStats::Compute({1, 2}, 5);
   EXPECT_EQ(s.count, 0u);
+}
+
+TEST(RunStatsTest, HighMeanLowVarianceDoesNotCancel) {
+  // Regression: the old E[x^2] - E[x]^2 variance collapsed to 0 (or
+  // negative, clamped) on high-mean low-variance series -- e.g. a long
+  // trace of ~1e9us response times alternating by 1us, whose true
+  // stddev is exactly 0.5. Welford keeps full precision.
+  std::vector<double> v;
+  for (int i = 0; i < 4096; ++i) {
+    v.push_back(1e9 + static_cast<double>(i % 2));
+  }
+  RunStats exact = RunStats::Compute(v);
+  EXPECT_NEAR(exact.stddev_us, 0.5, 1e-6);
+
+  // The streaming accumulator shares the same arithmetic: identical
+  // moments, bit for bit, over the same series.
+  StreamingStats streaming;
+  for (double x : v) streaming.Add(x);
+  RunStats online = streaming.ToRunStats();
+  EXPECT_DOUBLE_EQ(online.mean_us, exact.mean_us);
+  EXPECT_DOUBLE_EQ(online.stddev_us, exact.stddev_us);
+  EXPECT_NEAR(online.stddev_us, 0.5, 1e-6);
+}
+
+TEST(RunStatsTest, StreamingMomentsMatchComputeBitExactly) {
+  // A skewed series with a wide dynamic range: streamed count / sum /
+  // mean / stddev / min / max must equal the materialized computation
+  // exactly (the percentiles alone carry histogram error).
+  std::vector<double> v;
+  uint64_t state = 12345;
+  for (int i = 0; i < 2048; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    v.push_back(50.0 + static_cast<double>(state % 1000000) / 7.0);
+  }
+  RunStats exact = RunStats::Compute(v);
+  StreamingStats streaming;
+  for (double x : v) streaming.Add(x);
+  RunStats online = streaming.ToRunStats();
+  EXPECT_EQ(online.count, exact.count);
+  EXPECT_DOUBLE_EQ(online.sum_us, exact.sum_us);
+  EXPECT_DOUBLE_EQ(online.mean_us, exact.mean_us);
+  EXPECT_DOUBLE_EQ(online.stddev_us, exact.stddev_us);
+  EXPECT_DOUBLE_EQ(online.min_us, exact.min_us);
+  EXPECT_DOUBLE_EQ(online.max_us, exact.max_us);
 }
 
 TEST(RunnerTest, ExecutesAllIosAndAdvancesClock) {
