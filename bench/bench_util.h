@@ -123,6 +123,15 @@ class Flags {
   std::vector<std::string> args_;
 };
 
+/// The shared --seed flag (validated like every count flag): the base
+/// seed of a bench's workload. Repeated experiments derive the seed of
+/// repetition r as `seed + r` (ftl_compare --reps), so any single
+/// repetition is reproducible on its own by passing the derived seed
+/// with --reps=1.
+inline uint32_t SeedFromFlags(const Flags& flags, uint32_t def = 1) {
+  return flags.GetUint32("seed", def);
+}
+
 /// Creates a simulated device from a full profile and enforces the
 /// random initial state (Section 4.1). capacity 0 = profile default;
 /// channels_override > 0 re-stripes the flash array over that many
@@ -130,10 +139,13 @@ class Flags {
 /// parallelism into page timings and use one channel). The profile
 /// overload lets sweeps (ftl_compare) prepare ad-hoc variants -- e.g.
 /// the same geometry under a different FTL -- through the exact
-/// preparation every stock device gets.
+/// preparation every stock device gets. prep_seed_offset shifts the
+/// state-enforcement and settling seeds (repetition r of a replicated
+/// cell passes r, so each rep runs on an independently-prepared but
+/// reproducible device; 0 = the historical default preparation).
 inline std::unique_ptr<SimDevice> MakeDeviceWithState(
     DeviceProfile profile, uint64_t capacity = 0, bool verbose = true,
-    uint32_t channels_override = 0) {
+    uint32_t channels_override = 0, uint64_t prep_seed_offset = 0) {
   if (channels_override > 0) profile.channels = channels_override;
   auto dev = CreateSimDevice(profile, nullptr, capacity);
   if (!dev.ok()) {
@@ -149,6 +161,7 @@ inline std::unique_ptr<SimDevice> MakeDeviceWithState(
   }
   StateEnforcementOptions opts;
   opts.max_io_bytes = 128 * 1024;
+  opts.seed += prep_seed_offset;
   auto report = EnforceRandomState(dev->get(), opts);
   if (!report.ok()) {
     std::fprintf(stderr, "state enforcement failed: %s\n",
@@ -175,6 +188,7 @@ inline std::unique_ptr<SimDevice> MakeDeviceWithState(
     uint64_t scratch = cap / 4;
     PatternSpec rw = PatternSpec::RandomWrite(32 * 1024, cap - scratch,
                                               scratch);
+    rw.seed += prep_seed_offset;
     rw.io_count = 256;
     auto r1 = ExecuteRun(dev->get(), rw);
     // The sequential pass runs last and long enough to cycle the
@@ -196,14 +210,15 @@ inline std::unique_ptr<SimDevice> MakeDeviceWithState(
 /// Looks up `profile_id` and prepares it as above.
 inline std::unique_ptr<SimDevice> MakeDeviceWithState(
     const std::string& profile_id, uint64_t capacity = 0,
-    bool verbose = true, uint32_t channels_override = 0) {
+    bool verbose = true, uint32_t channels_override = 0,
+    uint64_t prep_seed_offset = 0) {
   auto profile = ProfileById(profile_id);
   if (!profile.ok()) {
     std::fprintf(stderr, "unknown device '%s'\n", profile_id.c_str());
     std::exit(2);
   }
   return MakeDeviceWithState(std::move(*profile), capacity, verbose,
-                             channels_override);
+                             channels_override, prep_seed_offset);
 }
 
 /// Simulated inter-run pause (lets asynchronous GC drain, Section 4.3).

@@ -20,6 +20,10 @@
 //     [--cache_pages=0,1024]   # write-cache pages; 0 = profile default
 //     [--controller_us=50]     # serialized controller stage per IO
 //     [--pipelined=false]      # bounded controller without extra cost
+//     [--reps=3]               # repetitions per cell; rep r uses
+//                              # workload seed --seed + r and an
+//                              # independently-prepared device
+//     [--seed=1]               # base workload seed (SeedFromFlags)
 //     [--csv=grid.csv]         # full grid export for plotting
 //     [--io_ignore=N]      # default: phase-derived per cell
 //     [--stream]           # re-stream the trace file per cell (O(1)
@@ -29,11 +33,19 @@
 // Every cell prepares a fresh device (random state enforcement +
 // settling, Section 4.1), replays the identical event stream with LBA
 // rescaling onto that device's capacity, and reports running-phase
-// statistics plus throughput. The grid marks the best cell and reports
-// factors relative to it; when the queue-depth axis has more than one
-// value, a speedup summary compares each cell's throughput to its
-// qd-minimum sibling -- with --controller_us > 0 the speedup saturates
-// below channels x, which is what keeps the high-qd cells honest.
+// statistics plus throughput. With --reps=N each cell is N independent
+// repetitions -- fresh device preparation (seed offset r) and, for
+// synthetic workloads, an independent generator stream (seed + r) per
+// rep -- pooled through ReplicateSet: the reported mean/stddev cover
+// all samples, percentiles come from the repetitions' merged t-digest
+// sketches, and the grid gains a 95% confidence interval on each mean.
+// The grid marks the best cell, marks cells whose CI overlaps the
+// best's with '~' (not statistically distinguishable -- not losers),
+// and reports factors relative to the best; when the queue-depth axis
+// has more than one value, a speedup summary compares each cell's
+// throughput to its qd-minimum sibling -- with --controller_us > 0 the
+// speedup saturates below channels x, which is what keeps the high-qd
+// cells honest.
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
@@ -46,6 +58,7 @@
 #include "src/device/async_sim_device.h"
 #include "src/report/grid_report.h"
 #include "src/run/trace_run.h"
+#include "src/stats/replicate_set.h"
 #include "src/trace/trace_io.h"
 #include "src/util/units.h"
 
@@ -74,6 +87,10 @@ struct SweepConfig {
   // Controller model knobs applied to every cell's profile.
   double controller_us = -1;  // < 0 = leave the profile's value
   bool pipelined = true;
+  // Replication: repetitions per cell and the base workload seed
+  // (rep r derives seed + r).
+  uint32_t reps = 1;
+  uint32_t base_seed = 1;
 };
 
 /// One variant of the device under test: a Table 2 profile, or the
@@ -83,75 +100,103 @@ struct Variant {
   DeviceProfile profile;
 };
 
-/// Replays the workload once on a freshly prepared device built from
-/// `variant` with the cell's knobs applied; false on failure (already
-/// reported).
+/// Replays the workload cfg.reps times on freshly prepared devices
+/// built from `variant` with the cell's knobs applied -- repetition r
+/// on a device prepared with seed offset r, drawing workload seed
+/// base_seed + r when synthetic -- and pools the repetitions into one
+/// cell (ReplicateSet: pooled moments, merged-sketch percentiles, 95%
+/// CI); false on failure (already reported).
 bool RunCell(const Flags& flags, const SweepConfig& cfg,
              const Variant& variant, uint32_t queue_depth,
              uint32_t channels, uint32_t cache_pages, GridCell* cell) {
-  DeviceProfile profile = variant.profile;
-  if (cfg.controller_us >= 0) {
-    profile.controller.controller_us = cfg.controller_us;
-  }
-  profile.controller.pipelined = cfg.pipelined;
-  if (cache_pages > 0) {
-    profile.write_cache = true;
-    profile.cache.capacity_pages = cache_pages;
-  }
-  auto dev = MakeDeviceWithState(profile, 0, false, channels);
-  InterRunPause(dev.get());
-  if (cache_pages == 0) {
-    // Resolve the profile-default cache to what the built stack
-    // actually runs with, so "default" cells are comparable to
-    // explicit --cache_pages values in the grid and its CSV.
-    auto* cache = dynamic_cast<WriteCache*>(dev->ftl());
-    cell->keys[4] =
-        cache ? std::to_string(cache->config().capacity_pages) : "none";
-  }
+  ReplicateSet set;
+  RunStats single;
+  uint64_t total_ios = 0;
+  uint64_t total_makespan_us = 0;
+  for (uint32_t rep = 0; rep < cfg.reps; ++rep) {
+    DeviceProfile profile = variant.profile;
+    if (cfg.controller_us >= 0) {
+      profile.controller.controller_us = cfg.controller_us;
+    }
+    profile.controller.pipelined = cfg.pipelined;
+    if (cache_pages > 0) {
+      profile.write_cache = true;
+      profile.cache.capacity_pages = cache_pages;
+    }
+    auto dev = MakeDeviceWithState(profile, 0, false, channels, rep);
+    InterRunPause(dev.get());
+    if (cache_pages == 0 && rep == 0) {
+      // Resolve the profile-default cache to what the built stack
+      // actually runs with, so "default" cells are comparable to
+      // explicit --cache_pages values in the grid and its CSV.
+      auto* cache = dynamic_cast<WriteCache*>(dev->ftl());
+      cell->keys[4] =
+          cache ? std::to_string(cache->config().capacity_pages) : "none";
+    }
 
-  // One identical event stream per cell: rewind the materialized trace,
-  // reopen the file (--stream) or re-seed the generator, so every
-  // device sees the same workload from event 0.
-  std::unique_ptr<EventSource> source;
-  if (cfg.trace_path.empty()) {
-    auto synth = SyntheticSourceFromFlags(flags);
-    if (!synth.ok()) {
-      std::fprintf(stderr, "%s\n", synth.status().ToString().c_str());
+    // One identical event stream per cell and rep (synthetic reps
+    // excepted, which draw their own seed): rewind the materialized
+    // trace, reopen the file (--stream) or re-seed the generator, so
+    // every device sees the same workload from event 0.
+    std::unique_ptr<EventSource> source;
+    if (cfg.trace_path.empty()) {
+      auto synth = SyntheticSourceFromFlags(
+          flags, static_cast<int64_t>(cfg.base_seed) + rep);
+      if (!synth.ok()) {
+        std::fprintf(stderr, "%s\n", synth.status().ToString().c_str());
+        return false;
+      }
+      source = std::move(*synth);
+    } else if (cfg.stream) {
+      auto reader = TraceReader::Open(cfg.trace_path);
+      if (!reader.ok()) {
+        std::fprintf(stderr, "trace open failed: %s\n",
+                     reader.status().ToString().c_str());
+        return false;
+      }
+      source = std::make_unique<TraceReader>(std::move(*reader));
+    } else {
+      source = std::make_unique<TraceView>(&cfg.materialized);
+    }
+
+    uint64_t start_us = dev->clock()->NowUs();
+    StatusOr<RunResult> run = Status::InvalidArgument("unreachable");
+    std::unique_ptr<AsyncSimDevice> async;
+    if (queue_depth > 0) {
+      async = std::make_unique<AsyncSimDevice>(std::move(dev), queue_depth);
+      run = ExecuteTraceRun(async.get(), source.get(), cfg.replay);
+    } else {
+      run = ExecuteTraceRun(dev.get(), source.get(), cfg.replay);
+    }
+    if (!run.ok()) {
+      std::fprintf(stderr, "[%s] replay failed (rep %u): %s\n",
+                   variant.device_label.c_str(), rep,
+                   run.status().ToString().c_str());
       return false;
     }
-    source = std::move(*synth);
-  } else if (cfg.stream) {
-    auto reader = TraceReader::Open(cfg.trace_path);
-    if (!reader.ok()) {
-      std::fprintf(stderr, "trace open failed: %s\n",
-                   reader.status().ToString().c_str());
-      return false;
+    Clock* clock = async ? async->clock() : dev->clock();
+    RunStats stats = run->Stats();
+    if (cfg.reps == 1) {
+      single = stats;  // no aggregation: skip the sketch clone
+    } else {
+      set.Add(stats.Summary());
     }
-    source = std::make_unique<TraceReader>(std::move(*reader));
+    total_ios += run->streamed_stats_all ? run->streamed_stats_all->count
+                                         : run->samples.size();
+    total_makespan_us += clock->NowUs() - start_us;
+  }
+  cell->reps = cfg.reps;
+  cell->ios = total_ios;
+  cell->makespan_us = total_makespan_us;
+  if (cfg.reps == 1) {
+    // Single run: keep the run's own stats (exact order-statistic
+    // percentiles in materialized mode), exactly as before --reps.
+    cell->stats = single;
   } else {
-    source = std::make_unique<TraceView>(&cfg.materialized);
+    ReplicateAggregate agg = set.Aggregate();
+    cell->stats = RunStats::FromAggregate(agg);
+    cell->mean_ci95_us = agg.mean_ci95_half;
   }
-
-  uint64_t start_us = dev->clock()->NowUs();
-  StatusOr<RunResult> run = Status::InvalidArgument("unreachable");
-  std::unique_ptr<AsyncSimDevice> async;
-  if (queue_depth > 0) {
-    async = std::make_unique<AsyncSimDevice>(std::move(dev), queue_depth);
-    run = ExecuteTraceRun(async.get(), source.get(), cfg.replay);
-  } else {
-    run = ExecuteTraceRun(dev.get(), source.get(), cfg.replay);
-  }
-  if (!run.ok()) {
-    std::fprintf(stderr, "[%s] replay failed: %s\n",
-                 variant.device_label.c_str(),
-                 run.status().ToString().c_str());
-    return false;
-  }
-  Clock* clock = async ? async->clock() : dev->clock();
-  cell->stats = run->Stats();
-  cell->ios = run->streamed_stats_all ? run->streamed_stats_all->count
-                                      : run->samples.size();
-  cell->makespan_us = clock->NowUs() - start_us;
   return true;
 }
 
@@ -265,6 +310,12 @@ int Main(int argc, char** argv) {
   cfg.cache_pages = flags.GetUint32List("cache_pages", 0);
   cfg.controller_us = flags.GetDouble("controller_us", -1);
   cfg.pipelined = flags.GetBool("pipelined", true);
+  cfg.reps = flags.GetUint32("reps", 1);
+  if (cfg.reps == 0) {
+    std::fprintf(stderr, "--reps must be >= 1\n");
+    return Usage();
+  }
+  cfg.base_seed = SeedFromFlags(flags);
 
   std::string sweep = flags.GetString("sweep", "both");
   if (sweep != "devices" && sweep != "ftls" && sweep != "both") {
@@ -306,6 +357,24 @@ int Main(int argc, char** argv) {
         "(serialized controller stage caps high-qd speedup)\n",
         cfg.controller_us >= 0 ? cfg.controller_us : 0.0,
         cfg.pipelined ? "true" : "false");
+  }
+  if (cfg.reps > 1) {
+    if (cfg.trace_path.empty()) {
+      std::printf(
+          "  reps=%u per cell (rep r: prep seed offset r, workload seed "
+          "%u+r); mean +/- 95%% CI across rep means, percentiles from "
+          "merged t-digest sketches\n",
+          cfg.reps, cfg.base_seed);
+    } else {
+      // Trace reps replay the identical events: the CI covers
+      // device-preparation variance only, not workload variability.
+      std::printf(
+          "  reps=%u per cell (rep r: prep seed offset r; identical "
+          "trace workload each rep, CI covers preparation variance); "
+          "mean +/- 95%% CI across rep means, percentiles from merged "
+          "t-digest sketches\n",
+          cfg.reps);
+    }
   }
   std::printf("\n");
 

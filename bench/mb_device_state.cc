@@ -28,6 +28,9 @@ double MeasureRw(SimDevice* dev, uint32_t ios, uint64_t seed) {
 int main(int argc, char** argv) {
   bench::Flags flags(argc, argv);
   std::string id = flags.GetString("device", "samsung");
+  // Shared --seed base (bench_util): the fixed per-measurement offsets
+  // keep the streams distinct; the base shifts them all together.
+  uint64_t seed = bench::SeedFromFlags(flags);
   auto profile = ProfileById(id);
   if (!profile.ok()) return 2;
 
@@ -37,7 +40,7 @@ int main(int argc, char** argv) {
   // Out of the box: no state enforcement at all.
   {
     auto dev = CreateSimDevice(*profile);
-    double rw = MeasureRw(dev->get(), 256, 3);
+    double rw = MeasureRw(dev->get(), 256, seed + 2);
     std::printf("out-of-the-box RW (32KB): %8.1f ms\n", rw);
   }
   // Random state.
@@ -47,10 +50,10 @@ int main(int argc, char** argv) {
     auto dev = CreateSimDevice(*profile);
     auto rep = EnforceRandomState(dev->get());
     random_enforce_s = rep->duration_us / 1e6;
-    random_rw1 = MeasureRw(dev->get(), 256, 5);
+    random_rw1 = MeasureRw(dev->get(), 256, seed + 4);
     // Disturb with more random writes, re-measure: stability check.
-    (void)MeasureRw(dev->get(), 1024, 7);
-    random_rw2 = MeasureRw(dev->get(), 256, 9);
+    (void)MeasureRw(dev->get(), 1024, seed + 6);
+    random_rw2 = MeasureRw(dev->get(), 256, seed + 8);
   }
   // Sequential state.
   double seq_enforce_s = 0;
@@ -59,9 +62,9 @@ int main(int argc, char** argv) {
     auto dev = CreateSimDevice(*profile);
     auto rep = EnforceSequentialState(dev->get());
     seq_enforce_s = rep->duration_us / 1e6;
-    seq_rw1 = MeasureRw(dev->get(), 256, 5);
-    (void)MeasureRw(dev->get(), 1024, 7);
-    seq_rw2 = MeasureRw(dev->get(), 256, 9);
+    seq_rw1 = MeasureRw(dev->get(), 256, seed + 4);
+    (void)MeasureRw(dev->get(), 1024, seed + 6);
+    seq_rw2 = MeasureRw(dev->get(), 256, seed + 8);
   }
 
   std::printf("\n%-22s %14s %14s %14s\n", "state", "enforce time",

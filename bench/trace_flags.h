@@ -19,13 +19,18 @@ namespace bench {
 /// --io_size, --io_count, --theta, --write_fraction,
 /// --read_only_fraction, --streams, --gap_us, --seed). An unknown
 /// --kind is InvalidArgument; config errors surface on the source's
-/// first Next().
+/// first Next(). seed_override >= 0 replaces the --seed flag's value --
+/// replicated sweeps (ftl_compare --reps) pass the derived per-rep
+/// seed (`seed + rep`, see SeedFromFlags) so every repetition draws an
+/// independent but reproducible workload.
 inline StatusOr<std::unique_ptr<EventSource>> SyntheticSourceFromFlags(
-    const Flags& flags) {
+    const Flags& flags, int64_t seed_override = -1) {
   std::string kind = flags.GetString("kind", "zipfian");
   uint64_t capacity =
       static_cast<uint64_t>(flags.GetUint32("capacity_mb", 64)) << 20;
-  uint64_t seed = static_cast<uint64_t>(flags.GetUint32("seed", 1));
+  uint64_t seed = seed_override >= 0
+                      ? static_cast<uint64_t>(seed_override)
+                      : static_cast<uint64_t>(SeedFromFlags(flags));
   uint64_t gap_us = static_cast<uint64_t>(flags.GetUint32("gap_us", 0));
 
   if (kind == "zipfian") {

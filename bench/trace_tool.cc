@@ -33,6 +33,11 @@
 // --stream-replay pulls events off disk as they are submitted and
 // accumulates statistics online, so replaying a multi-GB trace holds
 // O(1) memory (it therefore needs an explicit --io_ignore; default 0).
+// Streamed percentiles are sketch-backed (mergeable t-digest, bounded
+// rank error) with the legacy log-histogram estimates printed alongside
+// as a cross-check; divergence beyond RunStats::kDivergenceThreshold is
+// flagged, and samples the histogram clamps into its edge buckets are
+// counted explicitly.
 #include <cctype>
 #include <cstdio>
 #include <cstring>
@@ -95,6 +100,33 @@ void PrintStats(const RunResult& run, const std::string& title) {
               "incl. start-up", static_cast<unsigned long long>(all.count),
               UsToMs(all.mean_us), UsToMs(all.p50_us), UsToMs(all.p95_us),
               UsToMs(all.p99_us), UsToMs(all.max_us));
+  // Streamed runs: percentiles above come from the t-digest sketch;
+  // show the log-histogram estimates alongside as an independent
+  // cross-check, with the under/overflow the histogram clamped and a
+  // loud flag when the two estimators disagree beyond the threshold.
+  if (running.hist_check.has_value()) {
+    const RunStats::HistogramCheck& hc = *running.hist_check;
+    std::printf("  %-16s %8s %10s %10.3f %10.3f %10.3f %10s\n",
+                "  (histogram)", "", "", UsToMs(hc.p50_us),
+                UsToMs(hc.p95_us), UsToMs(hc.p99_us), "");
+    std::printf(
+        "  percentiles: t-digest sketch (rank error <= %.2f%%); "
+        "histogram cross-check divergence %.2f%%",
+        100 * running.sketch->RankErrorBound(), 100 * hc.divergence);
+    if (hc.divergent) {
+      std::printf("  ** DIVERGENT (>%.0f%%) -- estimators disagree",
+                  100 * RunStats::kDivergenceThreshold);
+    }
+    std::printf("\n");
+    if (hc.underflow > 0 || hc.overflow > 0) {
+      std::printf(
+          "  histogram clamped %llu underflow / %llu overflow "
+          "sample(s) (excluded from the cross-check; sketch and "
+          "moments still cover them)\n",
+          static_cast<unsigned long long>(hc.underflow),
+          static_cast<unsigned long long>(hc.overflow));
+    }
+  }
 }
 
 StatusOr<MicroBench> MicroBenchByName(const std::string& name) {

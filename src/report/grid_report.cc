@@ -1,6 +1,7 @@
 #include "src/report/grid_report.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "src/util/logging.h"
@@ -30,6 +31,22 @@ size_t GridReport::BestIndex() const {
   return best;
 }
 
+bool GridReport::TiesWithBest(size_t i) const {
+  return TiesWithBest(i, BestIndex());
+}
+
+bool GridReport::TiesWithBest(size_t i, size_t best) const {
+  if (best == SIZE_MAX || i == best || i >= cells_.size()) return false;
+  const GridCell& c = cells_[i];
+  const GridCell& b = cells_[best];
+  if (c.stats.count == 0) return false;
+  // A tie claim needs replication evidence on both sides: single-run
+  // cells have no interval, so an exact mean coincidence says nothing.
+  if (c.reps < 2 || b.reps < 2) return false;
+  return CiOverlaps(c.stats.mean_us, c.mean_ci95_us, b.stats.mean_us,
+                    b.mean_ci95_us);
+}
+
 std::string GridReport::Render(const std::string& title) const {
   // Axis column widths sized to their content.
   std::vector<size_t> widths(axes_.size());
@@ -50,14 +67,19 @@ std::string GridReport::Render(const std::string& title) const {
                   axes_[a].c_str());
     out += buf;
   }
-  char head[128];
-  std::snprintf(head, sizeof(head), " %9s %6s %9s %9s %9s %9s %9s\n",
-                "mean ms", "x", "p50 ms", "p95 ms", "p99 ms", "max ms",
-                "IOs/s");
+  char head[160];
+  std::snprintf(head, sizeof(head), " %9s %8s %6s %9s %9s %9s %9s %9s\n",
+                "mean ms", "ci95 ms", "x", "p50 ms", "p95 ms", "p99 ms",
+                "max ms", "IOs/s");
   out += head;
+  bool any_tie = false;
+  bool any_reps = false;
   for (size_t i = 0; i < cells_.size(); ++i) {
     const GridCell& c = cells_[i];
-    out += i == best ? " * " : "   ";
+    bool tie = TiesWithBest(i, best);
+    any_tie |= tie;
+    any_reps |= c.reps > 1;
+    out += i == best ? " * " : (tie ? " ~ " : "   ");
     for (size_t a = 0; a < axes_.size(); ++a) {
       char buf[96];
       std::snprintf(buf, sizeof(buf), " %-*s", static_cast<int>(widths[a]),
@@ -66,16 +88,21 @@ std::string GridReport::Render(const std::string& title) const {
     }
     double factor =
         best_mean > 0 && c.stats.count > 0 ? c.stats.mean_us / best_mean : 0;
-    char row[192];
+    char row[224];
     std::snprintf(row, sizeof(row),
-                  " %9.3f %6.2f %9.3f %9.3f %9.3f %9.3f %9.0f\n",
-                  UsToMs(c.stats.mean_us), factor, UsToMs(c.stats.p50_us),
-                  UsToMs(c.stats.p95_us), UsToMs(c.stats.p99_us),
-                  UsToMs(c.stats.max_us), c.IosPerSec());
+                  " %9.3f %8.3f %6.2f %9.3f %9.3f %9.3f %9.3f %9.0f\n",
+                  UsToMs(c.stats.mean_us), UsToMs(c.mean_ci95_us), factor,
+                  UsToMs(c.stats.p50_us), UsToMs(c.stats.p95_us),
+                  UsToMs(c.stats.p99_us), UsToMs(c.stats.max_us),
+                  c.IosPerSec());
     out += row;
   }
   if (best != SIZE_MAX) {
-    out += "   (* = best cell; x = mean vs best)\n";
+    out += "   (* = best cell";
+    if (any_tie || any_reps) {
+      out += "; ~ = 95% CI overlaps best, not distinguishable";
+    }
+    out += "; x = mean vs best)\n";
   }
   return out;
 }
@@ -88,22 +115,22 @@ std::string GridReport::ToCsv(bool header) const {
       out += ',';
     }
     out +=
-        "ios,mean_us,stddev_us,p50_us,p95_us,p99_us,min_us,max_us,"
-        "makespan_us,ios_per_sec\n";
+        "ios,reps,mean_us,mean_ci95_us,stddev_us,p50_us,p95_us,p99_us,"
+        "min_us,max_us,makespan_us,ios_per_sec\n";
   }
   for (const GridCell& c : cells_) {
     for (const std::string& k : c.keys) {
       out += k;
       out += ',';
     }
-    char buf[256];
-    std::snprintf(buf, sizeof(buf),
-                  "%llu,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%llu,%.1f\n",
-                  static_cast<unsigned long long>(c.ios), c.stats.mean_us,
-                  c.stats.stddev_us, c.stats.p50_us, c.stats.p95_us,
-                  c.stats.p99_us, c.stats.min_us, c.stats.max_us,
-                  static_cast<unsigned long long>(c.makespan_us),
-                  c.IosPerSec());
+    char buf[288];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%llu,%u,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%llu,%.1f\n",
+        static_cast<unsigned long long>(c.ios), c.reps, c.stats.mean_us,
+        c.mean_ci95_us, c.stats.stddev_us, c.stats.p50_us, c.stats.p95_us,
+        c.stats.p99_us, c.stats.min_us, c.stats.max_us,
+        static_cast<unsigned long long>(c.makespan_us), c.IosPerSec());
     out += buf;
   }
   return out;

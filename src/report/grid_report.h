@@ -19,9 +19,16 @@ namespace uflip {
 struct GridCell {
   /// One value per axis, in the axes' order ("mtron", "8", "4", ...).
   std::vector<std::string> keys;
-  /// Running-phase statistics of the cell's replay.
+  /// Running-phase statistics of the cell's replay; with reps > 1 the
+  /// ReplicateSet aggregate (pooled moments, merged-sketch
+  /// percentiles).
   RunStats stats;
-  /// IOs executed and device-time makespan, for throughput.
+  /// Repetitions pooled into this cell, and the half-width of the 95%
+  /// confidence interval on the mean across them (0 when reps < 2).
+  uint32_t reps = 1;
+  double mean_ci95_us = 0;
+  /// IOs executed and device-time makespan (summed over repetitions),
+  /// for throughput.
   uint64_t ios = 0;
   uint64_t makespan_us = 0;
 
@@ -49,15 +56,25 @@ class GridReport {
   /// SIZE_MAX when no cell qualifies.
   size_t BestIndex() const;
 
-  /// Text table: axis columns, mean / factor-vs-best ("x") / p50 / p95
-  /// / p99 / max (ms) and IOs/s, one row per cell in insertion order,
-  /// the best cell marked with '*'.
+  /// True when cell `i` is not the best but its 95% confidence interval
+  /// overlaps the best cell's: at the measured repetition count the two
+  /// means are not distinguishable, so the cell is not a loser. Both
+  /// cells must carry replication (reps >= 2) -- single runs have no
+  /// interval to overlap. The two-argument form takes a precomputed
+  /// BestIndex() so rendering avoids the per-row rescan.
+  bool TiesWithBest(size_t i) const;
+  bool TiesWithBest(size_t i, size_t best) const;
+
+  /// Text table: axis columns, mean / CI half-width / factor-vs-best
+  /// ("x") / p50 / p95 / p99 / max (ms) and IOs/s, one row per cell in
+  /// insertion order; the best cell is marked '*' and cells whose CI
+  /// overlaps the best's are marked '~'.
   std::string Render(const std::string& title) const;
 
   /// CSV export: axis columns plus
-  /// ios,mean_us,stddev_us,p50_us,p95_us,p99_us,min_us,max_us,
-  /// makespan_us,ios_per_sec. `header` = false appends rows only (for
-  /// concatenating grids that share axes).
+  /// ios,reps,mean_us,mean_ci95_us,stddev_us,p50_us,p95_us,p99_us,
+  /// min_us,max_us,makespan_us,ios_per_sec. `header` = false appends
+  /// rows only (for concatenating grids that share axes).
   std::string ToCsv(bool header = true) const;
 
  private:

@@ -19,6 +19,11 @@ RunStats RunStats::Compute(const std::vector<double>& samples_us,
   uint64_t n = 0;
   s.min_us = v[0];
   s.max_us = v[0];
+  // Deliberately built for every materialized run, not just replicated
+  // ones: mergeability is part of the RunStats contract (any run can
+  // later be pooled), and the ~13KB digest rides the existing
+  // O(n log n) sort without changing the complexity.
+  auto digest = std::make_shared<TDigest>();
   for (double x : v) {
     sum += x;
     ++n;
@@ -27,11 +32,13 @@ RunStats RunStats::Compute(const std::vector<double>& samples_us,
     m2 += delta * (x - mean);
     s.min_us = std::min(s.min_us, x);
     s.max_us = std::max(s.max_us, x);
+    digest->Add(x);
   }
   s.sum_us = sum;
   s.mean_us = mean;
   double var = m2 / static_cast<double>(s.count);
   s.stddev_us = var > 0 ? std::sqrt(var) : 0.0;
+  s.sketch = std::move(digest);
   std::sort(v.begin(), v.end());
   auto pct = [&v](double p) {
     size_t idx = static_cast<size_t>(p * static_cast<double>(v.size() - 1));
@@ -40,6 +47,39 @@ RunStats RunStats::Compute(const std::vector<double>& samples_us,
   s.p50_us = pct(0.50);
   s.p95_us = pct(0.95);
   s.p99_us = pct(0.99);
+  return s;
+}
+
+double RunStats::SketchQuantile(double q) const {
+  return sketch != nullptr ? sketch->Quantile(q) : 0.0;
+}
+
+RepSummary RunStats::Summary() const {
+  RepSummary r;
+  r.count = count;
+  r.mean = mean_us;
+  r.m2 = stddev_us * stddev_us * static_cast<double>(count);
+  r.min = min_us;
+  r.max = max_us;
+  r.p50 = p50_us;
+  r.p95 = p95_us;
+  r.p99 = p99_us;
+  r.sketch = sketch;
+  return r;
+}
+
+RunStats RunStats::FromAggregate(const ReplicateAggregate& agg) {
+  RunStats s;
+  s.count = agg.count;
+  s.mean_us = agg.mean;
+  s.stddev_us = agg.stddev;
+  s.min_us = agg.min;
+  s.max_us = agg.max;
+  s.sum_us = agg.mean * static_cast<double>(agg.count);
+  s.p50_us = agg.p50;
+  s.p95_us = agg.p95;
+  s.p99_us = agg.p99;
+  s.sketch = agg.sketch;
   return s;
 }
 
@@ -73,6 +113,17 @@ void StreamingStats::Add(double rt_us) {
   double delta = rt_us - mean_us_;
   mean_us_ += delta / static_cast<double>(count_);
   m2_us_ += delta * (rt_us - mean_us_);
+  digest_.Add(rt_us);
+  // The histogram clamps out-of-range samples into its edge buckets;
+  // count them so the sketch-vs-histogram cross-check can discount the
+  // polluted estimates instead of flagging phantom divergence.
+  static const double kMaxRtUs =
+      kMinRtUs * std::pow(kGrowth, static_cast<double>(kBuckets - 1));
+  if (rt_us < kMinRtUs) {
+    ++hist_underflow_;
+  } else if (rt_us >= kMaxRtUs) {
+    ++hist_overflow_;
+  }
   ++hist_[BucketOf(rt_us)];
 }
 
@@ -86,25 +137,85 @@ RunStats StreamingStats::ToRunStats() const {
   s.mean_us = mean_us_;
   double var = m2_us_ / static_cast<double>(count_);
   s.stddev_us = var > 0 ? std::sqrt(var) : 0.0;
+  // Percentiles come from the mergeable t-digest; the log histogram's
+  // estimates ride along as an independent cross-check.
+  s.p50_us = digest_.Quantile(0.50);
+  s.p95_us = digest_.Quantile(0.95);
+  s.p99_us = digest_.Quantile(0.99);
+  s.sketch = std::make_shared<TDigest>(digest_);
+
   // The same order statistic RunStats::Compute takes (index
   // floor(p * (n-1)) of the sorted series), located in the histogram
   // and mapped back to the bucket's midpoint, clamped to the exact
   // observed range.
-  auto pct = [this](double p) {
+  auto hist_pct = [this](double p, size_t* bucket) {
     uint64_t target =
         static_cast<uint64_t>(p * static_cast<double>(count_ - 1));
     uint64_t seen = 0;
     for (size_t b = 0; b < kBuckets; ++b) {
       seen += hist_[b];
       if (seen > target) {
+        *bucket = b;
         return std::min(std::max(BucketValue(b), min_us_), max_us_);
       }
     }
+    *bucket = kBuckets - 1;
     return max_us_;
   };
-  s.p50_us = pct(0.50);
-  s.p95_us = pct(0.95);
-  s.p99_us = pct(0.99);
+  RunStats::HistogramCheck hc;
+  size_t b50 = 0, b95 = 0, b99 = 0;
+  hc.p50_us = hist_pct(0.50, &b50);
+  hc.p95_us = hist_pct(0.95, &b95);
+  hc.p99_us = hist_pct(0.99, &b99);
+  hc.underflow = hist_underflow_;
+  hc.overflow = hist_overflow_;
+  // Cross-check in rank space (value space would flag phantom
+  // divergence wherever adjacent order statistics are far apart, e.g.
+  // sparse tails of short runs): locate the sketch's value in the
+  // histogram CDF and measure how many ranks its bucket's interval sits
+  // from the requested order statistic. An estimate whose bucket
+  // absorbed clamped samples measures the clamping, not the sketch, and
+  // is excluded.
+  auto polluted = [this](size_t b) {
+    return (b == 0 && hist_underflow_ > 0) ||
+           (b == kBuckets - 1 && hist_overflow_ > 0);
+  };
+  auto rank_divergence = [this, &polluted](double p, double sketch_v) {
+    size_t b = BucketOf(sketch_v);
+    if (polluted(b)) return 0.0;
+    uint64_t before = 0;
+    for (size_t i = 0; i < b; ++i) before += hist_[i];
+    uint64_t inside = hist_[b];
+    // Ranks covered by the sketch value's bucket; an empty bucket
+    // (value interpolated into a gap) collapses to the boundary rank.
+    double lo = static_cast<double>(before);
+    double hi =
+        static_cast<double>(before + (inside > 0 ? inside - 1 : 0));
+    double target = p * static_cast<double>(count_ - 1);
+    double dist = 0;
+    if (target < lo) dist = lo - target;
+    if (target > hi) dist = target - hi;
+    // Interpolation quantization slack: the sketch's value may
+    // legitimately sit between order statistics, displacing its bucket
+    // by ~1 rank -- without this allowance every run under ~50 samples
+    // would flag, since 1/n alone exceeds the threshold there.
+    dist = std::max(0.0, dist - 1.5);
+    return dist / static_cast<double>(count_);
+  };
+  if (!polluted(b50)) {
+    hc.divergence =
+        std::max(hc.divergence, rank_divergence(0.50, s.p50_us));
+  }
+  if (!polluted(b95)) {
+    hc.divergence =
+        std::max(hc.divergence, rank_divergence(0.95, s.p95_us));
+  }
+  if (!polluted(b99)) {
+    hc.divergence =
+        std::max(hc.divergence, rank_divergence(0.99, s.p99_us));
+  }
+  hc.divergent = hc.divergence > RunStats::kDivergenceThreshold;
+  s.hist_check = hc;
   return s;
 }
 

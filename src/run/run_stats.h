@@ -6,8 +6,13 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
+
+#include "src/stats/quantile_sketch.h"
+#include "src/stats/replicate_set.h"
 
 namespace uflip {
 
@@ -22,10 +27,52 @@ struct RunStats {
   double p99_us = 0;
   double sum_us = 0;
 
+  /// Mergeable quantile sketch over the same samples, so per-run
+  /// percentiles can be combined across repetitions (ReplicateSet).
+  /// Materialized runs keep p50/p95/p99 as exact order statistics and
+  /// carry the sketch alongside; streaming runs take them from the
+  /// sketch directly.
+  std::shared_ptr<const QuantileSketch> sketch;
+
+  /// Streaming runs only: the legacy log-histogram percentile estimates
+  /// retained as a cross-check of the sketch. `divergence` is measured
+  /// in rank space -- the largest fraction of the sample count by which
+  /// a sketch quantile's position in the histogram CDF misses the
+  /// requested order statistic over p50/p95/p99; estimates whose
+  /// histogram bucket is polluted by under/overflow clamping are
+  /// excluded -- and `divergent` flags divergence >
+  /// kDivergenceThreshold.
+  struct HistogramCheck {
+    double p50_us = 0;
+    double p95_us = 0;
+    double p99_us = 0;
+    /// Samples below the histogram floor / beyond its last bucket
+    /// bound: previously clamped silently into the edge buckets.
+    uint64_t underflow = 0;
+    uint64_t overflow = 0;
+    double divergence = 0;
+    bool divergent = false;
+  };
+  static constexpr double kDivergenceThreshold = 0.02;
+  std::optional<HistogramCheck> hist_check;
+
+  bool HasSketch() const { return sketch != nullptr; }
+  /// Any quantile off the sketch (0 when none is attached).
+  double SketchQuantile(double q) const;
+
+  /// This run as one repetition for ReplicateSet aggregation.
+  RepSummary Summary() const;
+  /// A ReplicateSet aggregate in RunStats form (percentiles from the
+  /// merged sketch), so grid cells report pooled repetitions through
+  /// the same columns as single runs.
+  static RunStats FromAggregate(const ReplicateAggregate& agg);
+
   std::string ToString() const;
 
   /// Computes statistics over samples[first..], i.e. with the first
-  /// `first` (start-up) samples ignored.
+  /// `first` (start-up) samples ignored. Percentiles are exact order
+  /// statistics; a t-digest over the same samples is attached for
+  /// downstream merging.
   static RunStats Compute(const std::vector<double>& samples_us,
                           size_t first = 0);
 };
@@ -33,17 +80,28 @@ struct RunStats {
 /// One-pass statistics accumulator with O(1) memory, for replays of
 /// traces too long to retain per-IO samples. count / min / max / mean /
 /// stddev / sum match RunStats::Compute over the same values exactly
-/// (same arithmetic); the percentiles come from a fixed-size
-/// logarithmic histogram (~1% bucket growth), so they carry a bounded
-/// relative error of about half a bucket instead of being exact order
-/// statistics.
+/// (same arithmetic); the percentiles come from a mergeable t-digest
+/// sketch (rank error bounded by the sketch's compression), with the
+/// fixed-size logarithmic histogram (~1% bucket growth) retained as an
+/// independent cross-check whose divergence from the sketch is flagged
+/// in RunStats::hist_check.
 class StreamingStats {
  public:
   void Add(double rt_us);
 
   uint64_t count() const { return count_; }
 
-  /// The accumulated statistics in RunStats form.
+  /// Samples the log histogram clamped below its floor bucket / beyond
+  /// its top bucket (the sketch and the exact moments still cover them).
+  uint64_t hist_underflow() const { return hist_underflow_; }
+  uint64_t hist_overflow() const { return hist_overflow_; }
+
+  /// The sketch accumulated so far (for O(1)-memory assertions and
+  /// direct merging).
+  const TDigest& sketch() const { return digest_; }
+
+  /// The accumulated statistics in RunStats form: sketch-backed
+  /// percentiles, histogram estimates in hist_check, sketch attached.
   RunStats ToRunStats() const;
 
  private:
@@ -66,6 +124,9 @@ class StreamingStats {
   // low-variance series.
   double mean_us_ = 0;
   double m2_us_ = 0;
+  TDigest digest_;
+  uint64_t hist_underflow_ = 0;
+  uint64_t hist_overflow_ = 0;
   std::array<uint64_t, kBuckets> hist_ = {};
 };
 

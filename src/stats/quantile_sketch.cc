@@ -1,0 +1,303 @@
+#include "src/stats/quantile_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace uflip {
+
+namespace {
+
+// Samples buffered between t-digest compactions. Larger buffers
+// amortize the O((B + C) log (B + C)) flush further but hold more
+// uncompacted memory; 512 keeps RetainedItems comfortably O(1) while
+// flushing ~every 512 adds.
+constexpr size_t kTDigestBuffer = 512;
+
+}  // namespace
+
+const char* SketchKindName(SketchKind kind) {
+  switch (kind) {
+    case SketchKind::kTDigest: return "t-digest";
+    case SketchKind::kKll: return "kll";
+  }
+  return "?";
+}
+
+std::unique_ptr<QuantileSketch> QuantileSketch::Create(SketchKind kind) {
+  switch (kind) {
+    case SketchKind::kTDigest: return std::make_unique<TDigest>();
+    case SketchKind::kKll: return std::make_unique<KllSketch>();
+  }
+  return std::make_unique<TDigest>();
+}
+
+// ---------------------------------------------------------------------
+// TDigest
+// ---------------------------------------------------------------------
+
+TDigest::TDigest(double compression)
+    : compression_(compression < 20 ? 20 : compression) {
+  buffer_.reserve(kTDigestBuffer);
+}
+
+double TDigest::ScaleK(double q) const {
+  double arg = 2 * q - 1;
+  arg = std::max(-1.0, std::min(1.0, arg));
+  return compression_ / (2 * M_PI) * std::asin(arg);
+}
+
+void TDigest::Add(double x) {
+  if (std::isnan(x)) return;
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  buffer_.push_back(Centroid{x, 1});
+  if (buffer_.size() >= kTDigestBuffer) Flush();
+}
+
+void TDigest::Flush() const {
+  if (buffer_.empty()) return;
+  std::vector<Centroid> all;
+  all.reserve(buffer_.size() + centroids_.size());
+  all.insert(all.end(), centroids_.begin(), centroids_.end());
+  all.insert(all.end(), buffer_.begin(), buffer_.end());
+  buffer_.clear();
+  // The full union is recompacted left-to-right each flush, so the
+  // result depends only on the sorted multiset of centroids -- which is
+  // what makes Merge order-independent (merge(a, b) == merge(b, a)).
+  std::sort(all.begin(), all.end(),
+            [](const Centroid& a, const Centroid& b) {
+              return a.mean < b.mean ||
+                     (a.mean == b.mean && a.weight < b.weight);
+            });
+  double total = 0;
+  for (const Centroid& c : all) total += c.weight;
+
+  std::vector<Centroid> merged;
+  merged.reserve(static_cast<size_t>(compression_) + 8);
+  double w_before = 0;  // weight fully emitted before `cur`
+  double k_left = ScaleK(0);
+  Centroid cur = all[0];
+  for (size_t i = 1; i < all.size(); ++i) {
+    const Centroid& c = all[i];
+    double q_right = (w_before + cur.weight + c.weight) / total;
+    if (ScaleK(q_right) - k_left <= 1.0) {
+      cur.weight += c.weight;
+      cur.mean += (c.mean - cur.mean) * (c.weight / cur.weight);
+    } else {
+      merged.push_back(cur);
+      w_before += cur.weight;
+      k_left = ScaleK(w_before / total);
+      cur = c;
+    }
+  }
+  merged.push_back(cur);
+  centroids_ = std::move(merged);
+}
+
+void TDigest::Merge(const QuantileSketch& other) {
+  UFLIP_CHECK(other.kind() == SketchKind::kTDigest);
+  const TDigest& od = static_cast<const TDigest&>(other);
+  // Flush BOTH sides so each operand contributes its compacted
+  // centroids regardless of which is the receiver -- with only the
+  // argument flushed, the receiver's buffered singletons would make the
+  // recompacted union depend on operand order.
+  Flush();
+  od.Flush();
+  if (od.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = od.min_;
+    max_ = od.max_;
+  } else {
+    min_ = std::min(min_, od.min_);
+    max_ = std::max(max_, od.max_);
+  }
+  count_ += od.count_;
+  buffer_.insert(buffer_.end(), od.centroids_.begin(), od.centroids_.end());
+  Flush();
+}
+
+double TDigest::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  if (q <= 0) return min_;
+  if (q >= 1) return max_;
+  Flush();
+  if (centroids_.size() == 1) return centroids_[0].mean;
+  // Centroid i's mean is taken as the value at cumulative weight
+  // cum_i + w_i / 2; linear interpolation between those anchor points,
+  // pinned to the exact min/max at the ends. The target rank follows
+  // the type-7 convention (h = q * (n - 1), interpolated): with every
+  // centroid a singleton this reproduces classic sorted-sample
+  // interpolation exactly, one order statistic at most from the
+  // floor(q * (n - 1)) index RunStats::Compute reports.
+  double total = 0;
+  for (const Centroid& c : centroids_) total += c.weight;
+  double target = q * (total - 1) + 0.5;
+  double prev_pos = 0;
+  double prev_val = min_;
+  double cum = 0;
+  for (const Centroid& c : centroids_) {
+    double pos = cum + c.weight / 2;
+    if (target < pos) {
+      double t = (target - prev_pos) / (pos - prev_pos);
+      return prev_val + t * (c.mean - prev_val);
+    }
+    prev_pos = pos;
+    prev_val = c.mean;
+    cum += c.weight;
+  }
+  double t = (target - prev_pos) / (total - prev_pos);
+  return prev_val + t * (max_ - prev_val);
+}
+
+double TDigest::RankErrorBound() const {
+  // The k1 scale function caps one centroid's rank span at pi/delta
+  // (worst at the median, tighter toward the tails); interpolation
+  // between adjacent anchors stays within one span.
+  return M_PI / compression_;
+}
+
+std::unique_ptr<QuantileSketch> TDigest::Clone() const {
+  return std::make_unique<TDigest>(*this);
+}
+
+size_t TDigest::CentroidCount() const {
+  Flush();
+  return centroids_.size();
+}
+
+// ---------------------------------------------------------------------
+// KllSketch
+// ---------------------------------------------------------------------
+
+KllSketch::KllSketch(size_t k) : k_(k < 8 ? 8 : k) {
+  levels_.emplace_back();
+  parity_.push_back(0);
+}
+
+size_t KllSketch::LevelCapacity(size_t level, size_t depth) const {
+  // Top level holds k values; capacities decay by 2/3 per level below,
+  // floored so every level keeps a usable sample.
+  double cap = static_cast<double>(k_) *
+               std::pow(2.0 / 3.0, static_cast<double>(depth - 1 - level));
+  return std::max<size_t>(8, static_cast<size_t>(std::ceil(cap)));
+}
+
+void KllSketch::Add(double x) {
+  if (std::isnan(x)) return;
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  levels_[0].push_back(x);
+  if (levels_[0].size() >= LevelCapacity(0, levels_.size())) Compress();
+}
+
+void KllSketch::Compress() {
+  for (size_t lvl = 0; lvl < levels_.size(); ++lvl) {
+    std::vector<double>& cur = levels_[lvl];
+    if (cur.size() < LevelCapacity(lvl, levels_.size())) continue;
+    std::sort(cur.begin(), cur.end());
+    if (lvl + 1 >= levels_.size()) {
+      levels_.emplace_back();
+      parity_.push_back(0);
+    }
+    // Promote every other value (weight doubles); the kept parity
+    // alternates per level via a counter, so compaction -- and with it
+    // every quantile the sketch will ever report -- is deterministic.
+    size_t offset = parity_[lvl] & 1;
+    parity_[lvl] ^= 1;
+    std::vector<double>& up = levels_[lvl + 1];
+    size_t pairs = levels_[lvl].size() / 2;
+    for (size_t i = 0; i < pairs; ++i) {
+      up.push_back(levels_[lvl][2 * i + offset]);
+    }
+    std::vector<double> keep;
+    if (levels_[lvl].size() % 2) keep.push_back(levels_[lvl].back());
+    levels_[lvl] = std::move(keep);
+  }
+}
+
+void KllSketch::Merge(const QuantileSketch& other) {
+  UFLIP_CHECK(other.kind() == SketchKind::kKll);
+  if (&other == this) {
+    KllSketch copy = *this;
+    Merge(static_cast<const QuantileSketch&>(copy));
+    return;
+  }
+  const KllSketch& o = static_cast<const KllSketch&>(other);
+  if (o.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = o.min_;
+    max_ = o.max_;
+  } else {
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+  }
+  count_ += o.count_;
+  while (levels_.size() < o.levels_.size()) {
+    levels_.emplace_back();
+    parity_.push_back(0);
+  }
+  for (size_t lvl = 0; lvl < o.levels_.size(); ++lvl) {
+    levels_[lvl].insert(levels_[lvl].end(), o.levels_[lvl].begin(),
+                        o.levels_[lvl].end());
+  }
+  Compress();
+}
+
+double KllSketch::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  if (q <= 0) return min_;
+  if (q >= 1) return max_;
+  // Weighted rank walk over every retained value. Compaction preserves
+  // total weight exactly, so the weights sum to count().
+  std::vector<std::pair<double, double>> items;
+  items.reserve(RetainedItems());
+  double total = 0;
+  for (size_t lvl = 0; lvl < levels_.size(); ++lvl) {
+    double w = std::ldexp(1.0, static_cast<int>(lvl));
+    for (double v : levels_[lvl]) {
+      items.emplace_back(v, w);
+      total += w;
+    }
+  }
+  std::sort(items.begin(), items.end());
+  double target = q * total;
+  double cum = 0;
+  for (const auto& [v, w] : items) {
+    cum += w;
+    if (cum >= target) return v;
+  }
+  return max_;
+}
+
+size_t KllSketch::RetainedItems() const {
+  size_t n = 0;
+  for (const auto& lvl : levels_) n += lvl.size();
+  return n;
+}
+
+double KllSketch::RankErrorBound() const {
+  // Conservative envelope for the deterministic-parity compactor stack
+  // (the randomized KLL bound is ~2.3/k; alternating parity trades the
+  // probabilistic guarantee for reproducibility).
+  return 8.0 / static_cast<double>(k_);
+}
+
+std::unique_ptr<QuantileSketch> KllSketch::Clone() const {
+  return std::make_unique<KllSketch>(*this);
+}
+
+}  // namespace uflip

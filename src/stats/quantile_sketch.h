@@ -1,0 +1,158 @@
+// Mergeable quantile sketches: bounded-memory streaming summaries whose
+// quantile estimates carry a rank-error guarantee and whose merge is an
+// associative, commutative algebra -- sketch(A) merged with sketch(B)
+// estimates the quantiles of A ++ B within the same bound as one sketch
+// over the concatenation. That mergeability is what makes replicated
+// experiments (ftl_compare --reps) statistically honest: each
+// repetition summarizes its response times independently and the
+// per-cell report merges the summaries instead of re-running anything.
+//
+// Two implementations share the interface:
+//  * TDigest -- the merging t-digest (Dunning's scale-function
+//    compaction). Centroid budget is proportional to the compression
+//    parameter; accuracy concentrates at the tails, which is where
+//    uFLIP's conclusions live (p95/p99 of response-time
+//    distributions). Merging is exact-deterministic: both operand
+//    orders compact the same sorted centroid union, so merge(a, b) and
+//    merge(b, a) return identical quantiles.
+//  * KllSketch -- a KLL-style compactor stack kept as a fallback with
+//    uniform (rank-wise) accuracy. Compaction parity is derived from a
+//    per-level counter rather than a coin, so it is deterministic too.
+//
+// Both are O(1) memory in the stream length (RetainedItems() is bounded
+// by a function of the accuracy parameter alone) and neither allocates
+// per Add on the hot path outside of amortized compactions.
+#ifndef UFLIP_STATS_QUANTILE_SKETCH_H_
+#define UFLIP_STATS_QUANTILE_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace uflip {
+
+enum class SketchKind { kTDigest, kKll };
+
+const char* SketchKindName(SketchKind kind);
+
+class QuantileSketch {
+ public:
+  virtual ~QuantileSketch() = default;
+
+  virtual SketchKind kind() const = 0;
+
+  /// Adds one sample. NaNs are ignored (a NaN response time is a bug
+  /// upstream, not a quantile).
+  virtual void Add(double x) = 0;
+
+  /// Merges `other` into this sketch; `other` must be the same kind.
+  /// The result summarizes the union of both streams.
+  virtual void Merge(const QuantileSketch& other) = 0;
+
+  /// The q-quantile estimate (q in [0, 1], clamped). Exact at q = 0 and
+  /// q = 1 (the sketch tracks min/max exactly); 0 on an empty sketch.
+  virtual double Quantile(double q) const = 0;
+
+  virtual uint64_t count() const = 0;
+
+  /// Values/centroids currently retained. Bounded by the accuracy
+  /// parameter, independent of count() -- the O(1)-memory guarantee
+  /// streaming replay relies on.
+  virtual size_t RetainedItems() const = 0;
+
+  /// Worst-case rank error: the returned Quantile(q) is the exact
+  /// r-quantile of the stream for some |r - q| <= RankErrorBound().
+  virtual double RankErrorBound() const = 0;
+
+  virtual std::unique_ptr<QuantileSketch> Clone() const = 0;
+
+  /// Factory with each kind's default accuracy parameter.
+  static std::unique_ptr<QuantileSketch> Create(SketchKind kind);
+};
+
+/// Merging t-digest. `compression` is the centroid budget parameter
+/// (delta); accuracy at quantile q scales like sqrt(q(1-q))/compression,
+/// i.e. tightest at the tails.
+class TDigest final : public QuantileSketch {
+ public:
+  /// Worst-case rank error pi/compression = ~0.8%: comfortably inside
+  /// the 2% histogram cross-check threshold, ~800 centroids retained.
+  static constexpr double kDefaultCompression = 400.0;
+
+  explicit TDigest(double compression = kDefaultCompression);
+
+  SketchKind kind() const override { return SketchKind::kTDigest; }
+  void Add(double x) override;
+  void Merge(const QuantileSketch& other) override;
+  double Quantile(double q) const override;
+  uint64_t count() const override { return count_; }
+  size_t RetainedItems() const override {
+    return centroids_.size() + buffer_.size();
+  }
+  double RankErrorBound() const override;
+  std::unique_ptr<QuantileSketch> Clone() const override;
+
+  double compression() const { return compression_; }
+  /// Compacted centroid count (flushes pending buffered samples).
+  size_t CentroidCount() const;
+
+ private:
+  struct Centroid {
+    double mean = 0;
+    double weight = 0;
+  };
+
+  /// The k1 scale function: k(q) = delta/(2*pi) * asin(2q - 1).
+  double ScaleK(double q) const;
+  /// Sorts buffered samples into the centroid list and recompacts the
+  /// whole union left-to-right (deterministic given the multiset).
+  void Flush() const;
+
+  double compression_;
+  uint64_t count_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  // Quantile() is logically const but compacts lazily.
+  mutable std::vector<Centroid> centroids_;  // sorted by mean after Flush
+  mutable std::vector<Centroid> buffer_;
+};
+
+/// KLL-style compactor stack: level i holds values of weight 2^i; a
+/// full level sorts itself and promotes every other value (parity from
+/// a per-level counter, so compaction is deterministic) to level i+1.
+/// Capacities decay geometrically below the top level.
+class KllSketch final : public QuantileSketch {
+ public:
+  static constexpr size_t kDefaultK = 200;
+
+  explicit KllSketch(size_t k = kDefaultK);
+
+  SketchKind kind() const override { return SketchKind::kKll; }
+  void Add(double x) override;
+  void Merge(const QuantileSketch& other) override;
+  double Quantile(double q) const override;
+  uint64_t count() const override { return count_; }
+  size_t RetainedItems() const override;
+  double RankErrorBound() const override;
+  std::unique_ptr<QuantileSketch> Clone() const override;
+
+  size_t k() const { return k_; }
+
+ private:
+  /// Capacity of `level` in a stack currently `depth` levels deep.
+  size_t LevelCapacity(size_t level, size_t depth) const;
+  /// Compacts every over-capacity level bottom-up.
+  void Compress();
+
+  size_t k_;
+  uint64_t count_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  std::vector<std::vector<double>> levels_;
+  std::vector<uint32_t> parity_;  // per-level compaction counter
+};
+
+}  // namespace uflip
+
+#endif  // UFLIP_STATS_QUANTILE_SKETCH_H_

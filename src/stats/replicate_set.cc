@@ -1,0 +1,111 @@
+#include "src/stats/replicate_set.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace uflip {
+
+bool ReplicateAggregate::OverlapsCi(const ReplicateAggregate& other) const {
+  return CiOverlaps(mean, mean_ci95_half, other.mean, other.mean_ci95_half);
+}
+
+void ReplicateSet::Add(const RepSummary& rep) {
+  if (rep.count == 0) return;
+  rep_means_.push_back(rep.mean);
+  if (n_ == 0) {
+    min_ = rep.min;
+    max_ = rep.max;
+  } else {
+    min_ = std::min(min_, rep.min);
+    max_ = std::max(max_, rep.max);
+  }
+  // Chan et al. pairwise combine: equals one Welford pass over the
+  // concatenation of both sample sets.
+  double na = static_cast<double>(n_);
+  double nb = static_cast<double>(rep.count);
+  double delta = rep.mean - mean_;
+  n_ += rep.count;
+  double n = static_cast<double>(n_);
+  mean_ += delta * nb / n;
+  m2_ += rep.m2 + delta * delta * na * nb / n;
+  wp50_ += rep.p50 * nb;
+  wp95_ += rep.p95 * nb;
+  wp99_ += rep.p99 * nb;
+  // Merge sketches only while every repetition contributes one of the
+  // same kind; otherwise a merged sketch would cover fewer samples than
+  // the moments claim, so drop it and let Aggregate() fall back to the
+  // count-weighted per-rep percentiles (which cover all reps).
+  if (sketch_mismatch_) return;
+  if (rep.sketch == nullptr ||
+      (merged_ != nullptr && merged_->kind() != rep.sketch->kind())) {
+    sketch_mismatch_ = true;
+    merged_.reset();
+    return;
+  }
+  if (merged_ == nullptr) {
+    merged_ = rep.sketch->Clone();
+  } else {
+    merged_->Merge(*rep.sketch);
+  }
+}
+
+double ReplicateSet::TCritical95(uint32_t reps) {
+  if (reps < 2) return 0;
+  // t_{0.975, df} for df = 1..30.
+  static constexpr double kT975[30] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+      2.228,  2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101,
+      2.093,  2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052,
+      2.048,  2.045, 2.042};
+  uint32_t df = reps - 1;
+  if (df <= 30) return kT975[df - 1];
+  // Bracketed beyond the table, each bracket using (at least) the value
+  // at its smallest df, so intervals round wider -- never narrower --
+  // than the exact t would give.
+  if (df <= 40) return 2.040;
+  if (df <= 60) return 2.020;
+  if (df <= 120) return 2.000;
+  if (df <= 300) return 1.980;
+  // Exact t stays above the normal 1.960 at any finite df; 1.970
+  // dominates it for every df > 300 (t_301 = 1.968).
+  return 1.970;
+}
+
+ReplicateAggregate ReplicateSet::Aggregate() const {
+  ReplicateAggregate agg;
+  agg.reps = reps();
+  if (n_ == 0) return agg;
+  agg.count = n_;
+  agg.mean = mean_;
+  double var = m2_ / static_cast<double>(n_);
+  agg.stddev = var > 0 ? std::sqrt(var) : 0.0;
+  agg.min = min_;
+  agg.max = max_;
+
+  if (agg.reps >= 2) {
+    // Sample stddev of the per-repetition means (R - 1 denominator).
+    double rm = 0;
+    for (double m : rep_means_) rm += m;
+    rm /= static_cast<double>(rep_means_.size());
+    double s2 = 0;
+    for (double m : rep_means_) s2 += (m - rm) * (m - rm);
+    s2 /= static_cast<double>(rep_means_.size() - 1);
+    agg.mean_ci95_half = TCritical95(agg.reps) * std::sqrt(s2) /
+                         std::sqrt(static_cast<double>(rep_means_.size()));
+  }
+
+  if (merged_ != nullptr) {
+    agg.p50 = merged_->Quantile(0.50);
+    agg.p95 = merged_->Quantile(0.95);
+    agg.p99 = merged_->Quantile(0.99);
+    agg.sketch = std::shared_ptr<const QuantileSketch>(merged_->Clone());
+  } else {
+    double n = static_cast<double>(n_);
+    agg.p50 = wp50_ / n;
+    agg.p95 = wp95_ / n;
+    agg.p99 = wp99_ / n;
+  }
+  return agg;
+}
+
+}  // namespace uflip

@@ -1,0 +1,112 @@
+// Replicated-experiment aggregation: combines the per-repetition
+// summaries of one experimental cell -- Welford moments plus a
+// mergeable quantile sketch each -- into pooled moments, merged-sketch
+// percentiles, and a 95% confidence interval on the mean.
+//
+// The moment algebra is Chan et al.'s pairwise Welford combine, so the
+// pooled mean/variance equal one Welford pass over the concatenated
+// samples (no per-sample state is kept). The confidence interval is the
+// classic replicated-run interval: the per-repetition means are treated
+// as R independent observations and the half-width is
+// t_{0.975, R-1} * s_R / sqrt(R), which is exactly how a benchmark
+// harness should qualify "pattern A beat pattern B by 1.2x" claims
+// built on few repetitions. Percentiles come from merging the
+// repetitions' sketches, so they cover the union of all samples within
+// the sketch's rank-error bound -- not an average of per-rep
+// percentiles, which has no such guarantee.
+#ifndef UFLIP_STATS_REPLICATE_SET_H_
+#define UFLIP_STATS_REPLICATE_SET_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/stats/quantile_sketch.h"
+
+namespace uflip {
+
+/// One repetition's summary (units are the caller's; microseconds
+/// throughout this repo). `m2` is the sum of squared deviations from
+/// the mean (count * variance), i.e. Welford's running M2.
+struct RepSummary {
+  uint64_t count = 0;
+  double mean = 0;
+  double m2 = 0;
+  double min = 0;
+  double max = 0;
+  /// Per-rep percentile estimates: only used as a count-weighted
+  /// fallback when no sketch accompanies the summary.
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+  std::shared_ptr<const QuantileSketch> sketch;
+};
+
+/// The 95%-CI overlap rule shared by every "statistically tied" claim
+/// (ReplicateAggregate::OverlapsCi, GridReport::TiesWithBest): the two
+/// means are indistinguishable when neither lies outside the other's
+/// interval reach. `ci_*` are half-widths.
+inline bool CiOverlaps(double mean_a, double ci_a, double mean_b,
+                       double ci_b) {
+  double diff = mean_a > mean_b ? mean_a - mean_b : mean_b - mean_a;
+  return diff <= ci_a + ci_b;
+}
+
+/// The combined cell: pooled over every sample of every repetition.
+struct ReplicateAggregate {
+  uint32_t reps = 0;
+  uint64_t count = 0;
+  double mean = 0;
+  double stddev = 0;  // pooled (population) stddev over all samples
+  double min = 0;
+  double max = 0;
+  /// Half-width of the 95% confidence interval on the mean, from the
+  /// spread of the per-repetition means; 0 when reps < 2 (one run
+  /// carries no replication evidence).
+  double mean_ci95_half = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+  /// Merged across all repetitions; null when no rep carried a sketch.
+  std::shared_ptr<const QuantileSketch> sketch;
+
+  /// True when this cell's CI overlaps `other`'s: the two means are not
+  /// distinguishable at the 95% level, so neither "beat" the other.
+  bool OverlapsCi(const ReplicateAggregate& other) const;
+};
+
+class ReplicateSet {
+ public:
+  void Add(const RepSummary& rep);
+
+  uint32_t reps() const { return static_cast<uint32_t>(rep_means_.size()); }
+  uint64_t count() const { return n_; }
+
+  ReplicateAggregate Aggregate() const;
+
+  /// Two-sided 97.5% Student-t critical value for reps - 1 degrees of
+  /// freedom; beyond the df <= 30 table it is bracketed so the value
+  /// never falls below the exact t (intervals round wider, not
+  /// narrower). 0 when reps < 2.
+  static double TCritical95(uint32_t reps);
+
+ private:
+  std::vector<double> rep_means_;
+  // Pairwise Welford combine state over all samples.
+  uint64_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  // Count-weighted fallback percentiles for sketch-less summaries.
+  double wp50_ = 0, wp95_ = 0, wp99_ = 0;
+  // Set when any rep lacks a sketch (or kinds mix): the merged sketch
+  // is dropped so percentiles never cover fewer samples than the
+  // moments; Aggregate() uses the weighted fallback instead.
+  bool sketch_mismatch_ = false;
+  std::unique_ptr<QuantileSketch> merged_;
+};
+
+}  // namespace uflip
+
+#endif  // UFLIP_STATS_REPLICATE_SET_H_

@@ -229,10 +229,38 @@ TEST(StreamingReplayTest, StatsOnlyReplayMatchesExactMoments) {
     EXPECT_DOUBLE_EQ(online.max_us, exact.max_us);
     EXPECT_NEAR(online.stddev_us, exact.stddev_us,
                 1e-9 * (1 + exact.stddev_us));
-    // Percentiles come from the log histogram: ~1% relative error.
-    EXPECT_NEAR(online.p50_us, exact.p50_us, 0.015 * exact.p50_us);
-    EXPECT_NEAR(online.p95_us, exact.p95_us, 0.015 * exact.p95_us);
-    EXPECT_NEAR(online.p99_us, exact.p99_us, 0.015 * exact.p99_us);
+    // Percentiles come from the t-digest sketch, whose guarantee is in
+    // rank, not value: the reported quantile must sit within the
+    // sketch's rank-error bound of the requested one in the exact
+    // sorted series (+1.5 ranks of interpolation-convention slack).
+    ASSERT_TRUE(online.HasSketch());
+    std::vector<double> sorted = full->ResponseTimes();
+    if (pick) {
+      sorted.erase(sorted.begin(),
+                   sorted.begin() + full->spec.io_ignore);
+    }
+    std::sort(sorted.begin(), sorted.end());
+    double n = static_cast<double>(sorted.size());
+    double bound = online.sketch->RankErrorBound() * n + 1.5;
+    auto rank_of = [&sorted](double v) {
+      auto lo = std::lower_bound(sorted.begin(), sorted.end(), v);
+      auto hi = std::upper_bound(sorted.begin(), sorted.end(), v);
+      // Midpoint of the tied range: v may fall between samples.
+      return (static_cast<double>(lo - sorted.begin()) +
+              static_cast<double>(hi - sorted.begin())) /
+             2.0;
+    };
+    EXPECT_NEAR(rank_of(online.p50_us), 0.50 * (n - 1), bound);
+    EXPECT_NEAR(rank_of(online.p95_us), 0.95 * (n - 1), bound);
+    EXPECT_NEAR(rank_of(online.p99_us), 0.99 * (n - 1), bound);
+    // The log histogram rides along as a cross-check; on a clean
+    // in-range series it must agree with the sketch (no divergence
+    // flag, no clamped samples).
+    ASSERT_TRUE(online.hist_check.has_value());
+    EXPECT_FALSE(online.hist_check->divergent)
+        << "divergence " << online.hist_check->divergence;
+    EXPECT_EQ(online.hist_check->underflow, 0u);
+    EXPECT_EQ(online.hist_check->overflow, 0u);
   }
   // Identical device-time behaviour either way.
   EXPECT_EQ(dev_a->clock()->NowUs(), dev_b->clock()->NowUs());

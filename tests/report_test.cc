@@ -46,12 +46,12 @@ TEST(GridReportTest, RenderGolden) {
   std::string out = SampleGrid().Render("Sweep:");
   const char* expected =
       "Sweep:\n"
-      "    device qd   mean ms      x    p50 ms    p95 ms    p99 ms"
-      "    max ms     IOs/s\n"
-      "    mtron  1      2.000   4.00     1.800     3.000     3.500"
-      "     4.000       500\n"
-      " *  mtron  8      0.500   1.00     0.450     0.800     0.900"
-      "     1.000      2000\n"
+      "    device qd   mean ms  ci95 ms      x    p50 ms    p95 ms"
+      "    p99 ms    max ms     IOs/s\n"
+      "    mtron  1      2.000    0.000   4.00     1.800     3.000"
+      "     3.500     4.000       500\n"
+      " *  mtron  8      0.500    0.000   1.00     0.450     0.800"
+      "     0.900     1.000      2000\n"
       "   (* = best cell; x = mean vs best)\n";
   EXPECT_EQ(out, expected);
 }
@@ -59,16 +59,62 @@ TEST(GridReportTest, RenderGolden) {
 TEST(GridReportTest, CsvGolden) {
   std::string out = SampleGrid().ToCsv();
   const char* expected =
-      "device,qd,ios,mean_us,stddev_us,p50_us,p95_us,p99_us,min_us,max_us,"
-      "makespan_us,ios_per_sec\n"
-      "mtron,1,100,2000.000,250.000,1800.000,3000.000,3500.000,900.000,"
-      "4000.000,200000,500.0\n"
-      "mtron,8,100,500.000,60.000,450.000,800.000,900.000,200.000,"
-      "1000.000,50000,2000.0\n";
+      "device,qd,ios,reps,mean_us,mean_ci95_us,stddev_us,p50_us,p95_us,"
+      "p99_us,min_us,max_us,makespan_us,ios_per_sec\n"
+      "mtron,1,100,1,2000.000,0.000,250.000,1800.000,3000.000,3500.000,"
+      "900.000,4000.000,200000,500.0\n"
+      "mtron,8,100,1,500.000,0.000,60.000,450.000,800.000,900.000,"
+      "200.000,1000.000,50000,2000.0\n";
   EXPECT_EQ(out, expected);
   // Header suppression lets grids that share axes concatenate.
   std::string rows = SampleGrid().ToCsv(/*header=*/false);
   EXPECT_EQ(out.find(rows), out.size() - rows.size());
+}
+
+/// Three replicated cells: best at 500us +/- 80, a statistical tie at
+/// 550us +/- 60 (intervals overlap), a genuine loser at 900us +/- 20.
+GridReport ReplicatedGrid() {
+  GridReport grid({"ftl"});
+  const char* names[3] = {"best", "tie", "loser"};
+  double means[3] = {500, 550, 900};
+  double cis[3] = {80, 60, 20};
+  for (int i = 0; i < 3; ++i) {
+    GridCell c;
+    c.keys = {names[i]};
+    c.stats.count = 300;
+    c.stats.mean_us = means[i];
+    c.stats.p50_us = means[i];
+    c.stats.p95_us = means[i] * 1.5;
+    c.stats.p99_us = means[i] * 1.8;
+    c.stats.max_us = means[i] * 2;
+    c.reps = 3;
+    c.mean_ci95_us = cis[i];
+    c.ios = 300;
+    c.makespan_us = 300000;
+    grid.Add(c);
+  }
+  return grid;
+}
+
+TEST(GridReportTest, CiOverlapMarksStatisticalTies) {
+  GridReport grid = ReplicatedGrid();
+  EXPECT_EQ(grid.BestIndex(), 0u);
+  EXPECT_FALSE(grid.TiesWithBest(0));  // the best itself is not a tie
+  EXPECT_TRUE(grid.TiesWithBest(1));   // |550-500| = 50 <= 60+80
+  EXPECT_FALSE(grid.TiesWithBest(2));  // |900-500| = 400 > 20+80
+
+  std::string out = grid.Render("CI:");
+  EXPECT_NE(out.find(" *  best"), std::string::npos);
+  EXPECT_NE(out.find(" ~  tie"), std::string::npos);
+  EXPECT_NE(out.find("    loser"), std::string::npos);
+  EXPECT_NE(out.find("~ = 95% CI overlaps best"), std::string::npos);
+}
+
+TEST(GridReportTest, CsvCarriesRepsAndCi) {
+  std::string csv = ReplicatedGrid().ToCsv();
+  EXPECT_NE(csv.find("mean_ci95_us"), std::string::npos);
+  EXPECT_NE(csv.find("best,300,3,500.000,80.000,"), std::string::npos);
+  EXPECT_NE(csv.find("tie,300,3,550.000,60.000,"), std::string::npos);
 }
 
 TEST(GridReportTest, BestIndexSkipsEmptyCells) {

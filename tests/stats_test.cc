@@ -1,0 +1,551 @@
+// Stats subsystem tests: mergeable quantile sketches (t-digest + KLL
+// behind one interface), replicated-experiment aggregation
+// (ReplicateSet: pooled Welford moments, merged-sketch percentiles, 95%
+// confidence intervals), and the sketch-backed StreamingStats path with
+// its log-histogram cross-check and explicit under/overflow accounting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "src/run/run_stats.h"
+#include "src/stats/quantile_sketch.h"
+#include "src/stats/replicate_set.h"
+#include "src/util/random.h"
+
+namespace uflip {
+namespace {
+
+// ---------------------------------------------------------------------
+// Test distributions (deterministic via the repo Rng)
+// ---------------------------------------------------------------------
+
+std::vector<double> Uniform(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v;
+  v.reserve(n);
+  for (size_t i = 0; i < n; ++i) v.push_back(10 + 990 * rng.UniformDouble());
+  return v;
+}
+
+/// Heavy-tailed (Pareto-like), the shape response-time tails take.
+std::vector<double> Zipfianish(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v;
+  v.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    double u = rng.UniformDouble();
+    v.push_back(50 / std::pow(1 - u * 0.999, 0.7));
+  }
+  return v;
+}
+
+/// Two separated modes (cache hit vs erase-stalled write).
+std::vector<double> Bimodal(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v;
+  v.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.8)) {
+      v.push_back(100 + 20 * rng.UniformDouble());
+    } else {
+      v.push_back(5000 + 500 * rng.UniformDouble());
+    }
+  }
+  return v;
+}
+
+/// The exact rank (fractional midpoint over ties) of `value` in the
+/// sorted series, for rank-error assertions.
+double RankOf(const std::vector<double>& sorted, double value) {
+  auto lo = std::lower_bound(sorted.begin(), sorted.end(), value);
+  auto hi = std::upper_bound(sorted.begin(), sorted.end(), value);
+  return (static_cast<double>(lo - sorted.begin()) +
+          static_cast<double>(hi - sorted.begin())) /
+         2.0;
+}
+
+/// Asserts every checked quantile of `sketch` sits within its rank
+/// bound of the exact order statistic (+slack ranks for interpolation
+/// convention).
+void ExpectQuantilesWithinRankBound(const QuantileSketch& sketch,
+                                    std::vector<double> samples,
+                                    double extra_slack_ranks = 1.5) {
+  std::sort(samples.begin(), samples.end());
+  double n = static_cast<double>(samples.size());
+  double bound = sketch.RankErrorBound() * n + extra_slack_ranks;
+  for (double q : {0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99}) {
+    double v = sketch.Quantile(q);
+    EXPECT_NEAR(RankOf(samples, v), q * (n - 1), bound)
+        << "q=" << q << " v=" << v << " (" << SketchKindName(sketch.kind())
+        << ")";
+  }
+}
+
+// ---------------------------------------------------------------------
+// Sketch correctness, both kinds
+// ---------------------------------------------------------------------
+
+class SketchTest : public ::testing::TestWithParam<SketchKind> {
+ protected:
+  std::unique_ptr<QuantileSketch> Make() {
+    return QuantileSketch::Create(GetParam());
+  }
+};
+
+TEST_P(SketchTest, EmptyAndSingleSample) {
+  auto s = Make();
+  EXPECT_EQ(s->count(), 0u);
+  EXPECT_EQ(s->Quantile(0.5), 0.0);
+  s->Add(42.5);
+  EXPECT_EQ(s->count(), 1u);
+  for (double q : {0.0, 0.01, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(s->Quantile(q), 42.5) << "q=" << q;
+  }
+  // NaN samples are dropped, not propagated.
+  s->Add(std::nan(""));
+  EXPECT_EQ(s->count(), 1u);
+}
+
+TEST_P(SketchTest, ExactExtremesAndTwoSamples) {
+  auto s = Make();
+  s->Add(10);
+  s->Add(20);
+  EXPECT_DOUBLE_EQ(s->Quantile(0), 10);
+  EXPECT_DOUBLE_EQ(s->Quantile(1), 20);
+  EXPECT_EQ(s->count(), 2u);
+}
+
+TEST_P(SketchTest, QuantileAccuracyAcrossDistributions) {
+  for (auto maker : {Uniform, Zipfianish, Bimodal}) {
+    auto s = Make();
+    std::vector<double> v = maker(20000, 7);
+    for (double x : v) s->Add(x);
+    ExpectQuantilesWithinRankBound(*s, v);
+    EXPECT_DOUBLE_EQ(s->Quantile(0),
+                     *std::min_element(v.begin(), v.end()));
+    EXPECT_DOUBLE_EQ(s->Quantile(1),
+                     *std::max_element(v.begin(), v.end()));
+  }
+}
+
+TEST_P(SketchTest, MergeIsCommutativeWithinBound) {
+  std::vector<double> a = Zipfianish(8000, 11);
+  std::vector<double> b = Uniform(12000, 13);
+  auto sa = Make();
+  auto sb = Make();
+  for (double x : a) sa->Add(x);
+  for (double x : b) sb->Add(x);
+
+  auto ab = sa->Clone();
+  ab->Merge(*sb);
+  auto ba = sb->Clone();
+  ba->Merge(*sa);
+  ASSERT_EQ(ab->count(), a.size() + b.size());
+  ASSERT_EQ(ba->count(), ab->count());
+
+  std::vector<double> all = a;
+  all.insert(all.end(), b.begin(), b.end());
+  std::sort(all.begin(), all.end());
+  double n = static_cast<double>(all.size());
+  double bound = ab->RankErrorBound() * n + 1.5;
+  for (double q : {0.05, 0.5, 0.95, 0.99}) {
+    // Both orders agree with each other within the bound...
+    EXPECT_NEAR(RankOf(all, ab->Quantile(q)), RankOf(all, ba->Quantile(q)),
+                2 * bound)
+        << "q=" << q;
+    // ...and with the truth.
+    EXPECT_NEAR(RankOf(all, ab->Quantile(q)), q * (n - 1), bound)
+        << "q=" << q;
+  }
+}
+
+TEST_P(SketchTest, MergeIsAssociativeWithinBound) {
+  std::vector<double> chunks_all;
+  std::vector<std::unique_ptr<QuantileSketch>> sk;
+  for (uint64_t seed : {3u, 4u, 5u}) {
+    std::vector<double> c = Bimodal(5000, seed);
+    sk.push_back(Make());
+    for (double x : c) sk.back()->Add(x);
+    chunks_all.insert(chunks_all.end(), c.begin(), c.end());
+  }
+  // (a + b) + c vs a + (b + c).
+  auto left = sk[0]->Clone();
+  left->Merge(*sk[1]);
+  left->Merge(*sk[2]);
+  auto bc = sk[1]->Clone();
+  bc->Merge(*sk[2]);
+  auto right = sk[0]->Clone();
+  right->Merge(*bc);
+  ASSERT_EQ(left->count(), chunks_all.size());
+  ASSERT_EQ(right->count(), chunks_all.size());
+
+  std::sort(chunks_all.begin(), chunks_all.end());
+  double n = static_cast<double>(chunks_all.size());
+  double bound = left->RankErrorBound() * n + 1.5;
+  for (double q : {0.05, 0.5, 0.95, 0.99}) {
+    EXPECT_NEAR(RankOf(chunks_all, left->Quantile(q)), q * (n - 1), bound);
+    EXPECT_NEAR(RankOf(chunks_all, right->Quantile(q)), q * (n - 1), bound);
+  }
+}
+
+// The ftl_compare --reps contract: merging per-repetition sketches must
+// estimate the concatenated sample set as well as one sketch fed
+// everything -- this is the regression test pinning the acceptance
+// criterion.
+TEST_P(SketchTest, MergedRepsMatchSingleSketchOverConcatenation) {
+  constexpr int kReps = 3;
+  auto merged = Make();
+  auto single = Make();
+  std::vector<double> all;
+  for (int rep = 0; rep < kReps; ++rep) {
+    std::vector<double> c = Zipfianish(6000, 100 + rep);
+    auto s = Make();
+    for (double x : c) {
+      s->Add(x);
+      single->Add(x);
+    }
+    merged->Merge(*s);
+    all.insert(all.end(), c.begin(), c.end());
+  }
+  ASSERT_EQ(merged->count(), all.size());
+  ASSERT_EQ(single->count(), all.size());
+
+  std::sort(all.begin(), all.end());
+  double n = static_cast<double>(all.size());
+  double bound = merged->RankErrorBound() * n + 1.5;
+  for (double q : {0.50, 0.95, 0.99}) {
+    double vm = merged->Quantile(q);
+    double vs = single->Quantile(q);
+    // Each within the configured bound of the true order statistic,
+    // hence within 2x of each other.
+    EXPECT_NEAR(RankOf(all, vm), q * (n - 1), bound) << "merged q=" << q;
+    EXPECT_NEAR(RankOf(all, vs), q * (n - 1), bound) << "single q=" << q;
+    EXPECT_NEAR(RankOf(all, vm), RankOf(all, vs), 2 * bound) << "q=" << q;
+  }
+}
+
+TEST_P(SketchTest, MergeIsDeterministic) {
+  std::vector<double> a = Uniform(5000, 21);
+  std::vector<double> b = Bimodal(5000, 22);
+  auto make_merged = [&] {
+    auto sa = Make();
+    auto sb = Make();
+    for (double x : a) sa->Add(x);
+    for (double x : b) sb->Add(x);
+    sa->Merge(*sb);
+    return sa;
+  };
+  auto m1 = make_merged();
+  auto m2 = make_merged();
+  for (double q : {0.01, 0.5, 0.95, 0.999}) {
+    EXPECT_DOUBLE_EQ(m1->Quantile(q), m2->Quantile(q)) << "q=" << q;
+  }
+}
+
+TEST_P(SketchTest, MemoryStaysBoundedOverAMillionSamples) {
+  auto s = Make();
+  Rng rng(5);
+  size_t peak = 0;
+  for (int i = 0; i < 1000000; ++i) {
+    s->Add(100 / std::pow(1 - rng.UniformDouble() * 0.9999, 0.5));
+    peak = std::max(peak, s->RetainedItems());
+  }
+  EXPECT_EQ(s->count(), 1000000u);
+  // O(1): bounded by the accuracy parameter, nowhere near the stream
+  // length (t-digest: centroids + 512-sample buffer; KLL: compactor
+  // stack).
+  EXPECT_LT(peak, 6000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, SketchTest,
+                         ::testing::Values(SketchKind::kTDigest,
+                                           SketchKind::kKll),
+                         [](const auto& info) {
+                           return info.param == SketchKind::kTDigest
+                                      ? "TDigest"
+                                      : "Kll";
+                         });
+
+// t-digest merging compacts the sorted centroid union, so both operand
+// orders give bit-identical quantiles (stronger than the within-bound
+// guarantee the interface promises).
+TEST(TDigestTest, MergeIsExactlyCommutative) {
+  std::vector<double> a = Zipfianish(4000, 31);
+  std::vector<double> b = Bimodal(4000, 32);
+  TDigest sa, sb;
+  for (double x : a) sa.Add(x);
+  for (double x : b) sb.Add(x);
+  TDigest ab = sa;
+  ab.Merge(sb);
+  TDigest ba = sb;
+  ba.Merge(sa);
+  for (double q : {0.01, 0.25, 0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_DOUBLE_EQ(ab.Quantile(q), ba.Quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(TDigestTest, CentroidBudgetTracksCompression) {
+  TDigest small(50), big(500);
+  Rng rng(9);
+  for (int i = 0; i < 100000; ++i) {
+    double x = rng.UniformDouble();
+    small.Add(x);
+    big.Add(x);
+  }
+  EXPECT_LT(small.CentroidCount(), big.CentroidCount());
+  EXPECT_LT(big.CentroidCount(), 1200u);
+  EXPECT_GT(small.RankErrorBound(), big.RankErrorBound());
+}
+
+// ---------------------------------------------------------------------
+// ReplicateSet
+// ---------------------------------------------------------------------
+
+RepSummary SummaryOf(const std::vector<double>& samples) {
+  return RunStats::Compute(samples).Summary();
+}
+
+TEST(ReplicateSetTest, PooledMomentsMatchConcatenatedWelford) {
+  std::vector<double> a = Zipfianish(700, 41);
+  std::vector<double> b = Uniform(1300, 42);
+  std::vector<double> c = Bimodal(400, 43);
+  ReplicateSet set;
+  set.Add(SummaryOf(a));
+  set.Add(SummaryOf(b));
+  set.Add(SummaryOf(c));
+  EXPECT_EQ(set.reps(), 3u);
+
+  std::vector<double> all = a;
+  all.insert(all.end(), b.begin(), b.end());
+  all.insert(all.end(), c.begin(), c.end());
+  RunStats exact = RunStats::Compute(all);
+  ReplicateAggregate agg = set.Aggregate();
+  EXPECT_EQ(agg.count, exact.count);
+  EXPECT_NEAR(agg.mean, exact.mean_us, 1e-9 * exact.mean_us);
+  EXPECT_NEAR(agg.stddev, exact.stddev_us, 1e-9 * exact.stddev_us);
+  EXPECT_DOUBLE_EQ(agg.min, exact.min_us);
+  EXPECT_DOUBLE_EQ(agg.max, exact.max_us);
+
+  // Merged-sketch percentiles track the concatenation's order
+  // statistics within the sketch bound.
+  ASSERT_NE(agg.sketch, nullptr);
+  std::sort(all.begin(), all.end());
+  double n = static_cast<double>(all.size());
+  double bound = agg.sketch->RankErrorBound() * n + 1.5;
+  EXPECT_NEAR(RankOf(all, agg.p50), 0.50 * (n - 1), bound);
+  EXPECT_NEAR(RankOf(all, agg.p95), 0.95 * (n - 1), bound);
+  EXPECT_NEAR(RankOf(all, agg.p99), 0.99 * (n - 1), bound);
+}
+
+TEST(ReplicateSetTest, ConfidenceIntervalKnownValues) {
+  // Three reps with means 10, 12, 14: mean of rep means 12, sample
+  // stddev 2, CI = t_{0.975,2} * 2 / sqrt(3) = 4.303 * 2 / 1.7320508.
+  ReplicateSet set;
+  for (double m : {10.0, 12.0, 14.0}) {
+    RepSummary r;
+    r.count = 100;
+    r.mean = m;
+    r.m2 = 0;
+    r.min = m;
+    r.max = m;
+    set.Add(r);
+  }
+  ReplicateAggregate agg = set.Aggregate();
+  EXPECT_EQ(agg.reps, 3u);
+  EXPECT_DOUBLE_EQ(agg.mean, 12.0);  // equal counts: pooled == mean of means
+  EXPECT_NEAR(agg.mean_ci95_half, 4.303 * 2.0 / std::sqrt(3.0), 1e-9);
+}
+
+TEST(ReplicateSetTest, SingleRepHasNoInterval) {
+  ReplicateSet set;
+  set.Add(SummaryOf(Uniform(100, 51)));
+  ReplicateAggregate agg = set.Aggregate();
+  EXPECT_EQ(agg.reps, 1u);
+  EXPECT_DOUBLE_EQ(agg.mean_ci95_half, 0.0);
+}
+
+TEST(ReplicateSetTest, TCriticalTable) {
+  EXPECT_DOUBLE_EQ(ReplicateSet::TCritical95(1), 0.0);
+  EXPECT_DOUBLE_EQ(ReplicateSet::TCritical95(2), 12.706);
+  EXPECT_DOUBLE_EQ(ReplicateSet::TCritical95(3), 4.303);
+  EXPECT_DOUBLE_EQ(ReplicateSet::TCritical95(31), 2.042);
+  // Beyond the table: bracketed conservatively (wider than exact t),
+  // not snapped straight to the normal 1.96.
+  EXPECT_DOUBLE_EQ(ReplicateSet::TCritical95(41), 2.040);
+  EXPECT_DOUBLE_EQ(ReplicateSet::TCritical95(100), 2.000);
+  // Never below the exact t at finite df (which exceeds 1.960
+  // everywhere): the final bracket rounds up to 1.970.
+  EXPECT_DOUBLE_EQ(ReplicateSet::TCritical95(1000), 1.970);
+}
+
+TEST(ReplicateSetTest, CiOverlapSemantics) {
+  ReplicateAggregate fast;
+  fast.mean = 500;
+  fast.mean_ci95_half = 80;
+  ReplicateAggregate tie;
+  tie.mean = 550;
+  tie.mean_ci95_half = 60;
+  ReplicateAggregate slow;
+  slow.mean = 900;
+  slow.mean_ci95_half = 20;
+  EXPECT_TRUE(fast.OverlapsCi(tie));
+  EXPECT_TRUE(tie.OverlapsCi(fast));
+  EXPECT_FALSE(fast.OverlapsCi(slow));
+}
+
+TEST(ReplicateSetTest, SketchlessRepsFallBackToWeightedPercentiles) {
+  ReplicateSet set;
+  RepSummary a;
+  a.count = 100;
+  a.mean = 10;
+  a.p50 = 9;
+  a.p95 = 20;
+  a.p99 = 30;
+  RepSummary b = a;
+  b.count = 300;
+  b.p50 = 13;
+  set.Add(a);
+  set.Add(b);
+  ReplicateAggregate agg = set.Aggregate();
+  EXPECT_EQ(agg.sketch, nullptr);
+  EXPECT_DOUBLE_EQ(agg.p50, (9.0 * 100 + 13.0 * 300) / 400);
+}
+
+TEST(ReplicateSetTest, MixedSketchRepsFallBackRatherThanUndercover) {
+  // One rep with a sketch, one without (and, equivalently, mixed
+  // kinds): a merged sketch would cover fewer samples than the pooled
+  // moments claim, so percentiles must fall back to the weighted
+  // estimates -- which span every rep -- instead.
+  std::vector<double> v = Uniform(500, 55);
+  RepSummary with = RunStats::Compute(v).Summary();
+  RepSummary without = with;
+  without.sketch = nullptr;
+  without.p50 = with.p50 + 100;
+
+  for (bool sketch_first : {true, false}) {
+    ReplicateSet set;
+    set.Add(sketch_first ? with : without);
+    set.Add(sketch_first ? without : with);
+    ReplicateAggregate agg = set.Aggregate();
+    EXPECT_EQ(agg.sketch, nullptr);
+    EXPECT_DOUBLE_EQ(agg.p50, (with.p50 + without.p50) / 2);
+    EXPECT_EQ(agg.count, 1000u);
+  }
+
+  // Mixed kinds likewise drop the merge.
+  RepSummary kll = with;
+  auto ks = std::make_shared<KllSketch>();
+  for (double x : v) ks->Add(x);
+  kll.sketch = ks;
+  ReplicateSet mixed;
+  mixed.Add(with);
+  mixed.Add(kll);
+  EXPECT_EQ(mixed.Aggregate().sketch, nullptr);
+}
+
+// ---------------------------------------------------------------------
+// StreamingStats: sketch path, cross-check, under/overflow accounting
+// ---------------------------------------------------------------------
+
+TEST(StreamingStatsSketchTest, RunStatsCarriesSketchBothPaths) {
+  std::vector<double> v = Bimodal(4000, 61);
+  RunStats exact = RunStats::Compute(v);
+  ASSERT_TRUE(exact.HasSketch());
+  EXPECT_EQ(exact.sketch->count(), v.size());
+
+  StreamingStats ss;
+  for (double x : v) ss.Add(x);
+  RunStats online = ss.ToRunStats();
+  ASSERT_TRUE(online.HasSketch());
+  EXPECT_EQ(online.sketch->count(), v.size());
+  // Same samples, same sketch algorithm: identical quantiles off either
+  // path's sketch.
+  for (double q : {0.5, 0.95, 0.99}) {
+    EXPECT_DOUBLE_EQ(online.SketchQuantile(q), exact.SketchQuantile(q));
+  }
+  // And the streamed percentiles ARE the sketch's.
+  EXPECT_DOUBLE_EQ(online.p50_us, online.SketchQuantile(0.50));
+  EXPECT_DOUBLE_EQ(online.p95_us, online.SketchQuantile(0.95));
+  EXPECT_DOUBLE_EQ(online.p99_us, online.SketchQuantile(0.99));
+}
+
+TEST(StreamingStatsSketchTest, CleanSeriesDoesNotDiverge) {
+  StreamingStats ss;
+  for (double x : Zipfianish(20000, 71)) ss.Add(x);
+  RunStats s = ss.ToRunStats();
+  ASSERT_TRUE(s.hist_check.has_value());
+  EXPECT_EQ(s.hist_check->underflow, 0u);
+  EXPECT_EQ(s.hist_check->overflow, 0u);
+  EXPECT_FALSE(s.hist_check->divergent)
+      << "divergence " << s.hist_check->divergence;
+  EXPECT_LE(s.hist_check->divergence, RunStats::kDivergenceThreshold);
+}
+
+TEST(StreamingStatsSketchTest, ShortRunsDoNotFalseAlarm) {
+  // Regression: with few samples the sketch interpolates between order
+  // statistics, so its bucket can sit ~1 rank off the target -- which
+  // is 1/n > 2% for n < 50 and used to flag every short clean run as
+  // divergent. The quantization slack must absorb it across sizes.
+  for (size_t n : {5u, 20u, 49u}) {
+    for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+      StreamingStats ss;
+      for (double x : Zipfianish(n, 1000 + seed)) ss.Add(x);
+      RunStats s = ss.ToRunStats();
+      ASSERT_TRUE(s.hist_check.has_value());
+      EXPECT_FALSE(s.hist_check->divergent)
+          << "n=" << n << " seed=" << seed << " divergence "
+          << s.hist_check->divergence;
+    }
+  }
+}
+
+TEST(StreamingStatsSketchTest, CountsUnderAndOverflowExplicitly) {
+  StreamingStats ss;
+  // The histogram floor is 1e-3 us and its range tops out near 5e14 us:
+  // everything below / beyond used to be clamped silently into the edge
+  // buckets.
+  ss.Add(1e-7);
+  ss.Add(5e-4);
+  ss.Add(1e16);
+  for (double x : Uniform(2000, 81)) ss.Add(x);
+  EXPECT_EQ(ss.hist_underflow(), 2u);
+  EXPECT_EQ(ss.hist_overflow(), 1u);
+  RunStats s = ss.ToRunStats();
+  ASSERT_TRUE(s.hist_check.has_value());
+  EXPECT_EQ(s.hist_check->underflow, 2u);
+  EXPECT_EQ(s.hist_check->overflow, 1u);
+  // The exact moments and the sketch still cover the clamped samples.
+  EXPECT_DOUBLE_EQ(s.min_us, 1e-7);
+  EXPECT_DOUBLE_EQ(s.max_us, 1e16);
+  EXPECT_DOUBLE_EQ(s.SketchQuantile(1.0), 1e16);
+  // Polluted edge buckets are excluded from the divergence signal, so
+  // the clamping alone must not flag the sketch as divergent.
+  EXPECT_FALSE(s.hist_check->divergent)
+      << "divergence " << s.hist_check->divergence;
+}
+
+TEST(StreamingStatsSketchTest, MillionEventStreamStaysBounded) {
+  // The acceptance-criterion shape: >= 1M streamed samples, O(1)
+  // retained state, percentiles still within the sketch bound.
+  StreamingStats ss;
+  Rng rng(91);
+  for (int i = 0; i < 1000000; ++i) {
+    ss.Add(100 + 5000 * rng.UniformDouble());
+  }
+  EXPECT_EQ(ss.count(), 1000000u);
+  EXPECT_LT(ss.sketch().RetainedItems(), 6000u);
+  RunStats s = ss.ToRunStats();
+  // Uniform[100, 5100]: p50 ~ 2600, p95 ~ 4850 -- within the rank
+  // bound, which for a uniform density maps to ~bound * range.
+  double slack = s.sketch->RankErrorBound() * 5000 * 1.5 + 1;
+  EXPECT_NEAR(s.p50_us, 2600, slack);
+  EXPECT_NEAR(s.p95_us, 4850, slack);
+  ASSERT_TRUE(s.hist_check.has_value());
+  EXPECT_FALSE(s.hist_check->divergent);
+}
+
+}  // namespace
+}  // namespace uflip
