@@ -97,6 +97,10 @@ class Flags {
     return v == "true" || v == "1";
   }
 
+  /// The raw command-line arguments, verbatim (run-manifest
+  /// provenance: a manifest records exactly what was passed).
+  const std::vector<std::string>& args() const { return args_; }
+
  private:
   static uint32_t ParseUint32(const std::string& key,
                               const std::string& value) {

@@ -28,6 +28,14 @@
 //     [--io_ignore=N]      # default: phase-derived per cell
 //     [--stream]           # re-stream the trace file per cell (O(1)
 //                          # memory; stats-only, needs --io_ignore)
+//     [--metrics_out=m.json]   # run manifest: flags, seed, git, events,
+//                              # events/sec + full metric snapshot
+//                              # merged across every cell and rep
+//     [--explain=CELL]     # utilization timelines (per-channel busy
+//                          # fraction, controller occupancy, queue
+//                          # depth) of the first cell matching CELL --
+//                          # comma-separated axis values, "*" wildcard,
+//                          # prefix allowed: --explain=mtron,FAST,8
 //     [--capacity_mb/--io_size/--theta/... generator flags]
 //
 // Every cell prepares a fresh device (random state enforcement +
@@ -53,10 +61,15 @@
 #include <string>
 #include <vector>
 
+#include <chrono>
+
 #include "bench/bench_util.h"
 #include "bench/trace_flags.h"
 #include "src/device/async_sim_device.h"
+#include "src/obs/metric_registry.h"
+#include "src/obs/run_manifest.h"
 #include "src/report/grid_report.h"
+#include "src/report/timeline.h"
 #include "src/run/trace_run.h"
 #include "src/stats/replicate_set.h"
 #include "src/trace/trace_io.h"
@@ -93,6 +106,39 @@ struct SweepConfig {
   uint32_t base_seed = 1;
 };
 
+/// Observability collection across the sweep (--metrics_out /
+/// --explain): per-rep registries are snapshot by the run layer and
+/// merged here -- across reps into the explain cell's view, across
+/// everything into the manifest's snapshot.
+struct ObsCollection {
+  bool enabled = false;
+  std::string explain_spec;  // empty = no --explain
+
+  MetricSnapshot merged;  // across all cells and reps
+  uint64_t events = 0;
+  uint64_t sim_makespan_us = 0;  // max single-rep device-time makespan
+
+  bool explain_found = false;
+  std::string explain_label;
+  /// First repetition of the matched cell, not the rep merge: busy
+  /// timelines sum under merge, so only a single rep reads as a true
+  /// 0..1 busy fraction.
+  MetricSnapshot explain;
+};
+
+/// True when `keys` matches an --explain spec: comma-separated axis
+/// values in grid order, "*" matching anything, shorter specs matching
+/// as a prefix ("mtron,FAST" hits every qd/ch/cache cell of that pair).
+bool MatchesExplain(const std::string& spec,
+                    const std::vector<std::string>& keys) {
+  std::vector<std::string> parts = SplitCommas(spec);
+  if (parts.empty() || parts.size() > keys.size()) return false;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (parts[i] != "*" && parts[i] != keys[i]) return false;
+  }
+  return true;
+}
+
 /// One variant of the device under test: a Table 2 profile, or the
 /// ftl_base geometry re-mounted under a different FTL.
 struct Variant {
@@ -108,11 +154,14 @@ struct Variant {
 /// CI); false on failure (already reported).
 bool RunCell(const Flags& flags, const SweepConfig& cfg,
              const Variant& variant, uint32_t queue_depth,
-             uint32_t channels, uint32_t cache_pages, GridCell* cell) {
+             uint32_t channels, uint32_t cache_pages, GridCell* cell,
+             ObsCollection* obs) {
   ReplicateSet set;
   RunStats single;
   uint64_t total_ios = 0;
   uint64_t total_makespan_us = 0;
+  MetricSnapshot cell_metrics;
+  MetricSnapshot first_rep_metrics;
   for (uint32_t rep = 0; rep < cfg.reps; ++rep) {
     DeviceProfile profile = variant.profile;
     if (cfg.controller_us >= 0) {
@@ -162,10 +211,17 @@ bool RunCell(const Flags& flags, const SweepConfig& cfg,
     uint64_t start_us = dev->clock()->NowUs();
     StatusOr<RunResult> run = Status::InvalidArgument("unreachable");
     std::unique_ptr<AsyncSimDevice> async;
+    // Per-rep registry: attached after preparation, so the FTL/cache
+    // collectors export the replay window only; the run layer snapshots
+    // it into run->metrics. Merging the per-rep snapshots is
+    // deterministic (see MetricSnapshot::Merge).
+    MetricRegistry registry;
     if (queue_depth > 0) {
       async = std::make_unique<AsyncSimDevice>(std::move(dev), queue_depth);
+      if (obs->enabled) async->AttachMetrics(&registry);
       run = ExecuteTraceRun(async.get(), source.get(), cfg.replay);
     } else {
+      if (obs->enabled) dev->AttachMetrics(&registry);
       run = ExecuteTraceRun(dev.get(), source.get(), cfg.replay);
     }
     if (!run.ok()) {
@@ -175,6 +231,12 @@ bool RunCell(const Flags& flags, const SweepConfig& cfg,
       return false;
     }
     Clock* clock = async ? async->clock() : dev->clock();
+    if (obs->enabled && run->metrics) {
+      if (rep == 0) first_rep_metrics = *run->metrics;
+      cell_metrics.Merge(*run->metrics);
+      obs->sim_makespan_us =
+          std::max(obs->sim_makespan_us, clock->NowUs() - start_us);
+    }
     RunStats stats = run->Stats();
     if (cfg.reps == 1) {
       single = stats;  // no aggregation: skip the sketch clone
@@ -184,6 +246,19 @@ bool RunCell(const Flags& flags, const SweepConfig& cfg,
     total_ios += run->streamed_stats_all ? run->streamed_stats_all->count
                                          : run->samples.size();
     total_makespan_us += clock->NowUs() - start_us;
+  }
+  if (obs->enabled) {
+    obs->merged.Merge(cell_metrics);
+    obs->events += total_ios;
+    if (!obs->explain_found && !obs->explain_spec.empty() &&
+        MatchesExplain(obs->explain_spec, cell->keys)) {
+      obs->explain_found = true;
+      obs->explain = std::move(first_rep_metrics);
+      obs->explain_label = cell->keys[0];
+      for (size_t i = 1; i < cell->keys.size(); ++i) {
+        obs->explain_label += "," + cell->keys[i];
+      }
+    }
   }
   cell->reps = cfg.reps;
   cell->ios = total_ios;
@@ -202,7 +277,8 @@ bool RunCell(const Flags& flags, const SweepConfig& cfg,
 
 /// Runs the full knob grid for `variants` into a GridReport.
 bool RunGrid(const Flags& flags, const SweepConfig& cfg,
-             const std::vector<Variant>& variants, GridReport* grid) {
+             const std::vector<Variant>& variants, GridReport* grid,
+             ObsCollection* obs) {
   for (const Variant& v : variants) {
     for (uint32_t ch : cfg.channels) {
       for (uint32_t cache : cfg.cache_pages) {
@@ -211,7 +287,9 @@ bool RunGrid(const Flags& flags, const SweepConfig& cfg,
           cell.keys = {v.device_label, FtlKindName(v.profile.ftl),
                        std::to_string(qd), std::to_string(ch),
                        cache == 0 ? "default" : std::to_string(cache)};
-          if (!RunCell(flags, cfg, v, qd, ch, cache, &cell)) return false;
+          if (!RunCell(flags, cfg, v, qd, ch, cache, &cell, obs)) {
+            return false;
+          }
           grid->Add(std::move(cell));
         }
       }
@@ -384,6 +462,15 @@ int Main(int argc, char** argv) {
                                        cfg.queue_depths.end());
   std::string csv;
 
+  std::string metrics_out = flags.GetString("metrics_out", "");
+  ObsCollection obs;
+  obs.explain_spec = flags.GetString("explain", "");
+  if (obs.explain_spec.empty() && flags.GetBool("explain", false)) {
+    obs.explain_spec = "*";  // bare --explain: first cell of the sweep
+  }
+  obs.enabled = !metrics_out.empty() || !obs.explain_spec.empty();
+  auto wall_start = std::chrono::steady_clock::now();
+
   if (sweep != "ftls") {
     std::vector<Variant> variants;
     for (DeviceProfile& profile :
@@ -391,7 +478,7 @@ int Main(int argc, char** argv) {
       variants.push_back(Variant{profile.id, std::move(profile)});
     }
     GridReport grid(axes);
-    if (!RunGrid(flags, cfg, variants, &grid)) return 1;
+    if (!RunGrid(flags, cfg, variants, &grid, &obs)) return 1;
     std::printf("%s\n",
                 grid.Render("Device sweep (Table 2 profiles, one workload):")
                     .c_str());
@@ -418,7 +505,7 @@ int Main(int argc, char** argv) {
       variants.push_back(Variant{base_id + " geometry", std::move(profile)});
     }
     GridReport grid(axes);
-    if (!RunGrid(flags, cfg, variants, &grid)) return 1;
+    if (!RunGrid(flags, cfg, variants, &grid, &obs)) return 1;
     std::printf(
         "%s\n",
         grid.Render("FTL sweep (fixed geometry/controller: " + base_id +
@@ -440,6 +527,55 @@ int Main(int argc, char** argv) {
     std::fwrite(csv.data(), 1, csv.size(), f);
     std::fclose(f);
     std::printf("grid exported: %s\n", csv_path.c_str());
+  }
+
+  if (!obs.explain_spec.empty()) {
+    if (obs.explain_found) {
+      std::printf("Cell %s (rep 1 of %u):\n", obs.explain_label.c_str(),
+                  cfg.reps);
+      std::string timelines = RenderUtilizationTimelines(obs.explain);
+      if (timelines.empty()) {
+        std::printf(
+            "  (no utilization timelines -- synchronous cells record "
+            "device.busy_us only when qd=0)\n");
+      } else {
+        std::printf("%s", timelines.c_str());
+      }
+      std::printf("\n");
+    } else {
+      std::fprintf(stderr, "--explain=%s matched no cell\n",
+                   obs.explain_spec.c_str());
+    }
+  }
+
+  if (!metrics_out.empty()) {
+    RunManifest manifest;
+    manifest.tool = "ftl_compare";
+    for (const std::string& arg : flags.args()) {
+      if (arg.rfind("--", 0) != 0) continue;
+      size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        manifest.AddFlag(arg.substr(2), "true");
+      } else {
+        manifest.AddFlag(arg.substr(2, eq - 2), arg.substr(eq + 1));
+      }
+    }
+    manifest.seed = cfg.base_seed;
+    manifest.events = obs.events;
+    manifest.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    manifest.sim_makespan_us = obs.sim_makespan_us;
+    manifest.metrics = std::move(obs.merged);
+    if (!manifest.WriteTo(metrics_out)) {
+      std::fprintf(stderr, "cannot write --metrics_out=%s\n",
+                   metrics_out.c_str());
+      return 1;
+    }
+    if (metrics_out != "-") {
+      std::printf("run manifest: %s\n", metrics_out.c_str());
+    }
   }
   return 0;
 }

@@ -1,0 +1,217 @@
+// Simulator-core performance tracker: measures how fast the simulator
+// itself runs (host wall-clock, not simulated time) and appends one
+// record per invocation to a JSON-array file, so CI accumulates an
+// events/sec + cells/minute history PR over PR (see ROADMAP, "Parallel
+// simulation core").
+//
+//   perf_tracker [--out=BENCH_simcore.json] [--io_count=20000]
+//                [--kind=zipfian --theta=... generator flags]
+//                [--label=ci]
+//
+// Two legs:
+//  * replay throughput -- one synthetic workload replayed through the
+//    async multi-queue path (qd=8 over 4 channels, the explorer's hot
+//    configuration), reported as events/sec of pure replay (device
+//    preparation excluded);
+//  * explorer cell rate -- four small design-space cells (sync + qd=8,
+//    two FTLs), each with the full per-cell cost a sweep pays (fresh
+//    device preparation + settling + replay), reported as
+//    cells/minute.
+// Peak RSS comes from getrusage(RUSAGE_SELF) after both legs.
+//
+// The output file is a JSON array of records; a new record is appended
+// by rewriting the closing bracket, so the file stays valid JSON after
+// every run and diffs line-per-record.
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/trace_flags.h"
+#include "src/device/async_sim_device.h"
+#include "src/obs/run_manifest.h"
+#include "src/run/trace_run.h"
+#include "src/util/json_writer.h"
+
+namespace uflip {
+namespace bench {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// One replay of the flags' synthetic workload on a freshly prepared
+/// device; returns events replayed (0 = failure, already reported) and
+/// the pure-replay wall seconds in *replay_seconds.
+uint64_t ReplayLeg(const Flags& flags, const DeviceProfile& profile,
+                   uint32_t queue_depth, uint32_t channels, uint64_t seed,
+                   double* replay_seconds) {
+  auto source = SyntheticSourceFromFlags(flags, static_cast<int64_t>(seed));
+  if (!source.ok()) {
+    std::fprintf(stderr, "%s\n", source.status().ToString().c_str());
+    return 0;
+  }
+  auto dev = MakeDeviceWithState(profile, 0, false, channels, seed);
+  InterRunPause(dev.get());
+  ReplayOptions opts;
+  opts.rescale_lba = true;
+  opts.io_ignore = 0;
+  opts.keep_samples = false;
+  auto start = std::chrono::steady_clock::now();
+  StatusOr<RunResult> run = Status::InvalidArgument("unreachable");
+  if (queue_depth > 0) {
+    AsyncSimDevice async(std::move(dev), queue_depth);
+    run = ExecuteTraceRun(&async, source->get(), opts);
+  } else {
+    run = ExecuteTraceRun(dev.get(), source->get(), opts);
+  }
+  *replay_seconds = SecondsSince(start);
+  if (!run.ok()) {
+    std::fprintf(stderr, "replay failed: %s\n",
+                 run.status().ToString().c_str());
+    return 0;
+  }
+  return run->streamed_stats_all ? run->streamed_stats_all->count
+                                 : run->samples.size();
+}
+
+double PeakRssMb() {
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // ru_maxrss is KiB on Linux.
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+/// Appends `record` (a JSON object, no trailing newline) to the JSON
+/// array in `path`, creating the file as "[record]" when absent. The
+/// existing content is kept verbatim; only the closing bracket moves.
+bool AppendToJsonArray(const std::string& path, const std::string& record) {
+  std::string existing;
+  if (std::FILE* f = std::fopen(path.c_str(), "rb")) {
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      existing.append(buf, n);
+    }
+    std::fclose(f);
+  }
+  // Strip trailing whitespace and the closing bracket of the array.
+  size_t end = existing.find_last_not_of(" \t\r\n");
+  bool empty_array = true;
+  if (end != std::string::npos && existing[end] == ']') {
+    size_t inner = existing.find_last_not_of(" \t\r\n", end - 1);
+    empty_array = inner == std::string::npos || existing[inner] == '[';
+    existing.resize(end);
+  } else if (end != std::string::npos) {
+    std::fprintf(stderr, "%s: not a JSON array, refusing to append\n",
+                 path.c_str());
+    return false;
+  } else {
+    existing = "[\n";
+  }
+  if (!empty_array) existing += ",\n";
+  existing += record;
+  existing += "\n]\n";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  std::fwrite(existing.data(), 1, existing.size(), f);
+  return std::fclose(f) == 0;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  std::string out = flags.GetString("out", "BENCH_simcore.json");
+  std::string label = flags.GetString("label", "");
+  uint64_t seed = SeedFromFlags(flags);
+
+  auto mtron = ProfileById("mtron");
+  if (!mtron.ok()) {
+    std::fprintf(stderr, "mtron profile missing\n");
+    return 2;
+  }
+
+  // Leg 1: replay throughput through the explorer's hot configuration.
+  double replay_seconds = 0;
+  uint64_t events =
+      ReplayLeg(flags, *mtron, /*queue_depth=*/8, /*channels=*/4, seed,
+                &replay_seconds);
+  if (events == 0) return 1;
+  double events_per_sec =
+      replay_seconds > 0 ? static_cast<double>(events) / replay_seconds : 0;
+  std::printf("replay leg: %llu events in %.3fs wall = %.0f events/s\n",
+              static_cast<unsigned long long>(events), replay_seconds,
+              events_per_sec);
+
+  // Leg 2: explorer cell rate, full per-cell cost included.
+  struct CellCfg {
+    FtlKind ftl;
+    uint32_t qd;
+  };
+  const std::vector<CellCfg> cells = {{FtlKind::kPageMapping, 0},
+                                      {FtlKind::kPageMapping, 8},
+                                      {FtlKind::kFast, 0},
+                                      {FtlKind::kFast, 8}};
+  auto cells_start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < cells.size(); ++i) {
+    DeviceProfile profile = *mtron;
+    profile.ftl = cells[i].ftl;
+    double ignored = 0;
+    if (ReplayLeg(flags, profile, cells[i].qd, /*channels=*/4, seed + i,
+                  &ignored) == 0) {
+      return 1;
+    }
+  }
+  double cells_seconds = SecondsSince(cells_start);
+  double cells_per_minute =
+      cells_seconds > 0 ? 60.0 * static_cast<double>(cells.size()) /
+                              cells_seconds
+                        : 0;
+  std::printf("cell leg: %zu cells in %.3fs wall = %.1f cells/minute\n",
+              cells.size(), cells_seconds, cells_per_minute);
+
+  double peak_rss_mb = PeakRssMb();
+  JsonWriter json(2);
+  json.BeginObject();
+  json.Key("git");
+  json.String(GitDescribe());
+  if (!label.empty()) {
+    json.Key("label");
+    json.String(label);
+  }
+  json.Key("unix_time");
+  json.Uint(static_cast<uint64_t>(std::time(nullptr)));
+  json.Key("events");
+  json.Uint(events);
+  json.Key("events_per_sec");
+  json.Double(events_per_sec);
+  json.Key("cells");
+  json.Uint(cells.size());
+  json.Key("cells_per_minute");
+  json.Double(cells_per_minute);
+  json.Key("peak_rss_mb");
+  json.Double(peak_rss_mb);
+  json.EndObject();
+  if (!AppendToJsonArray(out, json.str())) {
+    std::fprintf(stderr, "cannot append to %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("appended to %s (peak RSS %.1f MB)\n", out.c_str(),
+              peak_rss_mb);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace uflip
+
+int main(int argc, char** argv) {
+  return uflip::bench::Main(argc, argv);
+}

@@ -9,7 +9,9 @@
 //                       [--rescale_lba=true] [--io_ignore=N]
 //                       [--queue_depth=8] [--channels=4]
 //                       [--controller_us=50] [--pipelined=false]
-//                       [--stream-replay]
+//                       [--stream-replay] [--metrics_out=m.json]
+//   trace_tool analyze  --trace=sweep.csv[.gz] | --kind=zipfian|oltp|...
+//                       [--top=10] [--hot_block=32768] [--width=72]
 //   trace_tool generate --kind=zipfian|oltp|multistream --out=synth.csv
 //                       [--capacity_mb=64] [--io_size=4096] [--io_count=4096]
 //                       [--theta=0.99] [--write_fraction=0.5]
@@ -38,15 +40,30 @@
 // as a cross-check; divergence beyond RunStats::kDivergenceThreshold is
 // flagged, and samples the histogram clamps into its edge buckets are
 // counted explicitly.
+//
+// `analyze` characterizes a workload without running it: one streaming
+// pass over any EventSource -- a trace file or a synthetic generator --
+// produces the arrival-rate curve, the read/write mix over time and the
+// top-N hottest LBA regions. `replay --metrics_out=m.json` writes a run
+// manifest (flags, seed, git, events/sec, full metric snapshot) for the
+// replay, same schema as ftl_compare's.
+#include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "bench/trace_flags.h"
 #include "src/core/microbench.h"
 #include "src/device/async_sim_device.h"
+#include "src/obs/metric_registry.h"
+#include "src/obs/run_manifest.h"
+#include "src/obs/time_series.h"
+#include "src/report/ascii_chart.h"
 #include "src/run/trace_run.h"
 #include "src/trace/recording_device.h"
 #include "src/trace/synthetic.h"
@@ -59,9 +76,26 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: trace_tool record|replay|generate [--flags]\n"
+               "usage: trace_tool record|replay|analyze|generate [--flags]\n"
                "  (see the header of bench/trace_tool.cc)\n");
   return 2;
+}
+
+/// Builds a RunManifest from the raw command line ("--k=v" -> (k, v),
+/// bare "--k" -> (k, "true"); the verb and non-flag args are skipped).
+RunManifest ManifestFromFlags(const Flags& flags, const std::string& tool) {
+  RunManifest manifest;
+  manifest.tool = tool;
+  for (const std::string& arg : flags.args()) {
+    if (arg.rfind("--", 0) != 0) continue;
+    size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      manifest.AddFlag(arg.substr(2), "true");
+    } else {
+      manifest.AddFlag(arg.substr(2, eq - 2), arg.substr(eq + 1));
+    }
+  }
+  return manifest;
 }
 
 TraceFormat FormatFromFlags(const Flags& flags, const std::string& out) {
@@ -223,6 +257,8 @@ int Record(const Flags& flags) {
 int Replay(const Flags& flags) {
   std::string path = flags.GetString("trace", "");
   if (path.empty()) return Usage();
+  std::string metrics_out = flags.GetString("metrics_out", "");
+  auto wall_start = std::chrono::steady_clock::now();
   bool stream_replay = flags.GetBool("stream-replay", false) ||
                        flags.GetBool("stream_replay", false);
 
@@ -303,13 +339,18 @@ int Replay(const Flags& flags) {
   uint64_t dev_capacity = dev->capacity_bytes();
   StatusOr<RunResult> run = Status::InvalidArgument("unreachable");
   std::unique_ptr<AsyncSimDevice> async;
+  // Attached after preparation so the snapshot covers the replay only;
+  // the run layer copies it into run->metrics.
+  MetricRegistry registry;
   if (queue_depth > 0) {
     // Open-loop replay through the async multi-queue API: up to
     // queue_depth IOs in flight, overlapping across flash channels.
     async = std::make_unique<AsyncSimDevice>(std::move(dev), queue_depth);
     dev_name = async->name();
+    if (!metrics_out.empty()) async->AttachMetrics(&registry);
     run = ExecuteTraceRun(async.get(), source, opts);
   } else {
+    if (!metrics_out.empty()) dev->AttachMetrics(&registry);
     run = ExecuteTraceRun(dev.get(), source, opts);
   }
   if (!run.ok()) {
@@ -346,6 +387,206 @@ int Replay(const Flags& flags) {
   }
   std::printf("\n\n");
   PrintStats(*run, "response-time statistics");
+
+  if (!metrics_out.empty()) {
+    RunManifest manifest = ManifestFromFlags(flags, "trace_tool replay");
+    manifest.events = replayed;
+    manifest.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    manifest.sim_makespan_us = makespan_us;
+    manifest.metrics = run->metrics ? *run->metrics : registry.Snapshot();
+    if (!manifest.WriteTo(metrics_out)) {
+      std::fprintf(stderr, "cannot write --metrics_out=%s\n",
+                   metrics_out.c_str());
+      return 1;
+    }
+    if (metrics_out != "-") {
+      std::printf("run manifest: %s\n", metrics_out.c_str());
+    }
+  }
+  return 0;
+}
+
+/// Workload characterization without a device: one streaming pass over
+/// the EventSource (trace file or --kind synthetic generator) yields
+/// the arrival-rate curve (reads/s and writes/s over trace time), the
+/// write-mix-over-time strip and the top-N hottest LBA regions.
+/// Time-series memory is O(1) via bucket coalescing; the hot-region map
+/// holds one entry per distinct --hot_block-sized region touched.
+int Analyze(const Flags& flags) {
+  std::string path = flags.GetString("trace", "");
+  uint32_t top_n = flags.GetUint32("top", 10);
+  uint64_t hot_block = flags.GetUint32("hot_block", 32 * 1024);
+  int width = static_cast<int>(flags.GetUint32("width", 72));
+  if (hot_block == 0 || width <= 0) {
+    std::fprintf(stderr, "--hot_block and --width must be > 0\n");
+    return 2;
+  }
+
+  std::unique_ptr<EventSource> source;
+  if (path.empty()) {
+    auto synth = SyntheticSourceFromFlags(flags);
+    if (!synth.ok()) {
+      std::fprintf(stderr, "%s\n", synth.status().ToString().c_str());
+      return 2;
+    }
+    source = std::move(*synth);
+  } else {
+    auto reader = TraceReader::Open(path);
+    if (!reader.ok()) {
+      std::fprintf(stderr, "trace open failed: %s\n",
+                   reader.status().ToString().c_str());
+      return 1;
+    }
+    source = std::make_unique<TraceReader>(std::move(*reader));
+  }
+
+  // One pass. The rate series sample at the submit timestamp; the
+  // write-mix series records 1 per write and 0 per read, so a window's
+  // mean is its write fraction.
+  TimeSeries reads_over_time(obs::kTimelineIntervalUs);
+  TimeSeries writes_over_time(obs::kTimelineIntervalUs);
+  TimeSeries write_mix(obs::kTimelineIntervalUs);
+  struct Region {
+    uint64_t ios = 0;
+    uint64_t writes = 0;
+    uint64_t bytes = 0;
+  };
+  std::unordered_map<uint64_t, Region> regions;
+  uint64_t events = 0, reads = 0, writes = 0;
+  uint64_t read_bytes = 0, write_bytes = 0;
+  uint64_t first_us = 0, last_us = 0;
+  TraceEvent e;
+  while (true) {
+    auto more = source->Next(&e);
+    if (!more.ok()) {
+      std::fprintf(stderr, "source failed: %s\n",
+                   more.status().ToString().c_str());
+      return 1;
+    }
+    if (!*more) break;
+    bool is_write = e.mode == IoMode::kWrite;
+    if (events == 0) first_us = e.submit_us;
+    last_us = e.submit_us;
+    ++events;
+    if (is_write) {
+      ++writes;
+      write_bytes += e.size;
+      writes_over_time.Add(e.submit_us, 1);
+    } else {
+      ++reads;
+      read_bytes += e.size;
+      reads_over_time.Add(e.submit_us, 1);
+    }
+    write_mix.Add(e.submit_us, is_write ? 1.0 : 0.0);
+    Region& r = regions[e.offset / hot_block];
+    ++r.ios;
+    if (is_write) ++r.writes;
+    r.bytes += e.size;
+  }
+  if (events == 0) {
+    std::fprintf(stderr, "no events in the source\n");
+    return 1;
+  }
+
+  const TraceMeta& meta = source->meta();
+  uint64_t span_us = last_us - first_us;
+  std::printf("workload: %s (%s LBA domain)\n", meta.source.c_str(),
+              FormatSize(meta.capacity_bytes).c_str());
+  std::printf(
+      "  %llu IOs over %.3fs of trace time: %llu reads (%s), "
+      "%llu writes (%s), write fraction %.2f\n",
+      static_cast<unsigned long long>(events), span_us / 1e6,
+      static_cast<unsigned long long>(reads),
+      FormatSize(read_bytes).c_str(),
+      static_cast<unsigned long long>(writes),
+      FormatSize(write_bytes).c_str(),
+      static_cast<double>(writes) / static_cast<double>(events));
+  if (span_us > 0) {
+    std::printf("  mean arrival rate %.0f IOs/s\n",
+                static_cast<double>(events) * 1e6 /
+                    static_cast<double>(span_us));
+  }
+  std::printf("\n");
+
+  // Arrival-rate curve: both modes on one chart, events per second per
+  // resampled window.
+  if (span_us > 0) {
+    std::vector<ChartSeries> series;
+    for (const auto& [name, ts, glyph] :
+         {std::tuple<const char*, const TimeSeries*, char>{
+              "reads/s", &reads_over_time, 'r'},
+          {"writes/s", &writes_over_time, 'w'}}) {
+      if (ts->empty()) continue;
+      ChartSeries s;
+      s.name = name;
+      s.glyph = glyph;
+      std::vector<TimeSeries::Window> windows =
+          ts->Resample(static_cast<size_t>(width));
+      uint64_t ts_span = ts->EndUs() - ts->BucketStartUs(0);
+      double window_us =
+          static_cast<double>(ts_span) / static_cast<double>(windows.size());
+      for (const TimeSeries::Window& w : windows) {
+        s.x.push_back(static_cast<double>(w.start_us) / 1e3);
+        s.y.push_back(window_us == 0 ? 0 : w.sum * 1e6 / window_us);
+      }
+      series.push_back(std::move(s));
+    }
+    if (!series.empty()) {
+      ChartOptions chart;
+      chart.title = "arrival rate over trace time";
+      chart.x_label = "trace ms";
+      chart.y_label = "IOs/s";
+      chart.width = width;
+      chart.height = 12;
+      std::printf("%s\n", RenderChart(series, chart).c_str());
+    }
+  }
+
+  // Write-mix strip: one glyph per window, ' ' = all reads, '@' = all
+  // writes (same ramp semantics as the utilization timelines).
+  if (reads > 0 && writes > 0) {
+    static const char kRamp[] = " .:-=+*#%@";
+    std::vector<TimeSeries::Window> windows =
+        write_mix.Resample(static_cast<size_t>(width));
+    std::string strip;
+    for (const TimeSeries::Window& w : windows) {
+      double frac =
+          w.count == 0 ? 0 : w.sum / static_cast<double>(w.count);
+      strip += kRamp[static_cast<int>(std::clamp(frac, 0.0, 1.0) * 9 + 0.5)];
+    }
+    std::printf("write mix over time (' '=reads '@'=writes):\n  |%s|\n\n",
+                strip.c_str());
+  }
+
+  // Top-N hottest regions.
+  std::vector<std::pair<uint64_t, Region>> hot(regions.begin(),
+                                               regions.end());
+  size_t keep = std::min<size_t>(top_n, hot.size());
+  std::partial_sort(hot.begin(), hot.begin() + keep, hot.end(),
+                    [](const auto& a, const auto& b) {
+                      if (a.second.ios != b.second.ios) {
+                        return a.second.ios > b.second.ios;
+                      }
+                      return a.first < b.first;  // deterministic ties
+                    });
+  hot.resize(keep);
+  std::printf("top %zu of %zu touched %s regions:\n", keep, regions.size(),
+              FormatSize(hot_block).c_str());
+  std::printf("  %-14s %10s %8s %8s %10s\n", "region start", "IOs",
+              "% IOs", "write%", "bytes");
+  for (const auto& [block, r] : hot) {
+    std::printf("  %-14s %10llu %7.2f%% %7.1f%% %10s\n",
+                FormatSize(block * hot_block).c_str(),
+                static_cast<unsigned long long>(r.ios),
+                100.0 * static_cast<double>(r.ios) /
+                    static_cast<double>(events),
+                100.0 * static_cast<double>(r.writes) /
+                    static_cast<double>(r.ios),
+                FormatSize(r.bytes).c_str());
+  }
   return 0;
 }
 
@@ -419,6 +660,7 @@ int main(int argc, char** argv) {
   std::string verb = argv[1];
   if (verb == "record") return Record(flags);
   if (verb == "replay") return Replay(flags);
+  if (verb == "analyze") return Analyze(flags);
   if (verb == "generate") return Generate(flags);
   return Usage();
 }

@@ -30,6 +30,7 @@
 #define UFLIP_DEVICE_ASYNC_DEVICE_H_
 
 #include <cstdint>
+#include <iterator>
 #include <set>
 #include <string>
 #include <vector>
@@ -95,6 +96,10 @@ class AsyncBlockDevice {
 
   /// Human-readable device name for reports.
   virtual std::string name() const = 0;
+
+  /// The metrics registry this device records into; nullptr when
+  /// observability is not attached (same contract as BlockDevice).
+  virtual MetricRegistry* metrics_registry() const { return nullptr; }
 };
 
 /// Submit-side bookkeeping shared by async implementations that resolve
@@ -119,6 +124,18 @@ class CompletionLedger {
   std::vector<IoCompletion> Pop(uint64_t horizon_us);
 
   size_t pending() const { return done_.size(); }
+  /// IOs admitted but not yet past the admission horizon -- the queue
+  /// occupancy after the latest Admit (queue-depth telemetry).
+  size_t in_flight() const { return live_.size(); }
+  /// IOs still incomplete at `t_us`. At an admission time this is the
+  /// device-side queue occupancy, < queue_depth by the admission
+  /// invariant (in_flight() is NOT: it counts against the submitter's
+  /// possibly-lagging clock, so backpressure inflates it). The walk is
+  /// short for the same reason.
+  size_t OccupancyAt(uint64_t t_us) const {
+    return static_cast<size_t>(
+        std::distance(live_.upper_bound(t_us), live_.end()));
+  }
   IoToken NextToken() { return ++last_token_; }
 
  private:
@@ -145,6 +162,9 @@ class SyncAdapter : public BlockDevice {
   StatusOr<double> SubmitAt(uint64_t t_us, const IoRequest& req) override;
   Clock* clock() override { return async_->clock(); }
   std::string name() const override { return async_->name() + "+sync"; }
+  MetricRegistry* metrics_registry() const override {
+    return async_->metrics_registry();
+  }
 
   AsyncBlockDevice* async() { return async_; }
 
@@ -173,6 +193,9 @@ class AsyncShim : public AsyncBlockDevice {
   size_t pending() const override { return ledger_.pending(); }
   Clock* clock() override { return inner_->clock(); }
   std::string name() const override { return inner_->name() + "+queue"; }
+  MetricRegistry* metrics_registry() const override {
+    return inner_->metrics_registry();
+  }
 
   BlockDevice* inner() { return inner_; }
 

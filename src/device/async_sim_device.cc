@@ -1,7 +1,9 @@
 #include "src/device/async_sim_device.h"
 
 #include <algorithm>
+#include <string>
 
+#include "src/obs/metric_registry.h"
 #include "src/util/logging.h"
 
 namespace uflip {
@@ -14,6 +16,32 @@ AsyncSimDevice::AsyncSimDevice(std::unique_ptr<SimDevice> sim,
   chan_busy_us_.assign(sim_->ftl()->Channels(), sim_->busy_until_us());
   ctrl_busy_us_ = sim_->busy_until_us();
   busy_max_us_ = sim_->busy_until_us();
+}
+
+void AsyncSimDevice::AttachMetrics(MetricRegistry* registry) {
+  sim_->AttachMetrics(registry);
+  if (registry == nullptr) {
+    m_chan_busy_.clear();
+    m_ctrl_busy_ = nullptr;
+    m_queue_depth_ = nullptr;
+    return;
+  }
+  m_chan_busy_.resize(channels());
+  for (uint32_t ch = 0; ch < channels(); ++ch) {
+    m_chan_busy_[ch] = registry->GetTimeSeries(
+        "device.channel." + std::to_string(ch) + ".busy_us",
+        obs::kTimelineIntervalUs);
+  }
+  if (sim_->controller().SerializedController()) {
+    m_ctrl_busy_ = registry->GetTimeSeries("device.controller.busy_us",
+                                           obs::kTimelineIntervalUs);
+  }
+  m_queue_depth_ = registry->GetTimeSeries("device.queue_depth",
+                                           obs::kTimelineIntervalUs);
+  auto* makespan = registry->GetGauge("device.makespan_us");
+  registry->AddCollector([this, makespan] {
+    obs::SetMax(makespan, static_cast<double>(busy_max_us_));
+  });
 }
 
 uint32_t AsyncSimDevice::DispatchChannelOf(const IoRequest& req) const {
@@ -36,6 +64,7 @@ StatusOr<IoToken> AsyncSimDevice::Enqueue(uint64_t t_us,
       sim_->ServiceUs(idle_us, req, nullptr, nullptr);
   if (!service.ok()) return service.status();
   uint32_t ch = DispatchChannelOf(req);
+  uint64_t start;
   uint64_t complete;
   if (sim_->controller().SerializedController()) {
     // Bounded controller: the IO starts when its channel AND the
@@ -49,20 +78,29 @@ StatusOr<IoToken> AsyncSimDevice::Enqueue(uint64_t t_us,
     // channels x. The fractional tail of the controller stage travels
     // with the flash stage so qd=1 reproduces the synchronous
     // start + floor(total) rounding exactly.
-    uint64_t start = std::max({eff, ctrl_busy_us_, chan_busy_us_[ch]});
+    start = std::max({eff, ctrl_busy_us_, chan_busy_us_[ch]});
     uint64_t ctrl_whole = static_cast<uint64_t>(service->controller_us);
     double ctrl_frac =
         service->controller_us - static_cast<double>(ctrl_whole);
     ctrl_busy_us_ = start + ctrl_whole;
     complete = start + ctrl_whole +
                static_cast<uint64_t>(ctrl_frac + service->channel_us);
+    obs::Span(m_ctrl_busy_, start, ctrl_busy_us_);
   } else {
     // Fully pipelined: the whole service time overlaps across channels.
-    uint64_t start = std::max(eff, chan_busy_us_[ch]);
+    start = std::max(eff, chan_busy_us_[ch]);
     complete = start + static_cast<uint64_t>(service->TotalUs());
   }
   chan_busy_us_[ch] = complete;
   busy_max_us_ = std::max(busy_max_us_, complete);
+  if (!m_chan_busy_.empty()) {
+    obs::Span(m_chan_busy_[ch], start, complete);
+  }
+  // Queue occupancy at admission: IOs still incomplete at eff plus this
+  // one (in_flight() would count against the submitter's lagging clock
+  // and read far beyond the queue depth under backpressure).
+  obs::Sample(m_queue_depth_, eff,
+              static_cast<double>(ledger_.OccupancyAt(eff) + 1));
 
   IoCompletion rec;
   rec.token = ledger_.NextToken();

@@ -60,6 +60,21 @@ class AsyncSimDevice : public AsyncBlockDevice {
   /// FTL's hint for the IO's first page).
   uint32_t DispatchChannelOf(const IoRequest& req) const;
 
+  /// Latest completion across all channels (the simulated makespan so
+  /// far when the device started fresh).
+  uint64_t busy_max_us() const { return busy_max_us_; }
+
+  /// Attaches the observability layer to the whole stack: the inner
+  /// SimDevice's counters/histogram plus this layer's per-channel
+  /// busy timelines ("device.channel.<i>.busy_us"), the controller
+  /// occupancy timeline (bounded-controller model only) and the queue
+  /// depth over time. nullptr detaches. Never perturbs the simulated
+  /// timeline.
+  void AttachMetrics(MetricRegistry* registry);
+  MetricRegistry* metrics_registry() const override {
+    return sim_->metrics_registry();
+  }
+
  private:
   std::unique_ptr<SimDevice> sim_;
   uint32_t queue_depth_;
@@ -75,6 +90,11 @@ class AsyncSimDevice : public AsyncBlockDevice {
   /// time, donated to background reclamation as in the sync path.
   uint64_t busy_max_us_;
   CompletionLedger ledger_;
+
+  // Observability handles (null when unattached; see AttachMetrics).
+  std::vector<TimeSeries*> m_chan_busy_;
+  TimeSeries* m_ctrl_busy_ = nullptr;
+  TimeSeries* m_queue_depth_ = nullptr;
 };
 
 }  // namespace uflip

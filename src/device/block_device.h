@@ -13,6 +13,8 @@
 
 namespace uflip {
 
+class MetricRegistry;
+
 /// IO mode (Section 3.1, attribute 4).
 enum class IoMode { kRead, kWrite };
 
@@ -61,6 +63,12 @@ class BlockDevice {
 
   /// Human-readable device name for reports.
   virtual std::string name() const = 0;
+
+  /// The metrics registry this device records into, or nullptr when
+  /// observability is not attached (the default: devices are built
+  /// unattached and pay nothing). Runners use it to snapshot metrics
+  /// into results without knowing the concrete device type.
+  virtual MetricRegistry* metrics_registry() const { return nullptr; }
 
  private:
   /// Sub-microsecond remainder of response time not yet slept (Submit).

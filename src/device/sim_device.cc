@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/metric_registry.h"
 #include "src/util/logging.h"
 
 namespace uflip {
@@ -33,6 +34,30 @@ SimDevice::SimDevice(std::string name, std::unique_ptr<Ftl> ftl,
   UFLIP_CHECK(clock_ != nullptr);
 }
 
+void SimDevice::AttachMetrics(MetricRegistry* registry) {
+  metrics_ = registry;
+  if (registry == nullptr) {
+    m_reads_ = nullptr;
+    m_writes_ = nullptr;
+    m_read_penalties_ = nullptr;
+    m_gc_slice_us_ = nullptr;
+    m_service_us_ = nullptr;
+    m_busy_ = nullptr;
+    return;
+  }
+  m_reads_ = registry->GetCounter("device.reads");
+  m_writes_ = registry->GetCounter("device.writes");
+  m_read_penalties_ = registry->GetCounter("device.random_read_penalties");
+  m_gc_slice_us_ = registry->GetSum("device.gc_slice_us");
+  m_service_us_ = registry->GetHistogram("device.service_us");
+  m_busy_ = registry->GetTimeSeries("device.busy_us", obs::kTimelineIntervalUs);
+  auto* makespan = registry->GetGauge("device.makespan_us");
+  registry->AddCollector([this, makespan] {
+    obs::SetMax(makespan, static_cast<double>(busy_until_us_));
+  });
+  ftl_->RegisterMetrics(registry);
+}
+
 StatusOr<ServiceCost> SimDevice::ServiceUs(double idle_us,
                                            const IoRequest& req,
                                            const uint64_t* write_tokens,
@@ -53,8 +78,11 @@ StatusOr<ServiceCost> SimDevice::ServiceUs(double idle_us,
   // While reclamation debt is outstanding the controller interleaves
   // bounded background slices with foreground IOs (lingering effect).
   if (config_.gc_slice_us > 0 && ftl_->PendingBackgroundUs() > 0) {
-    cost_split.controller_us += ftl_->BackgroundWork(config_.gc_slice_us);
+    double slice = ftl_->BackgroundWork(config_.gc_slice_us);
+    cost_split.controller_us += slice;
+    obs::Add(m_gc_slice_us_, slice);
   }
+  obs::Inc(req.mode == IoMode::kRead ? m_reads_ : m_writes_);
 
   cost_split.controller_us += req.mode == IoMode::kRead
                                   ? config_.read_overhead_us
@@ -64,6 +92,7 @@ StatusOr<ServiceCost> SimDevice::ServiceUs(double idle_us,
   if (req.mode == IoMode::kRead) {
     if (req.offset != last_read_end_) {
       cost_split.controller_us += config_.random_read_penalty_us;
+      obs::Inc(m_read_penalties_);
     }
     last_read_end_ = req.offset + req.size;
   }
@@ -101,6 +130,7 @@ StatusOr<ServiceCost> SimDevice::ServiceUs(double idle_us,
     if (!s.ok()) return s;
   }
   cost_split.channel_us += cost.service_us;
+  obs::Observe(m_service_us_, cost_split.TotalUs());
   return cost_split;
 }
 
@@ -115,6 +145,7 @@ StatusOr<double> SimDevice::DoIo(uint64_t t_us, const IoRequest& req,
   if (!service.ok()) return service.status();
   uint64_t start = std::max(t_us, busy_until_us_);
   busy_until_us_ = start + static_cast<uint64_t>(service->TotalUs());
+  obs::Span(m_busy_, start, busy_until_us_);
   return static_cast<double>(busy_until_us_ - t_us);
 }
 

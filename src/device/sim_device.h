@@ -27,6 +27,13 @@
 
 namespace uflip {
 
+class TimeSeries;
+namespace obs {
+struct Counter;
+struct Sum;
+struct Histogram;
+}  // namespace obs
+
 /// Foreground cost of one IO, split into the stage that occupies the
 /// (possibly serialized) controller/bus and the stage that runs on the
 /// IO's flash channel. The synchronous path charges the sum; the
@@ -125,6 +132,14 @@ class SimDevice : public BlockDevice {
   /// when lifting an already-used device.
   uint64_t busy_until_us() const { return busy_until_us_; }
 
+  /// Attaches the observability layer: resolves metric handles on
+  /// `registry` (not owned; must outlive the device) and registers the
+  /// FTL stack's collectors. nullptr detaches. Instrumentation never
+  /// touches the simulated timeline -- attached and unattached devices
+  /// produce identical response times.
+  void AttachMetrics(MetricRegistry* registry);
+  MetricRegistry* metrics_registry() const override { return metrics_; }
+
   /// Foreground service cost of `req` when it reaches the controller
   /// after `idle_us` of device idle time (idle time is donated to
   /// asynchronous reclamation), split into the serialized
@@ -152,6 +167,17 @@ class SimDevice : public BlockDevice {
   uint64_t last_read_end_ = UINT64_MAX;
   uint64_t token_counter_ = 0;
   uint64_t ios_ = 0;
+
+  // Observability handles (null when unattached; see AttachMetrics).
+  MetricRegistry* metrics_ = nullptr;
+  obs::Counter* m_reads_ = nullptr;
+  obs::Counter* m_writes_ = nullptr;
+  obs::Counter* m_read_penalties_ = nullptr;
+  obs::Sum* m_gc_slice_us_ = nullptr;
+  obs::Histogram* m_service_us_ = nullptr;
+  /// Single-queue busy timeline (sync path only; AsyncSimDevice keeps
+  /// per-channel timelines instead and bypasses DoIo).
+  TimeSeries* m_busy_ = nullptr;
 
   std::vector<uint64_t> scratch_tokens_;
 };

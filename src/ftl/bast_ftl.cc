@@ -85,6 +85,7 @@ Status BastFtl::MergeLog(int32_t log_idx, FtlCost* cost) {
     // Switch merge: the log block becomes the data block. Only the map
     // update is paid (merge_overhead_us models the copy bookkeeping of
     // full merges and does not apply here).
+    ++stats_.switch_merges;
     cost->service_us += config_.switch_overhead_us;
     uint64_t old_data = map_[lbk];
     map_[lbk] = log.phys;
@@ -337,6 +338,8 @@ Status BastFtl::Read(uint64_t lpn, uint32_t npages,
     }
     out_index.push_back(i);
   }
+  stats_.map_hits += scratch_pages_.size();
+  stats_.map_misses += npages - scratch_pages_.size();
   if (!scratch_pages_.empty()) {
     double t = 0;
     scratch_tokens_.clear();

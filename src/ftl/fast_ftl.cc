@@ -87,6 +87,7 @@ Status FastFtl::MergeLogicalBlock(uint64_t lbk, FtlCost* cost) {
       }
       LogSegment* seg = switchable ? SegmentBySerial(serial) : nullptr;
       if (seg != nullptr && seg->write_point == ppb()) {
+        ++stats_.switch_merges;
         cost->service_us += config_.switch_overhead_us;
         uint64_t old_data = map_[lbk];
         map_[lbk] = seg->phys;
@@ -320,6 +321,8 @@ Status FastFtl::Read(uint64_t lpn, uint32_t npages,
     }
     out_index.push_back(i);
   }
+  stats_.map_hits += scratch_pages_.size();
+  stats_.map_misses += npages - scratch_pages_.size();
   if (!scratch_pages_.empty()) {
     double t = 0;
     scratch_tokens_.clear();

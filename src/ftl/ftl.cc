@@ -1,0 +1,49 @@
+#include "src/ftl/ftl.h"
+
+#include "src/obs/metric_registry.h"
+
+namespace uflip {
+
+void Ftl::RegisterMetrics(MetricRegistry* registry) {
+  // The FTL keeps its own lifetime counters (FtlStats) regardless of
+  // observability; the collector exports the delta against the values at
+  // registration time, so metrics cover the attached window only --
+  // device preparation (state enforcement, settling) done before
+  // AttachMetrics does not leak into the snapshot. Per-repetition
+  // registries each see their own device's window, so the cross-registry
+  // snapshot merge (sum) is the fleet total.
+  auto* host_reads = registry->GetCounter("ftl.host.page_reads");
+  auto* host_writes = registry->GetCounter("ftl.host.page_writes");
+  auto* flash_reads = registry->GetCounter("ftl.flash.page_reads");
+  auto* flash_programs = registry->GetCounter("ftl.flash.page_programs");
+  auto* flash_erases = registry->GetCounter("ftl.flash.block_erases");
+  auto* merges = registry->GetCounter("ftl.merges");
+  auto* switch_merges = registry->GetCounter("ftl.switch_merges");
+  auto* gc_runs = registry->GetCounter("ftl.gc_runs");
+  auto* map_hits = registry->GetCounter("ftl.map_hits");
+  auto* map_misses = registry->GetCounter("ftl.map_misses");
+  auto* wa = registry->GetGauge("ftl.write_amplification");
+  FtlStats base = stats();
+  registry->AddCollector([=, this] {
+    const FtlStats& s = stats();
+    host_reads->value = s.host_page_reads - base.host_page_reads;
+    host_writes->value = s.host_page_writes - base.host_page_writes;
+    flash_reads->value = s.flash_page_reads - base.flash_page_reads;
+    flash_programs->value = s.flash_page_programs - base.flash_page_programs;
+    flash_erases->value = s.flash_block_erases - base.flash_block_erases;
+    merges->value = s.merges - base.merges;
+    switch_merges->value = s.switch_merges - base.switch_merges;
+    gc_runs->value = s.gc_runs - base.gc_runs;
+    map_hits->value = s.map_hits - base.map_hits;
+    map_misses->value = s.map_misses - base.map_misses;
+    // Write amplification over the window: programs per host page
+    // written since attach.
+    uint64_t hw = s.host_page_writes - base.host_page_writes;
+    uint64_t fp = s.flash_page_programs - base.flash_page_programs;
+    if (hw > 0) {
+      obs::SetMax(wa, static_cast<double>(fp) / static_cast<double>(hw));
+    }
+  });
+}
+
+}  // namespace uflip

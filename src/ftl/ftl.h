@@ -21,6 +21,8 @@
 
 namespace uflip {
 
+class MetricRegistry;
+
 /// Cost and operation accounting for one FTL request (or one GC run).
 struct FtlCost {
   /// Foreground service time in microseconds.
@@ -53,6 +55,14 @@ struct FtlStats {
   uint64_t flash_block_erases = 0;
   uint64_t merges = 0;
   uint64_t gc_runs = 0;
+  /// Host-read pages that resolved to a mapped flash page vs pages never
+  /// written (map lookup found nothing; served as zeros without touching
+  /// flash).
+  uint64_t map_hits = 0;
+  uint64_t map_misses = 0;
+  /// Merges satisfied by the cheap log-block promotion (BAST/FAST switch
+  /// merge: map update only, no page copies).
+  uint64_t switch_merges = 0;
 
   /// Write amplification: flash programs per host page written.
   double WriteAmplification() const {
@@ -115,6 +125,13 @@ class Ftl {
 
   virtual const FtlStats& stats() const = 0;
   virtual std::string DebugString() const = 0;
+
+  /// Registers pull-collectors on `registry` that export this FTL's
+  /// lifetime counters under "ftl.*" at every Snapshot(). Decorators
+  /// (WriteCache) override to add their own metrics and forward to the
+  /// wrapped FTL. Safe to skip entirely: an FTL never registered costs
+  /// nothing.
+  virtual void RegisterMetrics(MetricRegistry* registry);
 };
 
 }  // namespace uflip

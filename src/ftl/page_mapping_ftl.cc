@@ -443,6 +443,8 @@ Status PageMappingFtl::Read(uint64_t lpn, uint32_t npages,
     scratch_pages_.push_back(GlobalPage{phys_block, phys_page});
     out_index.push_back(i);
   }
+  stats_.map_hits += scratch_pages_.size();
+  stats_.map_misses += npages - scratch_pages_.size();
   if (!scratch_pages_.empty()) {
     double t = 0;
     scratch_tokens_.clear();

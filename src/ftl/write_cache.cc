@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "src/obs/metric_registry.h"
 #include "src/util/logging.h"
 
 namespace uflip {
@@ -32,6 +33,7 @@ Status WriteCache::FlushRun(uint64_t lpn, FtlCost* cost) {
     ++p;
   }
   if (tokens.empty()) return Status::Ok();
+  cache_stats_.destaged_pages += tokens.size();
   return inner_->Write(start, static_cast<uint32_t>(tokens.size()),
                        tokens.data(), cost);
 }
@@ -41,6 +43,7 @@ Status WriteCache::EvictToCapacity(FtlCost* cost) {
     // Oldest insertion whose page is still dirty.
     while (!fifo_.empty() && !dirty_.count(fifo_.front())) fifo_.pop_front();
     if (fifo_.empty()) break;  // defensive: stale queue
+    ++cache_stats_.eviction_runs;
     UFLIP_RETURN_IF_ERROR(FlushRun(fifo_.front(), cost));
   }
   return Status::Ok();
@@ -48,16 +51,19 @@ Status WriteCache::EvictToCapacity(FtlCost* cost) {
 
 Status WriteCache::Write(uint64_t lpn, uint32_t npages,
                          const uint64_t* tokens, FtlCost* cost) {
+  cache_stats_.host_write_pages += npages;
   for (uint32_t i = 0; i < npages; ++i) {
     uint64_t page = lpn + i;
     auto it = dirty_.find(page);
     if (it != dirty_.end()) {
       if (++it->second.overwrites > config_.max_coalesce) {
         // Dwell bound reached: destage this run, then re-insert.
+        ++cache_stats_.forced_destages;
         UFLIP_RETURN_IF_ERROR(FlushRun(page, cost));
         dirty_[page] = Entry{tokens != nullptr ? tokens[i] : 0, 0};
         fifo_.push_back(page);
       } else {
+        ++cache_stats_.absorbed_overwrites;
         it->second.token = tokens != nullptr ? tokens[i] : 0;
       }
     } else {
@@ -78,6 +84,7 @@ Status WriteCache::Read(uint64_t lpn, uint32_t npages,
     uint64_t page = lpn + i;
     auto it = dirty_.find(page);
     if (it != dirty_.end()) {
+      ++cache_stats_.read_hit_pages;
       if (tokens != nullptr) (*tokens)[i] = it->second.token;
       ++i;
       continue;
@@ -85,6 +92,7 @@ Status WriteCache::Read(uint64_t lpn, uint32_t npages,
     // Extend the uncached run.
     uint32_t j = i;
     while (j < npages && !dirty_.count(lpn + j)) ++j;
+    cache_stats_.read_miss_pages += j - i;
     std::vector<uint64_t> sub;
     UFLIP_RETURN_IF_ERROR(
         inner_->Read(lpn + i, j - i, tokens != nullptr ? &sub : nullptr,
@@ -151,6 +159,33 @@ double WriteCache::PendingBackgroundUs() const {
     }
   }
   return pending;
+}
+
+void WriteCache::RegisterMetrics(MetricRegistry* registry) {
+  auto* read_hits = registry->GetCounter("cache.read_hit_pages");
+  auto* read_misses = registry->GetCounter("cache.read_miss_pages");
+  auto* writes = registry->GetCounter("cache.host_write_pages");
+  auto* absorbed = registry->GetCounter("cache.absorbed_overwrites");
+  auto* forced = registry->GetCounter("cache.forced_destages");
+  auto* destaged = registry->GetCounter("cache.destaged_pages");
+  auto* evictions = registry->GetCounter("cache.eviction_runs");
+  auto* dirty_peak = registry->GetGauge("cache.dirty_pages_peak");
+  // Delta against registration time, like Ftl::RegisterMetrics: the
+  // snapshot covers the attached window, not device preparation.
+  WriteCacheStats base = cache_stats_;
+  registry->AddCollector([=, this] {
+    read_hits->value = cache_stats_.read_hit_pages - base.read_hit_pages;
+    read_misses->value =
+        cache_stats_.read_miss_pages - base.read_miss_pages;
+    writes->value = cache_stats_.host_write_pages - base.host_write_pages;
+    absorbed->value =
+        cache_stats_.absorbed_overwrites - base.absorbed_overwrites;
+    forced->value = cache_stats_.forced_destages - base.forced_destages;
+    destaged->value = cache_stats_.destaged_pages - base.destaged_pages;
+    evictions->value = cache_stats_.eviction_runs - base.eviction_runs;
+    obs::SetMax(dirty_peak, static_cast<double>(dirty_.size()));
+  });
+  inner_->RegisterMetrics(registry);
 }
 
 std::string WriteCache::DebugString() const {

@@ -33,6 +33,31 @@ struct WriteCacheConfig {
   Status Validate() const;
 };
 
+/// Lifetime counters of one WriteCache instance (page granularity).
+struct WriteCacheStats {
+  /// Host-read pages served from the dirty map (RAM, no flash touched)
+  /// vs forwarded to the inner FTL.
+  uint64_t read_hit_pages = 0;
+  uint64_t read_miss_pages = 0;
+  uint64_t host_write_pages = 0;
+  /// Overwrites absorbed in place -- writes that never reached flash.
+  uint64_t absorbed_overwrites = 0;
+  /// Pages destaged because they hit the max_coalesce dwell bound.
+  uint64_t forced_destages = 0;
+  /// Pages written through to the inner FTL (any destage path).
+  uint64_t destaged_pages = 0;
+  /// Capacity evictions (FlushRun calls driven by EvictToCapacity).
+  uint64_t eviction_runs = 0;
+
+  /// Fraction of host-written pages whose write was absorbed in RAM.
+  double AbsorbRate() const {
+    return host_write_pages == 0
+               ? 0.0
+               : static_cast<double>(absorbed_overwrites) /
+                     static_cast<double>(host_write_pages);
+  }
+};
+
 /// Decorates an Ftl with a write-back cache. Implements the Ftl
 /// interface so SimDevice can stack it transparently.
 class WriteCache : public Ftl {
@@ -60,6 +85,11 @@ class WriteCache : public Ftl {
   const FtlStats& stats() const override { return inner_->stats(); }
   std::string DebugString() const override;
 
+  const WriteCacheStats& cache_stats() const { return cache_stats_; }
+
+  /// Exports "cache.*" counters and forwards to the inner FTL.
+  void RegisterMetrics(MetricRegistry* registry) override;
+
   /// Destages every dirty page to the inner FTL.
   Status FlushAll(FtlCost* cost);
 
@@ -83,6 +113,7 @@ class WriteCache : public Ftl {
 
   std::unique_ptr<Ftl> inner_;
   WriteCacheConfig config_;
+  WriteCacheStats cache_stats_;
   std::unordered_map<uint64_t, Entry> dirty_;
   std::deque<uint64_t> fifo_;  // insertion order; may contain stale lpns
   // Background destage accounting.

@@ -1,0 +1,257 @@
+#include "src/obs/metric_registry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/util/json_writer.h"
+#include "src/util/logging.h"
+
+namespace uflip {
+
+namespace obs {
+
+double Histogram::BucketValue(int idx) {
+  int e = (idx >> kSubBits) + kMinExp;
+  int sub = idx & ((1 << kSubBits) - 1);
+  return std::ldexp(1.0 + (sub + 0.5) / (1 << kSubBits), e);
+}
+
+TDigest Histogram::ToDigest() const {
+  TDigest d;
+  if (count == 0) return d;
+  int first = -1, last = -1;
+  for (int i = 0; i < kBuckets; ++i) {
+    if (bucket[i] != 0) {
+      if (first < 0) first = i;
+      last = i;
+    }
+  }
+  // One sample of the first bucket is re-attributed to the exact min
+  // (and, when count allows, one of the last to the exact max): the
+  // digest's extremes come from inserted points, and uFLIP reports
+  // lean on exact Quantile(0)/Quantile(1). Everything else enters as
+  // one weighted centroid per occupied bucket, ascending, with the
+  // representative clamped into the observed range so interpolation
+  // never invents values outside it.
+  uint64_t spend_max = count >= 2 ? 1 : 0;
+  d.AddWeighted(min, 1);
+  for (int i = first; i <= last; ++i) {
+    uint64_t w = bucket[i];
+    if (w == 0) continue;
+    if (i == first) w -= 1;
+    if (i == last) w -= spend_max;
+    if (w == 0) continue;
+    double rep = std::min(std::max(BucketValue(i), min), max);
+    d.AddWeighted(rep, static_cast<double>(w));
+  }
+  if (spend_max != 0) d.AddWeighted(max, 1);
+  return d;
+}
+
+}  // namespace obs
+
+const char* MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kSum: return "sum";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+    case MetricKind::kTimeSeries: return "timeseries";
+  }
+  return "unknown";
+}
+
+const MetricValue* MetricSnapshot::Find(const std::string& name) const {
+  auto it = std::lower_bound(
+      values_.begin(), values_.end(), name,
+      [](const MetricValue& v, const std::string& n) { return v.name < n; });
+  if (it == values_.end() || it->name != name) return nullptr;
+  return &*it;
+}
+
+uint64_t MetricSnapshot::CounterValue(const std::string& name) const {
+  const MetricValue* v = Find(name);
+  return v == nullptr ? 0 : v->counter;
+}
+
+double MetricSnapshot::Value(const std::string& name) const {
+  const MetricValue* v = Find(name);
+  return v == nullptr ? 0.0 : v->value;
+}
+
+void MetricSnapshot::Add(MetricValue v) {
+  auto it = std::lower_bound(
+      values_.begin(), values_.end(), v.name,
+      [](const MetricValue& m, const std::string& n) { return m.name < n; });
+  UFLIP_CHECK(it == values_.end() || it->name != v.name);
+  values_.insert(it, std::move(v));
+}
+
+void MetricSnapshot::Merge(const MetricSnapshot& other) {
+  std::vector<MetricValue> merged;
+  merged.reserve(values_.size() + other.values_.size());
+  size_t i = 0, j = 0;
+  while (i < values_.size() || j < other.values_.size()) {
+    if (j >= other.values_.size() ||
+        (i < values_.size() && values_[i].name < other.values_[j].name)) {
+      merged.push_back(std::move(values_[i++]));
+      continue;
+    }
+    if (i >= values_.size() || other.values_[j].name < values_[i].name) {
+      merged.push_back(other.values_[j++]);
+      continue;
+    }
+    MetricValue v = std::move(values_[i++]);
+    const MetricValue& o = other.values_[j++];
+    UFLIP_CHECK(v.kind == o.kind);
+    switch (v.kind) {
+      case MetricKind::kCounter:
+        v.counter += o.counter;
+        break;
+      case MetricKind::kSum:
+        v.value += o.value;
+        break;
+      case MetricKind::kGauge:
+        v.value = std::max(v.value, o.value);
+        break;
+      case MetricKind::kHistogram: {
+        auto h = std::make_shared<TDigest>(*v.hist);
+        if (o.hist != nullptr) h->Merge(*o.hist);
+        v.hist = std::move(h);
+        break;
+      }
+      case MetricKind::kTimeSeries: {
+        auto s = std::make_shared<TimeSeries>(*v.series);
+        if (o.series != nullptr) s->Merge(*o.series);
+        v.series = std::move(s);
+        break;
+      }
+    }
+    merged.push_back(std::move(v));
+  }
+  values_ = std::move(merged);
+}
+
+void MetricSnapshot::AppendJson(JsonWriter* w) const {
+  w->BeginObject();
+  for (const MetricValue& v : values_) {
+    w->Key(v.name).BeginObject();
+    w->Key("kind").String(MetricKindName(v.kind));
+    switch (v.kind) {
+      case MetricKind::kCounter:
+        w->Key("value").Uint(v.counter);
+        break;
+      case MetricKind::kSum:
+      case MetricKind::kGauge:
+        w->Key("value").Double(v.value);
+        break;
+      case MetricKind::kHistogram: {
+        const TDigest& d = *v.hist;
+        w->Key("count").Uint(d.count());
+        w->Key("min").Double(d.Quantile(0.0));
+        w->Key("p50").Double(d.Quantile(0.5));
+        w->Key("p95").Double(d.Quantile(0.95));
+        w->Key("p99").Double(d.Quantile(0.99));
+        w->Key("max").Double(d.Quantile(1.0));
+        break;
+      }
+      case MetricKind::kTimeSeries: {
+        const TimeSeries& s = *v.series;
+        w->Key("interval_us").Uint(s.interval_us());
+        w->Key("start_us").Uint(s.empty() ? 0 : s.BucketStartUs(0));
+        w->Key("total_sum").Double(s.TotalSum());
+        w->Key("total_count").Uint(s.TotalCount());
+        w->Key("sum").BeginArray();
+        for (size_t i = 0; i < s.size(); ++i) w->Double(s.SumAt(i));
+        w->EndArray();
+        w->Key("count").BeginArray();
+        for (size_t i = 0; i < s.size(); ++i) w->Uint(s.CountAt(i));
+        w->EndArray();
+        break;
+      }
+    }
+    w->EndObject();
+  }
+  w->EndObject();
+}
+
+std::string MetricSnapshot::ToJson(int indent) const {
+  JsonWriter w(indent);
+  AppendJson(&w);
+  return w.str();
+}
+
+MetricRegistry::Entry* MetricRegistry::GetEntry(const std::string& name,
+                                                MetricKind kind) {
+  auto [it, inserted] = entries_.try_emplace(name);
+  if (inserted) {
+    it->second.kind = kind;
+  } else {
+    UFLIP_CHECK(it->second.kind == kind);
+  }
+  return &it->second;
+}
+
+obs::Counter* MetricRegistry::GetCounter(const std::string& name) {
+  return &GetEntry(name, MetricKind::kCounter)->counter;
+}
+
+obs::Sum* MetricRegistry::GetSum(const std::string& name) {
+  return &GetEntry(name, MetricKind::kSum)->sum;
+}
+
+obs::Gauge* MetricRegistry::GetGauge(const std::string& name) {
+  return &GetEntry(name, MetricKind::kGauge)->gauge;
+}
+
+obs::Histogram* MetricRegistry::GetHistogram(const std::string& name) {
+  Entry* e = GetEntry(name, MetricKind::kHistogram);
+  if (e->hist == nullptr) e->hist = std::make_unique<obs::Histogram>();
+  return e->hist.get();
+}
+
+TimeSeries* MetricRegistry::GetTimeSeries(const std::string& name,
+                                          uint64_t interval_us,
+                                          size_t max_buckets) {
+  Entry* e = GetEntry(name, MetricKind::kTimeSeries);
+  if (e->series == nullptr) {
+    e->series = std::make_unique<TimeSeries>(interval_us, max_buckets);
+  }
+  return e->series.get();
+}
+
+void MetricRegistry::AddCollector(std::function<void()> fn) {
+  collectors_.push_back(std::move(fn));
+}
+
+MetricSnapshot MetricRegistry::Snapshot() {
+  for (const auto& fn : collectors_) fn();
+  MetricSnapshot snap;
+  for (const auto& [name, e] : entries_) {
+    MetricValue v;
+    v.name = name;
+    v.kind = e.kind;
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        v.counter = e.counter.value;
+        break;
+      case MetricKind::kSum:
+        v.value = e.sum.value;
+        break;
+      case MetricKind::kGauge:
+        v.value = e.gauge.value;
+        break;
+      case MetricKind::kHistogram:
+        v.hist = std::make_shared<TDigest>(e.hist->ToDigest());
+        break;
+      case MetricKind::kTimeSeries:
+        v.series = std::make_shared<TimeSeries>(*e.series);
+        break;
+    }
+    snap.Add(std::move(v));
+  }
+  return snap;
+}
+
+}  // namespace uflip

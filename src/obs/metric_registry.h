@@ -1,0 +1,245 @@
+// Simulator-wide metrics layer: a registry of named counters, gauges,
+// sums, sketch-backed latency histograms and windowed time series,
+// designed around two constraints:
+//
+//  * Zero overhead when disabled. Instrumented code resolves handles
+//    (Counter*, Sum*, ...) once at attach time and records through the
+//    inline helpers below, which no-op on null -- a component that was
+//    never attached to a registry pays one branch per record site and
+//    allocates nothing. Components expose AttachMetrics(MetricRegistry*)
+//    and are built unattached by default.
+//
+//  * Deterministic merging. A MetricSnapshot is the value type a
+//    registry exports; snapshots merge pairwise (counters/sums add,
+//    gauges max, histograms merge their t-digests, time series add
+//    bucket-wise on the absolute timeline) and the merge is commutative
+//    and associative by construction -- merge(a, b) and merge(b, a) are
+//    snapshot-identical, which is what lets per-repetition and
+//    per-worker registries pool into one report (the same property PR
+//    5's quantile sketches give the response-time percentiles).
+//
+// Naming scheme (see README "Observability"): dot-separated paths,
+// lower_snake leaf names, unit suffixes spelled out --
+// "device.channel.0.busy_us", "ftl.flash.page_reads", "cache.read_hits".
+#ifndef UFLIP_OBS_METRIC_REGISTRY_H_
+#define UFLIP_OBS_METRIC_REGISTRY_H_
+
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/obs/time_series.h"
+#include "src/stats/quantile_sketch.h"
+
+namespace uflip {
+
+class JsonWriter;
+
+namespace obs {
+
+/// Initial bucket width of the utilization timelines (per-channel busy
+/// fraction, controller occupancy, queue depth). A power of two so that
+/// every coalesced resolution stays in one merge lineage across series
+/// of different ages.
+inline constexpr uint64_t kTimelineIntervalUs = 1024;
+
+/// Monotone event count. Merge: sum.
+struct Counter {
+  uint64_t value = 0;
+};
+
+/// Accumulated quantity (microseconds, bytes). Merge: sum.
+struct Sum {
+  double value = 0;
+};
+
+/// High-water mark. Merge: max (commutative; `set` distinguishes an
+/// untouched gauge from a recorded 0).
+struct Gauge {
+  double value = 0;
+  bool set = false;
+};
+
+/// Latency histogram. The hot path records into a fixed array of
+/// logarithmic buckets -- a handful of integer ops on ~5KB of
+/// L1-resident state, no sorting, no amortized compaction spikes
+/// (TDigest::Add's periodic flush passes over tens of KB were measured
+/// evicting the simulator's working set; see bench/obs_overhead).
+/// Snapshotting synthesizes the mergeable t-digest from the buckets
+/// (Histogram::ToDigest), so exported histograms keep PR 5's
+/// deterministic merge algebra; the exact count/min/max are carried
+/// into the digest, and every other recorded value is represented by
+/// its bucket midpoint, within ~±2.2% relative value error.
+struct Histogram {
+  /// log2(sub-buckets per octave): 16 sub-buckets per power of two, so
+  /// consecutive bucket boundaries are a ratio 2^(1/16) ~ 1.044 apart.
+  static constexpr int kSubBits = 4;
+  /// Bucketed magnitude range [2^kMinExp, 2^kMaxExp): ~1e-3 to ~1.7e10,
+  /// i.e. sub-nanosecond to multi-hour in microsecond units. Values
+  /// outside (including zero and negatives) clamp into the end buckets;
+  /// their exact magnitude still reaches min/max.
+  static constexpr int kMinExp = -10;
+  static constexpr int kMaxExp = 34;
+  static constexpr int kBuckets = (kMaxExp - kMinExp) << kSubBits;
+
+  uint64_t count = 0;
+  double min = 0;
+  double max = 0;
+  uint64_t bucket[kBuckets] = {};
+
+  void Record(double v) {
+    if (v != v) return;  // NaN: ignore, matching TDigest::Add
+    if (count == 0) {
+      min = v;
+      max = v;
+    } else {
+      if (v < min) min = v;
+      if (v > max) max = v;
+    }
+    ++count;
+    // Bucket index straight from the double's bit pattern: biased
+    // exponent selects the octave, the top kSubBits mantissa bits the
+    // sub-bucket. No log, no branch misses on the common path.
+    int idx = 0;
+    if (v > 0) {
+      uint64_t bits = std::bit_cast<uint64_t>(v);
+      int e = static_cast<int>((bits >> 52) & 0x7ff) - 1023;
+      int sub =
+          static_cast<int>(bits >> (52 - kSubBits)) & ((1 << kSubBits) - 1);
+      idx = ((e - kMinExp) << kSubBits) | sub;
+      if (idx < 0) {
+        idx = 0;
+      } else if (idx >= kBuckets) {
+        idx = kBuckets - 1;
+      }
+    }
+    ++bucket[idx];
+  }
+
+  /// The representative value (geometric midpoint) of bucket `idx`.
+  static double BucketValue(int idx);
+
+  /// The buckets as a mergeable t-digest: occupied buckets become
+  /// weighted centroids at their representatives (clamped into
+  /// [min, max]), with one sample re-attributed to each exact extreme
+  /// so Quantile(0)/Quantile(1) stay exact.
+  TDigest ToDigest() const;
+};
+
+/// Record-site helpers: no-ops on null, so un-attached components pay
+/// one branch and nothing else.
+inline void Inc(Counter* c, uint64_t n = 1) {
+  if (c != nullptr) c->value += n;
+}
+inline void Add(Sum* s, double v) {
+  if (s != nullptr) s->value += v;
+}
+inline void SetMax(Gauge* g, double v) {
+  if (g != nullptr) {
+    if (!g->set || v > g->value) g->value = v;
+    g->set = true;
+  }
+}
+inline void Observe(Histogram* h, double v) {
+  if (h != nullptr) h->Record(v);
+}
+inline void Sample(TimeSeries* t, uint64_t t_us, double v) {
+  if (t != nullptr) t->Add(t_us, v);
+}
+inline void Span(TimeSeries* t, uint64_t start_us, uint64_t end_us,
+                 double weight = 1.0) {
+  if (t != nullptr) t->AddInterval(start_us, end_us, weight);
+}
+
+}  // namespace obs
+
+enum class MetricKind { kCounter, kSum, kGauge, kHistogram, kTimeSeries };
+
+const char* MetricKindName(MetricKind kind);
+
+/// One exported metric. Histograms and time series are held by
+/// shared_ptr so snapshots copy cheaply; Merge clones before mutating.
+struct MetricValue {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  uint64_t counter = 0;                      // kCounter
+  double value = 0;                          // kSum / kGauge
+  std::shared_ptr<const TDigest> hist;       // kHistogram
+  std::shared_ptr<const TimeSeries> series;  // kTimeSeries
+};
+
+/// A registry's exported state: the mergeable value type carried in
+/// RunResult and pooled across repetitions/workers. Entries are sorted
+/// by name, so equality (and the golden-file JSON) is well defined.
+class MetricSnapshot {
+ public:
+  bool empty() const { return values_.empty(); }
+  const std::vector<MetricValue>& values() const { return values_; }
+  const MetricValue* Find(const std::string& name) const;
+
+  /// Convenience readers (0 when absent).
+  uint64_t CounterValue(const std::string& name) const;
+  double Value(const std::string& name) const;
+
+  /// Deterministic pairwise merge (see file header). Entries present in
+  /// only one operand carry over unchanged; same-name entries must
+  /// share a kind.
+  void Merge(const MetricSnapshot& other);
+
+  /// The snapshot as one JSON object keyed by metric name.
+  void AppendJson(JsonWriter* w) const;
+  std::string ToJson(int indent = 2) const;
+
+  /// Appends one entry; used by MetricRegistry::Snapshot (which feeds
+  /// names in sorted order) and tests.
+  void Add(MetricValue v);
+
+ private:
+  std::vector<MetricValue> values_;  // sorted by name
+};
+
+/// Owner of live metric objects. Handle pointers remain valid for the
+/// registry's lifetime (entries live in a std::map, so insertion never
+/// moves them). Re-getting a name returns the same object; a name is
+/// pinned to the kind it was first created with.
+class MetricRegistry {
+ public:
+  obs::Counter* GetCounter(const std::string& name);
+  obs::Sum* GetSum(const std::string& name);
+  obs::Gauge* GetGauge(const std::string& name);
+  obs::Histogram* GetHistogram(const std::string& name);
+  TimeSeries* GetTimeSeries(const std::string& name, uint64_t interval_us,
+                            size_t max_buckets = TimeSeries::kDefaultMaxBuckets);
+
+  /// Registers a pull-based refresher run at every Snapshot() --
+  /// components with their own lifetime counters (FtlStats,
+  /// WriteCacheStats) register one that copies the current values into
+  /// registry counters instead of double-counting on the hot path.
+  void AddCollector(std::function<void()> fn);
+
+  /// Runs collectors, then exports every metric (sorted by name).
+  MetricSnapshot Snapshot();
+
+ private:
+  struct Entry {
+    MetricKind kind = MetricKind::kCounter;
+    obs::Counter counter;
+    obs::Sum sum;
+    obs::Gauge gauge;
+    std::unique_ptr<obs::Histogram> hist;
+    std::unique_ptr<TimeSeries> series;
+  };
+
+  Entry* GetEntry(const std::string& name, MetricKind kind);
+
+  std::map<std::string, Entry> entries_;
+  std::vector<std::function<void()>> collectors_;
+};
+
+}  // namespace uflip
+
+#endif  // UFLIP_OBS_METRIC_REGISTRY_H_

@@ -1,0 +1,55 @@
+#include "src/obs/run_manifest.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/util/json_writer.h"
+
+namespace uflip {
+
+std::string GitDescribe() {
+#ifdef UFLIP_GIT_DESCRIBE
+  return UFLIP_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+std::string RunManifest::ToJson(int indent) const {
+  JsonWriter w(indent);
+  w.BeginObject();
+  w.Key("schema").String(kSchema);
+  w.Key("tool").String(tool);
+  w.Key("git").String(GitDescribe());
+  w.Key("seed").Uint(seed);
+  w.Key("flags").BeginObject();
+  auto sorted = flags;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [k, v] : sorted) w.Key(k).String(v);
+  w.EndObject();
+  w.Key("events").Uint(events);
+  w.Key("wall_seconds").Double(wall_seconds);
+  w.Key("events_per_sec").Double(EventsPerSec());
+  w.Key("sim_makespan_us").Uint(sim_makespan_us);
+  w.Key("metrics");
+  metrics.AppendJson(&w);
+  w.EndObject();
+  return w.str();
+}
+
+bool RunManifest::WriteTo(const std::string& path) const {
+  std::string json = ToJson();
+  json += '\n';
+  if (path == "-") {
+    std::fwrite(json.data(), 1, json.size(), stdout);
+    return true;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  size_t n = std::fwrite(json.data(), 1, json.size(), f);
+  int rc = std::fclose(f);
+  return n == json.size() && rc == 0;
+}
+
+}  // namespace uflip

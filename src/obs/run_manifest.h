@@ -1,0 +1,53 @@
+// Run manifest: the self-describing JSON record a benchmark binary
+// emits alongside its results (--metrics_out=). One file answers "what
+// exactly produced these numbers" -- the tool and its flags, the seed,
+// the build (git describe), throughput (events, wall seconds,
+// events/sec), the simulated makespan, and the full metric snapshot --
+// so two runs can be diffed field-by-field and CI can regression-check
+// any of it. Schema is versioned ("uflip.run_manifest/v1") and the
+// output is deterministic modulo the wall-clock fields: flags are
+// emitted sorted by key and the metric object sorted by name.
+#ifndef UFLIP_OBS_RUN_MANIFEST_H_
+#define UFLIP_OBS_RUN_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/obs/metric_registry.h"
+
+namespace uflip {
+
+/// The build's `git describe --always --dirty`, baked in at configure
+/// time (UFLIP_GIT_DESCRIBE); "unknown" outside a git checkout.
+std::string GitDescribe();
+
+struct RunManifest {
+  static constexpr const char* kSchema = "uflip.run_manifest/v1";
+
+  std::string tool;  // emitting binary, e.g. "ftl_compare"
+  std::vector<std::pair<std::string, std::string>> flags;
+  uint64_t seed = 0;
+  uint64_t events = 0;          // IOs simulated across the whole run
+  double wall_seconds = 0;      // host wall time of the simulation
+  uint64_t sim_makespan_us = 0;  // simulated completion time, max over reps
+  MetricSnapshot metrics;
+
+  double EventsPerSec() const {
+    return wall_seconds > 0 ? static_cast<double>(events) / wall_seconds : 0;
+  }
+
+  void AddFlag(const std::string& key, const std::string& value) {
+    flags.emplace_back(key, value);
+  }
+
+  std::string ToJson(int indent = 2) const;
+  /// Writes ToJson() to `path` (stdout when path is "-"). Returns false
+  /// on I/O failure.
+  bool WriteTo(const std::string& path) const;
+};
+
+}  // namespace uflip
+
+#endif  // UFLIP_OBS_RUN_MANIFEST_H_

@@ -1,0 +1,153 @@
+#include "src/obs/time_series.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace uflip {
+
+TimeSeries::TimeSeries(uint64_t interval_us, size_t max_buckets)
+    : interval_us_(interval_us), max_buckets_(max_buckets) {
+  UFLIP_CHECK(interval_us_ > 0);
+  UFLIP_CHECK(max_buckets_ >= 2);
+}
+
+void TimeSeries::Coalesce() {
+  uint64_t new_first = first_bucket_ / 2;
+  if (!buckets_.empty()) {
+    uint64_t last = first_bucket_ + buckets_.size() - 1;
+    std::vector<Bucket> merged(last / 2 - new_first + 1);
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+      Bucket& dst = merged[(first_bucket_ + i) / 2 - new_first];
+      dst.sum += buckets_[i].sum;
+      dst.count += buckets_[i].count;
+    }
+    buckets_ = std::move(merged);
+  }
+  first_bucket_ = new_first;
+  interval_us_ *= 2;
+}
+
+TimeSeries::Bucket* TimeSeries::BucketFor(uint64_t idx) {
+  if (buckets_.empty()) {
+    first_bucket_ = idx;
+    buckets_.emplace_back();
+    return &buckets_.back();
+  }
+  // Simulated time is nondecreasing in practice; a sample behind the
+  // window is folded into the first bucket rather than growing the
+  // front.
+  if (idx < first_bucket_) return &buckets_.front();
+  while (idx - first_bucket_ >= max_buckets_) {
+    Coalesce();
+    idx /= 2;
+  }
+  if (idx - first_bucket_ >= buckets_.size()) {
+    buckets_.resize(idx - first_bucket_ + 1);
+  }
+  return &buckets_[idx - first_bucket_];
+}
+
+void TimeSeries::Add(uint64_t t_us, double value) {
+  Bucket* b = BucketFor(t_us / interval_us_);
+  b->sum += value;
+  b->count += 1;
+}
+
+void TimeSeries::AddInterval(uint64_t start_us, uint64_t end_us,
+                             double weight) {
+  if (end_us <= start_us) return;
+  // Make both endpoints addressable first: BucketFor may coalesce (and
+  // thereby move every boundary), so the per-bucket overlap split below
+  // must run at the final resolution.
+  BucketFor(start_us / interval_us_);
+  BucketFor((end_us - 1) / interval_us_);
+  uint64_t s = start_us / interval_us_;
+  uint64_t e = (end_us - 1) / interval_us_;
+  for (uint64_t idx = s; idx <= e; ++idx) {
+    uint64_t b_start = idx * interval_us_;
+    uint64_t b_end = b_start + interval_us_;
+    uint64_t lo = std::max(start_us, b_start);
+    uint64_t hi = std::min(end_us, b_end);
+    buckets_[idx - first_bucket_].sum +=
+        weight * static_cast<double>(hi - lo);
+  }
+}
+
+void TimeSeries::Merge(const TimeSeries& other) {
+  if (other.empty()) return;
+  if (empty()) {
+    interval_us_ = other.interval_us_;
+    first_bucket_ = other.first_bucket_;
+    buckets_ = other.buckets_;
+    while (buckets_.size() > max_buckets_) Coalesce();
+    return;
+  }
+  // Same lineage: one interval is the other times a power of two, so
+  // the coarser grid's boundaries contain the finer grid's.
+  uint64_t target = std::max(interval_us_, other.interval_us_);
+  UFLIP_CHECK(target % std::min(interval_us_, other.interval_us_) == 0);
+  // Pre-coarsen until the union span fits, so no coalesce can fire in
+  // the middle of the bucket-wise addition below.
+  while (true) {
+    while (interval_us_ < target) Coalesce();
+    target = interval_us_;
+    uint64_t lo = std::min(first_bucket_ * interval_us_,
+                           other.first_bucket_ * other.interval_us_);
+    uint64_t hi = std::max(EndUs(), other.EndUs());
+    if ((hi - lo) / target < max_buckets_) break;
+    target *= 2;
+  }
+  // Extend the window backwards when `other` starts earlier: BucketFor's
+  // fold-into-the-front policy is for out-of-order hot-path samples, and
+  // letting it absorb another series' early buckets would make the merge
+  // depend on operand order. The pre-coarsening above already bounded
+  // the union span, so the front extension stays within max_buckets.
+  uint64_t other_first = (other.first_bucket_ * other.interval_us_) /
+                         interval_us_;
+  if (other_first < first_bucket_) {
+    buckets_.insert(buckets_.begin(), first_bucket_ - other_first, Bucket{});
+    first_bucket_ = other_first;
+  }
+  for (size_t i = 0; i < other.buckets_.size(); ++i) {
+    if (other.buckets_[i].sum == 0 && other.buckets_[i].count == 0) continue;
+    uint64_t t = (other.first_bucket_ + i) * other.interval_us_;
+    Bucket* b = BucketFor(t / interval_us_);
+    b->sum += other.buckets_[i].sum;
+    b->count += other.buckets_[i].count;
+  }
+}
+
+double TimeSeries::TotalSum() const {
+  double total = 0;
+  for (const Bucket& b : buckets_) total += b.sum;
+  return total;
+}
+
+uint64_t TimeSeries::TotalCount() const {
+  uint64_t total = 0;
+  for (const Bucket& b : buckets_) total += b.count;
+  return total;
+}
+
+std::vector<TimeSeries::Window> TimeSeries::Resample(size_t n) const {
+  std::vector<Window> out;
+  if (empty() || n == 0) return out;
+  uint64_t start = BucketStartUs(0);
+  uint64_t span = EndUs() - start;
+  out.resize(std::min(n, buckets_.size()));
+  size_t windows = out.size();
+  for (size_t w = 0; w < windows; ++w) {
+    out[w].start_us = start + span * w / windows;
+  }
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    size_t w = static_cast<size_t>((BucketStartUs(i) - start) * windows /
+                                   span);
+    w = std::min(w, windows - 1);
+    out[w].sum += buckets_[i].sum;
+    out[w].count += buckets_[i].count;
+  }
+  return out;
+}
+
+}  // namespace uflip

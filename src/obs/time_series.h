@@ -1,0 +1,120 @@
+// Windowed time series over simulated time: fixed-interval buckets,
+// O(1) memory via bucket coalescing. When a sample lands past the
+// bucket budget, adjacent bucket pairs merge and the interval doubles,
+// so a series covers any simulated span -- microseconds to weeks --
+// in at most `max_buckets` buckets. This is the substrate of the
+// utilization timelines (per-channel busy fraction, controller
+// occupancy, queue depth over time): instrumentation can record into
+// one without knowing the run's duration up front, and the final
+// resolution degrades gracefully instead of the memory growing.
+//
+// Each bucket accumulates a (sum, count) pair, which covers the two
+// recording styles the simulator needs:
+//  * interval accounting -- AddInterval(start, end) distributes the
+//    busy microseconds across the covered buckets' sums, so
+//    sum / interval_us is the bucket's busy fraction;
+//  * sampled values -- Add(t, v) accumulates v and bumps the count, so
+//    MeanAt() is the bucket's average sample (queue depth).
+//
+// Merging two series (replicated experiments, per-worker registries) is
+// deterministic: both operands coarsen to the larger interval -- all
+// intervals are the initial interval times a power of two, bucket
+// boundaries stay aligned to absolute time -- and then add bucket-wise,
+// so merge(a, b) == merge(b, a) exactly.
+#ifndef UFLIP_OBS_TIME_SERIES_H_
+#define UFLIP_OBS_TIME_SERIES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace uflip {
+
+class TimeSeries {
+ public:
+  static constexpr size_t kDefaultMaxBuckets = 512;
+
+  /// `interval_us` is the initial bucket width (> 0); coalescing only
+  /// ever doubles it. `max_buckets` (>= 2) bounds retained memory.
+  explicit TimeSeries(uint64_t interval_us,
+                      size_t max_buckets = kDefaultMaxBuckets);
+
+  /// Accumulates a sampled value: bucket(t).sum += value, count += 1.
+  void Add(uint64_t t_us, double value);
+
+  /// Distributes `weight` per microsecond of [start_us, end_us) across
+  /// the covered buckets' sums (counts untouched). With weight 1 the
+  /// bucket sum is occupied-microseconds, i.e. sum / interval_us is the
+  /// busy fraction. No-op when end_us <= start_us.
+  void AddInterval(uint64_t start_us, uint64_t end_us, double weight = 1.0);
+
+  /// Merges `other` bucket-wise on the absolute timeline. Both series
+  /// must share an initial interval lineage (intervals related by a
+  /// power of two); the result's interval is the coarser of the two,
+  /// further coalesced if the union span overflows max_buckets.
+  void Merge(const TimeSeries& other);
+
+  uint64_t interval_us() const { return interval_us_; }
+  size_t max_buckets() const { return max_buckets_; }
+  bool empty() const { return buckets_.empty(); }
+  /// Number of buckets between the first and last touched bucket.
+  size_t size() const { return buckets_.size(); }
+  /// Start time of bucket `i` on the absolute timeline.
+  uint64_t BucketStartUs(size_t i) const {
+    return (first_bucket_ + i) * interval_us_;
+  }
+  /// End of the last touched bucket (0 when empty).
+  uint64_t EndUs() const {
+    return empty() ? 0 : BucketStartUs(size() - 1) + interval_us_;
+  }
+
+  double SumAt(size_t i) const { return buckets_[i].sum; }
+  uint64_t CountAt(size_t i) const { return buckets_[i].count; }
+  /// Average sampled value in bucket `i` (0 when the bucket is empty).
+  double MeanAt(size_t i) const {
+    return buckets_[i].count == 0
+               ? 0.0
+               : buckets_[i].sum / static_cast<double>(buckets_[i].count);
+  }
+  /// Bucket sum as a fraction of the bucket width (interval
+  /// accounting: the busy fraction of that window).
+  double FractionAt(size_t i) const {
+    return buckets_[i].sum / static_cast<double>(interval_us_);
+  }
+
+  double TotalSum() const;
+  uint64_t TotalCount() const;
+
+  /// The series coarsened onto exactly `n` equal windows spanning
+  /// [BucketStartUs(0), EndUs()) -- the rendering path (sparklines of a
+  /// fixed terminal width). Each output pair is (sum, count) of the
+  /// source buckets whose start falls in the window.
+  struct Window {
+    uint64_t start_us = 0;
+    double sum = 0;
+    uint64_t count = 0;
+  };
+  std::vector<Window> Resample(size_t n) const;
+
+ private:
+  struct Bucket {
+    double sum = 0;
+    uint64_t count = 0;
+  };
+
+  /// Grows/coalesces until absolute bucket index `idx` is addressable,
+  /// and returns its slot.
+  Bucket* BucketFor(uint64_t idx);
+  /// Halves resolution: pairs buckets on even absolute boundaries.
+  void Coalesce();
+
+  uint64_t interval_us_;
+  size_t max_buckets_;
+  /// Absolute index (t / interval) of buckets_[0].
+  uint64_t first_bucket_ = 0;
+  std::vector<Bucket> buckets_;
+};
+
+}  // namespace uflip
+
+#endif  // UFLIP_OBS_TIME_SERIES_H_

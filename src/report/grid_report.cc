@@ -107,17 +107,32 @@ std::string GridReport::Render(const std::string& title) const {
   return out;
 }
 
+const std::vector<std::string>& GridReport::CsvValueColumns() {
+  // Keep in sync with the snprintf in ToCsv; the schema test pins both.
+  static const std::vector<std::string> kColumns = {
+      "ios",    "reps",   "mean_us", "mean_ci95_us", "stddev_us",
+      "p50_us", "p95_us", "p99_us",  "min_us",       "max_us",
+      "makespan_us", "ios_per_sec"};
+  return kColumns;
+}
+
+std::string GridReport::CsvHeader() const {
+  std::string out;
+  for (const std::string& a : axes_) {
+    out += a;
+    out += ',';
+  }
+  const std::vector<std::string>& cols = CsvValueColumns();
+  for (size_t i = 0; i < cols.size(); ++i) {
+    out += cols[i];
+    out += i + 1 < cols.size() ? "," : "\n";
+  }
+  return out;
+}
+
 std::string GridReport::ToCsv(bool header) const {
   std::string out;
-  if (header) {
-    for (const std::string& a : axes_) {
-      out += a;
-      out += ',';
-    }
-    out +=
-        "ios,reps,mean_us,mean_ci95_us,stddev_us,p50_us,p95_us,p99_us,"
-        "min_us,max_us,makespan_us,ios_per_sec\n";
-  }
+  if (header) out += CsvHeader();
   for (const GridCell& c : cells_) {
     for (const std::string& k : c.keys) {
       out += k;

@@ -71,10 +71,18 @@ class GridReport {
   /// overlaps the best's are marked '~'.
   std::string Render(const std::string& title) const;
 
-  /// CSV export: axis columns plus
-  /// ios,reps,mean_us,mean_ci95_us,stddev_us,p50_us,p95_us,p99_us,
-  /// min_us,max_us,makespan_us,ios_per_sec. `header` = false appends
-  /// rows only (for concatenating grids that share axes).
+  /// The non-axis CSV columns in emission order. One fixed schema
+  /// regardless of replication: reps=1 cells emit reps=1 and
+  /// mean_ci95_us=0 rather than dropping columns, so grids produced
+  /// with different --reps concatenate and diff cleanly.
+  static const std::vector<std::string>& CsvValueColumns();
+
+  /// The full CSV header row (axes + CsvValueColumns), newline
+  /// included.
+  std::string CsvHeader() const;
+
+  /// CSV export: CsvHeader() columns, one row per cell. `header` =
+  /// false appends rows only (for concatenating grids that share axes).
   std::string ToCsv(bool header = true) const;
 
  private:

@@ -1,0 +1,132 @@
+#include "src/report/timeline.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/report/ascii_chart.h"
+
+namespace uflip {
+
+namespace {
+
+constexpr char kRamp[] = " .:-=+*#%@";
+constexpr int kRampMax = 9;  // strlen(kRamp) - 1
+
+std::string HumanUs(uint64_t us) {
+  char buf[32];
+  if (us >= 10ull * 1000 * 1000) {
+    std::snprintf(buf, sizeof(buf), "%.1fs", static_cast<double>(us) / 1e6);
+  } else if (us >= 10ull * 1000) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", static_cast<double>(us) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lluus",
+                  static_cast<unsigned long long>(us));
+  }
+  return buf;
+}
+
+/// A busy series' average fraction over its span.
+double AvgFraction(const TimeSeries& s) {
+  if (s.empty()) return 0;
+  uint64_t span = s.EndUs() - s.BucketStartUs(0);
+  return span == 0 ? 0 : s.TotalSum() / static_cast<double>(span);
+}
+
+}  // namespace
+
+std::string BusySparkline(const TimeSeries& series, int width) {
+  if (series.empty() || width <= 0) return "";
+  std::vector<TimeSeries::Window> windows =
+      series.Resample(static_cast<size_t>(width));
+  uint64_t span = series.EndUs() - series.BucketStartUs(0);
+  double window_us =
+      static_cast<double>(span) / static_cast<double>(windows.size());
+  std::string out;
+  out.reserve(windows.size());
+  for (const TimeSeries::Window& w : windows) {
+    double frac = window_us == 0 ? 0 : w.sum / window_us;
+    frac = std::clamp(frac, 0.0, 1.0);
+    out += kRamp[static_cast<int>(frac * kRampMax + 0.5)];
+  }
+  return out;
+}
+
+std::string RenderUtilizationTimelines(const MetricSnapshot& snap,
+                                       const TimelineOptions& options) {
+  // Collect the busy series in display order: whole device, channels
+  // (already name-sorted in the snapshot), controller.
+  struct Row {
+    std::string label;
+    const TimeSeries* series;
+  };
+  std::vector<Row> rows;
+  for (const MetricValue& v : snap.values()) {
+    if (v.kind != MetricKind::kTimeSeries || v.series == nullptr ||
+        v.series->empty()) {
+      continue;
+    }
+    if (v.name == "device.busy_us") {
+      rows.push_back({"device", v.series.get()});
+    } else if (v.name.rfind("device.channel.", 0) == 0) {
+      // device.channel.<i>.busy_us -> "chan <i>"
+      std::string idx = v.name.substr(15, v.name.size() - 15 - 8);
+      rows.push_back({"chan " + idx, v.series.get()});
+    } else if (v.name == "device.controller.busy_us") {
+      rows.push_back({"controller", v.series.get()});
+    }
+  }
+  const MetricValue* qd = snap.Find("device.queue_depth");
+  if (rows.empty() && qd == nullptr) return "";
+
+  std::string out;
+  char buf[160];
+  if (!rows.empty()) {
+    uint64_t lo = UINT64_MAX, hi = 0;
+    for (const Row& r : rows) {
+      lo = std::min(lo, r.series->BucketStartUs(0));
+      hi = std::max(hi, r.series->EndUs());
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "utilization %s .. %s (%d windows, busy fraction ' '=0 "
+                  "'@'=1)\n",
+                  HumanUs(lo).c_str(), HumanUs(hi).c_str(), options.width);
+    out += buf;
+    size_t label_w = 0;
+    for (const Row& r : rows) label_w = std::max(label_w, r.label.size());
+    for (const Row& r : rows) {
+      std::snprintf(buf, sizeof(buf), "  %-*s |%s| avg %.2f\n",
+                    static_cast<int>(label_w), r.label.c_str(),
+                    BusySparkline(*r.series, options.width).c_str(),
+                    AvgFraction(*r.series));
+      out += buf;
+    }
+  }
+
+  if (options.queue_depth_chart && qd != nullptr && qd->series != nullptr &&
+      !qd->series->empty()) {
+    const TimeSeries& s = *qd->series;
+    std::vector<TimeSeries::Window> windows =
+        s.Resample(static_cast<size_t>(options.width));
+    ChartSeries series;
+    series.name = "mean queue depth";
+    for (const TimeSeries::Window& w : windows) {
+      if (w.count == 0) continue;
+      series.x.push_back(static_cast<double>(w.start_us) / 1e3);
+      series.y.push_back(w.sum / static_cast<double>(w.count));
+    }
+    if (!series.x.empty()) {
+      ChartOptions chart;
+      chart.title = "queue depth over time";
+      chart.x_label = "simulated ms";
+      chart.y_label = "depth";
+      chart.width = std::max(48, options.width);
+      chart.height = 10;
+      out += RenderChart({series}, chart);
+    }
+  }
+  return out;
+}
+
+}  // namespace uflip

@@ -1,0 +1,38 @@
+// ASCII rendering of the observability layer's utilization timelines:
+// per-channel busy fraction, controller occupancy and queue depth over
+// simulated time, as recorded in a MetricSnapshot (see
+// src/obs/metric_registry.h for the metric names). This is the
+// `ftl_compare --explain=CELL` view -- one sparkline row per channel,
+// dark glyphs = busy windows, plus a queue-depth chart when the
+// snapshot has one.
+#ifndef UFLIP_REPORT_TIMELINE_H_
+#define UFLIP_REPORT_TIMELINE_H_
+
+#include <string>
+
+#include "src/obs/metric_registry.h"
+
+namespace uflip {
+
+struct TimelineOptions {
+  /// Sparkline width in windows (columns).
+  int width = 72;
+  /// Render the queue-depth series as a full chart below the sparklines
+  /// (when the snapshot carries "device.queue_depth").
+  bool queue_depth_chart = true;
+};
+
+/// Renders every utilization time series in `snap` ("device.busy_us",
+/// "device.channel.<i>.busy_us", "device.controller.busy_us",
+/// "device.queue_depth") into a text block. Returns "" when the
+/// snapshot has no timeline metrics.
+std::string RenderUtilizationTimelines(const MetricSnapshot& snap,
+                                       const TimelineOptions& options = {});
+
+/// One busy-fraction sparkline over `width` windows: the glyph ramp
+/// " .:-=+*#%@" maps fraction 0..1 per window. Exposed for tests.
+std::string BusySparkline(const TimeSeries& series, int width);
+
+}  // namespace uflip
+
+#endif  // UFLIP_REPORT_TIMELINE_H_

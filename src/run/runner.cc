@@ -50,6 +50,9 @@ StatusOr<RunResult> ExecuteRun(BlockDevice* device, const PatternSpec& spec) {
     clock->SleepUs(WholeUsWithCarry(*rt, &carry_us));
     result.samples.push_back(IoSample{i, t, *rt, req});
   }
+  if (MetricRegistry* reg = device->metrics_registry()) {
+    result.metrics = reg->Snapshot();
+  }
   return result;
 }
 
@@ -152,6 +155,9 @@ StatusOr<RunResult> ExecuteParallelRun(AsyncBlockDevice* device,
   uint64_t end_us = static_cast<uint64_t>(std::ceil(max_completion_us));
   if (auto* c = device->clock(); c->NowUs() < end_us) {
     c->SleepUs(end_us - c->NowUs());
+  }
+  if (MetricRegistry* reg = device->metrics_registry()) {
+    result.metrics = reg->Snapshot();
   }
   return result;
 }

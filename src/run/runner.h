@@ -11,6 +11,7 @@
 
 #include "src/device/async_device.h"
 #include "src/device/block_device.h"
+#include "src/obs/metric_registry.h"
 #include "src/pattern/pattern.h"
 #include "src/run/run_stats.h"
 #include "src/util/status.h"
@@ -37,6 +38,11 @@ struct RunResult {
   /// are exact, percentiles are log-histogram estimates.
   std::optional<RunStats> streamed_stats;
   std::optional<RunStats> streamed_stats_all;
+
+  /// Snapshot of the device's metric registry at run end, when the
+  /// device had observability attached (see MetricRegistry); absent
+  /// otherwise. Snapshots of replicated runs merge deterministically.
+  std::optional<MetricSnapshot> metrics;
 
   /// Response times only, in submission order.
   std::vector<double> ResponseTimes() const;

@@ -253,6 +253,9 @@ StatusOr<RunResult> ExecuteTraceRun(BlockDevice* device, EventSource* source,
   }
   FinishResult(options, count, options.keep_samples ? nullptr : &online,
                &result);
+  if (MetricRegistry* reg = device->metrics_registry()) {
+    result.metrics = reg->Snapshot();
+  }
   return result;
 }
 
@@ -357,6 +360,9 @@ StatusOr<RunResult> ExecuteTraceRun(AsyncBlockDevice* device,
   }
   FinishResult(options, count, options.keep_samples ? nullptr : &online,
                &result);
+  if (MetricRegistry* reg = device->metrics_registry()) {
+    result.metrics = reg->Snapshot();
+  }
   return result;
 }
 

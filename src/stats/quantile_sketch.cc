@@ -10,10 +10,11 @@ namespace uflip {
 namespace {
 
 // Samples buffered between t-digest compactions. Larger buffers
-// amortize the O((B + C) log (B + C)) flush further but hold more
-// uncompacted memory; 512 keeps RetainedItems comfortably O(1) while
-// flushing ~every 512 adds.
-constexpr size_t kTDigestBuffer = 512;
+// amortize the O(C) merge/compaction passes and the per-emitted-centroid
+// sin() over more adds (the sort itself is only O(log B) per add) but
+// hold more uncompacted memory; 1024 doubles is 8KB per sketch, still
+// comfortably O(1) retained.
+constexpr size_t kTDigestBuffer = 1024;
 
 }  // namespace
 
@@ -39,13 +40,19 @@ std::unique_ptr<QuantileSketch> QuantileSketch::Create(SketchKind kind) {
 
 TDigest::TDigest(double compression)
     : compression_(compression < 20 ? 20 : compression) {
-  buffer_.reserve(kTDigestBuffer);
+  samples_.reserve(kTDigestBuffer);
 }
 
 double TDigest::ScaleK(double q) const {
   double arg = 2 * q - 1;
   arg = std::max(-1.0, std::min(1.0, arg));
   return compression_ / (2 * M_PI) * std::asin(arg);
+}
+
+double TDigest::ScaleQ(double k) const {
+  double arg = k * 2 * M_PI / compression_;
+  arg = std::max(-M_PI / 2, std::min(M_PI / 2, arg));
+  return (std::sin(arg) + 1) / 2;
 }
 
 void TDigest::Add(double x) {
@@ -58,48 +65,98 @@ void TDigest::Add(double x) {
     max_ = std::max(max_, x);
   }
   ++count_;
-  buffer_.push_back(Centroid{x, 1});
+  samples_.push_back(x);
+  if (samples_.size() >= kTDigestBuffer) Flush();
+}
+
+void TDigest::AddWeighted(double x, double weight) {
+  if (std::isnan(x) || weight <= 0) return;
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  count_ += static_cast<uint64_t>(weight + 0.5);
+  buffer_.push_back(Centroid{x, weight});
   if (buffer_.size() >= kTDigestBuffer) Flush();
 }
 
 void TDigest::Flush() const {
-  if (buffer_.empty()) return;
-  std::vector<Centroid> all;
-  all.reserve(buffer_.size() + centroids_.size());
-  all.insert(all.end(), centroids_.begin(), centroids_.end());
-  all.insert(all.end(), buffer_.begin(), buffer_.end());
-  buffer_.clear();
-  // The full union is recompacted left-to-right each flush, so the
-  // result depends only on the sorted multiset of centroids -- which is
-  // what makes Merge order-independent (merge(a, b) == merge(b, a)).
-  std::sort(all.begin(), all.end(),
-            [](const Centroid& a, const Centroid& b) {
-              return a.mean < b.mean ||
-                     (a.mean == b.mean && a.weight < b.weight);
-            });
+  if (samples_.empty() && buffer_.empty()) return;
+  auto less = [](const Centroid& a, const Centroid& b) {
+    return a.mean < b.mean || (a.mean == b.mean && a.weight < b.weight);
+  };
+  // The union is recompacted left-to-right each flush, so the result
+  // depends only on the sorted multiset of centroids -- which is what
+  // makes Merge order-independent (merge(a, b) == merge(b, a)).
+  // centroids_ is already sorted (output of the previous compaction),
+  // so only the pending inputs need sorting before a linear merge;
+  // scratch_ is a member to keep the hot path allocation-free after
+  // warm-up. Add() buffers raw doubles (weight-1 singletons) rather
+  // than centroids: sorting doubles is markedly cheaper, and Flush is
+  // amortized under every histogram sample the simulator records.
+  if (!buffer_.empty()) {
+    // Rare path (Merge insertions): fold the foreign centroids into
+    // centroids_ first so the hot path below stays two-way.
+    std::sort(buffer_.begin(), buffer_.end(), less);
+    scratch_.clear();
+    scratch_.reserve(buffer_.size() + centroids_.size());
+    std::merge(centroids_.begin(), centroids_.end(), buffer_.begin(),
+               buffer_.end(), std::back_inserter(scratch_), less);
+    buffer_.clear();
+    centroids_.swap(scratch_);
+  }
+  std::sort(samples_.begin(), samples_.end());
+  scratch_.clear();
+  scratch_.reserve(samples_.size() + centroids_.size());
+  // Merge the sorted singletons with the sorted centroids. On an equal
+  // mean the weight-1 singleton sorts first (centroid weights are
+  // >= 1, and equal-weight duplicates are interchangeable), matching
+  // `less` above.
+  {
+    size_t ci = 0, si = 0;
+    while (ci < centroids_.size() && si < samples_.size()) {
+      if (centroids_[ci].mean < samples_[si] ||
+          (centroids_[ci].mean == samples_[si] &&
+           centroids_[ci].weight <= 1)) {
+        scratch_.push_back(centroids_[ci++]);
+      } else {
+        scratch_.push_back(Centroid{samples_[si++], 1});
+      }
+    }
+    for (; ci < centroids_.size(); ++ci) scratch_.push_back(centroids_[ci]);
+    for (; si < samples_.size(); ++si) {
+      scratch_.push_back(Centroid{samples_[si], 1});
+    }
+  }
+  samples_.clear();
   double total = 0;
-  for (const Centroid& c : all) total += c.weight;
+  for (const Centroid& c : scratch_) total += c.weight;
 
-  std::vector<Centroid> merged;
-  merged.reserve(static_cast<size_t>(compression_) + 8);
+  // Compaction walks the union once. The k-scale bound "merging c into
+  // cur keeps the centroid within one k-unit" is tested as a
+  // precomputed weight limit (ScaleQ, the inverse scale function)
+  // instead of per-centroid asin calls: one sin per EMITTED centroid
+  // (~compression) rather than one asin per INPUT centroid.
+  centroids_.clear();
   double w_before = 0;  // weight fully emitted before `cur`
-  double k_left = ScaleK(0);
-  Centroid cur = all[0];
-  for (size_t i = 1; i < all.size(); ++i) {
-    const Centroid& c = all[i];
-    double q_right = (w_before + cur.weight + c.weight) / total;
-    if (ScaleK(q_right) - k_left <= 1.0) {
+  double w_limit = total * ScaleQ(ScaleK(0) + 1.0);
+  Centroid cur = scratch_[0];
+  for (size_t i = 1; i < scratch_.size(); ++i) {
+    const Centroid& c = scratch_[i];
+    if (w_before + cur.weight + c.weight <= w_limit) {
       cur.weight += c.weight;
       cur.mean += (c.mean - cur.mean) * (c.weight / cur.weight);
     } else {
-      merged.push_back(cur);
+      centroids_.push_back(cur);
       w_before += cur.weight;
-      k_left = ScaleK(w_before / total);
+      w_limit = total * ScaleQ(ScaleK(w_before / total) + 1.0);
       cur = c;
     }
   }
-  merged.push_back(cur);
-  centroids_ = std::move(merged);
+  centroids_.push_back(cur);
 }
 
 void TDigest::Merge(const QuantileSketch& other) {

@@ -84,11 +84,17 @@ class TDigest final : public QuantileSketch {
 
   SketchKind kind() const override { return SketchKind::kTDigest; }
   void Add(double x) override;
+  /// Adds `weight` co-located samples at `x` in one step (weight is a
+  /// sample count and is rounded into count()). For pre-aggregated
+  /// input -- e.g. synthesizing a digest from histogram buckets -- where
+  /// calling Add() weight times would be wasteful. Deterministic like
+  /// Add: the result depends only on the inserted (x, weight) multiset.
+  void AddWeighted(double x, double weight);
   void Merge(const QuantileSketch& other) override;
   double Quantile(double q) const override;
   uint64_t count() const override { return count_; }
   size_t RetainedItems() const override {
-    return centroids_.size() + buffer_.size();
+    return centroids_.size() + buffer_.size() + samples_.size();
   }
   double RankErrorBound() const override;
   std::unique_ptr<QuantileSketch> Clone() const override;
@@ -105,6 +111,11 @@ class TDigest final : public QuantileSketch {
 
   /// The k1 scale function: k(q) = delta/(2*pi) * asin(2q - 1).
   double ScaleK(double q) const;
+  /// Its inverse: q(k) = (sin(2*pi*k / delta) + 1) / 2, clamped to the
+  /// asin branch. Lets the compaction loop test a precomputed weight
+  /// limit instead of evaluating asin per input centroid -- Flush is on
+  /// the metrics hot path (amortized under every histogram Observe).
+  double ScaleQ(double k) const;
   /// Sorts buffered samples into the centroid list and recompacts the
   /// whole union left-to-right (deterministic given the multiset).
   void Flush() const;
@@ -115,7 +126,9 @@ class TDigest final : public QuantileSketch {
   double max_ = 0;
   // Quantile() is logically const but compacts lazily.
   mutable std::vector<Centroid> centroids_;  // sorted by mean after Flush
-  mutable std::vector<Centroid> buffer_;
+  mutable std::vector<double> samples_;      // Add() singletons
+  mutable std::vector<Centroid> buffer_;     // Merge() insertions
+  mutable std::vector<Centroid> scratch_;    // Flush working set, reused
 };
 
 /// KLL-style compactor stack: level i holds values of weight 2^i; a

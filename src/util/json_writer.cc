@@ -1,0 +1,145 @@
+#include "src/util/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/util/logging.h"
+
+namespace uflip {
+
+std::string JsonWriter::Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned char>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::Newline() {
+  if (indent_ <= 0) return;
+  out_ += '\n';
+  out_.append(static_cast<size_t>(indent_) * stack_.size(), ' ');
+}
+
+void JsonWriter::Prefix(bool is_key) {
+  if (stack_.empty()) return;  // document root
+  if (key_pending_) {
+    // A keyed value follows its key on the same line.
+    UFLIP_CHECK(!is_key);
+    key_pending_ = false;
+    return;
+  }
+  UFLIP_CHECK(is_key == stack_.back());  // objects take keys, arrays values
+  if (has_elem_.back()) out_ += ',';
+  has_elem_.back() = true;
+  Newline();
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  Prefix(false);
+  out_ += '{';
+  stack_.push_back(true);
+  has_elem_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  Prefix(false);
+  out_ += '[';
+  stack_.push_back(false);
+  has_elem_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  UFLIP_CHECK(!stack_.empty() && stack_.back() && !key_pending_);
+  bool had = has_elem_.back();
+  stack_.pop_back();
+  has_elem_.pop_back();
+  if (had) Newline();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  UFLIP_CHECK(!stack_.empty() && !stack_.back());
+  bool had = has_elem_.back();
+  stack_.pop_back();
+  has_elem_.pop_back();
+  if (had) Newline();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(const std::string& k) {
+  Prefix(true);
+  out_ += '"';
+  out_ += Escape(k);
+  out_ += indent_ > 0 ? "\": " : "\":";
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(const std::string& v) {
+  Prefix(false);
+  out_ += '"';
+  out_ += Escape(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Uint(uint64_t v) {
+  Prefix(false);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(v));
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t v) {
+  Prefix(false);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double v) {
+  if (!std::isfinite(v)) return Null();
+  Prefix(false);
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool v) {
+  Prefix(false);
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  Prefix(false);
+  out_ += "null";
+  return *this;
+}
+
+}  // namespace uflip

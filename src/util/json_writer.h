@@ -1,0 +1,62 @@
+// Minimal streaming JSON writer for the observability outputs (run
+// manifests, BENCH_* perf records). Emits deterministic text -- keys in
+// the order written, doubles through one fixed format -- so manifest
+// golden tests and downstream diff tooling see byte-stable output for
+// identical inputs. Not a general serializer: no pretty-print options
+// beyond two-space indentation, no unicode escaping beyond the JSON
+// control set.
+#ifndef UFLIP_UTIL_JSON_WRITER_H_
+#define UFLIP_UTIL_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace uflip {
+
+class JsonWriter {
+ public:
+  /// `indent` > 0 pretty-prints with that many spaces per level; 0
+  /// emits compact single-line JSON.
+  explicit JsonWriter(int indent = 2) : indent_(indent) {}
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Key of the next value inside an object.
+  JsonWriter& Key(const std::string& k);
+
+  JsonWriter& String(const std::string& v);
+  JsonWriter& Uint(uint64_t v);
+  JsonWriter& Int(int64_t v);
+  /// Fixed "%.6g" formatting; non-finite values emit null (JSON has no
+  /// NaN/Inf).
+  JsonWriter& Double(double v);
+  JsonWriter& Bool(bool v);
+  JsonWriter& Null();
+
+  /// The document so far. Valid once every container is closed.
+  const std::string& str() const { return out_; }
+
+  /// JSON string escaping (quotes not included).
+  static std::string Escape(const std::string& s);
+
+ private:
+  /// Separator/indent bookkeeping before a value or key is emitted.
+  void Prefix(bool is_key);
+  void Newline();
+
+  int indent_;
+  std::string out_;
+  /// One entry per open container: true = object (values need keys).
+  std::vector<bool> stack_;
+  /// Whether the current container already holds an element.
+  std::vector<bool> has_elem_;
+  bool key_pending_ = false;
+};
+
+}  // namespace uflip
+
+#endif  // UFLIP_UTIL_JSON_WRITER_H_

@@ -1,0 +1,379 @@
+// Observability-layer tests: metric registry round-trips, the
+// deterministic snapshot-merge algebra (commutative + associative,
+// checked as JSON identity), the zero-cost disabled path (null-handle
+// no-ops, and attachment not perturbing simulated results), the
+// log-bucket histogram's exactness guarantees and its t-digest
+// synthesis, time-series coalescing, the RunManifest JSON schema, and
+// the GridReport CSV column-set stability across --reps.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "src/obs/metric_registry.h"
+#include "src/obs/run_manifest.h"
+#include "src/obs/time_series.h"
+#include "src/report/grid_report.h"
+#include "src/util/random.h"
+#include "tests/sim_test_util.h"
+
+namespace uflip {
+namespace {
+
+// ---------------------------------------------------------------------
+// Registry round-trip
+// ---------------------------------------------------------------------
+
+TEST(MetricRegistryTest, RoundTripsEveryKind) {
+  MetricRegistry reg;
+  obs::Inc(reg.GetCounter("a.count"), 3);
+  obs::Add(reg.GetSum("a.sum_us"), 1.5);
+  obs::SetMax(reg.GetGauge("b.peak"), 7);
+  obs::SetMax(reg.GetGauge("b.peak"), 4);  // below the high-water mark
+  obs::Histogram* h = reg.GetHistogram("b.lat_us");
+  obs::Observe(h, 100);
+  obs::Observe(h, 200);
+  TimeSeries* ts = reg.GetTimeSeries("c.busy_us", 1024);
+  obs::Span(ts, 0, 2048);
+
+  // Re-getting a name returns the same live object.
+  EXPECT_EQ(reg.GetCounter("a.count"), reg.GetCounter("a.count"));
+
+  MetricSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.CounterValue("a.count"), 3u);
+  EXPECT_DOUBLE_EQ(snap.Value("a.sum_us"), 1.5);
+  EXPECT_DOUBLE_EQ(snap.Value("b.peak"), 7);
+  const MetricValue* lat = snap.Find("b.lat_us");
+  ASSERT_NE(lat, nullptr);
+  ASSERT_NE(lat->hist, nullptr);
+  EXPECT_EQ(lat->hist->count(), 2u);
+  EXPECT_DOUBLE_EQ(lat->hist->Quantile(0), 100);
+  EXPECT_DOUBLE_EQ(lat->hist->Quantile(1), 200);
+  const MetricValue* busy = snap.Find("c.busy_us");
+  ASSERT_NE(busy, nullptr);
+  ASSERT_NE(busy->series, nullptr);
+  EXPECT_DOUBLE_EQ(busy->series->TotalSum(), 2048);
+  EXPECT_EQ(snap.Find("nope"), nullptr);
+}
+
+TEST(MetricRegistryTest, CollectorsRunAtSnapshot) {
+  MetricRegistry reg;
+  obs::Gauge* g = reg.GetGauge("pulled.value");
+  int pulls = 0;
+  reg.AddCollector([&] {
+    ++pulls;
+    obs::SetMax(g, 42);
+  });
+  EXPECT_EQ(pulls, 0);
+  MetricSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(pulls, 1);
+  EXPECT_DOUBLE_EQ(snap.Value("pulled.value"), 42);
+}
+
+// ---------------------------------------------------------------------
+// Merge algebra
+// ---------------------------------------------------------------------
+
+/// A snapshot with every kind populated; `salt` varies the stream so
+/// operands differ.
+MetricSnapshot MakeSnapshot(uint64_t salt) {
+  MetricRegistry reg;
+  obs::Inc(reg.GetCounter("shared.count"), 10 + salt);
+  obs::Add(reg.GetSum("shared.sum"), 0.5 * static_cast<double>(salt + 1));
+  obs::SetMax(reg.GetGauge("shared.peak"), static_cast<double>(100 * salt));
+  obs::Histogram* h = reg.GetHistogram("shared.lat_us");
+  Rng rng(salt);
+  for (int i = 0; i < 2000; ++i) {
+    obs::Observe(h, 50 + 5000 * rng.UniformDouble());
+  }
+  TimeSeries* ts = reg.GetTimeSeries("shared.busy_us", 1024);
+  obs::Span(ts, salt * 512, salt * 512 + 4096);
+  // One name unique to this operand: must carry over unchanged.
+  obs::Inc(reg.GetCounter("only." + std::to_string(salt)), salt);
+  return reg.Snapshot();
+}
+
+TEST(MetricSnapshotTest, MergeIsCommutative) {
+  MetricSnapshot ab = MakeSnapshot(1);
+  ab.Merge(MakeSnapshot(2));
+  MetricSnapshot ba = MakeSnapshot(2);
+  ba.Merge(MakeSnapshot(1));
+  EXPECT_EQ(ab.ToJson(), ba.ToJson());
+  // Spot-check the merged values, not just mutual consistency.
+  EXPECT_EQ(ab.CounterValue("shared.count"), 23u);
+  EXPECT_DOUBLE_EQ(ab.Value("shared.sum"), 2.5);
+  EXPECT_DOUBLE_EQ(ab.Value("shared.peak"), 200);
+  EXPECT_EQ(ab.CounterValue("only.1"), 1u);
+  EXPECT_EQ(ab.CounterValue("only.2"), 2u);
+  EXPECT_EQ(ab.Find("shared.lat_us")->hist->count(), 4000u);
+}
+
+TEST(MetricSnapshotTest, MergeIsAssociative) {
+  MetricSnapshot left = MakeSnapshot(1);
+  left.Merge(MakeSnapshot(2));
+  left.Merge(MakeSnapshot(3));
+  MetricSnapshot bc = MakeSnapshot(2);
+  bc.Merge(MakeSnapshot(3));
+  MetricSnapshot right = MakeSnapshot(1);
+  right.Merge(bc);
+  EXPECT_EQ(left.ToJson(), right.ToJson());
+}
+
+TEST(MetricSnapshotTest, MergeWithEmptyIsIdentity) {
+  MetricSnapshot a = MakeSnapshot(1);
+  std::string before = a.ToJson();
+  a.Merge(MetricSnapshot());
+  EXPECT_EQ(a.ToJson(), before);
+  MetricSnapshot b;
+  b.Merge(MakeSnapshot(1));
+  EXPECT_EQ(b.ToJson(), before);
+}
+
+// ---------------------------------------------------------------------
+// Zero-cost disabled path
+// ---------------------------------------------------------------------
+
+TEST(ObsDisabledTest, NullHandlesAreNoOps) {
+  obs::Inc(nullptr);
+  obs::Inc(nullptr, 5);
+  obs::Add(nullptr, 1.0);
+  obs::SetMax(nullptr, 1.0);
+  obs::Observe(nullptr, 1.0);
+  obs::Sample(nullptr, 0, 1.0);
+  obs::Span(nullptr, 0, 10);
+  // Nothing to assert beyond "did not crash": the helpers must accept
+  // null without touching memory.
+}
+
+TEST(ObsDisabledTest, AttachmentDoesNotPerturbSimulation) {
+  auto plain = MakeTestDevice("mtron", 8ULL << 20);
+  auto inst = MakeTestDevice("mtron", 8ULL << 20);
+  ASSERT_NE(plain, nullptr);
+  ASSERT_NE(inst, nullptr);
+  MetricRegistry registry;
+  inst->AttachMetrics(&registry);
+
+  // The identical IO sequence must produce identical response times on
+  // both devices: instrumentation observes the simulation, it must not
+  // participate in it.
+  const uint32_t page = plain->page_bytes();
+  const uint64_t pages = plain->capacity_bytes() / page;
+  Rng rng(17);
+  uint64_t writes = 0, reads = 0;
+  for (int i = 0; i < 400; ++i) {
+    bool is_write = i < 50 || rng.Bernoulli(0.5);  // prefix warms the map
+    uint64_t off = rng.UniformU64(pages - 1) * page;
+    IoRequest req{off, page, is_write ? IoMode::kWrite : IoMode::kRead};
+    (is_write ? writes : reads) += 1;
+    auto a = plain->SubmitAt(plain->virtual_clock()->NowUs(), req);
+    auto b = inst->SubmitAt(inst->virtual_clock()->NowUs(), req);
+    ASSERT_TRUE(a.ok()) << a.status();
+    ASSERT_TRUE(b.ok()) << b.status();
+    ASSERT_DOUBLE_EQ(*a, *b) << "IO " << i;
+    plain->virtual_clock()->SleepUs(static_cast<uint64_t>(*a));
+    inst->virtual_clock()->SleepUs(static_cast<uint64_t>(*b));
+  }
+
+  MetricSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.CounterValue("device.reads"), reads);
+  EXPECT_EQ(snap.CounterValue("device.writes"), writes);
+  EXPECT_EQ(snap.Find("device.service_us")->hist->count(), reads + writes);
+}
+
+// ---------------------------------------------------------------------
+// Log-bucket histogram
+// ---------------------------------------------------------------------
+
+TEST(ObsHistogramTest, CountMinMaxAreExact) {
+  obs::Histogram h;
+  h.Record(123.456);
+  h.Record(0.0);        // clamps into the underflow bucket
+  h.Record(-5.0);       // negative: underflow bucket, exact min kept
+  h.Record(1e12);       // beyond kMaxExp: overflow bucket, exact max kept
+  h.Record(std::nan(""));  // ignored, like TDigest::Add
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_DOUBLE_EQ(h.min, -5.0);
+  EXPECT_DOUBLE_EQ(h.max, 1e12);
+
+  TDigest d = h.ToDigest();
+  EXPECT_EQ(d.count(), 4u);
+  EXPECT_DOUBLE_EQ(d.Quantile(0), -5.0);
+  EXPECT_DOUBLE_EQ(d.Quantile(1), 1e12);
+}
+
+TEST(ObsHistogramTest, QuantilesWithinBucketResolution) {
+  // Log-spaced latencies spanning several decades: every synthesized
+  // quantile must land within one sub-bucket ratio (2^(1/16) ~ 4.4%)
+  // of the exact order statistic.
+  obs::Histogram h;
+  std::vector<double> values;
+  Rng rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    double v = 50 * std::exp(4.0 * rng.UniformDouble());
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  TDigest d = h.ToDigest();
+  EXPECT_EQ(d.count(), values.size());
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99}) {
+    double exact = values[static_cast<size_t>(q * (values.size() - 1))];
+    double got = d.Quantile(q);
+    EXPECT_NEAR(got / exact, 1.0, 0.045) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(d.Quantile(0), values.front());
+  EXPECT_DOUBLE_EQ(d.Quantile(1), values.back());
+}
+
+TEST(ObsHistogramTest, SynthesisIsDeterministic) {
+  obs::Histogram a, b;
+  Rng rng(11);
+  std::vector<double> stream;
+  for (int i = 0; i < 5000; ++i) stream.push_back(10 + 990 * rng.UniformDouble());
+  for (double v : stream) a.Record(v);
+  // Same multiset, different order.
+  std::sort(stream.rbegin(), stream.rend());
+  for (double v : stream) b.Record(v);
+  // Bucket recording is order-free by construction, so the digests --
+  // and any snapshot JSON built on them -- are identical.
+  TDigest da = a.ToDigest(), db = b.ToDigest();
+  for (double q : {0.0, 0.01, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(da.Quantile(q), db.Quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(TDigestTest, AddWeightedMatchesRepeatedAdd) {
+  // Many distinct points with small weights: the two insertion styles
+  // build slightly different centroid sets (weighted atoms vs compacted
+  // singleton runs), but over a dense value grid the quantiles must
+  // agree within the sketch's accuracy.
+  TDigest repeated, weighted;
+  Rng rng(23);
+  for (int i = 0; i < 400; ++i) {
+    double x = 20 * std::exp(0.02 * i);
+    int n = 1 + static_cast<int>(rng.UniformU64(7));
+    for (int j = 0; j < n; ++j) repeated.Add(x);
+    weighted.AddWeighted(x, n);
+  }
+  EXPECT_EQ(weighted.count(), repeated.count());
+  EXPECT_DOUBLE_EQ(weighted.Quantile(0), repeated.Quantile(0));
+  EXPECT_DOUBLE_EQ(weighted.Quantile(1), repeated.Quantile(1));
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_NEAR(weighted.Quantile(q) / repeated.Quantile(q), 1.0, 0.02)
+        << "q=" << q;
+  }
+  // Ignored inputs.
+  uint64_t before = weighted.count();
+  weighted.AddWeighted(std::nan(""), 10);
+  weighted.AddWeighted(50, 0);
+  weighted.AddWeighted(50, -3);
+  EXPECT_EQ(weighted.count(), before);
+}
+
+// ---------------------------------------------------------------------
+// Time series
+// ---------------------------------------------------------------------
+
+TEST(ObsTimeSeriesTest, CoalescesAndMerges) {
+  // 4-bucket budget forced through 16 initial intervals: the series
+  // must coalesce (interval doubling) instead of growing.
+  TimeSeries a(1024, /*max_buckets=*/4);
+  for (uint64_t t = 0; t < 16; ++t) a.Add(t * 1024, 1.0);
+  EXPECT_LE(a.size(), 4u);
+  EXPECT_GE(a.interval_us(), 4096u);
+  EXPECT_DOUBLE_EQ(a.TotalSum(), 16.0);
+  EXPECT_EQ(a.TotalCount(), 16u);
+
+  // Merging a younger, finer series re-aligns it onto the coarser
+  // timeline; mass is conserved.
+  TimeSeries b(1024, 4);
+  b.Add(100, 5.0);
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.TotalSum(), 21.0);
+  EXPECT_EQ(a.TotalCount(), 17u);
+}
+
+// ---------------------------------------------------------------------
+// Run manifest schema
+// ---------------------------------------------------------------------
+
+TEST(RunManifestTest, JsonGolden) {
+  MetricRegistry reg;
+  obs::Inc(reg.GetCounter("a.count"), 3);
+  RunManifest m;
+  m.tool = "unit_test";
+  m.AddFlag("zeta", "1");
+  m.AddFlag("alpha", "two");  // must emit sorted before "zeta"
+  m.seed = 42;
+  m.events = 100;
+  m.wall_seconds = 0.5;
+  m.sim_makespan_us = 12345;
+  m.metrics = reg.Snapshot();
+
+  std::string expected = std::string(
+      "{\n"
+      "  \"schema\": \"uflip.run_manifest/v1\",\n"
+      "  \"tool\": \"unit_test\",\n"
+      "  \"git\": \"") + GitDescribe() + "\",\n"
+      "  \"seed\": 42,\n"
+      "  \"flags\": {\n"
+      "    \"alpha\": \"two\",\n"
+      "    \"zeta\": \"1\"\n"
+      "  },\n"
+      "  \"events\": 100,\n"
+      "  \"wall_seconds\": 0.5,\n"
+      "  \"events_per_sec\": 200,\n"
+      "  \"sim_makespan_us\": 12345,\n"
+      "  \"metrics\": {\n"
+      "    \"a.count\": {\n"
+      "      \"kind\": \"counter\",\n"
+      "      \"value\": 3\n"
+      "    }\n"
+      "  }\n"
+      "}";
+  EXPECT_EQ(m.ToJson(), expected);
+}
+
+TEST(RunManifestTest, EventsPerSecGuardsZeroWall) {
+  RunManifest m;
+  m.events = 100;
+  m.wall_seconds = 0;
+  EXPECT_DOUBLE_EQ(m.EventsPerSec(), 0);
+}
+
+// ---------------------------------------------------------------------
+// Grid CSV schema stability
+// ---------------------------------------------------------------------
+
+TEST(GridReportTest, CsvHeaderStableAcrossReps) {
+  GridReport single({"device", "qd"});
+  GridCell one;
+  one.keys = {"mtron", "1"};
+  one.stats.count = 10;
+  one.reps = 1;
+  single.Add(one);
+
+  GridReport replicated({"device", "qd"});
+  GridCell many;
+  many.keys = {"mtron", "8"};
+  many.stats.count = 30;
+  many.reps = 3;
+  many.mean_ci95_us = 12;
+  replicated.Add(many);
+
+  // Same axes => byte-identical header regardless of replication, so
+  // CSVs produced with different --reps concatenate and diff cleanly.
+  EXPECT_EQ(single.CsvHeader(), replicated.CsvHeader());
+  EXPECT_NE(single.CsvHeader().find("reps"), std::string::npos);
+  EXPECT_NE(single.CsvHeader().find("mean_ci95_us"), std::string::npos);
+  // Rows always fill the full column set.
+  std::string header = single.CsvHeader();
+  size_t cols = std::count(header.begin(), header.end(), ',');
+  std::string row = single.ToCsv(/*header=*/false);
+  EXPECT_EQ(std::count(row.begin(), row.end(), ','), static_cast<long>(cols));
+}
+
+}  // namespace
+}  // namespace uflip
