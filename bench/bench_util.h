@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/core/methodology.h"
+#include "src/run/parallel_exec.h"
 #include "src/run/runner.h"
 #include "src/device/profiles.h"
 #include "src/device/sim_device.h"
@@ -136,6 +137,58 @@ inline uint32_t SeedFromFlags(const Flags& flags, uint32_t def = 1) {
   return flags.GetUint32("seed", def);
 }
 
+// ---------------------------------------------------------------------
+// Seed-stream derivation (audited for the parallel execution core)
+// ---------------------------------------------------------------------
+// Every Rng stream a bench run consumes is derived from the unit's
+// *coordinates* -- the base --seed, the repetition index, and which
+// purpose the stream serves -- and from nothing else. In particular a
+// worker-thread id NEVER enters the derivation: a unit scheduled on
+// worker 3 of a --jobs=8 run must draw exactly the streams it draws
+// under --jobs=1, or parallel runs stop being byte-identical to serial
+// ones. When adding a new parallel dimension, extend the coordinates
+// (and this map), never the worker.
+//
+// Purposes are spaced into disjoint 2^32-wide bands, so a "+ rep"
+// offset (rep is a uint32) can never walk one purpose's stream into
+// another's, and no band below can collide with any user-chosen
+// --seed:
+//
+//   band 0 [0, 2^32):  synthetic workload streams -- the only band a
+//                      flag can reach: generator seed = --seed + rep
+//                      (SyntheticSourceFromFlags).
+//   band 1 [2^32, 2*2^32):  device preparation (random state
+//                      enforcement): kPrepSeedBand + rep.
+//   band 2 [2*2^32, 3*2^32):  settling-pass random writes:
+//                      kSettleSeedBand + rep. (Historically this was
+//                      `1 + rep` -- bit-identical to the default
+//                      workload stream `--seed=1 + rep` of the same
+//                      rep, i.e. the settling traffic and the measured
+//                      workload drew the same xoshiro sequence. The
+//                      banding fixes that silent reuse.)
+//
+// Grid sweeps intentionally give every cell of a repetition the *same*
+// streams (cells must see identical preparation and workload to be
+// comparable), so no per-cell term appears above. Units that should be
+// decorrelated across cells (perf_tracker's throughput legs) offset
+// the base seed per cell instead.
+inline constexpr uint64_t kPrepSeedBand = (1ULL << 32) | 0xF1A5;
+inline constexpr uint64_t kSettleSeedBand = (2ULL << 32) | 0xF1A5;
+
+/// The shared --jobs flag: worker threads for the parallel execution
+/// core (src/run/parallel_exec.h). Defaults to hardware concurrency;
+/// 0, negative and malformed values are rejected with exit 2 like the
+/// other count flags. Results are byte-identical for every value.
+inline unsigned JobsFromFlags(const Flags& flags) {
+  if (flags.GetString("jobs", "").empty()) return DefaultJobs();
+  uint32_t jobs = flags.GetUint32("jobs", 1);
+  if (jobs == 0) {
+    std::fprintf(stderr, "--jobs must be >= 1\n");
+    std::exit(2);
+  }
+  return jobs;
+}
+
 /// Creates a simulated device from a full profile and enforces the
 /// random initial state (Section 4.1). capacity 0 = profile default;
 /// channels_override > 0 re-stripes the flash array over that many
@@ -144,9 +197,10 @@ inline uint32_t SeedFromFlags(const Flags& flags, uint32_t def = 1) {
 /// overload lets sweeps (ftl_compare) prepare ad-hoc variants -- e.g.
 /// the same geometry under a different FTL -- through the exact
 /// preparation every stock device gets. prep_seed_offset shifts the
-/// state-enforcement and settling seeds (repetition r of a replicated
-/// cell passes r, so each rep runs on an independently-prepared but
-/// reproducible device; 0 = the historical default preparation).
+/// state-enforcement and settling seeds inside their bands (see
+/// "Seed-stream derivation" above; repetition r of a replicated cell
+/// passes r, so each rep runs on an independently-prepared but
+/// reproducible device; 0 = the default preparation).
 inline std::unique_ptr<SimDevice> MakeDeviceWithState(
     DeviceProfile profile, uint64_t capacity = 0, bool verbose = true,
     uint32_t channels_override = 0, uint64_t prep_seed_offset = 0) {
@@ -165,7 +219,7 @@ inline std::unique_ptr<SimDevice> MakeDeviceWithState(
   }
   StateEnforcementOptions opts;
   opts.max_io_bytes = 128 * 1024;
-  opts.seed += prep_seed_offset;
+  opts.seed = kPrepSeedBand + prep_seed_offset;
   auto report = EnforceRandomState(dev->get(), opts);
   if (!report.ok()) {
     std::fprintf(stderr, "state enforcement failed: %s\n",
@@ -192,7 +246,7 @@ inline std::unique_ptr<SimDevice> MakeDeviceWithState(
     uint64_t scratch = cap / 4;
     PatternSpec rw = PatternSpec::RandomWrite(32 * 1024, cap - scratch,
                                               scratch);
-    rw.seed += prep_seed_offset;
+    rw.seed = kSettleSeedBand + prep_seed_offset;
     rw.io_count = 256;
     auto r1 = ExecuteRun(dev->get(), rw);
     // The sequential pass runs last and long enough to cycle the

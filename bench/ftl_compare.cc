@@ -24,6 +24,10 @@
 //                              # workload seed --seed + r and an
 //                              # independently-prepared device
 //     [--seed=1]               # base workload seed (SeedFromFlags)
+//     [--jobs=N]               # worker threads fanning the (cell x
+//                              # rep) units; default hardware
+//                              # concurrency. Output is byte-identical
+//                              # for every N (src/run/parallel_exec.h)
 //     [--csv=grid.csv]         # full grid export for plotting
 //     [--io_ignore=N]      # default: phase-derived per cell
 //     [--stream]           # re-stream the trace file per cell (O(1)
@@ -70,6 +74,7 @@
 #include "src/obs/run_manifest.h"
 #include "src/report/grid_report.h"
 #include "src/report/timeline.h"
+#include "src/run/parallel_exec.h"
 #include "src/run/trace_run.h"
 #include "src/stats/replicate_set.h"
 #include "src/trace/trace_io.h"
@@ -104,6 +109,9 @@ struct SweepConfig {
   // (rep r derives seed + r).
   uint32_t reps = 1;
   uint32_t base_seed = 1;
+  // Worker threads for the (cell x rep) fan-out; output is
+  // byte-identical for every value (see src/run/parallel_exec.h).
+  unsigned jobs = 1;
 };
 
 /// Observability collection across the sweep (--metrics_out /
@@ -146,16 +154,113 @@ struct Variant {
   DeviceProfile profile;
 };
 
-/// Replays the workload cfg.reps times on freshly prepared devices
-/// built from `variant` with the cell's knobs applied -- repetition r
-/// on a device prepared with seed offset r, drawing workload seed
-/// base_seed + r when synthetic -- and pools the repetitions into one
-/// cell (ReplicateSet: pooled moments, merged-sketch percentiles, 95%
-/// CI); false on failure (already reported).
-bool RunCell(const Flags& flags, const SweepConfig& cfg,
-             const Variant& variant, uint32_t queue_depth,
-             uint32_t channels, uint32_t cache_pages, GridCell* cell,
-             ObsCollection* obs) {
+/// One unit of the sweep's parallel fan-out: a single repetition of a
+/// single cell, fully self-contained on its worker (fresh device, own
+/// event source, own registry). The coordinator folds units in
+/// canonical (cell-major, rep-minor) order, so --jobs=N output is
+/// byte-identical to --jobs=1.
+struct UnitResult {
+  RunStats stats;
+  uint64_t ios = 0;
+  uint64_t makespan_us = 0;  // device-time makespan of this rep
+  bool has_metrics = false;
+  MetricSnapshot metrics;
+  /// Rep 0 of a profile-default-cache cell: the cache size the built
+  /// stack actually runs with ("none" when the profile has no cache).
+  std::string resolved_cache;
+};
+
+/// Replays the workload once on a freshly prepared device built from
+/// `variant` with the cell's knobs applied -- repetition `rep` on a
+/// device prepared with seed offset rep, drawing workload seed
+/// base_seed + rep when synthetic. Runs on a worker thread: every seed
+/// derives from (cell, rep) only, and nothing here prints.
+StatusOr<UnitResult> RunUnit(const Flags& flags, const SweepConfig& cfg,
+                             const Variant& variant, uint32_t queue_depth,
+                             uint32_t channels, uint32_t cache_pages,
+                             uint32_t rep, bool obs_enabled) {
+  UnitResult out;
+  DeviceProfile profile = variant.profile;
+  if (cfg.controller_us >= 0) {
+    profile.controller.controller_us = cfg.controller_us;
+  }
+  profile.controller.pipelined = cfg.pipelined;
+  if (cache_pages > 0) {
+    profile.write_cache = true;
+    profile.cache.capacity_pages = cache_pages;
+  }
+  auto dev = MakeDeviceWithState(profile, 0, false, channels, rep);
+  InterRunPause(dev.get());
+  if (cache_pages == 0 && rep == 0) {
+    // Resolve the profile-default cache to what the built stack
+    // actually runs with, so "default" cells are comparable to
+    // explicit --cache_pages values in the grid and its CSV.
+    auto* cache = dynamic_cast<WriteCache*>(dev->ftl());
+    out.resolved_cache =
+        cache ? std::to_string(cache->config().capacity_pages) : "none";
+  }
+
+  // One identical event stream per cell and rep (synthetic reps
+  // excepted, which draw their own seed): rewind the materialized
+  // trace, reopen the file (--stream) or re-seed the generator, so
+  // every device sees the same workload from event 0.
+  std::unique_ptr<EventSource> source;
+  if (cfg.trace_path.empty()) {
+    auto synth = SyntheticSourceFromFlags(
+        flags, static_cast<int64_t>(cfg.base_seed) + rep);
+    if (!synth.ok()) return synth.status();
+    source = std::move(*synth);
+  } else if (cfg.stream) {
+    auto reader = TraceReader::Open(cfg.trace_path);
+    if (!reader.ok()) {
+      return Status::IoError("trace open failed: " +
+                             reader.status().ToString());
+    }
+    source = std::make_unique<TraceReader>(std::move(*reader));
+  } else {
+    source = std::make_unique<TraceView>(&cfg.materialized);
+  }
+
+  uint64_t start_us = dev->clock()->NowUs();
+  StatusOr<RunResult> run = Status::InvalidArgument("unreachable");
+  std::unique_ptr<AsyncSimDevice> async;
+  // Per-rep registry: attached after preparation, so the FTL/cache
+  // collectors export the replay window only; the run layer snapshots
+  // it into run->metrics. Merging the per-rep snapshots is
+  // deterministic (see MetricSnapshot::Merge).
+  MetricRegistry registry;
+  if (queue_depth > 0) {
+    async = std::make_unique<AsyncSimDevice>(std::move(dev), queue_depth);
+    if (obs_enabled) async->AttachMetrics(&registry);
+    run = ExecuteTraceRun(async.get(), source.get(), cfg.replay);
+  } else {
+    if (obs_enabled) dev->AttachMetrics(&registry);
+    run = ExecuteTraceRun(dev.get(), source.get(), cfg.replay);
+  }
+  if (!run.ok()) {
+    return Status::Internal("[" + variant.device_label +
+                            "] replay failed (rep " + std::to_string(rep) +
+                            "): " + run.status().ToString());
+  }
+  Clock* clock = async ? async->clock() : dev->clock();
+  out.makespan_us = clock->NowUs() - start_us;
+  if (obs_enabled && run->metrics) {
+    out.has_metrics = true;
+    out.metrics = std::move(*run->metrics);
+  }
+  out.stats = run->Stats();
+  out.ios = run->streamed_stats_all ? run->streamed_stats_all->count
+                                    : run->samples.size();
+  return out;
+}
+
+/// Folds one cell's repetitions -- already produced, in rep order --
+/// into its GridCell and the sweep-wide observability collection.
+/// Coordinator-thread only; the merge operations (ReplicateSet,
+/// MetricSnapshot::Merge) are deterministic, so the fold's output
+/// depends on nothing but the units' contents and this fixed order.
+void FoldCell(const SweepConfig& cfg, UnitResult* units, GridCell* cell,
+              ObsCollection* obs) {
   ReplicateSet set;
   RunStats single;
   uint64_t total_ios = 0;
@@ -163,89 +268,22 @@ bool RunCell(const Flags& flags, const SweepConfig& cfg,
   MetricSnapshot cell_metrics;
   MetricSnapshot first_rep_metrics;
   for (uint32_t rep = 0; rep < cfg.reps; ++rep) {
-    DeviceProfile profile = variant.profile;
-    if (cfg.controller_us >= 0) {
-      profile.controller.controller_us = cfg.controller_us;
+    UnitResult& u = units[rep];
+    if (rep == 0 && !u.resolved_cache.empty()) {
+      cell->keys[4] = u.resolved_cache;
     }
-    profile.controller.pipelined = cfg.pipelined;
-    if (cache_pages > 0) {
-      profile.write_cache = true;
-      profile.cache.capacity_pages = cache_pages;
+    if (obs->enabled && u.has_metrics) {
+      if (rep == 0) first_rep_metrics = u.metrics;
+      cell_metrics.Merge(u.metrics);
+      obs->sim_makespan_us = std::max(obs->sim_makespan_us, u.makespan_us);
     }
-    auto dev = MakeDeviceWithState(profile, 0, false, channels, rep);
-    InterRunPause(dev.get());
-    if (cache_pages == 0 && rep == 0) {
-      // Resolve the profile-default cache to what the built stack
-      // actually runs with, so "default" cells are comparable to
-      // explicit --cache_pages values in the grid and its CSV.
-      auto* cache = dynamic_cast<WriteCache*>(dev->ftl());
-      cell->keys[4] =
-          cache ? std::to_string(cache->config().capacity_pages) : "none";
-    }
-
-    // One identical event stream per cell and rep (synthetic reps
-    // excepted, which draw their own seed): rewind the materialized
-    // trace, reopen the file (--stream) or re-seed the generator, so
-    // every device sees the same workload from event 0.
-    std::unique_ptr<EventSource> source;
-    if (cfg.trace_path.empty()) {
-      auto synth = SyntheticSourceFromFlags(
-          flags, static_cast<int64_t>(cfg.base_seed) + rep);
-      if (!synth.ok()) {
-        std::fprintf(stderr, "%s\n", synth.status().ToString().c_str());
-        return false;
-      }
-      source = std::move(*synth);
-    } else if (cfg.stream) {
-      auto reader = TraceReader::Open(cfg.trace_path);
-      if (!reader.ok()) {
-        std::fprintf(stderr, "trace open failed: %s\n",
-                     reader.status().ToString().c_str());
-        return false;
-      }
-      source = std::make_unique<TraceReader>(std::move(*reader));
-    } else {
-      source = std::make_unique<TraceView>(&cfg.materialized);
-    }
-
-    uint64_t start_us = dev->clock()->NowUs();
-    StatusOr<RunResult> run = Status::InvalidArgument("unreachable");
-    std::unique_ptr<AsyncSimDevice> async;
-    // Per-rep registry: attached after preparation, so the FTL/cache
-    // collectors export the replay window only; the run layer snapshots
-    // it into run->metrics. Merging the per-rep snapshots is
-    // deterministic (see MetricSnapshot::Merge).
-    MetricRegistry registry;
-    if (queue_depth > 0) {
-      async = std::make_unique<AsyncSimDevice>(std::move(dev), queue_depth);
-      if (obs->enabled) async->AttachMetrics(&registry);
-      run = ExecuteTraceRun(async.get(), source.get(), cfg.replay);
-    } else {
-      if (obs->enabled) dev->AttachMetrics(&registry);
-      run = ExecuteTraceRun(dev.get(), source.get(), cfg.replay);
-    }
-    if (!run.ok()) {
-      std::fprintf(stderr, "[%s] replay failed (rep %u): %s\n",
-                   variant.device_label.c_str(), rep,
-                   run.status().ToString().c_str());
-      return false;
-    }
-    Clock* clock = async ? async->clock() : dev->clock();
-    if (obs->enabled && run->metrics) {
-      if (rep == 0) first_rep_metrics = *run->metrics;
-      cell_metrics.Merge(*run->metrics);
-      obs->sim_makespan_us =
-          std::max(obs->sim_makespan_us, clock->NowUs() - start_us);
-    }
-    RunStats stats = run->Stats();
     if (cfg.reps == 1) {
-      single = stats;  // no aggregation: skip the sketch clone
+      single = u.stats;  // no aggregation: skip the sketch clone
     } else {
-      set.Add(stats.Summary());
+      set.Add(u.stats.Summary());
     }
-    total_ios += run->streamed_stats_all ? run->streamed_stats_all->count
-                                         : run->samples.size();
-    total_makespan_us += clock->NowUs() - start_us;
+    total_ios += u.ios;
+    total_makespan_us += u.makespan_us;
   }
   if (obs->enabled) {
     obs->merged.Merge(cell_metrics);
@@ -272,28 +310,55 @@ bool RunCell(const Flags& flags, const SweepConfig& cfg,
     cell->stats = RunStats::FromAggregate(agg);
     cell->mean_ci95_us = agg.mean_ci95_half;
   }
-  return true;
 }
 
-/// Runs the full knob grid for `variants` into a GridReport.
+/// Runs the full knob grid for `variants` into a GridReport: fans the
+/// (cell x rep) units across cfg.jobs workers, then folds every cell in
+/// grid order on this thread.
 bool RunGrid(const Flags& flags, const SweepConfig& cfg,
              const std::vector<Variant>& variants, GridReport* grid,
              ObsCollection* obs) {
+  struct CellSpec {
+    const Variant* variant;
+    uint32_t qd, ch, cache;
+  };
+  std::vector<CellSpec> cells;
+  std::vector<GridCell> grid_cells;
   for (const Variant& v : variants) {
     for (uint32_t ch : cfg.channels) {
       for (uint32_t cache : cfg.cache_pages) {
         for (uint32_t qd : cfg.queue_depths) {
+          cells.push_back(CellSpec{&v, qd, ch, cache});
           GridCell cell;
           cell.keys = {v.device_label, FtlKindName(v.profile.ftl),
                        std::to_string(qd), std::to_string(ch),
                        cache == 0 ? "default" : std::to_string(cache)};
-          if (!RunCell(flags, cfg, v, qd, ch, cache, &cell, obs)) {
-            return false;
-          }
-          grid->Add(std::move(cell));
+          grid_cells.push_back(std::move(cell));
         }
       }
     }
+  }
+
+  // Fan out: unit i is repetition i % reps of cell i / reps. Units are
+  // independent by construction (seeds derive from (cell, rep) only),
+  // so any execution interleaving yields identical slots.
+  size_t unit_count = cells.size() * cfg.reps;
+  auto produced = RunUnits<UnitResult>(
+      unit_count, cfg.jobs, [&](size_t i) -> StatusOr<UnitResult> {
+        const CellSpec& c = cells[i / cfg.reps];
+        return RunUnit(flags, cfg, *c.variant, c.qd, c.ch, c.cache,
+                       static_cast<uint32_t>(i % cfg.reps), obs->enabled);
+      });
+  if (!produced.ok()) {
+    std::fprintf(stderr, "%s\n", produced.status().ToString().c_str());
+    return false;
+  }
+
+  // Canonical fold: cell-major, rep-minor -- exactly the order the
+  // serial loop used, regardless of which worker finished first.
+  for (size_t c = 0; c < cells.size(); ++c) {
+    FoldCell(cfg, produced->data() + c * cfg.reps, &grid_cells[c], obs);
+    grid->Add(std::move(grid_cells[c]));
   }
   return true;
 }
@@ -394,6 +459,7 @@ int Main(int argc, char** argv) {
     return Usage();
   }
   cfg.base_seed = SeedFromFlags(flags);
+  cfg.jobs = JobsFromFlags(flags);
 
   std::string sweep = flags.GetString("sweep", "both");
   if (sweep != "devices" && sweep != "ftls" && sweep != "both") {
@@ -561,6 +627,7 @@ int Main(int argc, char** argv) {
       }
     }
     manifest.seed = cfg.base_seed;
+    manifest.jobs = cfg.jobs;
     manifest.events = obs.events;
     manifest.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -

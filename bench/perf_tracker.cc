@@ -6,9 +6,10 @@
 //
 //   perf_tracker [--out=BENCH_simcore.json] [--io_count=20000]
 //                [--kind=zipfian --theta=... generator flags]
-//                [--label=ci]
+//                [--label=ci] [--jobs=N]
+//                [--speedup_reps=5] [--speedup_io_count=2000]
 //
-// Two legs:
+// Three legs:
 //  * replay throughput -- one synthetic workload replayed through the
 //    async multi-queue path (qd=8 over 4 channels, the explorer's hot
 //    configuration), reported as events/sec of pure replay (device
@@ -16,12 +17,23 @@
 //  * explorer cell rate -- four small design-space cells (sync + qd=8,
 //    two FTLs), each with the full per-cell cost a sweep pays (fresh
 //    device preparation + settling + replay), reported as
-//    cells/minute.
-// Peak RSS comes from getrusage(RUSAGE_SELF) after both legs.
+//    cells/minute;
+//  * parallel speedup -- the same multi-cell sweep replicated
+//    --speedup_reps times per cell (4 cells x reps units, each a fresh
+//    prepared device + replay, exactly the explorer's unit shape), run
+//    once serially and once fanned over --jobs workers through the
+//    parallel execution core (src/run/parallel_exec.h); the wall-clock
+//    ratio is recorded as parallel_speedup. --speedup_reps=0 skips the
+//    leg.
+// Peak RSS comes from getrusage(RUSAGE_SELF) after all legs.
 //
 // The output file is a JSON array of records; a new record is appended
 // by rewriting the closing bracket, so the file stays valid JSON after
-// every run and diffs line-per-record.
+// every run and diffs line-per-record. Record schema 2 (older schema-1
+// records remain in place and readable; consumers treat the added
+// fields -- schema, jobs, wall_seconds, parallel_speedup and the
+// speedup_* group -- as optional): one record distinguishes serial
+// from parallel runs by its jobs field.
 #include <sys/resource.h>
 
 #include <chrono>
@@ -36,6 +48,7 @@
 #include "src/device/async_sim_device.h"
 #include "src/obs/run_manifest.h"
 #include "src/run/trace_run.h"
+#include "src/trace/synthetic.h"
 #include "src/util/json_writer.h"
 
 namespace uflip {
@@ -83,6 +96,34 @@ uint64_t ReplayLeg(const Flags& flags, const DeviceProfile& profile,
                                  : run->samples.size();
 }
 
+/// One unit of the speedup leg: exactly the shape the explorer fans
+/// out -- a fresh device prepared with per-rep seed offsets, a settling
+/// pause, then a zipfian replay -- at a reduced io_count so the leg
+/// stays cheap. Silent on success; thread-safe (no shared state).
+Status SpeedupUnit(const DeviceProfile& base, FtlKind ftl, uint32_t qd,
+                   uint32_t rep, uint32_t io_count, uint64_t base_seed) {
+  DeviceProfile profile = base;
+  profile.ftl = ftl;
+  ZipfianTraceConfig cfg;
+  cfg.io_count = io_count;
+  cfg.seed = base_seed + rep;
+  ZipfianEventSource source(cfg);
+  auto dev = MakeDeviceWithState(profile, 0, false, /*channels=*/4, rep);
+  InterRunPause(dev.get());
+  ReplayOptions opts;
+  opts.rescale_lba = true;
+  opts.io_ignore = 0;
+  opts.keep_samples = false;
+  StatusOr<RunResult> run = Status::InvalidArgument("unreachable");
+  if (qd > 0) {
+    AsyncSimDevice async(std::move(dev), qd);
+    run = ExecuteTraceRun(&async, &source, opts);
+  } else {
+    run = ExecuteTraceRun(dev.get(), &source, opts);
+  }
+  return run.status();
+}
+
 double PeakRssMb() {
   struct rusage usage;
   if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
@@ -128,9 +169,11 @@ bool AppendToJsonArray(const std::string& path, const std::string& record) {
 
 int Main(int argc, char** argv) {
   Flags flags(argc, argv);
+  auto wall_start = std::chrono::steady_clock::now();
   std::string out = flags.GetString("out", "BENCH_simcore.json");
   std::string label = flags.GetString("label", "");
   uint64_t seed = SeedFromFlags(flags);
+  unsigned jobs = JobsFromFlags(flags);
 
   auto mtron = ProfileById("mtron");
   if (!mtron.ok()) {
@@ -177,9 +220,47 @@ int Main(int argc, char** argv) {
   std::printf("cell leg: %zu cells in %.3fs wall = %.1f cells/minute\n",
               cells.size(), cells_seconds, cells_per_minute);
 
+  // Leg 3: parallel speedup of the same sweep, replicated per cell and
+  // fanned over the parallel execution core. Serial first so the
+  // parallel pass runs against a warm allocator either way.
+  uint32_t speedup_reps = flags.GetUint32("speedup_reps", 5);
+  uint32_t speedup_io_count = flags.GetUint32("speedup_io_count", 2000);
+  size_t speedup_units = cells.size() * speedup_reps;
+  double speedup_serial_seconds = 0;
+  double speedup_parallel_seconds = 0;
+  double parallel_speedup = 0;
+  if (speedup_reps > 0) {
+    auto unit = [&](size_t i) -> Status {
+      const CellCfg& c = cells[i / speedup_reps];
+      return SpeedupUnit(*mtron, c.ftl, c.qd,
+                         static_cast<uint32_t>(i % speedup_reps),
+                         speedup_io_count, seed);
+    };
+    auto serial_start = std::chrono::steady_clock::now();
+    Status serial = ParallelFor(speedup_units, 1, unit);
+    speedup_serial_seconds = SecondsSince(serial_start);
+    auto parallel_start = std::chrono::steady_clock::now();
+    Status parallel = ParallelFor(speedup_units, jobs, unit);
+    speedup_parallel_seconds = SecondsSince(parallel_start);
+    if (!serial.ok() || !parallel.ok()) {
+      std::fprintf(stderr, "speedup leg failed: %s\n",
+                   (serial.ok() ? parallel : serial).ToString().c_str());
+      return 1;
+    }
+    parallel_speedup = speedup_parallel_seconds > 0
+                           ? speedup_serial_seconds / speedup_parallel_seconds
+                           : 0;
+    std::printf(
+        "speedup leg: %zu units, serial %.3fs vs %u jobs %.3fs = %.2fx\n",
+        speedup_units, speedup_serial_seconds, jobs, speedup_parallel_seconds,
+        parallel_speedup);
+  }
+
   double peak_rss_mb = PeakRssMb();
   JsonWriter json(2);
   json.BeginObject();
+  json.Key("schema");
+  json.Uint(2);
   json.Key("git");
   json.String(GitDescribe());
   if (!label.empty()) {
@@ -188,6 +269,8 @@ int Main(int argc, char** argv) {
   }
   json.Key("unix_time");
   json.Uint(static_cast<uint64_t>(std::time(nullptr)));
+  json.Key("jobs");
+  json.Uint(jobs);
   json.Key("events");
   json.Uint(events);
   json.Key("events_per_sec");
@@ -196,6 +279,18 @@ int Main(int argc, char** argv) {
   json.Uint(cells.size());
   json.Key("cells_per_minute");
   json.Double(cells_per_minute);
+  if (speedup_reps > 0) {
+    json.Key("speedup_units");
+    json.Uint(speedup_units);
+    json.Key("speedup_serial_seconds");
+    json.Double(speedup_serial_seconds);
+    json.Key("speedup_parallel_seconds");
+    json.Double(speedup_parallel_seconds);
+    json.Key("parallel_speedup");
+    json.Double(parallel_speedup);
+  }
+  json.Key("wall_seconds");
+  json.Double(SecondsSince(wall_start));
   json.Key("peak_rss_mb");
   json.Double(peak_rss_mb);
   json.EndObject();

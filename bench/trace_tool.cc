@@ -10,6 +10,7 @@
 //                       [--queue_depth=8] [--channels=4]
 //                       [--controller_us=50] [--pipelined=false]
 //                       [--stream-replay] [--metrics_out=m.json]
+//                       [--reps=5] [--jobs=N]
 //   trace_tool analyze  --trace=sweep.csv[.gz] | --kind=zipfian|oltp|...
 //                       [--top=10] [--hot_block=32768] [--width=72]
 //   trace_tool generate --kind=zipfian|oltp|multistream --out=synth.csv
@@ -47,6 +48,12 @@
 // top-N hottest LBA regions. `replay --metrics_out=m.json` writes a run
 // manifest (flags, seed, git, events/sec, full metric snapshot) for the
 // replay, same schema as ftl_compare's.
+//
+// `replay --reps=N` replays the identical trace on N independently-
+// prepared devices (prep seed offset r per rep) fanned across --jobs
+// worker threads (default hardware concurrency), pooling the reps
+// through ReplicateSet into mean +/- 95% CI and merged-sketch
+// percentiles; the output is byte-identical for every --jobs value.
 #include <algorithm>
 #include <cctype>
 #include <chrono>
@@ -64,6 +71,7 @@
 #include "src/obs/run_manifest.h"
 #include "src/obs/time_series.h"
 #include "src/report/ascii_chart.h"
+#include "src/run/parallel_exec.h"
 #include "src/run/trace_run.h"
 #include "src/trace/recording_device.h"
 #include "src/trace/synthetic.h"
@@ -254,6 +262,163 @@ int Record(const Flags& flags) {
   return 0;
 }
 
+/// --reps=N replicated replay: N independently-prepared devices (prep
+/// seed offset r, see bench_util.h "Seed-stream derivation") each
+/// replay the identical trace, fanned across --jobs workers
+/// (src/run/parallel_exec.h) and folded in rep order on this thread, so
+/// the output is byte-identical for every --jobs value. Every rep sees
+/// the same events, so the pooled 95% CI covers device-preparation
+/// variance only, not workload variability.
+int ReplicatedReplay(const Flags& flags, const ReplayOptions& opts,
+                     const std::string& path, bool stream_replay,
+                     const Trace& trace, const TraceMeta& meta,
+                     const DeviceProfile& profile, uint32_t channels,
+                     uint32_t queue_depth, uint32_t reps, unsigned jobs,
+                     const std::string& metrics_out,
+                     std::chrono::steady_clock::time_point wall_start) {
+  struct RepResult {
+    RunStats stats;
+    uint64_t makespan_us = 0;
+    uint64_t replayed = 0;
+    bool has_metrics = false;
+    MetricSnapshot metrics;
+    std::string device_name;
+    uint64_t capacity_bytes = 0;
+    uint32_t channels_used = 0;
+  };
+  bool want_metrics = !metrics_out.empty();
+  auto produced = RunUnits<RepResult>(
+      reps, jobs, [&](size_t rep) -> StatusOr<RepResult> {
+        RepResult out;
+        DeviceProfile p = profile;
+        auto dev = MakeDeviceWithState(p, 0, false, channels, rep);
+        InterRunPause(dev.get());
+        out.capacity_bytes = dev->capacity_bytes();
+        // Each rep pulls its own source: a fresh view of the shared
+        // materialized trace, or its own reader over the file.
+        std::unique_ptr<TraceReader> reader;
+        TraceView view(&trace);
+        EventSource* source = &view;
+        if (stream_replay) {
+          auto r = TraceReader::Open(path);
+          if (!r.ok()) {
+            return Status::IoError("trace open failed: " +
+                                   r.status().ToString());
+          }
+          reader = std::make_unique<TraceReader>(std::move(*r));
+          source = reader.get();
+        }
+        uint64_t start_us = dev->clock()->NowUs();
+        StatusOr<RunResult> run = Status::InvalidArgument("unreachable");
+        std::unique_ptr<AsyncSimDevice> async;
+        MetricRegistry registry;
+        if (queue_depth > 0) {
+          async =
+              std::make_unique<AsyncSimDevice>(std::move(dev), queue_depth);
+          out.device_name = async->name();
+          out.channels_used = async->channels();
+          if (want_metrics) async->AttachMetrics(&registry);
+          run = ExecuteTraceRun(async.get(), source, opts);
+        } else {
+          out.device_name = dev->name();
+          if (want_metrics) dev->AttachMetrics(&registry);
+          run = ExecuteTraceRun(dev.get(), source, opts);
+        }
+        if (!run.ok()) {
+          return Status::Internal("replay failed (rep " +
+                                  std::to_string(rep) +
+                                  "): " + run.status().ToString());
+        }
+        out.makespan_us =
+            (async ? async->clock() : dev->clock())->NowUs() - start_us;
+        if (want_metrics && run->metrics) {
+          out.has_metrics = true;
+          out.metrics = std::move(*run->metrics);
+        }
+        out.stats = run->Stats();
+        out.replayed = run->streamed_stats_all
+                           ? run->streamed_stats_all->count
+                           : run->samples.size();
+        return out;
+      });
+  if (!produced.ok()) {
+    std::fprintf(stderr, "%s\n", produced.status().ToString().c_str());
+    return 1;
+  }
+
+  // Canonical fold in rep order (deterministic merges only).
+  ReplicateSet set;
+  MetricSnapshot merged;
+  uint64_t total_replayed = 0;
+  uint64_t max_makespan_us = 0;
+  for (RepResult& r : *produced) {
+    set.Add(r.stats.Summary());
+    if (r.has_metrics) merged.Merge(r.metrics);
+    total_replayed += r.replayed;
+    max_makespan_us = std::max(max_makespan_us, r.makespan_us);
+  }
+  const RepResult& first = (*produced)[0];
+  std::printf(
+      "replayed %llu IOs (%u reps) of '%s' (recorded on %s) on %s, %s "
+      "timing",
+      static_cast<unsigned long long>(total_replayed), reps, path.c_str(),
+      meta.source.c_str(), first.device_name.c_str(),
+      ReplayTimingName(opts.timing));
+  if (opts.timing == ReplayTiming::kScaled) {
+    std::printf(" (x%.2f)", opts.time_scale);
+  }
+  if (stream_replay) {
+    std::printf(", streamed (O(1) memory, stats-only)");
+  }
+  if (opts.rescale_lba) {
+    std::printf(", LBAs rescaled %s -> %s",
+                FormatSize(meta.capacity_bytes).c_str(),
+                FormatSize(first.capacity_bytes).c_str());
+  }
+  if (queue_depth > 0) {
+    std::printf(", queue_depth=%u over %u channels", queue_depth,
+                first.channels_used);
+  }
+  std::printf("\n  makespan %.3fs (max over reps); rep r runs on a fresh "
+              "device prepared with seed offset r\n\n",
+              max_makespan_us / 1e6);
+
+  ReplicateAggregate agg = set.Aggregate();
+  std::printf("pooled response-time statistics (running phase, %u reps)\n",
+              reps);
+  std::printf("  %-16s %8s %10s %10s %10s %10s %10s\n", "", "IOs",
+              "mean ms", "p50 ms", "p95 ms", "p99 ms", "max ms");
+  std::printf("  %-16s %8llu %10.3f %10.3f %10.3f %10.3f %10.3f\n",
+              "pooled", static_cast<unsigned long long>(agg.count),
+              UsToMs(agg.mean), UsToMs(agg.p50), UsToMs(agg.p95),
+              UsToMs(agg.p99), UsToMs(agg.max));
+  std::printf(
+      "  mean %.3f ms +/- %.3f ms (95%% CI across rep means); "
+      "percentiles from merged t-digest sketches\n",
+      UsToMs(agg.mean), UsToMs(agg.mean_ci95_half));
+
+  if (!metrics_out.empty()) {
+    RunManifest manifest = ManifestFromFlags(flags, "trace_tool replay");
+    manifest.jobs = jobs;
+    manifest.events = total_replayed;
+    manifest.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    manifest.sim_makespan_us = max_makespan_us;
+    manifest.metrics = merged;
+    if (!manifest.WriteTo(metrics_out)) {
+      std::fprintf(stderr, "cannot write --metrics_out=%s\n",
+                   metrics_out.c_str());
+      return 1;
+    }
+    if (metrics_out != "-") {
+      std::printf("run manifest: %s\n", metrics_out.c_str());
+    }
+  }
+  return 0;
+}
+
 int Replay(const Flags& flags) {
   std::string path = flags.GetString("trace", "");
   if (path.empty()) return Usage();
@@ -290,6 +455,12 @@ int Replay(const Flags& flags) {
   uint32_t queue_depth =
       flags.GetUint32("queue_depth", 0);
   uint32_t channels = flags.GetUint32("channels", 0);
+  uint32_t reps = flags.GetUint32("reps", 1);
+  if (reps == 0) {
+    std::fprintf(stderr, "--reps must be >= 1\n");
+    return 2;
+  }
+  unsigned jobs = JobsFromFlags(flags);
 
   // Streaming replay pulls events straight off the TraceReader as the
   // device consumes them; the materialized path reads the whole trace
@@ -331,6 +502,11 @@ int Replay(const Flags& flags) {
   double controller_us = flags.GetDouble("controller_us", -1);
   if (controller_us >= 0) profile->controller.controller_us = controller_us;
   profile->controller.pipelined = flags.GetBool("pipelined", true);
+  if (reps > 1) {
+    return ReplicatedReplay(flags, opts, path, stream_replay, trace, meta,
+                            *profile, channels, queue_depth, reps, jobs,
+                            metrics_out, wall_start);
+  }
   auto dev = MakeDeviceWithState(std::move(*profile), 0, true, channels);
   InterRunPause(dev.get());
 
@@ -390,6 +566,7 @@ int Replay(const Flags& flags) {
 
   if (!metrics_out.empty()) {
     RunManifest manifest = ManifestFromFlags(flags, "trace_tool replay");
+    manifest.jobs = jobs;
     manifest.events = replayed;
     manifest.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -

@@ -28,6 +28,7 @@ std::string RunManifest::ToJson(int indent) const {
                    [](const auto& a, const auto& b) { return a.first < b.first; });
   for (const auto& [k, v] : sorted) w.Key(k).String(v);
   w.EndObject();
+  w.Key("jobs").Uint(jobs);
   w.Key("events").Uint(events);
   w.Key("wall_seconds").Double(wall_seconds);
   w.Key("events_per_sec").Double(EventsPerSec());

@@ -29,6 +29,10 @@ struct RunManifest {
   std::string tool;  // emitting binary, e.g. "ftl_compare"
   std::vector<std::pair<std::string, std::string>> flags;
   uint64_t seed = 0;
+  /// Worker threads the run executed on (parallel execution core). A
+  /// config field like `flags`, not a result: every jobs value produces
+  /// identical simulation output, only wall_seconds moves.
+  uint32_t jobs = 1;
   uint64_t events = 0;          // IOs simulated across the whole run
   double wall_seconds = 0;      // host wall time of the simulation
   uint64_t sim_makespan_us = 0;  // simulated completion time, max over reps

@@ -1,0 +1,58 @@
+#include "src/run/parallel_exec.h"
+
+#include <algorithm>
+#include <exception>
+#include <future>
+#include <thread>
+
+#include "src/util/thread_pool.h"
+
+namespace uflip {
+
+unsigned DefaultJobs() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+Status ParallelFor(size_t count, unsigned jobs,
+                   const std::function<Status(size_t)>& unit) {
+  if (count == 0) return Status::Ok();
+  if (jobs <= 1 || count == 1) {
+    // Inline: same unit order, same fold order, no threads. A failure
+    // still runs the remaining units so the inline path reports the
+    // same (lowest-index) error the pooled path would.
+    Status first = Status::Ok();
+    for (size_t i = 0; i < count; ++i) {
+      Status s = unit(i);
+      if (!s.ok() && first.ok()) first = s;
+    }
+    return first;
+  }
+
+  size_t workers = std::min<size_t>(jobs, count);
+  std::vector<std::future<Status>> results;
+  results.reserve(count);
+  {
+    ThreadPool pool(static_cast<unsigned>(workers));
+    for (size_t i = 0; i < count; ++i) {
+      results.push_back(pool.Submit([&unit, i] { return unit(i); }));
+    }
+    // Pool destructor drains: every unit has run when it returns.
+  }
+  // Scan futures in index order so the reported failure (or rethrown
+  // exception) is the lowest-index one regardless of completion order.
+  Status first = Status::Ok();
+  std::exception_ptr thrown;
+  for (std::future<Status>& f : results) {
+    try {
+      Status s = f.get();
+      if (!s.ok() && first.ok()) first = s;
+    } catch (...) {
+      if (!thrown) thrown = std::current_exception();
+    }
+  }
+  if (thrown) std::rethrow_exception(thrown);
+  return first;
+}
+
+}  // namespace uflip

@@ -1,0 +1,72 @@
+// Parallel execution core: fans independent simulation units -- explorer
+// grid cells, per-cell repetitions, replicated replays -- across a
+// worker pool and hands their results back to the coordinating thread
+// in unit-index order.
+//
+// The contract every parallel feature in this repo builds on:
+//
+//   workers produce mergeable partials, the coordinator folds them in
+//   canonical (unit-index) order.
+//
+// A unit must be self-contained: its own freshly prepared device, its
+// own RNG streams (derived from the unit's *coordinates* -- cell axes
+// and repetition index -- never from a worker id, see bench_util.h
+// "Seed-stream derivation"), its own RunStats / sketch /
+// MetricRegistry. Units share nothing mutable, so any interleaving of
+// their execution produces the same per-unit results; and because the
+// fold runs on one thread in a fixed order over merge operations that
+// are themselves deterministic (ReplicateSet, MetricSnapshot::Merge,
+// TDigest::Merge), the combined output of a --jobs=N run is
+// byte-identical to --jobs=1. Nothing here may print, and callers must
+// not print from inside a unit: all reporting happens after the fold.
+#ifndef UFLIP_RUN_PARALLEL_EXEC_H_
+#define UFLIP_RUN_PARALLEL_EXEC_H_
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace uflip {
+
+/// Worker count when the caller does not choose one:
+/// std::thread::hardware_concurrency(), never below 1.
+unsigned DefaultJobs();
+
+/// Runs unit(i) for every i in [0, count) on up to `jobs` workers.
+/// jobs <= 1 (or count <= 1) runs inline on the calling thread with no
+/// pool at all, so a --jobs=1 run involves zero thread machinery.
+/// Every unit is executed even when another unit fails -- units are
+/// independent by contract, and completing them keeps the failure
+/// deterministic -- and the returned status is the *lowest-index*
+/// failure (Ok when all units succeeded), regardless of completion
+/// order. An exception escaping a unit is rethrown on the calling
+/// thread, again lowest index first.
+Status ParallelFor(size_t count, unsigned jobs,
+                   const std::function<Status(size_t)>& unit);
+
+/// Fan-out with result collection: produce(i) fills slot i of the
+/// returned vector, which is therefore in unit-index order no matter
+/// how execution interleaved. On failure, returns the lowest-index
+/// error (all units still ran). Result must be default-constructible
+/// and movable.
+template <typename Result>
+StatusOr<std::vector<Result>> RunUnits(
+    size_t count, unsigned jobs,
+    const std::function<StatusOr<Result>(size_t)>& produce) {
+  std::vector<Result> slots(count);
+  Status status = ParallelFor(count, jobs, [&](size_t i) -> Status {
+    StatusOr<Result> r = produce(i);
+    if (!r.ok()) return r.status();
+    slots[i] = std::move(*r);
+    return Status::Ok();
+  });
+  if (!status.ok()) return status;
+  return slots;
+}
+
+}  // namespace uflip
+
+#endif  // UFLIP_RUN_PARALLEL_EXEC_H_

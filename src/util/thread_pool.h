@@ -1,0 +1,77 @@
+// Fixed-size worker thread pool, the execution substrate of the
+// parallel simulation core (src/run/parallel_exec.h). Deliberately
+// minimal:
+//
+//  * FIFO dispatch. Tasks start in submission order (workers pull from
+//    one queue), which is what lets callers reason about progress; task
+//    *completion* order is of course scheduler-dependent, so nothing
+//    downstream may depend on it -- results go into caller-indexed
+//    slots and are folded on the coordinating thread.
+//  * Exception propagation. Submit returns a std::future carrying the
+//    task's result or its exception; a worker never swallows a throw
+//    and never dies from one.
+//  * Run-to-completion shutdown. The destructor (and Wait) drains every
+//    task already submitted -- work handed to the pool is never
+//    silently dropped, so a coordinator that fanned out N units can
+//    destroy the pool and trust all N slots were filled.
+#ifndef UFLIP_UTIL_THREAD_POOL_H_
+#define UFLIP_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace uflip {
+
+class ThreadPool {
+ public:
+  /// Starts `threads` workers (at least one).
+  explicit ThreadPool(unsigned threads);
+
+  /// Drains all pending tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned threads() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueues `fn` and returns the future of its result. An exception
+  /// thrown by `fn` is captured into the future and rethrown on get().
+  template <typename F>
+  auto Submit(F fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> result = task->get_future();
+    Enqueue([task] { (*task)(); });
+    return result;
+  }
+
+  /// Blocks until every task submitted so far has finished executing.
+  void Wait();
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: "there is work (or stop)"
+  std::condition_variable idle_cv_;  // waiters: "queue empty, all idle"
+  std::deque<std::function<void()>> queue_;
+  size_t running_ = 0;  // tasks currently executing
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace uflip
+
+#endif  // UFLIP_UTIL_THREAD_POOL_H_

@@ -1,0 +1,115 @@
+// ThreadPool tests: FIFO start order, future-based results and
+// exception propagation, Wait() draining, and the destructor's
+// run-to-completion guarantee under pending work. These are the
+// properties the parallel execution core (src/run/parallel_exec.h)
+// leans on for its determinism contract.
+#include "src/util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace uflip {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(count.load(), 100);
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolStartsTasksInSubmissionOrder) {
+  // With one worker the FIFO queue forces strict execution order.
+  std::vector<int> order;
+  std::mutex mu;
+  ThreadPool pool(1);
+  for (int i = 0; i < 32; ++i) {
+    pool.Submit([&order, &mu, i] {
+      std::lock_guard<std::mutex> lock(mu);
+      order.push_back(i);
+    });
+  }
+  pool.Wait();
+  ASSERT_EQ(order.size(), 32u);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPoolTest, FuturesCarryResults) {
+  ThreadPool pool(3);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(futures[i].get(), i * i);
+}
+
+TEST(ThreadPoolTest, FuturePropagatesException) {
+  ThreadPool pool(2);
+  std::future<int> ok = pool.Submit([] { return 7; });
+  std::future<int> bad =
+      pool.Submit([]() -> int { throw std::runtime_error("unit blew up"); });
+  EXPECT_EQ(ok.get(), 7);
+  try {
+    bad.get();
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "unit blew up");
+  }
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingWork) {
+  // Queue far more tasks than workers and destroy the pool while most
+  // are still pending: every task must still run (futures from a
+  // drained pool would otherwise throw broken_promise).
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      futures.push_back(pool.Submit([&count] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        count.fetch_add(1);
+      }));
+    }
+    // No Wait(): the destructor is the drain.
+  }
+  EXPECT_EQ(count.load(), 64);
+  for (auto& f : futures) EXPECT_NO_THROW(f.get());
+}
+
+TEST(ThreadPoolTest, WaitBlocksUntilIdleAndIsReusable) {
+  std::atomic<int> count{0};
+  ThreadPool pool(2);
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      pool.Submit([&count] {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        count.fetch_add(1);
+      });
+    }
+    pool.Wait();
+    EXPECT_EQ(count.load(), 8 * (round + 1));
+  }
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  std::future<int> f = pool.Submit([] { return 42; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+}  // namespace
+}  // namespace uflip
