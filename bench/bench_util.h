@@ -172,6 +172,11 @@ inline uint32_t SeedFromFlags(const Flags& flags, uint32_t def = 1) {
 // comparable), so no per-cell term appears above. Units that should be
 // decorrelated across cells (perf_tracker's throughput legs) offset
 // the base seed per cell instead.
+//
+// This map is machine-enforced: tools/lint/uflip_lint's `seed-band`
+// rule rejects literal seeds and raw --seed flag reads in bench/, so
+// every derivation flows through SeedFromFlags or the band constants
+// below (see "Static analysis & linting" in README.md).
 inline constexpr uint64_t kPrepSeedBand = (1ULL << 32) | 0xF1A5;
 inline constexpr uint64_t kSettleSeedBand = (2ULL << 32) | 0xF1A5;
 

@@ -535,6 +535,7 @@ int Main(int argc, char** argv) {
     obs.explain_spec = "*";  // bare --explain: first cell of the sweep
   }
   obs.enabled = !metrics_out.empty() || !obs.explain_spec.empty();
+  // uflip-lint: allow(wall-clock) -- manifest wall_seconds provenance
   auto wall_start = std::chrono::steady_clock::now();
 
   if (sweep != "ftls") {
@@ -630,6 +631,7 @@ int Main(int argc, char** argv) {
     manifest.jobs = cfg.jobs;
     manifest.events = obs.events;
     manifest.wall_seconds =
+        // uflip-lint: allow(wall-clock) -- manifest wall_seconds provenance
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       wall_start)
             .count();

@@ -56,6 +56,7 @@ namespace bench {
 namespace {
 
 double SecondsSince(std::chrono::steady_clock::time_point start) {
+  // uflip-lint: allow(wall-clock) -- perf tracker measures real elapsed time
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start)
       .count();
@@ -78,6 +79,7 @@ uint64_t ReplayLeg(const Flags& flags, const DeviceProfile& profile,
   opts.rescale_lba = true;
   opts.io_ignore = 0;
   opts.keep_samples = false;
+  // uflip-lint: allow(wall-clock) -- wall-clock throughput timing leg
   auto start = std::chrono::steady_clock::now();
   StatusOr<RunResult> run = Status::InvalidArgument("unreachable");
   if (queue_depth > 0) {
@@ -169,6 +171,7 @@ bool AppendToJsonArray(const std::string& path, const std::string& record) {
 
 int Main(int argc, char** argv) {
   Flags flags(argc, argv);
+  // uflip-lint: allow(wall-clock) -- whole-run wall time for the perf record
   auto wall_start = std::chrono::steady_clock::now();
   std::string out = flags.GetString("out", "BENCH_simcore.json");
   std::string label = flags.GetString("label", "");
@@ -202,6 +205,7 @@ int Main(int argc, char** argv) {
                                       {FtlKind::kPageMapping, 8},
                                       {FtlKind::kFast, 0},
                                       {FtlKind::kFast, 8}};
+  // uflip-lint: allow(wall-clock) -- cells/minute timing leg
   auto cells_start = std::chrono::steady_clock::now();
   for (size_t i = 0; i < cells.size(); ++i) {
     DeviceProfile profile = *mtron;
@@ -236,9 +240,11 @@ int Main(int argc, char** argv) {
                          static_cast<uint32_t>(i % speedup_reps),
                          speedup_io_count, seed);
     };
+    // uflip-lint: allow(wall-clock) -- serial leg of the parallel-speedup probe
     auto serial_start = std::chrono::steady_clock::now();
     Status serial = ParallelFor(speedup_units, 1, unit);
     speedup_serial_seconds = SecondsSince(serial_start);
+    // uflip-lint: allow(wall-clock) -- parallel leg of the parallel-speedup probe
     auto parallel_start = std::chrono::steady_clock::now();
     Status parallel = ParallelFor(speedup_units, jobs, unit);
     speedup_parallel_seconds = SecondsSince(parallel_start);
@@ -268,6 +274,7 @@ int Main(int argc, char** argv) {
     json.String(label);
   }
   json.Key("unix_time");
+  // uflip-lint: allow(wall-clock) -- perf-history record timestamp
   json.Uint(static_cast<uint64_t>(std::time(nullptr)));
   json.Key("jobs");
   json.Uint(jobs);

@@ -18,6 +18,7 @@ void BM_SimulatedIo(benchmark::State& state, const char* profile_id,
                     bool random_writes) {
   auto profile = ProfileById(profile_id);
   auto dev = CreateSimDevice(*profile, nullptr, 64ULL << 20);
+  // uflip-lint: allow(seed-band) -- fixed-seed microbench stream, not an experiment seed
   Rng rng(1);
   uint64_t cap = (*dev)->capacity_bytes();
   uint64_t seq = 0;
@@ -47,6 +48,7 @@ void BM_PatternGeneration(benchmark::State& state) {
 }
 
 void BM_RunStats(benchmark::State& state) {
+  // uflip-lint: allow(seed-band) -- fixed-seed microbench stream, not an experiment seed
   Rng rng(2);
   std::vector<double> samples(static_cast<size_t>(state.range(0)));
   for (auto& s : samples) s = rng.UniformDouble() * 1000.0;
@@ -57,6 +59,7 @@ void BM_RunStats(benchmark::State& state) {
 }
 
 void BM_PhaseAnalysis(benchmark::State& state) {
+  // uflip-lint: allow(seed-band) -- fixed-seed microbench stream, not an experiment seed
   Rng rng(3);
   std::vector<double> rt(4096);
   for (size_t i = 0; i < rt.size(); ++i) {

@@ -402,6 +402,7 @@ int ReplicatedReplay(const Flags& flags, const ReplayOptions& opts,
     manifest.jobs = jobs;
     manifest.events = total_replayed;
     manifest.wall_seconds =
+        // uflip-lint: allow(wall-clock) -- manifest wall_seconds provenance
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       wall_start)
             .count();
@@ -423,6 +424,7 @@ int Replay(const Flags& flags) {
   std::string path = flags.GetString("trace", "");
   if (path.empty()) return Usage();
   std::string metrics_out = flags.GetString("metrics_out", "");
+  // uflip-lint: allow(wall-clock) -- manifest wall_seconds provenance
   auto wall_start = std::chrono::steady_clock::now();
   bool stream_replay = flags.GetBool("stream-replay", false) ||
                        flags.GetBool("stream_replay", false);
@@ -569,6 +571,7 @@ int Replay(const Flags& flags) {
     manifest.jobs = jobs;
     manifest.events = replayed;
     manifest.wall_seconds =
+        // uflip-lint: allow(wall-clock) -- manifest wall_seconds provenance
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       wall_start)
             .count();

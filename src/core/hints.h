@@ -38,7 +38,7 @@ struct HintReport {
 /// Evaluates all seven hints on a device (runs the granularity,
 /// alignment, mix, pause and parallelism probes it needs; the Table 3
 /// row supplies the rest). The device must be in a well-defined state.
-StatusOr<HintReport> EvaluateHints(BlockDevice* device, const Table3Row& row,
+[[nodiscard]] StatusOr<HintReport> EvaluateHints(BlockDevice* device, const Table3Row& row,
                                    const MicroBenchConfig& cfg,
                                    ProgressFn progress = nullptr);
 

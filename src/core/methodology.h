@@ -53,12 +53,12 @@ struct StateEnforcementReport {
 
 /// Random-state enforcement: random writes of random size over the whole
 /// device.
-StatusOr<StateEnforcementReport> EnforceRandomState(
+[[nodiscard]] StatusOr<StateEnforcementReport> EnforceRandomState(
     BlockDevice* device, const StateEnforcementOptions& options = {});
 
 /// Sequential-state enforcement: one sequential rewrite of the device
 /// with fixed-size IOs (faster but less stable, Section 4.1).
-StatusOr<StateEnforcementReport> EnforceSequentialState(
+[[nodiscard]] StatusOr<StateEnforcementReport> EnforceSequentialState(
     BlockDevice* device, uint32_t io_bytes = 128 * 1024);
 
 // ---------------------------------------------------------------------
@@ -96,7 +96,7 @@ struct PauseCalibrationOptions {
 
 /// Runs SR ; RW ; SR and measures how long the random writes keep
 /// affecting the reads.
-StatusOr<PauseCalibration> CalibratePause(
+[[nodiscard]] StatusOr<PauseCalibration> CalibratePause(
     BlockDevice* device, const PauseCalibrationOptions& options = {});
 
 // ---------------------------------------------------------------------
@@ -113,7 +113,7 @@ class TargetSpaceAllocator {
 
   /// Allocates `size` bytes aligned to `align`; NotFound when the device
   /// is exhausted (caller must reset state and Rewind()).
-  StatusOr<uint64_t> Allocate(uint64_t size, uint64_t align = 1 << 20);
+  [[nodiscard]] StatusOr<uint64_t> Allocate(uint64_t size, uint64_t align = 1 << 20);
 
   void Rewind(uint64_t start_offset = 0) { next_ = start_offset; }
   uint64_t remaining() const { return capacity_ > next_ ? capacity_ - next_ : 0; }
@@ -146,7 +146,7 @@ class BenchmarkPlan {
   /// Produces the ordered steps (including the initial state
   /// enforcement). Sequential-write runs receive adjusted
   /// target_offsets.
-  StatusOr<std::vector<PlanStep>> Build();
+  [[nodiscard]] StatusOr<std::vector<PlanStep>> Build();
 
   /// Number of state resets the plan needs (0 for big-enough devices,
   /// matching the paper's "for large flash devices the state is in fact

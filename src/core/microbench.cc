@@ -190,7 +190,14 @@ StatusOr<std::vector<Experiment>> BuildAndRunSimple(
         default:
           return Status::Internal("not a simple micro-benchmark");
       }
-      if (!spec.Validate().ok()) continue;
+      Status valid = spec.Validate();
+      if (!valid.ok()) {
+        // Sweeps probe parameter grids whose corners can be infeasible
+        // (e.g. a shift past the target size); those points are skipped,
+        // not errors.
+        IgnoreStatus(valid, "infeasible sweep point skipped by design");
+        continue;
+      }
       spec.label = baseline;
       points.emplace_back(static_cast<double>(value), spec);
     }

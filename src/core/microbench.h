@@ -87,13 +87,13 @@ std::vector<int64_t> DefaultSweep(MicroBench mb, const MicroBenchConfig& cfg);
 using ProgressFn =
     std::function<void(const std::string& experiment, double param)>;
 
-StatusOr<std::vector<Experiment>> RunMicroBench(
+[[nodiscard]] StatusOr<std::vector<Experiment>> RunMicroBench(
     BlockDevice* device, MicroBench mb, const MicroBenchConfig& cfg,
     ProgressFn progress = nullptr);
 
 /// Lower-level helper: executes a prepared list of (param, spec) points
 /// as one experiment.
-StatusOr<Experiment> RunSweep(
+[[nodiscard]] StatusOr<Experiment> RunSweep(
     BlockDevice* device, const std::string& name,
     const std::string& param_name,
     const std::vector<std::pair<double, PatternSpec>>& points,

@@ -71,7 +71,7 @@ struct Table3Row {
 
 /// Runs the component experiments and extracts the row. The device must
 /// already be in a well-defined (random) state. Progress may be null.
-StatusOr<Table3Row> ExtractTable3Row(BlockDevice* device,
+[[nodiscard]] StatusOr<Table3Row> ExtractTable3Row(BlockDevice* device,
                                      const Table3Config& config,
                                      ProgressFn progress = nullptr);
 

@@ -75,7 +75,7 @@ class AsyncBlockDevice {
   /// Submits one IO at time `t_us` (device clock domain). Blocks the
   /// submitter while the queue is full; the wait is charged to the IO's
   /// response time. Submission times must be nondecreasing.
-  virtual StatusOr<IoToken> Enqueue(uint64_t t_us, const IoRequest& req) = 0;
+  [[nodiscard]] virtual StatusOr<IoToken> Enqueue(uint64_t t_us, const IoRequest& req) = 0;
 
   /// Pops every completion record the device has resolved, ordered by
   /// (complete_us, token). Simulated and shimmed devices resolve
@@ -159,7 +159,7 @@ class SyncAdapter : public BlockDevice {
   uint64_t capacity_bytes() const override {
     return async_->capacity_bytes();
   }
-  StatusOr<double> SubmitAt(uint64_t t_us, const IoRequest& req) override;
+  [[nodiscard]] StatusOr<double> SubmitAt(uint64_t t_us, const IoRequest& req) override;
   Clock* clock() override { return async_->clock(); }
   std::string name() const override { return async_->name() + "+sync"; }
   MetricRegistry* metrics_registry() const override {
@@ -187,7 +187,7 @@ class AsyncShim : public AsyncBlockDevice {
     return inner_->capacity_bytes();
   }
   uint32_t queue_depth() const override { return queue_depth_; }
-  StatusOr<IoToken> Enqueue(uint64_t t_us, const IoRequest& req) override;
+  [[nodiscard]] StatusOr<IoToken> Enqueue(uint64_t t_us, const IoRequest& req) override;
   std::vector<IoCompletion> PollCompletions() override;
   std::vector<IoCompletion> DrainUntil(uint64_t t_us) override;
   size_t pending() const override { return ledger_.pending(); }

@@ -43,7 +43,7 @@ class AsyncSimDevice : public AsyncBlockDevice {
 
   uint64_t capacity_bytes() const override { return sim_->capacity_bytes(); }
   uint32_t queue_depth() const override { return queue_depth_; }
-  StatusOr<IoToken> Enqueue(uint64_t t_us, const IoRequest& req) override;
+  [[nodiscard]] StatusOr<IoToken> Enqueue(uint64_t t_us, const IoRequest& req) override;
   std::vector<IoCompletion> PollCompletions() override;
   std::vector<IoCompletion> DrainUntil(uint64_t t_us) override;
   size_t pending() const override { return ledger_.pending(); }

@@ -42,14 +42,14 @@ class BlockDevice {
   /// Submits one IO at time `t_us` (device clock domain) and returns its
   /// response time in microseconds. The device serializes overlapping
   /// submissions: an IO submitted while the device is busy waits.
-  virtual StatusOr<double> SubmitAt(uint64_t t_us, const IoRequest& req) = 0;
+  [[nodiscard]] virtual StatusOr<double> SubmitAt(uint64_t t_us, const IoRequest& req) = 0;
 
   /// Submits at the clock's current time and advances the clock past the
   /// IO's completion. This is the "consecutive" submission mode of the
   /// baseline patterns. Fractional response time is carried over to the
   /// next Submit (for the device's lifetime: the carry is real unslept
   /// time, so it must not be dropped at phase boundaries either).
-  StatusOr<double> Submit(const IoRequest& req) {
+  [[nodiscard]] StatusOr<double> Submit(const IoRequest& req) {
     uint64_t t = clock()->NowUs();
     StatusOr<double> rt = SubmitAt(t, req);
     if (rt.ok()) {

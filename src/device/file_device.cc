@@ -13,6 +13,24 @@
 #endif
 
 namespace uflip {
+namespace {
+
+// Thread-safe strerror: plain strerror writes into shared static
+// storage (concurrency-mt-unsafe), and the device layer runs under the
+// parallel execution core.
+std::string ErrnoString(int err) {
+  char buf[256];
+#if defined(_GNU_SOURCE) && defined(__GLIBC__)
+  return strerror_r(err, buf, sizeof(buf));  // GNU variant returns char*
+#else
+  if (strerror_r(err, buf, sizeof(buf)) != 0) {
+    return "errno " + std::to_string(err);
+  }
+  return buf;
+#endif
+}
+
+}  // namespace
 
 FileDevice::FileDevice(std::string path, int fd, uint64_t capacity,
                        bool direct)
@@ -38,20 +56,19 @@ StatusOr<std::unique_ptr<FileDevice>> FileDevice::Open(
     direct = false;
   }
   if (fd < 0) {
-    return Status::IoError("open(" + path + "): " + std::strerror(errno));
+    return Status::IoError("open(" + path + "): " + ErrnoString(errno));
   }
   struct stat st;
   if (::fstat(fd, &st) != 0) {
     ::close(fd);
-    return Status::IoError("fstat(" + path + "): " + std::strerror(errno));
+    return Status::IoError("fstat(" + path + "): " + ErrnoString(errno));
   }
   uint64_t capacity = 0;
   if (S_ISBLK(st.st_mode)) {
 #ifdef BLKGETSIZE64
     if (::ioctl(fd, BLKGETSIZE64, &capacity) != 0) {
       ::close(fd);
-      return Status::IoError("BLKGETSIZE64 failed: " +
-                             std::string(std::strerror(errno)));
+      return Status::IoError("BLKGETSIZE64 failed: " + ErrnoString(errno));
     }
 #endif
   } else {
@@ -60,8 +77,7 @@ StatusOr<std::unique_ptr<FileDevice>> FileDevice::Open(
       if (::ftruncate(fd, static_cast<off_t>(options.create_size_bytes)) !=
           0) {
         ::close(fd);
-        return Status::IoError("ftruncate: " +
-                               std::string(std::strerror(errno)));
+        return Status::IoError("ftruncate: " + ErrnoString(errno));
       }
       capacity = options.create_size_bytes;
     }
@@ -109,7 +125,7 @@ StatusOr<double> FileDevice::SubmitAt(uint64_t t_us, const IoRequest& req) {
   if (n != static_cast<ssize_t>(req.size)) {
     return Status::IoError(std::string(req.mode == IoMode::kRead ? "pread"
                                                                  : "pwrite") +
-                           " failed: " + std::strerror(errno));
+                           " failed: " + ErrnoString(errno));
   }
   uint64_t end = clock_.NowUs();
   return static_cast<double>(end - begin);

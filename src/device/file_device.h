@@ -32,11 +32,11 @@ class FileDevice : public BlockDevice {
   ~FileDevice() override;
 
   /// Opens `path` (regular file or block device).
-  static StatusOr<std::unique_ptr<FileDevice>> Open(
+  [[nodiscard]] static StatusOr<std::unique_ptr<FileDevice>> Open(
       const std::string& path, const FileDeviceOptions& options);
 
   uint64_t capacity_bytes() const override { return capacity_; }
-  StatusOr<double> SubmitAt(uint64_t t_us, const IoRequest& req) override;
+  [[nodiscard]] StatusOr<double> SubmitAt(uint64_t t_us, const IoRequest& req) override;
   Clock* clock() override { return &clock_; }
   std::string name() const override { return "file:" + path_; }
 

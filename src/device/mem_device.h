@@ -34,7 +34,7 @@ class MemDevice : public BlockDevice {
 
   uint64_t capacity_bytes() const override { return config_.capacity_bytes; }
 
-  StatusOr<double> SubmitAt(uint64_t t_us, const IoRequest& req) override {
+  [[nodiscard]] StatusOr<double> SubmitAt(uint64_t t_us, const IoRequest& req) override {
     if (req.size == 0) return Status::InvalidArgument("zero-sized IO");
     if (req.offset + req.size > config_.capacity_bytes) {
       return Status::OutOfRange("IO beyond device capacity");

@@ -64,7 +64,7 @@ struct DeviceProfile {
   bool write_cache = false;
   WriteCacheConfig cache;
 
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 };
 
 /// All eleven devices of Table 2, in the paper's order.
@@ -74,11 +74,11 @@ const std::vector<DeviceProfile>& AllProfiles();
 std::vector<DeviceProfile> RepresentativeProfiles();
 
 /// Looks up a profile by id ("memoright", "mtron", ...).
-StatusOr<DeviceProfile> ProfileById(const std::string& id);
+[[nodiscard]] StatusOr<DeviceProfile> ProfileById(const std::string& id);
 
 /// Instantiates a simulated device from a profile. `capacity_override`
 /// (bytes, 0 = profile default) shrinks or grows the simulated flash.
-StatusOr<std::unique_ptr<SimDevice>> CreateSimDevice(
+[[nodiscard]] StatusOr<std::unique_ptr<SimDevice>> CreateSimDevice(
     const DeviceProfile& profile,
     std::shared_ptr<VirtualClock> clock = nullptr,
     uint64_t capacity_override = 0);

@@ -85,7 +85,7 @@ struct ControllerConfig {
     return !pipelined || controller_us > 0;
   }
 
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 
   double BusUs(uint32_t bytes, IoMode mode) const {
     double mbs = mode == IoMode::kRead ? bus_read_mb_s : bus_write_mb_s;
@@ -105,7 +105,7 @@ class SimDevice : public BlockDevice {
     return ftl_->logical_pages() * ftl_->page_bytes();
   }
 
-  StatusOr<double> SubmitAt(uint64_t t_us, const IoRequest& req) override;
+  [[nodiscard]] StatusOr<double> SubmitAt(uint64_t t_us, const IoRequest& req) override;
 
   Clock* clock() override { return clock_.get(); }
   std::string name() const override { return name_; }
@@ -113,10 +113,10 @@ class SimDevice : public BlockDevice {
   /// Test/data-path API: write with caller-provided per-page tokens
   /// (tokens.size() must equal the number of flash pages the byte range
   /// covers, partially covered edge pages included).
-  StatusOr<double> WriteTokens(uint64_t t_us, uint64_t offset, uint32_t size,
+  [[nodiscard]] StatusOr<double> WriteTokens(uint64_t t_us, uint64_t offset, uint32_t size,
                                const std::vector<uint64_t>& tokens);
   /// Reads the per-page tokens covering [offset, offset+size).
-  StatusOr<std::vector<uint64_t>> ReadTokens(uint64_t offset, uint32_t size);
+  [[nodiscard]] StatusOr<std::vector<uint64_t>> ReadTokens(uint64_t offset, uint32_t size);
 
   Ftl* ftl() { return ftl_.get(); }
   const Ftl* ftl() const { return ftl_.get(); }
@@ -147,14 +147,14 @@ class SimDevice : public BlockDevice {
   /// and content state but not the device timeline; the synchronous
   /// path and AsyncSimDevice's multi-queue dispatch share it so both
   /// cost IOs identically.
-  StatusOr<ServiceCost> ServiceUs(double idle_us, const IoRequest& req,
+  [[nodiscard]] StatusOr<ServiceCost> ServiceUs(double idle_us, const IoRequest& req,
                                   const uint64_t* write_tokens,
                                   std::vector<uint64_t>* read_tokens);
 
  private:
   /// Core IO path; `write_tokens` may be nullptr (benchmark writes use a
   /// device-generated version counter so content still changes).
-  StatusOr<double> DoIo(uint64_t t_us, const IoRequest& req,
+  [[nodiscard]] StatusOr<double> DoIo(uint64_t t_us, const IoRequest& req,
                         const uint64_t* write_tokens,
                         std::vector<uint64_t>* read_tokens);
 

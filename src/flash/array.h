@@ -69,19 +69,19 @@ class FlashArray {
 
   /// Batched page reads; *time_us is the makespan across channels.
   /// tokens (optional) receives one token per requested page.
-  Status ReadPages(const std::vector<GlobalPage>& pages,
+  [[nodiscard]] Status ReadPages(const std::vector<GlobalPage>& pages,
                    std::vector<uint64_t>* tokens, double* time_us);
 
   /// Batched page programs; *time_us is the makespan across channels.
-  Status ProgramPages(const std::vector<PageWrite>& writes, double* time_us);
+  [[nodiscard]] Status ProgramPages(const std::vector<PageWrite>& writes, double* time_us);
 
   /// Batched block erases; *time_us is the makespan across channels.
-  Status EraseBlocks(const std::vector<uint64_t>& blocks, double* time_us);
+  [[nodiscard]] Status EraseBlocks(const std::vector<uint64_t>& blocks, double* time_us);
 
   /// Single-op conveniences (serial cost).
-  Status ReadPage(GlobalPage p, uint64_t* token, double* time_us);
-  Status ProgramPage(GlobalPage p, uint64_t token, double* time_us);
-  Status EraseBlock(uint64_t block, double* time_us);
+  [[nodiscard]] Status ReadPage(GlobalPage p, uint64_t* token, double* time_us);
+  [[nodiscard]] Status ProgramPage(GlobalPage p, uint64_t token, double* time_us);
+  [[nodiscard]] Status EraseBlock(uint64_t block, double* time_us);
 
   /// Number of pages programmed so far in a block.
   uint32_t ProgrammedPages(uint64_t block) const;

@@ -50,16 +50,16 @@ class FlashChip {
 
   /// Reads one page. Reading an erased (never programmed) page is legal
   /// and yields token 0.
-  Status ReadPage(PageAddr addr, uint64_t* token, double* time_us);
+  [[nodiscard]] Status ReadPage(PageAddr addr, uint64_t* token, double* time_us);
 
   /// Programs one page with `token`. Fails if the page is already
   /// programmed or behind the block's write point (programming must
   /// proceed in ascending page order; skipping forward is allowed).
-  Status ProgramPage(PageAddr addr, uint64_t token, double* time_us);
+  [[nodiscard]] Status ProgramPage(PageAddr addr, uint64_t token, double* time_us);
 
   /// Erases a block, resetting all its pages. Increments wear; marks the
   /// block bad once the erase limit is reached.
-  Status EraseBlock(uint32_t block, double* time_us);
+  [[nodiscard]] Status EraseBlock(uint32_t block, double* time_us);
 
   /// True if the block exceeded its erase limit.
   bool IsBadBlock(uint32_t block) const;
@@ -75,7 +75,7 @@ class FlashChip {
   uint32_t PlaneOf(uint32_t block) const { return block % geometry_.planes; }
 
  private:
-  Status CheckAddr(PageAddr addr) const;
+  [[nodiscard]] Status CheckAddr(PageAddr addr) const;
 
   FlashGeometry geometry_;
   FlashTiming timing_;

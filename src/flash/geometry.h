@@ -39,7 +39,7 @@ struct FlashGeometry {
   }
 
   /// Validates internal consistency (non-zero sizes, power-of-two pages).
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 
   std::string ToString() const;
 };

@@ -51,7 +51,7 @@ struct BastConfig {
   /// (Table 3: x40).
   bool partial_merge_supported = true;
 
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 };
 
 class BastFtl : public Ftl {
@@ -61,9 +61,9 @@ class BastFtl : public Ftl {
   uint64_t logical_pages() const override { return logical_pages_; }
   uint32_t page_bytes() const override { return array_->page_data_bytes(); }
 
-  Status Read(uint64_t lpn, uint32_t npages, std::vector<uint64_t>* tokens,
+  [[nodiscard]] Status Read(uint64_t lpn, uint32_t npages, std::vector<uint64_t>* tokens,
               FtlCost* cost) override;
-  Status Write(uint64_t lpn, uint32_t npages, const uint64_t* tokens,
+  [[nodiscard]] Status Write(uint64_t lpn, uint32_t npages, const uint64_t* tokens,
                FtlCost* cost) override;
 
   uint32_t Channels() const override { return array_->channels(); }
@@ -105,22 +105,22 @@ class BastFtl : public Ftl {
   void MarkWritten(uint64_t lpn) { written_[lpn >> 6] |= 1ULL << (lpn & 63); }
 
   /// Pops an erased free block (invariant: never empty in steady state).
-  Status AllocFree(uint64_t* block);
+  [[nodiscard]] Status AllocFree(uint64_t* block);
 
   /// Erases `block` and returns it to the free list.
-  Status ReleaseBlock(uint64_t block, FtlCost* cost);
+  [[nodiscard]] Status ReleaseBlock(uint64_t block, FtlCost* cost);
 
   /// Returns the pool index of the log bound to `lbk`, allocating (and
   /// evicting via merge) as needed.
-  Status GetLog(uint64_t lbk, FtlCost* cost, int32_t* log_idx);
+  [[nodiscard]] Status GetLog(uint64_t lbk, FtlCost* cost, int32_t* log_idx);
 
   /// Merges log `log_idx` into its owner's data block; the entry becomes
   /// unbound with a fresh erased physical block.
-  Status MergeLog(int32_t log_idx, FtlCost* cost);
+  [[nodiscard]] Status MergeLog(int32_t log_idx, FtlCost* cost);
 
   /// Writes `count` pages at offsets [first_off, first_off+count) of
   /// logical block `lbk`.
-  Status WriteBlockPages(uint64_t lbk, uint32_t first_off, uint32_t count,
+  [[nodiscard]] Status WriteBlockPages(uint64_t lbk, uint32_t first_off, uint32_t count,
                          const uint64_t* tokens, FtlCost* cost);
 
   std::unique_ptr<FlashArray> array_;

@@ -49,7 +49,7 @@ struct FastConfig {
   /// (the Partitioning micro-benchmark limit).
   uint32_t append_points = 1;
 
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 };
 
 class FastFtl : public Ftl {
@@ -59,9 +59,9 @@ class FastFtl : public Ftl {
   uint64_t logical_pages() const override { return logical_pages_; }
   uint32_t page_bytes() const override { return array_->page_data_bytes(); }
 
-  Status Read(uint64_t lpn, uint32_t npages, std::vector<uint64_t>* tokens,
+  [[nodiscard]] Status Read(uint64_t lpn, uint32_t npages, std::vector<uint64_t>* tokens,
               FtlCost* cost) override;
-  Status Write(uint64_t lpn, uint32_t npages, const uint64_t* tokens,
+  [[nodiscard]] Status Write(uint64_t lpn, uint32_t npages, const uint64_t* tokens,
                FtlCost* cost) override;
 
   uint32_t Channels() const override { return array_->channels(); }
@@ -98,8 +98,8 @@ class FastFtl : public Ftl {
   }
   void MarkWritten(uint64_t lpn) { written_[lpn >> 6] |= 1ULL << (lpn & 63); }
 
-  Status AllocFree(uint64_t* block);
-  Status ReleaseBlock(uint64_t block, FtlCost* cost);
+  [[nodiscard]] Status AllocFree(uint64_t* block);
+  [[nodiscard]] Status ReleaseBlock(uint64_t block, FtlCost* cost);
 
   struct Head {
     uint32_t serial = UINT32_MAX;     // current segment, or none
@@ -114,15 +114,15 @@ class FastFtl : public Ftl {
 
   /// Makes sure `head` has a segment with room for one page, wrapping
   /// the ring (and reclaiming its oldest segment) when needed.
-  Status EnsureAppendRoom(Head* head, FtlCost* cost);
+  [[nodiscard]] Status EnsureAppendRoom(Head* head, FtlCost* cost);
 
   /// Reclaims the oldest ring segment: merges every logical block with
   /// live pages in it, then recycles the segment's physical block.
-  Status ReclaimOldest(FtlCost* cost);
+  [[nodiscard]] Status ReclaimOldest(FtlCost* cost);
 
   /// Full (or switch) merge of logical block `lbk` using the latest
   /// copies in the log and its data block.
-  Status MergeLogicalBlock(uint64_t lbk, FtlCost* cost);
+  [[nodiscard]] Status MergeLogicalBlock(uint64_t lbk, FtlCost* cost);
 
   /// Finds the ring segment with serial `serial`, or nullptr.
   LogSegment* SegmentBySerial(uint32_t serial);

@@ -89,12 +89,12 @@ class Ftl {
   /// Reads `npages` logical pages starting at `lpn`. Never-written pages
   /// yield token 0. tokens may be nullptr when the caller only needs
   /// timing.
-  virtual Status Read(uint64_t lpn, uint32_t npages,
+  [[nodiscard]] virtual Status Read(uint64_t lpn, uint32_t npages,
                       std::vector<uint64_t>* tokens, FtlCost* cost) = 0;
 
   /// Writes `npages` logical pages starting at `lpn`; tokens[i] is the
   /// content of page lpn+i (tokens may be nullptr -> zero tokens).
-  virtual Status Write(uint64_t lpn, uint32_t npages, const uint64_t* tokens,
+  [[nodiscard]] virtual Status Write(uint64_t lpn, uint32_t npages, const uint64_t* tokens,
                        FtlCost* cost) = 0;
 
   /// Runs up to `budget_us` of deferred background work (asynchronous

@@ -490,7 +490,13 @@ double PageMappingFtl::BackgroundWork(double budget_us) {
       if (!found) break;
     }
     FtlCost gc;
-    if (!GcOnce(ch, &gc).ok()) break;
+    Status collected = GcOnce(ch, &gc);
+    if (!collected.ok()) {
+      IgnoreStatus(collected,
+                   "background GC halts on error; the foreground path "
+                   "hits the same device fault and propagates it");
+      break;
+    }
     gc_cost_ema_us_ = 0.8 * gc_cost_ema_us_ + 0.2 * gc.service_us;
     bg_credit_us_ -= gc.service_us;
     used += gc.service_us;

@@ -55,7 +55,7 @@ struct PageMappingConfig {
   /// start-up phase in blocks.
   uint32_t gc_high_watermark_blocks = 32;
 
-  Status Validate(const ArrayConfig& array) const;
+  [[nodiscard]] Status Validate(const ArrayConfig& array) const;
 };
 
 class PageMappingFtl : public Ftl {
@@ -67,9 +67,9 @@ class PageMappingFtl : public Ftl {
   uint64_t logical_pages() const override { return logical_pages_; }
   uint32_t page_bytes() const override { return array_->page_data_bytes(); }
 
-  Status Read(uint64_t lpn, uint32_t npages, std::vector<uint64_t>* tokens,
+  [[nodiscard]] Status Read(uint64_t lpn, uint32_t npages, std::vector<uint64_t>* tokens,
               FtlCost* cost) override;
-  Status Write(uint64_t lpn, uint32_t npages, const uint64_t* tokens,
+  [[nodiscard]] Status Write(uint64_t lpn, uint32_t npages, const uint64_t* tokens,
                FtlCost* cost) override;
 
   double BackgroundWork(double budget_us) override;
@@ -123,20 +123,20 @@ class PageMappingFtl : public Ftl {
 
   /// Returns a block on `channel` with at least one free slot for
   /// `stream` (allocating / garbage-collecting as needed).
-  Status EnsureOpenBlock(Stream* stream, uint32_t channel, FtlCost* cost,
+  [[nodiscard]] Status EnsureOpenBlock(Stream* stream, uint32_t channel, FtlCost* cost,
                          uint64_t* block);
 
   /// Pops a free block on `channel`, running synchronous GC if empty.
-  Status AllocBlock(uint32_t channel, FtlCost* cost, uint64_t* block);
+  [[nodiscard]] Status AllocBlock(uint32_t channel, FtlCost* cost, uint64_t* block);
 
   /// Programs the pending host-write batch (pending_writes_). Must be
   /// called before any GC so a victim block can never have unflushed
   /// programs.
-  Status FlushPending(FtlCost* cost);
+  [[nodiscard]] Status FlushPending(FtlCost* cost);
 
   /// One greedy GC run on `channel`: relocate the valid MUs of the
   /// minimum-valid full block, erase it. Fails if nothing reclaimable.
-  Status GcOnce(uint32_t channel, FtlCost* cost);
+  [[nodiscard]] Status GcOnce(uint32_t channel, FtlCost* cost);
 
   /// Marks `mu`'s previous slot invalid (if mapped).
   void InvalidateOld(uint64_t mu);
@@ -145,7 +145,7 @@ class PageMappingFtl : public Ftl {
   void SealIfFull(uint64_t block);
 
   /// Writes one MU: allocates a slot, programs pages, updates maps.
-  Status WriteMu(Stream* stream, uint64_t mu, const uint64_t* mu_tokens,
+  [[nodiscard]] Status WriteMu(Stream* stream, uint64_t mu, const uint64_t* mu_tokens,
                  FtlCost* cost);
 
   std::unique_ptr<FlashArray> array_;

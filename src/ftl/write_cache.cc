@@ -130,7 +130,13 @@ double WriteCache::BackgroundWork(double budget_us) {
       if (bg_credit_us_ < flush_cost_per_page_ema_us_) break;
       size_t before = dirty_.size();
       FtlCost cost;
-      if (!FlushRun(fifo_.front(), &cost).ok()) break;
+      Status flush = FlushRun(fifo_.front(), &cost);
+      if (!flush.ok()) {
+        IgnoreStatus(flush,
+                     "background destage halts on error; the foreground "
+                     "path hits the same device fault and propagates it");
+        break;
+      }
       size_t flushed = before - dirty_.size();
       if (flushed > 0) {
         flush_cost_per_page_ema_us_ =

@@ -30,7 +30,7 @@ struct WriteCacheConfig {
   /// Pause-absorption / lingering effects on devices that have it).
   bool background_flush = false;
 
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 };
 
 /// Lifetime counters of one WriteCache instance (page granularity).
@@ -67,9 +67,9 @@ class WriteCache : public Ftl {
   uint64_t logical_pages() const override { return inner_->logical_pages(); }
   uint32_t page_bytes() const override { return inner_->page_bytes(); }
 
-  Status Read(uint64_t lpn, uint32_t npages, std::vector<uint64_t>* tokens,
+  [[nodiscard]] Status Read(uint64_t lpn, uint32_t npages, std::vector<uint64_t>* tokens,
               FtlCost* cost) override;
-  Status Write(uint64_t lpn, uint32_t npages, const uint64_t* tokens,
+  [[nodiscard]] Status Write(uint64_t lpn, uint32_t npages, const uint64_t* tokens,
                FtlCost* cost) override;
 
   /// Destages dirty runs during idle time (when background_flush is
@@ -91,7 +91,7 @@ class WriteCache : public Ftl {
   void RegisterMetrics(MetricRegistry* registry) override;
 
   /// Destages every dirty page to the inner FTL.
-  Status FlushAll(FtlCost* cost);
+  [[nodiscard]] Status FlushAll(FtlCost* cost);
 
   size_t DirtyPages() const { return dirty_.size(); }
   Ftl* inner() { return inner_.get(); }
@@ -106,10 +106,10 @@ class WriteCache : public Ftl {
   };
 
   /// Flushes the contiguous dirty run starting at `lpn`.
-  Status FlushRun(uint64_t lpn, FtlCost* cost);
+  [[nodiscard]] Status FlushRun(uint64_t lpn, FtlCost* cost);
 
   /// Evicts oldest runs until size <= capacity.
-  Status EvictToCapacity(FtlCost* cost);
+  [[nodiscard]] Status EvictToCapacity(FtlCost* cost);
 
   std::unique_ptr<Ftl> inner_;
   WriteCacheConfig config_;

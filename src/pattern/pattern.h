@@ -61,7 +61,7 @@ struct PatternSpec {
 
   std::string label;
 
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
   std::string ToString() const;
 
   /// Number of distinct IOSize-aligned locations in the target space.
@@ -77,7 +77,7 @@ struct PatternSpec {
   static PatternSpec RandomWrite(uint32_t io_size, uint64_t target_offset,
                                  uint64_t target_size);
   /// Baseline by short name "SR" | "RR" | "SW" | "RW".
-  static StatusOr<PatternSpec> Baseline(const std::string& name,
+  [[nodiscard]] static StatusOr<PatternSpec> Baseline(const std::string& name,
                                         uint32_t io_size,
                                         uint64_t target_offset,
                                         uint64_t target_size);

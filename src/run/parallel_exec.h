@@ -44,7 +44,7 @@ unsigned DefaultJobs();
 /// failure (Ok when all units succeeded), regardless of completion
 /// order. An exception escaping a unit is rethrown on the calling
 /// thread, again lowest index first.
-Status ParallelFor(size_t count, unsigned jobs,
+[[nodiscard]] Status ParallelFor(size_t count, unsigned jobs,
                    const std::function<Status(size_t)>& unit);
 
 /// Fan-out with result collection: produce(i) fills slot i of the
@@ -53,7 +53,7 @@ Status ParallelFor(size_t count, unsigned jobs,
 /// error (all units still ran). Result must be default-constructible
 /// and movable.
 template <typename Result>
-StatusOr<std::vector<Result>> RunUnits(
+[[nodiscard]] StatusOr<std::vector<Result>> RunUnits(
     size_t count, unsigned jobs,
     const std::function<StatusOr<Result>(size_t)>& produce) {
   std::vector<Result> slots(count);

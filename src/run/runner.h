@@ -56,7 +56,7 @@ struct RunResult {
 };
 
 /// Executes a single pattern run on a device.
-StatusOr<RunResult> ExecuteRun(BlockDevice* device, const PatternSpec& spec);
+[[nodiscard]] StatusOr<RunResult> ExecuteRun(BlockDevice* device, const PatternSpec& spec);
 
 /// Parallelism micro-benchmark executor: `degree` concurrent processes,
 /// each running the same baseline pattern over its own slice of the
@@ -67,7 +67,7 @@ StatusOr<RunResult> ExecuteRun(BlockDevice* device, const PatternSpec& spec);
 /// one completes), and all processes share the device's completion
 /// queue. On a multi-queue device (AsyncSimDevice) IOs dispatched to
 /// different channels overlap; response times include queue wait.
-StatusOr<RunResult> ExecuteParallelRun(AsyncBlockDevice* device,
+[[nodiscard]] StatusOr<RunResult> ExecuteParallelRun(AsyncBlockDevice* device,
                                        const PatternSpec& base,
                                        uint32_t degree);
 
@@ -76,7 +76,7 @@ StatusOr<RunResult> ExecuteParallelRun(AsyncBlockDevice* device,
 /// submission, so the device serializes overlapping IOs itself and
 /// response times include queue wait, exactly as on a real
 /// synchronous-IO device shared by processes.
-StatusOr<RunResult> ExecuteParallelRun(BlockDevice* device,
+[[nodiscard]] StatusOr<RunResult> ExecuteParallelRun(BlockDevice* device,
                                        const PatternSpec& base,
                                        uint32_t degree);
 
@@ -85,7 +85,7 @@ StatusOr<RunResult> ExecuteParallelRun(BlockDevice* device,
 /// independent LBA streams and target spaces. io_count/io_ignore of
 /// `first` control the total length, scaled as in the FlashIO tool so
 /// that the minority pattern still gets past its own start-up phase.
-StatusOr<RunResult> ExecuteMixRun(BlockDevice* device,
+[[nodiscard]] StatusOr<RunResult> ExecuteMixRun(BlockDevice* device,
                                   const PatternSpec& first,
                                   const PatternSpec& second, uint32_t ratio);
 

@@ -73,7 +73,7 @@ struct ReplayOptions {
 /// proportionally onto a device of `to_bytes`, keeping 512-byte sector
 /// alignment and clamping so [result, result+size) fits. Errors when
 /// the IO cannot fit the target device at all.
-StatusOr<uint64_t> RescaleLba(uint64_t offset, uint32_t size,
+[[nodiscard]] StatusOr<uint64_t> RescaleLba(uint64_t offset, uint32_t size,
                               uint64_t from_bytes, uint64_t to_bytes);
 
 /// Replays the events pulled from `source` on `device`, validating each
@@ -81,7 +81,7 @@ StatusOr<uint64_t> RescaleLba(uint64_t offset, uint32_t size,
 /// capacity bounds). The event epoch is arbitrary (only inter-arrival
 /// deltas are used). The device clock is left past the completion of
 /// the last IO, as with the pattern runners.
-StatusOr<RunResult> ExecuteTraceRun(BlockDevice* device, EventSource* source,
+[[nodiscard]] StatusOr<RunResult> ExecuteTraceRun(BlockDevice* device, EventSource* source,
                                     const ReplayOptions& options = {});
 
 /// Open-loop replay against a queued device: original / scaled events
@@ -89,15 +89,15 @@ StatusOr<RunResult> ExecuteTraceRun(BlockDevice* device, EventSource* source,
 /// queue_depth IOs in flight, and each sample's response time comes
 /// from the completion record, so it measures queue wait. Closed-loop
 /// timing drives the queue one IO at a time.
-StatusOr<RunResult> ExecuteTraceRun(AsyncBlockDevice* device,
+[[nodiscard]] StatusOr<RunResult> ExecuteTraceRun(AsyncBlockDevice* device,
                                     EventSource* source,
                                     const ReplayOptions& options = {});
 
 /// Materialized-trace conveniences: validate `trace` up front, then
 /// replay it through a TraceView.
-StatusOr<RunResult> ExecuteTraceRun(BlockDevice* device, const Trace& trace,
+[[nodiscard]] StatusOr<RunResult> ExecuteTraceRun(BlockDevice* device, const Trace& trace,
                                     const ReplayOptions& options = {});
-StatusOr<RunResult> ExecuteTraceRun(AsyncBlockDevice* device,
+[[nodiscard]] StatusOr<RunResult> ExecuteTraceRun(AsyncBlockDevice* device,
                                     const Trace& trace,
                                     const ReplayOptions& options = {});
 

@@ -40,7 +40,7 @@ class EventSource {
 
   /// Pulls the next event. Ok(true): *event was filled. Ok(false):
   /// clean end of stream. Error: the source is corrupt or failed.
-  virtual StatusOr<bool> Next(TraceEvent* event) = 0;
+  [[nodiscard]] virtual StatusOr<bool> Next(TraceEvent* event) = 0;
 };
 
 /// EventSource over an in-memory Trace (not owned; must outlive the
@@ -54,7 +54,7 @@ class TraceView : public EventSource {
   std::optional<uint64_t> SizeHint() const override {
     return trace_->events.size();
   }
-  StatusOr<bool> Next(TraceEvent* event) override;
+  [[nodiscard]] StatusOr<bool> Next(TraceEvent* event) override;
 
   /// Restarts iteration from the first event.
   void Reset() { next_ = 0; }
@@ -67,7 +67,7 @@ class TraceView : public EventSource {
 /// Drains `source` into an in-memory Trace (the materializing
 /// convenience the generators and ReadTrace are built on). `max_events`
 /// guards against accidentally materializing an unbounded stream.
-StatusOr<Trace> MaterializeTrace(EventSource* source,
+[[nodiscard]] StatusOr<Trace> MaterializeTrace(EventSource* source,
                                  uint64_t max_events = UINT64_MAX);
 
 }  // namespace uflip

@@ -44,7 +44,7 @@ class TraceCaptureSink {
   /// buffered (call before the workload for a pure streaming capture).
   /// The default compression (kAuto) gzip-frames ".gz" paths as they
   /// stream.
-  Status StreamTo(const std::string& path, TraceFormat format,
+  [[nodiscard]] Status StreamTo(const std::string& path, TraceFormat format,
                   TraceCompression compression = TraceCompression::kAuto);
 
   /// Records one finished event (buffered or streamed).
@@ -52,7 +52,7 @@ class TraceCaptureSink {
 
   /// Closes the streaming writer (no-op when buffering) and reports the
   /// first write error, if any.
-  Status Finish();
+  [[nodiscard]] Status Finish();
 
   bool streaming() const { return writer_.has_value(); }
   uint64_t events_captured() const { return captured_; }
@@ -60,7 +60,7 @@ class TraceCaptureSink {
   const Trace& trace() const { return trace_; }
   Trace TakeTrace();
   void Reset();
-  Status WriteTo(const std::string& path, TraceFormat format,
+  [[nodiscard]] Status WriteTo(const std::string& path, TraceFormat format,
                  TraceCompression compression = TraceCompression::kAuto)
       const;
 
@@ -79,17 +79,17 @@ class RecordingDevice : public BlockDevice {
   uint64_t capacity_bytes() const override {
     return inner_->capacity_bytes();
   }
-  StatusOr<double> SubmitAt(uint64_t t_us, const IoRequest& req) override;
+  [[nodiscard]] StatusOr<double> SubmitAt(uint64_t t_us, const IoRequest& req) override;
   Clock* clock() override { return inner_->clock(); }
   std::string name() const override { return inner_->name() + "+rec"; }
 
   /// Streams subsequent events to `path` instead of buffering them.
-  Status StreamTo(const std::string& path, TraceFormat format,
+  [[nodiscard]] Status StreamTo(const std::string& path, TraceFormat format,
                   TraceCompression compression = TraceCompression::kAuto) {
     return sink_.StreamTo(path, format, compression);
   }
   /// Closes the streaming capture; returns the first write error.
-  Status Finish() { return sink_.Finish(); }
+  [[nodiscard]] Status Finish() { return sink_.Finish(); }
   uint64_t events_captured() const { return sink_.events_captured(); }
 
   /// The trace captured so far (buffered mode). Events are in
@@ -108,7 +108,7 @@ class RecordingDevice : public BlockDevice {
   void Reset() { sink_.Reset(); }
 
   /// Writes the buffered trace to `path`.
-  Status WriteTo(const std::string& path, TraceFormat format,
+  [[nodiscard]] Status WriteTo(const std::string& path, TraceFormat format,
                  TraceCompression compression =
                      TraceCompression::kAuto) const {
     return sink_.WriteTo(path, format, compression);
@@ -136,18 +136,18 @@ class AsyncRecordingDevice : public AsyncBlockDevice {
     return inner_->capacity_bytes();
   }
   uint32_t queue_depth() const override { return inner_->queue_depth(); }
-  StatusOr<IoToken> Enqueue(uint64_t t_us, const IoRequest& req) override;
+  [[nodiscard]] StatusOr<IoToken> Enqueue(uint64_t t_us, const IoRequest& req) override;
   std::vector<IoCompletion> PollCompletions() override;
   std::vector<IoCompletion> DrainUntil(uint64_t t_us) override;
   size_t pending() const override { return inner_->pending(); }
   Clock* clock() override { return inner_->clock(); }
   std::string name() const override { return inner_->name() + "+rec"; }
 
-  Status StreamTo(const std::string& path, TraceFormat format,
+  [[nodiscard]] Status StreamTo(const std::string& path, TraceFormat format,
                   TraceCompression compression = TraceCompression::kAuto) {
     return sink_.StreamTo(path, format, compression);
   }
-  Status Finish() { return sink_.Finish(); }
+  [[nodiscard]] Status Finish() { return sink_.Finish(); }
   uint64_t events_captured() const { return sink_.events_captured(); }
 
   const Trace& trace() const { return sink_.trace(); }
@@ -155,7 +155,7 @@ class AsyncRecordingDevice : public AsyncBlockDevice {
   /// Drops buffered events and forgets IOs still in flight (their
   /// completions will not be captured).
   void Reset();
-  Status WriteTo(const std::string& path, TraceFormat format,
+  [[nodiscard]] Status WriteTo(const std::string& path, TraceFormat format,
                  TraceCompression compression =
                      TraceCompression::kAuto) const {
     return sink_.WriteTo(path, format, compression);

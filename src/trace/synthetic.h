@@ -76,7 +76,7 @@ struct ZipfianTraceConfig {
   uint64_t mean_gap_us = 0;
   uint64_t seed = 1;
 
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 };
 
 /// Pull-based Zipfian workload stream (io_count events).
@@ -86,7 +86,7 @@ class ZipfianEventSource : public EventSource {
 
   const TraceMeta& meta() const override { return meta_; }
   std::optional<uint64_t> SizeHint() const override;
-  StatusOr<bool> Next(TraceEvent* event) override;
+  [[nodiscard]] StatusOr<bool> Next(TraceEvent* event) override;
 
  private:
   ZipfianTraceConfig cfg_;
@@ -98,7 +98,7 @@ class ZipfianEventSource : public EventSource {
   uint32_t emitted_ = 0;
 };
 
-StatusOr<Trace> GenerateZipfianTrace(const ZipfianTraceConfig& cfg);
+[[nodiscard]] StatusOr<Trace> GenerateZipfianTrace(const ZipfianTraceConfig& cfg);
 
 struct OltpTraceConfig {
   uint64_t capacity_bytes = 64ULL << 20;
@@ -113,7 +113,7 @@ struct OltpTraceConfig {
   uint64_t mean_gap_us = 0;
   uint64_t seed = 1;
 
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 };
 
 /// Pull-based OLTP read-modify-write stream (one or two events per
@@ -123,7 +123,7 @@ class OltpEventSource : public EventSource {
   explicit OltpEventSource(const OltpTraceConfig& cfg);
 
   const TraceMeta& meta() const override { return meta_; }
-  StatusOr<bool> Next(TraceEvent* event) override;
+  [[nodiscard]] StatusOr<bool> Next(TraceEvent* event) override;
 
  private:
   OltpTraceConfig cfg_;
@@ -137,7 +137,7 @@ class OltpEventSource : public EventSource {
   uint64_t pending_offset_ = 0;
 };
 
-StatusOr<Trace> GenerateOltpTrace(const OltpTraceConfig& cfg);
+[[nodiscard]] StatusOr<Trace> GenerateOltpTrace(const OltpTraceConfig& cfg);
 
 struct MultiStreamTraceConfig {
   uint64_t capacity_bytes = 64ULL << 20;
@@ -150,7 +150,7 @@ struct MultiStreamTraceConfig {
   uint64_t gap_us = 0;
   uint64_t seed = 1;
 
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 };
 
 /// Pull-based multi-stream sequential-interleave stream
@@ -161,7 +161,7 @@ class MultiStreamEventSource : public EventSource {
 
   const TraceMeta& meta() const override { return meta_; }
   std::optional<uint64_t> SizeHint() const override;
-  StatusOr<bool> Next(TraceEvent* event) override;
+  [[nodiscard]] StatusOr<bool> Next(TraceEvent* event) override;
 
  private:
   MultiStreamTraceConfig cfg_;
@@ -174,7 +174,7 @@ class MultiStreamEventSource : public EventSource {
   uint32_t stream_ = 0;  // next stream within the round
 };
 
-StatusOr<Trace> GenerateMultiStreamTrace(const MultiStreamTraceConfig& cfg);
+[[nodiscard]] StatusOr<Trace> GenerateMultiStreamTrace(const MultiStreamTraceConfig& cfg);
 
 }  // namespace uflip
 

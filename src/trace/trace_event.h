@@ -50,7 +50,7 @@ struct Trace {
   /// Structural invariants every well-formed trace satisfies: nonzero IO
   /// sizes, nondecreasing submission times, and events within the
   /// recorded capacity (when meta.capacity_bytes is set).
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 
   /// Trace duration: last submission minus first (0 for <2 events).
   uint64_t SpanUs() const;

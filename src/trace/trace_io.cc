@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <string_view>
 
 #ifdef UFLIP_HAVE_ZLIB
 #include <zlib.h>
@@ -51,7 +52,7 @@ Status ParseU64(const std::string& field, const std::string& where,
 }
 
 std::string StripGz(const std::string& path) {
-  if (path.size() > 3 && path.compare(path.size() - 3, 3, ".gz") == 0) {
+  if (path.size() > 3 && std::string_view(path).ends_with(".gz")) {
     return path.substr(0, path.size() - 3);
   }
   return path;

@@ -64,7 +64,7 @@ TraceCompression CompressionForPath(const std::string& path);
 class TraceWriter {
  public:
   /// Opens `path` for writing (truncating) and emits the header.
-  static StatusOr<TraceWriter> Open(
+  [[nodiscard]] static StatusOr<TraceWriter> Open(
       const std::string& path, TraceFormat format, const TraceMeta& meta,
       TraceCompression compression = TraceCompression::kAuto);
 
@@ -73,11 +73,11 @@ class TraceWriter {
   TraceWriter& operator=(TraceWriter&&) noexcept;
   ~TraceWriter();
 
-  Status Append(const TraceEvent& event);
+  [[nodiscard]] Status Append(const TraceEvent& event);
 
   /// Finalizes the file (seekable binary: patches the event count) and
   /// closes it.
-  Status Close();
+  [[nodiscard]] Status Close();
 
   uint64_t events_written() const { return count_; }
   TraceFormat format() const { return format_; }
@@ -103,7 +103,7 @@ class TraceWriter {
 /// independent of the trace length.
 class TraceReader : public EventSource {
  public:
-  static StatusOr<TraceReader> Open(const std::string& path);
+  [[nodiscard]] static StatusOr<TraceReader> Open(const std::string& path);
 
   // Defined out of line: members hold a pointer-to-incomplete Input.
   TraceReader(TraceReader&&) noexcept;
@@ -122,7 +122,7 @@ class TraceReader : public EventSource {
   /// Malformed content (bad mode, non-numeric fields, truncation) is
   /// Corruption, tagged with "<path> line N" for CSV and the event
   /// index for binary.
-  StatusOr<bool> Next(TraceEvent* event) override;
+  [[nodiscard]] StatusOr<bool> Next(TraceEvent* event) override;
 
   struct Input;  // byte source: plain file or gzip-inflating file
 
@@ -131,8 +131,8 @@ class TraceReader : public EventSource {
               TraceCompression compression, std::string path, TraceMeta meta,
               uint64_t remaining, uint64_t line);
 
-  StatusOr<bool> NextCsv(TraceEvent* event);
-  StatusOr<bool> NextBinary(TraceEvent* event);
+  [[nodiscard]] StatusOr<bool> NextCsv(TraceEvent* event);
+  [[nodiscard]] StatusOr<bool> NextBinary(TraceEvent* event);
 
   std::unique_ptr<Input> in_;
   TraceFormat format_;
@@ -145,12 +145,12 @@ class TraceReader : public EventSource {
 };
 
 /// Writes a whole trace to `path`.
-Status WriteTrace(const std::string& path, TraceFormat format,
+[[nodiscard]] Status WriteTrace(const std::string& path, TraceFormat format,
                   const Trace& trace,
                   TraceCompression compression = TraceCompression::kAuto);
 
 /// Reads and validates a whole trace (any format) from `path`.
-StatusOr<Trace> ReadTrace(const std::string& path);
+[[nodiscard]] StatusOr<Trace> ReadTrace(const std::string& path);
 
 }  // namespace uflip
 

@@ -6,6 +6,7 @@ namespace uflip {
 
 uint64_t RealClock::NowUs() const {
   timespec ts;
+  // uflip-lint: allow(wall-clock) -- RealClock is the sanctioned real-time source (real-device measurement only; simulations use VirtualClock)
   clock_gettime(CLOCK_MONOTONIC, &ts);
   return static_cast<uint64_t>(ts.tv_sec) * 1000000ULL +
          static_cast<uint64_t>(ts.tv_nsec) / 1000ULL;

@@ -16,7 +16,7 @@ namespace uflip {
 class CsvWriter {
  public:
   /// Opens `path` for writing, truncating any previous content.
-  static StatusOr<CsvWriter> Open(const std::string& path);
+  [[nodiscard]] static StatusOr<CsvWriter> Open(const std::string& path);
 
   /// Writes a header / data row. Values are joined with commas.
   void WriteRow(const std::vector<std::string>& cells);
@@ -25,7 +25,7 @@ class CsvWriter {
   void WriteRow(const std::vector<double>& cells);
 
   /// Flushes and closes the underlying stream.
-  Status Close();
+  [[nodiscard]] Status Close();
 
  private:
   explicit CsvWriter(std::ofstream out) : out_(std::move(out)) {}

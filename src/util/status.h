@@ -4,11 +4,12 @@
 #ifndef UFLIP_UTIL_STATUS_H_
 #define UFLIP_UTIL_STATUS_H_
 
-#include <cassert>
 #include <optional>
 #include <ostream>
 #include <string>
 #include <utility>
+
+#include "src/util/logging.h"
 
 namespace uflip {
 
@@ -31,48 +32,51 @@ enum class StatusCode {
 const char* StatusCodeName(StatusCode code);
 
 /// Value-type result of a fallible operation. Cheap to copy when OK.
-class Status {
+/// [[nodiscard]] on the class makes every function returning Status by
+/// value warn when the result is silently dropped; discard explicitly
+/// with uflip::IgnoreStatus(expr, "reason") so the decision is visible.
+class [[nodiscard]] Status {
  public:
   /// Default-constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
-  static Status Ok() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  [[nodiscard]] static Status Ok() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status OutOfRange(std::string msg) {
+  [[nodiscard]] static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
-  static Status FailedPrecondition(std::string msg) {
+  [[nodiscard]] static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status AlreadyExists(std::string msg) {
+  [[nodiscard]] static Status AlreadyExists(std::string msg) {
     return Status(StatusCode::kAlreadyExists, std::move(msg));
   }
-  static Status ResourceExhausted(std::string msg) {
+  [[nodiscard]] static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
-  static Status IoError(std::string msg) {
+  [[nodiscard]] static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
-  static Status Unimplemented(std::string msg) {
+  [[nodiscard]] static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
-  static Status Corruption(std::string msg) {
+  [[nodiscard]] static Status Corruption(std::string msg) {
     return Status(StatusCode::kCorruption, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
   /// "Ok" or "<CodeName>: <message>".
   std::string ToString() const;
@@ -88,31 +92,33 @@ class Status {
 
 std::ostream& operator<<(std::ostream& os, const Status& s);
 
-/// Holds either a value of type T or an error Status. Accessing the value
-/// of an errored StatusOr is a programming error (asserts in debug).
+/// Holds either a value of type T or an error Status. Accessing the
+/// value of an errored StatusOr is a programming error (UFLIP_CHECKed
+/// in every build type).
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Implicit from value (OK).
   StatusOr(T value) : status_(), value_(std::move(value)) {}  // NOLINT
   /// Implicit from error status; must not be OK.
   StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
-    assert(!status_.ok() && "StatusOr constructed from OK status w/o value");
+    UFLIP_CHECK_MSG(!status_.ok(),
+                    "StatusOr constructed from OK status w/o value");
   }
 
-  bool ok() const { return status_.ok(); }
-  const Status& status() const { return status_; }
+  [[nodiscard]] bool ok() const { return status_.ok(); }
+  [[nodiscard]] const Status& status() const { return status_; }
 
   const T& value() const& {
-    assert(ok());
+    UFLIP_CHECK(ok());
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    UFLIP_CHECK(ok());
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    UFLIP_CHECK(ok());
     return std::move(*value_);
   }
 
@@ -130,6 +136,20 @@ class StatusOr {
   Status status_;
   std::optional<T> value_;
 };
+
+/// Explicitly discards a Status (or the status of a StatusOr) with a
+/// stated reason. The only sanctioned way to ignore a fallible result:
+/// a bare `(void)call()` no longer appears in the tree, so every
+/// swallowed error names its justification at the call site.
+inline void IgnoreStatus(const Status& status, const char* reason) {
+  (void)status;
+  (void)reason;
+}
+template <typename T>
+inline void IgnoreStatus(const StatusOr<T>& status_or, const char* reason) {
+  (void)status_or;
+  (void)reason;
+}
 
 }  // namespace uflip
 

@@ -119,7 +119,9 @@ TEST(AsyncShimTest, ResolvesEagerlyInCompletionOrder) {
     EXPECT_EQ(done[i].token, tokens[i]);
     EXPECT_EQ(done[i].submit_us, 0u);
     EXPECT_NEAR(done[i].rt_us, 263.84 + 263.0 * double(i), 2.0);
-    if (i > 0) EXPECT_GT(done[i].complete_us, done[i - 1].complete_us);
+    if (i > 0) {
+      EXPECT_GT(done[i].complete_us, done[i - 1].complete_us);
+    }
   }
 }
 

@@ -45,7 +45,7 @@ double MeanMs(SimDevice* dev, PatternSpec spec, uint32_t ios = 192,
 
 TEST(PaperShape, ReadsCheapWritesOrderedByRandomness) {
   // On every representative device: SR <= RR << RW and SW << RW.
-  for (const std::string& id :
+  for (const char* id :
        {"memoright", "samsung", "kingston-dti", "transcend-module"}) {
     auto dev = ReadyDevice(id);
     uint64_t cap = dev->capacity_bytes();
@@ -167,7 +167,7 @@ TEST(PaperShape, InPlacePathologicalOnStrictLogStick) {
 }
 
 TEST(PaperShape, InPlaceBenignOnSsds) {
-  for (const std::string& id : {"memoright", "samsung"}) {
+  for (const char* id : {"memoright", "samsung"}) {
     auto dev = ReadyDevice(id);
     double sw = MeanMs(
         dev.get(),

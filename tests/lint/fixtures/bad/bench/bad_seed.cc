@@ -1,0 +1,19 @@
+// Fixture: unbanded seed derivations in bench/ must fire [seed-band].
+struct Opts {
+  unsigned long seed = 0;
+};
+struct Rng {
+  explicit Rng(unsigned long) {}
+};
+struct Flags {
+  unsigned GetUint32(const char*, unsigned def) const { return def; }
+};
+
+void Run(const Flags& flags) {
+  Opts opts;
+  opts.seed = 42;               // literal seed
+  Rng rng(12345);               // literal-seeded stream
+  unsigned s = flags.GetUint32("seed", 1);  // raw flag read
+  (void)rng;
+  (void)s;
+}

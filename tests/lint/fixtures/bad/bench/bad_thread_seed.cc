@@ -1,0 +1,9 @@
+// Fixture: thread identity near seeds must fire [thread-id].
+#include <thread>
+
+unsigned long DeriveSeed(unsigned long base, unsigned long worker_id) {
+  unsigned long seed = base + worker_id;
+  auto id = std::this_thread::get_id();
+  (void)id;
+  return seed;
+}

@@ -1,0 +1,8 @@
+// Fixture: assert() for invariants in src/ must fire [check-macro]
+// (it vanishes under NDEBUG; UFLIP_CHECK does not).
+#include <cassert>
+
+int Divide(int a, int b) {
+  assert(b != 0);
+  return a / b;
+}

@@ -1,0 +1,8 @@
+// Fixture: raw libc / std randomness in src/ must fire [rand].
+#include <cstdlib>
+#include <random>
+
+int Roll() {
+  std::random_device rd;
+  return std::rand() + static_cast<int>(rd());
+}

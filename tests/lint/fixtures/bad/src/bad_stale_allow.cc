@@ -1,0 +1,8 @@
+// Fixture: a stale exemption and an unknown rule name must fire
+// [lint-annotation].
+
+// uflip-lint: allow(wall-clock) -- suppresses nothing below
+int NothingToAllowHere() { return 0; }
+
+// uflip-lint: allow(no-such-rule)
+int UnknownRule() { return 1; }

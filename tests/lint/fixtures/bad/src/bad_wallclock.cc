@@ -1,0 +1,11 @@
+// Fixture: unannotated wall-clock reads in src/ must fire [wall-clock].
+#include <chrono>
+#include <ctime>
+
+uint64_t Stamp() {
+  auto now = std::chrono::system_clock::now();
+  (void)now;
+  auto t2 = std::chrono::steady_clock::now();
+  (void)t2;
+  return static_cast<uint64_t>(time(nullptr));
+}

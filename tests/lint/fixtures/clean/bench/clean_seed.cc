@@ -1,0 +1,17 @@
+// Fixture: seeds routed through the banded helpers are clean.
+#include <cstdint>
+
+inline constexpr uint64_t kPrepSeedBand = (1ULL << 32) | 0xF1A5;
+
+struct Flags {
+  uint32_t GetUint32(const char*, uint32_t def) const { return def; }
+};
+inline uint32_t SeedFromFlags(const Flags& flags) {
+  return flags.GetUint32("not-a-seed-key", 1);
+}
+
+uint64_t Derive(const Flags& flags, uint32_t rep) {
+  uint64_t workload = SeedFromFlags(flags) + rep;
+  uint64_t prep = kPrepSeedBand + rep;
+  return workload ^ prep;
+}

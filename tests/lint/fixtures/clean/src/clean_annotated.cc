@@ -1,0 +1,12 @@
+// Fixture: annotated exemptions and banded seeds are clean.
+#include <chrono>
+#include <cstdint>
+
+double WallSeconds() {
+  // uflip-lint: allow(wall-clock) -- fixture: sanctioned timing site
+  auto start = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now() -  // uflip-lint: allow(wall-clock) -- same
+             start)
+      .count();
+}

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Golden tests for tools/lint/uflip_lint (registered with ctest as
+lint_test; run directly with python3 tests/lint_test.py).
+
+Feeds the known-bad fixture tree and asserts every determinism rule
+fires (nonzero exit), feeds the clean/annotated fixtures and the real
+repo tree and asserts zero findings, and runs the linter's inline
+self-test."""
+
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), ".."))
+LINT = os.path.join(REPO_ROOT, "tools", "lint", "uflip_lint")
+FIXTURES = os.path.join(REPO_ROOT, "tests", "lint", "fixtures")
+
+failures = []
+
+
+def check(name, ok, detail=""):
+    status = "ok" if ok else "FAIL"
+    print(f"[{status}] {name}" + (f": {detail}" if detail and not ok else ""))
+    if not ok:
+        failures.append(name)
+
+
+def run_lint(root):
+    return subprocess.run(
+        [sys.executable, LINT, "--root", root],
+        capture_output=True, text=True, cwd=REPO_ROOT)
+
+
+# --- known-bad fixtures: every rule must fire, with nonzero exit ------
+bad = run_lint(os.path.join(FIXTURES, "bad"))
+check("bad fixtures exit nonzero", bad.returncode == 1,
+      f"exit={bad.returncode}\n{bad.stdout}{bad.stderr}")
+
+expected = {
+    "rand": "src/bad_rand.cc",
+    "wall-clock": "src/bad_wallclock.cc",
+    "check-macro": "src/bad_assert.cc",
+    "seed-band": "bench/bad_seed.cc",
+    "thread-id": "bench/bad_thread_seed.cc",
+    "lint-annotation": "src/bad_stale_allow.cc",
+}
+for rule, path in expected.items():
+    hits = [line for line in bad.stdout.splitlines()
+            if f"[{rule}]" in line and path in line]
+    check(f"rule {rule} fires on {path}", bool(hits), bad.stdout)
+
+# Each seeded violation class in bad_seed.cc individually: literal
+# member seed, literal Rng, raw --seed flag read.
+seed_hits = [line for line in bad.stdout.splitlines()
+             if "[seed-band]" in line]
+check("seed-band fires on all three bad derivations", len(seed_hits) >= 3,
+      bad.stdout)
+
+# --- clean + annotated fixtures: zero findings ------------------------
+clean = run_lint(os.path.join(FIXTURES, "clean"))
+check("clean fixtures exit zero", clean.returncode == 0,
+      f"exit={clean.returncode}\n{clean.stdout}{clean.stderr}")
+check("clean fixtures report no findings", clean.stdout.strip() == "",
+      clean.stdout)
+
+# --- the real tree must be clean (annotated exemptions only) ----------
+tree = run_lint(REPO_ROOT)
+check("repo tree is lint-clean", tree.returncode == 0,
+      f"exit={tree.returncode}\n{tree.stdout}{tree.stderr}")
+
+# --- the linter's own matching machinery ------------------------------
+st = subprocess.run([sys.executable, LINT, "--self-test"],
+                    capture_output=True, text=True)
+check("uflip_lint --self-test", st.returncode == 0,
+      f"{st.stdout}{st.stderr}")
+
+# --- exemption listing stays greppable --------------------------------
+ex = subprocess.run([sys.executable, LINT, "--root", REPO_ROOT,
+                     "--list-exemptions"],
+                    capture_output=True, text=True, cwd=REPO_ROOT)
+check("--list-exemptions exits zero", ex.returncode == 0, ex.stderr)
+check("RealClock exemption is listed",
+      any("src/util/clock.cc" in line and "wall-clock" in line
+          for line in ex.stdout.splitlines()), ex.stdout)
+
+if failures:
+    print(f"\n{len(failures)} lint_test failure(s): {', '.join(failures)}")
+    sys.exit(1)
+print("\nlint_test: all checks passed")

@@ -46,8 +46,10 @@ TEST(ParallelExecTest, RunUnitsReturnsIndexOrderedResults) {
 }
 
 TEST(ParallelExecTest, JobsOneRunsInlineOnCallingThread) {
+  // uflip-lint: allow(thread-id) -- asserts jobs=1 runs inline on the caller thread
   std::thread::id caller = std::this_thread::get_id();
   Status s = ParallelFor(8, 1, [&](size_t) -> Status {
+    // uflip-lint: allow(thread-id) -- asserts jobs=1 runs inline on the caller thread
     EXPECT_EQ(std::this_thread::get_id(), caller);
     return Status::Ok();
   });
