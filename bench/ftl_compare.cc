@@ -28,6 +28,10 @@
 //                              # rep) units; default hardware
 //                              # concurrency. Output is byte-identical
 //                              # for every N (src/run/parallel_exec.h)
+//     [--calendar_shards=N]    # event-calendar shards per simulated
+//                              # device (queued cells). Output is
+//                              # byte-identical for every N
+//                              # (src/sim/sharded_calendar.h)
 //     [--csv=grid.csv]         # full grid export for plotting
 //     [--io_ignore=N]      # default: phase-derived per cell
 //     [--stream]           # re-stream the trace file per cell (O(1)
@@ -112,6 +116,10 @@ struct SweepConfig {
   // Worker threads for the (cell x rep) fan-out; output is
   // byte-identical for every value (see src/run/parallel_exec.h).
   unsigned jobs = 1;
+  // Event-calendar shards per simulated device (queued cells only);
+  // output is byte-identical for every value (see
+  // src/sim/sharded_calendar.h).
+  uint32_t calendar_shards = 1;
 };
 
 /// Observability collection across the sweep (--metrics_out /
@@ -230,7 +238,8 @@ StatusOr<UnitResult> RunUnit(const Flags& flags, const SweepConfig& cfg,
   // deterministic (see MetricSnapshot::Merge).
   MetricRegistry registry;
   if (queue_depth > 0) {
-    async = std::make_unique<AsyncSimDevice>(std::move(dev), queue_depth);
+    async = std::make_unique<AsyncSimDevice>(std::move(dev), queue_depth,
+                                             cfg.calendar_shards);
     if (obs_enabled) async->AttachMetrics(&registry);
     run = ExecuteTraceRun(async.get(), source.get(), cfg.replay);
   } else {
@@ -460,6 +469,11 @@ int Main(int argc, char** argv) {
   }
   cfg.base_seed = SeedFromFlags(flags);
   cfg.jobs = JobsFromFlags(flags);
+  cfg.calendar_shards = flags.GetUint32("calendar_shards", 1);
+  if (cfg.calendar_shards == 0) {
+    std::fprintf(stderr, "--calendar_shards must be >= 1\n");
+    return Usage();
+  }
 
   std::string sweep = flags.GetString("sweep", "both");
   if (sweep != "devices" && sweep != "ftls" && sweep != "both") {
@@ -629,6 +643,7 @@ int Main(int argc, char** argv) {
     }
     manifest.seed = cfg.base_seed;
     manifest.jobs = cfg.jobs;
+    manifest.calendar_shards = cfg.calendar_shards;
     manifest.events = obs.events;
     manifest.wall_seconds =
         // uflip-lint: allow(wall-clock) -- manifest wall_seconds provenance

@@ -8,8 +8,9 @@
 //                [--kind=zipfian --theta=... generator flags]
 //                [--label=ci] [--jobs=N]
 //                [--speedup_reps=5] [--speedup_io_count=2000]
+//                [--des_io_count=300000] [--des_channels=8]
 //
-// Three legs:
+// Four legs:
 //  * replay throughput -- one synthetic workload replayed through the
 //    async multi-queue path (qd=8 over 4 channels, the explorer's hot
 //    configuration), reported as events/sec of pure replay (device
@@ -25,17 +26,30 @@
 //    parallel execution core (src/run/parallel_exec.h); the wall-clock
 //    ratio is recorded as parallel_speedup. --speedup_reps=0 skips the
 //    leg.
+//  * intra-device speedup -- ONE multi-channel device timeline
+//    (src/sim/device_timeline.h) fed a deterministic synthetic IO
+//    stream striped over --des_channels channels and drained in
+//    batches through the discrete-event calendar, once with one shard
+//    (serial) and once sharded over min(--jobs, --des_channels)
+//    calendar shards; records the sharded drain's events/sec
+//    (des_events_per_sec) and the wall-clock ratio
+//    (intra_device_speedup). Unlike the parallel-speedup leg, which
+//    fans out independent (cell x rep) units, this measures
+//    parallelism *inside* a single simulated device.
+//    --des_io_count=0 skips the leg.
 // Peak RSS comes from getrusage(RUSAGE_SELF) after all legs.
 //
 // The output file is a JSON array of records; a new record is appended
 // by rewriting the closing bracket, so the file stays valid JSON after
-// every run and diffs line-per-record. Record schema 2 (older schema-1
-// records remain in place and readable; consumers treat the added
-// fields -- schema, jobs, wall_seconds, parallel_speedup and the
-// speedup_* group -- as optional): one record distinguishes serial
-// from parallel runs by its jobs field.
+// every run and diffs line-per-record. Record schema 3 (older schema-1
+// and schema-2 records remain in place and readable; consumers treat
+// the added fields -- schema, jobs, wall_seconds, parallel_speedup,
+// the speedup_* group and, with schema 3, calendar_shards and the
+// des_* group -- as optional): one record distinguishes serial from
+// parallel runs by its jobs field.
 #include <sys/resource.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <ctime>
@@ -48,6 +62,7 @@
 #include "src/device/async_sim_device.h"
 #include "src/obs/run_manifest.h"
 #include "src/run/trace_run.h"
+#include "src/sim/device_timeline.h"
 #include "src/trace/synthetic.h"
 #include "src/util/json_writer.h"
 
@@ -124,6 +139,36 @@ Status SpeedupUnit(const DeviceProfile& base, FtlKind ftl, uint32_t qd,
     run = ExecuteTraceRun(dev.get(), &source, opts);
   }
   return run.status();
+}
+
+/// One drain of the intra-device leg: a single DeviceTimeline over
+/// `channels` pipelined channels and `shards` calendar shards, fed
+/// `io_count` deterministic IOs (channel = i % channels, stage
+/// durations derived from the index -- no RNG, so the event stream is
+/// identical across shard counts) and resolved in fixed-size batches.
+/// Returns the drain's wall seconds; *events_out gets the calendar
+/// events processed.
+double DesDrainSeconds(uint32_t channels, uint32_t shards, uint64_t io_count,
+                       uint64_t* events_out) {
+  DeviceTimeline timeline(channels, /*serialized_controller=*/false, shards,
+                          /*initial_busy_us=*/0);
+  constexpr uint64_t kBatch = 262144;
+  // uflip-lint: allow(wall-clock) -- intra-device speedup timing leg
+  auto start = std::chrono::steady_clock::now();
+  uint64_t ready_us = 0;
+  for (uint64_t i = 0; i < io_count; ++i) {
+    IoStages stages;
+    stages.controller_us = 2.0 + static_cast<double>(i % 7);
+    stages.channel_us = 25.0 + 3.0 * static_cast<double>(i % 13);
+    timeline.Submit(i + 1, ready_us, static_cast<uint32_t>(i % channels),
+                    stages);
+    if (i % 4 == 3) ready_us += 5;
+    if ((i + 1) % kBatch == 0) timeline.ResolveAll(nullptr);
+  }
+  timeline.ResolveAll(nullptr);
+  double seconds = SecondsSince(start);
+  *events_out = timeline.EventsProcessed();
+  return seconds;
 }
 
 double PeakRssMb() {
@@ -262,11 +307,53 @@ int Main(int argc, char** argv) {
         parallel_speedup);
   }
 
+  // Leg 4: intra-device speedup -- one sharded device timeline drained
+  // serially, then sharded. Serial first so the sharded pass runs
+  // against a warm allocator, mirroring leg 3's convention.
+  uint64_t des_io_count = flags.GetUint32("des_io_count", 300000);
+  uint32_t des_channels = flags.GetUint32("des_channels", 8);
+  uint32_t des_shards =
+      std::min(static_cast<uint32_t>(jobs), des_channels);
+  if (des_channels == 0) des_channels = 1;
+  if (des_shards == 0) des_shards = 1;
+  uint64_t des_events = 0;
+  double des_serial_seconds = 0;
+  double des_sharded_seconds = 0;
+  double des_events_per_sec = 0;
+  double intra_device_speedup = 0;
+  if (des_io_count > 0) {
+    uint64_t serial_events = 0;
+    des_serial_seconds =
+        DesDrainSeconds(des_channels, 1, des_io_count, &serial_events);
+    des_sharded_seconds =
+        DesDrainSeconds(des_channels, des_shards, des_io_count, &des_events);
+    if (des_events != serial_events) {
+      std::fprintf(stderr,
+                   "des leg: sharded drain processed %llu events, serial %llu\n",
+                   static_cast<unsigned long long>(des_events),
+                   static_cast<unsigned long long>(serial_events));
+      return 1;
+    }
+    des_events_per_sec = des_sharded_seconds > 0
+                             ? static_cast<double>(des_events) /
+                                   des_sharded_seconds
+                             : 0;
+    intra_device_speedup = des_sharded_seconds > 0
+                               ? des_serial_seconds / des_sharded_seconds
+                               : 0;
+    std::printf(
+        "des leg: %llu events, serial %.3fs vs %u shards %.3fs = %.2fx "
+        "(%.0f events/s sharded)\n",
+        static_cast<unsigned long long>(des_events), des_serial_seconds,
+        des_shards, des_sharded_seconds, intra_device_speedup,
+        des_events_per_sec);
+  }
+
   double peak_rss_mb = PeakRssMb();
   JsonWriter json(2);
   json.BeginObject();
   json.Key("schema");
-  json.Uint(2);
+  json.Uint(3);
   json.Key("git");
   json.String(GitDescribe());
   if (!label.empty()) {
@@ -295,6 +382,20 @@ int Main(int argc, char** argv) {
     json.Double(speedup_parallel_seconds);
     json.Key("parallel_speedup");
     json.Double(parallel_speedup);
+  }
+  if (des_io_count > 0) {
+    json.Key("calendar_shards");
+    json.Uint(des_shards);
+    json.Key("des_events");
+    json.Uint(des_events);
+    json.Key("des_events_per_sec");
+    json.Double(des_events_per_sec);
+    json.Key("des_serial_seconds");
+    json.Double(des_serial_seconds);
+    json.Key("des_sharded_seconds");
+    json.Double(des_sharded_seconds);
+    json.Key("intra_device_speedup");
+    json.Double(intra_device_speedup);
   }
   json.Key("wall_seconds");
   json.Double(SecondsSince(wall_start));

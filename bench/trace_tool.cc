@@ -10,7 +10,7 @@
 //                       [--queue_depth=8] [--channels=4]
 //                       [--controller_us=50] [--pipelined=false]
 //                       [--stream-replay] [--metrics_out=m.json]
-//                       [--reps=5] [--jobs=N]
+//                       [--reps=5] [--jobs=N] [--calendar_shards=N]
 //   trace_tool analyze  --trace=sweep.csv[.gz] | --kind=zipfian|oltp|...
 //                       [--top=10] [--hot_block=32768] [--width=72]
 //   trace_tool generate --kind=zipfian|oltp|multistream --out=synth.csv
@@ -274,6 +274,7 @@ int ReplicatedReplay(const Flags& flags, const ReplayOptions& opts,
                      const Trace& trace, const TraceMeta& meta,
                      const DeviceProfile& profile, uint32_t channels,
                      uint32_t queue_depth, uint32_t reps, unsigned jobs,
+                     uint32_t calendar_shards,
                      const std::string& metrics_out,
                      std::chrono::steady_clock::time_point wall_start) {
   struct RepResult {
@@ -313,8 +314,8 @@ int ReplicatedReplay(const Flags& flags, const ReplayOptions& opts,
         std::unique_ptr<AsyncSimDevice> async;
         MetricRegistry registry;
         if (queue_depth > 0) {
-          async =
-              std::make_unique<AsyncSimDevice>(std::move(dev), queue_depth);
+          async = std::make_unique<AsyncSimDevice>(std::move(dev), queue_depth,
+                                                   calendar_shards);
           out.device_name = async->name();
           out.channels_used = async->channels();
           if (want_metrics) async->AttachMetrics(&registry);
@@ -400,6 +401,7 @@ int ReplicatedReplay(const Flags& flags, const ReplayOptions& opts,
   if (!metrics_out.empty()) {
     RunManifest manifest = ManifestFromFlags(flags, "trace_tool replay");
     manifest.jobs = jobs;
+    manifest.calendar_shards = calendar_shards;
     manifest.events = total_replayed;
     manifest.wall_seconds =
         // uflip-lint: allow(wall-clock) -- manifest wall_seconds provenance
@@ -463,6 +465,11 @@ int Replay(const Flags& flags) {
     return 2;
   }
   unsigned jobs = JobsFromFlags(flags);
+  uint32_t calendar_shards = flags.GetUint32("calendar_shards", 1);
+  if (calendar_shards == 0) {
+    std::fprintf(stderr, "--calendar_shards must be >= 1\n");
+    return 2;
+  }
 
   // Streaming replay pulls events straight off the TraceReader as the
   // device consumes them; the materialized path reads the whole trace
@@ -507,7 +514,7 @@ int Replay(const Flags& flags) {
   if (reps > 1) {
     return ReplicatedReplay(flags, opts, path, stream_replay, trace, meta,
                             *profile, channels, queue_depth, reps, jobs,
-                            metrics_out, wall_start);
+                            calendar_shards, metrics_out, wall_start);
   }
   auto dev = MakeDeviceWithState(std::move(*profile), 0, true, channels);
   InterRunPause(dev.get());
@@ -523,7 +530,8 @@ int Replay(const Flags& flags) {
   if (queue_depth > 0) {
     // Open-loop replay through the async multi-queue API: up to
     // queue_depth IOs in flight, overlapping across flash channels.
-    async = std::make_unique<AsyncSimDevice>(std::move(dev), queue_depth);
+    async = std::make_unique<AsyncSimDevice>(std::move(dev), queue_depth,
+                                             calendar_shards);
     dev_name = async->name();
     if (!metrics_out.empty()) async->AttachMetrics(&registry);
     run = ExecuteTraceRun(async.get(), source, opts);
@@ -569,6 +577,7 @@ int Replay(const Flags& flags) {
   if (!metrics_out.empty()) {
     RunManifest manifest = ManifestFromFlags(flags, "trace_tool replay");
     manifest.jobs = jobs;
+    manifest.calendar_shards = calendar_shards;
     manifest.events = replayed;
     manifest.wall_seconds =
         // uflip-lint: allow(wall-clock) -- manifest wall_seconds provenance

@@ -1,53 +1,76 @@
 #include "src/device/async_sim_device.h"
 
-#include <algorithm>
 #include <string>
+#include <utility>
 
 #include "src/obs/metric_registry.h"
 #include "src/util/logging.h"
 
 namespace uflip {
 
+namespace {
+
+std::unique_ptr<SimDevice> CheckedSim(std::unique_ptr<SimDevice> sim) {
+  UFLIP_CHECK(sim != nullptr);
+  return sim;
+}
+
+}  // namespace
+
 AsyncSimDevice::AsyncSimDevice(std::unique_ptr<SimDevice> sim,
-                               uint32_t queue_depth)
-    : sim_(std::move(sim)), queue_depth_(queue_depth) {
-  UFLIP_CHECK(sim_ != nullptr);
+                               uint32_t queue_depth, uint32_t calendar_shards)
+    : sim_(CheckedSim(std::move(sim))),
+      queue_depth_(queue_depth),
+      timeline_(sim_->ftl()->Channels(),
+                sim_->controller().SerializedController(), calendar_shards,
+                sim_->busy_until_us()) {
   UFLIP_CHECK(queue_depth_ >= 1);
-  chan_busy_us_.assign(sim_->ftl()->Channels(), sim_->busy_until_us());
-  ctrl_busy_us_ = sim_->busy_until_us();
-  busy_max_us_ = sim_->busy_until_us();
 }
 
 void AsyncSimDevice::AttachMetrics(MetricRegistry* registry) {
   sim_->AttachMetrics(registry);
   if (registry == nullptr) {
-    m_chan_busy_.clear();
-    m_ctrl_busy_ = nullptr;
+    timeline_.AttachMetrics({}, nullptr, {});
     m_queue_depth_ = nullptr;
     return;
   }
-  m_chan_busy_.resize(channels());
+  std::vector<TimeSeries*> chan_busy(channels(), nullptr);
+  std::vector<TimeSeries*> bus_busy;
   for (uint32_t ch = 0; ch < channels(); ++ch) {
-    m_chan_busy_[ch] = registry->GetTimeSeries(
+    chan_busy[ch] = registry->GetTimeSeries(
         "device.channel." + std::to_string(ch) + ".busy_us",
         obs::kTimelineIntervalUs);
   }
+  TimeSeries* ctrl_busy = nullptr;
   if (sim_->controller().SerializedController()) {
-    m_ctrl_busy_ = registry->GetTimeSeries("device.controller.busy_us",
-                                           obs::kTimelineIntervalUs);
+    ctrl_busy = registry->GetTimeSeries("device.controller.busy_us",
+                                        obs::kTimelineIntervalUs);
   }
+  if (sim_->controller().channel_bus_contention) {
+    // Created only under the bus-contention model: registering a
+    // series exports it in every snapshot, and attached-vs-unattached
+    // runs must stay byte-identical when the knob is off.
+    bus_busy.resize(channels(), nullptr);
+    for (uint32_t ch = 0; ch < channels(); ++ch) {
+      bus_busy[ch] = registry->GetTimeSeries(
+          "device.channel." + std::to_string(ch) + ".bus_us",
+          obs::kTimelineIntervalUs);
+    }
+  }
+  timeline_.AttachMetrics(std::move(chan_busy), ctrl_busy,
+                          std::move(bus_busy));
   m_queue_depth_ = registry->GetTimeSeries("device.queue_depth",
                                            obs::kTimelineIntervalUs);
   auto* makespan = registry->GetGauge("device.makespan_us");
   registry->AddCollector([this, makespan] {
-    obs::SetMax(makespan, static_cast<double>(busy_max_us_));
+    obs::SetMax(makespan, static_cast<double>(timeline_.BusyMaxUs()));
   });
 }
 
 uint32_t AsyncSimDevice::DispatchChannelOf(const IoRequest& req) const {
   uint64_t first_page = req.offset / sim_->page_bytes();
   uint32_t ch = sim_->ftl()->DispatchChannel(first_page);
-  UFLIP_CHECK(ch < chan_busy_us_.size());
+  UFLIP_CHECK(ch < timeline_.channels());
   return ch;
 }
 
@@ -57,45 +80,26 @@ StatusOr<IoToken> AsyncSimDevice::Enqueue(uint64_t t_us,
   uint64_t eff = ledger_.Admit(t_us, queue_depth_);
   // Time past the last completion is device idle time, donated to
   // asynchronous reclamation (same rule as the synchronous path).
-  double idle_us = eff > busy_max_us_
-                       ? static_cast<double>(eff - busy_max_us_)
-                       : 0.0;
+  uint64_t busy_max = timeline_.BusyMaxUs();
+  double idle_us =
+      eff > busy_max ? static_cast<double>(eff - busy_max) : 0.0;
   StatusOr<ServiceCost> service =
       sim_->ServiceUs(idle_us, req, nullptr, nullptr);
   if (!service.ok()) return service.status();
   uint32_t ch = DispatchChannelOf(req);
-  uint64_t start;
-  uint64_t complete;
-  if (sim_->controller().SerializedController()) {
-    // Bounded controller: the IO starts when its channel AND the
-    // controller are both free, holds the channel for its entire
-    // service (the die plus its bus slot own the command end to end,
-    // as in the pipelined model) and additionally occupies the
-    // controller for its controller stage -- so controller stages of
-    // in-flight IOs never overlap. The serialized stage both floors
-    // the makespan at n x controller_us and staggers the channel
-    // streams, keeping the speedup over qd=1 strictly below
-    // channels x. The fractional tail of the controller stage travels
-    // with the flash stage so qd=1 reproduces the synchronous
-    // start + floor(total) rounding exactly.
-    start = std::max({eff, ctrl_busy_us_, chan_busy_us_[ch]});
-    uint64_t ctrl_whole = static_cast<uint64_t>(service->controller_us);
-    double ctrl_frac =
-        service->controller_us - static_cast<double>(ctrl_whole);
-    ctrl_busy_us_ = start + ctrl_whole;
-    complete = start + ctrl_whole +
-               static_cast<uint64_t>(ctrl_frac + service->channel_us);
-    obs::Span(m_ctrl_busy_, start, ctrl_busy_us_);
-  } else {
-    // Fully pipelined: the whole service time overlaps across channels.
-    start = std::max(eff, chan_busy_us_[ch]);
-    complete = start + static_cast<uint64_t>(service->TotalUs());
-  }
-  chan_busy_us_[ch] = complete;
-  busy_max_us_ = std::max(busy_max_us_, complete);
-  if (!m_chan_busy_.empty()) {
-    obs::Span(m_chan_busy_[ch], start, complete);
-  }
+  IoToken token = ledger_.NextToken();
+  // The IO becomes a dispatch event on the calendar and resolves
+  // eagerly (the async contract: every enqueued IO's record is
+  // available immediately), so exactly one chain is in the calendar
+  // and exactly one outcome comes back.
+  timeline_.Submit(token, eff, ch,
+                   IoStages{service->controller_us, service->channel_us,
+                            service->bus_us});
+  outcome_scratch_.clear();
+  timeline_.ResolveAll(&outcome_scratch_);
+  UFLIP_CHECK(outcome_scratch_.size() == 1 &&
+              outcome_scratch_[0].id == token);
+  uint64_t complete = outcome_scratch_[0].complete_us;
   // Queue occupancy at admission: IOs still incomplete at eff plus this
   // one (in_flight() would count against the submitter's lagging clock
   // and read far beyond the queue depth under backpressure).
@@ -103,7 +107,7 @@ StatusOr<IoToken> AsyncSimDevice::Enqueue(uint64_t t_us,
               static_cast<double>(ledger_.OccupancyAt(eff) + 1));
 
   IoCompletion rec;
-  rec.token = ledger_.NextToken();
+  rec.token = token;
   rec.submit_us = t_us;
   rec.complete_us = complete;
   rec.rt_us = static_cast<double>(complete - t_us);

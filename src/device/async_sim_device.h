@@ -1,11 +1,18 @@
 // Native async implementation of the simulated device: in-flight IOs
 // are dispatched onto the FlashArray channels of the underlying FTL
 // stack, so overlapping requests to different channels genuinely
-// overlap (per-channel busy-until times), exactly the internal
-// parallelism Section 2.1 says the block manager should leverage. With
-// queue_depth = 1 the dispatch degenerates to the single-queue
-// serialization of the synchronous SimDevice, microsecond for
-// microsecond, which is what makes SyncAdapter round-trips exact.
+// overlap, exactly the internal parallelism Section 2.1 says the block
+// manager should leverage. With queue_depth = 1 the dispatch
+// degenerates to the single-queue serialization of the synchronous
+// SimDevice, microsecond for microsecond, which is what makes
+// SyncAdapter round-trips exact.
+//
+// Timing is delegated to a DeviceTimeline (src/sim/): each Enqueue
+// submits one dispatch event onto the event calendar and resolves it
+// eagerly (the async API's contract -- PollCompletions returns every
+// enqueued IO's record immediately), so per-channel / controller / bus
+// occupancy all advance through the discrete-event core rather than
+// the scalar busy-until fields this class used to keep.
 //
 // Two controller models govern how queued IOs share the device:
 //  * fully pipelined (the default; ControllerConfig::pipelined with
@@ -28,6 +35,7 @@
 
 #include "src/device/async_device.h"
 #include "src/device/sim_device.h"
+#include "src/sim/device_timeline.h"
 #include "src/util/status.h"
 
 namespace uflip {
@@ -38,8 +46,12 @@ class AsyncSimDevice : public AsyncBlockDevice {
   /// from its synchronous busy-until (so a device prepared through the
   /// sync path carries its state over). Once lifted, drive the device
   /// only through this interface or a SyncAdapter over it: the inner
-  /// synchronous timeline is no longer maintained.
-  AsyncSimDevice(std::unique_ptr<SimDevice> sim, uint32_t queue_depth);
+  /// synchronous timeline is no longer maintained. calendar_shards > 1
+  /// spreads the event calendar's channels over that many shards
+  /// (clamped to the channel count; byte-identical to 1 -- see
+  /// src/sim/sharded_calendar.h).
+  AsyncSimDevice(std::unique_ptr<SimDevice> sim, uint32_t queue_depth,
+                 uint32_t calendar_shards = 1);
 
   uint64_t capacity_bytes() const override { return sim_->capacity_bytes(); }
   uint32_t queue_depth() const override { return queue_depth_; }
@@ -52,9 +64,11 @@ class AsyncSimDevice : public AsyncBlockDevice {
 
   SimDevice* sim() { return sim_.get(); }
   const SimDevice* sim() const { return sim_.get(); }
-  uint32_t channels() const {
-    return static_cast<uint32_t>(chan_busy_us_.size());
-  }
+  uint32_t channels() const { return timeline_.channels(); }
+
+  /// Calendar shards the timeline actually runs with (1 under the
+  /// bounded-controller model regardless of what was requested).
+  uint32_t calendar_shards() const { return timeline_.shards(); }
 
   /// Channel the controller would dispatch `req` to right now (the
   /// FTL's hint for the IO's first page).
@@ -62,14 +76,15 @@ class AsyncSimDevice : public AsyncBlockDevice {
 
   /// Latest completion across all channels (the simulated makespan so
   /// far when the device started fresh).
-  uint64_t busy_max_us() const { return busy_max_us_; }
+  uint64_t busy_max_us() const { return timeline_.BusyMaxUs(); }
 
   /// Attaches the observability layer to the whole stack: the inner
-  /// SimDevice's counters/histogram plus this layer's per-channel
-  /// busy timelines ("device.channel.<i>.busy_us"), the controller
-  /// occupancy timeline (bounded-controller model only) and the queue
-  /// depth over time. nullptr detaches. Never perturbs the simulated
-  /// timeline.
+  /// SimDevice's counters/histogram plus the event timeline's
+  /// per-channel busy series ("device.channel.<i>.busy_us"), the
+  /// controller occupancy (bounded-controller model only), the
+  /// per-channel bus-slot series ("device.channel.<i>.bus_us";
+  /// bus-contention model only) and the queue depth over time. nullptr
+  /// detaches. Never perturbs the simulated timeline.
   void AttachMetrics(MetricRegistry* registry);
   MetricRegistry* metrics_registry() const override {
     return sim_->metrics_registry();
@@ -78,22 +93,13 @@ class AsyncSimDevice : public AsyncBlockDevice {
  private:
   std::unique_ptr<SimDevice> sim_;
   uint32_t queue_depth_;
-  /// Per-channel busy-until: IOs dispatched to different channels
-  /// overlap; IOs on one channel serialize.
-  std::vector<uint64_t> chan_busy_us_;
-  /// Controller-busy timeline for the bounded-controller model
-  /// (ControllerConfig::SerializedController()): every queued IO also
-  /// occupies the controller for its controller stage, so controller
-  /// stages of in-flight IOs never overlap.
-  uint64_t ctrl_busy_us_;
-  /// Latest completion across all channels; time past it is device idle
-  /// time, donated to background reclamation as in the sync path.
-  uint64_t busy_max_us_;
+  /// Per-channel, controller and bus-slot occupancy as calendar events
+  /// (replaces the chan_busy_us_/ctrl_busy_us_/busy_max_us_ scalars).
+  DeviceTimeline timeline_;
+  std::vector<IoOutcome> outcome_scratch_;
   CompletionLedger ledger_;
 
   // Observability handles (null when unattached; see AttachMetrics).
-  std::vector<TimeSeries*> m_chan_busy_;
-  TimeSeries* m_ctrl_busy_ = nullptr;
   TimeSeries* m_queue_depth_ = nullptr;
 };
 

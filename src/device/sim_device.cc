@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/flash/array.h"
 #include "src/obs/metric_registry.h"
 #include "src/util/logging.h"
 
@@ -43,6 +44,7 @@ void SimDevice::AttachMetrics(MetricRegistry* registry) {
     m_gc_slice_us_ = nullptr;
     m_service_us_ = nullptr;
     m_busy_ = nullptr;
+    timeline_.AttachMetrics({}, nullptr, {});
     return;
   }
   m_reads_ = registry->GetCounter("device.reads");
@@ -51,9 +53,13 @@ void SimDevice::AttachMetrics(MetricRegistry* registry) {
   m_gc_slice_us_ = registry->GetSum("device.gc_slice_us");
   m_service_us_ = registry->GetHistogram("device.service_us");
   m_busy_ = registry->GetTimeSeries("device.busy_us", obs::kTimelineIntervalUs);
+  // The single-queue busy series doubles as the timeline's (only)
+  // channel series; the sync path has no serialized-controller or
+  // bus-slot occupancy to export.
+  timeline_.AttachMetrics({m_busy_}, nullptr, {});
   auto* makespan = registry->GetGauge("device.makespan_us");
   registry->AddCollector([this, makespan] {
-    obs::SetMax(makespan, static_cast<double>(busy_until_us_));
+    obs::SetMax(makespan, static_cast<double>(timeline_.BusyMaxUs()));
   });
   ftl_->RegisterMetrics(registry);
 }
@@ -102,6 +108,16 @@ StatusOr<ServiceCost> SimDevice::ServiceUs(double idle_us,
   uint64_t last_page = (req.offset + req.size - 1) / page;
   uint32_t npages = static_cast<uint32_t>(last_page - first_page + 1);
 
+  // Bus-contention model: diff the array's cumulative chip-to-
+  // controller transfer time around the foreground FTL work (not the
+  // background slices above -- reclamation traffic is charged to the
+  // controller stage) to split the IO's bus stage out of its flash
+  // stage.
+  const FlashArray* bus_array =
+      config_.channel_bus_contention ? ftl_->flash_array() : nullptr;
+  double transfer_before =
+      bus_array != nullptr ? bus_array->TransferUsTotal() : 0.0;
+
   FtlCost cost;
   if (req.mode == IoMode::kRead) {
     Status s = ftl_->Read(first_page, npages, read_tokens, &cost);
@@ -130,6 +146,16 @@ StatusOr<ServiceCost> SimDevice::ServiceUs(double idle_us,
     if (!s.ok()) return s;
   }
   cost_split.channel_us += cost.service_us;
+  if (bus_array != nullptr) {
+    double transfer = bus_array->TransferUsTotal() - transfer_before;
+    // cost.service_us is the per-channel makespan of the FTL's batched
+    // flash work while the transfer total is the serial sum across
+    // channels, so clamp: the bus stage never exceeds the flash stage
+    // it is split from (multi-channel-spanning IOs under-attribute
+    // rather than go negative).
+    cost_split.bus_us = std::min(transfer, cost_split.channel_us);
+    cost_split.channel_us -= cost_split.bus_us;
+  }
   obs::Observe(m_service_us_, cost_split.TotalUs());
   return cost_split;
 }
@@ -137,16 +163,24 @@ StatusOr<ServiceCost> SimDevice::ServiceUs(double idle_us,
 StatusOr<double> SimDevice::DoIo(uint64_t t_us, const IoRequest& req,
                                  const uint64_t* write_tokens,
                                  std::vector<uint64_t>* read_tokens) {
-  double idle_us = t_us > busy_until_us_
-                       ? static_cast<double>(t_us - busy_until_us_)
-                       : 0.0;
+  uint64_t busy_until = timeline_.BusyMaxUs();
+  double idle_us =
+      t_us > busy_until ? static_cast<double>(t_us - busy_until) : 0.0;
   StatusOr<ServiceCost> service =
       ServiceUs(idle_us, req, write_tokens, read_tokens);
   if (!service.ok()) return service.status();
-  uint64_t start = std::max(t_us, busy_until_us_);
-  busy_until_us_ = start + static_cast<uint64_t>(service->TotalUs());
-  obs::Span(m_busy_, start, busy_until_us_);
-  return static_cast<double>(busy_until_us_ - t_us);
+  // One dispatch event on the single-queue timeline, resolved
+  // immediately: the event handler performs the start = max(t, busy),
+  // complete = start + floor(service) arithmetic (plus the bus stage
+  // when modeled) and feeds the busy series.
+  timeline_.Submit(++io_seq_, t_us, 0,
+                   IoStages{service->controller_us, service->channel_us,
+                            service->bus_us});
+  outcome_scratch_.clear();
+  timeline_.ResolveAll(&outcome_scratch_);
+  UFLIP_CHECK(outcome_scratch_.size() == 1 &&
+              outcome_scratch_[0].id == io_seq_);
+  return static_cast<double>(outcome_scratch_[0].complete_us - t_us);
 }
 
 StatusOr<double> SimDevice::SubmitAt(uint64_t t_us, const IoRequest& req) {

@@ -22,6 +22,7 @@
 
 #include "src/device/block_device.h"
 #include "src/ftl/ftl.h"
+#include "src/sim/device_timeline.h"
 #include "src/util/clock.h"
 #include "src/util/status.h"
 
@@ -47,8 +48,12 @@ struct ServiceCost {
   /// Flash stage: the FTL's page reads/programs, erases and merges --
   /// the part a multi-channel device executes in parallel.
   double channel_us = 0;
+  /// Chip-to-controller data-transfer stage, split out of channel_us
+  /// only under the per-channel bus-contention model
+  /// (ControllerConfig::channel_bus_contention); 0 otherwise.
+  double bus_us = 0;
 
-  double TotalUs() const { return controller_us + channel_us; }
+  double TotalUs() const { return controller_us + channel_us + bus_us; }
 };
 
 struct ControllerConfig {
@@ -79,6 +84,14 @@ struct ControllerConfig {
   /// serializes through a single controller timeline, bounding the
   /// speedup strictly below channels x like real devices.
   bool pipelined = true;
+  /// Model per-channel data-bus slot contention: the chip-to-controller
+  /// transfer portion of an IO's flash work (FlashTiming::
+  /// page_transfer_us per page read/programmed) is split into a third
+  /// service stage that serializes on the IO's channel data bus even
+  /// though the flash dies already moved on. Off by default: the
+  /// transfer time then stays folded into the flash stage exactly as
+  /// before, so enabling this knob is the only way outputs change.
+  bool channel_bus_contention = false;
 
   /// True when the bounded-controller model is active for queued IOs.
   bool SerializedController() const {
@@ -128,9 +141,9 @@ class SimDevice : public BlockDevice {
   uint64_t ios_submitted() const { return ios_; }
 
   /// End of the last IO on the synchronous timeline (the single-queue
-  /// busy-until). AsyncSimDevice seeds its per-channel timeline from it
-  /// when lifting an already-used device.
-  uint64_t busy_until_us() const { return busy_until_us_; }
+  /// busy-until, read off the event timeline). AsyncSimDevice seeds its
+  /// per-channel timeline from it when lifting an already-used device.
+  uint64_t busy_until_us() const { return timeline_.BusyMaxUs(); }
 
   /// Attaches the observability layer: resolves metric handles on
   /// `registry` (not owned; must outlive the device) and registers the
@@ -163,7 +176,16 @@ class SimDevice : public BlockDevice {
   ControllerConfig config_;
   std::shared_ptr<VirtualClock> clock_;
 
-  uint64_t busy_until_us_ = 0;
+  /// The synchronous path as a one-channel event timeline: each DoIo
+  /// submits a single dispatch event and resolves it immediately, so
+  /// the single-queue busy-until arithmetic (start = max(t, busy),
+  /// busy = start + floor(service)) now flows through src/sim/ like
+  /// the multi-queue path's. Always pipelined: the sync contract
+  /// charges an IO its full service time regardless of the controller
+  /// model (queueing is where the bounded controller bites).
+  DeviceTimeline timeline_{1, false, 1, 0};
+  std::vector<IoOutcome> outcome_scratch_;
+  uint64_t io_seq_ = 0;
   uint64_t last_read_end_ = UINT64_MAX;
   uint64_t token_counter_ = 0;
   uint64_t ios_ = 0;
@@ -176,7 +198,8 @@ class SimDevice : public BlockDevice {
   obs::Sum* m_gc_slice_us_ = nullptr;
   obs::Histogram* m_service_us_ = nullptr;
   /// Single-queue busy timeline (sync path only; AsyncSimDevice keeps
-  /// per-channel timelines instead and bypasses DoIo).
+  /// per-channel timelines instead and bypasses DoIo). Handed to
+  /// timeline_, which feeds it from event transitions.
   TimeSeries* m_busy_ = nullptr;
 
   std::vector<uint64_t> scratch_tokens_;

@@ -128,4 +128,12 @@ ChipStats FlashArray::AggregateStats() const {
   return total;
 }
 
+double FlashArray::TransferUsTotal() const {
+  double total = 0;
+  for (const auto& chip : chips_) {
+    total += chip->TransferUsTotal();
+  }
+  return total;
+}
+
 }  // namespace uflip

@@ -91,6 +91,11 @@ class FlashArray {
   /// Aggregated chip statistics across the array.
   ChipStats AggregateStats() const;
 
+  /// Cumulative chip-to-controller transfer time across all chips (see
+  /// FlashChip::TransferUsTotal). Monotone; the device model diffs it
+  /// around FTL calls for the bus-contention model.
+  double TransferUsTotal() const;
+
  private:
   PageAddr LocalAddr(GlobalPage p, uint32_t* channel) const;
 

@@ -32,6 +32,7 @@ Status FlashChip::ReadPage(PageAddr addr, uint64_t* token, double* time_us) {
                          geometry_.pages_per_block +
                      addr.page];
   }
+  transfer_us_total_ += timing_.page_transfer_us;
   if (time_us != nullptr) {
     *time_us = timing_.read_page_us + timing_.page_transfer_us;
   }
@@ -57,6 +58,7 @@ Status FlashChip::ProgramPage(PageAddr addr, uint64_t token, double* time_us) {
   tokens_[static_cast<uint64_t>(addr.block) * geometry_.pages_per_block +
           addr.page] = token;
   ++stats_.page_programs;
+  transfer_us_total_ += timing_.page_transfer_us;
   if (time_us != nullptr) {
     *time_us = timing_.program_page_us + timing_.page_transfer_us;
   }

@@ -74,12 +74,20 @@ class FlashChip {
   /// Plane of a block (even blocks plane 0, odd blocks plane 1, ...).
   uint32_t PlaneOf(uint32_t block) const { return block % geometry_.planes; }
 
+  /// Cumulative chip-to-controller data-transfer time (the
+  /// page_transfer_us component of every read/program so far). The
+  /// device model diffs this around an FTL call to split an IO's bus
+  /// stage out of its flash stage for the per-channel bus-contention
+  /// model; erases move no data and contribute nothing.
+  double TransferUsTotal() const { return transfer_us_total_; }
+
  private:
   [[nodiscard]] Status CheckAddr(PageAddr addr) const;
 
   FlashGeometry geometry_;
   FlashTiming timing_;
   ChipStats stats_;
+  double transfer_us_total_ = 0;
 
   // Per-block: next page index that may be programmed (0..pages_per_block).
   std::vector<uint32_t> write_point_;

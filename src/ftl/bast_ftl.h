@@ -73,6 +73,7 @@ class BastFtl : public Ftl {
   std::string DebugString() const override;
 
   const FlashArray& array() const { return *array_; }
+  const FlashArray* flash_array() const override { return array_.get(); }
   const BastConfig& config() const { return config_; }
   /// Number of pool entries currently bound to a logical block.
   uint32_t ActiveLogBlocks() const;

@@ -71,6 +71,7 @@ class FastFtl : public Ftl {
   std::string DebugString() const override;
 
   const FlashArray& array() const { return *array_; }
+  const FlashArray* flash_array() const override { return array_.get(); }
   const FastConfig& config() const { return config_; }
   size_t LogSegments() const { return ring_.size(); }
 

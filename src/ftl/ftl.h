@@ -21,6 +21,7 @@
 
 namespace uflip {
 
+class FlashArray;
 class MetricRegistry;
 
 /// Cost and operation accounting for one FTL request (or one GC run).
@@ -122,6 +123,14 @@ class Ftl {
     (void)lpn;
     return 0;
   }
+
+  /// The flash array beneath this FTL, when there is one (decorators
+  /// forward to the wrapped FTL). The device model reads the array's
+  /// cumulative chip-to-controller transfer time to split an IO's bus
+  /// stage out of its flash stage for the per-channel bus-contention
+  /// model (ControllerConfig::channel_bus_contention); backends without
+  /// a flash array (nullptr, the default) simply have no bus stage.
+  virtual const FlashArray* flash_array() const { return nullptr; }
 
   virtual const FtlStats& stats() const = 0;
   virtual std::string DebugString() const = 0;

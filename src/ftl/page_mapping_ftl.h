@@ -84,6 +84,7 @@ class PageMappingFtl : public Ftl {
   /// Total free (fully erased, unassigned) blocks; exposed for tests.
   uint64_t FreeBlocks() const { return free_total_; }
   const FlashArray& array() const { return *array_; }
+  const FlashArray* flash_array() const override { return array_.get(); }
   const PageMappingConfig& config() const { return config_; }
 
  private:

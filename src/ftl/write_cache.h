@@ -81,6 +81,9 @@ class WriteCache : public Ftl {
   uint32_t DispatchChannel(uint64_t lpn) const override {
     return inner_->DispatchChannel(lpn);
   }
+  const FlashArray* flash_array() const override {
+    return inner_->flash_array();
+  }
 
   const FtlStats& stats() const override { return inner_->stats(); }
   std::string DebugString() const override;

@@ -29,6 +29,7 @@ std::string RunManifest::ToJson(int indent) const {
   for (const auto& [k, v] : sorted) w.Key(k).String(v);
   w.EndObject();
   w.Key("jobs").Uint(jobs);
+  w.Key("calendar_shards").Uint(calendar_shards);
   w.Key("events").Uint(events);
   w.Key("wall_seconds").Double(wall_seconds);
   w.Key("events_per_sec").Double(EventsPerSec());

@@ -33,6 +33,10 @@ struct RunManifest {
   /// config field like `flags`, not a result: every jobs value produces
   /// identical simulation output, only wall_seconds moves.
   uint32_t jobs = 1;
+  /// Event-calendar shards per simulated device (src/sim/). Like jobs,
+  /// a config field: every shard count produces identical simulation
+  /// output.
+  uint32_t calendar_shards = 1;
   uint64_t events = 0;          // IOs simulated across the whole run
   double wall_seconds = 0;      // host wall time of the simulation
   uint64_t sim_makespan_us = 0;  // simulated completion time, max over reps

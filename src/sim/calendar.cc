@@ -1,0 +1,27 @@
+#include "src/sim/calendar.h"
+
+#include "src/sim/sharded_calendar.h"
+
+namespace uflip {
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kDispatch:
+      return "dispatch";
+    case EventKind::kBusTransfer:
+      return "bus_transfer";
+    case EventKind::kComplete:
+      return "complete";
+    case EventKind::kGeneric:
+      return "generic";
+  }
+  return "unknown";
+}
+
+void SimContext::Schedule(const Event& e) {
+  UFLIP_CHECK_MSG(e.time_us >= now_us_,
+                  "event scheduled into the simulated past");
+  owner_->ScheduleFrom(shard_, e);
+}
+
+}  // namespace uflip

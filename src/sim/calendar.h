@@ -1,0 +1,115 @@
+// EventCalendar: the priority queue at the heart of the discrete-event
+// core. Events are ordered by (time_us, seq) -- simulated time first,
+// then schedule order -- so draining a calendar visits events in
+// nondecreasing simulated time with deterministic FIFO tie-breaking at
+// equal timestamps, regardless of insertion order (two schedules at the
+// same time_us pop in the order they were scheduled).
+//
+// A calendar is single-threaded state. Multi-threaded draining is the
+// ShardedCalendar's job (sharded_calendar.h), which owns one
+// EventCalendar per shard.
+#ifndef UFLIP_SIM_CALENDAR_H_
+#define UFLIP_SIM_CALENDAR_H_
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "src/sim/event.h"
+#include "src/util/logging.h"
+
+namespace uflip {
+
+class ShardedCalendar;
+
+/// What an event handler sees while its event fires: the simulated
+/// clock (the event's own timestamp) and a way to schedule follow-up
+/// events into the owning calendar. Contexts are created by the
+/// calendar drain loops and live only for the duration of one OnEvent
+/// call.
+class SimContext {
+ public:
+  SimContext(ShardedCalendar* owner, uint32_t shard, uint64_t now_us)
+      : owner_(owner), shard_(shard), now_us_(now_us) {}
+
+  /// The simulated instant the current event fires at.
+  uint64_t now_us() const { return now_us_; }
+
+  /// The calendar shard the current event belongs to (always 0 when
+  /// draining serially or with one shard).
+  uint32_t shard() const { return shard_; }
+
+  /// Schedules a follow-up event. e.time_us must not precede now_us()
+  /// -- the past is immutable. The event is routed to shard
+  /// (e.channel % shards); scheduling onto a *different* shard is only
+  /// legal inside a windowed parallel drain (see
+  /// ShardedCalendar::RunAllParallel's lookahead contract).
+  void Schedule(const Event& e);
+
+ private:
+  ShardedCalendar* owner_;
+  uint32_t shard_;
+  uint64_t now_us_;
+};
+
+/// Receives events as a calendar drains. Handlers may schedule
+/// follow-up events through the context.
+class EventHandler {
+ public:
+  virtual ~EventHandler() = default;
+  virtual void OnEvent(SimContext& ctx, const Event& e) = 0;
+};
+
+/// A min-heap of events keyed on (time_us, seq). seq is stamped here,
+/// at Schedule time, from a monotone per-calendar counter -- that is
+/// what makes equal-time events FIFO and the drain order a pure
+/// function of the schedule sequence.
+class EventCalendar {
+ public:
+  EventCalendar() = default;
+  EventCalendar(const EventCalendar&) = delete;
+  EventCalendar& operator=(const EventCalendar&) = delete;
+
+  /// Inserts a copy of `e` with the next sequence number. Any seq the
+  /// caller set is overwritten.
+  void Schedule(Event e) {
+    e.seq = next_seq_++;
+    heap_.push(e);
+  }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] size_t size() const { return heap_.size(); }
+
+  /// The earliest event (min (time_us, seq)). Calendar must be
+  /// non-empty.
+  [[nodiscard]] const Event& Peek() const {
+    UFLIP_DCHECK(!heap_.empty());
+    return heap_.top();
+  }
+
+  /// Removes and returns the earliest event.
+  [[nodiscard]] Event PopTop() {
+    UFLIP_DCHECK(!heap_.empty());
+    Event e = heap_.top();
+    heap_.pop();
+    return e;
+  }
+
+  /// Total events ever scheduled (the seq counter). Survives pops;
+  /// used by perf accounting and the FIFO tests.
+  [[nodiscard]] uint64_t scheduled() const { return next_seq_; }
+
+ private:
+  struct After {
+    bool operator()(const Event& x, const Event& y) const {
+      return EventAfter(x, y);
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, After> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace uflip
+
+#endif  // UFLIP_SIM_CALENDAR_H_

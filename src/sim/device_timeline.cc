@@ -1,0 +1,188 @@
+#include "src/sim/device_timeline.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/obs/metric_registry.h"
+#include "src/util/logging.h"
+
+namespace uflip {
+namespace {
+
+// Below this many pending events a sharded drain is all coordination
+// and no work; drain on the calling thread instead. Per-Enqueue
+// resolution (1-3 events) always takes the serial path.
+constexpr size_t kParallelDrainMinEvents = 64;
+
+uint32_t EffectiveShards(uint32_t channels, bool serialized_controller,
+                         uint32_t calendar_shards) {
+  // The serialized controller is a cross-channel resource: every
+  // dispatch reads and advances one controller busy-until, so shards
+  // would race on it. One shard keeps the model exact.
+  if (serialized_controller) return 1;
+  if (calendar_shards < 1) return 1;
+  return std::min(calendar_shards, channels);
+}
+
+}  // namespace
+
+DeviceTimeline::DeviceTimeline(uint32_t channels, bool serialized_controller,
+                               uint32_t calendar_shards,
+                               uint64_t initial_busy_us)
+    : serialized_(serialized_controller),
+      calendar_(
+          EffectiveShards(channels, serialized_controller, calendar_shards)) {
+  UFLIP_CHECK(channels >= 1);
+  chan_busy_us_.assign(channels, initial_busy_us);
+  bus_busy_us_.assign(channels, initial_busy_us);
+  ctrl_busy_us_ = initial_busy_us;
+  shard_state_.reserve(calendar_.shards());
+  for (uint32_t s = 0; s < calendar_.shards(); ++s) {
+    shard_state_.push_back(std::make_unique<ShardState>());
+  }
+  // A device prepared through the sync path carries its makespan over
+  // even before the first queued IO completes.
+  shard_state_[0]->busy_max_us = initial_busy_us;
+}
+
+void DeviceTimeline::Submit(uint64_t id, uint64_t ready_us, uint32_t channel,
+                            const IoStages& stages) {
+  UFLIP_CHECK(channel < channels());
+  Event e;
+  e.time_us = ready_us;
+  e.kind = EventKind::kDispatch;
+  e.channel = channel;
+  e.id = id;
+  e.a = stages.controller_us;
+  e.b = stages.channel_us;
+  e.c = stages.bus_us;
+  calendar_.Schedule(e);
+}
+
+void DeviceTimeline::ResolveAll(std::vector<IoOutcome>* out) {
+  collect_outcomes_ = out != nullptr;
+  if (!calendar_.Empty()) {
+    if (calendar_.shards() > 1 &&
+        calendar_.Size() >= kParallelDrainMinEvents) {
+      if (pool_ == nullptr) {
+        pool_ = std::make_unique<ThreadPool>(calendar_.shards());
+      }
+      calendar_.RunAllParallel(this, pool_.get());
+    } else {
+      calendar_.RunAll(this);
+    }
+  }
+  if (out == nullptr) return;
+  // Merge the per-shard completions in id order: ids are issued in
+  // submit order, so the merged view is independent of how events
+  // interleaved across shards (the sharded-vs-serial identity).
+  auto base = static_cast<std::ptrdiff_t>(out->size());
+  for (auto& s : shard_state_) {
+    out->insert(out->end(), s->outcomes.begin(), s->outcomes.end());
+    s->outcomes.clear();
+  }
+  std::sort(out->begin() + base, out->end(),
+            [](const IoOutcome& x, const IoOutcome& y) { return x.id < y.id; });
+}
+
+uint64_t DeviceTimeline::BusyMaxUs() const {
+  uint64_t m = 0;
+  for (const auto& s : shard_state_) {
+    m = std::max(m, s->busy_max_us);
+  }
+  return m;
+}
+
+void DeviceTimeline::AttachMetrics(std::vector<TimeSeries*> channel_busy,
+                                   TimeSeries* controller_busy,
+                                   std::vector<TimeSeries*> bus_busy) {
+  UFLIP_CHECK(channel_busy.empty() || channel_busy.size() == channels());
+  UFLIP_CHECK(bus_busy.empty() || bus_busy.size() == channels());
+  m_chan_busy_ = std::move(channel_busy);
+  m_ctrl_busy_ = controller_busy;
+  m_bus_busy_ = std::move(bus_busy);
+}
+
+void DeviceTimeline::Complete(SimContext& ctx, uint64_t id,
+                              uint64_t start_us) {
+  ShardState& s = *shard_state_[ctx.shard()];
+  s.busy_max_us = std::max(s.busy_max_us, ctx.now_us());
+  if (collect_outcomes_) {
+    s.outcomes.push_back(IoOutcome{id, start_us, ctx.now_us()});
+  }
+}
+
+void DeviceTimeline::OnEvent(SimContext& ctx, const Event& e) {
+  switch (e.kind) {
+    case EventKind::kDispatch: {
+      const uint32_t ch = e.channel;
+      uint64_t start = 0;
+      uint64_t flash_end = 0;
+      if (serialized_) {
+        // Bounded controller: the IO starts when its channel AND the
+        // controller are both free, holds the channel for its entire
+        // service and additionally occupies the controller for its
+        // controller stage. The fractional tail of the controller
+        // stage travels with the flash stage so qd=1 reproduces the
+        // synchronous start + floor(total) rounding exactly.
+        start = std::max({e.time_us, ctrl_busy_us_, chan_busy_us_[ch]});
+        auto ctrl_whole = static_cast<uint64_t>(e.a);
+        double ctrl_frac = e.a - static_cast<double>(ctrl_whole);
+        ctrl_busy_us_ = start + ctrl_whole;
+        flash_end =
+            start + ctrl_whole + static_cast<uint64_t>(ctrl_frac + e.b);
+        obs::Span(m_ctrl_busy_, start, ctrl_busy_us_);
+      } else {
+        // Fully pipelined: the whole service time overlaps across
+        // channels.
+        start = std::max(e.time_us, chan_busy_us_[ch]);
+        flash_end = start + static_cast<uint64_t>(e.a + e.b);
+      }
+      chan_busy_us_[ch] = flash_end;
+      if (!m_chan_busy_.empty()) {
+        obs::Span(m_chan_busy_[ch], start, flash_end);
+      }
+      Event next;
+      next.channel = ch;
+      next.id = e.id;
+      next.aux = start;
+      if (e.c > 0) {
+        next.time_us = flash_end;
+        next.kind = EventKind::kBusTransfer;
+        next.a = e.c;
+      } else {
+        next.time_us = flash_end;
+        next.kind = EventKind::kComplete;
+      }
+      ctx.Schedule(next);
+      break;
+    }
+    case EventKind::kBusTransfer: {
+      // The channel's data-bus slot: chip-to-controller transfers of
+      // IOs on one channel serialize even though their flash stages
+      // already completed.
+      const uint32_t ch = e.channel;
+      uint64_t start = std::max(e.time_us, bus_busy_us_[ch]);
+      uint64_t end = start + static_cast<uint64_t>(e.a);
+      bus_busy_us_[ch] = end;
+      if (!m_bus_busy_.empty()) {
+        obs::Span(m_bus_busy_[ch], start, end);
+      }
+      Event done;
+      done.time_us = end;
+      done.kind = EventKind::kComplete;
+      done.channel = ch;
+      done.id = e.id;
+      done.aux = e.aux;
+      ctx.Schedule(done);
+      break;
+    }
+    case EventKind::kComplete:
+      Complete(ctx, e.id, e.aux);
+      break;
+    case EventKind::kGeneric:
+      break;
+  }
+}
+
+}  // namespace uflip

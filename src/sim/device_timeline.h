@@ -1,0 +1,151 @@
+// DeviceTimeline: the device's resource model expressed as calendar
+// events. It replaces the ad-hoc busy-until scalars the device layer
+// used to advance time with (`chan_busy_us_` / `ctrl_busy_us_` /
+// `busy_max_us_`): every IO is now a short causal chain of events on a
+// ShardedCalendar, and the per-channel / controller / bus occupancy is
+// state this handler owns and advances as the chain fires.
+//
+// Event lifecycle of one IO (Submit -> ... -> IoOutcome):
+//
+//   kDispatch (at ready_us)
+//     acquires the IO's channel -- and, under the bounded-controller
+//     model, the serialized controller timeline -- exactly like the
+//     old scalar arithmetic: start = max(ready, [controller,] channel
+//     busy-until). Advances those busy-untils and either finishes the
+//     chain or, when the IO has a bus stage, schedules:
+//   kBusTransfer (at flash end; only with ControllerConfig::
+//     channel_bus_contention)
+//     acquires the channel's data-bus slot: chip-to-controller
+//     transfers of IOs on one channel serialize even though their
+//     flash stages already completed. Schedules:
+//   kComplete (at the IO's completion time)
+//     records the IoOutcome and folds the completion into the
+//     device-wide busy-max.
+//
+// Byte-identity contract: with the bus stage off (every IoStages.
+// bus_us == 0, the default), the outcomes equal the old scalar
+// arithmetic microsecond for microsecond, for both the pipelined and
+// the bounded-controller model -- including the floor-rounding of
+// fractional service times. With shards > 1 the outcomes are byte-
+// identical to shards == 1: channels map to shards disjointly, every
+// chain stays on its channel, and outcomes are merged in token order.
+//
+// Threading: Submit/ResolveAll are called from one thread. ResolveAll
+// drains serially, or -- when the timeline has > 1 shard and enough
+// pending events to be worth it -- on an internal pool with one worker
+// per shard (events of different shards touch disjoint channel state,
+// so the drain is race-free; see sharded_calendar.h). A serialized
+// controller is a cross-channel resource, so it forces one shard.
+#ifndef UFLIP_SIM_DEVICE_TIMELINE_H_
+#define UFLIP_SIM_DEVICE_TIMELINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/sim/calendar.h"
+#include "src/sim/sharded_calendar.h"
+#include "src/util/thread_pool.h"
+
+namespace uflip {
+
+class TimeSeries;
+
+/// Foreground stage durations of one IO, as produced by
+/// SimDevice::ServiceUs: the (possibly serialized) controller stage,
+/// the flash-channel stage, and the chip-to-controller bus stage
+/// (zero unless per-channel bus contention is modeled).
+struct IoStages {
+  double controller_us = 0;
+  double channel_us = 0;
+  double bus_us = 0;
+};
+
+/// Resolved timing of one submitted IO.
+struct IoOutcome {
+  /// The id passed to Submit (the device layer passes the IoToken).
+  uint64_t id = 0;
+  /// When the IO acquired its resources (the old `start`).
+  uint64_t start_us = 0;
+  /// When the IO completed on the whole-microsecond device timeline.
+  uint64_t complete_us = 0;
+};
+
+class DeviceTimeline : public EventHandler {
+ public:
+  /// A timeline over `channels` flash channels. serialized_controller
+  /// selects the bounded-controller model (and forces one shard).
+  /// calendar_shards > 1 spreads channels over that many calendar
+  /// shards (clamped to [1, channels]) so large batched drains run on
+  /// multiple threads. initial_busy_us seeds every busy-until (a
+  /// device prepared through the sync path carries its state over).
+  DeviceTimeline(uint32_t channels, bool serialized_controller,
+                 uint32_t calendar_shards, uint64_t initial_busy_us);
+
+  uint32_t channels() const {
+    return static_cast<uint32_t>(chan_busy_us_.size());
+  }
+  uint32_t shards() const { return calendar_.shards(); }
+
+  /// Schedules the dispatch of IO `id` (ready at `ready_us`, targeting
+  /// `channel`) onto the calendar. The IO resolves at the next
+  /// ResolveAll.
+  void Submit(uint64_t id, uint64_t ready_us, uint32_t channel,
+              const IoStages& stages);
+
+  /// Drains the calendar to empty, firing every pending IO chain. The
+  /// outcomes of all IOs completed by this drain are appended to *out
+  /// in id order; pass nullptr to discard them (bulk timing runs).
+  void ResolveAll(std::vector<IoOutcome>* out);
+
+  /// Latest completion across all channels (the simulated makespan so
+  /// far when the timeline started fresh). Only meaningful between
+  /// drains.
+  [[nodiscard]] uint64_t BusyMaxUs() const;
+
+  /// Total calendar events fired so far (perf accounting).
+  [[nodiscard]] uint64_t EventsProcessed() const { return calendar_.Processed(); }
+
+  /// Wires the occupancy series fed from event transitions: one
+  /// busy-timeline per channel, the controller timeline (bounded-
+  /// controller model; ignored otherwise) and one bus-slot timeline
+  /// per channel (bus-contention model; pass empty otherwise). Null
+  /// entries / empty vectors detach. Never perturbs the timeline.
+  void AttachMetrics(std::vector<TimeSeries*> channel_busy,
+                     TimeSeries* controller_busy,
+                     std::vector<TimeSeries*> bus_busy);
+
+  void OnEvent(SimContext& ctx, const Event& e) override;
+
+ private:
+  // Cache-line-sized: shards fold completions concurrently.
+  struct alignas(64) ShardState {
+    uint64_t busy_max_us = 0;
+    std::vector<IoOutcome> outcomes;
+  };
+
+  void Complete(SimContext& ctx, uint64_t id, uint64_t start_us);
+
+  bool serialized_;
+  ShardedCalendar calendar_;
+  /// Per-channel busy-until: IOs dispatched to different channels
+  /// overlap; IOs on one channel serialize.
+  std::vector<uint64_t> chan_busy_us_;
+  /// Per-channel data-bus-slot busy-until (bus-contention model).
+  std::vector<uint64_t> bus_busy_us_;
+  /// Controller busy-until (bounded-controller model): controller
+  /// stages of in-flight IOs never overlap.
+  uint64_t ctrl_busy_us_ = 0;
+  std::vector<std::unique_ptr<ShardState>> shard_state_;
+  bool collect_outcomes_ = false;
+  std::unique_ptr<ThreadPool> pool_;  // lazily created for sharded drains
+
+  // Observability handles (null / empty when unattached).
+  std::vector<TimeSeries*> m_chan_busy_;
+  TimeSeries* m_ctrl_busy_ = nullptr;
+  std::vector<TimeSeries*> m_bus_busy_;
+};
+
+}  // namespace uflip
+
+#endif  // UFLIP_SIM_DEVICE_TIMELINE_H_

@@ -1,0 +1,73 @@
+// Typed events of the discrete-event simulation core (src/sim/). An
+// Event is a point on the simulated timeline: "at time_us, something
+// happens on channel". The calendar (calendar.h) orders events by
+// (time_us, seq) -- seq is a monotone per-calendar sequence number
+// stamped at Schedule time, so events at the same simulated instant
+// execute in FIFO (schedule) order, deterministically, on every run.
+//
+// The device model (device_timeline.h) runs each IO as a short causal
+// chain of these events:
+//
+//   kDispatch      the IO reaches the controller and acquires its
+//                  resources (channel; plus the serialized controller
+//                  timeline under the bounded-controller model);
+//   kBusTransfer   the chip-to-controller data transfer acquires the
+//                  channel's data-bus slot (only when per-channel bus
+//                  contention is enabled -- ControllerConfig::
+//                  channel_bus_contention);
+//   kComplete      the IO's completion record becomes visible.
+//
+// kGeneric is for tests and future background processes (GC, aging)
+// that want a calendar without inventing new kinds.
+#ifndef UFLIP_SIM_EVENT_H_
+#define UFLIP_SIM_EVENT_H_
+
+#include <cstdint>
+
+namespace uflip {
+
+enum class EventKind : uint8_t {
+  kDispatch,
+  kBusTransfer,
+  kComplete,
+  kGeneric,
+};
+
+const char* EventKindName(EventKind kind);
+
+/// One scheduled occurrence. The payload fields (id, aux, a/b/c) are
+/// kind-specific and owned by whoever schedules the event; the calendar
+/// only reads time_us and seq.
+struct Event {
+  /// Simulated time the event fires at.
+  uint64_t time_us = 0;
+  /// FIFO tie-breaker at equal time_us: stamped by the calendar when
+  /// the event is scheduled, monotone per calendar shard. Callers never
+  /// set it.
+  uint64_t seq = 0;
+  EventKind kind = EventKind::kGeneric;
+  /// Flash channel the event belongs to; the ShardedCalendar routes an
+  /// event to shard (channel % shards).
+  uint32_t channel = 0;
+  /// Caller payload: the IO token of the chain this event belongs to.
+  uint64_t id = 0;
+  /// Caller payload: a second integer slot (the device model carries
+  /// the IO's start time through its chain here).
+  uint64_t aux = 0;
+  /// Caller payload: stage durations in microseconds (the device model
+  /// uses a = controller stage, b = flash stage, c = bus stage).
+  double a = 0;
+  double b = 0;
+  double c = 0;
+};
+
+/// Calendar ordering: earlier time first; FIFO (schedule order) at
+/// equal times.
+inline bool EventAfter(const Event& x, const Event& y) {
+  if (x.time_us != y.time_us) return x.time_us > y.time_us;
+  return x.seq > y.seq;
+}
+
+}  // namespace uflip
+
+#endif  // UFLIP_SIM_EVENT_H_

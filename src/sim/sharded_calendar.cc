@@ -1,0 +1,157 @@
+#include "src/sim/sharded_calendar.h"
+
+#include <future>
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace uflip {
+
+ShardedCalendar::ShardedCalendar(uint32_t shards) {
+  UFLIP_CHECK(shards >= 1);
+  shards_.reserve(shards);
+  for (uint32_t s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  mail_.resize(static_cast<size_t>(shards) * shards);
+}
+
+void ShardedCalendar::Schedule(const Event& e) {
+  shards_[ShardOf(e.channel)]->calendar.Schedule(e);
+}
+
+bool ShardedCalendar::Empty() const {
+  for (const auto& s : shards_) {
+    if (!s->calendar.empty()) return false;
+  }
+  for (const auto& box : mail_) {
+    if (!box.empty()) return false;
+  }
+  return true;
+}
+
+size_t ShardedCalendar::Size() const {
+  size_t n = 0;
+  for (const auto& s : shards_) n += s->calendar.size();
+  for (const auto& box : mail_) n += box.size();
+  return n;
+}
+
+uint64_t ShardedCalendar::Processed() const {
+  uint64_t n = 0;
+  for (const auto& s : shards_) n += s->processed;
+  return n;
+}
+
+void ShardedCalendar::ScheduleFrom(uint32_t src_shard, const Event& e) {
+  uint32_t dst = ShardOf(e.channel);
+  if (dst == src_shard || !draining_parallel_) {
+    shards_[dst]->calendar.Schedule(e);
+    return;
+  }
+  // Cross-shard while another shard's worker may be running: park the
+  // event in the (src, dst) mailbox for delivery at the barrier. The
+  // conservative protocol is only sound if the event cannot fire
+  // inside the current window -- that is the lookahead guarantee a
+  // handler must provide to schedule across shards at all. With
+  // kNoWindow, window_end_ is UINT64_MAX and no event can satisfy
+  // this, which is exactly the "no cross-shard scheduling" rule of
+  // unwindowed drains.
+  UFLIP_CHECK_MSG(e.time_us >= window_end_,
+                  "cross-shard event inside the current window "
+                  "(shard %u -> %u)",
+                  src_shard, dst);
+  mail_[static_cast<size_t>(src_shard) * shards_.size() + dst].push_back(e);
+}
+
+void ShardedCalendar::DrainShard(uint32_t shard, EventHandler* handler,
+                                 uint64_t horizon) {
+  Shard& s = *shards_[shard];
+  while (!s.calendar.empty() && s.calendar.Peek().time_us < horizon) {
+    Event e = s.calendar.PopTop();
+    SimContext ctx(this, shard, e.time_us);
+    handler->OnEvent(ctx, e);
+    ++s.processed;
+  }
+}
+
+bool ShardedCalendar::DeliverMail() {
+  bool any = false;
+  // (source shard, position) order: deterministic because each source
+  // appends to its mailboxes in its own drain order.
+  for (size_t src = 0; src < shards_.size(); ++src) {
+    for (size_t dst = 0; dst < shards_.size(); ++dst) {
+      std::vector<Event>& box = mail_[src * shards_.size() + dst];
+      for (const Event& e : box) {
+        shards_[dst]->calendar.Schedule(e);
+        any = true;
+      }
+      box.clear();
+    }
+  }
+  return any;
+}
+
+uint64_t ShardedCalendar::NextEventTime() const {
+  uint64_t t = kNoWindow;
+  for (const auto& s : shards_) {
+    if (!s->calendar.empty() && s->calendar.Peek().time_us < t) {
+      t = s->calendar.Peek().time_us;
+    }
+  }
+  return t;
+}
+
+void ShardedCalendar::RunAll(EventHandler* handler) {
+  // Merge shard heads by (time_us, shard index); within a shard the
+  // heap already yields (time_us, seq). This is the reference event
+  // order for the byte-identity contract.
+  for (;;) {
+    uint32_t best = UINT32_MAX;
+    uint64_t best_time = 0;
+    for (uint32_t s = 0; s < shards_.size(); ++s) {
+      const EventCalendar& cal = shards_[s]->calendar;
+      if (cal.empty()) continue;
+      if (best == UINT32_MAX || cal.Peek().time_us < best_time) {
+        best = s;
+        best_time = cal.Peek().time_us;
+      }
+    }
+    if (best == UINT32_MAX) return;
+    Event e = shards_[best]->calendar.PopTop();
+    SimContext ctx(this, best, e.time_us);
+    handler->OnEvent(ctx, e);
+    ++shards_[best]->processed;
+  }
+}
+
+void ShardedCalendar::RunAllParallel(EventHandler* handler, ThreadPool* pool,
+                                     uint64_t window_us) {
+  if (shards_.size() == 1 || pool == nullptr) {
+    RunAll(handler);
+    return;
+  }
+  draining_parallel_ = true;
+  for (;;) {
+    uint64_t next = NextEventTime();
+    if (next == kNoWindow) break;
+    window_end_ = window_us == kNoWindow
+                      ? kNoWindow
+                      : (next > kNoWindow - window_us ? kNoWindow
+                                                      : next + window_us);
+    std::vector<std::future<void>> rounds;
+    rounds.reserve(shards_.size());
+    for (uint32_t s = 0; s < shards_.size(); ++s) {
+      uint64_t horizon = window_end_;
+      rounds.push_back(pool->Submit(
+          [this, s, handler, horizon] { DrainShard(s, handler, horizon); }));
+    }
+    for (auto& f : rounds) f.get();  // rethrows handler exceptions
+    DeliverMail();
+  }
+  window_end_ = kNoWindow;
+  draining_parallel_ = false;
+}
+
+}  // namespace uflip
+

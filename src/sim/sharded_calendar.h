@@ -1,0 +1,114 @@
+// ShardedCalendar: one EventCalendar per shard, events routed by
+// (channel % shards). The point of sharding is intra-device
+// parallelism: a device whose channels are independent resources can
+// drain each shard's events on its own worker thread (RunAllParallel)
+// and still produce exactly the output of a serial drain.
+//
+// Sharding contract (what makes parallel == serial, byte for byte):
+//
+//  * An event chain that stays on one channel stays on one shard, so
+//    its events execute in (time_us, seq) order no matter how many
+//    shards or threads drain the calendar.
+//  * Handlers may only touch state owned by the event's channel (plus
+//    per-shard state keyed on SimContext::shard()). The device model
+//    honors this by construction; a serialized controller is a
+//    cross-channel resource, so DeviceTimeline forces one shard there.
+//  * Cross-shard scheduling is the one ordering hazard, and it is
+//    governed by the conservative time-window protocol: during a
+//    windowed parallel drain, an event scheduled onto another shard
+//    must not fire before the current window ends (the lookahead
+//    guarantee). Such events are parked in per-(source, destination)
+//    mailboxes and delivered at the window barrier in deterministic
+//    (source shard, mailbox position) order. An unwindowed parallel
+//    drain (kNoWindow) forbids cross-shard scheduling outright.
+#ifndef UFLIP_SIM_SHARDED_CALENDAR_H_
+#define UFLIP_SIM_SHARDED_CALENDAR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/sim/calendar.h"
+#include "src/sim/event.h"
+#include "src/util/thread_pool.h"
+
+namespace uflip {
+
+class ShardedCalendar {
+ public:
+  /// Sentinel window for RunAllParallel: drain every shard to empty in
+  /// one round, no barriers. Requires that handlers never schedule
+  /// across shards (checked).
+  static constexpr uint64_t kNoWindow = UINT64_MAX;
+
+  explicit ShardedCalendar(uint32_t shards);
+  ShardedCalendar(const ShardedCalendar&) = delete;
+  ShardedCalendar& operator=(const ShardedCalendar&) = delete;
+
+  uint32_t shards() const { return static_cast<uint32_t>(shards_.size()); }
+  uint32_t ShardOf(uint32_t channel) const {
+    return channel % static_cast<uint32_t>(shards_.size());
+  }
+
+  /// Schedules an event from outside a drain (initial population).
+  /// Routed to shard ShardOf(e.channel); seq is stamped by that shard.
+  void Schedule(const Event& e);
+
+  [[nodiscard]] bool Empty() const;
+  [[nodiscard]] size_t Size() const;
+
+  /// Events popped and handled so far, across all drains and shards.
+  [[nodiscard]] uint64_t Processed() const;
+
+  /// Drains every shard to empty on the calling thread, merging shard
+  /// heads in (time_us, shard index) order. This is the reference
+  /// order; parallel drains must be observationally identical to it.
+  void RunAll(EventHandler* handler);
+
+  /// Drains every shard to empty using one pool task per shard.
+  /// window_us bounds how far a round may advance past the earliest
+  /// pending event before the barrier at which cross-shard mail is
+  /// delivered; kNoWindow drains in a single barrier-free round.
+  /// Falls back to RunAll when the calendar has one shard or `pool`
+  /// is null.
+  void RunAllParallel(EventHandler* handler, ThreadPool* pool,
+                      uint64_t window_us = kNoWindow);
+
+ private:
+  friend class SimContext;
+
+  // Cache-line-sized so two workers' hot counters never share a line.
+  struct alignas(64) Shard {
+    EventCalendar calendar;
+    uint64_t processed = 0;
+  };
+
+  /// SimContext::Schedule lands here. Same-shard events go straight
+  /// into the shard's calendar; cross-shard events are mailboxed (only
+  /// legal when the event fires at/after the current window barrier).
+  void ScheduleFrom(uint32_t src_shard, const Event& e);
+
+  /// Pops and handles `shard`'s events with time_us < horizon.
+  void DrainShard(uint32_t shard, EventHandler* handler, uint64_t horizon);
+
+  /// Moves mailboxed events into their destination calendars in
+  /// (source shard, position) order. Returns whether any were moved.
+  bool DeliverMail();
+
+  /// Earliest pending time across shards, or kNoWindow if all empty.
+  uint64_t NextEventTime() const;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  // mail_[src * shards + dst]: written only by src's worker during a
+  // round, read only at the barrier.
+  std::vector<std::vector<Event>> mail_;
+  // End of the current parallel round's window; UINT64_MAX outside
+  // windowed rounds (making the cross-shard lookahead check reject
+  // everything in unwindowed mode).
+  uint64_t window_end_ = UINT64_MAX;
+  bool draining_parallel_ = false;
+};
+
+}  // namespace uflip
+
+#endif  // UFLIP_SIM_SHARDED_CALENDAR_H_

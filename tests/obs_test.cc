@@ -323,6 +323,7 @@ TEST(RunManifestTest, JsonGolden) {
       "    \"zeta\": \"1\"\n"
       "  },\n"
       "  \"jobs\": 1,\n"
+      "  \"calendar_shards\": 1,\n"
       "  \"events\": 100,\n"
       "  \"wall_seconds\": 0.5,\n"
       "  \"events_per_sec\": 200,\n"
