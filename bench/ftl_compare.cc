@@ -41,9 +41,18 @@
 //                              # merged across every cell and rep
 //     [--explain=CELL]     # utilization timelines (per-channel busy
 //                          # fraction, controller occupancy, queue
-//                          # depth) of the first cell matching CELL --
-//                          # comma-separated axis values, "*" wildcard,
+//                          # depth) plus the per-IO stage-latency
+//                          # breakdown ("where the time went") of the
+//                          # first cell matching CELL -- comma-
+//                          # separated axis values, "*" wildcard,
 //                          # prefix allowed: --explain=mtron,FAST,8
+//     [--trace_out=t.json] # Chrome trace_event JSON of rep 1 of the
+//                          # --explain cell (first cell otherwise):
+//                          # open in Perfetto / chrome://tracing.
+//                          # Byte-identical across --jobs and
+//                          # --calendar_shards
+//     [--span_head=4096]   # per-rep span capture: first-N limit
+//     [--span_tail=64]     # ... and slowest-K tail reservoir size
 //     [--capacity_mb/--io_size/--theta/... generator flags]
 //
 // Every cell prepares a fresh device (random state enforcement +
@@ -76,7 +85,9 @@
 #include "src/device/async_sim_device.h"
 #include "src/obs/metric_registry.h"
 #include "src/obs/run_manifest.h"
+#include "src/obs/span_trace.h"
 #include "src/report/grid_report.h"
+#include "src/report/stage_table.h"
 #include "src/report/timeline.h"
 #include "src/run/parallel_exec.h"
 #include "src/run/trace_run.h"
@@ -120,6 +131,12 @@ struct SweepConfig {
   // output is byte-identical for every value (see
   // src/sim/sharded_calendar.h).
   uint32_t calendar_shards = 1;
+  // Per-IO span tracing (--trace_out / --explain / --metrics_out):
+  // every unit runs with a SpanRecorder attached so stage aggregates
+  // reach the manifest and the --explain cell; the capture of one
+  // canonical cell is exported as a Chrome trace.
+  bool spans_enabled = false;
+  SpanRecorderConfig span_config;
 };
 
 /// Observability collection across the sweep (--metrics_out /
@@ -140,6 +157,17 @@ struct ObsCollection {
   /// timelines sum under merge, so only a single rep reads as a true
   /// 0..1 busy fraction.
   MetricSnapshot explain;
+
+  /// --trace_out: Chrome-trace export of rep 0 of the first cell
+  /// matching `trace_spec` (the --explain spec, or "*"). Selected
+  /// during the canonical fold, so the export is byte-identical across
+  /// --jobs and --calendar_shards.
+  std::string trace_out;   // empty = no --trace_out
+  std::string trace_spec;
+  bool trace_found = false;
+  std::string trace_label;
+  bool trace_serialized_controller = false;
+  SpanSnapshot trace_spans;
 };
 
 /// True when `keys` matches an --explain spec: comma-separated axis
@@ -173,6 +201,11 @@ struct UnitResult {
   uint64_t makespan_us = 0;  // device-time makespan of this rep
   bool has_metrics = false;
   MetricSnapshot metrics;
+  bool has_spans = false;
+  SpanSnapshot spans;
+  /// Whether this unit's effective profile ran the bounded-controller
+  /// model (the Chrome export renders a controller track only then).
+  bool serialized_controller = false;
   /// Rep 0 of a profile-default-cache cell: the cache size the built
   /// stack actually runs with ("none" when the profile has no cache).
   std::string resolved_cache;
@@ -237,13 +270,26 @@ StatusOr<UnitResult> RunUnit(const Flags& flags, const SweepConfig& cfg,
   // it into run->metrics. Merging the per-rep snapshots is
   // deterministic (see MetricSnapshot::Merge).
   MetricRegistry registry;
+  // Per-rep span recorder, same lifecycle: attached after preparation
+  // so spans cover the replay window only; the run layer snapshots it
+  // into run->spans.
+  SpanRecorder spans(cfg.span_config);
+  out.serialized_controller = profile.controller.SerializedController();
   if (queue_depth > 0) {
     async = std::make_unique<AsyncSimDevice>(std::move(dev), queue_depth,
                                              cfg.calendar_shards);
     if (obs_enabled) async->AttachMetrics(&registry);
+    if (cfg.spans_enabled) {
+      async->AttachSpans(&spans);
+      if (obs_enabled) spans.RegisterMetrics(&registry);
+    }
     run = ExecuteTraceRun(async.get(), source.get(), cfg.replay);
   } else {
     if (obs_enabled) dev->AttachMetrics(&registry);
+    if (cfg.spans_enabled) {
+      dev->AttachSpans(&spans);
+      if (obs_enabled) spans.RegisterMetrics(&registry);
+    }
     run = ExecuteTraceRun(dev.get(), source.get(), cfg.replay);
   }
   if (!run.ok()) {
@@ -256,6 +302,10 @@ StatusOr<UnitResult> RunUnit(const Flags& flags, const SweepConfig& cfg,
   if (obs_enabled && run->metrics) {
     out.has_metrics = true;
     out.metrics = std::move(*run->metrics);
+  }
+  if (cfg.spans_enabled && run->spans) {
+    out.has_spans = true;
+    out.spans = std::move(*run->spans);
   }
   out.stats = run->Stats();
   out.ios = run->streamed_stats_all ? run->streamed_stats_all->count
@@ -293,6 +343,19 @@ void FoldCell(const SweepConfig& cfg, UnitResult* units, GridCell* cell,
     }
     total_ios += u.ios;
     total_makespan_us += u.makespan_us;
+  }
+  // --trace_out: the export is rep 0 of the first cell matching the
+  // trace spec, picked here in the canonical fold order, so the traced
+  // cell (and the file's bytes) never depends on worker scheduling.
+  if (!obs->trace_out.empty() && !obs->trace_found && units[0].has_spans &&
+      MatchesExplain(obs->trace_spec, cell->keys)) {
+    obs->trace_found = true;
+    obs->trace_spans = std::move(units[0].spans);
+    obs->trace_serialized_controller = units[0].serialized_controller;
+    obs->trace_label = cell->keys[0];
+    for (size_t i = 1; i < cell->keys.size(); ++i) {
+      obs->trace_label += "," + cell->keys[i];
+    }
   }
   if (obs->enabled) {
     obs->merged.Merge(cell_metrics);
@@ -549,6 +612,15 @@ int Main(int argc, char** argv) {
     obs.explain_spec = "*";  // bare --explain: first cell of the sweep
   }
   obs.enabled = !metrics_out.empty() || !obs.explain_spec.empty();
+  obs.trace_out = flags.GetString("trace_out", "");
+  // The traced cell follows --explain when given; otherwise the first
+  // cell of the sweep.
+  obs.trace_spec = obs.explain_spec.empty() ? "*" : obs.explain_spec;
+  cfg.span_config.head_limit = flags.GetUint32("span_head", 4096);
+  cfg.span_config.tail_k = flags.GetUint32("span_tail", 64);
+  // Spans feed both the Chrome export and the span.* stage aggregates
+  // in --explain / --metrics_out, so any of the three turns them on.
+  cfg.spans_enabled = obs.enabled || !obs.trace_out.empty();
   // uflip-lint: allow(wall-clock) -- manifest wall_seconds provenance
   auto wall_start = std::chrono::steady_clock::now();
 
@@ -622,10 +694,35 @@ int Main(int argc, char** argv) {
       } else {
         std::printf("%s", timelines.c_str());
       }
+      std::string stages = RenderStageBreakdown(obs.explain);
+      if (!stages.empty()) std::printf("%s", stages.c_str());
       std::printf("\n");
     } else {
       std::fprintf(stderr, "--explain=%s matched no cell\n",
                    obs.explain_spec.c_str());
+    }
+  }
+
+  if (!obs.trace_out.empty()) {
+    if (!obs.trace_found) {
+      std::fprintf(stderr, "--trace_out: spec %s matched no cell\n",
+                   obs.trace_spec.c_str());
+      return 1;
+    }
+    ChromeTraceOptions topt;
+    topt.process_name = obs.trace_label;
+    topt.serialized_controller = obs.trace_serialized_controller;
+    if (!WriteChromeTrace(obs.trace_spans, obs.trace_out, topt)) {
+      std::fprintf(stderr, "cannot write --trace_out=%s\n",
+                   obs.trace_out.c_str());
+      return 1;
+    }
+    if (obs.trace_out != "-") {
+      std::printf("span trace: %s (cell %s rep 1, %" PRIu64
+                  " spans recorded; captured first %zu + slowest %zu)\n",
+                  obs.trace_out.c_str(), obs.trace_label.c_str(),
+                  obs.trace_spans.recorded, obs.trace_spans.head.size(),
+                  obs.trace_spans.tail.size());
     }
   }
 
@@ -651,6 +748,8 @@ int Main(int argc, char** argv) {
                                       wall_start)
             .count();
     manifest.sim_makespan_us = obs.sim_makespan_us;
+    manifest.span_trace_enabled = cfg.spans_enabled;
+    manifest.span_config = cfg.span_config;
     manifest.metrics = std::move(obs.merged);
     if (!manifest.WriteTo(metrics_out)) {
       std::fprintf(stderr, "cannot write --metrics_out=%s\n",

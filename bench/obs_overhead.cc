@@ -7,14 +7,15 @@
 //   obs_overhead [--io_count=30000] [--trials=5] [--max_overhead_pct=3]
 //                [--kind=zipfian ... generator flags]
 //
-// Method: two identically prepared devices (same preparation seed),
-// one with a MetricRegistry attached and one without. Each trial
-// replays the identical synthetic workload on BOTH arms back-to-back
-// (interleaved, so clock-frequency drift hits both arms equally); the
-// comparison is min-of-trials per arm. Both arms run the same
-// simulated work -- instrumentation must not change simulated
-// behavior, which tests/obs_test.cc pins separately -- so the wall
-// time delta isolates the instrumentation cost. Exit 1 when the
+// Method: identically prepared devices (same preparation seed), one
+// per arm: metrics attached, spans attached (SpanRecorder), and bare
+// (null handles). Each trial replays the identical synthetic workload
+// on every arm back-to-back (interleaved, so clock-frequency drift
+// hits all arms equally); the comparison is min-of-trials per arm.
+// All arms run the same simulated work -- instrumentation must not
+// change simulated behavior, which tests/obs_test.cc and
+// tests/span_trace_test.cc pin separately -- so the wall time delta
+// isolates the instrumentation cost. Exit 1 when either arm's
 // overhead exceeds --max_overhead_pct.
 #include <algorithm>
 #include <chrono>
@@ -25,6 +26,7 @@
 #include "bench/bench_util.h"
 #include "bench/trace_flags.h"
 #include "src/obs/metric_registry.h"
+#include "src/obs/span_trace.h"
 #include "src/run/trace_run.h"
 
 namespace uflip {
@@ -58,6 +60,23 @@ bool TimedReplay(const Flags& flags, SimDevice* dev, double* seconds) {
   return true;
 }
 
+/// Prints one arm's result line and enforces the gate. Returns false
+/// when the arm's overhead exceeds the limit.
+bool GateArm(const char* name, double arm_s, double plain_s, uint32_t trials,
+             double max_overhead_pct) {
+  double overhead_pct = plain_s > 0 ? 100.0 * (arm_s - plain_s) / plain_s : 0;
+  std::printf(
+      "disabled %.4fs, %s %.4fs (min of %u trials): "
+      "overhead %+.2f%% (limit %.1f%%)\n",
+      plain_s, name, arm_s, trials, overhead_pct, max_overhead_pct);
+  if (overhead_pct > max_overhead_pct) {
+    std::fprintf(stderr, "FAIL: %s overhead %.2f%% exceeds %.1f%%\n", name,
+                 overhead_pct, max_overhead_pct);
+    return false;
+  }
+  return true;
+}
+
 int Main(int argc, char** argv) {
   Flags flags(argc, argv);
   uint32_t trials = flags.GetUint32("trials", 5);
@@ -67,41 +86,39 @@ int Main(int argc, char** argv) {
     return 2;
   }
 
-  // Two identical devices: same profile, same preparation seed. Trial
-  // t of each arm therefore replays onto identical device state, so
-  // the arms differ only in instrumentation.
+  // Identical devices: same profile, same preparation seed. Trial t of
+  // each arm therefore replays onto identical device state, so the
+  // arms differ only in instrumentation.
   auto plain = MakeDeviceWithState("mtron", 0, false);
   auto instrumented = MakeDeviceWithState("mtron", 0, false);
+  auto spanned = MakeDeviceWithState("mtron", 0, false);
   InterRunPause(plain.get());
   InterRunPause(instrumented.get());
+  InterRunPause(spanned.get());
   MetricRegistry registry;
   instrumented->AttachMetrics(&registry);
+  SpanRecorder recorder;
+  spanned->AttachSpans(&recorder);
 
   // Interleaved trials: each iteration replays the same workload on
-  // both arms (both devices age identically, so trial t compares equal
+  // every arm (all devices age identically, so trial t compares equal
   // simulated work); a warm-up trial per arm is discarded.
-  double plain_s = -1, inst_s = -1;
+  double plain_s = -1, inst_s = -1, span_s = -1;
   for (uint32_t t = 0; t <= trials; ++t) {
-    double p = 0, i = 0;
+    double p = 0, i = 0, s = 0;
     if (!TimedReplay(flags, plain.get(), &p)) return 1;
     if (!TimedReplay(flags, instrumented.get(), &i)) return 1;
+    if (!TimedReplay(flags, spanned.get(), &s)) return 1;
     if (t == 0) continue;  // warm-up
     if (plain_s < 0 || p < plain_s) plain_s = p;
     if (inst_s < 0 || i < inst_s) inst_s = i;
+    if (span_s < 0 || s < span_s) span_s = s;
   }
 
-  double overhead_pct = plain_s > 0 ? 100.0 * (inst_s - plain_s) / plain_s
-                                    : 0;
-  std::printf(
-      "disabled %.4fs, instrumented %.4fs (min of %u trials): "
-      "overhead %+.2f%% (limit %.1f%%)\n",
-      plain_s, inst_s, trials, overhead_pct, max_overhead_pct);
-  if (overhead_pct > max_overhead_pct) {
-    std::fprintf(stderr,
-                 "FAIL: instrumentation overhead %.2f%% exceeds %.1f%%\n",
-                 overhead_pct, max_overhead_pct);
-    return 1;
-  }
+  bool ok = GateArm("instrumented", inst_s, plain_s, trials,
+                    max_overhead_pct);
+  ok &= GateArm("span-traced", span_s, plain_s, trials, max_overhead_pct);
+  if (!ok) return 1;
   std::printf("PASS\n");
   return 0;
 }

@@ -9,8 +9,9 @@
 //                [--label=ci] [--jobs=N]
 //                [--speedup_reps=5] [--speedup_io_count=2000]
 //                [--des_io_count=300000] [--des_channels=8]
+//                [--span_io_count=200000]
 //
-// Four legs:
+// Five legs:
 //  * replay throughput -- one synthetic workload replayed through the
 //    async multi-queue path (qd=8 over 4 channels, the explorer's hot
 //    configuration), reported as events/sec of pure replay (device
@@ -37,16 +38,22 @@
 //    fans out independent (cell x rep) units, this measures
 //    parallelism *inside* a single simulated device.
 //    --des_io_count=0 skips the leg.
+//  * span recording -- the same single-device drain, once bare and
+//    once with a SpanRecorder attached (src/obs/span_trace.h), so the
+//    record tracks the per-IO span-capture hot path: spans/sec of the
+//    traced drain and the overhead fraction versus the bare drain.
+//    --span_io_count=0 skips the leg.
 // Peak RSS comes from getrusage(RUSAGE_SELF) after all legs.
 //
 // The output file is a JSON array of records; a new record is appended
 // by rewriting the closing bracket, so the file stays valid JSON after
-// every run and diffs line-per-record. Record schema 3 (older schema-1
-// and schema-2 records remain in place and readable; consumers treat
+// every run and diffs line-per-record. Record schema 4 (older schema-1
+// to schema-3 records remain in place and readable; consumers treat
 // the added fields -- schema, jobs, wall_seconds, parallel_speedup,
-// the speedup_* group and, with schema 3, calendar_shards and the
-// des_* group -- as optional): one record distinguishes serial from
-// parallel runs by its jobs field.
+// the speedup_* group, with schema 3 calendar_shards and the des_*
+// group, and with schema 4 the spans_* / span_overhead_frac group --
+// as optional): one record distinguishes serial from parallel runs by
+// its jobs field.
 #include <sys/resource.h>
 
 #include <algorithm>
@@ -61,6 +68,7 @@
 #include "bench/trace_flags.h"
 #include "src/device/async_sim_device.h"
 #include "src/obs/run_manifest.h"
+#include "src/obs/span_trace.h"
 #include "src/run/trace_run.h"
 #include "src/sim/device_timeline.h"
 #include "src/trace/synthetic.h"
@@ -147,11 +155,14 @@ Status SpeedupUnit(const DeviceProfile& base, FtlKind ftl, uint32_t qd,
 /// durations derived from the index -- no RNG, so the event stream is
 /// identical across shard counts) and resolved in fixed-size batches.
 /// Returns the drain's wall seconds; *events_out gets the calendar
-/// events processed.
+/// events processed. `recorder`, when non-null, is attached before the
+/// drain (span leg: the bare call measures the same drain without it).
 double DesDrainSeconds(uint32_t channels, uint32_t shards, uint64_t io_count,
-                       uint64_t* events_out) {
+                       uint64_t* events_out,
+                       SpanRecorder* recorder = nullptr) {
   DeviceTimeline timeline(channels, /*serialized_controller=*/false, shards,
                           /*initial_busy_us=*/0);
+  if (recorder != nullptr) timeline.AttachSpans(recorder);
   constexpr uint64_t kBatch = 262144;
   // uflip-lint: allow(wall-clock) -- intra-device speedup timing leg
   auto start = std::chrono::steady_clock::now();
@@ -349,11 +360,45 @@ int Main(int argc, char** argv) {
         des_events_per_sec);
   }
 
+  // Leg 5: span-recording hot path -- the single-device drain bare,
+  // then with a SpanRecorder attached. Bare first so the traced pass
+  // runs against a warm allocator, mirroring legs 3 and 4.
+  uint64_t span_io_count = flags.GetUint32("span_io_count", 200000);
+  uint64_t spans_recorded = 0;
+  double spans_per_sec = 0;
+  double span_overhead_frac = 0;
+  if (span_io_count > 0) {
+    uint64_t bare_events = 0, traced_events = 0;
+    double bare_seconds =
+        DesDrainSeconds(des_channels, 1, span_io_count, &bare_events);
+    SpanRecorder recorder;
+    double traced_seconds = DesDrainSeconds(des_channels, 1, span_io_count,
+                                            &traced_events, &recorder);
+    if (traced_events != bare_events) {
+      std::fprintf(stderr,
+                   "span leg: traced drain processed %llu events, bare %llu\n",
+                   static_cast<unsigned long long>(traced_events),
+                   static_cast<unsigned long long>(bare_events));
+      return 1;
+    }
+    spans_recorded = recorder.recorded();
+    spans_per_sec = traced_seconds > 0
+                        ? static_cast<double>(spans_recorded) / traced_seconds
+                        : 0;
+    span_overhead_frac =
+        bare_seconds > 0 ? (traced_seconds - bare_seconds) / bare_seconds : 0;
+    std::printf(
+        "span leg: %llu spans, bare %.3fs vs traced %.3fs = %+.1f%% "
+        "(%.0f spans/s)\n",
+        static_cast<unsigned long long>(spans_recorded), bare_seconds,
+        traced_seconds, 100.0 * span_overhead_frac, spans_per_sec);
+  }
+
   double peak_rss_mb = PeakRssMb();
   JsonWriter json(2);
   json.BeginObject();
   json.Key("schema");
-  json.Uint(3);
+  json.Uint(4);
   json.Key("git");
   json.String(GitDescribe());
   if (!label.empty()) {
@@ -396,6 +441,14 @@ int Main(int argc, char** argv) {
     json.Double(des_sharded_seconds);
     json.Key("intra_device_speedup");
     json.Double(intra_device_speedup);
+  }
+  if (span_io_count > 0) {
+    json.Key("spans_recorded");
+    json.Uint(spans_recorded);
+    json.Key("spans_per_sec");
+    json.Double(spans_per_sec);
+    json.Key("span_overhead_frac");
+    json.Double(span_overhead_frac);
   }
   json.Key("wall_seconds");
   json.Double(SecondsSince(wall_start));

@@ -10,6 +10,8 @@
 //                       [--queue_depth=8] [--channels=4]
 //                       [--controller_us=50] [--pipelined=false]
 //                       [--stream-replay] [--metrics_out=m.json]
+//                       [--trace_out=t.json] [--span_head=4096]
+//                       [--span_tail=64]
 //                       [--reps=5] [--jobs=N] [--calendar_shards=N]
 //   trace_tool analyze  --trace=sweep.csv[.gz] | --kind=zipfian|oltp|...
 //                       [--top=10] [--hot_block=32768] [--width=72]
@@ -47,7 +49,11 @@
 // produces the arrival-rate curve, the read/write mix over time and the
 // top-N hottest LBA regions. `replay --metrics_out=m.json` writes a run
 // manifest (flags, seed, git, events/sec, full metric snapshot) for the
-// replay, same schema as ftl_compare's.
+// replay, same schema as ftl_compare's. `replay --trace_out=t.json`
+// exports a per-IO Chrome trace (trace_event JSON, open in Perfetto /
+// chrome://tracing) of the replay -- rep 1 under --reps -- with
+// --span_head / --span_tail controlling the first-N capture and the
+// slowest-K tail reservoir (see src/obs/span_trace.h).
 //
 // `replay --reps=N` replays the identical trace on N independently-
 // prepared devices (prep seed offset r per rep) fanned across --jobs
@@ -69,6 +75,7 @@
 #include "src/device/async_sim_device.h"
 #include "src/obs/metric_registry.h"
 #include "src/obs/run_manifest.h"
+#include "src/obs/span_trace.h"
 #include "src/obs/time_series.h"
 #include "src/report/ascii_chart.h"
 #include "src/run/parallel_exec.h"
@@ -104,6 +111,27 @@ RunManifest ManifestFromFlags(const Flags& flags, const std::string& tool) {
     }
   }
   return manifest;
+}
+
+/// `replay --trace_out=`: writes `spans` as Chrome trace_event JSON to
+/// `path` ("-" = stdout) and prints the one-line summary. Returns false
+/// on I/O failure.
+bool ExportChromeTrace(const SpanSnapshot& spans, const std::string& path,
+                       const std::string& label, bool serialized_controller) {
+  ChromeTraceOptions topt;
+  topt.process_name = label;
+  topt.serialized_controller = serialized_controller;
+  if (!WriteChromeTrace(spans, path, topt)) {
+    std::fprintf(stderr, "cannot write --trace_out=%s\n", path.c_str());
+    return false;
+  }
+  if (path != "-") {
+    std::printf("span trace: %s (%llu spans recorded; captured first %zu + "
+                "slowest %zu)\n",
+                path.c_str(), static_cast<unsigned long long>(spans.recorded),
+                spans.head.size(), spans.tail.size());
+  }
+  return true;
 }
 
 TraceFormat FormatFromFlags(const Flags& flags, const std::string& out) {
@@ -276,6 +304,8 @@ int ReplicatedReplay(const Flags& flags, const ReplayOptions& opts,
                      uint32_t queue_depth, uint32_t reps, unsigned jobs,
                      uint32_t calendar_shards,
                      const std::string& metrics_out,
+                     const std::string& trace_out,
+                     const SpanRecorderConfig& span_config,
                      std::chrono::steady_clock::time_point wall_start) {
   struct RepResult {
     RunStats stats;
@@ -283,11 +313,16 @@ int ReplicatedReplay(const Flags& flags, const ReplayOptions& opts,
     uint64_t replayed = 0;
     bool has_metrics = false;
     MetricSnapshot metrics;
+    bool has_spans = false;
+    SpanSnapshot spans;
     std::string device_name;
     uint64_t capacity_bytes = 0;
     uint32_t channels_used = 0;
   };
   bool want_metrics = !metrics_out.empty();
+  // Spans feed the Chrome export and the span.* stage aggregates in the
+  // manifest, so either output turns the recorder on.
+  bool want_spans = !trace_out.empty() || want_metrics;
   auto produced = RunUnits<RepResult>(
       reps, jobs, [&](size_t rep) -> StatusOr<RepResult> {
         RepResult out;
@@ -313,16 +348,25 @@ int ReplicatedReplay(const Flags& flags, const ReplayOptions& opts,
         StatusOr<RunResult> run = Status::InvalidArgument("unreachable");
         std::unique_ptr<AsyncSimDevice> async;
         MetricRegistry registry;
+        SpanRecorder spans(span_config);
         if (queue_depth > 0) {
           async = std::make_unique<AsyncSimDevice>(std::move(dev), queue_depth,
                                                    calendar_shards);
           out.device_name = async->name();
           out.channels_used = async->channels();
           if (want_metrics) async->AttachMetrics(&registry);
+          if (want_spans) {
+            async->AttachSpans(&spans);
+            if (want_metrics) spans.RegisterMetrics(&registry);
+          }
           run = ExecuteTraceRun(async.get(), source, opts);
         } else {
           out.device_name = dev->name();
           if (want_metrics) dev->AttachMetrics(&registry);
+          if (want_spans) {
+            dev->AttachSpans(&spans);
+            if (want_metrics) spans.RegisterMetrics(&registry);
+          }
           run = ExecuteTraceRun(dev.get(), source, opts);
         }
         if (!run.ok()) {
@@ -335,6 +379,10 @@ int ReplicatedReplay(const Flags& flags, const ReplayOptions& opts,
         if (want_metrics && run->metrics) {
           out.has_metrics = true;
           out.metrics = std::move(*run->metrics);
+        }
+        if (want_spans && run->spans) {
+          out.has_spans = true;
+          out.spans = std::move(*run->spans);
         }
         out.stats = run->Stats();
         out.replayed = run->streamed_stats_all
@@ -398,10 +446,22 @@ int ReplicatedReplay(const Flags& flags, const ReplayOptions& opts,
       "percentiles from merged t-digest sketches\n",
       UsToMs(agg.mean), UsToMs(agg.mean_ci95_half));
 
+  // --trace_out exports rep 1's capture: one rep reads as a true
+  // per-IO timeline, where a multi-rep merge would overlay devices.
+  if (!trace_out.empty()) {
+    if (!first.has_spans ||
+        !ExportChromeTrace(first.spans, trace_out, first.device_name,
+                           profile.controller.SerializedController())) {
+      return 1;
+    }
+  }
+
   if (!metrics_out.empty()) {
     RunManifest manifest = ManifestFromFlags(flags, "trace_tool replay");
     manifest.jobs = jobs;
     manifest.calendar_shards = calendar_shards;
+    manifest.span_trace_enabled = want_spans;
+    manifest.span_config = span_config;
     manifest.events = total_replayed;
     manifest.wall_seconds =
         // uflip-lint: allow(wall-clock) -- manifest wall_seconds provenance
@@ -426,6 +486,10 @@ int Replay(const Flags& flags) {
   std::string path = flags.GetString("trace", "");
   if (path.empty()) return Usage();
   std::string metrics_out = flags.GetString("metrics_out", "");
+  std::string trace_out = flags.GetString("trace_out", "");
+  SpanRecorderConfig span_config;
+  span_config.head_limit = flags.GetUint32("span_head", 4096);
+  span_config.tail_k = flags.GetUint32("span_tail", 64);
   // uflip-lint: allow(wall-clock) -- manifest wall_seconds provenance
   auto wall_start = std::chrono::steady_clock::now();
   bool stream_replay = flags.GetBool("stream-replay", false) ||
@@ -514,8 +578,10 @@ int Replay(const Flags& flags) {
   if (reps > 1) {
     return ReplicatedReplay(flags, opts, path, stream_replay, trace, meta,
                             *profile, channels, queue_depth, reps, jobs,
-                            calendar_shards, metrics_out, wall_start);
+                            calendar_shards, metrics_out, trace_out,
+                            span_config, wall_start);
   }
+  bool serialized_controller = profile->controller.SerializedController();
   auto dev = MakeDeviceWithState(std::move(*profile), 0, true, channels);
   InterRunPause(dev.get());
 
@@ -525,8 +591,10 @@ int Replay(const Flags& flags) {
   StatusOr<RunResult> run = Status::InvalidArgument("unreachable");
   std::unique_ptr<AsyncSimDevice> async;
   // Attached after preparation so the snapshot covers the replay only;
-  // the run layer copies it into run->metrics.
+  // the run layer copies it into run->metrics / run->spans.
   MetricRegistry registry;
+  SpanRecorder spans(span_config);
+  bool want_spans = !trace_out.empty() || !metrics_out.empty();
   if (queue_depth > 0) {
     // Open-loop replay through the async multi-queue API: up to
     // queue_depth IOs in flight, overlapping across flash channels.
@@ -534,9 +602,17 @@ int Replay(const Flags& flags) {
                                              calendar_shards);
     dev_name = async->name();
     if (!metrics_out.empty()) async->AttachMetrics(&registry);
+    if (want_spans) {
+      async->AttachSpans(&spans);
+      if (!metrics_out.empty()) spans.RegisterMetrics(&registry);
+    }
     run = ExecuteTraceRun(async.get(), source, opts);
   } else {
     if (!metrics_out.empty()) dev->AttachMetrics(&registry);
+    if (want_spans) {
+      dev->AttachSpans(&spans);
+      if (!metrics_out.empty()) spans.RegisterMetrics(&registry);
+    }
     run = ExecuteTraceRun(dev.get(), source, opts);
   }
   if (!run.ok()) {
@@ -574,10 +650,20 @@ int Replay(const Flags& flags) {
   std::printf("\n\n");
   PrintStats(*run, "response-time statistics");
 
+  if (!trace_out.empty()) {
+    if (!run->spans ||
+        !ExportChromeTrace(*run->spans, trace_out, dev_name,
+                           serialized_controller)) {
+      return 1;
+    }
+  }
+
   if (!metrics_out.empty()) {
     RunManifest manifest = ManifestFromFlags(flags, "trace_tool replay");
     manifest.jobs = jobs;
     manifest.calendar_shards = calendar_shards;
+    manifest.span_trace_enabled = want_spans;
+    manifest.span_config = span_config;
     manifest.events = replayed;
     manifest.wall_seconds =
         // uflip-lint: allow(wall-clock) -- manifest wall_seconds provenance

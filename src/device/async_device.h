@@ -100,6 +100,10 @@ class AsyncBlockDevice {
   /// The metrics registry this device records into; nullptr when
   /// observability is not attached (same contract as BlockDevice).
   virtual MetricRegistry* metrics_registry() const { return nullptr; }
+
+  /// The per-IO span recorder this device records into; nullptr when
+  /// span tracing is not attached (same contract as BlockDevice).
+  virtual SpanRecorder* span_recorder() const { return nullptr; }
 };
 
 /// Submit-side bookkeeping shared by async implementations that resolve
@@ -165,6 +169,9 @@ class SyncAdapter : public BlockDevice {
   MetricRegistry* metrics_registry() const override {
     return async_->metrics_registry();
   }
+  SpanRecorder* span_recorder() const override {
+    return async_->span_recorder();
+  }
 
   AsyncBlockDevice* async() { return async_; }
 
@@ -195,6 +202,9 @@ class AsyncShim : public AsyncBlockDevice {
   std::string name() const override { return inner_->name() + "+queue"; }
   MetricRegistry* metrics_registry() const override {
     return inner_->metrics_registry();
+  }
+  SpanRecorder* span_recorder() const override {
+    return inner_->span_recorder();
   }
 
   BlockDevice* inner() { return inner_; }

@@ -67,6 +67,11 @@ void AsyncSimDevice::AttachMetrics(MetricRegistry* registry) {
   });
 }
 
+void AsyncSimDevice::AttachSpans(SpanRecorder* recorder) {
+  span_recorder_ = recorder;
+  timeline_.AttachSpans(recorder);
+}
+
 uint32_t AsyncSimDevice::DispatchChannelOf(const IoRequest& req) const {
   uint64_t first_page = req.offset / sim_->page_bytes();
   uint32_t ch = sim_->ftl()->DispatchChannel(first_page);
@@ -92,9 +97,12 @@ StatusOr<IoToken> AsyncSimDevice::Enqueue(uint64_t t_us,
   // eagerly (the async contract: every enqueued IO's record is
   // available immediately), so exactly one chain is in the calendar
   // and exactly one outcome comes back.
+  // submit_us = t_us: the span's queue wait covers both queue-depth
+  // backpressure (eff - t_us) and dispatch wait (start - eff).
   timeline_.Submit(token, eff, ch,
                    IoStages{service->controller_us, service->channel_us,
-                            service->bus_us});
+                            service->bus_us},
+                   /*submit_us=*/t_us);
   outcome_scratch_.clear();
   timeline_.ResolveAll(&outcome_scratch_);
   UFLIP_CHECK(outcome_scratch_.size() == 1 &&

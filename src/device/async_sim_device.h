@@ -90,6 +90,13 @@ class AsyncSimDevice : public AsyncBlockDevice {
     return sim_->metrics_registry();
   }
 
+  /// Attaches per-IO span tracing to the multi-queue timeline: every
+  /// enqueued IO records one span chain (submit at Enqueue time, so
+  /// queue-depth backpressure shows up as queue wait) into `recorder`
+  /// (not owned). nullptr detaches. Never perturbs the timeline.
+  void AttachSpans(SpanRecorder* recorder);
+  SpanRecorder* span_recorder() const override { return span_recorder_; }
+
  private:
   std::unique_ptr<SimDevice> sim_;
   uint32_t queue_depth_;
@@ -101,6 +108,7 @@ class AsyncSimDevice : public AsyncBlockDevice {
 
   // Observability handles (null when unattached; see AttachMetrics).
   TimeSeries* m_queue_depth_ = nullptr;
+  SpanRecorder* span_recorder_ = nullptr;
 };
 
 }  // namespace uflip

@@ -14,6 +14,7 @@
 namespace uflip {
 
 class MetricRegistry;
+class SpanRecorder;
 
 /// IO mode (Section 3.1, attribute 4).
 enum class IoMode { kRead, kWrite };
@@ -69,6 +70,12 @@ class BlockDevice {
   /// unattached and pay nothing). Runners use it to snapshot metrics
   /// into results without knowing the concrete device type.
   virtual MetricRegistry* metrics_registry() const { return nullptr; }
+
+  /// The per-IO span recorder this device records into, or nullptr
+  /// when span tracing is not attached (same contract as
+  /// metrics_registry; see src/obs/span_trace.h). Runners use it to
+  /// snapshot spans into results.
+  virtual SpanRecorder* span_recorder() const { return nullptr; }
 
  private:
   /// Sub-microsecond remainder of response time not yet slept (Submit).

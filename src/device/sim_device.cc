@@ -64,6 +64,11 @@ void SimDevice::AttachMetrics(MetricRegistry* registry) {
   ftl_->RegisterMetrics(registry);
 }
 
+void SimDevice::AttachSpans(SpanRecorder* recorder) {
+  span_recorder_ = recorder;
+  timeline_.AttachSpans(recorder);
+}
+
 StatusOr<ServiceCost> SimDevice::ServiceUs(double idle_us,
                                            const IoRequest& req,
                                            const uint64_t* write_tokens,

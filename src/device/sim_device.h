@@ -153,6 +153,14 @@ class SimDevice : public BlockDevice {
   void AttachMetrics(MetricRegistry* registry);
   MetricRegistry* metrics_registry() const override { return metrics_; }
 
+  /// Attaches per-IO span tracing (see src/obs/span_trace.h): every IO
+  /// submitted through the synchronous path records one span chain
+  /// into `recorder` (not owned; must outlive the device). nullptr
+  /// detaches. Like AttachMetrics, never perturbs the simulated
+  /// timeline.
+  void AttachSpans(SpanRecorder* recorder);
+  SpanRecorder* span_recorder() const override { return span_recorder_; }
+
   /// Foreground service cost of `req` when it reaches the controller
   /// after `idle_us` of device idle time (idle time is donated to
   /// asynchronous reclamation), split into the serialized
@@ -192,6 +200,7 @@ class SimDevice : public BlockDevice {
 
   // Observability handles (null when unattached; see AttachMetrics).
   MetricRegistry* metrics_ = nullptr;
+  SpanRecorder* span_recorder_ = nullptr;
   obs::Counter* m_reads_ = nullptr;
   obs::Counter* m_writes_ = nullptr;
   obs::Counter* m_read_penalties_ = nullptr;

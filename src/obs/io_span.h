@@ -1,0 +1,89 @@
+// IoSpan: the resolved per-IO span chain of the discrete-event device
+// model (src/sim/device_timeline.h), in simulated microseconds only --
+// no wall-clock field exists on purpose (the determinism linter bans
+// wall-clock reads in src/, and spans must be byte-identical across
+// --jobs and --calendar_shards).
+//
+// This header is deliberately dependency-free (cstdint only) so the
+// sim layer can hold IoSpan values without pulling the full recorder
+// (src/obs/span_trace.h) into its headers.
+//
+// Stage glossary (one IO's life, each boundary a simulated instant):
+//
+//   submit_us     the host submitted the IO (Enqueue / SubmitAt time);
+//   ready_us      the IO was admitted to dispatch -- past queue-depth
+//                 backpressure (>= submit_us; equal on the sync path);
+//   start_us      the IO acquired its resources (channel; plus the
+//                 serialized controller under the bounded-controller
+//                 model). [submit_us, start_us) is the queue wait;
+//   ctrl_end_us   end of the controller stage (firmware overhead, host
+//                 bus transfer, GC slices) -- the serialized-controller
+//                 occupancy window is [start_us, ctrl_end_us);
+//   flash_end_us  the IO released its flash channel;
+//   bus_start_us/ the chip-to-controller data transfer held the
+//   bus_end_us    channel's bus slot (bus-contention model only;
+//                 both equal flash_end_us otherwise);
+//   complete_us   the completion became visible to the host.
+//
+// Invariants (pinned by tests/span_trace_test.cc and the CI trace
+// checker): submit <= ready <= start <= ctrl_end <= flash_end <=
+// bus_start <= bus_end <= complete, with complete == max(flash_end,
+// bus_end).
+#ifndef UFLIP_OBS_IO_SPAN_H_
+#define UFLIP_OBS_IO_SPAN_H_
+
+#include <cstdint>
+
+namespace uflip {
+
+struct IoSpan {
+  /// The id passed to DeviceTimeline::Submit (the device layer's
+  /// IoToken / sync sequence number; issued in submission order).
+  uint64_t id = 0;
+  /// Flash channel the IO dispatched to.
+  uint32_t channel = 0;
+  uint64_t submit_us = 0;
+  uint64_t ready_us = 0;
+  uint64_t start_us = 0;
+  uint64_t ctrl_end_us = 0;
+  uint64_t flash_end_us = 0;
+  uint64_t bus_start_us = 0;
+  uint64_t bus_end_us = 0;
+  uint64_t complete_us = 0;
+
+  /// Stage durations, all exact integer microseconds off the event
+  /// timeline (so exported traces are byte-stable).
+  uint64_t QueueWaitUs() const { return start_us - submit_us; }
+  uint64_t ControllerUs() const { return ctrl_end_us - start_us; }
+  uint64_t FlashUs() const { return flash_end_us - ctrl_end_us; }
+  uint64_t BusUs() const { return bus_end_us - bus_start_us; }
+  uint64_t TotalUs() const { return complete_us - submit_us; }
+};
+
+/// Strict total order "a is slower than b" used by the slowest-K tail
+/// reservoir: longer total latency first, then smaller id (ids are
+/// unique within one device, so within a recorder this never ties;
+/// across merged recorders the remaining fields break ties). Being a
+/// pure function of span values -- never of arrival order -- is what
+/// makes the reservoir permutation-invariant.
+inline bool SpanSlowerThan(const IoSpan& a, const IoSpan& b) {
+  if (a.TotalUs() != b.TotalUs()) return a.TotalUs() > b.TotalUs();
+  if (a.id != b.id) return a.id < b.id;
+  if (a.submit_us != b.submit_us) return a.submit_us < b.submit_us;
+  return a.channel < b.channel;
+}
+
+/// Capture limits of a SpanRecorder. Memory is bounded by
+/// head_limit + tail_k spans regardless of run length.
+struct SpanRecorderConfig {
+  /// First-N capture: the first `head_limit` spans recorded are kept
+  /// verbatim, in record order.
+  uint64_t head_limit = 4096;
+  /// Slowest-K tail reservoir: the `tail_k` slowest spans of the whole
+  /// run (under SpanSlowerThan), kept regardless of when they occurred.
+  uint32_t tail_k = 64;
+};
+
+}  // namespace uflip
+
+#endif  // UFLIP_OBS_IO_SPAN_H_

@@ -34,6 +34,11 @@ std::string RunManifest::ToJson(int indent) const {
   w.Key("wall_seconds").Double(wall_seconds);
   w.Key("events_per_sec").Double(EventsPerSec());
   w.Key("sim_makespan_us").Uint(sim_makespan_us);
+  w.Key("span_trace").BeginObject();
+  w.Key("enabled").Bool(span_trace_enabled);
+  w.Key("head_limit").Uint(span_config.head_limit);
+  w.Key("slowest_k").Uint(span_config.tail_k);
+  w.EndObject();
   w.Key("metrics");
   metrics.AppendJson(&w);
   w.EndObject();

@@ -4,7 +4,7 @@
 // the build (git describe), throughput (events, wall seconds,
 // events/sec), the simulated makespan, and the full metric snapshot --
 // so two runs can be diffed field-by-field and CI can regression-check
-// any of it. Schema is versioned ("uflip.run_manifest/v1") and the
+// any of it. Schema is versioned ("uflip.run_manifest/v2") and the
 // output is deterministic modulo the wall-clock fields: flags are
 // emitted sorted by key and the metric object sorted by name.
 #ifndef UFLIP_OBS_RUN_MANIFEST_H_
@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/obs/io_span.h"
 #include "src/obs/metric_registry.h"
 
 namespace uflip {
@@ -24,7 +25,17 @@ namespace uflip {
 std::string GitDescribe();
 
 struct RunManifest {
-  static constexpr const char* kSchema = "uflip.run_manifest/v1";
+  /// v2 adds the "span_trace" object (whether per-IO span tracing was
+  /// on, and its capture limits). v1 records differ only by its
+  /// absence and stay readable -- consumers must accept both (see
+  /// SchemaReadable).
+  static constexpr const char* kSchema = "uflip.run_manifest/v2";
+  static constexpr const char* kSchemaV1 = "uflip.run_manifest/v1";
+
+  /// True for every schema tag this codebase knows how to consume.
+  static bool SchemaReadable(const std::string& schema) {
+    return schema == kSchema || schema == kSchemaV1;
+  }
 
   std::string tool;  // emitting binary, e.g. "ftl_compare"
   std::vector<std::pair<std::string, std::string>> flags;
@@ -40,6 +51,11 @@ struct RunManifest {
   uint64_t events = 0;          // IOs simulated across the whole run
   double wall_seconds = 0;      // host wall time of the simulation
   uint64_t sim_makespan_us = 0;  // simulated completion time, max over reps
+  /// Whether per-IO span tracing was attached, and the capture limits
+  /// it ran with (a config field like `flags`: tracing never changes
+  /// simulation output). The span.* stage aggregates live in `metrics`.
+  bool span_trace_enabled = false;
+  SpanRecorderConfig span_config;
   MetricSnapshot metrics;
 
   double EventsPerSec() const {

@@ -1,0 +1,314 @@
+#include "src/obs/span_trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iterator>
+#include <set>
+
+#include "src/util/json_writer.h"
+#include "src/util/logging.h"
+
+namespace uflip {
+
+void SpanSnapshot::Merge(const SpanSnapshot& other) {
+  UFLIP_CHECK(config.head_limit == other.config.head_limit &&
+              config.tail_k == other.config.tail_k);
+  recorded += other.recorded;
+  for (const IoSpan& s : other.head) {
+    if (head.size() >= config.head_limit) break;
+    head.push_back(s);
+  }
+  // Both tails are sorted by SpanSlowerThan; a stable merge keeps this
+  // snapshot's spans ahead of other's at full ties, so folding in
+  // canonical unit order stays deterministic even across id collisions
+  // between devices.
+  std::vector<IoSpan> merged;
+  merged.reserve(tail.size() + other.tail.size());
+  std::merge(tail.begin(), tail.end(), other.tail.begin(), other.tail.end(),
+             std::back_inserter(merged), SpanSlowerThan);
+  if (merged.size() > config.tail_k) merged.resize(config.tail_k);
+  tail = std::move(merged);
+}
+
+SpanRecorder::SpanRecorder(SpanRecorderConfig config) : config_(config) {
+  head_.reserve(std::min<uint64_t>(config_.head_limit, 4096));
+  tail_.reserve(config_.tail_k);
+}
+
+void SpanRecorder::Record(const IoSpan& span) {
+  ++recorded_;
+  if (aggregate_stages_) {
+    const double queue_wait = static_cast<double>(span.QueueWaitUs());
+    const double controller = static_cast<double>(span.ControllerUs());
+    const double flash = static_cast<double>(span.FlashUs());
+    const double total = static_cast<double>(span.TotalUs());
+    h_queue_wait_.Record(queue_wait);
+    h_controller_.Record(controller);
+    h_flash_.Record(flash);
+    h_total_.Record(total);
+    sum_queue_wait_ += queue_wait;
+    sum_controller_ += controller;
+    sum_flash_ += flash;
+    sum_total_ += total;
+    if (span.BusUs() > 0) {
+      // The bus stage only exists under the bus-contention model; its
+      // row aggregates over IOs that had one, not over zeros.
+      const double bus = static_cast<double>(span.BusUs());
+      h_bus_.Record(bus);
+      sum_bus_ += bus;
+    }
+  }
+  if (head_.size() < config_.head_limit) head_.push_back(span);
+  if (config_.tail_k == 0) return;
+  if (tail_.size() >= config_.tail_k &&
+      !SpanSlowerThan(span, tail_.back())) {
+    return;
+  }
+  auto it = std::upper_bound(tail_.begin(), tail_.end(), span, SpanSlowerThan);
+  tail_.insert(it, span);
+  if (tail_.size() > config_.tail_k) tail_.pop_back();
+}
+
+SpanSnapshot SpanRecorder::Snapshot() const {
+  SpanSnapshot snap;
+  snap.config = config_;
+  snap.recorded = recorded_;
+  snap.head = head_;
+  snap.tail = tail_;
+  return snap;
+}
+
+void SpanRecorder::RegisterMetrics(MetricRegistry* registry) {
+  if (registry == nullptr) return;
+  UFLIP_CHECK_MSG(recorded_ == 0,
+                  "RegisterMetrics must precede the first Record");
+  aggregate_stages_ = true;
+  // Collector, not live handles: stage aggregates are copied into the
+  // registry at snapshot time, so replicated-run snapshots merge the
+  // histograms/sums across recorders exactly like every other metric.
+  registry->AddCollector([this, registry] {
+    registry->GetCounter("span.count")->value = recorded_;
+    *registry->GetHistogram("span.queue_wait_us") = h_queue_wait_;
+    *registry->GetHistogram("span.controller_us") = h_controller_;
+    *registry->GetHistogram("span.flash_us") = h_flash_;
+    *registry->GetHistogram("span.bus_us") = h_bus_;
+    *registry->GetHistogram("span.total_us") = h_total_;
+    registry->GetSum("span.queue_wait_sum_us")->value = sum_queue_wait_;
+    registry->GetSum("span.controller_sum_us")->value = sum_controller_;
+    registry->GetSum("span.flash_sum_us")->value = sum_flash_;
+    registry->GetSum("span.bus_sum_us")->value = sum_bus_;
+    registry->GetSum("span.total_sum_us")->value = sum_total_;
+  });
+}
+
+namespace {
+
+/// Track (tid) layout of pid 0. Channels sit at their own index;
+/// controller and bus tracks are offset well past any realistic
+/// channel count.
+constexpr uint64_t kControllerTid = 1000;
+constexpr uint64_t kBusTidBase = 2000;
+
+void MetaEvent(JsonWriter* w, uint64_t pid, const uint64_t* tid,
+               const std::string& name) {
+  w->BeginObject();
+  w->Key("name").String(tid == nullptr ? "process_name" : "thread_name");
+  w->Key("ph").String("M");
+  w->Key("pid").Uint(pid);
+  if (tid != nullptr) w->Key("tid").Uint(*tid);
+  w->Key("args").BeginObject();
+  w->Key("name").String(name);
+  w->EndObject();
+  w->EndObject();
+}
+
+void SpanArgs(JsonWriter* w, const IoSpan& s, bool full) {
+  w->Key("args").BeginObject();
+  w->Key("id").Uint(s.id);
+  if (full) {
+    w->Key("queue_wait_us").Uint(s.QueueWaitUs());
+    w->Key("controller_us").Uint(s.ControllerUs());
+    w->Key("flash_us").Uint(s.FlashUs());
+    w->Key("bus_us").Uint(s.BusUs());
+    w->Key("total_us").Uint(s.TotalUs());
+  }
+  w->EndObject();
+}
+
+void Slice(JsonWriter* w, const char* name, const char* cat, uint64_t pid,
+           uint64_t tid, uint64_t ts, uint64_t dur, const IoSpan& s,
+           bool full_args) {
+  w->BeginObject();
+  w->Key("name").String(name);
+  w->Key("cat").String(cat);
+  w->Key("ph").String("X");
+  w->Key("pid").Uint(pid);
+  w->Key("tid").Uint(tid);
+  w->Key("ts").Uint(ts);
+  w->Key("dur").Uint(dur);
+  SpanArgs(w, s, full_args);
+  w->EndObject();
+}
+
+void AsyncEvent(JsonWriter* w, const char* ph, uint64_t tid, uint64_t ts,
+                const IoSpan& s) {
+  w->BeginObject();
+  w->Key("name").String("queue_wait");
+  w->Key("cat").String("queue");
+  w->Key("ph").String(ph);
+  w->Key("id").Uint(s.id);
+  w->Key("pid").Uint(0);
+  w->Key("tid").Uint(tid);
+  w->Key("ts").Uint(ts);
+  w->EndObject();
+}
+
+/// (start, id) order within one resource track; every track models a
+/// serialized resource, so sorted slices never overlap.
+bool SliceBefore(const IoSpan* a, const IoSpan* b, uint64_t a_ts,
+                 uint64_t b_ts) {
+  if (a_ts != b_ts) return a_ts < b_ts;
+  return a->id < b->id;
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const SpanSnapshot& snap,
+                            const ChromeTraceOptions& options) {
+  JsonWriter w(1);
+  w.BeginObject();
+  w.Key("traceEvents").BeginArray();
+
+  std::set<uint32_t> channels;
+  std::set<uint32_t> bus_channels;
+  bool any_ctrl = false;
+  for (const IoSpan& s : snap.head) {
+    channels.insert(s.channel);
+    if (s.BusUs() > 0) bus_channels.insert(s.channel);
+    if (s.ControllerUs() > 0) any_ctrl = true;
+  }
+
+  MetaEvent(&w, 0, nullptr, options.process_name);
+  for (uint32_t ch : channels) {
+    uint64_t tid = ch;
+    MetaEvent(&w, 0, &tid, "channel " + std::to_string(ch));
+  }
+  const bool ctrl_track = options.serialized_controller && any_ctrl;
+  if (ctrl_track) {
+    uint64_t tid = kControllerTid;
+    MetaEvent(&w, 0, &tid, "controller");
+  }
+  for (uint32_t ch : bus_channels) {
+    uint64_t tid = kBusTidBase + ch;
+    MetaEvent(&w, 0, &tid, "channel " + std::to_string(ch) + " bus");
+  }
+
+  // Channel occupancy: [start, flash_end) is exactly the window the IO
+  // holds its flash channel for (controller tail included under the
+  // bounded-controller model).
+  std::vector<const IoSpan*> track;
+  for (uint32_t ch : channels) {
+    track.clear();
+    for (const IoSpan& s : snap.head) {
+      if (s.channel == ch) track.push_back(&s);
+    }
+    std::sort(track.begin(), track.end(),
+              [](const IoSpan* a, const IoSpan* b) {
+                return SliceBefore(a, b, a->start_us, b->start_us);
+              });
+    for (const IoSpan* s : track) {
+      Slice(&w, "io", "device", 0, ch, s->start_us,
+            s->flash_end_us - s->start_us, *s, /*full_args=*/true);
+    }
+  }
+
+  // Serialized-controller occupancy: controller stages of in-flight
+  // IOs never overlap, so they form one track.
+  if (ctrl_track) {
+    track.clear();
+    for (const IoSpan& s : snap.head) {
+      if (s.ControllerUs() > 0) track.push_back(&s);
+    }
+    std::sort(track.begin(), track.end(),
+              [](const IoSpan* a, const IoSpan* b) {
+                return SliceBefore(a, b, a->start_us, b->start_us);
+              });
+    for (const IoSpan* s : track) {
+      Slice(&w, "ctrl", "device", 0, kControllerTid, s->start_us,
+            s->ControllerUs(), *s, /*full_args=*/false);
+    }
+  }
+
+  // Per-channel bus slots (bus-contention model): transfers of one
+  // channel's IOs serialize on its data bus.
+  for (uint32_t ch : bus_channels) {
+    track.clear();
+    for (const IoSpan& s : snap.head) {
+      if (s.channel == ch && s.BusUs() > 0) track.push_back(&s);
+    }
+    std::sort(track.begin(), track.end(),
+              [](const IoSpan* a, const IoSpan* b) {
+                return SliceBefore(a, b, a->bus_start_us, b->bus_start_us);
+              });
+    for (const IoSpan* s : track) {
+      Slice(&w, "bus", "device", 0, kBusTidBase + ch, s->bus_start_us,
+            s->BusUs(), *s, /*full_args=*/false);
+    }
+  }
+
+  // Queue waits as async ("b"/"e") events, one pair per waiting IO,
+  // keyed by the IO id.
+  for (const IoSpan& s : snap.head) {
+    if (s.QueueWaitUs() == 0) continue;
+    AsyncEvent(&w, "b", s.channel, s.submit_us, s);
+    AsyncEvent(&w, "e", s.channel, s.start_us, s);
+  }
+
+  // Slowest-K tail: one row per slow IO (slowest first) under pid 1,
+  // whole-life slices. Spans already in the head are shown there.
+  std::vector<const IoSpan*> tail_only;
+  {
+    std::set<uint64_t> head_ids;
+    for (const IoSpan& s : snap.head) head_ids.insert(s.id);
+    for (const IoSpan& s : snap.tail) {
+      if (head_ids.count(s.id) == 0) tail_only.push_back(&s);
+    }
+  }
+  if (!tail_only.empty()) {
+    MetaEvent(&w, 1, nullptr, "slowest-" +
+                                  std::to_string(snap.config.tail_k) +
+                                  " tail");
+    for (size_t r = 0; r < tail_only.size(); ++r) {
+      uint64_t tid = r;
+      MetaEvent(&w, 1, &tid,
+                "slow #" + std::to_string(r) + " io " +
+                    std::to_string(tail_only[r]->id));
+    }
+    for (size_t r = 0; r < tail_only.size(); ++r) {
+      const IoSpan& s = *tail_only[r];
+      Slice(&w, "io", "slow", 1, r, s.submit_us, s.TotalUs(), s,
+            /*full_args=*/true);
+    }
+  }
+
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+bool WriteChromeTrace(const SpanSnapshot& snap, const std::string& path,
+                      const ChromeTraceOptions& options) {
+  std::string json = ChromeTraceJson(snap, options);
+  json += '\n';
+  if (path == "-") {
+    std::fwrite(json.data(), 1, json.size(), stdout);
+    return true;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  size_t n = std::fwrite(json.data(), 1, json.size(), f);
+  int rc = std::fclose(f);
+  return n == json.size() && rc == 0;
+}
+
+}  // namespace uflip

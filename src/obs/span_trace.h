@@ -1,0 +1,148 @@
+// Per-IO span tracing: the second half of the observability layer.
+// Where MetricRegistry answers "how much, in aggregate", the
+// SpanRecorder answers "where did *this* IO's time go" -- one IoSpan
+// chain per IO (submit, queue wait, controller occupancy, channel-bus
+// transfer, flash busy, completion), recorded in simulated time only.
+//
+// Design mirrors MetricRegistry's two constraints:
+//
+//  * Zero overhead when detached. Components expose
+//    AttachSpans(SpanRecorder*) and are built unattached; every
+//    instrumentation site is guarded by one null check and records
+//    nothing otherwise. Attaching never perturbs the simulated
+//    timeline -- attached and detached runs produce byte-identical
+//    response times (pinned by tests).
+//
+//  * Deterministic, bounded, mergeable capture. A recorder keeps the
+//    first `head_limit` spans verbatim plus a slowest-K tail reservoir
+//    (SpanSlowerThan order; permutation-invariant, so the tail is
+//    identical no matter how completions interleaved across calendar
+//    shards). SpanSnapshot is the exported value type; snapshots merge
+//    in the canonical unit-index order of the PR 7 parallel contract,
+//    so --trace_out output is byte-identical across --jobs and
+//    --calendar_shards. Stage aggregates (count, per-stage sums and
+//    log-bucket histograms) ride the existing MetricSnapshot algebra
+//    via RegisterMetrics, surfacing mean/p50/p99 per stage in run
+//    manifests and the --explain stage table.
+//
+// Export: SpanSnapshot::ChromeTraceJson emits Chrome trace_event JSON
+// (load in Perfetto / chrome://tracing): pid 0 is the device, one tid
+// per resource track (flash channels, the serialized controller, bus
+// slots), duration ("X") events for occupancy windows and async
+// ("b"/"e") events for queue waits; pid 1 lays the slowest-K tail out
+// one IO per row. All timestamps are simulated microseconds.
+#ifndef UFLIP_OBS_SPAN_TRACE_H_
+#define UFLIP_OBS_SPAN_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/io_span.h"
+#include "src/obs/metric_registry.h"
+
+namespace uflip {
+
+/// Bounded, mergeable capture of one run's spans: the exported value
+/// type of a SpanRecorder (carried in RunResult like MetricSnapshot).
+struct SpanSnapshot {
+  SpanRecorderConfig config;
+  /// Total spans observed, captured or not.
+  uint64_t recorded = 0;
+  /// First-N capture, in record order (submission order within one
+  /// device; canonical unit order across merges).
+  std::vector<IoSpan> head;
+  /// Slowest-K tail, in SpanSlowerThan order (slowest first). May
+  /// overlap `head`.
+  std::vector<IoSpan> tail;
+
+  /// Folds `other` in after this one. Call in canonical unit-index
+  /// order (the PR 7 contract): `head` keeps the first head_limit spans
+  /// of the concatenation, `tail` the slowest tail_k of the union --
+  /// the latter is order-invariant, the former is exactly why the fold
+  /// order is canonical. Configs must match.
+  void Merge(const SpanSnapshot& other);
+};
+
+/// Rendering knobs of the Chrome trace_event export.
+struct ChromeTraceOptions {
+  /// Process name metadata of pid 0 (the device label).
+  std::string process_name = "device";
+  /// Emit the serialized-controller occupancy track (the controller
+  /// stage serializes across channels only under the bounded-controller
+  /// model; under the pipelined model the stage is part of the channel
+  /// window and only appears in slice args).
+  bool serialized_controller = false;
+};
+
+/// Chrome trace_event JSON of `snap` ({"traceEvents": [...]}), byte-
+/// deterministic for identical snapshots: integer timestamps only,
+/// slices sorted by (track, start, id). Head spans populate the
+/// per-resource tracks of pid 0; tail spans not already in the head get
+/// one row each under pid 1.
+std::string ChromeTraceJson(const SpanSnapshot& snap,
+                            const ChromeTraceOptions& options = {});
+
+/// Writes ChromeTraceJson to `path` (stdout when path is "-"). Returns
+/// false on I/O failure.
+bool WriteChromeTrace(const SpanSnapshot& snap, const std::string& path,
+                      const ChromeTraceOptions& options = {});
+
+/// Records span chains for one device, single-threaded (the device
+/// layer feeds it from DeviceTimeline::ResolveAll, already merged to
+/// id order). Construct per run unit, attach via the device's
+/// AttachSpans, snapshot at run end.
+class SpanRecorder {
+ public:
+  explicit SpanRecorder(SpanRecorderConfig config = {});
+
+  const SpanRecorderConfig& config() const { return config_; }
+
+  /// Observes one resolved span: updates the stage aggregates, the
+  /// first-N head (while it has room) and the slowest-K tail.
+  void Record(const IoSpan& span);
+
+  /// Total spans observed so far.
+  uint64_t recorded() const { return recorded_; }
+
+  /// The capture + aggregate state as a mergeable value.
+  SpanSnapshot Snapshot() const;
+
+  /// Exports the stage aggregates through `registry` (not owned; must
+  /// outlive the recorder): counter "span.count", per-stage histograms
+  /// "span.<stage>_us" and sums "span.<stage>_sum_us" for stages
+  /// queue_wait / controller / flash / bus / total. Registered as a
+  /// collector, so every registry snapshot sees current totals and
+  /// merged snapshots aggregate across recorders. Also switches per-
+  /// span stage aggregation on -- a recorder without metrics (pure
+  /// --trace_out capture) skips that work entirely -- so this must be
+  /// called before the first Record (checked).
+  void RegisterMetrics(MetricRegistry* registry);
+
+ private:
+  SpanRecorderConfig config_;
+  uint64_t recorded_ = 0;
+  std::vector<IoSpan> head_;
+  /// Kept sorted by SpanSlowerThan, size <= config_.tail_k.
+  std::vector<IoSpan> tail_;
+
+  // Stage aggregates, maintained only after RegisterMetrics opts in:
+  // they are observable through the registry alone (SpanSnapshot
+  // carries head/tail only), and four histogram records per IO are
+  // the dominant recorder cost on the capture-only path.
+  bool aggregate_stages_ = false;
+  obs::Histogram h_queue_wait_;
+  obs::Histogram h_controller_;
+  obs::Histogram h_flash_;
+  obs::Histogram h_bus_;
+  obs::Histogram h_total_;
+  double sum_queue_wait_ = 0;
+  double sum_controller_ = 0;
+  double sum_flash_ = 0;
+  double sum_bus_ = 0;
+  double sum_total_ = 0;
+};
+
+}  // namespace uflip
+
+#endif  // UFLIP_OBS_SPAN_TRACE_H_

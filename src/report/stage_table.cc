@@ -1,0 +1,72 @@
+#include "src/report/stage_table.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace uflip {
+
+namespace {
+
+struct StageRow {
+  const char* label;
+  const char* metric;  // span.<metric>_us / span.<metric>_sum_us
+};
+
+constexpr StageRow kStages[] = {
+    {"queue wait", "queue_wait"},
+    {"controller", "controller"},
+    {"flash", "flash"},
+    {"bus", "bus"},
+    {"total", "total"},
+};
+
+void AppendF(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  int n = vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n > 0) out->append(buf, std::min<size_t>(static_cast<size_t>(n),
+                                               sizeof(buf) - 1));
+}
+
+}  // namespace
+
+std::string RenderStageBreakdown(const MetricSnapshot& snap) {
+  uint64_t spans = snap.CounterValue("span.count");
+  if (spans == 0) return "";
+  double total_sum = snap.Value("span.total_sum_us");
+
+  std::string out;
+  AppendF(&out, "Where the time went (%" PRIu64
+                " IO spans, simulated us):\n",
+          spans);
+  AppendF(&out, "  %-10s  %10s  %10s  %10s  %10s  %10s  %6s\n", "stage",
+          "count", "mean", "p50", "p99", "max", "share");
+  for (const StageRow& row : kStages) {
+    const MetricValue* hist =
+        snap.Find(std::string("span.") + row.metric + "_us");
+    if (hist == nullptr || hist->kind != MetricKind::kHistogram ||
+        hist->hist == nullptr) {
+      continue;
+    }
+    const TDigest& d = *hist->hist;
+    uint64_t count = d.count();
+    if (count == 0) continue;  // e.g. no bus stage without the bus model
+    double sum = snap.Value(std::string("span.") + row.metric + "_sum_us");
+    double share = total_sum > 0 ? 100.0 * sum / total_sum : 0.0;
+    AppendF(&out,
+            "  %-10s  %10" PRIu64 "  %10.1f  %10.1f  %10.1f  %10.1f  %5.1f%%\n",
+            row.label, count, count > 0 ? sum / static_cast<double>(count) : 0.0,
+            d.Quantile(0.5), d.Quantile(0.99), d.Quantile(1.0), share);
+  }
+  return out;
+}
+
+}  // namespace uflip

@@ -1,0 +1,24 @@
+// The "where the time went" table of `ftl_compare --explain=CELL`:
+// per-IO stage latency decomposition (queue wait, controller, flash,
+// bus, total) read from the span.* metrics a SpanRecorder exports into
+// a MetricSnapshot (see src/obs/span_trace.h). Count and mean are
+// exact (counter + sum metrics); p50/p99/max come from the mergeable
+// t-digest behind each stage histogram, so the table is as valid for a
+// merged multi-rep snapshot as for a single run.
+#ifndef UFLIP_REPORT_STAGE_TABLE_H_
+#define UFLIP_REPORT_STAGE_TABLE_H_
+
+#include <string>
+
+#include "src/obs/metric_registry.h"
+
+namespace uflip {
+
+/// Renders the per-stage breakdown table from `snap`'s span.* metrics.
+/// Returns "" when the snapshot carries no spans (span.count absent or
+/// zero).
+std::string RenderStageBreakdown(const MetricSnapshot& snap);
+
+}  // namespace uflip
+
+#endif  // UFLIP_REPORT_STAGE_TABLE_H_

@@ -53,6 +53,9 @@ StatusOr<RunResult> ExecuteRun(BlockDevice* device, const PatternSpec& spec) {
   if (MetricRegistry* reg = device->metrics_registry()) {
     result.metrics = reg->Snapshot();
   }
+  if (SpanRecorder* rec = device->span_recorder()) {
+    result.spans = rec->Snapshot();
+  }
   return result;
 }
 
@@ -158,6 +161,9 @@ StatusOr<RunResult> ExecuteParallelRun(AsyncBlockDevice* device,
   }
   if (MetricRegistry* reg = device->metrics_registry()) {
     result.metrics = reg->Snapshot();
+  }
+  if (SpanRecorder* rec = device->span_recorder()) {
+    result.spans = rec->Snapshot();
   }
   return result;
 }

@@ -12,6 +12,7 @@
 #include "src/device/async_device.h"
 #include "src/device/block_device.h"
 #include "src/obs/metric_registry.h"
+#include "src/obs/span_trace.h"
 #include "src/pattern/pattern.h"
 #include "src/run/run_stats.h"
 #include "src/util/status.h"
@@ -43,6 +44,11 @@ struct RunResult {
   /// device had observability attached (see MetricRegistry); absent
   /// otherwise. Snapshots of replicated runs merge deterministically.
   std::optional<MetricSnapshot> metrics;
+
+  /// Snapshot of the device's span recorder at run end, when span
+  /// tracing was attached (see SpanRecorder); absent otherwise. Merges
+  /// in canonical unit order like `metrics`.
+  std::optional<SpanSnapshot> spans;
 
   /// Response times only, in submission order.
   std::vector<double> ResponseTimes() const;

@@ -256,6 +256,9 @@ StatusOr<RunResult> ExecuteTraceRun(BlockDevice* device, EventSource* source,
   if (MetricRegistry* reg = device->metrics_registry()) {
     result.metrics = reg->Snapshot();
   }
+  if (SpanRecorder* rec = device->span_recorder()) {
+    result.spans = rec->Snapshot();
+  }
   return result;
 }
 
@@ -362,6 +365,9 @@ StatusOr<RunResult> ExecuteTraceRun(AsyncBlockDevice* device,
                &result);
   if (MetricRegistry* reg = device->metrics_registry()) {
     result.metrics = reg->Snapshot();
+  }
+  if (SpanRecorder* rec = device->span_recorder()) {
+    result.spans = rec->Snapshot();
   }
   return result;
 }

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/obs/metric_registry.h"
+#include "src/obs/span_trace.h"
 #include "src/util/logging.h"
 
 namespace uflip {
@@ -47,12 +48,21 @@ DeviceTimeline::DeviceTimeline(uint32_t channels, bool serialized_controller,
 
 void DeviceTimeline::Submit(uint64_t id, uint64_t ready_us, uint32_t channel,
                             const IoStages& stages) {
+  Submit(id, ready_us, channel, stages, ready_us);
+}
+
+void DeviceTimeline::Submit(uint64_t id, uint64_t ready_us, uint32_t channel,
+                            const IoStages& stages, uint64_t submit_us) {
   UFLIP_CHECK(channel < channels());
   Event e;
   e.time_us = ready_us;
   e.kind = EventKind::kDispatch;
   e.channel = channel;
   e.id = id;
+  // The host submit time rides in the dispatch event's spare integer
+  // slot for span capture (aux carries the start time from dispatch
+  // onward).
+  e.aux = submit_us;
   e.a = stages.controller_us;
   e.b = stages.channel_us;
   e.c = stages.bus_us;
@@ -71,6 +81,21 @@ void DeviceTimeline::ResolveAll(std::vector<IoOutcome>* out) {
     } else {
       calendar_.RunAll(this);
     }
+  }
+  if (span_recorder_ != nullptr) {
+    // Hand completed spans over in id order -- the same canonical
+    // merge that makes outcomes independent of how events interleaved
+    // across shards, so the recorder sees one deterministic stream for
+    // every shard count.
+    span_scratch_.clear();
+    for (auto& s : shard_state_) {
+      span_scratch_.insert(span_scratch_.end(), s->spans.begin(),
+                           s->spans.end());
+      s->spans.clear();
+    }
+    std::sort(span_scratch_.begin(), span_scratch_.end(),
+              [](const IoSpan& x, const IoSpan& y) { return x.id < y.id; });
+    for (const IoSpan& sp : span_scratch_) span_recorder_->Record(sp);
   }
   if (out == nullptr) return;
   // Merge the per-shard completions in id order: ids are issued in
@@ -103,12 +128,30 @@ void DeviceTimeline::AttachMetrics(std::vector<TimeSeries*> channel_busy,
   m_bus_busy_ = std::move(bus_busy);
 }
 
+void DeviceTimeline::AttachSpans(SpanRecorder* recorder) {
+  span_recorder_ = recorder;
+  for (auto& s : shard_state_) {
+    s->open_spans.clear();
+    s->spans.clear();
+  }
+}
+
 void DeviceTimeline::Complete(SimContext& ctx, uint64_t id,
                               uint64_t start_us) {
   ShardState& s = *shard_state_[ctx.shard()];
   s.busy_max_us = std::max(s.busy_max_us, ctx.now_us());
   if (collect_outcomes_) {
     s.outcomes.push_back(IoOutcome{id, start_us, ctx.now_us()});
+  }
+  if (span_recorder_ != nullptr && !s.open_spans.empty()) {
+    // Only bus-stage IOs park in open_spans (see kDispatch); everything
+    // else was finalized there and never pays the map.
+    auto it = s.open_spans.find(id);
+    if (it != s.open_spans.end()) {
+      it->second.complete_us = ctx.now_us();
+      s.spans.push_back(it->second);
+      s.open_spans.erase(it);
+    }
   }
 }
 
@@ -117,6 +160,7 @@ void DeviceTimeline::OnEvent(SimContext& ctx, const Event& e) {
     case EventKind::kDispatch: {
       const uint32_t ch = e.channel;
       uint64_t start = 0;
+      uint64_t ctrl_end = 0;
       uint64_t flash_end = 0;
       if (serialized_) {
         // Bounded controller: the IO starts when its channel AND the
@@ -129,6 +173,7 @@ void DeviceTimeline::OnEvent(SimContext& ctx, const Event& e) {
         auto ctrl_whole = static_cast<uint64_t>(e.a);
         double ctrl_frac = e.a - static_cast<double>(ctrl_whole);
         ctrl_busy_us_ = start + ctrl_whole;
+        ctrl_end = ctrl_busy_us_;
         flash_end =
             start + ctrl_whole + static_cast<uint64_t>(ctrl_frac + e.b);
         obs::Span(m_ctrl_busy_, start, ctrl_busy_us_);
@@ -137,10 +182,34 @@ void DeviceTimeline::OnEvent(SimContext& ctx, const Event& e) {
         // channels.
         start = std::max(e.time_us, chan_busy_us_[ch]);
         flash_end = start + static_cast<uint64_t>(e.a + e.b);
+        ctrl_end = std::min(start + static_cast<uint64_t>(e.a), flash_end);
       }
       chan_busy_us_[ch] = flash_end;
       if (!m_chan_busy_.empty()) {
         obs::Span(m_chan_busy_[ch], start, flash_end);
+      }
+      if (span_recorder_ != nullptr) {
+        IoSpan sp;
+        sp.id = e.id;
+        sp.channel = ch;
+        sp.submit_us = e.aux;
+        sp.ready_us = e.time_us;
+        sp.start_us = start;
+        sp.ctrl_end_us = ctrl_end;
+        sp.flash_end_us = flash_end;
+        sp.bus_start_us = flash_end;
+        sp.bus_end_us = flash_end;
+        sp.complete_us = flash_end;
+        ShardState& ss = *shard_state_[ctx.shard()];
+        if (e.c > 0) {
+          // A bus stage follows: park the span for kBusTransfer /
+          // kComplete to finalize.
+          ss.open_spans[e.id] = sp;
+        } else {
+          // No bus stage -- the chain is final here (complete ==
+          // flash_end), so skip the open_spans map on the common path.
+          ss.spans.push_back(sp);
+        }
       }
       Event next;
       next.channel = ch;
@@ -167,6 +236,14 @@ void DeviceTimeline::OnEvent(SimContext& ctx, const Event& e) {
       bus_busy_us_[ch] = end;
       if (!m_bus_busy_.empty()) {
         obs::Span(m_bus_busy_[ch], start, end);
+      }
+      if (span_recorder_ != nullptr) {
+        auto& open = shard_state_[ctx.shard()]->open_spans;
+        auto it = open.find(e.id);
+        if (it != open.end()) {
+          it->second.bus_start_us = start;
+          it->second.bus_end_us = end;
+        }
       }
       Event done;
       done.time_us = end;

@@ -41,8 +41,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
+#include "src/obs/io_span.h"
 #include "src/sim/calendar.h"
 #include "src/sim/sharded_calendar.h"
 #include "src/util/thread_pool.h"
@@ -50,6 +52,7 @@
 namespace uflip {
 
 class TimeSeries;
+class SpanRecorder;
 
 /// Foreground stage durations of one IO, as produced by
 /// SimDevice::ServiceUs: the (possibly serialized) controller stage,
@@ -89,9 +92,13 @@ class DeviceTimeline : public EventHandler {
 
   /// Schedules the dispatch of IO `id` (ready at `ready_us`, targeting
   /// `channel`) onto the calendar. The IO resolves at the next
-  /// ResolveAll.
+  /// ResolveAll. `submit_us` is when the host submitted the IO (for
+  /// span capture only -- queue-depth backpressure makes it precede
+  /// ready_us on the async path); the 4-argument form uses ready_us.
   void Submit(uint64_t id, uint64_t ready_us, uint32_t channel,
               const IoStages& stages);
+  void Submit(uint64_t id, uint64_t ready_us, uint32_t channel,
+              const IoStages& stages, uint64_t submit_us);
 
   /// Drains the calendar to empty, firing every pending IO chain. The
   /// outcomes of all IOs completed by this drain are appended to *out
@@ -115,13 +122,28 @@ class DeviceTimeline : public EventHandler {
                      TimeSeries* controller_busy,
                      std::vector<TimeSeries*> bus_busy);
 
+  /// Wires per-IO span capture: every chain resolved while attached is
+  /// recorded into `recorder` (not owned; single-threaded -- spans are
+  /// handed over inside ResolveAll, merged to id order across shards
+  /// exactly like outcomes). nullptr detaches. Attach before
+  /// submitting; chains in flight across an attach are dropped, not
+  /// half-recorded. Never perturbs the timeline.
+  void AttachSpans(SpanRecorder* recorder);
+
   void OnEvent(SimContext& ctx, const Event& e) override;
 
  private:
-  // Cache-line-sized: shards fold completions concurrently.
+  // Cache-line-sized: shards fold completions concurrently. An IO's
+  // whole chain stays on its channel's shard, so the open-span map is
+  // shard-local state too.
   struct alignas(64) ShardState {
     uint64_t busy_max_us = 0;
     std::vector<IoOutcome> outcomes;
+    /// Span capture (only touched while a recorder is attached):
+    /// chains between dispatch and completion, then the completed
+    /// spans awaiting the ResolveAll handover.
+    std::unordered_map<uint64_t, IoSpan> open_spans;
+    std::vector<IoSpan> spans;
   };
 
   void Complete(SimContext& ctx, uint64_t id, uint64_t start_us);
@@ -144,6 +166,8 @@ class DeviceTimeline : public EventHandler {
   std::vector<TimeSeries*> m_chan_busy_;
   TimeSeries* m_ctrl_busy_ = nullptr;
   std::vector<TimeSeries*> m_bus_busy_;
+  SpanRecorder* span_recorder_ = nullptr;
+  std::vector<IoSpan> span_scratch_;  // ResolveAll id-order merge buffer
 };
 
 }  // namespace uflip

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "src/util/logging.h"
 
@@ -124,8 +125,15 @@ JsonWriter& JsonWriter::Int(int64_t v) {
 JsonWriter& JsonWriter::Double(double v) {
   if (!std::isfinite(v)) return Null();
   Prefix(false);
+  // Shortest representation that parses back to exactly `v`: large
+  // metric sums (span stage totals, busy-time integrals) exceed six
+  // significant digits, and a manifest that silently rounds them would
+  // fail cross-checks like "stage sums == total latency".
   char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  for (int prec = 15; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
   out_ += buf;
   return *this;
 }

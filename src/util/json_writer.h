@@ -31,8 +31,9 @@ class JsonWriter {
   JsonWriter& String(const std::string& v);
   JsonWriter& Uint(uint64_t v);
   JsonWriter& Int(int64_t v);
-  /// Fixed "%.6g" formatting; non-finite values emit null (JSON has no
-  /// NaN/Inf).
+  /// Shortest "%g" representation that round-trips to the exact value
+  /// (so large metric sums survive a JSON round trip); non-finite
+  /// values emit null (JSON has no NaN/Inf).
   JsonWriter& Double(double v);
   JsonWriter& Bool(bool v);
   JsonWriter& Null();

@@ -310,11 +310,14 @@ TEST(RunManifestTest, JsonGolden) {
   m.events = 100;
   m.wall_seconds = 0.5;
   m.sim_makespan_us = 12345;
+  m.span_trace_enabled = true;
+  m.span_config.head_limit = 4096;
+  m.span_config.tail_k = 64;
   m.metrics = reg.Snapshot();
 
   std::string expected = std::string(
       "{\n"
-      "  \"schema\": \"uflip.run_manifest/v1\",\n"
+      "  \"schema\": \"uflip.run_manifest/v2\",\n"
       "  \"tool\": \"unit_test\",\n"
       "  \"git\": \"") + GitDescribe() + "\",\n"
       "  \"seed\": 42,\n"
@@ -328,6 +331,11 @@ TEST(RunManifestTest, JsonGolden) {
       "  \"wall_seconds\": 0.5,\n"
       "  \"events_per_sec\": 200,\n"
       "  \"sim_makespan_us\": 12345,\n"
+      "  \"span_trace\": {\n"
+      "    \"enabled\": true,\n"
+      "    \"head_limit\": 4096,\n"
+      "    \"slowest_k\": 64\n"
+      "  },\n"
       "  \"metrics\": {\n"
       "    \"a.count\": {\n"
       "      \"kind\": \"counter\",\n"
@@ -336,6 +344,33 @@ TEST(RunManifestTest, JsonGolden) {
       "  }\n"
       "}";
   EXPECT_EQ(m.ToJson(), expected);
+}
+
+// v1 records (written before span tracing existed) carry the old schema
+// tag and no span_trace object; consumers accept both tags, so stored
+// v1 manifests stay readable next to v2 output.
+TEST(RunManifestTest, V1RecordsStayReadable) {
+  // A verbatim v1 record as PR 6-9 emitted it.
+  const std::string v1_record =
+      "{\n"
+      "  \"schema\": \"uflip.run_manifest/v1\",\n"
+      "  \"tool\": \"trace_tool\",\n"
+      "  \"git\": \"unknown\",\n"
+      "  \"seed\": 7,\n"
+      "  \"flags\": {},\n"
+      "  \"jobs\": 1,\n"
+      "  \"calendar_shards\": 1,\n"
+      "  \"events\": 10,\n"
+      "  \"wall_seconds\": 0.1,\n"
+      "  \"events_per_sec\": 100,\n"
+      "  \"sim_makespan_us\": 99,\n"
+      "  \"metrics\": {}\n"
+      "}";
+  EXPECT_NE(v1_record.find(RunManifest::kSchemaV1), std::string::npos);
+  EXPECT_TRUE(RunManifest::SchemaReadable(RunManifest::kSchemaV1));
+  EXPECT_TRUE(RunManifest::SchemaReadable(RunManifest::kSchema));
+  EXPECT_FALSE(RunManifest::SchemaReadable("uflip.run_manifest/v3"));
+  EXPECT_FALSE(RunManifest::SchemaReadable(""));
 }
 
 TEST(RunManifestTest, EventsPerSecGuardsZeroWall) {

@@ -1,15 +1,19 @@
 // Unit tests for src/util: Status/StatusOr, Rng, clocks, AlignedBuffer,
-// units formatting, CSV writing.
+// units formatting, CSV writing, JSON writing.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <set>
 #include <sstream>
 
 #include "src/util/aligned_buffer.h"
 #include "src/util/clock.h"
 #include "src/util/csv.h"
+#include "src/util/json_writer.h"
 #include "src/util/random.h"
 #include "src/util/status.h"
 #include "src/util/units.h"
@@ -218,6 +222,32 @@ TEST(CsvTest, WritesRowsWithEscaping) {
 TEST(CsvTest, OpenFailsOnBadPath) {
   auto w = CsvWriter::Open("/nonexistent-dir-xyz/file.csv");
   EXPECT_FALSE(w.ok());
+}
+
+std::string JsonDouble(double v) {
+  JsonWriter w(0);
+  w.BeginArray().Double(v).EndArray();
+  const std::string& out = w.str();
+  return out.substr(1, out.size() - 2);  // strip [ ]
+}
+
+TEST(JsonWriterTest, DoubleIsShortestExactRoundTrip) {
+  // Friendly values keep their short spelling...
+  EXPECT_EQ(JsonDouble(0.5), "0.5");
+  EXPECT_EQ(JsonDouble(0.1), "0.1");
+  EXPECT_EQ(JsonDouble(1234.0), "1234");
+  // ...and values past six significant digits are not rounded away.
+  // (Metric sums routinely reach 1e8+ microseconds; the manifest must
+  // preserve them so stage-sum cross-checks hold after a JSON round
+  // trip.)
+  for (double v : {129537314.0, 130022048.0, 1.0 / 3.0, 6.02214076e23}) {
+    EXPECT_EQ(std::strtod(JsonDouble(v).c_str(), nullptr), v) << v;
+  }
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  EXPECT_EQ(JsonDouble(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(JsonDouble(std::nan("")), "null");
 }
 
 }  // namespace

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace_event JSON file exported by --trace_out.
+
+Checks the structural invariants the span exporter guarantees
+(src/obs/span_trace.cc), so CI catches a malformed export even when
+chrome://tracing would silently render garbage:
+
+  * the file is a {"traceEvents": [...]} object;
+  * every event has a known phase ("M", "X", "b", "e") and integer,
+    non-negative ts/dur where applicable;
+  * "X" slices on one (pid, tid) track are sorted and never overlap
+    (next.ts >= prev.ts + prev.dur) -- every track models a serialized
+    resource;
+  * async "b"/"e" events pair up per (cat, id) with e.ts >= b.ts and
+    no dangling halves;
+  * "M" metadata names every (pid, tid) that carries slices.
+
+Usage: trace_check.py TRACE.json [TRACE2.json ...]; exits non-zero on
+the first invalid file. Stdlib only.
+"""
+
+import json
+import sys
+
+
+def check(path):
+    errors = []
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        return ["not a {'traceEvents': [...]} object"]
+    events = doc["traceEvents"]
+
+    named_tracks = set()  # (pid, tid) with thread_name metadata
+    named_pids = set()
+    slices = {}  # (pid, tid) -> list of (ts, dur, index)
+    asyncs = {}  # (cat, id) -> list of (ph, ts, index)
+
+    for i, e in enumerate(events):
+        ph = e.get("ph")
+        if ph not in ("M", "X", "b", "e"):
+            errors.append("event %d: unknown phase %r" % (i, ph))
+            continue
+        if ph == "M":
+            if e.get("name") == "process_name":
+                named_pids.add(e.get("pid"))
+            elif e.get("name") == "thread_name":
+                named_tracks.add((e.get("pid"), e.get("tid")))
+            continue
+        ts = e.get("ts")
+        if not isinstance(ts, int) or ts < 0:
+            errors.append("event %d: bad ts %r" % (i, ts))
+            continue
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, int) or dur < 0:
+                errors.append("event %d: bad dur %r" % (i, dur))
+                continue
+            slices.setdefault((e.get("pid"), e.get("tid")), []).append(
+                (ts, dur, i))
+        else:
+            asyncs.setdefault((e.get("cat"), e.get("id")), []).append(
+                (ph, ts, i))
+
+    for (pid, tid), track in sorted(slices.items(), key=str):
+        if (pid, tid) not in named_tracks:
+            errors.append("track (pid=%r, tid=%r): slices but no "
+                          "thread_name metadata" % (pid, tid))
+        if pid not in named_pids:
+            errors.append("pid %r: slices but no process_name metadata" % pid)
+        prev_end, prev_i = None, None
+        for ts, dur, i in track:
+            if prev_end is not None and ts < prev_end:
+                errors.append(
+                    "track (pid=%r, tid=%r): event %d (ts=%d) overlaps "
+                    "event %d (ends %d)" % (pid, tid, i, ts, prev_i, prev_end))
+            prev_end, prev_i = ts + dur, i
+
+    for (cat, eid), halves in sorted(asyncs.items(), key=str):
+        begins = [h for h in halves if h[0] == "b"]
+        ends = [h for h in halves if h[0] == "e"]
+        if len(begins) != len(ends):
+            errors.append("async (cat=%r, id=%r): %d 'b' vs %d 'e'" %
+                          (cat, eid, len(begins), len(ends)))
+            continue
+        for (_, bts, bi), (_, ets, ei) in zip(begins, ends):
+            if ets < bts:
+                errors.append(
+                    "async (cat=%r, id=%r): 'e' at event %d (ts=%d) before "
+                    "'b' at event %d (ts=%d)" % (cat, eid, ei, ets, bi, bts))
+
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        errors = check(path)
+        if errors:
+            for msg in errors:
+                print("%s: %s" % (path, msg), file=sys.stderr)
+            return 1
+        print("%s: OK" % path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
